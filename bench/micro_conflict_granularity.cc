@@ -1,0 +1,104 @@
+// Ablation (§4.4.1): abort rate of concurrent updaters under
+// table-granularity vs data-file-granularity conflict detection. File
+// granularity admits concurrent mutations of disjoint files; table
+// granularity aborts all but the first committer.
+
+#include <cstdio>
+
+#include "engine/engine.h"
+
+namespace {
+
+using polaris::catalog::ConflictGranularity;
+using polaris::common::Status;
+using polaris::engine::EngineOptions;
+using polaris::engine::PolarisEngine;
+using polaris::exec::CompareOp;
+using polaris::exec::Conjunction;
+using polaris::exec::Predicate;
+using polaris::format::ColumnType;
+using polaris::format::RecordBatch;
+using polaris::format::Schema;
+using polaris::format::Value;
+
+Schema KvSchema() {
+  return Schema({{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+struct RunResult {
+  int committed = 0;
+  int aborted = 0;
+};
+
+/// `writers` concurrent transactions each delete one distinct key (each
+/// key lives in its own data file), then all try to commit.
+RunResult RunConcurrentDeleters(ConflictGranularity granularity,
+                                int writers) {
+  EngineOptions options;
+  options.num_cells = 1;  // all keys share a cell: contention by design
+  options.worker_threads = 2;
+  options.txn_options.granularity = granularity;
+  PolarisEngine engine(options);
+  if (!engine.CreateTable("t", KvSchema()).ok()) std::abort();
+  // One committed insert per key -> one data file per key.
+  for (int k = 0; k < writers; ++k) {
+    RecordBatch batch{KvSchema()};
+    (void)batch.AppendRow({Value::Int64(k), Value::Int64(k)});
+    auto st = engine.RunInTransaction([&](polaris::txn::Transaction* txn) {
+      return engine.Insert(txn, "t", batch).status();
+    });
+    if (!st.ok()) std::abort();
+  }
+
+  // Open all transactions first (overlapping lifetimes), each deleting a
+  // different key, then commit them in order.
+  std::vector<std::unique_ptr<polaris::txn::Transaction>> txns;
+  for (int k = 0; k < writers; ++k) {
+    auto txn = engine.Begin();
+    if (!txn.ok()) std::abort();
+    Conjunction filter;
+    filter.predicates.push_back(
+        Predicate::Make("k", CompareOp::kEq, Value::Int64(k)));
+    if (!engine.Delete(txn->get(), "t", filter).ok()) std::abort();
+    txns.push_back(std::move(*txn));
+  }
+  RunResult result;
+  for (auto& txn : txns) {
+    Status st = engine.Commit(txn.get());
+    if (st.ok()) {
+      ++result.committed;
+    } else if (st.IsConflict()) {
+      ++result.aborted;
+    } else {
+      std::abort();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: WW-conflict granularity (§4.4.1) — concurrent deleters of "
+      "DISJOINT rows\n\n");
+  std::printf("%-14s %-10s %-11s %-9s %-10s\n", "granularity", "writers",
+              "committed", "aborted", "abort_rate");
+  for (int writers : {2, 4, 8, 16}) {
+    RunResult table_run =
+        RunConcurrentDeleters(ConflictGranularity::kTable, writers);
+    RunResult file_run =
+        RunConcurrentDeleters(ConflictGranularity::kDataFile, writers);
+    std::printf("%-14s %-10d %-11d %-9d %-10.2f\n", "table", writers,
+                table_run.committed, table_run.aborted,
+                static_cast<double>(table_run.aborted) / writers);
+    std::printf("%-14s %-10d %-11d %-9d %-10.2f\n", "data-file", writers,
+                file_run.committed, file_run.aborted,
+                static_cast<double>(file_run.aborted) / writers);
+  }
+  std::printf(
+      "\nshape check: table granularity commits exactly 1 of N and aborts "
+      "the rest;\nfile granularity commits all N (disjoint files never "
+      "conflict).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation (motivates §5.2): cost of reconstructing a table snapshot as
+// the manifest list grows, with and without a checkpoint. The checkpoint
+// turns O(history) replay into O(suffix).
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "lst/checkpoint.h"
+#include "lst/manifest_io.h"
+#include "lst/snapshot_builder.h"
+#include "storage/memory_object_store.h"
+
+namespace {
+
+using polaris::common::SimClock;
+using polaris::lst::CheckpointRef;
+using polaris::lst::DataFileInfo;
+using polaris::lst::ManifestBlockWriter;
+using polaris::lst::ManifestEntry;
+using polaris::lst::ManifestRef;
+using polaris::lst::SnapshotBuilder;
+using polaris::storage::MemoryObjectStore;
+
+/// Builds a manifest chain of `n` single-file commits; returns the refs.
+std::vector<ManifestRef> BuildChain(MemoryObjectStore& store, uint64_t n) {
+  std::vector<ManifestRef> refs;
+  for (uint64_t seq = 1; seq <= n; ++seq) {
+    DataFileInfo info;
+    info.path = "f" + std::to_string(seq);
+    info.row_count = 1000;
+    info.byte_size = 100000;
+    info.cell_id = static_cast<uint32_t>(seq % 16);
+    std::string path = "tables/1/manifests/m" + std::to_string(seq);
+    ManifestBlockWriter writer(&store, path);
+    auto block = writer.StageEntries({ManifestEntry::AddFile(info)});
+    if (!block.ok() || !store.CommitBlockList(path, {*block}).ok()) {
+      std::abort();
+    }
+    refs.push_back({seq, path});
+  }
+  return refs;
+}
+
+void BM_ReplayFullManifestList(benchmark::State& state) {
+  SimClock clock(1);
+  MemoryObjectStore store(&clock);
+  auto refs = BuildChain(store, static_cast<uint64_t>(state.range(0)));
+  SnapshotBuilder builder(&store);
+  for (auto _ : state) {
+    builder.ClearCache();  // a cold BE node
+    auto snapshot = builder.Build(refs);
+    if (!snapshot.ok()) std::abort();
+    benchmark::DoNotOptimize(snapshot->num_files());
+  }
+  state.counters["manifests"] = static_cast<double>(refs.size());
+}
+BENCHMARK(BM_ReplayFullManifestList)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ReplayFromCheckpoint(benchmark::State& state) {
+  SimClock clock(1);
+  MemoryObjectStore store(&clock);
+  auto refs = BuildChain(store, static_cast<uint64_t>(state.range(0)));
+  SnapshotBuilder builder(&store);
+  // Checkpoint covering all but the last 5 manifests.
+  size_t cut = refs.size() > 5 ? refs.size() - 5 : refs.size();
+  std::vector<ManifestRef> prefix(refs.begin(), refs.begin() + cut);
+  auto at_cut = builder.Build(prefix);
+  if (!at_cut.ok()) std::abort();
+  std::string ckpt_path = "tables/1/checkpoints/c";
+  if (!store.Put(ckpt_path, polaris::lst::Checkpoint::Serialize(*at_cut))
+           .ok()) {
+    std::abort();
+  }
+  CheckpointRef ckpt{at_cut->sequence_id(), ckpt_path};
+  for (auto _ : state) {
+    builder.ClearCache();
+    auto snapshot = builder.Build(refs, ckpt);
+    if (!snapshot.ok()) std::abort();
+    benchmark::DoNotOptimize(snapshot->num_files());
+  }
+  state.counters["manifests"] = static_cast<double>(refs.size());
+  state.counters["replayed"] = static_cast<double>(refs.size() - cut);
+}
+BENCHMARK(BM_ReplayFromCheckpoint)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_IncrementalCachedExtension(benchmark::State& state) {
+  // The BE snapshot cache path: repeated builds extend a cached prefix
+  // instead of replaying (§3.2.1).
+  SimClock clock(1);
+  MemoryObjectStore store(&clock);
+  auto refs = BuildChain(store, static_cast<uint64_t>(state.range(0)));
+  SnapshotBuilder builder(&store);
+  auto warm = builder.Build(refs);
+  if (!warm.ok()) std::abort();
+  for (auto _ : state) {
+    auto snapshot = builder.Build(refs);  // cache hit
+    if (!snapshot.ok()) std::abort();
+    benchmark::DoNotOptimize(snapshot->num_files());
+  }
+}
+BENCHMARK(BM_IncrementalCachedExtension)->Arg(1000);
+
+}  // namespace

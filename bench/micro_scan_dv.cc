@@ -1,0 +1,111 @@
+// Ablation (motivates §5.1): merge-on-read scan cost as the deleted-row
+// fraction grows, and the effect of compaction. The read-side penalty of
+// deletion vectors is what triggers autonomous compaction.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+
+namespace {
+
+using polaris::engine::EngineOptions;
+using polaris::engine::PolarisEngine;
+using polaris::engine::QuerySpec;
+using polaris::exec::AggFunc;
+using polaris::exec::CompareOp;
+using polaris::exec::Conjunction;
+using polaris::exec::Predicate;
+using polaris::format::ColumnType;
+using polaris::format::RecordBatch;
+using polaris::format::Schema;
+using polaris::format::Value;
+
+Schema KvSchema() {
+  return Schema({{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+/// Sets up a table with `rows` rows of which `deleted_pct`% are deleted
+/// via DVs; optionally compacted afterwards.
+std::unique_ptr<PolarisEngine> Setup(int rows, int deleted_pct,
+                                     bool compact) {
+  EngineOptions options;
+  options.num_cells = 4;
+  options.worker_threads = 2;
+  options.sto_options.max_deleted_fraction = 0.01;
+  options.sto_options.min_file_rows = 2;
+  auto engine = std::make_unique<PolarisEngine>(options);
+  if (!engine->CreateTable("t", KvSchema()).ok()) std::abort();
+  RecordBatch batch{KvSchema()};
+  for (int i = 0; i < rows; ++i) {
+    (void)batch.AppendRow({Value::Int64(i), Value::Int64(i)});
+  }
+  auto st = engine->RunInTransaction([&](polaris::txn::Transaction* txn) {
+    return engine->Insert(txn, "t", batch).status();
+  });
+  if (!st.ok()) std::abort();
+  if (deleted_pct > 0) {
+    Conjunction filter;
+    filter.predicates.push_back(Predicate::Make(
+        "k", CompareOp::kLt, Value::Int64(rows * deleted_pct / 100)));
+    st = engine->RunInTransaction([&](polaris::txn::Transaction* txn) {
+      return engine->Delete(txn, "t", filter).status();
+    });
+    if (!st.ok()) std::abort();
+  }
+  if (compact) {
+    auto meta = engine->GetTable("t");
+    if (!meta.ok()) std::abort();
+    auto stats = engine->sto()->CompactTable(meta->table_id);
+    if (!stats.ok()) std::abort();
+  }
+  return engine;
+}
+
+void RunScan(benchmark::State& state, PolarisEngine& engine) {
+  for (auto _ : state) {
+    auto txn = engine.Begin();
+    QuerySpec spec;
+    spec.aggregates = {{AggFunc::kSum, "v", "s"}};
+    auto result = engine.Query(txn->get(), "t", spec);
+    (void)engine.Abort(txn->get());
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+
+void BM_ScanWithDeletedFraction(benchmark::State& state) {
+  auto engine = Setup(/*rows=*/20000,
+                      /*deleted_pct=*/static_cast<int>(state.range(0)),
+                      /*compact=*/false);
+  RunScan(state, *engine);
+  state.counters["deleted_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ScanWithDeletedFraction)->Arg(0)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_ScanAfterCompaction(benchmark::State& state) {
+  auto engine = Setup(/*rows=*/20000,
+                      /*deleted_pct=*/static_cast<int>(state.range(0)),
+                      /*compact=*/true);
+  RunScan(state, *engine);
+  state.counters["deleted_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ScanAfterCompaction)->Arg(30)->Arg(60);
+
+void BM_ZoneMapPrunedScan(benchmark::State& state) {
+  // Selective range predicate: zone maps skip most row groups.
+  auto engine = Setup(20000, 0, false);
+  for (auto _ : state) {
+    auto txn = engine->Begin();
+    QuerySpec spec;
+    spec.filter.predicates.push_back(
+        Predicate::Make("k", CompareOp::kGe, Value::Int64(19900)));
+    spec.aggregates = {{AggFunc::kCount, "", "n"}};
+    auto result = engine->Query(txn->get(), "t", spec);
+    (void)engine->Abort(txn->get());
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+BENCHMARK(BM_ZoneMapPrunedScan);
+
+}  // namespace

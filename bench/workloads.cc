@@ -1,0 +1,308 @@
+#include "workloads.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace polaris::bench {
+
+using common::Micros;
+using common::Random;
+using common::Result;
+using common::Status;
+using engine::PolarisEngine;
+using engine::QuerySpec;
+using exec::AggFunc;
+using exec::CompareOp;
+using exec::Conjunction;
+using exec::Predicate;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Schema;
+using format::Value;
+
+format::Schema LineitemSchema() {
+  return Schema({{"l_orderkey", ColumnType::kInt64},
+                 {"l_partkey", ColumnType::kInt64},
+                 {"l_suppkey", ColumnType::kInt64},
+                 {"l_quantity", ColumnType::kDouble},
+                 {"l_extendedprice", ColumnType::kDouble},
+                 {"l_discount", ColumnType::kDouble},
+                 {"l_tax", ColumnType::kDouble},
+                 {"l_returnflag", ColumnType::kString},
+                 {"l_linestatus", ColumnType::kString},
+                 {"l_shipdate", ColumnType::kInt64},
+                 {"l_shipmode", ColumnType::kString}});
+}
+
+uint32_t LineitemSourceFiles(uint64_t scale_factor) {
+  uint64_t files = scale_factor * 4 / 10;  // 0.4 files per SF (paper §7.1)
+  return static_cast<uint32_t>(std::max<uint64_t>(files, 2));
+}
+
+std::vector<RecordBatch> GenerateLineitemSources(uint64_t total_rows,
+                                                 uint32_t num_files,
+                                                 uint64_t seed) {
+  static const char* kReturnFlags[] = {"A", "N", "R"};
+  static const char* kLineStatus[] = {"F", "O"};
+  static const char* kShipModes[] = {"AIR",  "FOB",   "MAIL", "RAIL",
+                                     "REG",  "SHIP",  "TRUCK"};
+  Random rng(seed);
+  Schema schema = LineitemSchema();
+  std::vector<RecordBatch> sources;
+  sources.reserve(num_files);
+  uint64_t rows_per_file = std::max<uint64_t>(total_rows / num_files, 1);
+  int64_t orderkey = 1;
+  for (uint32_t f = 0; f < num_files; ++f) {
+    std::vector<format::Row> rows;
+    rows.reserve(rows_per_file);
+    for (uint64_t r = 0; r < rows_per_file; ++r) {
+      double quantity = 1 + static_cast<double>(rng.Uniform(50));
+      double price = 900.0 + static_cast<double>(rng.Uniform(100000)) / 10.0;
+      rows.push_back(
+          {Value::Int64(orderkey++),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(200000)) + 1),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(10000)) + 1),
+           Value::Double(quantity),
+           Value::Double(price),
+           Value::Double(static_cast<double>(rng.Uniform(11)) / 100.0),
+           Value::Double(static_cast<double>(rng.Uniform(9)) / 100.0),
+           Value::String(kReturnFlags[rng.Uniform(3)]),
+           Value::String(kLineStatus[rng.Uniform(2)]),
+           // Ship dates span ~7 years of days, like 1992-01 .. 1998-12.
+           Value::Int64(static_cast<int64_t>(rng.Uniform(2526))),
+           Value::String(kShipModes[rng.Uniform(7)])});
+    }
+    // Z-order-style clustering on the ship date (paper §2.3: the
+    // partitioning function orders rows within each distribution so that
+    // range predicates can prune via zone maps).
+    std::sort(rows.begin(), rows.end(),
+              [](const format::Row& a, const format::Row& b) {
+                return a[9].i64 < b[9].i64;
+              });
+    RecordBatch batch{schema};
+    for (auto& row : rows) (void)batch.AppendRow(row);
+    sources.push_back(std::move(batch));
+  }
+  return sources;
+}
+
+std::vector<NamedQuery> TpchLikeQueries() {
+  std::vector<NamedQuery> queries;
+  auto add = [&queries](std::string name, QuerySpec spec) {
+    queries.push_back({std::move(name), std::move(spec)});
+  };
+  auto date_le = [](int64_t d) {
+    return Predicate::Make("l_shipdate", CompareOp::kLe, Value::Int64(d));
+  };
+  auto date_ge = [](int64_t d) {
+    return Predicate::Make("l_shipdate", CompareOp::kGe, Value::Int64(d));
+  };
+
+  // Q1 — the pricing summary report: the one faithful reproduction.
+  {
+    QuerySpec q;
+    q.filter.predicates.push_back(date_le(2526 - 90));
+    q.group_by = {"l_returnflag", "l_linestatus"};
+    q.aggregates = {{AggFunc::kSum, "l_quantity", "sum_qty"},
+                    {AggFunc::kSum, "l_extendedprice", "sum_base_price"},
+                    {AggFunc::kAvg, "l_quantity", "avg_qty"},
+                    {AggFunc::kAvg, "l_extendedprice", "avg_price"},
+                    {AggFunc::kAvg, "l_discount", "avg_disc"},
+                    {AggFunc::kCount, "", "count_order"}};
+    add("Q1", std::move(q));
+  }
+  // Q2..Q22 — structurally similar scan/filter/aggregate shapes with
+  // varying selectivity, projection width and grouping cardinality.
+  struct Shape {
+    int64_t date_lo;
+    int64_t date_hi;     // -1: no upper bound
+    double min_quantity; // <0: none
+    std::vector<std::string> group_by;
+  };
+  const Shape shapes[] = {
+      {0, 365, -1, {}},
+      {365, 730, 10, {"l_shipmode"}},
+      {730, 1095, -1, {"l_returnflag"}},
+      {0, -1, 45, {}},
+      {1095, 1460, -1, {"l_linestatus"}},
+      {0, 180, 5, {"l_shipmode"}},
+      {1460, 1825, -1, {}},
+      {0, 2526, 48, {"l_returnflag", "l_linestatus"}},
+      {1825, 2190, -1, {"l_shipmode"}},
+      {200, 400, -1, {}},
+      {0, 1263, 25, {"l_returnflag"}},
+      {1263, -1, -1, {"l_shipmode"}},
+      {600, 1200, 30, {}},
+      {0, 90, -1, {}},
+      {2190, -1, -1, {"l_linestatus"}},
+      {300, 2400, 40, {"l_shipmode"}},
+      {0, 500, -1, {"l_returnflag", "l_linestatus"}},
+      {500, 1000, 15, {}},
+      {1000, 1500, -1, {"l_returnflag"}},
+      {1500, 2000, 20, {"l_shipmode"}},
+      {0, -1, -1, {"l_returnflag", "l_linestatus"}},
+  };
+  int qnum = 2;
+  for (const Shape& shape : shapes) {
+    QuerySpec q;
+    if (shape.date_lo > 0) q.filter.predicates.push_back(date_ge(shape.date_lo));
+    if (shape.date_hi >= 0) q.filter.predicates.push_back(date_le(shape.date_hi));
+    if (shape.min_quantity >= 0) {
+      q.filter.predicates.push_back(Predicate::Make(
+          "l_quantity", CompareOp::kGe, Value::Double(shape.min_quantity)));
+    }
+    q.group_by = shape.group_by;
+    q.aggregates = {{AggFunc::kSum, "l_extendedprice", "revenue"},
+                    {AggFunc::kCount, "", "n"}};
+    add("Q" + std::to_string(qnum++), std::move(q));
+  }
+  return queries;
+}
+
+std::vector<std::string> DsTableNames() {
+  return {"catalog_sales", "catalog_returns", "store_sales",
+          "store_returns", "web_sales",       "web_returns"};
+}
+
+Schema DsSchema() {
+  return Schema({{"sk", ColumnType::kInt64},
+                 {"item", ColumnType::kInt64},
+                 {"quantity", ColumnType::kInt64},
+                 {"price", ColumnType::kDouble},
+                 {"channel", ColumnType::kString}});
+}
+
+namespace {
+
+RecordBatch DsRows(uint64_t n, int64_t sk_offset, uint64_t seed,
+                   const std::string& channel) {
+  Random rng(seed);
+  RecordBatch batch{DsSchema()};
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)batch.AppendRow(
+        {Value::Int64(sk_offset + static_cast<int64_t>(i)),
+         Value::Int64(static_cast<int64_t>(rng.Uniform(1000))),
+         Value::Int64(static_cast<int64_t>(rng.Uniform(100)) + 1),
+         Value::Double(static_cast<double>(rng.Uniform(10000)) / 100.0),
+         Value::String(channel)});
+  }
+  return batch;
+}
+
+}  // namespace
+
+Status LoadDsTables(PolarisEngine& engine, uint64_t rows_per_table,
+                    uint64_t seed) {
+  uint64_t table_seed = seed;
+  for (const auto& name : DsTableNames()) {
+    POLARIS_RETURN_IF_ERROR(engine.CreateTable(name, DsSchema()).status());
+    RecordBatch rows = DsRows(rows_per_table, 0, table_seed++, name);
+    POLARIS_RETURN_IF_ERROR(
+        engine.RunInTransaction([&](txn::Transaction* txn) {
+          return engine.Insert(txn, name, rows).status();
+        }));
+  }
+  return Status::OK();
+}
+
+Result<Micros> RunSingleUserPhase(PolarisEngine& engine) {
+  Micros total = 0;
+  auto queries = TpchLikeQueries();
+  for (const auto& name : DsTableNames()) {
+    // Map the lineitem query shapes onto the DS schema: scan + filter on
+    // quantity + grouped revenue, one variant per query slot.
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto txn = engine.Begin();
+      POLARIS_RETURN_IF_ERROR(txn.status());
+      QuerySpec spec;
+      spec.filter.predicates.push_back(Predicate::Make(
+          "quantity", CompareOp::kGe,
+          Value::Int64(static_cast<int64_t>(qi % 50))));
+      if (qi % 3 == 0) spec.group_by = {"channel"};
+      spec.aggregates = {{AggFunc::kSum, "price", "revenue"},
+                         {AggFunc::kCount, "", "n"}};
+      engine::QueryStats stats;
+      auto result = engine.Query(txn->get(), name, spec, &stats);
+      (void)engine.Abort(txn->get());
+      POLARIS_RETURN_IF_ERROR(result.status());
+      total += stats.job.makespan_micros;
+      engine.clock()->Advance(stats.job.makespan_micros);
+    }
+  }
+  return total;
+}
+
+Result<Micros> RunDataMaintenancePhase(PolarisEngine& engine, int round,
+                                       uint64_t seed, bool run_compaction) {
+  Micros start = engine.clock()->Now();
+  uint64_t table_seed = seed + static_cast<uint64_t>(round) * 1000;
+  for (const auto& name : DsTableNames()) {
+    int64_t base = 1'000'000 + round * 100'000;
+    // 2 INSERT statements (separate transactions -> 2 manifests).
+    for (int i = 0; i < 2; ++i) {
+      RecordBatch rows =
+          DsRows(500, base + i * 1000, table_seed++, name);
+      POLARIS_RETURN_IF_ERROR(
+          engine.RunInTransaction([&](txn::Transaction* txn) {
+            return engine.Insert(txn, name, rows).status();
+          }));
+      engine.clock()->Advance(60'000'000);  // one virtual minute per stmt
+    }
+    // 6 DELETE statements, with compaction after each set of 3 (§7.3 /
+    // Figure 11: "data compaction runs twice — once once between each set
+    // of 3 DELETE statements"). Each delete range is sized to hit rows of
+    // the first insert, so every statement commits a manifest: together
+    // with the 2 inserts and 2 compactions each DM phase produces exactly
+    // 10 manifests per table, the paper's checkpoint-trigger arithmetic.
+    for (int d = 0; d < 6; ++d) {
+      int64_t lo = base + d * 80;
+      Conjunction filter;
+      filter.predicates.push_back(
+          Predicate::Make("sk", CompareOp::kGe, Value::Int64(lo)));
+      filter.predicates.push_back(
+          Predicate::Make("sk", CompareOp::kLt, Value::Int64(lo + 80)));
+      POLARIS_RETURN_IF_ERROR(engine.RunInTransaction(
+          [&](txn::Transaction* txn) -> Status {
+            return engine.Delete(txn, name, filter).status();
+          },
+          catalog::IsolationMode::kSnapshot, /*max_attempts=*/10));
+      engine.clock()->Advance(60'000'000);
+      if (run_compaction && (d == 2 || d == 5)) {
+        auto meta = engine.GetTable(name);
+        POLARIS_RETURN_IF_ERROR(meta.status());
+        auto stats = engine.sto()->CompactTable(meta->table_id);
+        if (!stats.ok() && !stats.status().IsConflict()) {
+          return stats.status();
+        }
+        engine.clock()->Advance(120'000'000);  // two virtual minutes
+      }
+    }
+    // The checkpoint task reacts to each table's accumulated manifests as
+    // DM reaches it — catalog tables first, web tables last — giving the
+    // staggered lifetimes of Figure 11.
+    if (run_compaction) {
+      auto meta = engine.GetTable(name);
+      POLARIS_RETURN_IF_ERROR(meta.status());
+      POLARIS_RETURN_IF_ERROR(
+          engine.sto()->MaybeCheckpoint(meta->table_id).status());
+    }
+  }
+  return engine.clock()->Now() - start;
+}
+
+engine::EngineOptions BenchEngineOptions(uint64_t cost_scale) {
+  engine::EngineOptions options;
+  options.num_cells = 16;
+  options.worker_threads = 2;
+  options.cost_scale = cost_scale;
+  // Fine-grained row groups so zone maps have pruning power on the
+  // clustered ship-date column.
+  options.file_options.rows_per_row_group = 256;
+  options.sto_options.manifests_per_checkpoint = 10;  // paper §7.3
+  options.sto_options.max_deleted_fraction = 0.2;
+  options.sto_options.min_file_rows = 16;
+  return options;
+}
+
+}  // namespace polaris::bench

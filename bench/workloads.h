@@ -1,0 +1,86 @@
+#ifndef POLARIS_BENCH_WORKLOADS_H_
+#define POLARIS_BENCH_WORKLOADS_H_
+
+// Shared workload generators for the benchmark harness (paper §7):
+//  * a TPC-H-shaped `lineitem` generator (Figures 7-9),
+//  * a 22-query TPC-H-like read suite (Figure 9),
+//  * LST-Bench-style TPC-DS-like tables and the WP1/WP3 phase drivers
+//    (Figures 10-12).
+//
+// The generators are deterministic from a seed. Scale is expressed in
+// "scale units" (SF): physical row counts are scaled down relative to the
+// paper's TB-scale runs, while the engine's cost_scale option inflates
+// declared task costs back to paper scale for the virtual-time results
+// (see DESIGN.md, substitutions table).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "format/column.h"
+#include "format/schema.h"
+
+namespace polaris::bench {
+
+// --- TPC-H lineitem ------------------------------------------------------
+
+format::Schema LineitemSchema();
+
+/// Number of lineitem source files at a given scale factor: the paper
+/// reports 40 source files at SF100 and 400 at SF1000 (0.4 files/SF),
+/// with a small floor.
+uint32_t LineitemSourceFiles(uint64_t scale_factor);
+
+/// Generates `num_files` source batches totalling ~`total_rows` rows.
+std::vector<format::RecordBatch> GenerateLineitemSources(uint64_t total_rows,
+                                                         uint32_t num_files,
+                                                         uint64_t seed);
+
+// --- TPC-H-like query suite ------------------------------------------------
+
+struct NamedQuery {
+  std::string name;
+  engine::QuerySpec spec;
+};
+
+/// 22 scan/filter/aggregate queries over lineitem with varying
+/// selectivities and group-bys — the structural equivalent of the TPC-H
+/// power run the paper uses in Figure 9.
+std::vector<NamedQuery> TpchLikeQueries();
+
+// --- LST-Bench / TPC-DS-like workloads (WP1, WP3) ---------------------------
+
+/// The sales/returns tables data maintenance touches, in the order the
+/// paper's Figure 11 shows them being modified (catalog first, store,
+/// then web).
+std::vector<std::string> DsTableNames();
+
+format::Schema DsSchema();
+
+/// Creates and loads all DS tables with `rows_per_table` rows each.
+common::Status LoadDsTables(engine::PolarisEngine& engine,
+                            uint64_t rows_per_table, uint64_t seed);
+
+/// One Single-User (SU) phase: the query suite against every sales table.
+/// Returns the total virtual time and advances the engine clock by it.
+common::Result<common::Micros> RunSingleUserPhase(
+    engine::PolarisEngine& engine);
+
+/// One Data-Maintenance (DM) phase against every DS table, matching the
+/// paper's Figure 11 recipe per table: 2 INSERT statements and 6 DELETE
+/// statements (as separate transactions), with data compaction run twice
+/// — once between each set of 3 DELETEs. Returns virtual time spent and
+/// advances the clock.
+common::Result<common::Micros> RunDataMaintenancePhase(
+    engine::PolarisEngine& engine, int round, uint64_t seed,
+    bool run_compaction = true);
+
+/// Suggested engine options for the benchmark harness: read/write pools,
+/// paper-scale virtual costs.
+engine::EngineOptions BenchEngineOptions(uint64_t cost_scale);
+
+}  // namespace polaris::bench
+
+#endif  // POLARIS_BENCH_WORKLOADS_H_

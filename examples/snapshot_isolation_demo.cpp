@@ -1,0 +1,124 @@
+// Replays the worked example of Figure 6 (paper §4.2): transactions X1-X4
+// over table T1(C1, C2), demonstrating Snapshot Isolation, optimistic
+// write-write conflict detection and rollback.
+//
+//   $ ./build/examples/snapshot_isolation_demo
+
+#include <cstdio>
+
+#include "engine/engine.h"
+
+using polaris::common::Status;
+using polaris::engine::PolarisEngine;
+using polaris::engine::QuerySpec;
+using polaris::exec::AggFunc;
+using polaris::exec::CompareOp;
+using polaris::exec::Conjunction;
+using polaris::exec::Predicate;
+using polaris::format::ColumnType;
+using polaris::format::RecordBatch;
+using polaris::format::Schema;
+using polaris::format::Value;
+using polaris::txn::Transaction;
+
+namespace {
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    auto _st = (expr);                                              \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (false)
+
+Schema T1Schema() {
+  return Schema({{"C1", ColumnType::kString}, {"C2", ColumnType::kInt64}});
+}
+
+RecordBatch Rows(std::vector<std::pair<std::string, int64_t>> rows) {
+  RecordBatch batch{T1Schema()};
+  for (auto& [c1, c2] : rows) {
+    (void)batch.AppendRow({Value::String(c1), Value::Int64(c2)});
+  }
+  return batch;
+}
+
+int64_t SumC2(PolarisEngine& engine, Transaction* txn) {
+  QuerySpec spec;
+  spec.aggregates = {{AggFunc::kSum, "C2", "sum"}};
+  auto result = engine.Query(txn, "T1", spec);
+  if (!result.ok() || result->column(0).IsNull(0)) return 0;
+  return result->column(0).Int64At(0);
+}
+
+Conjunction WhereC1(const std::string& v) {
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("C1", CompareOp::kEq, Value::String(v)));
+  return conj;
+}
+
+}  // namespace
+
+int main() {
+  PolarisEngine engine;
+  CHECK_OK(engine.CreateTable("T1", T1Schema()).status());
+
+  std::printf("== t1: X1 loads (A,1), (B,2), (C,3) and commits ==\n");
+  {
+    auto x1 = engine.Begin();
+    CHECK_OK(x1.status());
+    CHECK_OK(
+        engine.Insert(x1->get(), "T1", Rows({{"A", 1}, {"B", 2}, {"C", 3}}))
+            .status());
+    CHECK_OK(engine.Commit(x1->get()));
+  }
+  engine.clock()->Advance(1000);
+
+  std::printf("== t2: X2 and X3 start ==\n");
+  auto x2 = engine.Begin();
+  auto x3 = engine.Begin();
+  CHECK_OK(x2.status());
+  CHECK_OK(x3.status());
+
+  std::printf("   X2: INSERT (D,4), (E,5); DELETE WHERE C1='A'\n");
+  CHECK_OK(engine.Insert(x2->get(), "T1", Rows({{"D", 4}, {"E", 5}}))
+               .status());
+  CHECK_OK(engine.Delete(x2->get(), "T1", WhereC1("A")).status());
+  std::printf("   X2 sees its own changes:     SUM(C2) = %ld (expect 14)\n",
+              static_cast<long>(SumC2(engine, x2->get())));
+  std::printf("   X3 reads under SI:           SUM(C2) = %ld (expect 6)\n",
+              static_cast<long>(SumC2(engine, x3->get())));
+
+  engine.clock()->Advance(1000);
+  std::printf("== t3: X2 commits; X3 deletes (B,2) without blocking ==\n");
+  CHECK_OK(engine.Commit(x2->get()));
+  std::printf("   X3 snapshot is unchanged:    SUM(C2) = %ld (expect 6)\n",
+              static_cast<long>(SumC2(engine, x3->get())));
+  CHECK_OK(engine.Delete(x3->get(), "T1", WhereC1("B")).status());
+
+  engine.clock()->Advance(1000);
+  std::printf("== t4: X3 attempts to commit ==\n");
+  Status commit_status = engine.Commit(x3->get());
+  std::printf("   X3 commit result: %s (expect Conflict -> rollback)\n",
+              commit_status.ToString().c_str());
+  if (!commit_status.IsConflict()) {
+    std::fprintf(stderr, "expected a write-write conflict!\n");
+    return 1;
+  }
+
+  std::printf("== t4: X4 starts and reads ==\n");
+  {
+    auto x4 = engine.Begin();
+    CHECK_OK(x4.status());
+    std::printf("   X4 sees X1+X2 effects:       SUM(C2) = %ld (expect 14)\n",
+                static_cast<long>(SumC2(engine, x4->get())));
+    CHECK_OK(engine.Abort(x4->get()));
+  }
+
+  std::printf("\nFigure 6 semantics reproduced: reads never blocked, "
+              "inserts never conflicted,\nand the conflicting delete was "
+              "rolled back by first-committer-wins validation.\n");
+  return 0;
+}

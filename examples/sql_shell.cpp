@@ -1,0 +1,91 @@
+// Interactive SQL shell over a PolarisEngine: type statements terminated
+// by ';'. Also usable non-interactively:
+//
+//   $ echo "CREATE TABLE t (x BIGINT); INSERT INTO t VALUES (1); \
+//           SELECT * FROM t;" | ./build/examples/sql_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/engine.h"
+#include "sql/session.h"
+
+using polaris::engine::PolarisEngine;
+using polaris::sql::SqlResult;
+using polaris::sql::SqlSession;
+
+namespace {
+
+void PrintResult(const SqlResult& result) {
+  const auto& batch = result.batch;
+  if (batch.num_columns() > 0) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      std::printf("%-18s", batch.schema().column(c).name.c_str());
+    }
+    std::printf("\n");
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      std::printf("%-18s", "----------------");
+    }
+    std::printf("\n");
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      for (size_t c = 0; c < batch.num_columns(); ++c) {
+        std::printf("%-18s", batch.column(c).ValueAt(r).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (!result.message.empty()) {
+    std::printf("%s\n", result.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PolarisEngine engine;
+  SqlSession session(&engine);
+  bool interactive = isatty(fileno(stdin));
+
+  if (interactive) {
+    std::printf(
+        "polaris-tx SQL shell. Statements end with ';'. Ctrl-D to exit.\n"
+        "Dialect: CREATE/DROP/CLONE TABLE, INSERT, SELECT [AS OF], UPDATE,"
+        " DELETE,\n         BEGIN/COMMIT/ROLLBACK.\n\n");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(session.in_transaction() ? "txn> " : "sql> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    buffer += line;
+    buffer += '\n';
+    // Execute every complete (';'-terminated) statement in the buffer.
+    size_t semi;
+    while ((semi = buffer.find(';')) != std::string::npos) {
+      std::string statement = buffer.substr(0, semi + 1);
+      buffer.erase(0, semi + 1);
+      // Skip empty statements.
+      bool blank = true;
+      for (char c : statement) {
+        if (!std::isspace(static_cast<unsigned char>(c)) && c != ';') {
+          blank = false;
+          break;
+        }
+      }
+      if (blank) continue;
+      auto result = session.Execute(statement);
+      if (result.ok()) {
+        PrintResult(*result);
+      } else {
+        std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      }
+    }
+  }
+  if (interactive) std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,358 @@
+#include "catalog/catalog_db.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/bytes.h"
+
+namespace polaris::catalog {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string PadId(int64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%012" PRId64, id);
+  return buf;
+}
+
+std::string PadSeq(uint64_t seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020" PRIu64, seq);
+  return buf;
+}
+
+std::string TableNameKey(const std::string& name) { return "tbl/name/" + name; }
+std::string TableIdKey(int64_t id) { return "tbl/id/" + PadId(id); }
+std::string ManifestPrefix(int64_t table_id) {
+  return "man/" + PadId(table_id) + "/";
+}
+std::string ManifestKey(int64_t table_id, uint64_t seq) {
+  return ManifestPrefix(table_id) + PadSeq(seq);
+}
+std::string WriteSetTableKey(int64_t table_id) {
+  return "ws/" + PadId(table_id);
+}
+std::string WriteSetFileKey(int64_t table_id, const std::string& file) {
+  return "ws/" + PadId(table_id) + "/f/" + file;
+}
+std::string CheckpointPrefix(int64_t table_id) {
+  return "ckpt/" + PadId(table_id) + "/";
+}
+std::string CheckpointKey(int64_t table_id, uint64_t seq) {
+  return CheckpointPrefix(table_id) + PadSeq(seq);
+}
+constexpr char kNextTableIdKey[] = "meta/next_table_id";
+
+std::string EncodeTableMeta(const TableMeta& meta) {
+  ByteWriter out;
+  out.PutI64(meta.table_id);
+  out.PutString(meta.name);
+  meta.schema.Serialize(&out);
+  out.PutString(meta.sort_column);
+  out.PutI64(meta.created_at);
+  return out.Release();
+}
+
+Result<TableMeta> DecodeTableMeta(const std::string& blob) {
+  ByteReader in(blob);
+  TableMeta meta;
+  POLARIS_RETURN_IF_ERROR(in.GetI64(&meta.table_id));
+  POLARIS_RETURN_IF_ERROR(in.GetString(&meta.name));
+  POLARIS_ASSIGN_OR_RETURN(meta.schema, format::Schema::Deserialize(&in));
+  POLARIS_RETURN_IF_ERROR(in.GetString(&meta.sort_column));
+  POLARIS_RETURN_IF_ERROR(in.GetI64(&meta.created_at));
+  return meta;
+}
+
+std::string EncodeManifestValue(const std::string& path, uint64_t txn_id,
+                                common::Micros commit_time) {
+  ByteWriter out;
+  out.PutString(path);
+  out.PutU64(txn_id);
+  out.PutI64(commit_time);
+  return out.Release();
+}
+
+Status DecodeManifestValue(const std::string& blob, ManifestRecord* record) {
+  ByteReader in(blob);
+  POLARIS_RETURN_IF_ERROR(in.GetString(&record->path));
+  POLARIS_RETURN_IF_ERROR(in.GetU64(&record->txn_id));
+  POLARIS_RETURN_IF_ERROR(in.GetI64(&record->commit_time));
+  return Status::OK();
+}
+
+/// Parses the trailing PadSeq() component of a manifest/checkpoint key.
+Result<uint64_t> ParseKeySequence(const std::string& key) {
+  if (key.size() < 20) return Status::Corruption("bad catalog key: " + key);
+  uint64_t seq = 0;
+  for (size_t i = key.size() - 20; i < key.size(); ++i) {
+    char c = key[i];
+    if (c < '0' || c > '9') {
+      return Status::Corruption("bad sequence in key: " + key);
+    }
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+Result<TableMeta> CatalogDb::CreateTable(MvccTransaction* txn,
+                                         const std::string& name,
+                                         const format::Schema& schema,
+                                         const std::string& sort_column) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("bad table name: " + name);
+  }
+  if (!sort_column.empty() && schema.FindColumn(sort_column) < 0) {
+    return Status::InvalidArgument("sort column not in schema: " +
+                                   sort_column);
+  }
+  POLARIS_ASSIGN_OR_RETURN(auto existing, store_.Get(txn, TableNameKey(name)));
+  if (existing.has_value()) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  // Allocate a table id. Concurrent DDL conflicts on this counter key and
+  // retries — an acceptable cost for rare DDL.
+  POLARIS_ASSIGN_OR_RETURN(auto counter, store_.Get(txn, kNextTableIdKey));
+  int64_t next_id = 1001;
+  if (counter.has_value()) {
+    ByteReader in(*counter);
+    POLARIS_RETURN_IF_ERROR(in.GetI64(&next_id));
+  }
+  ByteWriter counter_out;
+  counter_out.PutI64(next_id + 1);
+  POLARIS_RETURN_IF_ERROR(
+      store_.Put(txn, kNextTableIdKey, counter_out.Release()));
+
+  TableMeta meta;
+  meta.table_id = next_id;
+  meta.name = name;
+  meta.schema = schema;
+  meta.sort_column = sort_column;
+  meta.created_at = clock_->Now();
+  POLARIS_RETURN_IF_ERROR(
+      store_.Put(txn, TableNameKey(name), EncodeTableMeta(meta)));
+  POLARIS_RETURN_IF_ERROR(store_.Put(txn, TableIdKey(next_id), name));
+  return meta;
+}
+
+Status CatalogDb::DropTable(MvccTransaction* txn, const std::string& name) {
+  POLARIS_ASSIGN_OR_RETURN(auto existing, store_.Get(txn, TableNameKey(name)));
+  if (!existing.has_value()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta, DecodeTableMeta(*existing));
+  POLARIS_RETURN_IF_ERROR(store_.Delete(txn, TableNameKey(name)));
+  POLARIS_RETURN_IF_ERROR(store_.Delete(txn, TableIdKey(meta.table_id)));
+  // Manifests/WriteSets/Checkpoints rows are left for the garbage
+  // collector, which owns physical cleanup (paper §5.3).
+  return Status::OK();
+}
+
+Result<TableMeta> CatalogDb::GetTableByName(MvccTransaction* txn,
+                                            const std::string& name) {
+  POLARIS_ASSIGN_OR_RETURN(auto value, store_.Get(txn, TableNameKey(name)));
+  if (!value.has_value()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return DecodeTableMeta(*value);
+}
+
+Result<TableMeta> CatalogDb::GetTableById(MvccTransaction* txn,
+                                          int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto name, store_.Get(txn, TableIdKey(table_id)));
+  if (!name.has_value()) {
+    return Status::NotFound("table id not found: " + std::to_string(table_id));
+  }
+  return GetTableByName(txn, *name);
+}
+
+Result<std::vector<TableMeta>> CatalogDb::ListTables(MvccTransaction* txn) {
+  POLARIS_ASSIGN_OR_RETURN(auto rows, store_.Scan(txn, "tbl/name/"));
+  std::vector<TableMeta> out;
+  out.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    (void)key;
+    POLARIS_ASSIGN_OR_RETURN(TableMeta meta, DecodeTableMeta(value));
+    out.push_back(std::move(meta));
+  }
+  return out;
+}
+
+Result<std::vector<ManifestRecord>> CatalogDb::GetManifests(
+    MvccTransaction* txn, int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto rows,
+                           store_.Scan(txn, ManifestPrefix(table_id)));
+  std::vector<ManifestRecord> out;
+  out.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    ManifestRecord record;
+    record.table_id = table_id;
+    POLARIS_ASSIGN_OR_RETURN(record.sequence_id, ParseKeySequence(key));
+    POLARIS_RETURN_IF_ERROR(DecodeManifestValue(value, &record));
+    out.push_back(std::move(record));
+  }
+  return out;  // scan order == ascending sequence (keys are zero-padded)
+}
+
+Result<std::vector<ManifestRecord>> CatalogDb::GetManifestsAsOf(
+    MvccTransaction* txn, int64_t table_id, common::Micros as_of) {
+  POLARIS_ASSIGN_OR_RETURN(auto all, GetManifests(txn, table_id));
+  std::vector<ManifestRecord> out;
+  for (auto& record : all) {
+    if (record.commit_time <= as_of) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Status CatalogDb::UpsertWriteSet(MvccTransaction* txn, int64_t table_id) {
+  const std::string key = WriteSetTableKey(table_id);
+  POLARIS_ASSIGN_OR_RETURN(auto current, store_.Get(txn, key));
+  int64_t counter = 0;
+  if (current.has_value()) {
+    ByteReader in(*current);
+    POLARIS_RETURN_IF_ERROR(in.GetI64(&counter));
+  }
+  ByteWriter out;
+  out.PutI64(counter + 1);
+  return store_.Put(txn, key, out.Release());
+}
+
+Status CatalogDb::UpsertWriteSetForFile(MvccTransaction* txn,
+                                        int64_t table_id,
+                                        const std::string& data_file_path) {
+  const std::string key = WriteSetFileKey(table_id, data_file_path);
+  POLARIS_ASSIGN_OR_RETURN(auto current, store_.Get(txn, key));
+  int64_t counter = 0;
+  if (current.has_value()) {
+    ByteReader in(*current);
+    POLARIS_RETURN_IF_ERROR(in.GetI64(&counter));
+  }
+  ByteWriter out;
+  out.PutI64(counter + 1);
+  return store_.Put(txn, key, out.Release());
+}
+
+Status CatalogDb::AddCheckpoint(MvccTransaction* txn,
+                                const CheckpointRecord& record) {
+  return store_.Put(txn, CheckpointKey(record.table_id, record.sequence_id),
+                    record.path);
+}
+
+Result<std::optional<CheckpointRecord>> CatalogDb::GetLatestCheckpoint(
+    MvccTransaction* txn, int64_t table_id, uint64_t max_sequence) {
+  POLARIS_ASSIGN_OR_RETURN(auto rows,
+                           store_.Scan(txn, CheckpointPrefix(table_id)));
+  std::optional<CheckpointRecord> best;
+  for (const auto& [key, value] : rows) {
+    POLARIS_ASSIGN_OR_RETURN(uint64_t seq, ParseKeySequence(key));
+    if (seq > max_sequence) break;
+    CheckpointRecord record;
+    record.table_id = table_id;
+    record.sequence_id = seq;
+    record.path = value;
+    best = std::move(record);
+  }
+  return best;
+}
+
+Result<std::vector<CheckpointRecord>> CatalogDb::ListCheckpoints(
+    MvccTransaction* txn, int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto rows,
+                           store_.Scan(txn, CheckpointPrefix(table_id)));
+  std::vector<CheckpointRecord> out;
+  out.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    CheckpointRecord record;
+    record.table_id = table_id;
+    POLARIS_ASSIGN_OR_RETURN(record.sequence_id, ParseKeySequence(key));
+    record.path = value;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<uint64_t> CatalogDb::PurgeDroppedTableRows(MvccTransaction* txn) {
+  uint64_t purged = 0;
+  std::map<int64_t, bool> exists_cache;
+  auto table_exists = [&](int64_t table_id) -> Result<bool> {
+    auto it = exists_cache.find(table_id);
+    if (it != exists_cache.end()) return it->second;
+    POLARIS_ASSIGN_OR_RETURN(auto name, store_.Get(txn, TableIdKey(table_id)));
+    bool exists = name.has_value();
+    exists_cache[table_id] = exists;
+    return exists;
+  };
+  // All three physical-metadata tables key rows as "<prefix><padded id>...".
+  for (const std::string prefix : {"man/", "ckpt/", "ws/"}) {
+    POLARIS_ASSIGN_OR_RETURN(auto rows, store_.Scan(txn, prefix));
+    for (const auto& [key, value] : rows) {
+      (void)value;
+      if (key.size() < prefix.size() + 12) continue;
+      int64_t table_id = 0;
+      bool valid = true;
+      for (size_t i = prefix.size(); i < prefix.size() + 12; ++i) {
+        if (key[i] < '0' || key[i] > '9') {
+          valid = false;
+          break;
+        }
+        table_id = table_id * 10 + (key[i] - '0');
+      }
+      if (!valid) continue;
+      POLARIS_ASSIGN_OR_RETURN(bool exists, table_exists(table_id));
+      if (!exists) {
+        POLARIS_RETURN_IF_ERROR(store_.Delete(txn, key));
+        ++purged;
+      }
+    }
+  }
+  return purged;
+}
+
+Status CatalogDb::Commit(MvccTransaction* txn,
+                         const std::vector<PendingManifest>& pending,
+                         std::vector<ManifestRecord>* assigned) {
+  uint64_t txn_id = txn->id();
+  common::Micros now = clock_->Now();
+  std::vector<ManifestRecord> records;
+  auto hook = [&](MvccStore::CommitContext* ctx) -> Status {
+    // Assign manifest sequence ids in commit order: next = max visible + 1
+    // per table, computed under the commit lock so that even two
+    // non-conflicting committers get distinct, ordered ids.
+    std::map<int64_t, uint64_t> next_seq;
+    for (const auto& manifest : pending) {
+      auto it = next_seq.find(manifest.table_id);
+      if (it == next_seq.end()) {
+        auto rows = ctx->ScanLatest(ManifestPrefix(manifest.table_id));
+        uint64_t max_seq = 0;
+        if (!rows.empty()) {
+          auto seq = ParseKeySequence(rows.back().first);
+          if (!seq.ok()) return seq.status();
+          max_seq = *seq;
+        }
+        it = next_seq.emplace(manifest.table_id, max_seq + 1).first;
+      }
+      ManifestRecord record;
+      record.table_id = manifest.table_id;
+      record.sequence_id = it->second++;
+      record.path = manifest.path;
+      record.txn_id = txn_id;
+      record.commit_time = now;
+      ctx->Write(ManifestKey(record.table_id, record.sequence_id),
+                 EncodeManifestValue(record.path, txn_id, now));
+      records.push_back(std::move(record));
+    }
+    return Status::OK();
+  };
+  POLARIS_RETURN_IF_ERROR(store_.Commit(txn, hook));
+  if (assigned != nullptr) *assigned = std::move(records);
+  return Status::OK();
+}
+
+}  // namespace polaris::catalog

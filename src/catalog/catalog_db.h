@@ -1,0 +1,166 @@
+#ifndef POLARIS_CATALOG_CATALOG_DB_H_
+#define POLARIS_CATALOG_CATALOG_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/mvcc.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "format/schema.h"
+
+namespace polaris::catalog {
+
+/// Logical metadata for one table (the SQL DB catalog entry, paper §2.2).
+struct TableMeta {
+  int64_t table_id = 0;
+  std::string name;
+  format::Schema schema;
+  /// Column each data file's rows are kept sorted by — the partitioning
+  /// function p(r) that gives range predicates zone-map pruning power
+  /// ("Z-Ordering", paper §2.3). Empty = unsorted.
+  std::string sort_column;
+  common::Micros created_at = 0;
+};
+
+/// One row of the Manifests system table (paper Figure 4): a committed
+/// transaction's manifest file for one table.
+struct ManifestRecord {
+  int64_t table_id = 0;
+  /// Order in which snapshot-isolated transactions logically committed.
+  uint64_t sequence_id = 0;
+  /// Object-store path of the manifest blob (GUID-named).
+  std::string path;
+  /// Catalog transaction id of the committing transaction; survives
+  /// restarts and lets GC identify aborted transactions' leftovers.
+  uint64_t txn_id = 0;
+  /// Commit timestamp (drives Query-As-Of / Clone-As-Of).
+  common::Micros commit_time = 0;
+};
+
+/// One row of the Checkpoints system table (paper §5.2).
+struct CheckpointRecord {
+  int64_t table_id = 0;
+  uint64_t sequence_id = 0;
+  std::string path;
+};
+
+/// A manifest insertion staged by a committing user transaction. The
+/// sequence id is assigned inside the commit critical section so that
+/// sequence order == commit order even for non-conflicting transactions.
+struct PendingManifest {
+  int64_t table_id = 0;
+  std::string path;
+};
+
+/// Granularity at which write-write conflicts are detected (paper §4.4.1).
+enum class ConflictGranularity {
+  kTable,
+  kDataFile,
+};
+
+/// The Polaris system catalog: typed access to the logical metadata,
+/// Manifests, WriteSets and Checkpoints tables, all stored in the MVCC
+/// store so that every user transaction's catalog mutations enjoy snapshot
+/// isolation and first-committer-wins conflict detection (paper §3.1, §4.1).
+class CatalogDb {
+ public:
+  explicit CatalogDb(common::Clock* clock) : clock_(clock) {}
+
+  MvccStore* store() { return &store_; }
+  common::Clock* clock() { return clock_; }
+
+  std::unique_ptr<MvccTransaction> Begin(
+      IsolationMode mode = IsolationMode::kSnapshot) {
+    return store_.Begin(mode);
+  }
+
+  // --- Logical metadata (DDL) ---------------------------------------------
+
+  /// Creates a table; fails with AlreadyExists if the name is taken in this
+  /// transaction's snapshot. `sort_column`, when non-empty, must name a
+  /// schema column; data files will keep rows ordered by it (§2.3).
+  common::Result<TableMeta> CreateTable(MvccTransaction* txn,
+                                        const std::string& name,
+                                        const format::Schema& schema,
+                                        const std::string& sort_column = "");
+
+  common::Status DropTable(MvccTransaction* txn, const std::string& name);
+
+  common::Result<TableMeta> GetTableByName(MvccTransaction* txn,
+                                           const std::string& name);
+  common::Result<TableMeta> GetTableById(MvccTransaction* txn,
+                                         int64_t table_id);
+  common::Result<std::vector<TableMeta>> ListTables(MvccTransaction* txn);
+
+  // --- Manifests table ------------------------------------------------------
+
+  /// All committed manifests for `table_id` visible to `txn`, ascending
+  /// sequence order.
+  common::Result<std::vector<ManifestRecord>> GetManifests(
+      MvccTransaction* txn, int64_t table_id);
+
+  /// Manifests with commit_time <= `as_of` (time travel, paper §6.1).
+  common::Result<std::vector<ManifestRecord>> GetManifestsAsOf(
+      MvccTransaction* txn, int64_t table_id, common::Micros as_of);
+
+  // --- WriteSets table ------------------------------------------------------
+
+  /// Records that `txn` updated/deleted in `table_id` (table granularity).
+  /// The upsert is what makes two concurrent updaters of the same table
+  /// conflict at commit (paper §4.1.2 step 1).
+  common::Status UpsertWriteSet(MvccTransaction* txn, int64_t table_id);
+
+  /// File-granularity variant (paper §4.4.1): conflicts only when two
+  /// transactions touch the same data file.
+  common::Status UpsertWriteSetForFile(MvccTransaction* txn, int64_t table_id,
+                                       const std::string& data_file_path);
+
+  // --- Checkpoints table -----------------------------------------------------
+
+  common::Status AddCheckpoint(MvccTransaction* txn,
+                               const CheckpointRecord& record);
+
+  /// Latest checkpoint with sequence_id <= `max_sequence` visible to `txn`.
+  common::Result<std::optional<CheckpointRecord>> GetLatestCheckpoint(
+      MvccTransaction* txn, int64_t table_id, uint64_t max_sequence);
+
+  /// All checkpoints of a table visible to `txn`, ascending sequence.
+  common::Result<std::vector<CheckpointRecord>> ListCheckpoints(
+      MvccTransaction* txn, int64_t table_id);
+
+  /// Deletes Manifests/WriteSets/Checkpoints rows that belong to tables no
+  /// longer present in the logical catalog (dropped tables). Their data
+  /// blobs then become unreferenced and fall to the garbage collector's
+  /// aborted-leftover rule. Returns the number of rows purged.
+  common::Result<uint64_t> PurgeDroppedTableRows(MvccTransaction* txn);
+
+  // --- Commit ----------------------------------------------------------------
+
+  /// Commits the catalog transaction, assigning manifest sequence ids to
+  /// `pending` inside the commit critical section (§4.1.2 steps 2-4).
+  /// On success, `assigned` (if non-null) receives the inserted records.
+  /// Returns Conflict when validation fails; the transaction is rolled
+  /// back and the caller (the transaction manager) discards its files.
+  common::Status Commit(MvccTransaction* txn,
+                        const std::vector<PendingManifest>& pending,
+                        std::vector<ManifestRecord>* assigned = nullptr);
+
+  void Abort(MvccTransaction* txn) { store_.Abort(txn); }
+
+  /// Lowest begin-sequence among active transactions would normally come
+  /// from the transaction manager; the catalog only exposes the latest
+  /// commit sequence.
+  uint64_t LatestCommitSeq() const { return store_.LatestCommitSeq(); }
+
+ private:
+  common::Clock* clock_;
+  MvccStore store_;
+};
+
+}  // namespace polaris::catalog
+
+#endif  // POLARIS_CATALOG_CATALOG_DB_H_

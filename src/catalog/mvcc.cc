@@ -1,0 +1,334 @@
+#include "catalog/mvcc.h"
+
+#include <algorithm>
+
+namespace polaris::catalog {
+
+using common::Result;
+using common::Status;
+
+std::string_view IsolationModeName(IsolationMode mode) {
+  switch (mode) {
+    case IsolationMode::kSnapshot:
+      return "Snapshot";
+    case IsolationMode::kReadCommittedSnapshot:
+      return "ReadCommittedSnapshot";
+    case IsolationMode::kSerializable:
+      return "Serializable";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<MvccTransaction> MvccStore::Begin(IsolationMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn = std::unique_ptr<MvccTransaction>(new MvccTransaction());
+  txn->id_ = next_txn_id_++;
+  txn->begin_seq_ = commit_seq_;
+  txn->mode_ = mode;
+  return txn;
+}
+
+uint64_t MvccStore::ReadSnapshotLocked(const MvccTransaction* txn) const {
+  if (txn->mode_ == IsolationMode::kReadCommittedSnapshot) {
+    return commit_seq_;  // latest committed at each read
+  }
+  return txn->begin_seq_;
+}
+
+std::optional<std::string> MvccStore::GetAtLocked(const std::string& key,
+                                                  uint64_t seq) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  // Versions are appended in commit order; find the newest visible one.
+  for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+    if (v->created_seq <= seq) {
+      if (v->deleted_seq == 0 || v->deleted_seq > seq) return v->value;
+      return std::nullopt;  // newest visible version is a deleted one
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<std::string>> MvccStore::Get(MvccTransaction* txn,
+                                                  const std::string& key) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  auto write = txn->writes_.find(key);
+  if (write != txn->writes_.end()) {
+    return write->second;  // own write (value or tombstone)
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn->mode_ == IsolationMode::kSerializable) {
+    txn->read_keys_.push_back(key);
+  }
+  return GetAtLocked(key, ReadSnapshotLocked(txn));
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> MvccStore::Scan(
+    MvccTransaction* txn, const std::string& prefix) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn->mode_ == IsolationMode::kSerializable) {
+      txn->read_prefixes_.push_back(prefix);
+    }
+    uint64_t seq = ReadSnapshotLocked(txn);
+    for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      auto value = GetAtLocked(it->first, seq);
+      if (value) out.emplace_back(it->first, std::move(*value));
+    }
+  }
+  // Overlay own writes (and drop own deletes).
+  for (auto it = txn->writes_.lower_bound(prefix); it != txn->writes_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    auto pos = std::lower_bound(
+        out.begin(), out.end(), it->first,
+        [](const auto& pair, const std::string& key) {
+          return pair.first < key;
+        });
+    bool exists = pos != out.end() && pos->first == it->first;
+    if (it->second.has_value()) {
+      if (exists) {
+        pos->second = *it->second;
+      } else {
+        out.insert(pos, {it->first, *it->second});
+      }
+    } else if (exists) {
+      out.erase(pos);
+    }
+  }
+  return out;
+}
+
+Status MvccStore::Put(MvccTransaction* txn, const std::string& key,
+                      std::string value) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  txn->writes_[key] = std::move(value);
+  return Status::OK();
+}
+
+Status MvccStore::Delete(MvccTransaction* txn, const std::string& key) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  txn->writes_[key] = std::nullopt;
+  return Status::OK();
+}
+
+std::optional<std::string> MvccStore::CommitContext::ReadLatest(
+    const std::string& key) const {
+  // Called under commit_mu_; mu_ still guards rows_.
+  std::lock_guard<std::mutex> lock(store_->mu_);
+  // Own pending writes win (including hook-added ones).
+  auto write = txn_->writes_.find(key);
+  if (write != txn_->writes_.end()) return write->second;
+  return store_->GetAtLocked(key, store_->commit_seq_);
+}
+
+std::vector<std::pair<std::string, std::string>>
+MvccStore::CommitContext::ScanLatest(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(store_->mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = store_->rows_.lower_bound(prefix); it != store_->rows_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    auto value = store_->GetAtLocked(it->first, store_->commit_seq_);
+    if (value) out.emplace_back(it->first, std::move(*value));
+  }
+  for (auto it = txn_->writes_.lower_bound(prefix); it != txn_->writes_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    auto pos = std::lower_bound(
+        out.begin(), out.end(), it->first,
+        [](const auto& pair, const std::string& key) {
+          return pair.first < key;
+        });
+    bool exists = pos != out.end() && pos->first == it->first;
+    if (it->second.has_value()) {
+      if (exists) {
+        pos->second = *it->second;
+      } else {
+        out.insert(pos, {it->first, *it->second});
+      }
+    } else if (exists) {
+      out.erase(pos);
+    }
+  }
+  return out;
+}
+
+void MvccStore::CommitContext::Write(const std::string& key,
+                                     std::string value) {
+  txn_->writes_[key] = std::move(value);
+}
+
+Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  // The commit lock (§4.1.2 step 2): commits are totally ordered.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+
+  // --- Validation ---------------------------------------------------------
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // First-committer-wins on the write set: if any written key has a
+    // version created or deleted after our snapshot, a concurrent
+    // transaction got there first.
+    for (const auto& [key, value] : txn->writes_) {
+      (void)value;
+      auto it = rows_.find(key);
+      if (it == rows_.end()) continue;
+      for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+        if (v->created_seq > txn->begin_seq_ ||
+            v->deleted_seq > txn->begin_seq_) {
+          txn->finished_ = true;
+          return Status::Conflict("write-write conflict on key: " + key);
+        }
+        // Versions are ordered; once we see one at/below the snapshot we
+        // can stop.
+        if (v->created_seq <= txn->begin_seq_) break;
+      }
+    }
+    if (txn->mode_ == IsolationMode::kSerializable) {
+      auto invalidated = [&](const std::string& key) {
+        auto it = rows_.find(key);
+        if (it == rows_.end()) return false;
+        const Version& last = it->second.back();
+        return last.created_seq > txn->begin_seq_ ||
+               last.deleted_seq > txn->begin_seq_;
+      };
+      for (const auto& key : txn->read_keys_) {
+        if (invalidated(key)) {
+          txn->finished_ = true;
+          return Status::Conflict("serializable read conflict on key: " + key);
+        }
+      }
+      for (const auto& prefix : txn->read_prefixes_) {
+        for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
+          if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+          if (invalidated(it->first)) {
+            txn->finished_ = true;
+            return Status::Conflict("serializable range conflict at key: " +
+                                    it->first);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Commit hook (sequence assignment etc.) ------------------------------
+  uint64_t commit_seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_seq = commit_seq_ + 1;
+  }
+  if (hook) {
+    CommitContext ctx(this, txn, commit_seq);
+    Status st = hook(&ctx);
+    if (!st.ok()) {
+      txn->finished_ = true;
+      return st;
+    }
+  }
+
+  // --- Install -------------------------------------------------------------
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_seq_ = commit_seq;
+    for (auto& [key, value] : txn->writes_) {
+      auto& chain = rows_[key];
+      if (!chain.empty() && chain.back().deleted_seq == 0) {
+        chain.back().deleted_seq = commit_seq;
+      }
+      if (value.has_value()) {
+        Version v;
+        v.value = std::move(*value);
+        v.created_seq = commit_seq;
+        chain.push_back(std::move(v));
+      } else if (chain.empty()) {
+        rows_.erase(key);  // delete of a never-existing key: no-op
+      }
+    }
+  }
+  txn->finished_ = true;
+  return Status::OK();
+}
+
+void MvccStore::Abort(MvccTransaction* txn) {
+  txn->writes_.clear();
+  txn->finished_ = true;
+}
+
+uint64_t MvccStore::LatestCommitSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_seq_;
+}
+
+uint64_t MvccStore::Vacuum(uint64_t horizon_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t removed = 0;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    auto& chain = it->second;
+    size_t before = chain.size();
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const Version& v) {
+                                 return v.deleted_seq != 0 &&
+                                        v.deleted_seq <= horizon_seq;
+                               }),
+                chain.end());
+    removed += before - chain.size();
+    if (chain.empty()) {
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<std::string, std::string>> MvccStore::ExportLatest()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, chain] : rows_) {
+    if (!chain.empty() && chain.back().deleted_seq == 0) {
+      out.emplace_back(key, chain.back().value);
+    }
+  }
+  return out;
+}
+
+void MvccStore::ImportSnapshot(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+  for (const auto& [key, value] : rows) {
+    Version v;
+    v.value = value;
+    v.created_seq = 1;
+    rows_[key].push_back(std::move(v));
+  }
+  commit_seq_ = 1;
+}
+
+uint64_t MvccStore::LiveKeyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [key, chain] : rows_) {
+    (void)key;
+    if (!chain.empty() && chain.back().deleted_seq == 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace polaris::catalog

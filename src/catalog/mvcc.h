@@ -1,0 +1,180 @@
+#ifndef POLARIS_CATALOG_MVCC_H_
+#define POLARIS_CATALOG_MVCC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace polaris::catalog {
+
+/// Isolation level of a catalog transaction. Polaris runs each user
+/// transaction's logical-metadata mutations inside one catalog transaction;
+/// the catalog's isolation is what gives the user transaction its
+/// semantics (paper §4.1, §4.4.2).
+enum class IsolationMode {
+  /// Reads see the snapshot as of Begin; writes use first-committer-wins.
+  kSnapshot,
+  /// Reads see the latest committed state at each statement; writes use
+  /// first-committer-wins. (Approximates SQL Server RCSI, which resolves
+  /// write conflicts by blocking rather than aborting.)
+  kReadCommittedSnapshot,
+  /// Snapshot reads + commit-time validation of the read set, rejecting
+  /// any interleaving that is not serializable (SSI-style validation).
+  kSerializable,
+};
+
+std::string_view IsolationModeName(IsolationMode mode);
+
+/// Handle for one in-flight catalog transaction. Created by
+/// MvccStore::Begin; all reads/writes go through the store.
+class MvccTransaction {
+ public:
+  uint64_t id() const { return id_; }
+  uint64_t begin_seq() const { return begin_seq_; }
+  IsolationMode mode() const { return mode_; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class MvccStore;
+
+  uint64_t id_ = 0;
+  uint64_t begin_seq_ = 0;
+  IsolationMode mode_ = IsolationMode::kSnapshot;
+  bool finished_ = false;
+  /// Buffered writes: key -> new value, or nullopt for a delete.
+  std::map<std::string, std::optional<std::string>> writes_;
+  /// Read-set tracking for serializable validation.
+  std::vector<std::string> read_keys_;
+  std::vector<std::string> read_prefixes_;
+};
+
+/// An in-memory multi-version key-value store with snapshot-isolated
+/// transactions — the SQL DB substitute backing the Polaris system catalog
+/// (Manifests, WriteSets, Checkpoints, and logical metadata).
+///
+/// Semantics:
+///  * Every committed version carries the commit sequence that created it
+///    and (once superseded/deleted) the commit sequence that ended it.
+///  * A snapshot `S` sees version `v` iff `v.created_seq <= S` and
+///    (`v.deleted_seq == 0` or `v.deleted_seq > S`).
+///  * Commit takes the process-wide commit lock (the paper's §4.1.2
+///    step 2), validates first-committer-wins on the write set, optionally
+///    validates the read set (serializable), then installs all writes at
+///    the next commit sequence atomically.
+///
+/// Thread-safe. Transactions themselves must not be shared across threads.
+class MvccStore {
+ public:
+  MvccStore() = default;
+
+  MvccStore(const MvccStore&) = delete;
+  MvccStore& operator=(const MvccStore&) = delete;
+
+  std::unique_ptr<MvccTransaction> Begin(
+      IsolationMode mode = IsolationMode::kSnapshot);
+
+  /// Reads `key` as seen by `txn` (own writes win, then snapshot rules).
+  /// Returns nullopt when not visible.
+  common::Result<std::optional<std::string>> Get(MvccTransaction* txn,
+                                                 const std::string& key);
+
+  /// Ordered scan of all visible keys with the given prefix.
+  common::Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      MvccTransaction* txn, const std::string& prefix);
+
+  /// Buffers a put/upsert (visible to this txn's later reads immediately).
+  common::Status Put(MvccTransaction* txn, const std::string& key,
+                     std::string value);
+
+  /// Buffers a delete.
+  common::Status Delete(MvccTransaction* txn, const std::string& key);
+
+  /// Commit-time hook context: runs under the commit lock, after write
+  /// validation, *before* the writes are installed. It can read the latest
+  /// committed state and add more writes — Polaris uses this to assign
+  /// manifest sequence ids in commit order.
+  class CommitContext {
+   public:
+    /// Latest committed value of `key` (ignores the txn snapshot).
+    std::optional<std::string> ReadLatest(const std::string& key) const;
+    /// Latest committed values with `prefix`, ordered by key.
+    std::vector<std::pair<std::string, std::string>> ScanLatest(
+        const std::string& prefix) const;
+    /// Adds a write installed together with the transaction.
+    void Write(const std::string& key, std::string value);
+    /// The commit sequence this transaction will commit at.
+    uint64_t commit_seq() const { return commit_seq_; }
+
+   private:
+    friend class MvccStore;
+    CommitContext(MvccStore* store, MvccTransaction* txn, uint64_t seq)
+        : store_(store), txn_(txn), commit_seq_(seq) {}
+    MvccStore* store_;
+    MvccTransaction* txn_;
+    uint64_t commit_seq_;
+  };
+
+  using CommitHook = std::function<common::Status(CommitContext*)>;
+
+  /// Validates and commits. Returns Conflict if another transaction
+  /// committed a conflicting write (or, in serializable mode, invalidated
+  /// the read set) since `txn` began. On any failure the transaction is
+  /// finished and its writes are discarded.
+  common::Status Commit(MvccTransaction* txn, const CommitHook& hook = {});
+
+  /// Discards the transaction's buffered writes.
+  void Abort(MvccTransaction* txn);
+
+  uint64_t LatestCommitSeq() const;
+
+  /// Removes version-chain entries that ended at or before `horizon_seq`
+  /// and are not the only remaining version. Returns versions removed.
+  uint64_t Vacuum(uint64_t horizon_seq);
+
+  /// Number of live keys at the latest snapshot (testing aid).
+  uint64_t LiveKeyCount() const;
+
+  /// Exports all live key-value pairs at the latest committed snapshot.
+  /// Basis of zero-data-copy Backup (paper §6.3): the catalog rows are the
+  /// only thing a backup needs to copy.
+  std::vector<std::pair<std::string, std::string>> ExportLatest() const;
+
+  /// Replaces the entire store contents with `rows`, as a single committed
+  /// version. Must not run concurrently with any transaction; the caller
+  /// (engine Restore) enforces quiescence.
+  void ImportSnapshot(
+      const std::vector<std::pair<std::string, std::string>>& rows);
+
+ private:
+  struct Version {
+    std::string value;
+    uint64_t created_seq = 0;
+    uint64_t deleted_seq = 0;  // 0 = still live
+  };
+
+  /// Returns the visible value of `key` at snapshot `seq` (no txn overlay).
+  std::optional<std::string> GetAtLocked(const std::string& key,
+                                         uint64_t seq) const;
+
+  /// Effective snapshot for a read by `txn` (RCSI refreshes per read).
+  uint64_t ReadSnapshotLocked(const MvccTransaction* txn) const;
+
+  mutable std::mutex mu_;
+  std::mutex commit_mu_;  // the commit lock; acquired before mu_
+  std::map<std::string, std::vector<Version>> rows_;
+  uint64_t commit_seq_ = 0;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace polaris::catalog
+
+#endif  // POLARIS_CATALOG_MVCC_H_

@@ -1,0 +1,38 @@
+#include "common/bytes.h"
+
+namespace polaris::common {
+
+Status ByteReader::GetVarint(uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 64) {
+      return Status::Corruption("varint too long");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = result;
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* s) {
+  uint64_t len;
+  POLARIS_RETURN_IF_ERROR(GetVarint(&len));
+  if (remaining() < len) {
+    return Status::Corruption("truncated string of length " +
+                              std::to_string(len));
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::GetRaw(void* out, size_t n) { return GetFixed(out, n); }
+
+}  // namespace polaris::common

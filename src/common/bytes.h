@@ -1,0 +1,94 @@
+#ifndef POLARIS_COMMON_BYTES_H_
+#define POLARIS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace polaris::common {
+
+/// Append-only binary encoder used for all on-"disk" structures (manifest
+/// entries, columnar file pages, checkpoints). Little-endian fixed-width
+/// integers plus LEB128 varints and length-prefixed strings.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Sequential binary decoder over a byte range. All getters return a
+/// Corruption status on truncated input rather than crashing, so that a
+/// damaged blob surfaces as an error at the storage boundary.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetFixed(v, sizeof(*v)); }
+
+  Status GetVarint(uint64_t* v);
+  Status GetString(std::string* s);
+  Status GetRaw(void* out, size_t n);
+
+  /// Bytes remaining after the cursor.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status GetFixed(void* out, size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("truncated input: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(remaining()));
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_BYTES_H_

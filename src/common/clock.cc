@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace polaris::common {
+
+void SimClock::AdvanceTo(Micros t) {
+  Micros cur = now_.load(std::memory_order_relaxed);
+  while (t > cur &&
+         !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+  }
+}
+
+Micros SystemClock::Now() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace polaris::common

@@ -1,0 +1,55 @@
+#ifndef POLARIS_COMMON_CLOCK_H_
+#define POLARIS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace polaris::common {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+/// Clock abstraction. The engine never reads wall-clock time directly;
+/// everything (transaction begin timestamps, file creation stamps used by
+/// garbage collection, retention windows, benchmark cost accounting) goes
+/// through a Clock so that tests and the benchmark harness can run on
+/// deterministic virtual time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds. Must be monotonically non-decreasing.
+  virtual Micros Now() = 0;
+  /// Advances time by `delta` microseconds (no-op on real clocks).
+  virtual void Advance(Micros delta) = 0;
+};
+
+/// Deterministic virtual clock. `Now()` returns the simulated time;
+/// `Advance` moves it forward. Thread-safe.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Micros start = 0) : now_(start) {}
+
+  Micros Now() override { return now_.load(std::memory_order_relaxed); }
+
+  void Advance(Micros delta) override {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Moves the clock to `t` if `t` is in the future; otherwise no-op.
+  void AdvanceTo(Micros t);
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock. `Advance` sleeps are not
+/// supported and are ignored.
+class SystemClock : public Clock {
+ public:
+  Micros Now() override;
+  void Advance(Micros) override {}
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_CLOCK_H_

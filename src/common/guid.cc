@@ -1,0 +1,80 @@
+#include "common/guid.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace polaris::common {
+
+namespace {
+
+// SplitMix64: fast, well-distributed; seeded once per process from the
+// system entropy source plus a counter to guarantee uniqueness even if
+// entropy repeats across forked processes.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::atomic<uint64_t> g_counter{0};
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    uint64_t s = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    s ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return s;
+  }();
+  return seed;
+}
+
+}  // namespace
+
+Guid Guid::Generate() {
+  uint64_t state =
+      ProcessSeed() + g_counter.fetch_add(1, std::memory_order_relaxed) *
+                          0x9e3779b97f4a7c15ULL;
+  Guid g;
+  g.hi = SplitMix64(state);
+  g.lo = SplitMix64(state);
+  if (g.IsNil()) g.lo = 1;  // Never produce the nil GUID.
+  return g;
+}
+
+std::string Guid::ToString() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016lx%016lx",
+                static_cast<unsigned long>(hi),
+                static_cast<unsigned long>(lo));
+  return std::string(buf, 32);
+}
+
+bool Guid::Parse(const std::string& text, Guid* out) {
+  if (text.size() != 32) return false;
+  uint64_t parts[2] = {0, 0};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      char c = text[p * 16 + i];
+      uint64_t v;
+      if (c >= '0' && c <= '9') {
+        v = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v = static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v = static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      parts[p] = (parts[p] << 4) | v;
+    }
+  }
+  out->hi = parts[0];
+  out->lo = parts[1];
+  return true;
+}
+
+}  // namespace polaris::common

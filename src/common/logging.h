@@ -1,0 +1,49 @@
+#ifndef POLARIS_COMMON_LOGGING_H_
+#define POLARIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace polaris::common {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Tests set kOff (or kWarn) to keep output clean; examples use kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr: "[level] component: message".
+void LogMessage(LogLevel level, const std::string& component,
+                const std::string& message);
+
+namespace internal {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { LogMessage(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace polaris::common
+
+#define POLARIS_LOG(level, component)                                      \
+  if (::polaris::common::GetLogLevel() <= ::polaris::common::LogLevel::level) \
+  ::polaris::common::internal::LogStream(                                  \
+      ::polaris::common::LogLevel::level, (component))
+
+#endif  // POLARIS_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+#ifndef POLARIS_COMMON_RANDOM_H_
+#define POLARIS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace polaris::common {
+
+/// Deterministic xorshift128+ RNG. Used by workload generators and fault
+/// injection so that tests and benchmarks are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    auto mix = [](uint64_t& s) {
+      uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    uint64_t s = seed;
+    s0_ = mix(s);
+    s1_ = mix(s);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_RANDOM_H_

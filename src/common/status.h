@@ -1,0 +1,128 @@
+#ifndef POLARIS_COMMON_STATUS_H_
+#define POLARIS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace polaris::common {
+
+/// Error categories used across the engine. Modeled after the
+/// RocksDB/Arrow status idiom: cheap to pass around, no exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kIOError,
+  /// Transaction-level conflict (write-write, commit validation failure).
+  /// Callers are expected to retry the transaction.
+  kConflict,
+  /// Transient infrastructure failure (node loss, storage throttling).
+  /// The DCP retries tasks that fail with this code.
+  kUnavailable,
+  kCorruption,
+  kFailedPrecondition,
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Conflict", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus an optional message. `Status::OK()`
+/// carries no allocation. All fallible public APIs in this codebase return
+/// `Status` or `Result<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Conflict: write-write conflict on table 7" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace polaris::common
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define POLARIS_RETURN_IF_ERROR(expr)                        \
+  do {                                                       \
+    ::polaris::common::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                               \
+  } while (false)
+
+#define POLARIS_CONCAT_IMPL(a, b) a##b
+#define POLARIS_CONCAT(a, b) POLARIS_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise returns the error status from the enclosing function.
+#define POLARIS_ASSIGN_OR_RETURN(lhs, expr)                            \
+  POLARIS_ASSIGN_OR_RETURN_IMPL(POLARIS_CONCAT(_res_, __LINE__), lhs,  \
+                                expr)
+
+#define POLARIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // POLARIS_COMMON_STATUS_H_

@@ -1,0 +1,68 @@
+#ifndef POLARIS_DCP_TASK_H_
+#define POLARIS_DCP_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dcp/cost_model.h"
+
+namespace polaris::dcp {
+
+/// Execution context handed to a task's work function.
+struct TaskContext {
+  /// Node the scheduler placed this task on (0-based within the pool).
+  uint32_t node_id = 0;
+  /// 1-based attempt number; > 1 after a retry. Work functions must
+  /// generate fresh GUIDs per attempt so that abandoned attempts' outputs
+  /// are never referenced (paper §3.2.2).
+  uint32_t attempt = 1;
+};
+
+/// A unit of distributed work: the packaging of data (a disjoint set of
+/// cells) and processing that the DCP moves across compute nodes and
+/// restarts at task granularity (paper §1).
+struct Task {
+  /// Index within the DAG; also its identifier.
+  uint64_t id = 0;
+  /// Display label ("scan", "insert", "agg-partial", ...).
+  std::string kind;
+  /// Declared resource footprint for the cost model. Used by the elastic
+  /// allocator to size the topology *before* execution (the plan-time
+  /// estimate).
+  TaskCost cost;
+  /// Optional slot the work function fills with the resources actually
+  /// consumed (e.g. a scan that skipped row groups via zone maps reads
+  /// less than declared). When set, the virtual-time schedule uses it
+  /// instead of the estimate — allocation stays estimate-driven, execution
+  /// time reflects real work.
+  std::shared_ptr<TaskCost> measured_cost;
+  /// Cells (distribution buckets) this task covers. Tasks of one DML
+  /// statement target disjoint cell sets, giving write isolation (§4.3).
+  std::vector<uint32_t> cells;
+  /// The actual work. Must be safe to re-execute on retry. A Status of
+  /// Unavailable triggers a retry; other errors fail the job.
+  std::function<common::Status(const TaskContext&)> work;
+  /// IDs of tasks that must complete before this one starts.
+  std::vector<uint64_t> depends_on;
+};
+
+/// A workflow DAG of tasks (paper §1: "a task-level workflow-DAG that
+/// represents inter-task dependencies efficiently").
+struct TaskDag {
+  std::vector<Task> tasks;
+
+  /// Appends a task, assigning its id. Returns the id.
+  uint64_t Add(Task task) {
+    task.id = tasks.size();
+    tasks.push_back(std::move(task));
+    return tasks.size() - 1;
+  }
+};
+
+}  // namespace polaris::dcp
+
+#endif  // POLARIS_DCP_TASK_H_

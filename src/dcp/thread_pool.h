@@ -1,0 +1,47 @@
+#ifndef POLARIS_DCP_THREAD_POOL_H_
+#define POLARIS_DCP_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polaris::dcp {
+
+/// Minimal fixed-size thread pool. The DCP uses it to actually run task
+/// work functions concurrently (exercising the thread-safety of the
+/// storage/catalog layers); scheduling *decisions* and reported timings
+/// come from the deterministic virtual-time scheduler, not from the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `work`; runs on some pool thread.
+  void Submit(std::function<void()> work);
+
+  /// Blocks until all submitted work has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace polaris::dcp
+
+#endif  // POLARIS_DCP_THREAD_POOL_H_

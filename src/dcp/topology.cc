@@ -1,0 +1,30 @@
+#include "dcp/topology.h"
+
+namespace polaris::dcp {
+
+Topology Topology::SingleElasticPool(uint32_t max_nodes) {
+  Topology topo;
+  NodePool pool;
+  pool.name = "default";
+  pool.mode = AllocationMode::kElastic;
+  pool.max_nodes = max_nodes;
+  topo.pools[pool.name] = pool;
+  return topo;
+}
+
+Topology Topology::ReadWritePools(uint32_t read_max, uint32_t write_max) {
+  Topology topo;
+  NodePool read;
+  read.name = "read";
+  read.mode = AllocationMode::kElastic;
+  read.max_nodes = read_max;
+  topo.pools[read.name] = read;
+  NodePool write;
+  write.name = "write";
+  write.mode = AllocationMode::kElastic;
+  write.max_nodes = write_max;
+  topo.pools[write.name] = write;
+  return topo;
+}
+
+}  // namespace polaris::dcp

@@ -1,0 +1,72 @@
+#ifndef POLARIS_DCP_TOPOLOGY_H_
+#define POLARIS_DCP_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dcp/cost_model.h"
+
+namespace polaris::dcp {
+
+/// Resource-allocation mode for a pool (paper §1 objective 1, §7.1).
+enum class AllocationMode {
+  /// Fixed capacity: every job runs on exactly `node_count` nodes
+  /// (previous-generation Synapse SQL DW model).
+  kFixed,
+  /// Elastic/serverless: per-job node count is chosen by the cost-based
+  /// allocator, unbounded above (Fabric DW model). Cost is charged as
+  /// resources x time, so bigger topologies don't cost more overall.
+  kElastic,
+};
+
+/// One named pool of compute nodes. Polaris' workload management isolates
+/// read and write workloads on separate pools (paper §4.3 "Workload
+/// Separation").
+struct NodePool {
+  std::string name;
+  AllocationMode mode = AllocationMode::kElastic;
+  /// Capacity for kFixed; ignored for kElastic.
+  uint32_t node_count = 4;
+  /// Upper bound for kElastic (0 = unbounded).
+  uint32_t max_nodes = 0;
+};
+
+/// Cost-based elastic allocator: chooses how many nodes a job gets.
+struct ElasticAllocator {
+  /// Target virtual compute per node — the allocator sizes the topology so
+  /// each node gets roughly this much work.
+  common::Micros target_micros_per_node = 2'000'000;
+
+  /// Decides the node count for a job with total virtual compute
+  /// `total_micros`, at most `max_parallelism` usable nodes (e.g. the
+  /// number of source files for a load — Polaris does not parallelize
+  /// within a source file, §7.1).
+  uint32_t NodesFor(common::Micros total_micros,
+                    uint32_t max_parallelism) const {
+    if (max_parallelism == 0) max_parallelism = 1;
+    auto nodes = static_cast<uint32_t>(
+        (total_micros + target_micros_per_node - 1) / target_micros_per_node);
+    if (nodes == 0) nodes = 1;
+    return nodes < max_parallelism ? nodes : max_parallelism;
+  }
+};
+
+/// The compute topology: named pools plus the allocator and cost model
+/// shared by all schedulers.
+struct Topology {
+  std::map<std::string, NodePool> pools;
+  ElasticAllocator allocator;
+  CostModel cost_model;
+
+  /// Convenience: a topology with one elastic "default" pool.
+  static Topology SingleElasticPool(uint32_t max_nodes = 0);
+
+  /// Read/write separated pools ("read" elastic, "write" elastic).
+  static Topology ReadWritePools(uint32_t read_max = 0,
+                                 uint32_t write_max = 0);
+};
+
+}  // namespace polaris::dcp
+
+#endif  // POLARIS_DCP_TOPOLOGY_H_

@@ -1,0 +1,441 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace polaris::engine {
+
+using catalog::IsolationMode;
+using catalog::TableMeta;
+using common::Result;
+using common::Status;
+using format::RecordBatch;
+
+namespace {
+/// Aligns dependent sub-option defaults with the top-level options.
+EngineOptions NormalizeOptions(EngineOptions options) {
+  options.sto_options.file_options = options.file_options;
+  return options;
+}
+}  // namespace
+
+PolarisEngine::PolarisEngine(EngineOptions options,
+                             storage::ObjectStore* store,
+                             common::Clock* clock)
+    : options_(NormalizeOptions(options)),
+      owned_clock_(clock != nullptr
+                       ? nullptr
+                       : std::make_unique<common::SimClock>(1'000'000)),
+      clock_(clock != nullptr ? clock : owned_clock_.get()),
+      owned_store_(store != nullptr
+                       ? nullptr
+                       : std::make_unique<storage::MemoryObjectStore>(clock_)),
+      store_(store != nullptr ? store : owned_store_.get()),
+      catalog_(clock_),
+      builder_(store_),
+      cache_(store_, options_.cache_capacity),
+      topology_(dcp::Topology::ReadWritePools(options_.read_pool_max_nodes,
+                                              options_.write_pool_max_nodes)),
+      scheduler_(&topology_, options_.worker_threads),
+      txn_manager_(&catalog_, store_, &builder_, clock_,
+                   options_.txn_options),
+      sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options) {}
+
+EngineStats PolarisEngine::Stats() {
+  EngineStats stats;
+  if (owned_store_ != nullptr) stats.store = owned_store_->stats();
+  stats.cache = cache_.stats();
+  stats.snapshot_cache = builder_.cache_stats();
+  stats.active_transactions = txn_manager_.active_transactions();
+  stats.catalog_commit_seq = catalog_.LatestCommitSeq();
+  stats.catalog_live_keys = catalog_.store()->LiveKeyCount();
+  auto txn = catalog_.Begin();
+  auto tables = catalog_.ListTables(txn.get());
+  catalog_.Abort(txn.get());
+  if (tables.ok()) stats.tables = tables->size();
+  return stats;
+}
+
+Result<std::unique_ptr<txn::Transaction>> PolarisEngine::Begin(
+    IsolationMode mode) {
+  return txn_manager_.Begin(mode);
+}
+
+Status PolarisEngine::Commit(txn::Transaction* txn) {
+  std::vector<int64_t> dirty = txn->dirty_tables();
+  POLARIS_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+  // FE notifies STO after each commit (§5.2).
+  for (int64_t table_id : dirty) sto_.OnCommit(table_id);
+  return Status::OK();
+}
+
+Status PolarisEngine::Abort(txn::Transaction* txn) {
+  return txn_manager_.Abort(txn);
+}
+
+Status PolarisEngine::RunInTransaction(
+    const std::function<Status(txn::Transaction*)>& body, IsolationMode mode,
+    int max_attempts) {
+  Status last = Status::Internal("RunInTransaction: no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    POLARIS_ASSIGN_OR_RETURN(auto txn, Begin(mode));
+    Status st = body(txn.get());
+    if (!st.ok()) {
+      if (!txn->finished()) (void)Abort(txn.get());
+      if (st.IsConflict()) {
+        last = st;
+        continue;  // optimistic retry (§3)
+      }
+      return st;
+    }
+    st = Commit(txn.get());
+    if (st.ok()) return st;
+    if (!st.IsConflict()) return st;
+    last = st;
+  }
+  return last;
+}
+
+Result<TableMeta> PolarisEngine::CreateTable(const std::string& name,
+                                             const format::Schema& schema,
+                                             const std::string& sort_column) {
+  TableMeta meta;
+  POLARIS_RETURN_IF_ERROR(RunInTransaction([&](txn::Transaction* txn) {
+    POLARIS_ASSIGN_OR_RETURN(
+        meta, catalog_.CreateTable(txn->catalog_txn(), name, schema,
+                                   sort_column));
+    return Status::OK();
+  }));
+  return meta;
+}
+
+Status PolarisEngine::DropTable(const std::string& name) {
+  return RunInTransaction([&](txn::Transaction* txn) {
+    return catalog_.DropTable(txn->catalog_txn(), name);
+  });
+}
+
+Result<TableMeta> PolarisEngine::GetTable(const std::string& name) {
+  auto txn = catalog_.Begin();
+  auto meta = catalog_.GetTableByName(txn.get(), name);
+  catalog_.Abort(txn.get());
+  return meta;
+}
+
+exec::DmlContext PolarisEngine::MakeDmlContext(
+    const TableMeta& meta, const std::string& manifest_path) {
+  exec::DmlContext ctx;
+  ctx.store = store_;
+  ctx.cache = &cache_;
+  ctx.scheduler = &scheduler_;
+  ctx.pool = "write";
+  ctx.table_id = meta.table_id;
+  ctx.schema = meta.schema;
+  ctx.manifest_path = manifest_path;
+  ctx.num_cells = options_.num_cells;
+  ctx.distribution_column = options_.distribution_column;
+  ctx.sort_column = meta.sort_column.empty()
+                        ? -1
+                        : meta.schema.FindColumn(meta.sort_column);
+  ctx.file_options = options_.file_options;
+  ctx.cost_scale = options_.cost_scale;
+  return ctx;
+}
+
+Result<uint64_t> PolarisEngine::Insert(txn::Transaction* txn,
+                                       const std::string& table,
+                                       const RecordBatch& rows) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
+                           txn_manager_.PrepareWrite(txn, meta.table_id));
+  exec::DmlContext ctx = MakeDmlContext(meta, manifest_path);
+  POLARIS_ASSIGN_OR_RETURN(exec::WriteResult result,
+                           exec::InsertExecutor::Run(ctx, rows));
+  POLARIS_RETURN_IF_ERROR(
+      txn_manager_.FinishInsertStatement(txn, meta.table_id, result));
+  return result.rows_affected;
+}
+
+Result<uint64_t> PolarisEngine::BulkLoad(
+    txn::Transaction* txn, const std::string& table,
+    const std::vector<RecordBatch>& sources, dcp::JobMetrics* job) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
+                           txn_manager_.PrepareWrite(txn, meta.table_id));
+  exec::DmlContext ctx = MakeDmlContext(meta, manifest_path);
+  POLARIS_ASSIGN_OR_RETURN(exec::WriteResult result,
+                           exec::InsertExecutor::RunSources(ctx, sources));
+  POLARIS_RETURN_IF_ERROR(
+      txn_manager_.FinishInsertStatement(txn, meta.table_id, result));
+  if (job != nullptr) *job = result.job;
+  return result.rows_affected;
+}
+
+Result<uint64_t> PolarisEngine::Delete(txn::Transaction* txn,
+                                       const std::string& table,
+                                       const exec::Conjunction& filter) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
+                           txn_manager_.PrepareWrite(txn, meta.table_id));
+  POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot snapshot,
+                           txn_manager_.GetSnapshot(txn, meta.table_id));
+  exec::DmlContext ctx = MakeDmlContext(meta, manifest_path);
+  POLARIS_ASSIGN_OR_RETURN(exec::WriteResult result,
+                           exec::DeleteExecutor::Run(ctx, snapshot, filter));
+  if (result.rows_affected == 0) return uint64_t{0};
+  POLARIS_RETURN_IF_ERROR(
+      txn_manager_.FinishMutationStatement(txn, meta.table_id, result));
+  return result.rows_affected;
+}
+
+Result<uint64_t> PolarisEngine::Update(
+    txn::Transaction* txn, const std::string& table,
+    const exec::Conjunction& filter,
+    const std::vector<exec::Assignment>& set) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
+                           txn_manager_.PrepareWrite(txn, meta.table_id));
+  POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot snapshot,
+                           txn_manager_.GetSnapshot(txn, meta.table_id));
+  exec::DmlContext ctx = MakeDmlContext(meta, manifest_path);
+  POLARIS_ASSIGN_OR_RETURN(
+      exec::WriteResult result,
+      exec::UpdateExecutor::Run(ctx, snapshot, filter, set));
+  if (result.rows_affected == 0) return uint64_t{0};
+  POLARIS_RETURN_IF_ERROR(
+      txn_manager_.FinishMutationStatement(txn, meta.table_id, result));
+  return result.rows_affected;
+}
+
+Result<RecordBatch> PolarisEngine::DistributedScan(
+    const lst::TableSnapshot& snapshot, const TableMeta& meta,
+    const QuerySpec& spec, QueryStats* stats) {
+  if (stats != nullptr) stats->cache_before = cache_.stats();
+
+  // Effective scan projection: explicit projection, or — for aggregate
+  // queries — the union of group-by and aggregate input columns.
+  std::vector<std::string> scan_projection = spec.projection;
+  if (!spec.aggregates.empty()) {
+    scan_projection = spec.group_by;
+    for (const auto& agg : spec.aggregates) {
+      if (agg.column.empty()) continue;
+      if (std::find(scan_projection.begin(), scan_projection.end(),
+                    agg.column) == scan_projection.end()) {
+        scan_projection.push_back(agg.column);
+      }
+    }
+    // COUNT(*)-only queries still need at least one physical column.
+    if (scan_projection.empty() && meta.schema.num_columns() > 0) {
+      scan_projection.push_back(meta.schema.column(0).name);
+    }
+  }
+  // Typed output schema for the scan stage.
+  std::vector<format::ColumnDesc> scan_descs;
+  if (scan_projection.empty()) {
+    scan_descs = meta.schema.columns();
+  } else {
+    for (const auto& name : scan_projection) {
+      int idx = meta.schema.FindColumn(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column: " + name);
+      }
+      scan_descs.push_back(meta.schema.column(idx));
+    }
+  }
+
+  // One scan task per cell group, on the read pool.
+  std::map<uint32_t, lst::TableSnapshot> groups;
+  for (const auto& [path, state] : snapshot.files()) {
+    (void)path;
+    groups[state.info.cell_id].InsertFile(state);
+  }
+  struct Slot {
+    RecordBatch batch;
+    exec::ScanMetrics metrics;
+  };
+  std::vector<Slot> slots(groups.size());
+  std::mutex slots_mu;
+  dcp::TaskDag dag;
+  size_t idx = 0;
+  for (auto& [cell, group] : groups) {
+    dcp::Task task;
+    task.kind = "scan";
+    task.cells = {cell};
+    for (const auto& [path, state] : group.files()) {
+      (void)path;
+      task.cost.input_bytes += state.info.byte_size * options_.cost_scale;
+      task.cost.rows += state.info.row_count * options_.cost_scale;
+      task.cost.files_touched += 1;
+    }
+    const lst::TableSnapshot* group_ptr = &group;
+    size_t my_slot = idx++;
+    // Average declared bytes per row in this group, used to convert the
+    // scan's *measured* row counts back into cost-model bytes.
+    uint64_t bytes_per_row =
+        task.cost.rows > 0 ? std::max<uint64_t>(
+                                 task.cost.input_bytes / task.cost.rows, 1)
+                           : 1;
+    task.measured_cost = std::make_shared<dcp::TaskCost>(task.cost);
+    auto measured = task.measured_cost;
+    task.work = [this, group_ptr, &scan_projection, &spec, &slots, &slots_mu,
+                 my_slot, measured,
+                 bytes_per_row](const dcp::TaskContext&) -> Status {
+      exec::TableScanner scanner(&cache_, group_ptr);
+      exec::ScanOptions options;
+      options.projection = scan_projection;
+      options.filter = spec.filter;
+      exec::ScanMetrics metrics;
+      POLARIS_ASSIGN_OR_RETURN(RecordBatch batch,
+                               scanner.ScanAll(options, &metrics));
+      // Report what the scan actually touched: row groups skipped by zone
+      // maps were never read, so selective queries cost less virtual time.
+      measured->rows = metrics.rows_read * options_.cost_scale;
+      measured->input_bytes =
+          metrics.rows_read * bytes_per_row * options_.cost_scale;
+      measured->output_bytes =
+          metrics.rows_output * bytes_per_row * options_.cost_scale / 4;
+      measured->files_touched = static_cast<uint32_t>(metrics.files_scanned);
+      std::lock_guard<std::mutex> lock(slots_mu);
+      slots[my_slot] = Slot{std::move(batch), metrics};
+      return Status::OK();
+    };
+    dag.Add(std::move(task));
+  }
+
+  POLARIS_ASSIGN_OR_RETURN(dcp::JobMetrics job,
+                           scheduler_.Run(dag, "read"));
+
+  RecordBatch all{format::Schema(scan_descs)};
+  exec::ScanMetrics total_metrics;
+  for (auto& slot : slots) {
+    if (slot.batch.num_columns() > 0) {
+      POLARIS_RETURN_IF_ERROR(all.Append(slot.batch));
+    }
+    total_metrics.files_scanned += slot.metrics.files_scanned;
+    total_metrics.row_groups_read += slot.metrics.row_groups_read;
+    total_metrics.row_groups_skipped += slot.metrics.row_groups_skipped;
+    total_metrics.rows_read += slot.metrics.rows_read;
+    total_metrics.rows_dv_filtered += slot.metrics.rows_dv_filtered;
+    total_metrics.rows_output += slot.metrics.rows_output;
+  }
+  if (stats != nullptr) {
+    stats->job = job;
+    stats->scan = total_metrics;
+    stats->cache_after = cache_.stats();
+  }
+  if (!spec.aggregates.empty()) {
+    return exec::HashAggregate(all, spec.group_by, spec.aggregates);
+  }
+  return all;
+}
+
+Result<RecordBatch> PolarisEngine::Query(txn::Transaction* txn,
+                                         const std::string& table,
+                                         const QuerySpec& spec,
+                                         QueryStats* stats) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot snapshot,
+                           txn_manager_.GetSnapshot(txn, meta.table_id));
+  return DistributedScan(snapshot, meta, spec, stats);
+}
+
+Result<RecordBatch> PolarisEngine::QueryAsOf(txn::Transaction* txn,
+                                             const std::string& table,
+                                             common::Micros as_of,
+                                             const QuerySpec& spec,
+                                             QueryStats* stats) {
+  POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
+                           catalog_.GetTableByName(txn->catalog_txn(), table));
+  POLARIS_ASSIGN_OR_RETURN(
+      lst::TableSnapshot snapshot,
+      txn_manager_.GetSnapshotAsOf(txn, meta.table_id, as_of));
+  return DistributedScan(snapshot, meta, spec, stats);
+}
+
+Result<TableMeta> PolarisEngine::CloneTable(
+    const std::string& source, const std::string& dest,
+    std::optional<common::Micros> as_of) {
+  // A clone copies only the logical metadata: the dest table plus one
+  // Manifests row per source manifest, re-keyed to the new table id
+  // (§6.2). The same SI semantics as any transaction guarantee a
+  // consistent cut of the source.
+  auto txn = catalog_.Begin();
+  auto src = catalog_.GetTableByName(txn.get(), source);
+  if (!src.ok()) {
+    catalog_.Abort(txn.get());
+    return src.status();
+  }
+  auto records =
+      as_of.has_value()
+          ? catalog_.GetManifestsAsOf(txn.get(), src->table_id, *as_of)
+          : catalog_.GetManifests(txn.get(), src->table_id);
+  if (!records.ok()) {
+    catalog_.Abort(txn.get());
+    return records.status();
+  }
+  auto dest_meta = catalog_.CreateTable(txn.get(), dest, src->schema);
+  if (!dest_meta.ok()) {
+    catalog_.Abort(txn.get());
+    return dest_meta.status();
+  }
+  std::vector<catalog::PendingManifest> pending;
+  pending.reserve(records->size());
+  for (const auto& record : *records) {
+    pending.push_back({dest_meta->table_id, record.path});
+  }
+  POLARIS_RETURN_IF_ERROR(catalog_.Commit(txn.get(), pending));
+  return *dest_meta;
+}
+
+Result<std::string> PolarisEngine::BackupDatabase() {
+  // Zero-data-copy backup (§6.3): only the catalog rows are captured; all
+  // data/metadata blobs stay where they are in the store.
+  auto rows = catalog_.store()->ExportLatest();
+  common::ByteWriter out;
+  out.PutU32(0x504c4250);  // "PLBP"
+  out.PutVarint(rows.size());
+  for (const auto& [key, value] : rows) {
+    out.PutString(key);
+    out.PutString(value);
+  }
+  return out.Release();
+}
+
+Status PolarisEngine::RestoreDatabase(const std::string& image) {
+  if (txn_manager_.active_transactions() != 0) {
+    return Status::FailedPrecondition(
+        "cannot restore with active transactions");
+  }
+  common::ByteReader in(image);
+  uint32_t magic;
+  POLARIS_RETURN_IF_ERROR(in.GetU32(&magic));
+  if (magic != 0x504c4250) return Status::Corruption("bad backup magic");
+  uint64_t count;
+  POLARIS_RETURN_IF_ERROR(in.GetVarint(&count));
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value;
+    POLARIS_RETURN_IF_ERROR(in.GetString(&key));
+    POLARIS_RETURN_IF_ERROR(in.GetString(&value));
+    rows.emplace_back(std::move(key), std::move(value));
+  }
+  if (!in.AtEnd()) return Status::Corruption("trailing backup bytes");
+  catalog_.store()->ImportSnapshot(rows);
+  POLARIS_LOG(kInfo, "engine") << "restored database from backup ("
+                               << rows.size() << " catalog rows)";
+  return Status::OK();
+}
+
+}  // namespace polaris::engine

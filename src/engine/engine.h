@@ -1,0 +1,207 @@
+#ifndef POLARIS_ENGINE_ENGINE_H_
+#define POLARIS_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog_db.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "dcp/scheduler.h"
+#include "exec/aggregate.h"
+#include "exec/data_cache.h"
+#include "exec/dml.h"
+#include "exec/expression.h"
+#include "exec/scan.h"
+#include "format/column.h"
+#include "lst/snapshot_builder.h"
+#include "sto/sto.h"
+#include "storage/memory_object_store.h"
+#include "txn/transaction_manager.h"
+
+namespace polaris::engine {
+
+/// Configuration of a Polaris engine instance.
+struct EngineOptions {
+  /// Distribution bucket count per table (the d(r) dimension, §2.3).
+  uint32_t num_cells = 16;
+  /// Column index whose hash distributes rows; -1 = round-robin.
+  int distribution_column = 0;
+  format::FileWriterOptions file_options;
+  txn::TransactionManagerOptions txn_options;
+  sto::StoOptions sto_options;
+  /// Elastic caps for the WLM pools (0 = unbounded).
+  uint32_t read_pool_max_nodes = 0;
+  uint32_t write_pool_max_nodes = 0;
+  size_t cache_capacity = 4096;
+  /// Real worker threads backing the DCP.
+  size_t worker_threads = 4;
+  /// Virtual-cost multiplier for scaled-down benchmark reproductions
+  /// (see exec::DmlContext::cost_scale).
+  uint64_t cost_scale = 1;
+};
+
+/// A query: projection + filter, optionally grouped aggregation. This is
+/// the programmatic equivalent of the T-SQL surface: SELECT <projection |
+/// aggregates> FROM t WHERE <filter> GROUP BY <group_by>.
+struct QuerySpec {
+  std::vector<std::string> projection;
+  exec::Conjunction filter;
+  std::vector<std::string> group_by;
+  std::vector<exec::AggSpec> aggregates;
+};
+
+/// Per-query observability for the benchmark harness.
+struct QueryStats {
+  dcp::JobMetrics job;
+  exec::ScanMetrics scan;
+  exec::DataCache::Stats cache_before;
+  exec::DataCache::Stats cache_after;
+};
+
+/// Point-in-time aggregate counters across all subsystems — what an
+/// operations dashboard for the engine would poll.
+struct EngineStats {
+  /// Object-store traffic (only available when the engine owns its
+  /// MemoryObjectStore; zeroed for externally provided stores).
+  storage::StoreStats store;
+  exec::DataCache::Stats cache;
+  lst::SnapshotBuilder::CacheStats snapshot_cache;
+  uint64_t active_transactions = 0;
+  uint64_t catalog_commit_seq = 0;
+  uint64_t catalog_live_keys = 0;
+  uint64_t tables = 0;
+};
+
+/// The public facade over the whole system: storage engine, catalog, DCP,
+/// transaction manager and STO wired together. One instance == one Fabric
+/// DW database.
+///
+/// All DML/query methods take an explicit transaction. `AutoCommit`
+/// convenience wrappers run single-statement transactions with retries on
+/// conflict, the way the FE retries user transactions (§3).
+class PolarisEngine {
+ public:
+  /// Creates an engine. If `store`/`clock` are null the engine owns a
+  /// MemoryObjectStore / SimClock (virtual time starting at 1s).
+  explicit PolarisEngine(EngineOptions options = {},
+                         storage::ObjectStore* store = nullptr,
+                         common::Clock* clock = nullptr);
+
+  // Not movable: subsystems hold pointers to each other.
+  PolarisEngine(const PolarisEngine&) = delete;
+  PolarisEngine& operator=(const PolarisEngine&) = delete;
+
+  // --- Subsystem access (benchmarks, tests) --------------------------------
+  common::Clock* clock() { return clock_; }
+  storage::ObjectStore* store() { return store_; }
+  catalog::CatalogDb* catalog() { return &catalog_; }
+  txn::TransactionManager* txn_manager() { return &txn_manager_; }
+  sto::SystemTaskOrchestrator* sto() { return &sto_; }
+  exec::DataCache* cache() { return &cache_; }
+  dcp::Scheduler* scheduler() { return &scheduler_; }
+  dcp::Topology* topology() { return &topology_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Aggregated subsystem counters (see EngineStats).
+  EngineStats Stats();
+
+  // --- Transactions ----------------------------------------------------------
+  common::Result<std::unique_ptr<txn::Transaction>> Begin(
+      catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot);
+  common::Status Commit(txn::Transaction* txn);
+  common::Status Abort(txn::Transaction* txn);
+
+  /// Runs `body` in a transaction, retrying on Conflict up to
+  /// `max_attempts` times (the FE retry loop, §3).
+  common::Status RunInTransaction(
+      const std::function<common::Status(txn::Transaction*)>& body,
+      catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot,
+      int max_attempts = 5);
+
+  // --- DDL --------------------------------------------------------------------
+  /// `sort_column` (optional) clusters every data file by that column
+  /// (the Z-order analogue, §2.3), enabling zone-map range pruning.
+  common::Result<catalog::TableMeta> CreateTable(
+      const std::string& name, const format::Schema& schema,
+      const std::string& sort_column = "");
+  common::Status DropTable(const std::string& name);
+  common::Result<catalog::TableMeta> GetTable(const std::string& name);
+
+  // --- DML (within a transaction) ----------------------------------------------
+  common::Result<uint64_t> Insert(txn::Transaction* txn,
+                                  const std::string& table,
+                                  const format::RecordBatch& rows);
+
+  /// Bulk load from pre-partitioned source batches (one task per source
+  /// file, §7.1). `job` receives the DCP metrics when non-null.
+  common::Result<uint64_t> BulkLoad(
+      txn::Transaction* txn, const std::string& table,
+      const std::vector<format::RecordBatch>& sources,
+      dcp::JobMetrics* job = nullptr);
+
+  common::Result<uint64_t> Delete(txn::Transaction* txn,
+                                  const std::string& table,
+                                  const exec::Conjunction& filter);
+
+  common::Result<uint64_t> Update(txn::Transaction* txn,
+                                  const std::string& table,
+                                  const exec::Conjunction& filter,
+                                  const std::vector<exec::Assignment>& set);
+
+  // --- Queries -------------------------------------------------------------------
+  common::Result<format::RecordBatch> Query(txn::Transaction* txn,
+                                            const std::string& table,
+                                            const QuerySpec& spec,
+                                            QueryStats* stats = nullptr);
+
+  /// Time travel (§6.1): the table as of `as_of` on the commit-time axis.
+  common::Result<format::RecordBatch> QueryAsOf(txn::Transaction* txn,
+                                                const std::string& table,
+                                                common::Micros as_of,
+                                                const QuerySpec& spec,
+                                                QueryStats* stats = nullptr);
+
+  // --- Lineage features (§6) -------------------------------------------------------
+  /// Zero-copy clone: duplicates only the logical metadata; both tables
+  /// then evolve independently over the shared data files (§6.2).
+  common::Result<catalog::TableMeta> CloneTable(
+      const std::string& source, const std::string& dest,
+      std::optional<common::Micros> as_of = std::nullopt);
+
+  /// Logical-metadata-only backup image of the whole database (§6.3).
+  common::Result<std::string> BackupDatabase();
+
+  /// Restores a backup image. Requires no active transactions; data files
+  /// are shared with the pre-restore state, and anything unreferenced is
+  /// reclaimed by the next GC.
+  common::Status RestoreDatabase(const std::string& image);
+
+ private:
+  exec::DmlContext MakeDmlContext(const catalog::TableMeta& meta,
+                                  const std::string& manifest_path);
+
+  /// Distributed scan through the read pool; returns concatenated batches.
+  common::Result<format::RecordBatch> DistributedScan(
+      const lst::TableSnapshot& snapshot, const catalog::TableMeta& meta,
+      const QuerySpec& spec, QueryStats* stats);
+
+  EngineOptions options_;
+  std::unique_ptr<common::SimClock> owned_clock_;
+  common::Clock* clock_;
+  std::unique_ptr<storage::MemoryObjectStore> owned_store_;
+  storage::ObjectStore* store_;
+  catalog::CatalogDb catalog_;
+  lst::SnapshotBuilder builder_;
+  exec::DataCache cache_;
+  dcp::Topology topology_;
+  dcp::Scheduler scheduler_;
+  txn::TransactionManager txn_manager_;
+  sto::SystemTaskOrchestrator sto_;
+};
+
+}  // namespace polaris::engine
+
+#endif  // POLARIS_ENGINE_ENGINE_H_

@@ -1,0 +1,211 @@
+#include "exec/aggregate.h"
+
+#include <map>
+
+#include "common/bytes.h"
+
+namespace polaris::exec {
+
+using common::Result;
+using common::Status;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Value;
+
+namespace {
+
+struct Accumulator {
+  int64_t count = 0;      // rows observed (non-null for per-column aggs)
+  int64_t sum_i64 = 0;
+  double sum_f64 = 0.0;
+  bool has_minmax = false;
+  Value min;
+  Value max;
+};
+
+/// Encodes group-key values into a deterministic, order-preserving key.
+std::string EncodeGroupKey(const format::RecordBatch& batch,
+                           const std::vector<int>& key_cols, size_t row) {
+  common::ByteWriter out;
+  for (int c : key_cols) {
+    Value v = batch.column(c).ValueAt(row);
+    out.PutU8(v.is_null ? 0 : 1);
+    if (!v.is_null) {
+      switch (v.type) {
+        case ColumnType::kInt64:
+          out.PutI64(v.i64);
+          break;
+        case ColumnType::kDouble:
+          out.PutDouble(v.f64);
+          break;
+        case ColumnType::kString:
+          out.PutString(v.str);
+          break;
+      }
+    }
+  }
+  return out.Release();
+}
+
+}  // namespace
+
+Result<RecordBatch> HashAggregate(const RecordBatch& input,
+                                  const std::vector<std::string>& group_by,
+                                  const std::vector<AggSpec>& aggs) {
+  std::vector<int> key_cols;
+  for (const auto& name : group_by) {
+    int idx = input.schema().FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown group-by column: " + name);
+    }
+    key_cols.push_back(idx);
+  }
+  std::vector<int> agg_cols;
+  for (const auto& spec : aggs) {
+    if (spec.column.empty()) {
+      if (spec.func != AggFunc::kCount) {
+        return Status::InvalidArgument("only COUNT(*) may omit a column");
+      }
+      agg_cols.push_back(-1);
+      continue;
+    }
+    int idx = input.schema().FindColumn(spec.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown aggregate column: " +
+                                     spec.column);
+    }
+    agg_cols.push_back(idx);
+  }
+
+  // Group state: ordered map keeps deterministic output order.
+  struct Group {
+    format::Row key_values;
+    std::vector<Accumulator> accs;
+  };
+  std::map<std::string, Group> groups;
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::string key = EncodeGroupKey(input, key_cols, r);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& group = it->second;
+    if (inserted) {
+      group.accs.resize(aggs.size());
+      for (int c : key_cols) {
+        group.key_values.push_back(input.column(c).ValueAt(r));
+      }
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      Accumulator& acc = group.accs[a];
+      if (agg_cols[a] < 0) {
+        ++acc.count;  // COUNT(*)
+        continue;
+      }
+      Value v = input.column(agg_cols[a]).ValueAt(r);
+      if (v.is_null) continue;
+      ++acc.count;
+      if (v.type == ColumnType::kInt64) {
+        acc.sum_i64 += v.i64;
+        acc.sum_f64 += static_cast<double>(v.i64);
+      } else if (v.type == ColumnType::kDouble) {
+        acc.sum_f64 += v.f64;
+      }
+      if (!acc.has_minmax) {
+        acc.min = v;
+        acc.max = v;
+        acc.has_minmax = true;
+      } else {
+        if (v.Compare(acc.min) < 0) acc.min = v;
+        if (v.Compare(acc.max) > 0) acc.max = v;
+      }
+    }
+  }
+
+  // Output schema.
+  std::vector<format::ColumnDesc> descs;
+  for (size_t k = 0; k < group_by.size(); ++k) {
+    descs.push_back(input.schema().column(key_cols[k]));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    ColumnType out_type = ColumnType::kInt64;
+    ColumnType in_type = agg_cols[a] >= 0
+                             ? input.schema().column(agg_cols[a]).type
+                             : ColumnType::kInt64;
+    switch (aggs[a].func) {
+      case AggFunc::kCount:
+        out_type = ColumnType::kInt64;
+        break;
+      case AggFunc::kAvg:
+        out_type = ColumnType::kDouble;
+        break;
+      case AggFunc::kSum:
+        out_type = in_type == ColumnType::kString ? ColumnType::kInt64
+                                                  : in_type;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        out_type = in_type;
+        break;
+    }
+    if (aggs[a].func == AggFunc::kSum && in_type == ColumnType::kString) {
+      return Status::InvalidArgument("SUM over string column: " +
+                                     aggs[a].column);
+    }
+    descs.push_back({aggs[a].output_name, out_type});
+  }
+  RecordBatch out{format::Schema(descs)};
+
+  // Global aggregate with no input rows still yields one row of zeros/nulls.
+  if (groups.empty() && group_by.empty()) {
+    Group empty;
+    empty.accs.resize(aggs.size());
+    groups.emplace("", std::move(empty));
+  }
+
+  for (auto& [key, group] : groups) {
+    (void)key;
+    format::Row row = group.key_values;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Accumulator& acc = group.accs[a];
+      switch (aggs[a].func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int64(acc.count));
+          break;
+        case AggFunc::kSum: {
+          ColumnType in_type = input.schema().column(agg_cols[a]).type;
+          if (acc.count == 0) {
+            row.push_back(Value::Null(in_type));
+          } else if (in_type == ColumnType::kInt64) {
+            row.push_back(Value::Int64(acc.sum_i64));
+          } else {
+            row.push_back(Value::Double(acc.sum_f64));
+          }
+          break;
+        }
+        case AggFunc::kMin:
+          row.push_back(acc.has_minmax
+                            ? acc.min
+                            : Value::Null(input.schema()
+                                              .column(agg_cols[a])
+                                              .type));
+          break;
+        case AggFunc::kMax:
+          row.push_back(acc.has_minmax
+                            ? acc.max
+                            : Value::Null(input.schema()
+                                              .column(agg_cols[a])
+                                              .type));
+          break;
+        case AggFunc::kAvg:
+          row.push_back(acc.count == 0
+                            ? Value::Null(ColumnType::kDouble)
+                            : Value::Double(acc.sum_f64 /
+                                            static_cast<double>(acc.count)));
+          break;
+      }
+    }
+    POLARIS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace polaris::exec

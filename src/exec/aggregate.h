@@ -1,0 +1,42 @@
+#ifndef POLARIS_EXEC_AGGREGATE_H_
+#define POLARIS_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+
+namespace polaris::exec {
+
+/// Aggregate functions supported by the hash aggregator.
+enum class AggFunc {
+  kCount,  // COUNT(*) when column is empty, else COUNT(col) of non-nulls
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+/// One aggregate to compute.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  /// Input column; may be empty only for kCount.
+  std::string column;
+  /// Name of the output column.
+  std::string output_name;
+};
+
+/// Hash aggregation (GROUP BY `group_by`, computing `aggs`). With an empty
+/// `group_by` produces exactly one row (global aggregate). Output schema:
+/// the group-by columns in order, then one column per AggSpec
+/// (SUM/MIN/MAX keep the input type, except SUM(double)=double;
+/// COUNT=int64; AVG=double). Group output order is deterministic (ordered
+/// by the encoded group key) but not value-sorted.
+common::Result<format::RecordBatch> HashAggregate(
+    const format::RecordBatch& input, const std::vector<std::string>& group_by,
+    const std::vector<AggSpec>& aggs);
+
+}  // namespace polaris::exec
+
+#endif  // POLARIS_EXEC_AGGREGATE_H_

@@ -1,0 +1,100 @@
+#include "exec/data_cache.h"
+
+namespace polaris::exec {
+
+using common::Result;
+
+void DataCache::TouchLocked(const std::string& path, Entry& entry) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(path);
+  entry.lru_it = lru_.begin();
+}
+
+void DataCache::EvictIfNeededLocked() {
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+Result<std::shared_ptr<const format::FileReader>> DataCache::GetFile(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(path);
+    if (it != entries_.end() && it->second.file != nullptr) {
+      ++stats_.hits;
+      TouchLocked(path, it->second);
+      return it->second.file;
+    }
+    ++stats_.misses;
+  }
+  POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
+  POLARIS_ASSIGN_OR_RETURN(format::FileReader reader,
+                           format::FileReader::Open(std::move(blob)));
+  auto shared =
+      std::make_shared<const format::FileReader>(std::move(reader));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(path);
+  if (inserted) {
+    lru_.push_front(path);
+    it->second.lru_it = lru_.begin();
+  } else {
+    TouchLocked(path, it->second);
+  }
+  it->second.file = shared;
+  EvictIfNeededLocked();
+  return shared;
+}
+
+Result<std::shared_ptr<const lst::DeletionVector>> DataCache::GetDeleteVector(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(path);
+    if (it != entries_.end() && it->second.dv != nullptr) {
+      ++stats_.hits;
+      TouchLocked(path, it->second);
+      return it->second.dv;
+    }
+    ++stats_.misses;
+  }
+  POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
+  POLARIS_ASSIGN_OR_RETURN(lst::DeletionVector dv,
+                           lst::DeletionVector::FromBlob(blob));
+  auto shared = std::make_shared<const lst::DeletionVector>(std::move(dv));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(path);
+  if (inserted) {
+    lru_.push_front(path);
+    it->second.lru_it = lru_.begin();
+  } else {
+    TouchLocked(path, it->second);
+  }
+  it->second.dv = shared;
+  EvictIfNeededLocked();
+  return shared;
+}
+
+DataCache::Stats DataCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DataCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void DataCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t DataCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace polaris::exec

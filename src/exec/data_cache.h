@@ -1,0 +1,68 @@
+#ifndef POLARIS_EXEC_DATA_CACHE_H_
+#define POLARIS_EXEC_DATA_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "format/file_reader.h"
+#include "lst/deletion_vector.h"
+#include "storage/object_store.h"
+
+namespace polaris::exec {
+
+/// BE-side cache of opened data files and deletion vectors (the SSD/
+/// in-memory cache on compute nodes, paper §3.3). Because data files and
+/// DV blobs are immutable once committed, cache entries never need
+/// invalidation — the property the paper leans on for "caches stay warm"
+/// in Figure 9. LRU-bounded by entry count.
+class DataCache {
+ public:
+  DataCache(storage::ObjectStore* store, size_t capacity = 1024)
+      : store_(store), capacity_(capacity) {}
+
+  /// Opens (or returns the cached) reader for a data file blob.
+  common::Result<std::shared_ptr<const format::FileReader>> GetFile(
+      const std::string& path);
+
+  /// Loads (or returns the cached) deletion vector blob.
+  common::Result<std::shared_ptr<const lst::DeletionVector>> GetDeleteVector(
+      const std::string& path);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  Stats stats() const;
+  void ResetStats();
+
+  /// Drops all entries (simulates a node joining with a cold cache).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const format::FileReader> file;
+    std::shared_ptr<const lst::DeletionVector> dv;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void TouchLocked(const std::string& path, Entry& entry);
+  void EvictIfNeededLocked();
+
+  storage::ObjectStore* store_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace polaris::exec
+
+#endif  // POLARIS_EXEC_DATA_CACHE_H_

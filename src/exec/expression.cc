@@ -1,0 +1,164 @@
+#include "exec/expression.h"
+
+namespace polaris::exec {
+
+using common::Result;
+using common::Status;
+using format::RecordBatch;
+using format::Value;
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Conjunction::Bounds Conjunction::BoundsFor(const std::string& column) const {
+  Bounds bounds;
+  for (const auto& pred : predicates) {
+    if (pred.column != column || pred.literal.is_null) continue;
+    switch (pred.op) {
+      case CompareOp::kEq:
+        if (!bounds.has_low || pred.literal.Compare(bounds.low) > 0) {
+          bounds.has_low = true;
+          bounds.low = pred.literal;
+        }
+        if (!bounds.has_high || pred.literal.Compare(bounds.high) < 0) {
+          bounds.has_high = true;
+          bounds.high = pred.literal;
+        }
+        break;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        if (!bounds.has_low || pred.literal.Compare(bounds.low) > 0) {
+          bounds.has_low = true;
+          bounds.low = pred.literal;
+        }
+        break;
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        if (!bounds.has_high || pred.literal.Compare(bounds.high) < 0) {
+          bounds.has_high = true;
+          bounds.high = pred.literal;
+        }
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+  }
+  return bounds;
+}
+
+namespace {
+
+bool Satisfies(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EvaluateConjunction(const Conjunction& conj,
+                                                 const RecordBatch& batch) {
+  std::vector<uint8_t> mask(batch.num_rows(), 1);
+  for (const auto& pred : conj.predicates) {
+    int col = batch.schema().FindColumn(pred.column);
+    if (col < 0) {
+      return Status::InvalidArgument("predicate column not in batch: " +
+                                     pred.column);
+    }
+    const format::ColumnVector& column = batch.column(col);
+    if (!pred.literal.is_null && column.type() != pred.literal.type) {
+      return Status::InvalidArgument("predicate type mismatch on column: " +
+                                     pred.column);
+    }
+    // Vectorized inner loops per type; nulls never match.
+    switch (column.type()) {
+      case format::ColumnType::kInt64: {
+        int64_t lit = pred.literal.i64;
+        const auto& vals = column.ints();
+        const auto& valid = column.validity();
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (!mask[i]) continue;
+          if (!valid[i] || pred.literal.is_null) {
+            mask[i] = 0;
+            continue;
+          }
+          int cmp = vals[i] < lit ? -1 : (vals[i] > lit ? 1 : 0);
+          mask[i] = Satisfies(cmp, pred.op) ? 1 : 0;
+        }
+        break;
+      }
+      case format::ColumnType::kDouble: {
+        double lit = pred.literal.f64;
+        const auto& vals = column.doubles();
+        const auto& valid = column.validity();
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (!mask[i]) continue;
+          if (!valid[i] || pred.literal.is_null) {
+            mask[i] = 0;
+            continue;
+          }
+          int cmp = vals[i] < lit ? -1 : (vals[i] > lit ? 1 : 0);
+          mask[i] = Satisfies(cmp, pred.op) ? 1 : 0;
+        }
+        break;
+      }
+      case format::ColumnType::kString: {
+        const std::string& lit = pred.literal.str;
+        const auto& vals = column.strings();
+        const auto& valid = column.validity();
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (!mask[i]) continue;
+          if (!valid[i] || pred.literal.is_null) {
+            mask[i] = 0;
+            continue;
+          }
+          int cmp = vals[i].compare(lit);
+          mask[i] = Satisfies(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), pred.op) ? 1
+                                                                          : 0;
+        }
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+RecordBatch FilterBatch(const RecordBatch& batch,
+                        const std::vector<uint8_t>& mask) {
+  RecordBatch out(batch.schema());
+  for (size_t i = 0; i < batch.num_rows() && i < mask.size(); ++i) {
+    if (mask[i]) {
+      (void)out.AppendRow(batch.GetRow(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace polaris::exec

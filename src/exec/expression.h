@@ -1,0 +1,70 @@
+#ifndef POLARIS_EXEC_EXPRESSION_H_
+#define POLARIS_EXEC_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+#include "format/value.h"
+
+namespace polaris::exec {
+
+/// Comparison operators supported by scan predicates.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One column-vs-literal comparison. NULL never satisfies any comparison
+/// (SQL three-valued logic collapsed to false for filtering).
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  format::Value literal;
+
+  static Predicate Make(std::string column, CompareOp op,
+                        format::Value literal) {
+    return Predicate{std::move(column), op, std::move(literal)};
+  }
+};
+
+/// A conjunction of predicates (AND). An empty conjunction accepts all
+/// rows. This is the filter language the engine's scans understand —
+/// intentionally small, but enough for the TPC-H-shaped workloads the
+/// paper evaluates, and it exercises zone-map pushdown.
+struct Conjunction {
+  std::vector<Predicate> predicates;
+
+  bool empty() const { return predicates.empty(); }
+
+  /// Range bounds this conjunction implies on `column`, used for zone-map
+  /// row-group skipping. Returns {has_low, low, has_high, high}.
+  struct Bounds {
+    bool has_low = false;
+    format::Value low;
+    bool has_high = false;
+    format::Value high;
+  };
+  Bounds BoundsFor(const std::string& column) const;
+};
+
+/// Evaluates `conjunction` over `batch`; returns one bool per row.
+/// Fails with InvalidArgument if a predicate references a column absent
+/// from the batch schema or compares incompatible types.
+common::Result<std::vector<uint8_t>> EvaluateConjunction(
+    const Conjunction& conjunction, const format::RecordBatch& batch);
+
+/// Applies a selection mask, returning only rows where mask[i] != 0.
+format::RecordBatch FilterBatch(const format::RecordBatch& batch,
+                                const std::vector<uint8_t>& mask);
+
+}  // namespace polaris::exec
+
+#endif  // POLARIS_EXEC_EXPRESSION_H_

@@ -1,0 +1,111 @@
+#include "exec/join.h"
+
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace polaris::exec {
+
+using common::Result;
+using common::Status;
+using format::RecordBatch;
+using format::Value;
+
+namespace {
+
+/// Encodes join-key values; returns false when any key is NULL (no match).
+bool EncodeJoinKey(const RecordBatch& batch, const std::vector<int>& cols,
+                   size_t row, std::string* out) {
+  common::ByteWriter w;
+  for (int c : cols) {
+    Value v = batch.column(c).ValueAt(row);
+    if (v.is_null) return false;
+    switch (v.type) {
+      case format::ColumnType::kInt64:
+        w.PutU8(0);
+        w.PutI64(v.i64);
+        break;
+      case format::ColumnType::kDouble:
+        w.PutU8(1);
+        w.PutDouble(v.f64);
+        break;
+      case format::ColumnType::kString:
+        w.PutU8(2);
+        w.PutString(v.str);
+        break;
+    }
+  }
+  *out = w.Release();
+  return true;
+}
+
+}  // namespace
+
+Result<RecordBatch> HashJoin(const RecordBatch& left,
+                             const RecordBatch& right,
+                             const std::vector<std::string>& left_keys,
+                             const std::vector<std::string>& right_keys) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join key arity mismatch or empty");
+  }
+  std::vector<int> lcols;
+  std::vector<int> rcols;
+  for (const auto& name : left_keys) {
+    int idx = left.schema().FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown left join key: " + name);
+    }
+    lcols.push_back(idx);
+  }
+  for (const auto& name : right_keys) {
+    int idx = right.schema().FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown right join key: " + name);
+    }
+    rcols.push_back(idx);
+  }
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    if (left.schema().column(lcols[i]).type !=
+        right.schema().column(rcols[i]).type) {
+      return Status::InvalidArgument("join key type mismatch: " +
+                                     left_keys[i]);
+    }
+  }
+
+  // Output schema with clash-renamed right columns.
+  std::vector<format::ColumnDesc> descs = left.schema().columns();
+  for (const auto& col : right.schema().columns()) {
+    format::ColumnDesc out_col = col;
+    if (left.schema().FindColumn(col.name) >= 0) {
+      out_col.name = "right." + col.name;
+    }
+    descs.push_back(out_col);
+  }
+  RecordBatch out{format::Schema(descs)};
+
+  // Build on the right side.
+  std::unordered_multimap<std::string, size_t> table;
+  table.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    std::string key;
+    if (EncodeJoinKey(right, rcols, r, &key)) {
+      table.emplace(std::move(key), r);
+    }
+  }
+
+  // Probe with the left side.
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    std::string key;
+    if (!EncodeJoinKey(left, lcols, l, &key)) continue;
+    auto [begin, end] = table.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      format::Row row = left.GetRow(l);
+      format::Row rrow = right.GetRow(it->second);
+      row.insert(row.end(), rrow.begin(), rrow.end());
+      POLARIS_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace polaris::exec

@@ -1,0 +1,23 @@
+#ifndef POLARIS_EXEC_JOIN_H_
+#define POLARIS_EXEC_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+
+namespace polaris::exec {
+
+/// Inner hash equi-join. The right side is built into a hash table; the
+/// left side probes. Output schema: all left columns followed by all right
+/// columns; right columns whose names clash with a left column are emitted
+/// as "right.<name>". NULL keys never match (SQL semantics).
+common::Result<format::RecordBatch> HashJoin(
+    const format::RecordBatch& left, const format::RecordBatch& right,
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys);
+
+}  // namespace polaris::exec
+
+#endif  // POLARIS_EXEC_JOIN_H_

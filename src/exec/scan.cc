@@ -1,0 +1,190 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+namespace polaris::exec {
+
+using common::Result;
+using common::Status;
+using format::RecordBatch;
+
+namespace {
+
+bool CellSelected(const std::vector<uint32_t>& cells, uint32_t cell) {
+  if (cells.empty()) return true;
+  return std::find(cells.begin(), cells.end(), cell) != cells.end();
+}
+
+}  // namespace
+
+Status TableScanner::ScanFile(const lst::FileState& file,
+                              const ScanOptions& options, bool full_rows,
+                              const FileRowsCallback& callback,
+                              ScanMetrics* metrics) {
+  POLARIS_ASSIGN_OR_RETURN(auto reader, cache_->GetFile(file.info.path));
+  std::shared_ptr<const lst::DeletionVector> dv;
+  if (!file.dv_path.empty()) {
+    POLARIS_ASSIGN_OR_RETURN(dv, cache_->GetDeleteVector(file.dv_path));
+  }
+  if (metrics != nullptr) ++metrics->files_scanned;
+
+  const format::Schema& schema = reader->schema();
+
+  // Columns we must materialize: projection (or all when full_rows) plus
+  // any filter columns.
+  std::vector<int> read_cols;
+  if (full_rows || options.projection.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      read_cols.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : options.projection) {
+      int idx = schema.FindColumn(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown projected column: " + name);
+      }
+      read_cols.push_back(idx);
+    }
+    for (const auto& pred : options.filter.predicates) {
+      int idx = schema.FindColumn(pred.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown filter column: " +
+                                       pred.column);
+      }
+      if (std::find(read_cols.begin(), read_cols.end(), idx) ==
+          read_cols.end()) {
+        read_cols.push_back(idx);
+      }
+    }
+  }
+
+  uint64_t base_ordinal = 0;
+  for (size_t g = 0; g < reader->num_row_groups(); ++g) {
+    const uint64_t group_rows = reader->row_group(g).num_rows;
+    // Zone-map pushdown: skip the row group if any filter column's bounds
+    // prove no row can match.
+    bool skip = false;
+    for (const auto& pred : options.filter.predicates) {
+      int idx = schema.FindColumn(pred.column);
+      if (idx < 0) continue;
+      auto bounds = options.filter.BoundsFor(pred.column);
+      const format::Value* low = bounds.has_low ? &bounds.low : nullptr;
+      const format::Value* high = bounds.has_high ? &bounds.high : nullptr;
+      if (reader->CanSkipRowGroup(g, idx, low, high)) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      if (metrics != nullptr) ++metrics->row_groups_skipped;
+      base_ordinal += group_rows;
+      continue;
+    }
+
+    POLARIS_ASSIGN_OR_RETURN(RecordBatch batch,
+                             reader->ReadRowGroup(g, read_cols));
+    if (metrics != nullptr) {
+      ++metrics->row_groups_read;
+      metrics->rows_read += batch.num_rows();
+    }
+
+    // Merge-on-read: drop rows marked deleted in the DV, tracking the
+    // surviving rows' file ordinals.
+    std::vector<uint8_t> alive(batch.num_rows(), 1);
+    if (dv != nullptr) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        if (dv->IsDeleted(base_ordinal + r)) {
+          alive[r] = 0;
+          if (metrics != nullptr) ++metrics->rows_dv_filtered;
+        }
+      }
+    }
+    POLARIS_ASSIGN_OR_RETURN(auto match,
+                             EvaluateConjunction(options.filter, batch));
+    for (size_t r = 0; r < alive.size(); ++r) {
+      alive[r] = alive[r] && match[r];
+    }
+
+    RecordBatch out(batch.schema());
+    std::vector<uint64_t> ordinals;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      if (!alive[r]) continue;
+      POLARIS_RETURN_IF_ERROR(out.AppendRow(batch.GetRow(r)));
+      ordinals.push_back(base_ordinal + r);
+    }
+    if (metrics != nullptr) metrics->rows_output += out.num_rows();
+    if (out.num_rows() > 0) {
+      POLARIS_RETURN_IF_ERROR(callback(file, out, ordinals));
+    }
+    base_ordinal += group_rows;
+  }
+  return Status::OK();
+}
+
+Result<RecordBatch> TableScanner::ScanAll(const ScanOptions& options,
+                                          ScanMetrics* metrics) {
+  RecordBatch all;
+  bool first = true;
+  auto collect = [&](const lst::FileState& file, const RecordBatch& batch,
+                     const std::vector<uint64_t>& ordinals) -> Status {
+    (void)file;
+    (void)ordinals;
+    // Cut the batch down to the projection order (the scan may have read
+    // extra filter columns).
+    RecordBatch projected = batch;
+    if (!options.projection.empty()) {
+      std::vector<format::ColumnDesc> descs;
+      RecordBatch cut{[&] {
+        for (const auto& name : options.projection) {
+          int idx = batch.schema().FindColumn(name);
+          descs.push_back(batch.schema().column(idx));
+        }
+        return format::Schema(descs);
+      }()};
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        format::Row row;
+        for (const auto& name : options.projection) {
+          int idx = batch.schema().FindColumn(name);
+          row.push_back(batch.column(idx).ValueAt(r));
+        }
+        POLARIS_RETURN_IF_ERROR(cut.AppendRow(row));
+      }
+      projected = std::move(cut);
+    }
+    if (first) {
+      all = std::move(projected);
+      first = false;
+    } else {
+      POLARIS_RETURN_IF_ERROR(all.Append(projected));
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [path, file] : snapshot_->files()) {
+    (void)path;
+    if (!CellSelected(options.cells, file.info.cell_id)) continue;
+    POLARIS_RETURN_IF_ERROR(
+        ScanFile(file, options, /*full_rows=*/false, collect, metrics));
+  }
+  if (first) {
+    // No matching files: produce an empty batch. Without a file we don't
+    // know the schema here; callers that need a typed empty result pass
+    // the table schema through the engine instead.
+    all = RecordBatch{};
+  }
+  return all;
+}
+
+Status TableScanner::ScanFilesWithOrdinals(const ScanOptions& options,
+                                           const FileRowsCallback& callback,
+                                           ScanMetrics* metrics) {
+  for (const auto& [path, file] : snapshot_->files()) {
+    (void)path;
+    if (!CellSelected(options.cells, file.info.cell_id)) continue;
+    POLARIS_RETURN_IF_ERROR(
+        ScanFile(file, options, /*full_rows=*/true, callback, metrics));
+  }
+  return Status::OK();
+}
+
+}  // namespace polaris::exec

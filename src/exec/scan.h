@@ -1,0 +1,75 @@
+#ifndef POLARIS_EXEC_SCAN_H_
+#define POLARIS_EXEC_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/data_cache.h"
+#include "exec/expression.h"
+#include "format/column.h"
+#include "lst/table_snapshot.h"
+
+namespace polaris::exec {
+
+/// Options for a merge-on-read table scan.
+struct ScanOptions {
+  /// Output column names, in order; empty = all columns.
+  std::vector<std::string> projection;
+  /// Row filter (AND of comparisons); also drives zone-map pushdown.
+  Conjunction filter;
+  /// Restrict to these distribution cells; empty = all cells. The DCP uses
+  /// this to hand disjoint cell sets to different tasks.
+  std::vector<uint32_t> cells;
+};
+
+/// Per-scan observability, reported by benchmarks.
+struct ScanMetrics {
+  uint64_t files_scanned = 0;
+  uint64_t row_groups_read = 0;
+  uint64_t row_groups_skipped = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_dv_filtered = 0;
+  uint64_t rows_output = 0;
+};
+
+/// Merge-on-read scanner over a table snapshot (paper §3.2.1): for each
+/// live data file, reads the columnar data, filters out rows marked in the
+/// file's deletion vector, applies predicates (with row-group skipping via
+/// zone maps), and emits projected batches.
+class TableScanner {
+ public:
+  /// `cache` and `snapshot` must outlive the scanner.
+  TableScanner(DataCache* cache, const lst::TableSnapshot* snapshot)
+      : cache_(cache), snapshot_(snapshot) {}
+
+  /// Scans everything into one batch.
+  common::Result<format::RecordBatch> ScanAll(const ScanOptions& options,
+                                              ScanMetrics* metrics = nullptr);
+
+  /// Per-file callback used by DML executors: `batch` holds the *full
+  /// rows* (all columns) that survive the deletion vector and satisfy the
+  /// filter; `ordinals[i]` is the file-relative row ordinal of batch row i
+  /// (what a new deletion vector must mark).
+  using FileRowsCallback = std::function<common::Status(
+      const lst::FileState& file, const format::RecordBatch& batch,
+      const std::vector<uint64_t>& ordinals)>;
+  common::Status ScanFilesWithOrdinals(const ScanOptions& options,
+                                       const FileRowsCallback& callback,
+                                       ScanMetrics* metrics = nullptr);
+
+ private:
+  common::Status ScanFile(const lst::FileState& file,
+                          const ScanOptions& options, bool full_rows,
+                          const FileRowsCallback& callback,
+                          ScanMetrics* metrics);
+
+  DataCache* cache_;
+  const lst::TableSnapshot* snapshot_;
+};
+
+}  // namespace polaris::exec
+
+#endif  // POLARIS_EXEC_SCAN_H_

@@ -1,0 +1,118 @@
+#include "format/column.h"
+
+namespace polaris::format {
+
+using common::Status;
+
+void ColumnVector::AppendInt64(int64_t v) {
+  ints_.push_back(v);
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  doubles_.push_back(v);
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ColumnType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ColumnType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  valid_.push_back(0);
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      AppendInt64(v.i64);
+      break;
+    case ColumnType::kDouble:
+      AppendDouble(v.f64);
+      break;
+    case ColumnType::kString:
+      AppendString(v.str);
+      break;
+  }
+}
+
+Value ColumnVector::ValueAt(size_t row) const {
+  if (!valid_[row]) return Value::Null(type_);
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value::Int64(ints_[row]);
+    case ColumnType::kDouble:
+      return Value::Double(doubles_[row]);
+    case ColumnType::kString:
+      return Value::String(strings_[row]);
+  }
+  return Value::Null(type_);
+}
+
+size_t ColumnVector::null_count() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) {
+    if (!v) ++n;
+  }
+  return n;
+}
+
+RecordBatch::RecordBatch(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+Status RecordBatch::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null && row[i].type != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(i).name);
+    }
+    columns_[i].AppendValue(row[i]);
+  }
+  return Status::OK();
+}
+
+Row RecordBatch::GetRow(size_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    row.push_back(col.ValueAt(i));
+  }
+  return row;
+}
+
+Status RecordBatch::Append(const RecordBatch& other) {
+  if (!(other.schema_ == schema_)) {
+    return Status::InvalidArgument("schema mismatch in RecordBatch::Append");
+  }
+  for (size_t i = 0; i < other.num_rows(); ++i) {
+    POLARIS_RETURN_IF_ERROR(AppendRow(other.GetRow(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace polaris::format

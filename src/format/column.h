@@ -1,0 +1,89 @@
+#ifndef POLARIS_FORMAT_COLUMN_H_
+#define POLARIS_FORMAT_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/schema.h"
+#include "format/value.h"
+
+namespace polaris::format {
+
+/// Columnar storage for one column: a typed value array plus a validity
+/// (non-null) flag per row. This is the unit the vectorized executor
+/// operates over.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+  explicit ColumnVector(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendNull();
+  /// Appends `v`; the value's type must match the column type (nulls of any
+  /// type are accepted).
+  void AppendValue(const Value& v);
+
+  bool IsNull(size_t row) const { return !valid_[row]; }
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+
+  /// Materializes row `row` as a Value (copies strings).
+  Value ValueAt(size_t row) const;
+
+  /// Direct access for the vectorized executor hot paths.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& validity() const { return valid_; }
+
+  size_t null_count() const;
+
+ private:
+  ColumnType type_ = ColumnType::kInt64;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> valid_;  // 1 = non-null
+};
+
+/// A horizontal slice of a table: a schema plus one ColumnVector per column,
+/// all the same length.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  explicit RecordBatch(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  /// Appends a full row; `row` must match the schema arity and types.
+  common::Status AppendRow(const Row& row);
+
+  /// Materializes row `i`.
+  Row GetRow(size_t i) const;
+
+  /// Appends all rows of `other` (schemas must be equal).
+  common::Status Append(const RecordBatch& other);
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_COLUMN_H_

@@ -1,0 +1,324 @@
+#include "format/encoding.h"
+
+#include <map>
+
+namespace polaris::format {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Result;
+using common::Status;
+
+void ColumnStats::Observe(const Value& v) {
+  if (v.is_null) {
+    ++null_count;
+    return;
+  }
+  if (!has_min_max) {
+    min = v;
+    max = v;
+    has_min_max = true;
+    return;
+  }
+  if (v.Compare(min) < 0) min = v;
+  if (v.Compare(max) > 0) max = v;
+}
+
+void ColumnStats::Merge(const ColumnStats& other) {
+  null_count += other.null_count;
+  if (!other.has_min_max) return;
+  Observe(other.min);
+  Observe(other.max);
+  // Observe() counted nothing extra: min/max are non-null by construction.
+}
+
+namespace {
+
+void SerializeValuePayload(const Value& v, ByteWriter* out) {
+  switch (v.type) {
+    case ColumnType::kInt64:
+      out->PutI64(v.i64);
+      break;
+    case ColumnType::kDouble:
+      out->PutDouble(v.f64);
+      break;
+    case ColumnType::kString:
+      out->PutString(v.str);
+      break;
+  }
+}
+
+Status DeserializeValuePayload(ByteReader* in, ColumnType type, Value* v) {
+  v->type = type;
+  v->is_null = false;
+  switch (type) {
+    case ColumnType::kInt64:
+      return in->GetI64(&v->i64);
+    case ColumnType::kDouble:
+      return in->GetDouble(&v->f64);
+    case ColumnType::kString:
+      return in->GetString(&v->str);
+  }
+  return Status::Corruption("bad value type");
+}
+
+}  // namespace
+
+void ColumnStats::Serialize(ByteWriter* out) const {
+  out->PutU8(has_min_max ? 1 : 0);
+  if (has_min_max) {
+    SerializeValuePayload(min, out);
+    SerializeValuePayload(max, out);
+  }
+  out->PutVarint(null_count);
+}
+
+Result<ColumnStats> ColumnStats::Deserialize(ByteReader* in,
+                                             ColumnType type) {
+  ColumnStats stats;
+  uint8_t has;
+  POLARIS_RETURN_IF_ERROR(in->GetU8(&has));
+  stats.has_min_max = has != 0;
+  if (stats.has_min_max) {
+    POLARIS_RETURN_IF_ERROR(DeserializeValuePayload(in, type, &stats.min));
+    POLARIS_RETURN_IF_ERROR(DeserializeValuePayload(in, type, &stats.max));
+  }
+  POLARIS_RETURN_IF_ERROR(in->GetVarint(&stats.null_count));
+  return stats;
+}
+
+namespace {
+
+void WriteValidity(const ColumnVector& column, ByteWriter* out) {
+  const auto& valid = column.validity();
+  out->PutVarint(valid.size());
+  uint8_t byte = 0;
+  int bit = 0;
+  for (uint8_t v : valid) {
+    if (v) byte |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      out->PutU8(byte);
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) out->PutU8(byte);
+}
+
+Status ReadValidity(ByteReader* in, uint64_t expected_rows,
+                    std::vector<uint8_t>* valid) {
+  uint64_t n;
+  POLARIS_RETURN_IF_ERROR(in->GetVarint(&n));
+  if (n != expected_rows) {
+    return Status::Corruption("validity length mismatch");
+  }
+  valid->resize(n);
+  uint8_t byte = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) {
+      POLARIS_RETURN_IF_ERROR(in->GetU8(&byte));
+    }
+    (*valid)[i] = (byte >> (i % 8)) & 1;
+  }
+  return Status::OK();
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Whether delta encoding would compress this int64 column: the values
+/// are non-decreasing (sort-key clustering) with a non-trivial length.
+bool DeltaProfitable(const ColumnVector& column) {
+  const auto& ints = column.ints();
+  if (ints.size() < 16) return false;
+  for (size_t i = 1; i < ints.size(); ++i) {
+    if (ints[i] < ints[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Whether RLE would compress this int64 column: average run length >= 4.
+bool RleProfitable(const ColumnVector& column) {
+  const auto& ints = column.ints();
+  if (ints.size() < 16) return false;
+  size_t runs = 1;
+  for (size_t i = 1; i < ints.size(); ++i) {
+    if (ints[i] != ints[i - 1]) ++runs;
+  }
+  return ints.size() / runs >= 4;
+}
+
+/// Whether a dictionary would compress this string column: distinct count
+/// at most 1/4 of values and at most 64k entries.
+bool DictionaryProfitable(const ColumnVector& column) {
+  const auto& strings = column.strings();
+  if (strings.size() < 16) return false;
+  std::map<std::string_view, uint32_t> dict;
+  for (const auto& s : strings) {
+    dict.emplace(s, 0);
+    if (dict.size() > 65535) return false;
+  }
+  return dict.size() * 4 <= strings.size();
+}
+
+}  // namespace
+
+Encoding EncodeColumn(const ColumnVector& column, ByteWriter* out) {
+  WriteValidity(column, out);
+  switch (column.type()) {
+    case ColumnType::kInt64: {
+      if (RleProfitable(column)) {
+        const auto& ints = column.ints();
+        size_t i = 0;
+        while (i < ints.size()) {
+          size_t j = i;
+          while (j < ints.size() && ints[j] == ints[i]) ++j;
+          out->PutVarint(j - i);
+          out->PutI64(ints[i]);
+          i = j;
+        }
+        return Encoding::kRle;
+      }
+      if (DeltaProfitable(column)) {
+        const auto& ints = column.ints();
+        out->PutI64(ints[0]);
+        for (size_t i = 1; i < ints.size(); ++i) {
+          out->PutVarint(ZigZagEncode(ints[i] - ints[i - 1]));
+        }
+        return Encoding::kDelta;
+      }
+      for (int64_t v : column.ints()) out->PutI64(v);
+      return Encoding::kPlain;
+    }
+    case ColumnType::kDouble: {
+      for (double v : column.doubles()) out->PutDouble(v);
+      return Encoding::kPlain;
+    }
+    case ColumnType::kString: {
+      if (DictionaryProfitable(column)) {
+        std::map<std::string_view, uint32_t> dict;
+        for (const auto& s : column.strings()) dict.emplace(s, 0);
+        uint32_t next = 0;
+        for (auto& [key, id] : dict) {
+          (void)key;
+          id = next++;
+        }
+        out->PutVarint(dict.size());
+        for (const auto& [key, id] : dict) {
+          (void)id;
+          out->PutString(key);
+        }
+        for (const auto& s : column.strings()) {
+          out->PutVarint(dict[s]);
+        }
+        return Encoding::kDictionary;
+      }
+      for (const auto& s : column.strings()) out->PutString(s);
+      return Encoding::kPlain;
+    }
+  }
+  return Encoding::kPlain;
+}
+
+Result<ColumnVector> DecodeColumn(ColumnType type, Encoding encoding,
+                                  uint64_t num_rows, ByteReader* in) {
+  std::vector<uint8_t> valid;
+  POLARIS_RETURN_IF_ERROR(ReadValidity(in, num_rows, &valid));
+  ColumnVector out(type);
+  switch (type) {
+    case ColumnType::kInt64: {
+      if (encoding == Encoding::kRle) {
+        uint64_t decoded = 0;
+        while (decoded < num_rows) {
+          uint64_t run;
+          int64_t value;
+          POLARIS_RETURN_IF_ERROR(in->GetVarint(&run));
+          POLARIS_RETURN_IF_ERROR(in->GetI64(&value));
+          if (run == 0 || decoded + run > num_rows) {
+            return Status::Corruption("bad RLE run");
+          }
+          for (uint64_t i = 0; i < run; ++i) out.AppendInt64(value);
+          decoded += run;
+        }
+      } else if (encoding == Encoding::kDelta) {
+        if (num_rows > 0) {
+          int64_t value;
+          POLARIS_RETURN_IF_ERROR(in->GetI64(&value));
+          out.AppendInt64(value);
+          for (uint64_t i = 1; i < num_rows; ++i) {
+            uint64_t delta;
+            POLARIS_RETURN_IF_ERROR(in->GetVarint(&delta));
+            value += ZigZagDecode(delta);
+            out.AppendInt64(value);
+          }
+        }
+      } else if (encoding == Encoding::kPlain) {
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          int64_t v;
+          POLARIS_RETURN_IF_ERROR(in->GetI64(&v));
+          out.AppendInt64(v);
+        }
+      } else {
+        return Status::Corruption("bad encoding for int64");
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      if (encoding != Encoding::kPlain) {
+        return Status::Corruption("bad encoding for double");
+      }
+      for (uint64_t i = 0; i < num_rows; ++i) {
+        double v;
+        POLARIS_RETURN_IF_ERROR(in->GetDouble(&v));
+        out.AppendDouble(v);
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      if (encoding == Encoding::kDictionary) {
+        uint64_t dict_size;
+        POLARIS_RETURN_IF_ERROR(in->GetVarint(&dict_size));
+        std::vector<std::string> dict(dict_size);
+        for (uint64_t i = 0; i < dict_size; ++i) {
+          POLARIS_RETURN_IF_ERROR(in->GetString(&dict[i]));
+        }
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          uint64_t idx;
+          POLARIS_RETURN_IF_ERROR(in->GetVarint(&idx));
+          if (idx >= dict_size) {
+            return Status::Corruption("dictionary index out of range");
+          }
+          out.AppendString(dict[idx]);
+        }
+      } else if (encoding == Encoding::kPlain) {
+        for (uint64_t i = 0; i < num_rows; ++i) {
+          std::string s;
+          POLARIS_RETURN_IF_ERROR(in->GetString(&s));
+          out.AppendString(std::move(s));
+        }
+      } else {
+        return Status::Corruption("bad encoding for string");
+      }
+      break;
+    }
+  }
+  // Apply validity: rebuild with nulls. Values for null slots were encoded
+  // as defaults; patch the validity array directly.
+  ColumnVector patched(type);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    if (valid[i]) {
+      patched.AppendValue(out.ValueAt(i));
+    } else {
+      patched.AppendNull();
+    }
+  }
+  return patched;
+}
+
+}  // namespace polaris::format

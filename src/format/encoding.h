@@ -1,0 +1,55 @@
+#ifndef POLARIS_FORMAT_ENCODING_H_
+#define POLARIS_FORMAT_ENCODING_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "format/column.h"
+
+namespace polaris::format {
+
+/// Column chunk encodings. The writer picks the cheapest applicable
+/// encoding per chunk (RLE for low-cardinality int64 runs, dictionary for
+/// repetitive strings, plain otherwise) — the same space/scan trade-offs
+/// real Parquet makes.
+enum class Encoding : uint8_t {
+  kPlain = 0,
+  kRle = 1,         // int64 only: (varint run_length, fixed64 value)*
+  kDictionary = 2,  // string only: dict then varint indices
+  /// int64 only: first value fixed64, then zig-zag varint deltas. Chosen
+  /// for monotone chunks — which is exactly what a table sort key (§2.3)
+  /// produces — where small deltas compress far below 8 bytes/value.
+  kDelta = 3,
+};
+
+/// Zone-map statistics for one column chunk: min/max (over non-null values)
+/// and null count. Used for predicate pushdown (skipping row groups) and by
+/// the compaction heuristics.
+struct ColumnStats {
+  bool has_min_max = false;
+  Value min;
+  Value max;
+  uint64_t null_count = 0;
+
+  void Merge(const ColumnStats& other);
+  void Observe(const Value& v);
+
+  void Serialize(common::ByteWriter* out) const;
+  static common::Result<ColumnStats> Deserialize(common::ByteReader* in,
+                                                 ColumnType type);
+};
+
+/// Encodes `column` into `out`, choosing an encoding. Returns the encoding
+/// used. The layout is: validity bitmap (packed), then encoded values for
+/// the non-null positions.
+Encoding EncodeColumn(const ColumnVector& column, common::ByteWriter* out);
+
+/// Decodes a column chunk of `num_rows` rows produced by EncodeColumn.
+common::Result<ColumnVector> DecodeColumn(ColumnType type, Encoding encoding,
+                                          uint64_t num_rows,
+                                          common::ByteReader* in);
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_ENCODING_H_

@@ -1,0 +1,144 @@
+#include "format/file_reader.h"
+
+#include <cstring>
+
+namespace polaris::format {
+
+using common::ByteReader;
+using common::Result;
+using common::Status;
+
+Result<FileReader> FileReader::Open(std::string data) {
+  FileReader reader;
+  reader.data_ = std::move(data);
+  const std::string& bytes = reader.data_;
+
+  if (bytes.size() < 8) return Status::Corruption("file too small");
+  if (std::memcmp(bytes.data() + bytes.size() - 4, FileWriter::kMagic, 4) !=
+      0) {
+    return Status::Corruption("bad magic");
+  }
+  uint32_t footer_size;
+  std::memcpy(&footer_size, bytes.data() + bytes.size() - 8,
+              sizeof(footer_size));
+  if (footer_size + 8ull > bytes.size()) {
+    return Status::Corruption("footer size out of range");
+  }
+  size_t footer_start = bytes.size() - 8 - footer_size;
+  ByteReader footer(
+      std::string_view(bytes.data() + footer_start, footer_size));
+
+  POLARIS_ASSIGN_OR_RETURN(reader.schema_, Schema::Deserialize(&footer));
+  uint64_t num_groups;
+  POLARIS_RETURN_IF_ERROR(footer.GetVarint(&num_groups));
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    RowGroupMeta group;
+    POLARIS_RETURN_IF_ERROR(footer.GetVarint(&group.num_rows));
+    uint64_t num_cols;
+    POLARIS_RETURN_IF_ERROR(footer.GetVarint(&num_cols));
+    if (num_cols != reader.schema_.num_columns()) {
+      return Status::Corruption("column count mismatch in row group");
+    }
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      ColumnChunkMeta chunk;
+      POLARIS_RETURN_IF_ERROR(footer.GetU64(&chunk.offset));
+      POLARIS_RETURN_IF_ERROR(footer.GetU64(&chunk.size));
+      uint8_t enc;
+      POLARIS_RETURN_IF_ERROR(footer.GetU8(&enc));
+      if (enc > static_cast<uint8_t>(Encoding::kDelta)) {
+        return Status::Corruption("bad encoding tag");
+      }
+      chunk.encoding = static_cast<Encoding>(enc);
+      POLARIS_ASSIGN_OR_RETURN(
+          chunk.stats,
+          ColumnStats::Deserialize(&footer,
+                                   reader.schema_.column(c).type));
+      if (chunk.offset + chunk.size > footer_start) {
+        return Status::Corruption("chunk extends past body");
+      }
+      group.columns.push_back(std::move(chunk));
+    }
+    reader.row_groups_.push_back(std::move(group));
+  }
+  return reader;
+}
+
+uint64_t FileReader::num_rows() const {
+  uint64_t total = 0;
+  for (const auto& group : row_groups_) total += group.num_rows;
+  return total;
+}
+
+Result<RecordBatch> FileReader::ReadRowGroup(
+    size_t group, const std::vector<int>& projection) const {
+  if (group >= row_groups_.size()) {
+    return Status::InvalidArgument("row group out of range");
+  }
+  std::vector<int> cols = projection;
+  if (cols.empty()) {
+    for (size_t i = 0; i < schema_.num_columns(); ++i) {
+      cols.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<ColumnDesc> descs;
+  for (int c : cols) {
+    if (c < 0 || static_cast<size_t>(c) >= schema_.num_columns()) {
+      return Status::InvalidArgument("projected column out of range");
+    }
+    descs.push_back(schema_.column(c));
+  }
+
+  const RowGroupMeta& meta = row_groups_[group];
+  RecordBatch batch{Schema(descs)};
+  for (size_t out_idx = 0; out_idx < cols.size(); ++out_idx) {
+    const ColumnChunkMeta& chunk = meta.columns[cols[out_idx]];
+    ByteReader in(std::string_view(data_.data() + chunk.offset, chunk.size));
+    POLARIS_ASSIGN_OR_RETURN(
+        ColumnVector col,
+        DecodeColumn(descs[out_idx].type, chunk.encoding, meta.num_rows,
+                     &in));
+    batch.column(out_idx) = std::move(col);
+  }
+  return batch;
+}
+
+Result<RecordBatch> FileReader::ReadAll(
+    const std::vector<int>& projection) const {
+  RecordBatch all;
+  bool first = true;
+  for (size_t g = 0; g < row_groups_.size(); ++g) {
+    POLARIS_ASSIGN_OR_RETURN(RecordBatch batch, ReadRowGroup(g, projection));
+    if (first) {
+      all = std::move(batch);
+      first = false;
+    } else {
+      POLARIS_RETURN_IF_ERROR(all.Append(batch));
+    }
+  }
+  if (first) {
+    // Zero row groups: still return an empty batch with the right schema.
+    std::vector<ColumnDesc> descs;
+    if (projection.empty()) {
+      descs = schema_.columns();
+    } else {
+      for (int c : projection) descs.push_back(schema_.column(c));
+    }
+    all = RecordBatch{Schema(descs)};
+  }
+  return all;
+}
+
+bool FileReader::CanSkipRowGroup(size_t group, int column, const Value* low,
+                                 const Value* high) const {
+  if (group >= row_groups_.size()) return false;
+  if (column < 0 || static_cast<size_t>(column) >= schema_.num_columns()) {
+    return false;
+  }
+  const ColumnStats& stats = row_groups_[group].columns[column].stats;
+  if (!stats.has_min_max) return false;  // all-null or empty: can't prove
+  if (low != nullptr && stats.max.Compare(*low) < 0) return true;
+  if (high != nullptr && stats.min.Compare(*high) > 0) return true;
+  return false;
+}
+
+}  // namespace polaris::format

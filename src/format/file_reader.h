@@ -1,0 +1,53 @@
+#ifndef POLARIS_FORMAT_FILE_READER_H_
+#define POLARIS_FORMAT_FILE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+#include "format/file_writer.h"
+#include "format/schema.h"
+
+namespace polaris::format {
+
+/// Reads an immutable "PLX1" columnar file from an in-memory byte string.
+/// Supports column projection and zone-map-based row-group skipping.
+class FileReader {
+ public:
+  /// Parses the footer; fails with Corruption on malformed files.
+  static common::Result<FileReader> Open(std::string data);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_row_groups() const { return row_groups_.size(); }
+  const RowGroupMeta& row_group(size_t i) const { return row_groups_[i]; }
+  uint64_t num_rows() const;
+
+  /// Reads a full row group, optionally projecting a subset of columns
+  /// (indices into the file schema, in the requested order). An empty
+  /// projection means all columns.
+  common::Result<RecordBatch> ReadRowGroup(
+      size_t group, const std::vector<int>& projection = {}) const;
+
+  /// Reads the whole file into one batch (testing convenience).
+  common::Result<RecordBatch> ReadAll(
+      const std::vector<int>& projection = {}) const;
+
+  /// True when the zone map proves no row in the group can satisfy
+  /// `low <= column <= high` (either bound may be unbounded via nullptr).
+  bool CanSkipRowGroup(size_t group, int column, const Value* low,
+                       const Value* high) const;
+
+ private:
+  FileReader() = default;
+
+  std::string data_;
+  Schema schema_;
+  std::vector<RowGroupMeta> row_groups_;
+};
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_FILE_READER_H_

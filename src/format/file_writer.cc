@@ -1,0 +1,92 @@
+#include "format/file_writer.h"
+
+namespace polaris::format {
+
+using common::Result;
+using common::Status;
+
+FileWriter::FileWriter(Schema schema, FileWriterOptions options)
+    : schema_(std::move(schema)),
+      options_(options),
+      buffered_(schema_) {}
+
+Status FileWriter::Append(const RecordBatch& batch) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  POLARIS_RETURN_IF_ERROR(buffered_.Append(batch));
+  while (buffered_.num_rows() >= options_.rows_per_row_group) {
+    FlushRowGroup();
+  }
+  return Status::OK();
+}
+
+Status FileWriter::AppendRow(const Row& row) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  POLARIS_RETURN_IF_ERROR(buffered_.AppendRow(row));
+  if (buffered_.num_rows() >= options_.rows_per_row_group) {
+    FlushRowGroup();
+  }
+  return Status::OK();
+}
+
+void FileWriter::FlushRowGroup() {
+  uint64_t rows =
+      std::min<uint64_t>(buffered_.num_rows(), options_.rows_per_row_group);
+  if (rows == 0) return;
+
+  RowGroupMeta meta;
+  meta.num_rows = rows;
+
+  // Split the buffered batch: first `rows` go into this group; the
+  // remainder stays buffered.
+  RecordBatch group(schema_);
+  RecordBatch rest(schema_);
+  for (size_t r = 0; r < buffered_.num_rows(); ++r) {
+    auto* target = r < rows ? &group : &rest;
+    // AppendRow can't fail here: the row came from a matching batch.
+    (void)target->AppendRow(buffered_.GetRow(r));
+  }
+  buffered_ = std::move(rest);
+
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    ColumnChunkMeta chunk;
+    chunk.offset = body_.size();
+    chunk.encoding = EncodeColumn(group.column(c), &body_);
+    chunk.size = body_.size() - chunk.offset;
+    for (size_t r = 0; r < rows; ++r) {
+      chunk.stats.Observe(group.column(c).ValueAt(r));
+    }
+    meta.columns.push_back(std::move(chunk));
+  }
+  total_rows_ += rows;
+  row_groups_.push_back(std::move(meta));
+}
+
+Result<std::string> FileWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  while (buffered_.num_rows() > 0) FlushRowGroup();
+  finished_ = true;
+
+  common::ByteWriter footer;
+  schema_.Serialize(&footer);
+  footer.PutVarint(row_groups_.size());
+  for (const auto& group : row_groups_) {
+    footer.PutVarint(group.num_rows);
+    footer.PutVarint(group.columns.size());
+    for (const auto& chunk : group.columns) {
+      footer.PutU64(chunk.offset);
+      footer.PutU64(chunk.size);
+      footer.PutU8(static_cast<uint8_t>(chunk.encoding));
+      chunk.stats.Serialize(&footer);
+    }
+  }
+
+  std::string out = body_.Release();
+  uint32_t footer_size = static_cast<uint32_t>(footer.size());
+  out += footer.data();
+  out.append(reinterpret_cast<const char*>(&footer_size),
+             sizeof(footer_size));
+  out.append(kMagic, 4);
+  return out;
+}
+
+}  // namespace polaris::format

@@ -1,0 +1,73 @@
+#ifndef POLARIS_FORMAT_FILE_WRITER_H_
+#define POLARIS_FORMAT_FILE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+#include "format/encoding.h"
+#include "format/schema.h"
+
+namespace polaris::format {
+
+/// File layout metadata — per column chunk within a row group.
+struct ColumnChunkMeta {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  Encoding encoding = Encoding::kPlain;
+  ColumnStats stats;
+};
+
+/// Per row group metadata.
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  std::vector<ColumnChunkMeta> columns;
+};
+
+/// Options for the columnar file writer.
+struct FileWriterOptions {
+  /// Rows per row group. Real Parquet targets a size in bytes; rows keep
+  /// the cost model simple and deterministic.
+  uint64_t rows_per_row_group = 8192;
+};
+
+/// Writes one immutable columnar file ("PLX1" format — the Parquet
+/// substitute). Usage: construct, Append() batches/rows, Finish() to get
+/// the serialized bytes; the caller stores them as a write-once blob.
+///
+/// Layout: [row-group column chunks...][footer][footer_size:u32][magic].
+class FileWriter {
+ public:
+  explicit FileWriter(Schema schema, FileWriterOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+
+  common::Status Append(const RecordBatch& batch);
+  common::Status AppendRow(const Row& row);
+
+  uint64_t buffered_rows() const { return buffered_.num_rows(); }
+  uint64_t total_rows() const { return total_rows_ + buffered_.num_rows(); }
+
+  /// Flushes remaining rows and returns the complete file bytes.
+  /// The writer may not be reused afterwards.
+  common::Result<std::string> Finish();
+
+  static constexpr char kMagic[5] = "PLX1";
+
+ private:
+  void FlushRowGroup();
+
+  Schema schema_;
+  FileWriterOptions options_;
+  RecordBatch buffered_;
+  common::ByteWriter body_;
+  std::vector<RowGroupMeta> row_groups_;
+  uint64_t total_rows_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_FILE_WRITER_H_

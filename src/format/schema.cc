@@ -1,0 +1,51 @@
+#include "format/schema.h"
+
+namespace polaris::format {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::Serialize(common::ByteWriter* out) const {
+  out->PutVarint(columns_.size());
+  for (const auto& col : columns_) {
+    out->PutString(col.name);
+    out->PutU8(static_cast<uint8_t>(col.type));
+  }
+}
+
+common::Result<Schema> Schema::Deserialize(common::ByteReader* in) {
+  uint64_t n;
+  POLARIS_RETURN_IF_ERROR(in->GetVarint(&n));
+  std::vector<ColumnDesc> cols;
+  cols.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ColumnDesc col;
+    POLARIS_RETURN_IF_ERROR(in->GetString(&col.name));
+    uint8_t t;
+    POLARIS_RETURN_IF_ERROR(in->GetU8(&t));
+    if (t > static_cast<uint8_t>(ColumnType::kString)) {
+      return common::Status::Corruption("bad column type tag");
+    }
+    col.type = static_cast<ColumnType>(t);
+    cols.push_back(std::move(col));
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace polaris::format

@@ -1,0 +1,62 @@
+#ifndef POLARIS_FORMAT_SCHEMA_H_
+#define POLARIS_FORMAT_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace polaris::format {
+
+/// Column value types supported by the columnar format. The engine treats
+/// data files as opaque cells; this type system is what the single-node
+/// executor (the SQL Server stand-in) understands.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// One column in a table schema.
+struct ColumnDesc {
+  std::string name;
+  ColumnType type;
+
+  friend bool operator==(const ColumnDesc& a, const ColumnDesc& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDesc> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDesc& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDesc>& columns() const { return columns_; }
+
+  /// Index of the column with `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  void Serialize(common::ByteWriter* out) const;
+  static common::Result<Schema> Deserialize(common::ByteReader* in);
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<ColumnDesc> columns_;
+};
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_SCHEMA_H_

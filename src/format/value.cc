@@ -1,0 +1,40 @@
+#include "format/value.h"
+
+namespace polaris::format {
+
+int Value::Compare(const Value& other) const {
+  if (is_null || other.is_null) {
+    if (is_null && other.is_null) return 0;
+    return is_null ? -1 : 1;
+  }
+  switch (type) {
+    case ColumnType::kInt64: {
+      if (i64 != other.i64) return i64 < other.i64 ? -1 : 1;
+      return 0;
+    }
+    case ColumnType::kDouble: {
+      if (f64 != other.f64) return f64 < other.f64 ? -1 : 1;
+      return 0;
+    }
+    case ColumnType::kString: {
+      int c = str.compare(other.str);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null) return "NULL";
+  switch (type) {
+    case ColumnType::kInt64:
+      return std::to_string(i64);
+    case ColumnType::kDouble:
+      return std::to_string(f64);
+    case ColumnType::kString:
+      return str;
+  }
+  return "?";
+}
+
+}  // namespace polaris::format

@@ -1,0 +1,61 @@
+#ifndef POLARIS_FORMAT_VALUE_H_
+#define POLARIS_FORMAT_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/schema.h"
+
+namespace polaris::format {
+
+/// A single cell value. Small tagged union (not std::variant, to keep the
+/// common int64/double path branch-light and the null flag explicit).
+struct Value {
+  ColumnType type = ColumnType::kInt64;
+  bool is_null = false;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  std::string str;
+
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type = ColumnType::kInt64;
+    out.i64 = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type = ColumnType::kDouble;
+    out.f64 = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type = ColumnType::kString;
+    out.str = std::move(v);
+    return out;
+  }
+  static Value Null(ColumnType t) {
+    Value out;
+    out.type = t;
+    out.is_null = true;
+    return out;
+  }
+
+  /// Total ordering: null < non-null; within non-null, by value of the
+  /// common type. Used by zone-map stats and ORDER BY.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+};
+
+/// One table row.
+using Row = std::vector<Value>;
+
+}  // namespace polaris::format
+
+#endif  // POLARIS_FORMAT_VALUE_H_

@@ -1,0 +1,73 @@
+#include "lst/checkpoint.h"
+
+#include "common/bytes.h"
+
+namespace polaris::lst {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Result;
+using common::Status;
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x504c4b31;  // "PLK1"
+}
+
+std::string Checkpoint::Serialize(const TableSnapshot& snapshot) {
+  ByteWriter out;
+  out.PutU32(kCheckpointMagic);
+  out.PutU64(snapshot.sequence_id());
+  out.PutVarint(snapshot.files().size());
+  for (const auto& [path, state] : snapshot.files()) {
+    (void)path;
+    out.PutString(state.info.path);
+    out.PutVarint(state.info.row_count);
+    out.PutVarint(state.info.byte_size);
+    out.PutU32(state.info.cell_id);
+    out.PutString(state.dv_path);
+    out.PutVarint(state.deleted_count);
+  }
+  out.PutVarint(snapshot.removed_blobs().size());
+  for (const auto& blob : snapshot.removed_blobs()) {
+    out.PutString(blob.path);
+    out.PutI64(blob.removed_at);
+  }
+  return out.Release();
+}
+
+Result<TableSnapshot> Checkpoint::Deserialize(const std::string& blob) {
+  ByteReader in(blob);
+  uint32_t magic;
+  POLARIS_RETURN_IF_ERROR(in.GetU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  TableSnapshot snapshot;
+  uint64_t seq;
+  POLARIS_RETURN_IF_ERROR(in.GetU64(&seq));
+  snapshot.set_sequence_id(seq);
+  uint64_t num_files;
+  POLARIS_RETURN_IF_ERROR(in.GetVarint(&num_files));
+  for (uint64_t i = 0; i < num_files; ++i) {
+    FileState state;
+    POLARIS_RETURN_IF_ERROR(in.GetString(&state.info.path));
+    POLARIS_RETURN_IF_ERROR(in.GetVarint(&state.info.row_count));
+    POLARIS_RETURN_IF_ERROR(in.GetVarint(&state.info.byte_size));
+    POLARIS_RETURN_IF_ERROR(in.GetU32(&state.info.cell_id));
+    POLARIS_RETURN_IF_ERROR(in.GetString(&state.dv_path));
+    POLARIS_RETURN_IF_ERROR(in.GetVarint(&state.deleted_count));
+    snapshot.InsertFile(std::move(state));
+  }
+  uint64_t num_removed;
+  POLARIS_RETURN_IF_ERROR(in.GetVarint(&num_removed));
+  for (uint64_t i = 0; i < num_removed; ++i) {
+    RemovedBlob blob_rec;
+    POLARIS_RETURN_IF_ERROR(in.GetString(&blob_rec.path));
+    POLARIS_RETURN_IF_ERROR(in.GetI64(&blob_rec.removed_at));
+    snapshot.InsertRemovedBlob(std::move(blob_rec));
+  }
+  if (!in.AtEnd()) return Status::Corruption("trailing checkpoint bytes");
+  return snapshot;
+}
+
+}  // namespace polaris::lst

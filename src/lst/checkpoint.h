@@ -1,0 +1,30 @@
+#ifndef POLARIS_LST_CHECKPOINT_H_
+#define POLARIS_LST_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lst/table_snapshot.h"
+
+namespace polaris::lst {
+
+/// Serialization of a full table snapshot as of a manifest sequence id
+/// (paper §5.2). A reader loads the newest checkpoint visible to its
+/// transaction and replays only the manifests after it, instead of the
+/// entire manifest list.
+///
+/// Checkpoints never conflict with user transactions: they add no data
+/// files and remove none; they are pure derived state.
+class Checkpoint {
+ public:
+  /// Serializes `snapshot` (including removed-blob retention records,
+  /// which GC needs when it starts from a checkpoint).
+  static std::string Serialize(const TableSnapshot& snapshot);
+
+  /// Parses a checkpoint blob back into a snapshot.
+  static common::Result<TableSnapshot> Deserialize(const std::string& blob);
+};
+
+}  // namespace polaris::lst
+
+#endif  // POLARIS_LST_CHECKPOINT_H_

@@ -1,0 +1,85 @@
+#include "lst/deletion_vector.h"
+
+namespace polaris::lst {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Result;
+using common::Status;
+
+void DeletionVector::MarkDeleted(uint64_t ordinal) {
+  size_t word = ordinal / 64;
+  uint64_t bit = 1ULL << (ordinal % 64);
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  if ((words_[word] & bit) == 0) {
+    words_[word] |= bit;
+    ++cardinality_;
+  }
+}
+
+bool DeletionVector::IsDeleted(uint64_t ordinal) const {
+  size_t word = ordinal / 64;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (ordinal % 64)) & 1;
+}
+
+DeletionVector DeletionVector::Union(const DeletionVector& other) const {
+  DeletionVector out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  out.cardinality_ = 0;
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    uint64_t w = 0;
+    if (i < words_.size()) w |= words_[i];
+    if (i < other.words_.size()) w |= other.words_[i];
+    out.words_[i] = w;
+    out.cardinality_ += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return out;
+}
+
+std::vector<uint64_t> DeletionVector::ToOrdinals() const {
+  std::vector<uint64_t> out;
+  out.reserve(cardinality_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      out.push_back(w * 64 + static_cast<uint64_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+void DeletionVector::Serialize(ByteWriter* out) const {
+  out->PutVarint(words_.size());
+  for (uint64_t w : words_) out->PutU64(w);
+}
+
+Result<DeletionVector> DeletionVector::Deserialize(ByteReader* in) {
+  uint64_t n;
+  POLARIS_RETURN_IF_ERROR(in->GetVarint(&n));
+  DeletionVector dv;
+  dv.words_.resize(n);
+  dv.cardinality_ = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    POLARIS_RETURN_IF_ERROR(in->GetU64(&dv.words_[i]));
+    dv.cardinality_ += static_cast<uint64_t>(__builtin_popcountll(dv.words_[i]));
+  }
+  return dv;
+}
+
+std::string DeletionVector::ToBlob() const {
+  ByteWriter out;
+  Serialize(&out);
+  return out.Release();
+}
+
+Result<DeletionVector> DeletionVector::FromBlob(const std::string& blob) {
+  ByteReader in(blob);
+  POLARIS_ASSIGN_OR_RETURN(DeletionVector dv, Deserialize(&in));
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes in DV blob");
+  return dv;
+}
+
+}  // namespace polaris::lst

@@ -1,0 +1,55 @@
+#ifndef POLARIS_LST_DELETION_VECTOR_H_
+#define POLARIS_LST_DELETION_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace polaris::lst {
+
+/// A bitmap of deleted row ordinals within one immutable data file
+/// (merge-on-read, paper §2.1). Deletion vectors are themselves immutable
+/// once written: deleting more rows from a file produces a *merged* vector
+/// in a new blob, and the manifest records Remove(old DV) + Add(new DV)
+/// (paper §4.2).
+class DeletionVector {
+ public:
+  DeletionVector() = default;
+
+  /// Marks row `ordinal` deleted. Idempotent.
+  void MarkDeleted(uint64_t ordinal);
+  bool IsDeleted(uint64_t ordinal) const;
+
+  /// Number of deleted rows.
+  uint64_t cardinality() const { return cardinality_; }
+  bool empty() const { return cardinality_ == 0; }
+
+  /// Returns the union of this vector and `other` (the merge step when a
+  /// second delete touches an already-vectored file).
+  DeletionVector Union(const DeletionVector& other) const;
+
+  /// All deleted ordinals in increasing order.
+  std::vector<uint64_t> ToOrdinals() const;
+
+  void Serialize(common::ByteWriter* out) const;
+  static common::Result<DeletionVector> Deserialize(common::ByteReader* in);
+
+  /// Whole-blob helpers for storage round trips.
+  std::string ToBlob() const;
+  static common::Result<DeletionVector> FromBlob(const std::string& blob);
+
+  bool operator==(const DeletionVector& other) const {
+    return words_ == other.words_ && cardinality_ == other.cardinality_;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t cardinality_ = 0;
+};
+
+}  // namespace polaris::lst
+
+#endif  // POLARIS_LST_DELETION_VECTOR_H_

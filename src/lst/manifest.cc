@@ -1,0 +1,127 @@
+#include "lst/manifest.h"
+
+namespace polaris::lst {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Result;
+using common::Status;
+
+std::string_view ActionTypeName(ActionType type) {
+  switch (type) {
+    case ActionType::kAddDataFile:
+      return "AddDataFile";
+    case ActionType::kRemoveDataFile:
+      return "RemoveDataFile";
+    case ActionType::kAddDeleteVector:
+      return "AddDeleteVector";
+    case ActionType::kRemoveDeleteVector:
+      return "RemoveDeleteVector";
+  }
+  return "Unknown";
+}
+
+ManifestEntry ManifestEntry::AddFile(DataFileInfo info) {
+  ManifestEntry e;
+  e.type = ActionType::kAddDataFile;
+  e.file = std::move(info);
+  return e;
+}
+
+ManifestEntry ManifestEntry::RemoveFile(std::string path) {
+  ManifestEntry e;
+  e.type = ActionType::kRemoveDataFile;
+  e.file.path = std::move(path);
+  return e;
+}
+
+ManifestEntry ManifestEntry::AddDv(DeleteVectorInfo info) {
+  ManifestEntry e;
+  e.type = ActionType::kAddDeleteVector;
+  e.dv = std::move(info);
+  return e;
+}
+
+ManifestEntry ManifestEntry::RemoveDv(std::string dv_path,
+                                      std::string target_data_file) {
+  ManifestEntry e;
+  e.type = ActionType::kRemoveDeleteVector;
+  e.dv.path = std::move(dv_path);
+  e.dv.target_data_file = std::move(target_data_file);
+  return e;
+}
+
+void ManifestEntry::Serialize(ByteWriter* out) const {
+  out->PutU8(static_cast<uint8_t>(type));
+  switch (type) {
+    case ActionType::kAddDataFile:
+      out->PutString(file.path);
+      out->PutVarint(file.row_count);
+      out->PutVarint(file.byte_size);
+      out->PutU32(file.cell_id);
+      break;
+    case ActionType::kRemoveDataFile:
+      out->PutString(file.path);
+      break;
+    case ActionType::kAddDeleteVector:
+      out->PutString(dv.path);
+      out->PutString(dv.target_data_file);
+      out->PutVarint(dv.deleted_count);
+      break;
+    case ActionType::kRemoveDeleteVector:
+      out->PutString(dv.path);
+      out->PutString(dv.target_data_file);
+      break;
+  }
+}
+
+Result<ManifestEntry> ManifestEntry::Deserialize(ByteReader* in) {
+  uint8_t tag;
+  POLARIS_RETURN_IF_ERROR(in->GetU8(&tag));
+  if (tag > static_cast<uint8_t>(ActionType::kRemoveDeleteVector)) {
+    return Status::Corruption("bad manifest action tag");
+  }
+  ManifestEntry e;
+  e.type = static_cast<ActionType>(tag);
+  switch (e.type) {
+    case ActionType::kAddDataFile:
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.file.path));
+      POLARIS_RETURN_IF_ERROR(in->GetVarint(&e.file.row_count));
+      POLARIS_RETURN_IF_ERROR(in->GetVarint(&e.file.byte_size));
+      POLARIS_RETURN_IF_ERROR(in->GetU32(&e.file.cell_id));
+      break;
+    case ActionType::kRemoveDataFile:
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.file.path));
+      break;
+    case ActionType::kAddDeleteVector:
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.dv.path));
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.dv.target_data_file));
+      POLARIS_RETURN_IF_ERROR(in->GetVarint(&e.dv.deleted_count));
+      break;
+    case ActionType::kRemoveDeleteVector:
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.dv.path));
+      POLARIS_RETURN_IF_ERROR(in->GetString(&e.dv.target_data_file));
+      break;
+  }
+  return e;
+}
+
+std::string SerializeEntries(const std::vector<ManifestEntry>& entries) {
+  ByteWriter out;
+  for (const auto& entry : entries) {
+    entry.Serialize(&out);
+  }
+  return out.Release();
+}
+
+Result<std::vector<ManifestEntry>> ParseEntries(const std::string& blob) {
+  ByteReader in(blob);
+  std::vector<ManifestEntry> entries;
+  while (!in.AtEnd()) {
+    POLARIS_ASSIGN_OR_RETURN(ManifestEntry e, ManifestEntry::Deserialize(&in));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace polaris::lst

@@ -1,0 +1,81 @@
+#ifndef POLARIS_LST_MANIFEST_H_
+#define POLARIS_LST_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace polaris::lst {
+
+/// Kinds of change a committed transaction records for a table
+/// (paper §3.2): data files added/removed, and deletion vectors
+/// added/removed against existing data files.
+enum class ActionType : uint8_t {
+  kAddDataFile = 0,
+  kRemoveDataFile = 1,
+  kAddDeleteVector = 2,
+  kRemoveDeleteVector = 3,
+};
+
+std::string_view ActionTypeName(ActionType type);
+
+/// Descriptor of one immutable data file as recorded in a manifest.
+struct DataFileInfo {
+  /// Object-store path ("tables/<id>/data/<guid>.parquet").
+  std::string path;
+  uint64_t row_count = 0;
+  uint64_t byte_size = 0;
+  /// Distribution bucket (the d(r) dimension of the Polaris cell model,
+  /// paper §2.3); drives task placement in the DCP.
+  uint32_t cell_id = 0;
+
+  friend bool operator==(const DataFileInfo&, const DataFileInfo&) = default;
+};
+
+/// Descriptor of one deletion-vector file.
+struct DeleteVectorInfo {
+  /// Object-store path of the DV blob.
+  std::string path;
+  /// Path of the data file whose rows it deletes.
+  std::string target_data_file;
+  /// Number of deleted row ordinals in the vector.
+  uint64_t deleted_count = 0;
+
+  friend bool operator==(const DeleteVectorInfo&,
+                         const DeleteVectorInfo&) = default;
+};
+
+/// One entry in a (transaction) manifest. Exactly one of `file` / `dv` is
+/// meaningful depending on `type`.
+struct ManifestEntry {
+  ActionType type = ActionType::kAddDataFile;
+  DataFileInfo file;
+  DeleteVectorInfo dv;
+
+  static ManifestEntry AddFile(DataFileInfo info);
+  static ManifestEntry RemoveFile(std::string path);
+  static ManifestEntry AddDv(DeleteVectorInfo info);
+  static ManifestEntry RemoveDv(std::string dv_path,
+                                std::string target_data_file);
+
+  void Serialize(common::ByteWriter* out) const;
+  static common::Result<ManifestEntry> Deserialize(common::ByteReader* in);
+
+  friend bool operator==(const ManifestEntry&, const ManifestEntry&) = default;
+};
+
+/// Serializes a sequence of entries as one manifest block. Blocks are
+/// self-delimiting, so a manifest blob assembled from N committed blocks
+/// parses as the concatenation of their entries.
+std::string SerializeEntries(const std::vector<ManifestEntry>& entries);
+
+/// Parses all entries from a manifest blob (one or more blocks).
+common::Result<std::vector<ManifestEntry>> ParseEntries(
+    const std::string& blob);
+
+}  // namespace polaris::lst
+
+#endif  // POLARIS_LST_MANIFEST_H_

@@ -1,0 +1,48 @@
+#include "lst/manifest_io.h"
+
+#include "common/guid.h"
+
+namespace polaris::lst {
+
+using common::Result;
+using common::Status;
+
+Result<std::string> ManifestBlockWriter::StageEntries(
+    const std::vector<ManifestEntry>& entries) {
+  std::string block_id = common::Guid::Generate().ToString();
+  POLARIS_RETURN_IF_ERROR(
+      store_->StageBlock(manifest_path_, block_id, SerializeEntries(entries)));
+  return block_id;
+}
+
+Status ManifestCommitter::CommitAppend(
+    const std::string& manifest_path,
+    const std::vector<std::string>& new_block_ids) {
+  std::vector<std::string> ids;
+  auto existing = store_->GetCommittedBlockList(manifest_path);
+  if (existing.ok()) {
+    ids = std::move(existing).value();
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  ids.insert(ids.end(), new_block_ids.begin(), new_block_ids.end());
+  return store_->CommitBlockList(manifest_path, ids);
+}
+
+Result<std::string> ManifestCommitter::CommitRewrite(
+    const std::string& manifest_path,
+    const std::vector<ManifestEntry>& entries) {
+  std::string block_id = common::Guid::Generate().ToString();
+  POLARIS_RETURN_IF_ERROR(store_->StageBlock(manifest_path, block_id,
+                                             SerializeEntries(entries)));
+  POLARIS_RETURN_IF_ERROR(store_->CommitBlockList(manifest_path, {block_id}));
+  return block_id;
+}
+
+Result<std::vector<ManifestEntry>> ManifestCommitter::ReadManifest(
+    const std::string& manifest_path) {
+  POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(manifest_path));
+  return ParseEntries(blob);
+}
+
+}  // namespace polaris::lst

@@ -1,0 +1,62 @@
+#ifndef POLARIS_LST_MANIFEST_IO_H_
+#define POLARIS_LST_MANIFEST_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lst/manifest.h"
+#include "storage/object_store.h"
+
+namespace polaris::lst {
+
+/// BE-side handle for writing one task's share of a transaction manifest
+/// (paper §3.2.2). Each task attempt serializes its entries and stages them
+/// as a block with a fresh GUID block ID; the IDs flow back through the DCP
+/// to the SQL FE. Blocks staged by failed/abandoned attempts are never
+/// committed and are discarded by the store.
+class ManifestBlockWriter {
+ public:
+  ManifestBlockWriter(storage::ObjectStore* store, std::string manifest_path)
+      : store_(store), manifest_path_(std::move(manifest_path)) {}
+
+  /// Stages `entries` as one uncommitted block; returns its block ID.
+  common::Result<std::string> StageEntries(
+      const std::vector<ManifestEntry>& entries);
+
+  const std::string& manifest_path() const { return manifest_path_; }
+
+ private:
+  storage::ObjectStore* store_;
+  std::string manifest_path_;
+};
+
+/// FE-side manifest operations (paper §3.2.2 / §3.2.3 / §4.3).
+class ManifestCommitter {
+ public:
+  explicit ManifestCommitter(storage::ObjectStore* store) : store_(store) {}
+
+  /// Insert path: appends `new_block_ids` after the blob's current
+  /// committed list (empty for the first statement) and commits. Used for
+  /// insert statements, which never invalidate earlier entries.
+  common::Status CommitAppend(const std::string& manifest_path,
+                              const std::vector<std::string>& new_block_ids);
+
+  /// Update/delete path: replaces the manifest contents with the single
+  /// canonical `entries` block (the FE "compacts and rewrites the
+  /// aggregated blocks"). Returns the ID of the rewritten block.
+  common::Result<std::string> CommitRewrite(
+      const std::string& manifest_path,
+      const std::vector<ManifestEntry>& entries);
+
+  /// Reads and parses all committed entries of a manifest blob.
+  common::Result<std::vector<ManifestEntry>> ReadManifest(
+      const std::string& manifest_path);
+
+ private:
+  storage::ObjectStore* store_;
+};
+
+}  // namespace polaris::lst
+
+#endif  // POLARIS_LST_MANIFEST_IO_H_

@@ -1,0 +1,158 @@
+#include "lst/table_snapshot.h"
+
+#include <algorithm>
+
+namespace polaris::lst {
+
+using common::Status;
+
+Status TableSnapshot::Apply(const std::vector<ManifestEntry>& entries,
+                            common::Micros commit_time) {
+  for (const auto& entry : entries) {
+    switch (entry.type) {
+      case ActionType::kAddDataFile: {
+        auto [it, inserted] = files_.try_emplace(entry.file.path);
+        if (!inserted) {
+          return Status::Corruption("duplicate AddDataFile: " +
+                                    entry.file.path);
+        }
+        it->second.info = entry.file;
+        it->second.dv_path.clear();
+        it->second.deleted_count = 0;
+        break;
+      }
+      case ActionType::kRemoveDataFile: {
+        auto it = files_.find(entry.file.path);
+        if (it == files_.end()) {
+          return Status::Corruption("RemoveDataFile for unknown file: " +
+                                    entry.file.path);
+        }
+        // A data file removal implicitly retires its deletion vector blob;
+        // well-formed manifests emit the RemoveDv first, but compaction of
+        // a whole file may skip it.
+        if (!it->second.dv_path.empty()) {
+          removed_blobs_.push_back({it->second.dv_path, commit_time});
+        }
+        removed_blobs_.push_back({entry.file.path, commit_time});
+        files_.erase(it);
+        break;
+      }
+      case ActionType::kAddDeleteVector: {
+        auto it = files_.find(entry.dv.target_data_file);
+        if (it == files_.end()) {
+          return Status::Corruption("AddDeleteVector for unknown file: " +
+                                    entry.dv.target_data_file);
+        }
+        if (!it->second.dv_path.empty()) {
+          return Status::Corruption(
+              "AddDeleteVector over existing DV (missing RemoveDv): " +
+              entry.dv.target_data_file);
+        }
+        it->second.dv_path = entry.dv.path;
+        it->second.deleted_count = entry.dv.deleted_count;
+        break;
+      }
+      case ActionType::kRemoveDeleteVector: {
+        auto it = files_.find(entry.dv.target_data_file);
+        if (it == files_.end() || it->second.dv_path != entry.dv.path) {
+          return Status::Corruption("RemoveDeleteVector mismatch: " +
+                                    entry.dv.path);
+        }
+        removed_blobs_.push_back({entry.dv.path, commit_time});
+        it->second.dv_path.clear();
+        it->second.deleted_count = 0;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t TableSnapshot::total_rows() const {
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) {
+    (void)path;
+    total += state.info.row_count;
+  }
+  return total;
+}
+
+uint64_t TableSnapshot::total_deleted_rows() const {
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) {
+    (void)path;
+    total += state.deleted_count;
+  }
+  return total;
+}
+
+uint64_t TableSnapshot::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) {
+    (void)path;
+    total += state.info.byte_size;
+  }
+  return total;
+}
+
+std::vector<RemovedBlob> TableSnapshot::TakeRemovedBefore(
+    common::Micros horizon) {
+  std::vector<RemovedBlob> taken;
+  auto it = std::stable_partition(
+      removed_blobs_.begin(), removed_blobs_.end(),
+      [horizon](const RemovedBlob& b) { return b.removed_at >= horizon; });
+  taken.assign(std::make_move_iterator(it),
+               std::make_move_iterator(removed_blobs_.end()));
+  removed_blobs_.erase(it, removed_blobs_.end());
+  return taken;
+}
+
+std::vector<ManifestEntry> DiffSnapshots(const TableSnapshot& base,
+                                         const TableSnapshot& current) {
+  std::vector<ManifestEntry> entries;
+  const auto& base_files = base.files();
+  const auto& cur_files = current.files();
+
+  // Removals first (including DV retirement), so that replay over the base
+  // never sees an Add against a file with a stale DV.
+  for (const auto& [path, state] : base_files) {
+    if (cur_files.count(path) != 0) continue;
+    if (!state.dv_path.empty()) {
+      entries.push_back(ManifestEntry::RemoveDv(state.dv_path, path));
+    }
+    entries.push_back(ManifestEntry::RemoveFile(path));
+  }
+  // DV changes on surviving files.
+  for (const auto& [path, state] : cur_files) {
+    auto it = base_files.find(path);
+    if (it == base_files.end()) continue;
+    const FileState& old = it->second;
+    if (old.dv_path == state.dv_path) continue;
+    if (!old.dv_path.empty()) {
+      entries.push_back(ManifestEntry::RemoveDv(old.dv_path, path));
+    }
+    if (!state.dv_path.empty()) {
+      DeleteVectorInfo info;
+      info.path = state.dv_path;
+      info.target_data_file = path;
+      info.deleted_count = state.deleted_count;
+      entries.push_back(ManifestEntry::AddDv(std::move(info)));
+    }
+  }
+  // New files (with their DVs, if a later statement already deleted from a
+  // file created inside the same transaction).
+  for (const auto& [path, state] : cur_files) {
+    if (base_files.count(path) != 0) continue;
+    entries.push_back(ManifestEntry::AddFile(state.info));
+    if (!state.dv_path.empty()) {
+      DeleteVectorInfo info;
+      info.path = state.dv_path;
+      info.target_data_file = path;
+      info.deleted_count = state.deleted_count;
+      entries.push_back(ManifestEntry::AddDv(std::move(info)));
+    }
+  }
+  return entries;
+}
+
+}  // namespace polaris::lst

@@ -1,0 +1,102 @@
+#ifndef POLARIS_LST_TABLE_SNAPSHOT_H_
+#define POLARIS_LST_TABLE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "lst/manifest.h"
+
+namespace polaris::lst {
+
+/// State of one live data file within a snapshot: the file descriptor plus
+/// its current deletion vector (if any).
+struct FileState {
+  DataFileInfo info;
+  /// Path of the active DV blob; empty if the file has no deleted rows.
+  std::string dv_path;
+  uint64_t deleted_count = 0;
+
+  uint64_t live_rows() const { return info.row_count - deleted_count; }
+
+  friend bool operator==(const FileState&, const FileState&) = default;
+};
+
+/// A blob that a committed transaction logically removed, retained for the
+/// user-configured retention window before garbage collection (paper §5.3).
+struct RemovedBlob {
+  std::string path;
+  /// Commit time of the removing transaction (micros).
+  common::Micros removed_at = 0;
+
+  friend bool operator==(const RemovedBlob&, const RemovedBlob&) = default;
+};
+
+/// The reconstructed state of a log-structured table as of a point in its
+/// manifest sequence (paper §3.2.1): the set of live data files with their
+/// deletion vectors, plus the logically-removed blobs still inside
+/// retention. Built by replaying manifest entries in sequence order, or by
+/// loading a checkpoint and replaying the manifests after it (§5.2).
+class TableSnapshot {
+ public:
+  TableSnapshot() = default;
+
+  /// Replays one committed manifest. `commit_time` is the commit timestamp
+  /// recorded for removals (used by GC retention).
+  common::Status Apply(const std::vector<ManifestEntry>& entries,
+                       common::Micros commit_time);
+
+  /// Live files keyed by path (deterministic order).
+  const std::map<std::string, FileState>& files() const { return files_; }
+  /// Blobs removed by committed transactions, oldest first.
+  const std::vector<RemovedBlob>& removed_blobs() const {
+    return removed_blobs_;
+  }
+
+  /// Highest manifest sequence id applied (0 if none).
+  uint64_t sequence_id() const { return sequence_id_; }
+  void set_sequence_id(uint64_t seq) { sequence_id_ = seq; }
+
+  uint64_t num_files() const { return files_.size(); }
+  uint64_t total_rows() const;
+  uint64_t total_deleted_rows() const;
+  uint64_t live_rows() const { return total_rows() - total_deleted_rows(); }
+  uint64_t total_bytes() const;
+
+  /// Drops removed-blob records older than `horizon`; returns them. Used
+  /// by GC once the physical blobs are deleted.
+  std::vector<RemovedBlob> TakeRemovedBefore(common::Micros horizon);
+
+  // Direct mutation used by checkpoint loading.
+  void InsertFile(FileState state) {
+    files_[state.info.path] = std::move(state);
+  }
+  /// Removes a file without recording a retention entry — used when a
+  /// transaction prunes its own fully-obsoleted intra-transaction files
+  /// (the blobs become GC'd orphans, not retention-tracked removals).
+  void DropFile(const std::string& path) { files_.erase(path); }
+  void InsertRemovedBlob(RemovedBlob blob) {
+    removed_blobs_.push_back(std::move(blob));
+  }
+
+  friend bool operator==(const TableSnapshot&, const TableSnapshot&) = default;
+
+ private:
+  std::map<std::string, FileState> files_;
+  std::vector<RemovedBlob> removed_blobs_;
+  uint64_t sequence_id_ = 0;
+};
+
+/// Computes the canonical manifest entries that transform `base` into
+/// `current`. This is the FE-side "compact and rewrite" reconciliation for
+/// multi-statement transactions (paper §3.2.3): files created and then
+/// obsoleted entirely within the transaction produce no entries at all.
+std::vector<ManifestEntry> DiffSnapshots(const TableSnapshot& base,
+                                         const TableSnapshot& current);
+
+}  // namespace polaris::lst
+
+#endif  // POLARIS_LST_TABLE_SNAPSHOT_H_

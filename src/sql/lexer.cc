@@ -1,0 +1,144 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace polaris::sql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr std::array<std::string_view, 37> kKeywords = {
+    "AS",     "ASC",    "AVG",      "BEGIN",  "BY",     "CLONE",
+    "COMMIT", "COUNT",  "CREATE",   "DELETE", "DESC",   "DOUBLE",
+    "DROP",   "FROM",   "GROUP",    "INSERT", "INT",    "INTO",
+    "MAX",    "MIN",    "NULL",     "OF",     "ORDER",  "ROLLBACK",
+    "SELECT", "SET",    "SUM",      "TABLE",  "TEXT",   "TO",
+    "AND",    "BIGINT", "TRANSACTION", "UPDATE", "VALUES", "WHERE",
+    "LIMIT"};
+
+bool IsKeywordWord(const std::string& upper) {
+  return std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+         kKeywords.end();
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (IsKeywordWord(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+                (tokens.empty() ||
+                 tokens.back().type == TokenType::kSymbol))) {
+      // A '-' directly before digits is a negative literal only when it
+      // cannot be a binary minus (previous token was a symbol or none).
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') {
+          if (is_float) {
+            return Status::InvalidArgument(
+                "malformed number at offset " + std::to_string(start));
+          }
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string num = input.substr(start, i - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      token.text = std::move(num);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else {
+      // Symbols, including the two-character comparison operators.
+      auto two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        token.type = TokenType::kSymbol;
+        token.text = two == "<>" ? "!=" : two;
+        i += 2;
+      } else if (std::string("(),;*=<>+-.").find(c) != std::string::npos) {
+        token.type = TokenType::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace polaris::sql

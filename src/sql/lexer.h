@@ -1,0 +1,47 @@
+#ifndef POLARIS_SQL_LEXER_H_
+#define POLARIS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace polaris::sql {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenType {
+  kKeyword,     // normalized to upper case
+  kIdentifier,  // as written (identifiers are case-sensitive)
+  kInteger,
+  kFloat,
+  kString,  // quoted literal, quotes stripped, '' unescaped
+  kSymbol,  // ( ) , ; * = < > <= >= != <> + - .
+  kEnd,
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // keyword (upper), identifier, symbol, or literal
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset in the input
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively from the
+/// dialect's reserved-word list; everything else alphanumeric is an
+/// identifier. Fails with InvalidArgument on malformed literals or stray
+/// characters, reporting the byte offset.
+common::Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace polaris::sql
+
+#endif  // POLARIS_SQL_LEXER_H_

@@ -1,0 +1,403 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "sql/lexer.h"
+
+namespace polaris::sql {
+
+using common::Result;
+using common::Status;
+using exec::AggFunc;
+using exec::CompareOp;
+using format::ColumnType;
+using format::Value;
+
+namespace {
+
+/// Recursive-descent cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedStatement> ParseStatement();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " near offset " +
+                                   std::to_string(Peek().position));
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!AcceptSymbol(s)) {
+      return Error("expected '" + std::string(s) + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+  Status ExpectStatementEnd() {
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteral();
+  Result<ParsedStatement> ParseCreate();
+  Result<ParsedStatement> ParseDrop();
+  Result<ParsedStatement> ParseClone();
+  Result<ParsedStatement> ParseInsert();
+  Result<ParsedStatement> ParseSelect();
+  Result<ParsedStatement> ParseUpdate();
+  Result<ParsedStatement> ParseDelete();
+  Status ParseWhere(exec::Conjunction* where);
+  Status ParseAsOf(ParsedStatement* stmt);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Value> Parser::ParseLiteral() {
+  const Token& token = Peek();
+  switch (token.type) {
+    case TokenType::kInteger:
+      Advance();
+      return Value::Int64(token.int_value);
+    case TokenType::kFloat:
+      Advance();
+      return Value::Double(token.double_value);
+    case TokenType::kString:
+      Advance();
+      return Value::String(token.text);
+    case TokenType::kKeyword:
+      if (token.text == "NULL") {
+        Advance();
+        // Type is resolved against the schema at execution time.
+        return Value::Null(ColumnType::kInt64);
+      }
+      [[fallthrough]];
+    default:
+      return Error("expected a literal");
+  }
+}
+
+Result<ParsedStatement> Parser::ParseCreate() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kCreateTable;
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ExpectSymbol("("));
+  std::vector<format::ColumnDesc> columns;
+  do {
+    POLARIS_ASSIGN_OR_RETURN(std::string name,
+                             ExpectIdentifier("column name"));
+    ColumnType type;
+    if (AcceptKeyword("BIGINT") || AcceptKeyword("INT")) {
+      type = ColumnType::kInt64;
+    } else if (AcceptKeyword("DOUBLE")) {
+      type = ColumnType::kDouble;
+    } else if (AcceptKeyword("TEXT")) {
+      type = ColumnType::kString;
+    } else {
+      return Error("expected column type (BIGINT, DOUBLE or TEXT)");
+    }
+    columns.push_back({std::move(name), type});
+  } while (AcceptSymbol(","));
+  POLARIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+  if (AcceptKeyword("ORDER")) {
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    POLARIS_ASSIGN_OR_RETURN(stmt.sort_column,
+                             ExpectIdentifier("ORDER BY column"));
+  }
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  stmt.schema = format::Schema(std::move(columns));
+  return stmt;
+}
+
+Result<ParsedStatement> Parser::ParseDrop() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kDropTable;
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Status Parser::ParseAsOf(ParsedStatement* stmt) {
+  if (AcceptKeyword("AS")) {
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("OF"));
+    if (Peek().type != TokenType::kInteger) {
+      return Error("expected a timestamp (microseconds) after AS OF");
+    }
+    stmt->as_of = Advance().int_value;
+  }
+  return Status::OK();
+}
+
+Result<ParsedStatement> Parser::ParseClone() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kCloneTable;
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("source table"));
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.clone_target,
+                           ExpectIdentifier("target table"));
+  POLARIS_RETURN_IF_ERROR(ParseAsOf(&stmt));
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Result<ParsedStatement> Parser::ParseInsert() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kInsert;
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    POLARIS_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> row;
+    do {
+      POLARIS_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+      row.push_back(std::move(value));
+    } while (AcceptSymbol(","));
+    POLARIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.insert_rows.push_back(std::move(row));
+  } while (AcceptSymbol(","));
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Status Parser::ParseWhere(exec::Conjunction* where) {
+  if (!AcceptKeyword("WHERE")) return Status::OK();
+  do {
+    auto column = ExpectIdentifier("column in WHERE");
+    POLARIS_RETURN_IF_ERROR(column.status());
+    CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AcceptSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    POLARIS_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    where->predicates.push_back(
+        exec::Predicate::Make(*column, op, std::move(literal)));
+  } while (AcceptKeyword("AND"));
+  return Status::OK();
+}
+
+Result<ParsedStatement> Parser::ParseSelect() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kSelect;
+  do {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.star = true;
+    } else if (Peek().type == TokenType::kKeyword &&
+               (Peek().text == "COUNT" || Peek().text == "SUM" ||
+                Peek().text == "MIN" || Peek().text == "MAX" ||
+                Peek().text == "AVG")) {
+      std::string func = Advance().text;
+      if (func == "COUNT") {
+        item.aggregate = AggFunc::kCount;
+      } else if (func == "SUM") {
+        item.aggregate = AggFunc::kSum;
+      } else if (func == "MIN") {
+        item.aggregate = AggFunc::kMin;
+      } else if (func == "MAX") {
+        item.aggregate = AggFunc::kMax;
+      } else {
+        item.aggregate = AggFunc::kAvg;
+      }
+      POLARIS_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (AcceptSymbol("*")) {
+        if (*item.aggregate != AggFunc::kCount) {
+          return Error("only COUNT may aggregate '*'");
+        }
+      } else {
+        POLARIS_ASSIGN_OR_RETURN(item.column,
+                                 ExpectIdentifier("aggregate column"));
+      }
+      POLARIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      // Default output name: count_x, sum_x, ...; COUNT(*) -> count.
+      std::string lower = func;
+      for (auto& ch : lower) ch = static_cast<char>(std::tolower(ch));
+      item.alias = item.column.empty() ? lower : lower + "_" + item.column;
+    } else {
+      POLARIS_ASSIGN_OR_RETURN(item.column,
+                               ExpectIdentifier("column in SELECT list"));
+      item.alias = item.column;
+    }
+    if (AcceptKeyword("AS")) {
+      POLARIS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    }
+    stmt.select_items.push_back(std::move(item));
+  } while (AcceptSymbol(","));
+
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ParseAsOf(&stmt));
+  POLARIS_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  if (AcceptKeyword("GROUP")) {
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      POLARIS_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("GROUP BY column"));
+      stmt.group_by.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("ORDER")) {
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ParsedStatement::OrderKey key;
+      POLARIS_ASSIGN_OR_RETURN(key.column,
+                               ExpectIdentifier("ORDER BY column"));
+      if (AcceptKeyword("DESC")) {
+        key.descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(key));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+      return Error("expected a non-negative integer after LIMIT");
+    }
+    stmt.limit = static_cast<uint64_t>(Advance().int_value);
+  }
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Result<ParsedStatement> Parser::ParseUpdate() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kUpdate;
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    POLARIS_ASSIGN_OR_RETURN(std::string column,
+                             ExpectIdentifier("column in SET"));
+    POLARIS_RETURN_IF_ERROR(ExpectSymbol("="));
+    exec::Assignment assignment;
+    assignment.column = column;
+    // Either `col = <literal>` or `col = col +|- <literal>`.
+    if (Peek().type == TokenType::kIdentifier && Peek().text == column) {
+      Advance();
+      bool negate;
+      if (AcceptSymbol("+")) {
+        negate = false;
+      } else if (AcceptSymbol("-")) {
+        negate = true;
+      } else {
+        return Error("expected '+' or '-' after column self-reference");
+      }
+      POLARIS_ASSIGN_OR_RETURN(Value delta, ParseLiteral());
+      if (delta.type == ColumnType::kInt64 && !delta.is_null) {
+        assignment.kind = exec::Assignment::Kind::kAddInt64;
+        assignment.value = Value::Int64(negate ? -delta.i64 : delta.i64);
+      } else if (delta.type == ColumnType::kDouble && !delta.is_null) {
+        assignment.kind = exec::Assignment::Kind::kAddDouble;
+        assignment.value =
+            Value::Double(negate ? -delta.f64 : delta.f64);
+      } else {
+        return Error("arithmetic update requires a numeric literal");
+      }
+    } else {
+      assignment.kind = exec::Assignment::Kind::kSetValue;
+      POLARIS_ASSIGN_OR_RETURN(assignment.value, ParseLiteral());
+    }
+    stmt.assignments.push_back(std::move(assignment));
+  } while (AcceptSymbol(","));
+  POLARIS_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Result<ParsedStatement> Parser::ParseDelete() {
+  ParsedStatement stmt;
+  stmt.kind = ParsedStatement::Kind::kDelete;
+  POLARIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_RETURN_IF_ERROR(ParseWhere(&stmt.where));
+  POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+  return stmt;
+}
+
+Result<ParsedStatement> Parser::ParseStatement() {
+  if (AcceptKeyword("CREATE")) return ParseCreate();
+  if (AcceptKeyword("DROP")) return ParseDrop();
+  if (AcceptKeyword("CLONE")) return ParseClone();
+  if (AcceptKeyword("INSERT")) return ParseInsert();
+  if (AcceptKeyword("SELECT")) return ParseSelect();
+  if (AcceptKeyword("UPDATE")) return ParseUpdate();
+  if (AcceptKeyword("DELETE")) return ParseDelete();
+  if (AcceptKeyword("BEGIN")) {
+    AcceptKeyword("TRANSACTION");
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kBegin;
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+  if (AcceptKeyword("COMMIT")) {
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kCommit;
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+  if (AcceptKeyword("ROLLBACK")) {
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kRollback;
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+  return Error("expected a statement keyword");
+}
+
+}  // namespace
+
+Result<ParsedStatement> Parse(const std::string& sql) {
+  POLARIS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace polaris::sql

@@ -1,0 +1,87 @@
+#ifndef POLARIS_SQL_PARSER_H_
+#define POLARIS_SQL_PARSER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/aggregate.h"
+#include "exec/dml.h"
+#include "exec/expression.h"
+#include "format/schema.h"
+#include "format/value.h"
+
+namespace polaris::sql {
+
+/// One item of a SELECT list: either a plain column, `*`, or an aggregate
+/// over a column (or `COUNT(*)`).
+struct SelectItem {
+  bool star = false;
+  std::string column;                    // empty for COUNT(*) / star
+  std::optional<exec::AggFunc> aggregate;
+  std::string alias;                     // output name; defaults applied
+};
+
+/// The parsed form of one SQL statement. A single struct with a kind tag
+/// keeps the executor simple; only the fields relevant to `kind` are
+/// populated.
+struct ParsedStatement {
+  enum class Kind {
+    kCreateTable,
+    kDropTable,
+    kInsert,
+    kSelect,
+    kUpdate,
+    kDelete,
+    kBegin,
+    kCommit,
+    kRollback,
+    kCloneTable,
+  };
+  Kind kind = Kind::kSelect;
+
+  std::string table;
+  std::string clone_target;                 // CLONE TABLE <table> TO <target>
+  format::Schema schema;                    // CREATE TABLE
+  std::string sort_column;                  // CREATE TABLE ... ORDER BY col
+  std::vector<std::vector<format::Value>> insert_rows;  // INSERT VALUES
+  std::vector<SelectItem> select_items;     // SELECT
+  exec::Conjunction where;                  // SELECT/UPDATE/DELETE
+  std::vector<std::string> group_by;        // SELECT
+  /// ORDER BY keys over the *output* columns, applied after aggregation.
+  struct OrderKey {
+    std::string column;
+    bool descending = false;
+  };
+  std::vector<OrderKey> order_by;           // SELECT
+  std::optional<uint64_t> limit;            // SELECT ... LIMIT n
+  std::optional<int64_t> as_of;             // ... AS OF <micros>
+  std::vector<exec::Assignment> assignments;  // UPDATE ... SET
+};
+
+/// Parses exactly one statement (a trailing ';' is allowed). The
+/// supported dialect — a working subset of the T-SQL surface the paper's
+/// engine exposes:
+///
+///   CREATE TABLE t (col BIGINT|DOUBLE|TEXT, ...) [ORDER BY col]
+///   DROP TABLE t
+///   CLONE TABLE src TO dst [AS OF <micros>]
+///   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]...
+///   SELECT *|items FROM t [AS OF <micros>] [WHERE conj] [GROUP BY cols]
+///     [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+///     items: col | COUNT(*) | COUNT|SUM|MIN|MAX|AVG(col) [AS alias]
+///     conj:  col =|!=|<|<=|>|>= literal [AND ...]
+///   UPDATE t SET col = lit | col = col + lit | col = col - lit, ...
+///     [WHERE conj]
+///   DELETE FROM t [WHERE conj]
+///   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
+///
+/// Literal typing is resolved against the table schema at execution time
+/// (integer literals widen to DOUBLE columns).
+common::Result<ParsedStatement> Parse(const std::string& sql);
+
+}  // namespace polaris::sql
+
+#endif  // POLARIS_SQL_PARSER_H_

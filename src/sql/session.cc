@@ -1,0 +1,381 @@
+#include "sql/session.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace polaris::sql {
+
+using common::Result;
+using common::Status;
+using engine::QuerySpec;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Value;
+
+Result<Value> CoerceLiteral(const Value& literal, ColumnType want) {
+  if (literal.is_null) return Value::Null(want);
+  if (literal.type == want) return literal;
+  if (literal.type == ColumnType::kInt64 && want == ColumnType::kDouble) {
+    return Value::Double(static_cast<double>(literal.i64));
+  }
+  return Status::InvalidArgument(
+      "cannot convert literal '" + literal.ToString() + "' to " +
+      std::string(format::ColumnTypeName(want)));
+}
+
+SqlSession::~SqlSession() {
+  if (txn_ != nullptr && !txn_->finished()) {
+    (void)engine_->Abort(txn_.get());
+  }
+}
+
+namespace {
+
+/// Resolves WHERE literal types against the table schema (the parser does
+/// not know column types).
+Status CoerceWhere(const format::Schema& schema, exec::Conjunction* where) {
+  for (auto& pred : where->predicates) {
+    int idx = schema.FindColumn(pred.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column in WHERE: " +
+                                     pred.column);
+    }
+    POLARIS_ASSIGN_OR_RETURN(
+        pred.literal, CoerceLiteral(pred.literal, schema.column(idx).type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SqlResult> SqlSession::Execute(const std::string& statement) {
+  POLARIS_ASSIGN_OR_RETURN(ParsedStatement stmt, Parse(statement));
+  return ExecuteParsed(stmt);
+}
+
+Result<SqlResult> SqlSession::RunStatement(
+    const std::function<Result<SqlResult>(txn::Transaction*)>& body) {
+  if (txn_ != nullptr) {
+    // Explicit transaction: the statement joins it; errors do not abort
+    // the transaction automatically except conflicts, which do.
+    auto result = body(txn_.get());
+    if (!result.ok() && result.status().IsConflict()) {
+      if (!txn_->finished()) (void)engine_->Abort(txn_.get());
+      txn_.reset();
+    }
+    return result;
+  }
+  // Auto-commit with optimistic retries (the FE retry loop, §3).
+  Result<SqlResult> outcome = Status::Internal("no attempts made");
+  Status st = engine_->RunInTransaction([&](txn::Transaction* txn) {
+    outcome = body(txn);
+    return outcome.status();
+  });
+  if (!st.ok()) return st;
+  return outcome;
+}
+
+Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
+  switch (stmt.kind) {
+    case ParsedStatement::Kind::kBegin: {
+      if (txn_ != nullptr) {
+        return Status::FailedPrecondition("transaction already open");
+      }
+      POLARIS_ASSIGN_OR_RETURN(txn_, engine_->Begin());
+      SqlResult result;
+      result.message = "BEGIN";
+      return result;
+    }
+    case ParsedStatement::Kind::kCommit: {
+      if (txn_ == nullptr) {
+        return Status::FailedPrecondition("no open transaction");
+      }
+      Status st = engine_->Commit(txn_.get());
+      txn_.reset();
+      POLARIS_RETURN_IF_ERROR(st);
+      SqlResult result;
+      result.message = "COMMIT";
+      return result;
+    }
+    case ParsedStatement::Kind::kRollback: {
+      if (txn_ == nullptr) {
+        return Status::FailedPrecondition("no open transaction");
+      }
+      Status st = engine_->Abort(txn_.get());
+      txn_.reset();
+      POLARIS_RETURN_IF_ERROR(st);
+      SqlResult result;
+      result.message = "ROLLBACK";
+      return result;
+    }
+    case ParsedStatement::Kind::kCreateTable: {
+      if (txn_ != nullptr) {
+        return Status::NotSupported(
+            "DDL inside an explicit transaction is not supported");
+      }
+      POLARIS_RETURN_IF_ERROR(
+          engine_->CreateTable(stmt.table, stmt.schema, stmt.sort_column)
+              .status());
+      SqlResult result;
+      result.message = "CREATE TABLE " + stmt.table;
+      return result;
+    }
+    case ParsedStatement::Kind::kDropTable: {
+      if (txn_ != nullptr) {
+        return Status::NotSupported(
+            "DDL inside an explicit transaction is not supported");
+      }
+      POLARIS_RETURN_IF_ERROR(engine_->DropTable(stmt.table));
+      SqlResult result;
+      result.message = "DROP TABLE " + stmt.table;
+      return result;
+    }
+    case ParsedStatement::Kind::kCloneTable: {
+      if (txn_ != nullptr) {
+        return Status::NotSupported(
+            "CLONE inside an explicit transaction is not supported");
+      }
+      std::optional<common::Micros> as_of;
+      if (stmt.as_of.has_value()) as_of = *stmt.as_of;
+      POLARIS_RETURN_IF_ERROR(
+          engine_->CloneTable(stmt.table, stmt.clone_target, as_of)
+              .status());
+      SqlResult result;
+      result.message = "CLONE TABLE " + stmt.table + " TO " +
+                       stmt.clone_target;
+      return result;
+    }
+    case ParsedStatement::Kind::kInsert:
+      return RunStatement([&](txn::Transaction* txn) {
+        return ExecuteInsert(stmt, txn);
+      });
+    case ParsedStatement::Kind::kSelect:
+      return RunStatement([&](txn::Transaction* txn) {
+        return ExecuteSelect(stmt, txn);
+      });
+    case ParsedStatement::Kind::kUpdate:
+      return RunStatement([&](txn::Transaction* txn) {
+        return ExecuteUpdate(stmt, txn);
+      });
+    case ParsedStatement::Kind::kDelete:
+      return RunStatement([&](txn::Transaction* txn) {
+        return ExecuteDelete(stmt, txn);
+      });
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<SqlResult> SqlSession::ExecuteInsert(const ParsedStatement& stmt,
+                                            txn::Transaction* txn) {
+  POLARIS_ASSIGN_OR_RETURN(
+      catalog::TableMeta meta,
+      engine_->catalog()->GetTableByName(txn->catalog_txn(), stmt.table));
+  RecordBatch batch{meta.schema};
+  for (const auto& row : stmt.insert_rows) {
+    if (row.size() != meta.schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT arity mismatch: expected " +
+          std::to_string(meta.schema.num_columns()) + " values, got " +
+          std::to_string(row.size()));
+    }
+    format::Row typed;
+    typed.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      POLARIS_ASSIGN_OR_RETURN(
+          Value value, CoerceLiteral(row[c], meta.schema.column(c).type));
+      typed.push_back(std::move(value));
+    }
+    POLARIS_RETURN_IF_ERROR(batch.AppendRow(typed));
+  }
+  POLARIS_ASSIGN_OR_RETURN(uint64_t n,
+                           engine_->Insert(txn, stmt.table, batch));
+  SqlResult result;
+  result.affected_rows = n;
+  result.message = std::to_string(n) + " rows inserted";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecuteSelect(const ParsedStatement& stmt,
+                                            txn::Transaction* txn) {
+  POLARIS_ASSIGN_OR_RETURN(
+      catalog::TableMeta meta,
+      engine_->catalog()->GetTableByName(txn->catalog_txn(), stmt.table));
+
+  QuerySpec spec;
+  spec.filter = stmt.where;
+  POLARIS_RETURN_IF_ERROR(CoerceWhere(meta.schema, &spec.filter));
+
+  bool has_aggregate = false;
+  for (const auto& item : stmt.select_items) {
+    if (item.aggregate.has_value()) has_aggregate = true;
+  }
+
+  if (has_aggregate) {
+    spec.group_by = stmt.group_by;
+    for (const auto& item : stmt.select_items) {
+      if (item.star) {
+        return Status::InvalidArgument(
+            "'*' cannot be mixed with aggregates");
+      }
+      if (item.aggregate.has_value()) {
+        spec.aggregates.push_back({*item.aggregate, item.column,
+                                   item.alias});
+      } else if (std::find(stmt.group_by.begin(), stmt.group_by.end(),
+                           item.column) == stmt.group_by.end()) {
+        return Status::InvalidArgument(
+            "column '" + item.column +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+    }
+  } else if (!stmt.group_by.empty()) {
+    return Status::InvalidArgument("GROUP BY requires aggregates");
+  } else {
+    bool star = false;
+    for (const auto& item : stmt.select_items) {
+      if (item.star) {
+        star = true;
+      } else {
+        spec.projection.push_back(item.column);
+      }
+    }
+    if (star && !spec.projection.empty()) {
+      return Status::InvalidArgument(
+          "'*' cannot be combined with other select items");
+    }
+  }
+
+  RecordBatch raw;
+  if (stmt.as_of.has_value()) {
+    POLARIS_ASSIGN_OR_RETURN(
+        raw, engine_->QueryAsOf(txn, stmt.table, *stmt.as_of, spec));
+  } else {
+    POLARIS_ASSIGN_OR_RETURN(raw, engine_->Query(txn, stmt.table, spec));
+  }
+
+  // Re-shape the engine result to the select-list order and aliases.
+  SqlResult result;
+  bool star_only = !has_aggregate && spec.projection.empty();
+  if (star_only) {
+    result.batch = std::move(raw);
+  } else {
+    std::vector<int> source_cols;
+    std::vector<format::ColumnDesc> descs;
+    for (const auto& item : stmt.select_items) {
+      // Aggregates are named by alias in the engine output; plain columns
+      // by their own name.
+      const std::string& lookup =
+          item.aggregate.has_value() ? item.alias : item.column;
+      int idx = raw.schema().FindColumn(lookup);
+      if (idx < 0) {
+        return Status::Internal("result column missing: " + lookup);
+      }
+      source_cols.push_back(idx);
+      descs.push_back({item.alias, raw.schema().column(idx).type});
+    }
+    RecordBatch shaped{format::Schema(descs)};
+    for (size_t r = 0; r < raw.num_rows(); ++r) {
+      format::Row row;
+      row.reserve(source_cols.size());
+      for (int c : source_cols) row.push_back(raw.column(c).ValueAt(r));
+      POLARIS_RETURN_IF_ERROR(shaped.AppendRow(row));
+    }
+    result.batch = std::move(shaped);
+  }
+
+  // ORDER BY over the output columns, then LIMIT.
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;  // (column index, descending)
+    for (const auto& key : stmt.order_by) {
+      int idx = result.batch.schema().FindColumn(key.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("ORDER BY column not in output: " +
+                                       key.column);
+      }
+      keys.emplace_back(idx, key.descending);
+    }
+    std::vector<size_t> order(result.batch.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const RecordBatch& batch = result.batch;
+    std::stable_sort(order.begin(), order.end(),
+                     [&batch, &keys](size_t a, size_t b) {
+                       for (const auto& [idx, desc] : keys) {
+                         int cmp = batch.column(idx).ValueAt(a).Compare(
+                             batch.column(idx).ValueAt(b));
+                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                       }
+                       return false;
+                     });
+    RecordBatch sorted{result.batch.schema()};
+    for (size_t i : order) {
+      POLARIS_RETURN_IF_ERROR(sorted.AppendRow(result.batch.GetRow(i)));
+    }
+    result.batch = std::move(sorted);
+  }
+  if (stmt.limit.has_value() && result.batch.num_rows() > *stmt.limit) {
+    RecordBatch limited{result.batch.schema()};
+    for (size_t r = 0; r < *stmt.limit; ++r) {
+      POLARIS_RETURN_IF_ERROR(limited.AppendRow(result.batch.GetRow(r)));
+    }
+    result.batch = std::move(limited);
+  }
+
+  result.message = std::to_string(result.batch.num_rows()) + " rows";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecuteUpdate(const ParsedStatement& stmt,
+                                            txn::Transaction* txn) {
+  POLARIS_ASSIGN_OR_RETURN(
+      catalog::TableMeta meta,
+      engine_->catalog()->GetTableByName(txn->catalog_txn(), stmt.table));
+  exec::Conjunction where = stmt.where;
+  POLARIS_RETURN_IF_ERROR(CoerceWhere(meta.schema, &where));
+  std::vector<exec::Assignment> assignments = stmt.assignments;
+  for (auto& assignment : assignments) {
+    int idx = meta.schema.FindColumn(assignment.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column in SET: " +
+                                     assignment.column);
+    }
+    ColumnType want = meta.schema.column(idx).type;
+    if (assignment.kind == exec::Assignment::Kind::kSetValue) {
+      POLARIS_ASSIGN_OR_RETURN(assignment.value,
+                               CoerceLiteral(assignment.value, want));
+    } else if (assignment.kind == exec::Assignment::Kind::kAddInt64 &&
+               want == ColumnType::kDouble) {
+      // col = col + 3 on a DOUBLE column: widen the delta.
+      assignment.kind = exec::Assignment::Kind::kAddDouble;
+      assignment.value =
+          Value::Double(static_cast<double>(assignment.value.i64));
+    } else if ((assignment.kind == exec::Assignment::Kind::kAddInt64 &&
+                want != ColumnType::kInt64) ||
+               (assignment.kind == exec::Assignment::Kind::kAddDouble &&
+                want != ColumnType::kDouble)) {
+      return Status::InvalidArgument("arithmetic SET on non-numeric column " +
+                                     assignment.column);
+    }
+  }
+  POLARIS_ASSIGN_OR_RETURN(
+      uint64_t n, engine_->Update(txn, stmt.table, where, assignments));
+  SqlResult result;
+  result.affected_rows = n;
+  result.message = std::to_string(n) + " rows updated";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecuteDelete(const ParsedStatement& stmt,
+                                            txn::Transaction* txn) {
+  POLARIS_ASSIGN_OR_RETURN(
+      catalog::TableMeta meta,
+      engine_->catalog()->GetTableByName(txn->catalog_txn(), stmt.table));
+  exec::Conjunction where = stmt.where;
+  POLARIS_RETURN_IF_ERROR(CoerceWhere(meta.schema, &where));
+  POLARIS_ASSIGN_OR_RETURN(uint64_t n,
+                           engine_->Delete(txn, stmt.table, where));
+  SqlResult result;
+  result.affected_rows = n;
+  result.message = std::to_string(n) + " rows deleted";
+  return result;
+}
+
+}  // namespace polaris::sql

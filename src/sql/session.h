@@ -1,0 +1,76 @@
+#ifndef POLARIS_SQL_SESSION_H_
+#define POLARIS_SQL_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "sql/parser.h"
+#include "txn/transaction.h"
+
+namespace polaris::sql {
+
+/// Result of executing one SQL statement.
+struct SqlResult {
+  /// Rows of a SELECT; empty batch for other statements.
+  format::RecordBatch batch;
+  /// Rows affected by INSERT/UPDATE/DELETE.
+  uint64_t affected_rows = 0;
+  /// Human-readable status line ("OK", "3 rows inserted", ...).
+  std::string message;
+};
+
+/// A SQL connection to a PolarisEngine: the textual equivalent of the
+/// T-SQL surface the paper's engine exposes through the SQL FE.
+///
+/// Transaction semantics mirror a SQL session: without an explicit BEGIN,
+/// each statement runs in its own auto-commit transaction (retried on
+/// optimistic conflicts); between BEGIN and COMMIT/ROLLBACK all statements
+/// share one snapshot-isolated transaction, and a COMMIT that loses
+/// validation returns Conflict with the transaction rolled back.
+///
+/// Not thread-safe — one session per connection, as in SQL Server.
+class SqlSession {
+ public:
+  explicit SqlSession(engine::PolarisEngine* engine) : engine_(engine) {}
+
+  ~SqlSession();
+
+  SqlSession(const SqlSession&) = delete;
+  SqlSession& operator=(const SqlSession&) = delete;
+
+  /// Parses and executes one statement.
+  common::Result<SqlResult> Execute(const std::string& statement);
+
+  bool in_transaction() const { return txn_ != nullptr; }
+
+ private:
+  common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
+  common::Result<SqlResult> ExecuteInsert(const ParsedStatement& stmt,
+                                          txn::Transaction* txn);
+  common::Result<SqlResult> ExecuteSelect(const ParsedStatement& stmt,
+                                          txn::Transaction* txn);
+  common::Result<SqlResult> ExecuteUpdate(const ParsedStatement& stmt,
+                                          txn::Transaction* txn);
+  common::Result<SqlResult> ExecuteDelete(const ParsedStatement& stmt,
+                                          txn::Transaction* txn);
+
+  /// Runs `body` in the session transaction if one is open, otherwise in
+  /// a fresh auto-commit transaction with conflict retries.
+  common::Result<SqlResult> RunStatement(
+      const std::function<common::Result<SqlResult>(txn::Transaction*)>&
+          body);
+
+  engine::PolarisEngine* engine_;
+  std::unique_ptr<txn::Transaction> txn_;
+};
+
+/// Coerces a parsed literal to `want` (integer literals widen to DOUBLE;
+/// NULL adopts any type). InvalidArgument on incompatible types.
+common::Result<format::Value> CoerceLiteral(const format::Value& literal,
+                                            format::ColumnType want);
+
+}  // namespace polaris::sql
+
+#endif  // POLARIS_SQL_SESSION_H_

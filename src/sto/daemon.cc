@@ -1,0 +1,57 @@
+#include "sto/daemon.h"
+
+#include "common/logging.h"
+
+namespace polaris::sto {
+
+void StoDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load()) return;
+  stop_requested_ = false;
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StoDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void StoDaemon::WaitForSweeps(uint64_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, n] {
+    return sweeps_.load() >= n || stop_requested_;
+  });
+}
+
+void StoDaemon::Loop() {
+  uint64_t sweep_index = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+    }
+    ++sweep_index;
+    bool run_gc = gc_every_ != 0 && sweep_index % gc_every_ == 0;
+    common::Status st = sto_->RunOnce(run_gc);
+    if (!st.ok() && !st.IsConflict()) {
+      errors_.fetch_add(1);
+      POLARIS_LOG(kWarn, "sto-daemon")
+          << "sweep failed: " << st.ToString();
+    }
+    sweeps_.fetch_add(1);
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, interval_, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace polaris::sto

@@ -1,0 +1,66 @@
+#ifndef POLARIS_STO_DAEMON_H_
+#define POLARIS_STO_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "sto/sto.h"
+
+namespace polaris::sto {
+
+/// Background driver for the System Task Orchestrator: the paper's
+/// "periodic background optimizations ... without requiring manual user
+/// intervention" (§5). Runs RunOnce() every `interval`, folding a garbage
+/// collection in every `gc_every_n_sweeps`-th sweep. Sweep errors other
+/// than optimistic conflicts are recorded; conflicts (compaction losing to
+/// a user transaction) are expected and retried next sweep.
+///
+/// Tests and benchmarks drive the STO synchronously instead, for
+/// determinism; the daemon is the production-shaped wrapper.
+class StoDaemon {
+ public:
+  StoDaemon(SystemTaskOrchestrator* sto, std::chrono::milliseconds interval,
+            uint32_t gc_every_n_sweeps = 10)
+      : sto_(sto), interval_(interval), gc_every_(gc_every_n_sweeps) {}
+
+  ~StoDaemon() { Stop(); }
+
+  StoDaemon(const StoDaemon&) = delete;
+  StoDaemon& operator=(const StoDaemon&) = delete;
+
+  /// Starts the sweep thread (no-op if already running).
+  void Start();
+
+  /// Stops and joins the sweep thread (no-op if not running).
+  void Stop();
+
+  /// Blocks until at least `n` sweeps have completed since Start().
+  void WaitForSweeps(uint64_t n);
+
+  uint64_t sweeps() const { return sweeps_.load(); }
+  uint64_t errors() const { return errors_.load(); }
+  bool running() const { return running_.load(); }
+
+ private:
+  void Loop();
+
+  SystemTaskOrchestrator* sto_;
+  std::chrono::milliseconds interval_;
+  uint32_t gc_every_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;
+  std::atomic<uint64_t> sweeps_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace polaris::sto
+
+#endif  // POLARIS_STO_DAEMON_H_

@@ -1,0 +1,118 @@
+#include "sto/delta_publisher.h"
+
+#include <sstream>
+
+#include "storage/path_util.h"
+
+namespace polaris::sto {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string DeltaPublisher::ToDeltaJson(
+    const std::vector<lst::ManifestEntry>& entries, uint64_t version,
+    common::Micros commit_time) {
+  std::ostringstream out;
+  out << "{\"commitInfo\":{\"version\":" << version
+      << ",\"timestamp\":" << commit_time << ",\"engine\":\"polaris\"}}\n";
+  for (const auto& entry : entries) {
+    switch (entry.type) {
+      case lst::ActionType::kAddDataFile:
+        out << "{\"add\":{\"path\":";
+        AppendJsonString(out, entry.file.path);
+        out << ",\"size\":" << entry.file.byte_size
+            << ",\"numRecords\":" << entry.file.row_count
+            << ",\"dataChange\":true}}\n";
+        break;
+      case lst::ActionType::kRemoveDataFile:
+        out << "{\"remove\":{\"path\":";
+        AppendJsonString(out, entry.file.path);
+        out << ",\"dataChange\":true}}\n";
+        break;
+      case lst::ActionType::kAddDeleteVector:
+        out << "{\"add\":{\"path\":";
+        AppendJsonString(out, entry.dv.path);
+        out << ",\"deletionVector\":{\"target\":";
+        AppendJsonString(out, entry.dv.target_data_file);
+        out << ",\"cardinality\":" << entry.dv.deleted_count << "}}}\n";
+        break;
+      case lst::ActionType::kRemoveDeleteVector:
+        out << "{\"remove\":{\"path\":";
+        AppendJsonString(out, entry.dv.path);
+        out << ",\"deletionVector\":true}}\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+Result<uint64_t> DeltaPublisher::Publish(
+    const catalog::TableMeta& table,
+    const std::vector<catalog::ManifestRecord>& manifests) {
+  uint64_t last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = last_published_[table.name];
+  }
+  // Map the internal data folder into the published location once
+  // (OneLake shortcut: a pointer blob, no data copy).
+  if (last == 0 && !manifests.empty()) {
+    std::string shortcut_path = "published/" + table.name + "/_shortcut";
+    Status st = store_->Put(shortcut_path,
+                            storage::PathUtil::DataDir(table.table_id));
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  uint64_t published = 0;
+  for (const auto& record : manifests) {
+    if (record.sequence_id <= last) continue;
+    POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(record.path));
+    POLARIS_ASSIGN_OR_RETURN(auto entries, lst::ParseEntries(blob));
+    std::string json = ToDeltaJson(entries, record.sequence_id,
+                                   record.commit_time);
+    std::string path = storage::PathUtil::PublishedDeltaLogPath(
+        table.name, record.sequence_id);
+    Status st = store_->Put(path, std::move(json));
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+    last = record.sequence_id;
+    ++published;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t& entry = last_published_[table.name];
+    if (last > entry) entry = last;
+  }
+  return published;
+}
+
+uint64_t DeltaPublisher::LastPublishedVersion(
+    const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_published_.find(table_name);
+  return it == last_published_.end() ? 0 : it->second;
+}
+
+}  // namespace polaris::sto

@@ -1,0 +1,51 @@
+#ifndef POLARIS_STO_DELTA_PUBLISHER_H_
+#define POLARIS_STO_DELTA_PUBLISHER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "catalog/catalog_db.h"
+#include "common/result.h"
+#include "lst/manifest.h"
+#include "storage/object_store.h"
+
+namespace polaris::sto {
+
+/// Async 'lake' snapshot publisher (paper §5.4): transforms each committed
+/// internal manifest into a Delta-format commit JSON in the user-visible
+/// location, and maps the internal data folder in via a shortcut — the
+/// data files themselves are never copied (single copy in OneLake).
+///
+/// Published layout:
+///   published/<table_name>/_delta_log/<version>.json
+///   published/<table_name>/_shortcut        -> internal data dir pointer
+class DeltaPublisher {
+ public:
+  explicit DeltaPublisher(storage::ObjectStore* store) : store_(store) {}
+
+  /// Publishes every manifest of `table` with sequence_id greater than the
+  /// last published version. Returns the number of versions published.
+  common::Result<uint64_t> Publish(
+      const catalog::TableMeta& table,
+      const std::vector<catalog::ManifestRecord>& manifests);
+
+  /// Last published Delta version for a table (0 = none).
+  uint64_t LastPublishedVersion(const std::string& table_name) const;
+
+  /// Renders one manifest as a Delta-style commit JSON (exposed for
+  /// tests).
+  static std::string ToDeltaJson(
+      const std::vector<lst::ManifestEntry>& entries, uint64_t version,
+      common::Micros commit_time);
+
+ private:
+  storage::ObjectStore* store_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> last_published_;
+};
+
+}  // namespace polaris::sto
+
+#endif  // POLARIS_STO_DELTA_PUBLISHER_H_

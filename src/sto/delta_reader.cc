@@ -1,0 +1,190 @@
+#include "sto/delta_reader.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "exec/scan.h"
+#include "lst/table_snapshot.h"
+#include "storage/path_util.h"
+
+namespace polaris::sto {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Extracts the string value of `"key":"..."` from one JSON line,
+/// honouring the escapes our publisher emits (\\, \", \n). Returns false
+/// when the key is absent.
+bool ExtractJsonString(const std::string& line, const std::string& key,
+                       std::string* out) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  std::string value;
+  while (pos < line.size()) {
+    char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      char esc = line[pos + 1];
+      value += esc == 'n' ? '\n' : esc;
+      pos += 2;
+      continue;
+    }
+    if (c == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    value += c;
+    ++pos;
+  }
+  return false;
+}
+
+bool ExtractJsonNumber(const std::string& line, const std::string& key,
+                       uint64_t* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  uint64_t value = 0;
+  bool any = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<uint64_t> DeltaLakeReader::LatestVersion(
+    const std::string& table_name) {
+  POLARIS_ASSIGN_OR_RETURN(
+      auto blobs,
+      store_->List(storage::PathUtil::PublishedDeltaLogDir(table_name) + "/"));
+  uint64_t latest = 0;
+  for (const auto& blob : blobs) {
+    // Files are "<20-digit version>.json"; Stat order is lexicographic ==
+    // numeric, so the last parsable one wins.
+    size_t slash = blob.path.rfind('/');
+    std::string name = blob.path.substr(slash + 1);
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".json") continue;
+    uint64_t version = 0;
+    bool valid = true;
+    for (char c : name.substr(0, name.size() - 5)) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      version = version * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (valid && version > latest) latest = version;
+  }
+  return latest;
+}
+
+Result<std::vector<DeltaAction>> DeltaLakeReader::ReadVersion(
+    const std::string& table_name, uint64_t version) {
+  POLARIS_ASSIGN_OR_RETURN(
+      std::string blob,
+      store_->Get(
+          storage::PathUtil::PublishedDeltaLogPath(table_name, version)));
+  std::vector<DeltaAction> actions;
+  std::istringstream lines(blob);
+  std::string line;
+  while (std::getline(lines, line)) {
+    bool is_add = line.find("{\"add\":") == 0;
+    bool is_remove = line.find("{\"remove\":") == 0;
+    if (!is_add && !is_remove) continue;  // commitInfo etc.
+    DeltaAction action;
+    if (!ExtractJsonString(line, "path", &action.path)) {
+      return Status::Corruption("delta action without path: " + line);
+    }
+    bool is_dv = line.find("\"deletionVector\"") != std::string::npos;
+    if (is_dv) {
+      action.kind = is_add ? DeltaAction::Kind::kAddDv
+                           : DeltaAction::Kind::kRemoveDv;
+      ExtractJsonString(line, "target", &action.target);
+      ExtractJsonNumber(line, "cardinality", &action.dv_cardinality);
+    } else {
+      action.kind = is_add ? DeltaAction::Kind::kAddFile
+                           : DeltaAction::Kind::kRemoveFile;
+      ExtractJsonNumber(line, "numRecords", &action.num_records);
+      ExtractJsonNumber(line, "size", &action.size);
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+Result<std::vector<DeltaLakeReader::FileEntry>>
+DeltaLakeReader::ReconstructFileSet(const std::string& table_name,
+                                    uint64_t max_version) {
+  if (max_version == 0) {
+    POLARIS_ASSIGN_OR_RETURN(max_version, LatestVersion(table_name));
+  }
+  std::map<std::string, FileEntry> files;
+  for (uint64_t version = 1; version <= max_version; ++version) {
+    POLARIS_ASSIGN_OR_RETURN(auto actions,
+                             ReadVersion(table_name, version));
+    for (const auto& action : actions) {
+      switch (action.kind) {
+        case DeltaAction::Kind::kAddFile:
+          files[action.path] = FileEntry{action.path, ""};
+          break;
+        case DeltaAction::Kind::kRemoveFile:
+          files.erase(action.path);
+          break;
+        case DeltaAction::Kind::kAddDv: {
+          auto it = files.find(action.target);
+          if (it == files.end()) {
+            return Status::Corruption("DV for unknown file: " +
+                                      action.target);
+          }
+          it->second.dv_path = action.path;
+          break;
+        }
+        case DeltaAction::Kind::kRemoveDv: {
+          auto it = files.find(action.target);
+          if (it != files.end() && it->second.dv_path == action.path) {
+            it->second.dv_path.clear();
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::vector<FileEntry> out;
+  out.reserve(files.size());
+  for (auto& [path, entry] : files) {
+    (void)path;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<format::RecordBatch> DeltaLakeReader::ScanTable(
+    const std::string& table_name, uint64_t max_version) {
+  POLARIS_ASSIGN_OR_RETURN(auto files,
+                           ReconstructFileSet(table_name, max_version));
+  // Assemble a synthetic snapshot and reuse the merge-on-read scanner —
+  // exactly what an external Delta reader does with add-file + DV info.
+  lst::TableSnapshot snapshot;
+  for (const auto& entry : files) {
+    lst::FileState state;
+    state.info.path = entry.path;
+    state.dv_path = entry.dv_path;
+    snapshot.InsertFile(std::move(state));
+  }
+  exec::TableScanner scanner(cache_, &snapshot);
+  return scanner.ScanAll({});
+}
+
+}  // namespace polaris::sto

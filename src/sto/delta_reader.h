@@ -1,0 +1,68 @@
+#ifndef POLARIS_STO_DELTA_READER_H_
+#define POLARIS_STO_DELTA_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/data_cache.h"
+#include "format/column.h"
+#include "storage/object_store.h"
+
+namespace polaris::sto {
+
+/// One action parsed from a published Delta commit JSON.
+struct DeltaAction {
+  enum class Kind { kAddFile, kRemoveFile, kAddDv, kRemoveDv };
+  Kind kind = Kind::kAddFile;
+  std::string path;    // data file or DV blob
+  std::string target;  // DV target data file (DV actions only)
+  uint64_t num_records = 0;
+  uint64_t size = 0;
+  uint64_t dv_cardinality = 0;
+};
+
+/// A third-party-engine's view of a published table (paper §5.4): reads
+/// the `published/<table>/_delta_log/` commit files, reconstructs the
+/// current file set exactly like Spark's Delta reader would, and scans
+/// the shared data files through the shortcut — no data copies, the same
+/// single copy in OneLake the warehouse wrote.
+///
+/// This is the consumer half of the async-read-snapshot story; the
+/// producer half is DeltaPublisher. Round-tripping a table through
+/// publish + DeltaLakeReader must reproduce its exact contents.
+class DeltaLakeReader {
+ public:
+  DeltaLakeReader(storage::ObjectStore* store, exec::DataCache* cache)
+      : store_(store), cache_(cache) {}
+
+  /// Latest published version (0 = table not published).
+  common::Result<uint64_t> LatestVersion(const std::string& table_name);
+
+  /// Parses one published commit file.
+  common::Result<std::vector<DeltaAction>> ReadVersion(
+      const std::string& table_name, uint64_t version);
+
+  /// The live (file, dv) set after replaying versions 1..`max_version`
+  /// (0 = all published versions).
+  struct FileEntry {
+    std::string path;
+    std::string dv_path;  // empty when no deletion vector
+  };
+  common::Result<std::vector<FileEntry>> ReconstructFileSet(
+      const std::string& table_name, uint64_t max_version = 0);
+
+  /// Full scan of the published table as an external engine would do it:
+  /// reconstruct the file set, then merge-on-read each data file.
+  common::Result<format::RecordBatch> ScanTable(
+      const std::string& table_name, uint64_t max_version = 0);
+
+ private:
+  storage::ObjectStore* store_;
+  exec::DataCache* cache_;
+};
+
+}  // namespace polaris::sto
+
+#endif  // POLARIS_STO_DELTA_READER_H_

@@ -1,0 +1,477 @@
+#include "sto/sto.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/guid.h"
+#include "common/logging.h"
+#include "exec/scan.h"
+#include "format/file_writer.h"
+#include "lst/checkpoint.h"
+#include "storage/path_util.h"
+
+namespace polaris::sto {
+
+using common::Result;
+using common::Status;
+
+SystemTaskOrchestrator::SystemTaskOrchestrator(
+    txn::TransactionManager* txn_manager, exec::DataCache* cache,
+    dcp::Scheduler* scheduler, StoOptions options)
+    : txn_manager_(txn_manager),
+      cache_(cache),
+      scheduler_(scheduler),
+      options_(options),
+      publisher_(txn_manager->store()) {}
+
+void SystemTaskOrchestrator::OnCommit(int64_t table_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++manifests_since_checkpoint_[table_id];
+  publish_pending_[table_id] = true;
+}
+
+namespace {
+
+/// Low-quality classification shared by health evaluation and compaction
+/// file selection (§5.1): a file is low-quality when it is fragmented
+/// (deleted fraction above threshold), or when it is small *and* its cell
+/// has another file to merge it with — a lone small file with no deletes
+/// cannot be improved by compaction.
+bool IsLowQuality(const lst::FileState& state, uint64_t cell_file_count,
+                  const StoOptions& options) {
+  bool fragmented =
+      state.info.row_count > 0 &&
+      static_cast<double>(state.deleted_count) /
+              static_cast<double>(state.info.row_count) >
+          options.max_deleted_fraction;
+  bool too_small =
+      state.info.row_count < options.min_file_rows && cell_file_count >= 2;
+  return fragmented || too_small;
+}
+
+std::map<uint32_t, uint64_t> CellFileCounts(
+    const lst::TableSnapshot& snapshot) {
+  std::map<uint32_t, uint64_t> counts;
+  for (const auto& [path, state] : snapshot.files()) {
+    (void)path;
+    ++counts[state.info.cell_id];
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<StorageHealth> SystemTaskOrchestrator::EvaluateHealth(
+    int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto snapshot = txn_manager_->GetSnapshot(txn.get(), table_id);
+  POLARIS_RETURN_IF_ERROR(txn_manager_->Abort(txn.get()));
+  POLARIS_RETURN_IF_ERROR(snapshot.status());
+
+  StorageHealth health;
+  auto cell_counts = CellFileCounts(*snapshot);
+  for (const auto& [path, state] : snapshot->files()) {
+    (void)path;
+    ++health.total_files;
+    health.total_rows += state.info.row_count;
+    health.deleted_rows += state.deleted_count;
+    if (IsLowQuality(state, cell_counts[state.info.cell_id], options_)) {
+      ++health.low_quality_files;
+    }
+  }
+  return health;
+}
+
+Result<CompactionStats> SystemTaskOrchestrator::CompactTable(
+    int64_t table_id) {
+  // Compaction runs in its own transaction with the same SI semantics as
+  // user transactions (§5.1) and can therefore conflict with them.
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto meta = txn_manager_->catalog()->GetTableById(txn->catalog_txn(),
+                                                    table_id);
+  if (!meta.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return meta.status();
+  }
+  auto snapshot_or = txn_manager_->GetSnapshot(txn.get(), table_id);
+  if (!snapshot_or.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return snapshot_or.status();
+  }
+  const lst::TableSnapshot& snapshot = *snapshot_or;
+
+  // Pick the low-quality files, grouped by cell so rewrites stay within a
+  // distribution bucket.
+  auto cell_counts = CellFileCounts(snapshot);
+  std::map<uint32_t, std::vector<lst::FileState>> groups;
+  std::map<uint32_t, std::vector<lst::FileState>> healthy_by_cell;
+  for (const auto& [path, state] : snapshot.files()) {
+    (void)path;
+    if (IsLowQuality(state, cell_counts[state.info.cell_id], options_)) {
+      groups[state.info.cell_id].push_back(state);
+    } else {
+      healthy_by_cell[state.info.cell_id].push_back(state);
+    }
+  }
+  // The rewrite must not itself produce small files: if a group's live
+  // output would still be under the threshold, pull in the smallest
+  // healthy files of the cell as merge partners.
+  for (auto& [cell, files] : groups) {
+    uint64_t live = 0;
+    for (const auto& f : files) live += f.live_rows();
+    auto& partners = healthy_by_cell[cell];
+    std::sort(partners.begin(), partners.end(),
+              [](const lst::FileState& a, const lst::FileState& b) {
+                return a.info.row_count < b.info.row_count;
+              });
+    for (auto& partner : partners) {
+      if (live >= options_.min_file_rows) break;
+      live += partner.live_rows();
+      files.push_back(partner);
+    }
+  }
+  // Merging a single file with no deleted rows accomplishes nothing.
+  for (auto it = groups.begin(); it != groups.end();) {
+    uint64_t deleted = 0;
+    for (const auto& f : it->second) deleted += f.deleted_count;
+    if (it->second.size() <= 1 && deleted == 0) {
+      it = groups.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (groups.empty()) {
+    (void)txn_manager_->Abort(txn.get());
+    return CompactionStats{};
+  }
+
+  auto prepared = txn_manager_->PrepareWrite(txn.get(), table_id);
+  if (!prepared.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return prepared.status();
+  }
+
+  CompactionStats stats;
+  exec::WriteResult result;
+  for (auto& [cell, files] : groups) {
+    // Read the live rows of the group.
+    lst::TableSnapshot mini;
+    for (const auto& f : files) mini.InsertFile(f);
+    exec::TableScanner scanner(cache_, &mini);
+    format::RecordBatch live(meta->schema);
+    exec::ScanOptions scan_options;
+    Status scan_st = scanner.ScanFilesWithOrdinals(
+        scan_options,
+        [&](const lst::FileState&, const format::RecordBatch& batch,
+            const std::vector<uint64_t>&) -> Status {
+          return live.Append(batch);
+        });
+    if (!scan_st.ok()) {
+      (void)txn_manager_->Abort(txn.get());
+      return scan_st;
+    }
+
+    for (const auto& f : files) {
+      if (!f.dv_path.empty()) {
+        result.entries.push_back(
+            lst::ManifestEntry::RemoveDv(f.dv_path, f.info.path));
+      }
+      result.entries.push_back(lst::ManifestEntry::RemoveFile(f.info.path));
+      result.touched_files.insert(f.info.path);
+      stats.input_files += 1;
+      stats.deleted_rows_purged += f.deleted_count;
+    }
+    // Preserve the table's clustering (§2.3): compacted files keep rows
+    // ordered by the sort column so zone maps stay selective.
+    int sort_idx = meta->sort_column.empty()
+                       ? -1
+                       : meta->schema.FindColumn(meta->sort_column);
+    if (sort_idx >= 0 && live.num_rows() > 1) {
+      std::vector<size_t> order(live.num_rows());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      const format::ColumnVector& key = live.column(sort_idx);
+      std::stable_sort(order.begin(), order.end(),
+                       [&key](size_t a, size_t b) {
+                         return key.ValueAt(a).Compare(key.ValueAt(b)) < 0;
+                       });
+      format::RecordBatch sorted(meta->schema);
+      for (size_t i : order) (void)sorted.AppendRow(live.GetRow(i));
+      live = std::move(sorted);
+    }
+    if (live.num_rows() > 0) {
+      format::FileWriter writer(meta->schema, options_.file_options);
+      Status append_st = writer.Append(live);
+      if (!append_st.ok()) {
+        (void)txn_manager_->Abort(txn.get());
+        return append_st;
+      }
+      auto bytes = std::move(writer).Finish();
+      if (!bytes.ok()) {
+        (void)txn_manager_->Abort(txn.get());
+        return bytes.status();
+      }
+      std::string guid = common::Guid::Generate().ToString();
+      std::string path = storage::PathUtil::DataFilePath(table_id, guid);
+      uint64_t size = bytes->size();
+      Status put_st = txn_manager_->store()->Put(path, std::move(*bytes));
+      if (!put_st.ok()) {
+        (void)txn_manager_->Abort(txn.get());
+        return put_st;
+      }
+      lst::DataFileInfo info;
+      info.path = std::move(path);
+      info.row_count = live.num_rows();
+      info.byte_size = size;
+      info.cell_id = cell;
+      result.entries.push_back(lst::ManifestEntry::AddFile(std::move(info)));
+      stats.output_files += 1;
+      stats.rows_rewritten += live.num_rows();
+    }
+  }
+
+  Status finish =
+      txn_manager_->FinishMutationStatement(txn.get(), table_id, result);
+  if (!finish.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return finish;
+  }
+  POLARIS_RETURN_IF_ERROR(txn_manager_->Commit(txn.get()));
+  POLARIS_LOG(kInfo, "sto") << "compacted table " << table_id << ": "
+                            << stats.input_files << " -> "
+                            << stats.output_files << " files, purged "
+                            << stats.deleted_rows_purged << " deleted rows";
+  return stats;
+}
+
+Result<bool> SystemTaskOrchestrator::MaybeCheckpoint(int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto records =
+      txn_manager_->catalog()->GetManifests(txn->catalog_txn(), table_id);
+  if (!records.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return records.status();
+  }
+  uint64_t last_seq = records->empty() ? 0 : records->back().sequence_id;
+  auto ckpt = txn_manager_->catalog()->GetLatestCheckpoint(
+      txn->catalog_txn(), table_id, last_seq);
+  if (!ckpt.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return ckpt.status();
+  }
+  uint64_t base = ckpt->has_value() ? (*ckpt)->sequence_id : 0;
+  uint64_t pending = 0;
+  for (const auto& record : *records) {
+    if (record.sequence_id > base) ++pending;
+  }
+  (void)txn_manager_->Abort(txn.get());
+  if (pending < options_.manifests_per_checkpoint) return false;
+  return ForceCheckpoint(table_id);
+}
+
+Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
+  // The checkpoint operation runs in its own transaction (§5.2); it never
+  // touches WriteSets or data files and thus never conflicts with user
+  // transactions.
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto snapshot = txn_manager_->GetSnapshot(txn.get(), table_id);
+  if (!snapshot.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return snapshot.status();
+  }
+  if (snapshot->sequence_id() == 0) {
+    (void)txn_manager_->Abort(txn.get());
+    return false;  // nothing to checkpoint
+  }
+  std::string path = storage::PathUtil::CheckpointPath(
+      table_id, snapshot->sequence_id());
+  Status put = txn_manager_->store()->Put(
+      path, lst::Checkpoint::Serialize(*snapshot));
+  if (!put.ok() && !put.IsAlreadyExists()) {
+    (void)txn_manager_->Abort(txn.get());
+    return put;
+  }
+  catalog::CheckpointRecord record;
+  record.table_id = table_id;
+  record.sequence_id = snapshot->sequence_id();
+  record.path = path;
+  Status add = txn_manager_->catalog()->AddCheckpoint(txn->catalog_txn(),
+                                                      record);
+  if (!add.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return add;
+  }
+  Status commit = txn_manager_->Commit(txn.get());
+  if (!commit.ok()) return commit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    manifests_since_checkpoint_[table_id] = 0;
+  }
+  POLARIS_LOG(kInfo, "sto") << "checkpointed table " << table_id
+                            << " at sequence " << record.sequence_id;
+  return true;
+}
+
+Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
+  // First purge catalog rows of dropped tables (their own transaction, so
+  // the GC snapshot below no longer references those blobs).
+  {
+    POLARIS_ASSIGN_OR_RETURN(auto purge_txn, txn_manager_->Begin());
+    auto purged = txn_manager_->catalog()->PurgeDroppedTableRows(
+        purge_txn->catalog_txn());
+    if (!purged.ok()) {
+      (void)txn_manager_->Abort(purge_txn.get());
+      return purged.status();
+    }
+    if (*purged > 0) {
+      Status st = txn_manager_->Commit(purge_txn.get());
+      // A conflict just means a concurrent committer; retry next sweep.
+      if (!st.ok() && !st.IsConflict()) return st;
+    } else {
+      (void)txn_manager_->Abort(purge_txn.get());
+    }
+  }
+
+  // Snapshot the catalog once; clone-aware by construction because we walk
+  // every table and union the active sets (§5.3).
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto finish = [&](Status st) -> Status {
+    (void)txn_manager_->Abort(txn.get());
+    return st;
+  };
+
+  auto tables = txn_manager_->catalog()->ListTables(txn->catalog_txn());
+  if (!tables.ok()) return finish(tables.status());
+
+  common::Micros now = txn_manager_->catalog()->clock()->Now();
+  common::Micros horizon = now - options_.retention_micros;
+  common::Micros min_active = txn_manager_->MinActiveBeginTime();
+
+  std::set<std::string> active;
+  std::set<std::string> inactive;
+  for (const auto& meta : *tables) {
+    auto records = txn_manager_->catalog()->GetManifests(txn->catalog_txn(),
+                                                         meta.table_id);
+    if (!records.ok()) return finish(records.status());
+    std::vector<lst::ManifestRef> refs;
+    for (const auto& record : *records) {
+      active.insert(record.path);  // manifests stay for replay/time travel
+      refs.push_back({record.sequence_id, record.path});
+    }
+    auto ckpts = txn_manager_->catalog()->ListCheckpoints(txn->catalog_txn(),
+                                                          meta.table_id);
+    if (!ckpts.ok()) return finish(ckpts.status());
+    std::optional<lst::CheckpointRef> newest;
+    for (const auto& record : *ckpts) {
+      active.insert(record.path);
+      if (!refs.empty() && record.sequence_id <= refs.back().sequence_id) {
+        newest = lst::CheckpointRef{record.sequence_id, record.path};
+      }
+    }
+    auto snapshot = txn_manager_->snapshot_builder()->Build(refs, newest);
+    if (!snapshot.ok()) return finish(snapshot.status());
+    for (const auto& [path, state] : snapshot->files()) {
+      active.insert(path);
+      if (!state.dv_path.empty()) active.insert(state.dv_path);
+    }
+    for (const auto& removed : snapshot->removed_blobs()) {
+      if (removed.removed_at >= horizon) {
+        active.insert(removed.path);  // still within retention
+      } else {
+        inactive.insert(removed.path);
+      }
+    }
+  }
+  // Shared lineage: a blob active for any table is never deleted.
+  for (const auto& path : active) inactive.erase(path);
+
+  auto blobs = txn_manager_->store()->List("tables/");
+  if (!blobs.ok()) return finish(blobs.status());
+
+  GcStats stats;
+  for (const auto& blob : *blobs) {
+    ++stats.blobs_scanned;
+    if (active.count(blob.path) != 0) {
+      ++stats.blobs_active;
+      continue;
+    }
+    bool expired_removed = inactive.count(blob.path) != 0;
+    // Unknown blobs: only safe to delete when stamped before the oldest
+    // currently-executing transaction — otherwise they may belong to an
+    // in-flight transaction that has not committed its manifest yet.
+    bool aborted_leftover = !expired_removed && blob.created_at < min_active;
+    if (expired_removed || aborted_leftover) {
+      Status del = txn_manager_->store()->Delete(blob.path);
+      if (del.ok() || del.IsNotFound()) {
+        ++stats.blobs_deleted;
+      } else {
+        return finish(del);
+      }
+    } else {
+      ++stats.blobs_retained_unknown;
+    }
+  }
+  (void)txn_manager_->Abort(txn.get());  // read-only catalog txn
+  POLARIS_LOG(kInfo, "sto") << "GC: scanned " << stats.blobs_scanned
+                            << ", deleted " << stats.blobs_deleted
+                            << ", active " << stats.blobs_active;
+  return stats;
+}
+
+Status SystemTaskOrchestrator::PublishTable(int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto meta = txn_manager_->catalog()->GetTableById(txn->catalog_txn(),
+                                                    table_id);
+  if (!meta.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return meta.status();
+  }
+  auto records = txn_manager_->catalog()->GetManifests(txn->catalog_txn(),
+                                                       table_id);
+  if (!records.ok()) {
+    (void)txn_manager_->Abort(txn.get());
+    return records.status();
+  }
+  (void)txn_manager_->Abort(txn.get());
+  POLARIS_RETURN_IF_ERROR(publisher_.Publish(*meta, *records).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_pending_[table_id] = false;
+  return Status::OK();
+}
+
+Status SystemTaskOrchestrator::RunOnce(bool run_gc) {
+  POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
+  auto tables = txn_manager_->catalog()->ListTables(txn->catalog_txn());
+  (void)txn_manager_->Abort(txn.get());
+  POLARIS_RETURN_IF_ERROR(tables.status());
+
+  for (const auto& meta : *tables) {
+    POLARIS_ASSIGN_OR_RETURN(StorageHealth health,
+                             EvaluateHealth(meta.table_id));
+    if (!health.healthy()) {
+      auto compacted = CompactTable(meta.table_id);
+      if (!compacted.ok() && !compacted.status().IsConflict()) {
+        return compacted.status();
+      }
+      // A Conflict just means a user transaction won; retry next sweep.
+    }
+    POLARIS_RETURN_IF_ERROR(MaybeCheckpoint(meta.table_id).status());
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending = publish_pending_[meta.table_id];
+    }
+    if (pending) {
+      POLARIS_RETURN_IF_ERROR(PublishTable(meta.table_id));
+    }
+  }
+  if (run_gc) {
+    POLARIS_RETURN_IF_ERROR(RunGarbageCollection().status());
+    // Also reclaim superseded catalog row versions that no active
+    // transaction's snapshot can still see.
+    txn_manager_->catalog()->store()->Vacuum(
+        txn_manager_->MinActiveBeginSeq());
+  }
+  return Status::OK();
+}
+
+}  // namespace polaris::sto

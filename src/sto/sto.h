@@ -1,0 +1,134 @@
+#ifndef POLARIS_STO_STO_H_
+#define POLARIS_STO_STO_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/data_cache.h"
+#include "exec/dml.h"
+#include "format/file_writer.h"
+#include "sto/delta_publisher.h"
+#include "txn/transaction_manager.h"
+
+namespace polaris::sto {
+
+/// Tuning knobs for the autonomous storage optimizations (paper §5).
+struct StoOptions {
+  /// A data file is low-quality when its deleted fraction exceeds this
+  /// (data fragmentation, §5.1)...
+  double max_deleted_fraction = 0.2;
+  /// ...or when it has fewer rows than this (small-file problem, §5.1).
+  uint64_t min_file_rows = 256;
+  /// Checkpoint once this many manifests accumulate past the newest
+  /// checkpoint (§5.2; the paper's experiment uses 10).
+  uint64_t manifests_per_checkpoint = 10;
+  /// How long logically-removed files stay restorable before GC (§5.3).
+  common::Micros retention_micros = 7LL * 24 * 3600 * 1'000'000;
+  /// WLM pool STO maintenance tasks run on.
+  std::string pool = "write";
+  /// Writer settings for compacted files; the engine aligns this with its
+  /// own data-file settings so compaction preserves row-group geometry.
+  format::FileWriterOptions file_options;
+};
+
+/// Health of one table's storage, as gathered from scan statistics
+/// (drives Figure 10's green/red bands).
+struct StorageHealth {
+  uint64_t total_files = 0;
+  uint64_t low_quality_files = 0;
+  uint64_t total_rows = 0;
+  uint64_t deleted_rows = 0;
+  bool healthy() const { return low_quality_files == 0; }
+};
+
+/// Result of one compaction run.
+struct CompactionStats {
+  uint64_t input_files = 0;
+  uint64_t output_files = 0;
+  uint64_t rows_rewritten = 0;
+  uint64_t deleted_rows_purged = 0;
+};
+
+/// Result of one garbage-collection sweep.
+struct GcStats {
+  uint64_t blobs_scanned = 0;
+  uint64_t blobs_deleted = 0;
+  uint64_t blobs_active = 0;
+  /// Unknown blobs retained because they may belong to an in-flight
+  /// transaction (created after the GC safety horizon).
+  uint64_t blobs_retained_unknown = 0;
+};
+
+/// The System Task Orchestrator (paper §3.3, §5): a control-plane service
+/// that watches commit notifications and storage statistics and runs
+/// compaction, manifest checkpointing, garbage collection and async Delta
+/// publishing — all as ordinary transactions/system operations, without
+/// user intervention.
+///
+/// This implementation is explicitly driven (`OnCommit` + `RunOnce`) so
+/// tests and benchmarks are deterministic; a production deployment would
+/// wrap it in a periodic scheduler thread.
+class SystemTaskOrchestrator {
+ public:
+  SystemTaskOrchestrator(txn::TransactionManager* txn_manager,
+                         exec::DataCache* cache, dcp::Scheduler* scheduler,
+                         StoOptions options = {});
+
+  const StoOptions& options() const { return options_; }
+
+  /// FE commit notification (§5.2): bumps the table's pending-manifest
+  /// count and marks it for publishing.
+  void OnCommit(int64_t table_id);
+
+  /// Evaluates storage health from the current committed snapshot.
+  common::Result<StorageHealth> EvaluateHealth(int64_t table_id);
+
+  /// Compacts all low-quality files of `table_id` in its own snapshot-
+  /// isolated transaction (§5.1). Filters out deleted rows and merges
+  /// small files per cell. Returns Conflict if a concurrent user
+  /// transaction won validation (the paper's noted downside).
+  common::Result<CompactionStats> CompactTable(int64_t table_id);
+
+  /// Writes a checkpoint if at least `manifests_per_checkpoint` manifests
+  /// accumulated past the newest one (§5.2). Returns true if one was
+  /// created.
+  common::Result<bool> MaybeCheckpoint(int64_t table_id);
+
+  /// Forces a checkpoint regardless of the trigger.
+  common::Result<bool> ForceCheckpoint(int64_t table_id);
+
+  /// Global mark-and-sweep over the object store (§5.3): reconstructs all
+  /// tables' states (clone-aware: a blob referenced by any table stays),
+  /// deletes blobs past retention, and deletes unknown blobs stamped
+  /// before the oldest active transaction (aborted-transaction leftovers).
+  common::Result<GcStats> RunGarbageCollection();
+
+  /// Publishes any unpublished committed manifests of `table_id` as a
+  /// Delta-format log in the user-visible OneLake location (§5.4).
+  common::Status PublishTable(int64_t table_id);
+
+  /// One background sweep: health check + compaction where needed,
+  /// checkpointing, publishing; GC only when `run_gc`.
+  common::Status RunOnce(bool run_gc = false);
+
+ private:
+  txn::TransactionManager* txn_manager_;
+  exec::DataCache* cache_;
+  dcp::Scheduler* scheduler_;
+  StoOptions options_;
+  DeltaPublisher publisher_;
+
+  std::mutex mu_;
+  /// Manifests committed since the newest checkpoint, per table.
+  std::map<int64_t, uint64_t> manifests_since_checkpoint_;
+  /// Tables with commits not yet published.
+  std::map<int64_t, bool> publish_pending_;
+};
+
+}  // namespace polaris::sto
+
+#endif  // POLARIS_STO_STO_H_

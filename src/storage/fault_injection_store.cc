@@ -1,0 +1,88 @@
+#include "storage/fault_injection_store.h"
+
+namespace polaris::storage {
+
+using common::Result;
+using common::Status;
+
+bool FaultInjectionStore::ShouldFail(bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++op_counter_;
+  if (policy_.fail_nth_operation != 0 &&
+      op_counter_ == policy_.fail_nth_operation) {
+    policy_.fail_nth_operation = 0;  // one-shot
+    injected_failures_.fetch_add(1);
+    return true;
+  }
+  double p = is_write ? policy_.write_failure_probability
+                      : policy_.read_failure_probability;
+  if (p > 0.0 && rng_.Bernoulli(p)) {
+    injected_failures_.fetch_add(1);
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectionStore::Put(const std::string& path, std::string data) {
+  if (ShouldFail(/*is_write=*/true)) {
+    return Status::Unavailable("injected fault: Put " + path);
+  }
+  return base_->Put(path, std::move(data));
+}
+
+Result<std::string> FaultInjectionStore::Get(const std::string& path) {
+  if (ShouldFail(/*is_write=*/false)) {
+    return Status::Unavailable("injected fault: Get " + path);
+  }
+  return base_->Get(path);
+}
+
+Result<BlobInfo> FaultInjectionStore::Stat(const std::string& path) {
+  if (ShouldFail(/*is_write=*/false)) {
+    return Status::Unavailable("injected fault: Stat " + path);
+  }
+  return base_->Stat(path);
+}
+
+Status FaultInjectionStore::Delete(const std::string& path) {
+  if (ShouldFail(/*is_write=*/true)) {
+    return Status::Unavailable("injected fault: Delete " + path);
+  }
+  return base_->Delete(path);
+}
+
+Result<std::vector<BlobInfo>> FaultInjectionStore::List(
+    const std::string& prefix) {
+  if (ShouldFail(/*is_write=*/false)) {
+    return Status::Unavailable("injected fault: List " + prefix);
+  }
+  return base_->List(prefix);
+}
+
+Status FaultInjectionStore::StageBlock(const std::string& path,
+                                       const std::string& block_id,
+                                       std::string data) {
+  if (ShouldFail(/*is_write=*/true)) {
+    return Status::Unavailable("injected fault: StageBlock " + path);
+  }
+  return base_->StageBlock(path, block_id, std::move(data));
+}
+
+Status FaultInjectionStore::CommitBlockList(
+    const std::string& path, const std::vector<std::string>& block_ids) {
+  if (ShouldFail(/*is_write=*/true)) {
+    return Status::Unavailable("injected fault: CommitBlockList " + path);
+  }
+  return base_->CommitBlockList(path, block_ids);
+}
+
+Result<std::vector<std::string>> FaultInjectionStore::GetCommittedBlockList(
+    const std::string& path) {
+  if (ShouldFail(/*is_write=*/false)) {
+    return Status::Unavailable("injected fault: GetCommittedBlockList " +
+                               path);
+  }
+  return base_->GetCommittedBlockList(path);
+}
+
+}  // namespace polaris::storage

@@ -1,0 +1,78 @@
+#ifndef POLARIS_STORAGE_FAULT_INJECTION_STORE_H_
+#define POLARIS_STORAGE_FAULT_INJECTION_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/object_store.h"
+
+namespace polaris::storage {
+
+/// Which operations a fault policy applies to.
+struct FaultPolicy {
+  /// Probability in [0,1] that any write-side operation (Put, StageBlock,
+  /// CommitBlockList, Delete) fails with Unavailable.
+  double write_failure_probability = 0.0;
+  /// Probability that any read-side operation (Get, Stat, List,
+  /// GetCommittedBlockList) fails with Unavailable.
+  double read_failure_probability = 0.0;
+  /// If > 0, exactly the Nth operation (1-based, counting all ops) fails
+  /// once with Unavailable, then the trigger disarms. Deterministic hooks
+  /// for tests that need a failure at a precise point.
+  uint64_t fail_nth_operation = 0;
+};
+
+/// ObjectStore decorator that injects transient failures, used to verify
+/// the paper's claim that task restarts plus uncommitted-block discard make
+/// write transactions resilient to compute/storage failures (§4.3).
+///
+/// Failures are injected *before* the wrapped call, so a failed operation
+/// has no effect — modeling a request that never reached the service. Tests
+/// that need torn writes can stage blocks directly.
+class FaultInjectionStore : public ObjectStore {
+ public:
+  FaultInjectionStore(ObjectStore* base, uint64_t seed)
+      : base_(base), rng_(seed) {}
+
+  void set_policy(const FaultPolicy& policy) {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy;
+  }
+
+  /// Total operations that were failed by injection.
+  uint64_t injected_failures() const { return injected_failures_.load(); }
+
+  common::Status Put(const std::string& path, std::string data) override;
+  common::Result<std::string> Get(const std::string& path) override;
+  common::Result<BlobInfo> Stat(const std::string& path) override;
+  common::Status Delete(const std::string& path) override;
+  common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) override;
+  common::Status StageBlock(const std::string& path,
+                            const std::string& block_id,
+                            std::string data) override;
+  common::Status CommitBlockList(
+      const std::string& path,
+      const std::vector<std::string>& block_ids) override;
+  common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) override;
+
+ private:
+  /// Returns true if this operation should fail.
+  bool ShouldFail(bool is_write);
+
+  ObjectStore* base_;
+  std::mutex mu_;
+  FaultPolicy policy_;
+  common::Random rng_;
+  uint64_t op_counter_ = 0;
+  std::atomic<uint64_t> injected_failures_{0};
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_FAULT_INJECTION_STORE_H_

@@ -1,0 +1,207 @@
+#include "storage/memory_object_store.h"
+
+#include <algorithm>
+
+namespace polaris::storage {
+
+using common::Result;
+using common::Status;
+
+uint64_t MemoryObjectStore::Blob::CommittedSize() const {
+  uint64_t total = 0;
+  for (const auto& id : committed_ids) {
+    auto it = committed_blocks.find(id);
+    if (it != committed_blocks.end()) total += it->second.size();
+  }
+  return total;
+}
+
+std::string MemoryObjectStore::Blob::Concatenate() const {
+  std::string out;
+  out.reserve(CommittedSize());
+  for (const auto& id : committed_ids) {
+    auto it = committed_blocks.find(id);
+    if (it != committed_blocks.end()) out += it->second;
+  }
+  return out;
+}
+
+MemoryObjectStore::MemoryObjectStore(common::Clock* clock) : clock_(clock) {
+  if (clock_ == nullptr) {
+    owned_clock_ = std::make_unique<common::SimClock>(1);
+    clock_ = owned_clock_.get();
+  }
+}
+
+Status MemoryObjectStore::Put(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it != blobs_.end() && (it->second.committed || it->second.is_block_blob)) {
+    return Status::AlreadyExists("blob exists: " + path);
+  }
+  Blob& blob = blobs_[path];
+  blob.is_block_blob = false;
+  blob.committed = true;
+  blob.created_at = clock_->Now();
+  stats_.puts++;
+  stats_.bytes_written += data.size();
+  blob.committed_ids = {""};
+  blob.committed_blocks[""] = std::move(data);
+  return Status::OK();
+}
+
+Result<std::string> MemoryObjectStore::Get(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it == blobs_.end() || !it->second.committed) {
+    return Status::NotFound("blob not found: " + path);
+  }
+  stats_.gets++;
+  std::string data = it->second.Concatenate();
+  stats_.bytes_read += data.size();
+  return data;
+}
+
+Result<BlobInfo> MemoryObjectStore::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it == blobs_.end() || !it->second.committed) {
+    return Status::NotFound("blob not found: " + path);
+  }
+  BlobInfo info;
+  info.path = path;
+  info.size = it->second.CommittedSize();
+  info.created_at = it->second.created_at;
+  return info;
+}
+
+Status MemoryObjectStore::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it == blobs_.end()) {
+    return Status::NotFound("blob not found: " + path);
+  }
+  blobs_.erase(it);
+  stats_.deletes++;
+  return Status::OK();
+}
+
+Result<std::vector<BlobInfo>> MemoryObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.lists++;
+  std::vector<BlobInfo> out;
+  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (!it->second.committed) continue;
+    BlobInfo info;
+    info.path = it->first;
+    info.size = it->second.CommittedSize();
+    info.created_at = it->second.created_at;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status MemoryObjectStore::StageBlock(const std::string& path,
+                                     const std::string& block_id,
+                                     std::string data) {
+  if (block_id.empty()) {
+    return Status::InvalidArgument("block id must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it != blobs_.end() && !it->second.is_block_blob && it->second.committed) {
+    return Status::FailedPrecondition("blob is not a block blob: " + path);
+  }
+  Blob& blob = blobs_[path];
+  blob.is_block_blob = true;
+  if (blob.created_at == 0) blob.created_at = clock_->Now();
+  stats_.blocks_staged++;
+  stats_.bytes_written += data.size();
+  blob.staged_blocks[block_id] = std::move(data);
+  return Status::OK();
+}
+
+Status MemoryObjectStore::CommitBlockList(
+    const std::string& path, const std::vector<std::string>& block_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it == blobs_.end()) {
+    // Committing an empty list on a fresh path creates an empty block blob
+    // (matches Azure). Any non-empty list must name staged blocks.
+    if (!block_ids.empty()) {
+      return Status::InvalidArgument("no staged blocks for: " + path);
+    }
+    Blob& blob = blobs_[path];
+    blob.is_block_blob = true;
+    blob.committed = true;
+    blob.created_at = clock_->Now();
+    stats_.block_commits++;
+    return Status::OK();
+  }
+  Blob& blob = it->second;
+  if (!blob.is_block_blob) {
+    return Status::FailedPrecondition("blob is not a block blob: " + path);
+  }
+  // Validate: every id must be staged or already committed.
+  for (const auto& id : block_ids) {
+    if (blob.staged_blocks.count(id) == 0 &&
+        blob.committed_blocks.count(id) == 0) {
+      return Status::InvalidArgument("unknown block id '" + id +
+                                     "' for blob: " + path);
+    }
+  }
+  // Build the new committed block map. Staged blocks win over previously
+  // committed blocks with the same ID (Azure: latest staged version).
+  std::map<std::string, std::string> new_blocks;
+  for (const auto& id : block_ids) {
+    auto staged = blob.staged_blocks.find(id);
+    if (staged != blob.staged_blocks.end()) {
+      new_blocks[id] = staged->second;
+    } else {
+      new_blocks[id] = blob.committed_blocks[id];
+    }
+  }
+  blob.committed_ids = block_ids;
+  blob.committed_blocks = std::move(new_blocks);
+  blob.staged_blocks.clear();
+  blob.committed = true;
+  stats_.block_commits++;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemoryObjectStore::GetCommittedBlockList(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(path);
+  if (it == blobs_.end() || !it->second.committed) {
+    return Status::NotFound("blob not found: " + path);
+  }
+  if (!it->second.is_block_blob) {
+    return Status::FailedPrecondition("blob is not a block blob: " + path);
+  }
+  return it->second.committed_ids;
+}
+
+StoreStats MemoryObjectStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemoryObjectStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = StoreStats{};
+}
+
+size_t MemoryObjectStore::BlobCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [path, blob] : blobs_) {
+    (void)path;
+    if (blob.committed) ++n;
+  }
+  return n;
+}
+
+}  // namespace polaris::storage

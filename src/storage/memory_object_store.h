@@ -1,0 +1,75 @@
+#ifndef POLARIS_STORAGE_MEMORY_OBJECT_STORE_H_
+#define POLARIS_STORAGE_MEMORY_OBJECT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/object_store.h"
+
+namespace polaris::storage {
+
+/// In-process ObjectStore used as the OneLake substitute. Implements the
+/// full Block Blob protocol with the semantics documented on ObjectStore.
+/// Time stamps come from the injected Clock so garbage-collection tests can
+/// run on virtual time.
+class MemoryObjectStore : public ObjectStore {
+ public:
+  /// `clock` must outlive the store; if null, an internal SimClock starting
+  /// at 1 is used.
+  explicit MemoryObjectStore(common::Clock* clock = nullptr);
+
+  common::Status Put(const std::string& path, std::string data) override;
+  common::Result<std::string> Get(const std::string& path) override;
+  common::Result<BlobInfo> Stat(const std::string& path) override;
+  common::Status Delete(const std::string& path) override;
+  common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) override;
+
+  common::Status StageBlock(const std::string& path,
+                            const std::string& block_id,
+                            std::string data) override;
+  common::Status CommitBlockList(
+      const std::string& path,
+      const std::vector<std::string>& block_ids) override;
+  common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) override;
+
+  /// Snapshot of the operation counters.
+  StoreStats stats() const;
+  void ResetStats();
+
+  /// Number of blobs currently visible (committed block blobs + put blobs).
+  size_t BlobCount() const;
+
+  common::Clock* clock() { return clock_; }
+
+ private:
+  struct Blob {
+    // Committed state: ordered block list; for Put blobs a single implicit
+    // block named "".
+    std::vector<std::string> committed_ids;
+    std::map<std::string, std::string> committed_blocks;
+    // Staged (uncommitted) blocks.
+    std::map<std::string, std::string> staged_blocks;
+    bool is_block_blob = false;
+    bool committed = false;  // visible?
+    common::Micros created_at = 0;
+
+    uint64_t CommittedSize() const;
+    std::string Concatenate() const;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Blob> blobs_;
+  std::unique_ptr<common::SimClock> owned_clock_;
+  common::Clock* clock_;
+  StoreStats stats_;
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_MEMORY_OBJECT_STORE_H_

@@ -1,0 +1,103 @@
+#ifndef POLARIS_STORAGE_OBJECT_STORE_H_
+#define POLARIS_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace polaris::storage {
+
+/// Metadata about a stored blob.
+struct BlobInfo {
+  std::string path;
+  uint64_t size = 0;
+  /// Time the blob was first created (micros on the store's clock). The
+  /// garbage collector compares this with the minimum active transaction
+  /// start time to decide whether an unreferenced file belongs to an
+  /// aborted transaction (paper §5.3).
+  common::Micros created_at = 0;
+};
+
+/// Cloud object store abstraction modeling ADLS / OneLake (paper §3.2.2).
+///
+/// Two write paths are provided:
+///  * Whole-blob `Put` for immutable data files (Parquet files, deletion
+///    vectors, checkpoints). Blobs are write-once: a second Put to the same
+///    path fails with AlreadyExists, mirroring how the engine never
+///    overwrites data files.
+///  * The Block Blob protocol for transaction manifest files:
+///    `StageBlock` uploads an invisible block identified by a caller-chosen
+///    unique ID; `CommitBlockList` atomically makes the blob's contents the
+///    concatenation of the listed blocks. A committed list may reference
+///    both newly staged blocks and blocks from the blob's current committed
+///    list (used to append statements within a transaction). Staged blocks
+///    not referenced by the commit are discarded — this is what lets the
+///    Polaris DCP freely restart failed tasks: blocks written by abandoned
+///    attempts are simply never committed.
+///
+/// All implementations must be thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Creates a write-once blob. Fails with AlreadyExists if present.
+  virtual common::Status Put(const std::string& path,
+                             std::string data) = 0;
+
+  /// Reads the committed contents of a blob.
+  virtual common::Result<std::string> Get(const std::string& path) = 0;
+
+  /// Returns metadata for a blob; NotFound if it does not exist (a block
+  /// blob exists once it has a committed block list, even an empty one).
+  virtual common::Result<BlobInfo> Stat(const std::string& path) = 0;
+
+  /// Deletes a blob (and any staged blocks). NotFound if absent.
+  virtual common::Status Delete(const std::string& path) = 0;
+
+  /// Lists blobs whose path starts with `prefix`, in lexicographic order.
+  virtual common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) = 0;
+
+  // --- Block Blob protocol -------------------------------------------------
+
+  /// Uploads an uncommitted block for `path`. The block is invisible until
+  /// a subsequent CommitBlockList names it. Re-staging an existing
+  /// uncommitted block ID overwrites it (Azure semantics). Fails with
+  /// FailedPrecondition if `path` exists as a write-once blob.
+  virtual common::Status StageBlock(const std::string& path,
+                                    const std::string& block_id,
+                                    std::string data) = 0;
+
+  /// Atomically sets the blob's contents to the concatenation of `block_ids`.
+  /// Every ID must name either a staged block or a block in the current
+  /// committed list (InvalidArgument otherwise, and the blob is unchanged).
+  /// All staged blocks are discarded afterwards, committed or not.
+  virtual common::Status CommitBlockList(
+      const std::string& path, const std::vector<std::string>& block_ids) = 0;
+
+  /// IDs in the current committed block list, in order. NotFound if the
+  /// blob has never been committed.
+  virtual common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) = 0;
+};
+
+/// Byte- and operation-level counters, exposed by MemoryObjectStore for
+/// benchmark reporting.
+struct StoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t lists = 0;
+  uint64_t blocks_staged = 0;
+  uint64_t block_commits = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,66 @@
+#include "storage/path_util.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace polaris::storage {
+
+namespace {
+std::string FormatSeq(uint64_t seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020" PRIu64, seq);
+  return buf;
+}
+}  // namespace
+
+std::string PathUtil::TableRoot(int64_t table_id) {
+  return "tables/" + std::to_string(table_id);
+}
+
+std::string PathUtil::DataDir(int64_t table_id) {
+  return TableRoot(table_id) + "/data";
+}
+
+std::string PathUtil::ManifestDir(int64_t table_id) {
+  return TableRoot(table_id) + "/manifests";
+}
+
+std::string PathUtil::CheckpointDir(int64_t table_id) {
+  return TableRoot(table_id) + "/checkpoints";
+}
+
+std::string PathUtil::DataFilePath(int64_t table_id, const std::string& guid) {
+  return DataDir(table_id) + "/" + guid + ".parquet";
+}
+
+std::string PathUtil::DeleteVectorPath(int64_t table_id,
+                                       const std::string& guid) {
+  return DataDir(table_id) + "/" + guid + ".dv";
+}
+
+std::string PathUtil::ManifestPath(int64_t table_id, const std::string& guid) {
+  return ManifestDir(table_id) + "/" + guid + ".manifest";
+}
+
+std::string PathUtil::CheckpointPath(int64_t table_id, uint64_t sequence_id) {
+  return CheckpointDir(table_id) + "/" + FormatSeq(sequence_id) +
+         ".checkpoint";
+}
+
+std::string PathUtil::PublishedDeltaLogDir(const std::string& table_name) {
+  return "published/" + table_name + "/_delta_log";
+}
+
+std::string PathUtil::PublishedDeltaLogPath(const std::string& table_name,
+                                            uint64_t version) {
+  return PublishedDeltaLogDir(table_name) + "/" + FormatSeq(version) + ".json";
+}
+
+std::string PathUtil::Join(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.back() == '/') return a + (b.front() == '/' ? b.substr(1) : b);
+  return a + (b.front() == '/' ? b : "/" + b);
+}
+
+}  // namespace polaris::storage

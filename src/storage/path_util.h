@@ -1,0 +1,41 @@
+#ifndef POLARIS_STORAGE_PATH_UTIL_H_
+#define POLARIS_STORAGE_PATH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace polaris::storage {
+
+/// OneLake-style path layout (paper §2.2 / §5.4): all files of a table live
+/// under a common data path; manifests and checkpoints under sibling
+/// prefixes; the published Delta log in a user-visible location.
+///
+///   tables/<table_id>/data/<guid>.parquet
+///   tables/<table_id>/data/<guid>.dv
+///   tables/<table_id>/manifests/<guid>.manifest
+///   tables/<table_id>/checkpoints/<seq>.checkpoint
+///   published/<table_name>/_delta_log/<version>.json
+class PathUtil {
+ public:
+  static std::string TableRoot(int64_t table_id);
+  static std::string DataDir(int64_t table_id);
+  static std::string ManifestDir(int64_t table_id);
+  static std::string CheckpointDir(int64_t table_id);
+
+  static std::string DataFilePath(int64_t table_id, const std::string& guid);
+  static std::string DeleteVectorPath(int64_t table_id,
+                                      const std::string& guid);
+  static std::string ManifestPath(int64_t table_id, const std::string& guid);
+  static std::string CheckpointPath(int64_t table_id, uint64_t sequence_id);
+
+  static std::string PublishedDeltaLogDir(const std::string& table_name);
+  static std::string PublishedDeltaLogPath(const std::string& table_name,
+                                           uint64_t version);
+
+  /// Joins two path segments with exactly one '/'.
+  static std::string Join(const std::string& a, const std::string& b);
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_PATH_UTIL_H_

@@ -1,0 +1,73 @@
+#ifndef POLARIS_TXN_TRANSACTION_H_
+#define POLARIS_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/mvcc.h"
+#include "common/clock.h"
+#include "lst/table_snapshot.h"
+
+namespace polaris::txn {
+
+/// A Polaris user transaction (paper §3): a SQL DB root transaction at the
+/// FE plus, per modified table, a private transaction manifest that
+/// accumulates the transaction's changes. All state lives here and in the
+/// object store — never on compute nodes — so the transaction survives any
+/// topology change.
+///
+/// Created by TransactionManager::Begin; driven via the manager. Not
+/// thread-safe (one session per transaction, like a SQL connection).
+class Transaction {
+ public:
+  uint64_t id() const { return catalog_txn_->id(); }
+  catalog::IsolationMode mode() const { return catalog_txn_->mode(); }
+  common::Micros begin_time() const { return begin_time_; }
+  bool finished() const { return finished_; }
+
+  /// The underlying catalog transaction; the engine uses it for DDL and
+  /// catalog reads so that logical metadata obeys the same isolation.
+  catalog::MvccTransaction* catalog_txn() { return catalog_txn_.get(); }
+
+  /// Tables this transaction has written (for post-commit notifications).
+  std::vector<int64_t> dirty_tables() const {
+    std::vector<int64_t> out;
+    for (const auto& [table_id, state] : tables_) {
+      if (state.dirty) out.push_back(table_id);
+    }
+    return out;
+  }
+
+ private:
+  friend class TransactionManager;
+
+  /// Per-table private state: the committed base snapshot this transaction
+  /// read, the current overlay including its own writes, and the
+  /// transaction manifest blob those writes are staged into.
+  struct TableState {
+    int64_t table_id = 0;
+    std::string manifest_path;
+    lst::TableSnapshot base;
+    lst::TableSnapshot current;
+    bool dirty = false;
+    /// True when the statement mix includes update/delete — such tables
+    /// get a WriteSets upsert at commit (§4.1.2 step 1).
+    bool has_mutation = false;
+    /// Data files whose DVs this transaction changed, for file-granularity
+    /// conflict detection (§4.4.1).
+    std::set<std::string> touched_files;
+  };
+
+  std::unique_ptr<catalog::MvccTransaction> catalog_txn_;
+  common::Micros begin_time_ = 0;
+  bool finished_ = false;
+  std::map<int64_t, TableState> tables_;
+};
+
+}  // namespace polaris::txn
+
+#endif  // POLARIS_TXN_TRANSACTION_H_

@@ -1,0 +1,305 @@
+#include "txn/transaction_manager.h"
+
+#include "common/guid.h"
+#include "common/logging.h"
+#include "lst/manifest_io.h"
+#include "storage/path_util.h"
+
+namespace polaris::txn {
+
+using catalog::IsolationMode;
+using common::Result;
+using common::Status;
+
+TransactionManager::TransactionManager(catalog::CatalogDb* catalog,
+                                       storage::ObjectStore* store,
+                                       lst::SnapshotBuilder* builder,
+                                       common::Clock* clock,
+                                       TransactionManagerOptions options)
+    : catalog_(catalog),
+      store_(store),
+      builder_(builder),
+      clock_(clock),
+      options_(options) {}
+
+Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
+    IsolationMode mode) {
+  auto txn = std::unique_ptr<Transaction>(new Transaction());
+  txn->catalog_txn_ = catalog_->Begin(mode);
+  txn->begin_time_ = clock_->Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_[txn->id()] = {txn->begin_time_, txn->catalog_txn_->begin_seq()};
+  }
+  return txn;
+}
+
+void TransactionManager::Unregister(Transaction* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(txn->id());
+}
+
+Result<lst::TableSnapshot> TransactionManager::BuildCommittedSnapshot(
+    Transaction* txn, int64_t table_id) {
+  POLARIS_ASSIGN_OR_RETURN(
+      auto records, catalog_->GetManifests(txn->catalog_txn(), table_id));
+  std::vector<lst::ManifestRef> refs;
+  refs.reserve(records.size());
+  for (const auto& record : records) {
+    refs.push_back({record.sequence_id, record.path});
+  }
+  std::optional<lst::CheckpointRef> checkpoint;
+  if (!refs.empty()) {
+    POLARIS_ASSIGN_OR_RETURN(
+        auto ckpt_record,
+        catalog_->GetLatestCheckpoint(txn->catalog_txn(), table_id,
+                                      refs.back().sequence_id));
+    if (ckpt_record.has_value()) {
+      checkpoint = lst::CheckpointRef{ckpt_record->sequence_id,
+                                      ckpt_record->path};
+    }
+  }
+  return builder_->Build(refs, checkpoint);
+}
+
+Result<lst::TableSnapshot> TransactionManager::GetSnapshot(
+    Transaction* txn, int64_t table_id) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  auto it = txn->tables_.find(table_id);
+  if (it == txn->tables_.end()) {
+    POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot committed,
+                             BuildCommittedSnapshot(txn, table_id));
+    Transaction::TableState state;
+    state.table_id = table_id;
+    state.base = committed;
+    state.current = std::move(committed);
+    it = txn->tables_.emplace(table_id, std::move(state)).first;
+    return it->second.current;
+  }
+  Transaction::TableState& state = it->second;
+  if (txn->mode() == IsolationMode::kReadCommittedSnapshot) {
+    // RCSI: refresh the committed part to the latest commit, then re-apply
+    // this transaction's own changes on top.
+    std::vector<lst::ManifestEntry> own =
+        lst::DiffSnapshots(state.base, state.current);
+    POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot fresh,
+                             BuildCommittedSnapshot(txn, table_id));
+    lst::TableSnapshot overlaid = fresh;
+    Status applied = overlaid.Apply(own, clock_->Now());
+    if (!applied.ok()) {
+      // A concurrent commit invalidated our private changes (e.g. the file
+      // we deleted from was compacted away). Surface as a conflict.
+      return Status::Conflict("RCSI refresh conflicts with own writes: " +
+                              applied.message());
+    }
+    state.base = std::move(fresh);
+    state.current = std::move(overlaid);
+  }
+  return state.current;
+}
+
+Result<lst::TableSnapshot> TransactionManager::GetSnapshotAsOf(
+    Transaction* txn, int64_t table_id, common::Micros as_of) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  POLARIS_ASSIGN_OR_RETURN(
+      auto records,
+      catalog_->GetManifestsAsOf(txn->catalog_txn(), table_id, as_of));
+  std::vector<lst::ManifestRef> refs;
+  refs.reserve(records.size());
+  for (const auto& record : records) {
+    refs.push_back({record.sequence_id, record.path});
+  }
+  // Checkpoints compact manifest state and may span beyond `as_of`; only a
+  // checkpoint at or below the last visible sequence is usable.
+  std::optional<lst::CheckpointRef> checkpoint;
+  if (!refs.empty()) {
+    POLARIS_ASSIGN_OR_RETURN(
+        auto ckpt_record,
+        catalog_->GetLatestCheckpoint(txn->catalog_txn(), table_id,
+                                      refs.back().sequence_id));
+    if (ckpt_record.has_value()) {
+      checkpoint = lst::CheckpointRef{ckpt_record->sequence_id,
+                                      ckpt_record->path};
+    }
+  }
+  return builder_->Build(refs, checkpoint);
+}
+
+Result<std::string> TransactionManager::PrepareWrite(Transaction* txn,
+                                                     int64_t table_id) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  // Materialize the table state (snapshot capture) if not present.
+  POLARIS_RETURN_IF_ERROR(GetSnapshot(txn, table_id).status());
+  Transaction::TableState& state = txn->tables_.at(table_id);
+  if (state.manifest_path.empty()) {
+    state.manifest_path = storage::PathUtil::ManifestPath(
+        table_id, common::Guid::Generate().ToString());
+  }
+  return state.manifest_path;
+}
+
+Status TransactionManager::FinishInsertStatement(
+    Transaction* txn, int64_t table_id, const exec::WriteResult& result) {
+  auto it = txn->tables_.find(table_id);
+  if (it == txn->tables_.end() || it->second.manifest_path.empty()) {
+    return Status::FailedPrecondition("PrepareWrite was not called");
+  }
+  Transaction::TableState& state = it->second;
+  // Append the statement's blocks to the transaction manifest so later
+  // statements in this transaction can read them (§3.2.3).
+  lst::ManifestCommitter committer(store_);
+  POLARIS_RETURN_IF_ERROR(
+      committer.CommitAppend(state.manifest_path, result.block_ids));
+  POLARIS_RETURN_IF_ERROR(state.current.Apply(result.entries, clock_->Now()));
+  state.dirty = true;
+  return Status::OK();
+}
+
+Status TransactionManager::FinishMutationStatement(
+    Transaction* txn, int64_t table_id, const exec::WriteResult& result) {
+  auto it = txn->tables_.find(table_id);
+  if (it == txn->tables_.end() || it->second.manifest_path.empty()) {
+    return Status::FailedPrecondition("PrepareWrite was not called");
+  }
+  Transaction::TableState& state = it->second;
+  POLARIS_RETURN_IF_ERROR(state.current.Apply(result.entries, clock_->Now()));
+  // Prune intra-transaction files whose rows this statement fully deleted:
+  // they are "parts from the first update that were made obsolete by the
+  // second update" (§3.2.3) and must not survive into the final manifest.
+  // Their blobs become unreferenced and are garbage collected.
+  {
+    std::vector<std::string> obsolete;
+    for (const auto& [path, file_state] : state.current.files()) {
+      if (state.base.files().count(path) != 0) continue;  // committed file
+      if (file_state.info.row_count > 0 &&
+          file_state.deleted_count == file_state.info.row_count) {
+        obsolete.push_back(path);
+      }
+    }
+    for (const auto& path : obsolete) state.current.DropFile(path);
+  }
+  // Reconcile: the canonical entries are the diff between the committed
+  // base and the transaction's current state — parts of earlier statements
+  // made obsolete by this one vanish (§3.2.3).
+  std::vector<lst::ManifestEntry> canonical =
+      lst::DiffSnapshots(state.base, state.current);
+  lst::ManifestCommitter committer(store_);
+  POLARIS_RETURN_IF_ERROR(
+      committer.CommitRewrite(state.manifest_path, canonical).status());
+  state.dirty = true;
+  state.has_mutation = true;
+  state.touched_files.insert(result.touched_files.begin(),
+                             result.touched_files.end());
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  // FE manifest compaction (§3 footnote 3): collapse a fragmented
+  // transaction manifest into its canonical single block before commit.
+  if (options_.compact_manifest_blocks_above > 0) {
+    for (auto& [table_id, state] : txn->tables_) {
+      (void)table_id;
+      if (!state.dirty) continue;
+      auto blocks = store_->GetCommittedBlockList(state.manifest_path);
+      if (!blocks.ok() ||
+          blocks->size() <= options_.compact_manifest_blocks_above) {
+        continue;
+      }
+      lst::ManifestCommitter committer(store_);
+      Status st = committer
+                      .CommitRewrite(state.manifest_path,
+                                     lst::DiffSnapshots(state.base,
+                                                        state.current))
+                      .status();
+      if (!st.ok()) {
+        (void)Abort(txn);
+        return st;
+      }
+    }
+  }
+
+  // Validation phase (§4.1.2).
+  // Step 1: upsert WriteSets for every table with updates/deletes.
+  std::vector<catalog::PendingManifest> pending;
+  for (auto& [table_id, state] : txn->tables_) {
+    if (!state.dirty) continue;
+    pending.push_back({table_id, state.manifest_path});
+    if (!state.has_mutation) continue;
+    if (options_.granularity == catalog::ConflictGranularity::kTable) {
+      Status st = catalog_->UpsertWriteSet(txn->catalog_txn(), table_id);
+      if (!st.ok()) {
+        (void)Abort(txn);  // best effort; report the original error
+        return st;
+      }
+    } else {
+      for (const auto& file : state.touched_files) {
+        Status st = catalog_->UpsertWriteSetForFile(txn->catalog_txn(),
+                                                    table_id, file);
+        if (!st.ok()) {
+          (void)Abort(txn);
+          return st;
+        }
+      }
+    }
+  }
+  // Steps 2-4: commit lock, Manifests inserts with sequence assignment,
+  // and the SQL commit — all inside CatalogDb::Commit. A Conflict here is
+  // the SI first-committer-wins rejection.
+  Status st = catalog_->Commit(txn->catalog_txn(), pending);
+  txn->finished_ = true;
+  Unregister(txn);
+  if (!st.ok()) {
+    POLARIS_LOG(kInfo, "txn") << "transaction " << txn->id()
+                              << " failed validation: " << st.ToString();
+  }
+  return st;
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  catalog_->Abort(txn->catalog_txn());
+  txn->finished_ = true;
+  Unregister(txn);
+  // Data files, DV blobs and the manifest blob written by this transaction
+  // remain in the store unreferenced; GC removes them once they are older
+  // than every active transaction (§5.3).
+  return Status::OK();
+}
+
+common::Micros TransactionManager::MinActiveBeginTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::Micros min_time = clock_->Now();
+  for (const auto& [id, info] : active_) {
+    (void)id;
+    if (info.begin_time < min_time) min_time = info.begin_time;
+  }
+  return min_time;
+}
+
+uint64_t TransactionManager::MinActiveBeginSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min_seq = catalog_->LatestCommitSeq();
+  for (const auto& [id, info] : active_) {
+    (void)id;
+    if (info.begin_seq < min_seq) min_seq = info.begin_seq;
+  }
+  return min_seq;
+}
+
+uint64_t TransactionManager::active_transactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+}  // namespace polaris::txn

@@ -1,0 +1,289 @@
+// Unit tests for the typed system catalog: DDL, the Manifests and
+// WriteSets tables, commit-order sequence assignment, checkpoint records.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_db.h"
+#include "common/clock.h"
+
+namespace polaris::catalog {
+namespace {
+
+format::Schema TestSchema() {
+  return format::Schema({{"id", format::ColumnType::kInt64},
+                         {"v", format::ColumnType::kDouble}});
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : db_(&clock_) {}
+
+  TableMeta MustCreate(const std::string& name) {
+    auto txn = db_.Begin();
+    auto meta = db_.CreateTable(txn.get(), name, TestSchema());
+    EXPECT_TRUE(meta.ok()) << meta.status().ToString();
+    EXPECT_TRUE(db_.Commit(txn.get(), {}).ok());
+    return *meta;
+  }
+
+  common::SimClock clock_{1000};
+  CatalogDb db_;
+};
+
+TEST_F(CatalogTest, CreateAndLookupTable) {
+  TableMeta meta = MustCreate("orders");
+  EXPECT_GE(meta.table_id, 1001);
+  auto txn = db_.Begin();
+  auto by_name = db_.GetTableByName(txn.get(), "orders");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->table_id, meta.table_id);
+  EXPECT_EQ(by_name->schema, TestSchema());
+  auto by_id = db_.GetTableById(txn.get(), meta.table_id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->name, "orders");
+}
+
+TEST_F(CatalogTest, DuplicateTableNameRejected) {
+  MustCreate("t");
+  auto txn = db_.Begin();
+  EXPECT_TRUE(
+      db_.CreateTable(txn.get(), "t", TestSchema()).status().IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, BadTableNamesRejected) {
+  auto txn = db_.Begin();
+  EXPECT_TRUE(db_.CreateTable(txn.get(), "", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_.CreateTable(txn.get(), "a/b", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, TableIdsAreUnique) {
+  TableMeta a = MustCreate("a");
+  TableMeta b = MustCreate("b");
+  EXPECT_NE(a.table_id, b.table_id);
+}
+
+TEST_F(CatalogTest, DropTableRemovesLookup) {
+  TableMeta meta = MustCreate("gone");
+  {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(db_.DropTable(txn.get(), "gone").ok());
+    ASSERT_TRUE(db_.Commit(txn.get(), {}).ok());
+  }
+  auto txn = db_.Begin();
+  EXPECT_TRUE(db_.GetTableByName(txn.get(), "gone").status().IsNotFound());
+  EXPECT_TRUE(
+      db_.GetTableById(txn.get(), meta.table_id).status().IsNotFound());
+  EXPECT_TRUE(db_.DropTable(txn.get(), "gone").IsNotFound());
+}
+
+TEST_F(CatalogTest, ListTablesSeesCommittedOnly) {
+  MustCreate("a");
+  auto pending_txn = db_.Begin();
+  ASSERT_TRUE(db_.CreateTable(pending_txn.get(), "b", TestSchema()).ok());
+  auto reader = db_.Begin();
+  auto tables = db_.ListTables(reader.get());
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->size(), 1u);
+  EXPECT_EQ((*tables)[0].name, "a");
+}
+
+TEST_F(CatalogTest, ManifestSequenceAssignedInCommitOrder) {
+  TableMeta meta = MustCreate("t");
+  // Two committing transactions, each inserting a manifest; seq ids must
+  // be 1 then 2 in commit order even though neither conflicts.
+  auto t1 = db_.Begin();
+  auto t2 = db_.Begin();
+  std::vector<ManifestRecord> r1;
+  std::vector<ManifestRecord> r2;
+  ASSERT_TRUE(db_.Commit(t1.get(), {{meta.table_id, "m1"}}, &r1).ok());
+  ASSERT_TRUE(db_.Commit(t2.get(), {{meta.table_id, "m2"}}, &r2).ok());
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r1[0].sequence_id, 1u);
+  EXPECT_EQ(r2[0].sequence_id, 2u);
+
+  auto reader = db_.Begin();
+  auto records = db_.GetManifests(reader.get(), meta.table_id);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].path, "m1");
+  EXPECT_EQ((*records)[1].path, "m2");
+}
+
+TEST_F(CatalogTest, MultiTableCommitAssignsPerTableSequences) {
+  TableMeta a = MustCreate("a");
+  TableMeta b = MustCreate("b");
+  auto txn = db_.Begin();
+  std::vector<ManifestRecord> records;
+  ASSERT_TRUE(db_.Commit(txn.get(),
+                         {{a.table_id, "ma"}, {b.table_id, "mb"},
+                          {a.table_id, "ma2"}},
+                         &records)
+                  .ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].sequence_id, 1u);  // a/1
+  EXPECT_EQ(records[1].sequence_id, 1u);  // b/1
+  EXPECT_EQ(records[2].sequence_id, 2u);  // a/2 within the same commit
+}
+
+TEST_F(CatalogTest, ManifestRecordsCarryCommitTime) {
+  TableMeta meta = MustCreate("t");
+  clock_.Advance(5000);
+  auto txn = db_.Begin();
+  ASSERT_TRUE(db_.Commit(txn.get(), {{meta.table_id, "m"}}).ok());
+  auto reader = db_.Begin();
+  auto records = db_.GetManifests(reader.get(), meta.table_id);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].commit_time, 6000);
+  EXPECT_GT((*records)[0].txn_id, 0u);
+}
+
+TEST_F(CatalogTest, GetManifestsAsOfFiltersByCommitTime) {
+  TableMeta meta = MustCreate("t");
+  auto t1 = db_.Begin();
+  ASSERT_TRUE(db_.Commit(t1.get(), {{meta.table_id, "early"}}).ok());
+  common::Micros cutoff = clock_.Now();
+  clock_.Advance(1000);
+  auto t2 = db_.Begin();
+  ASSERT_TRUE(db_.Commit(t2.get(), {{meta.table_id, "late"}}).ok());
+
+  auto reader = db_.Begin();
+  auto as_of = db_.GetManifestsAsOf(reader.get(), meta.table_id, cutoff);
+  ASSERT_TRUE(as_of.ok());
+  ASSERT_EQ(as_of->size(), 1u);
+  EXPECT_EQ((*as_of)[0].path, "early");
+}
+
+TEST_F(CatalogTest, WriteSetUpsertConflictsBetweenConcurrentWriters) {
+  TableMeta meta = MustCreate("t");
+  auto t1 = db_.Begin();
+  auto t2 = db_.Begin();
+  ASSERT_TRUE(db_.UpsertWriteSet(t1.get(), meta.table_id).ok());
+  ASSERT_TRUE(db_.UpsertWriteSet(t2.get(), meta.table_id).ok());
+  EXPECT_TRUE(db_.Commit(t1.get(), {{meta.table_id, "m1"}}).ok());
+  EXPECT_TRUE(db_.Commit(t2.get(), {{meta.table_id, "m2"}}).IsConflict());
+  // The loser's manifest row is not present.
+  auto reader = db_.Begin();
+  auto records = db_.GetManifests(reader.get(), meta.table_id);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].path, "m1");
+}
+
+TEST_F(CatalogTest, FileGranularityConflictsOnlyOnSameFile) {
+  TableMeta meta = MustCreate("t");
+  auto t1 = db_.Begin();
+  auto t2 = db_.Begin();
+  auto t3 = db_.Begin();
+  ASSERT_TRUE(db_.UpsertWriteSetForFile(t1.get(), meta.table_id, "f1").ok());
+  ASSERT_TRUE(db_.UpsertWriteSetForFile(t2.get(), meta.table_id, "f2").ok());
+  ASSERT_TRUE(db_.UpsertWriteSetForFile(t3.get(), meta.table_id, "f1").ok());
+  EXPECT_TRUE(db_.Commit(t1.get(), {{meta.table_id, "m1"}}).ok());
+  EXPECT_TRUE(db_.Commit(t2.get(), {{meta.table_id, "m2"}}).ok());   // f2: ok
+  EXPECT_TRUE(db_.Commit(t3.get(), {{meta.table_id, "m3"}}).IsConflict());
+}
+
+TEST_F(CatalogTest, InsertOnlyTransactionsNeverConflict) {
+  // Inserts do not upsert WriteSets, so concurrent inserts both commit
+  // (paper §4: "Inserts are similarly optimized ... not conflicting").
+  TableMeta meta = MustCreate("t");
+  auto t1 = db_.Begin();
+  auto t2 = db_.Begin();
+  EXPECT_TRUE(db_.Commit(t1.get(), {{meta.table_id, "m1"}}).ok());
+  EXPECT_TRUE(db_.Commit(t2.get(), {{meta.table_id, "m2"}}).ok());
+}
+
+TEST_F(CatalogTest, CheckpointRecords) {
+  TableMeta meta = MustCreate("t");
+  {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(db_.AddCheckpoint(txn.get(), {meta.table_id, 5, "c5"}).ok());
+    ASSERT_TRUE(db_.AddCheckpoint(txn.get(), {meta.table_id, 9, "c9"}).ok());
+    ASSERT_TRUE(db_.Commit(txn.get(), {}).ok());
+  }
+  auto txn = db_.Begin();
+  auto latest = db_.GetLatestCheckpoint(txn.get(), meta.table_id, 100);
+  ASSERT_TRUE(latest.ok());
+  ASSERT_TRUE(latest->has_value());
+  EXPECT_EQ((*latest)->sequence_id, 9u);
+  // Bounded lookup.
+  latest = db_.GetLatestCheckpoint(txn.get(), meta.table_id, 7);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)->sequence_id, 5u);
+  latest = db_.GetLatestCheckpoint(txn.get(), meta.table_id, 3);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_FALSE(latest->has_value());
+  auto all = db_.ListCheckpoints(txn.get(), meta.table_id);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST_F(CatalogTest, PurgeDroppedTableRowsRemovesOnlyOrphans) {
+  TableMeta keep = MustCreate("keep");
+  TableMeta drop = MustCreate("drop_me");
+  {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(db_.UpsertWriteSet(txn.get(), keep.table_id).ok());
+    ASSERT_TRUE(db_.UpsertWriteSet(txn.get(), drop.table_id).ok());
+    ASSERT_TRUE(db_.AddCheckpoint(txn.get(), {drop.table_id, 1, "c1"}).ok());
+    ASSERT_TRUE(db_.Commit(txn.get(),
+                           {{keep.table_id, "mk"}, {drop.table_id, "md"}})
+                    .ok());
+  }
+  {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(db_.DropTable(txn.get(), "drop_me").ok());
+    ASSERT_TRUE(db_.Commit(txn.get(), {}).ok());
+  }
+  auto txn = db_.Begin();
+  auto purged = db_.PurgeDroppedTableRows(txn.get());
+  ASSERT_TRUE(purged.ok());
+  // One manifest + one writeset + one checkpoint row for the dropped table.
+  EXPECT_EQ(*purged, 3u);
+  ASSERT_TRUE(db_.Commit(txn.get(), {}).ok());
+
+  auto reader = db_.Begin();
+  auto dropped_manifests = db_.GetManifests(reader.get(), drop.table_id);
+  ASSERT_TRUE(dropped_manifests.ok());
+  EXPECT_TRUE(dropped_manifests->empty());
+  auto kept_manifests = db_.GetManifests(reader.get(), keep.table_id);
+  ASSERT_TRUE(kept_manifests.ok());
+  EXPECT_EQ(kept_manifests->size(), 1u);
+  // Idempotent: nothing further to purge.
+  auto again = db_.Begin();
+  auto purged_again = db_.PurgeDroppedTableRows(again.get());
+  ASSERT_TRUE(purged_again.ok());
+  EXPECT_EQ(*purged_again, 0u);
+}
+
+TEST_F(CatalogTest, CloneStylePendingPreservesOrder) {
+  // A clone inserts one pending manifest per source manifest; the new
+  // table's sequence ids must follow the pending order (§6.2).
+  TableMeta src = MustCreate("src");
+  for (int i = 0; i < 3; ++i) {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(
+        db_.Commit(txn.get(), {{src.table_id, "m" + std::to_string(i)}}).ok());
+  }
+  TableMeta dst = MustCreate("dst");
+  auto txn = db_.Begin();
+  std::vector<ManifestRecord> assigned;
+  ASSERT_TRUE(db_.Commit(txn.get(),
+                         {{dst.table_id, "m0"},
+                          {dst.table_id, "m1"},
+                          {dst.table_id, "m2"}},
+                         &assigned)
+                  .ok());
+  ASSERT_EQ(assigned.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(assigned[i].sequence_id, i + 1);
+    EXPECT_EQ(assigned[i].path, "m" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace polaris::catalog

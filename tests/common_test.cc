@@ -1,0 +1,256 @@
+// Unit tests for the common substrate: Status/Result, GUIDs, the byte
+// codec, RNG and clocks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/guid.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace polaris::common {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::Conflict("write-write on T1");
+  EXPECT_EQ(st.ToString(), "Conflict: write-write on T1");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+Result<int> Doubled(int v) {
+  POLARIS_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_TRUE(Doubled(0).status().IsInvalidArgument());
+}
+
+TEST(GuidTest, GeneratesUniqueIds) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(seen.insert(Guid::Generate().ToString()).second);
+  }
+}
+
+TEST(GuidTest, UniqueAcrossThreads) {
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Guid>> results(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&results, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(Guid::Generate());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::string> seen;
+  for (const auto& vec : results) {
+    for (const auto& g : vec) {
+      ASSERT_TRUE(seen.insert(g.ToString()).second);
+    }
+  }
+}
+
+TEST(GuidTest, RoundTripsThroughString) {
+  Guid g = Guid::Generate();
+  std::string s = g.ToString();
+  EXPECT_EQ(s.size(), 32u);
+  Guid parsed;
+  ASSERT_TRUE(Guid::Parse(s, &parsed));
+  EXPECT_EQ(parsed, g);
+}
+
+TEST(GuidTest, ParseRejectsMalformed) {
+  Guid g;
+  EXPECT_FALSE(Guid::Parse("", &g));
+  EXPECT_FALSE(Guid::Parse("abc", &g));
+  EXPECT_FALSE(Guid::Parse(std::string(32, 'z'), &g));
+  EXPECT_TRUE(Guid::Parse(std::string(32, '0'), &g));
+  EXPECT_TRUE(g.IsNil());
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,       1,          127,        128,
+                            16383,   16384,      (1ULL << 32),
+                            UINT64_MAX - 1,      UINT64_MAX};
+  ByteWriter w;
+  for (uint64_t v : cases) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t expected : cases) {
+    uint64_t v;
+    ASSERT_TRUE(r.GetVarint(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTripIncludingEmbeddedNuls) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutString(std::string("a\0b", 3));
+  w.PutString(std::string(1000, 'x'));
+  ByteReader r(w.data());
+  std::string s;
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, std::string("a\0b", 3));
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(BytesTest, TruncatedInputReportsCorruption) {
+  ByteWriter w;
+  w.PutU64(12345);
+  std::string data = w.data().substr(0, 4);
+  ByteReader r(data);
+  uint64_t v;
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(BytesTest, TruncatedStringReportsCorruption) {
+  ByteWriter w;
+  w.PutString("hello world");
+  std::string data = w.data().substr(0, 5);
+  ByteReader r(data);
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsCorruption());
+}
+
+TEST(BytesTest, TruncatedVarintReportsCorruption) {
+  std::string data = "\xFF";  // continuation bit set, nothing follows
+  ByteReader r(data);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint(&v).IsCorruption());
+}
+
+TEST(BytesTest, OverlongVarintReportsCorruption) {
+  std::string data(11, '\xFF');
+  ByteReader r(data);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint(&v).IsCorruption());
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.AdvanceTo(140);  // no-op: in the past
+  EXPECT_EQ(clock.Now(), 150);
+  clock.AdvanceTo(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+TEST(SystemClockTest, NowIsNonDecreasing) {
+  SystemClock clock;
+  Micros a = clock.Now();
+  Micros b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace polaris::common

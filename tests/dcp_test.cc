@@ -1,0 +1,330 @@
+// Unit tests for the distributed computation platform: thread pool, task
+// DAG execution, virtual-time scheduling, elastic allocation, retries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "dcp/scheduler.h"
+#include "dcp/task.h"
+#include "dcp/thread_pool.h"
+#include "dcp/topology.h"
+
+namespace polaris::dcp {
+namespace {
+
+using common::Status;
+
+TEST(ThreadPoolTest, RunsAllSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitHandlesNestedSubmission) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ElasticAllocatorTest, ScalesWithJobSizeUpToCap) {
+  ElasticAllocator alloc;
+  alloc.target_micros_per_node = 1000;
+  EXPECT_EQ(alloc.NodesFor(500, 100), 1u);
+  EXPECT_EQ(alloc.NodesFor(5000, 100), 5u);
+  EXPECT_EQ(alloc.NodesFor(500000, 100), 100u);  // capped by parallelism
+  EXPECT_EQ(alloc.NodesFor(0, 100), 1u);
+  EXPECT_EQ(alloc.NodesFor(1000, 0), 1u);  // zero cap treated as 1
+}
+
+TEST(CostModelTest, CostGrowsWithWork) {
+  CostModel model;
+  TaskCost small;
+  small.rows = 100;
+  TaskCost large;
+  large.rows = 1'000'000;
+  large.input_bytes = 100 << 20;
+  EXPECT_GT(model.TaskMicros(large), model.TaskMicros(small));
+  EXPECT_GE(model.TaskMicros(TaskCost{}), model.task_startup_micros);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : topology_(Topology::SingleElasticPool()) {}
+
+  Topology topology_;
+};
+
+TEST_F(SchedulerTest, EmptyDagSucceeds) {
+  Scheduler scheduler(&topology_, 2);
+  auto metrics = scheduler.Run(TaskDag{}, "default");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->tasks_run, 0u);
+}
+
+TEST_F(SchedulerTest, UnknownPoolRejected) {
+  Scheduler scheduler(&topology_, 2);
+  EXPECT_TRUE(
+      scheduler.Run(TaskDag{}, "nope").status().IsInvalidArgument());
+}
+
+TEST_F(SchedulerTest, ExecutesAllTasksRespectingDependencies) {
+  Scheduler scheduler(&topology_, 4);
+  TaskDag dag;
+  std::mutex mu;
+  std::vector<uint64_t> order;
+  auto make_work = [&](uint64_t id) {
+    return [&, id](const TaskContext&) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+      return Status::OK();
+    };
+  };
+  Task a;
+  a.kind = "a";
+  a.work = make_work(0);
+  uint64_t a_id = dag.Add(std::move(a));
+  Task b;
+  b.kind = "b";
+  b.work = make_work(1);
+  b.depends_on = {a_id};
+  uint64_t b_id = dag.Add(std::move(b));
+  Task c;
+  c.kind = "c";
+  c.work = make_work(2);
+  c.depends_on = {a_id, b_id};
+  dag.Add(std::move(c));
+
+  auto metrics = scheduler.Run(dag, "default");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->tasks_run, 3u);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST_F(SchedulerTest, MakespanIsDeterministicAndParallelismAware) {
+  // 8 independent tasks of equal cost on elastic allocation: the virtual
+  // makespan must equal ceil(8/nodes) * task_cost, repeatably.
+  Topology topo = Topology::SingleElasticPool();
+  topo.allocator.target_micros_per_node = 1;  // one node per task -> 8 nodes
+  Scheduler scheduler(&topo, 2);
+  TaskDag dag;
+  for (int i = 0; i < 8; ++i) {
+    Task t;
+    t.kind = "work";
+    t.cost.rows = 10000;  // 1000us + startup 1000us = 2000us each
+    t.work = [](const TaskContext&) { return Status::OK(); };
+    dag.Add(std::move(t));
+  }
+  auto m1 = scheduler.Run(dag, "default");
+  auto m2 = scheduler.Run(dag, "default");
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1->makespan_micros, m2->makespan_micros);
+  EXPECT_EQ(m1->nodes_used, 8u);
+  // Perfectly parallel: makespan == single task cost.
+  EXPECT_EQ(m1->makespan_micros, m1->total_compute_micros / 8);
+}
+
+TEST_F(SchedulerTest, FixedPoolLimitsParallelism) {
+  Topology topo;
+  NodePool pool;
+  pool.name = "fixed";
+  pool.mode = AllocationMode::kFixed;
+  pool.node_count = 2;
+  topo.pools[pool.name] = pool;
+  Scheduler scheduler(&topo, 2);
+  TaskDag dag;
+  for (int i = 0; i < 8; ++i) {
+    Task t;
+    t.cost.rows = 10000;
+    t.work = [](const TaskContext&) { return Status::OK(); };
+    dag.Add(std::move(t));
+  }
+  auto metrics = scheduler.Run(dag, "fixed");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->nodes_used, 2u);
+  // 8 tasks over 2 nodes: makespan = 4x one task.
+  EXPECT_EQ(metrics->makespan_micros, metrics->total_compute_micros / 2);
+}
+
+TEST_F(SchedulerTest, ElasticBeatsFixedOnLargeJobs) {
+  // The Figure 8 effect: with the same job, elastic allocation finishes
+  // sooner than a capacity-capped pool while total compute stays equal.
+  Topology topo = Topology::SingleElasticPool();
+  topo.allocator.target_micros_per_node = 2000;
+  NodePool fixed;
+  fixed.name = "fixed";
+  fixed.mode = AllocationMode::kFixed;
+  fixed.node_count = 2;
+  topo.pools[fixed.name] = fixed;
+  Scheduler scheduler(&topo, 2);
+  TaskDag dag;
+  for (int i = 0; i < 16; ++i) {
+    Task t;
+    t.cost.rows = 20000;
+    t.work = [](const TaskContext&) { return Status::OK(); };
+    dag.Add(std::move(t));
+  }
+  auto elastic = scheduler.Run(dag, "default");
+  auto capped = scheduler.Run(dag, "fixed");
+  ASSERT_TRUE(elastic.ok());
+  ASSERT_TRUE(capped.ok());
+  EXPECT_LT(elastic->makespan_micros, capped->makespan_micros);
+  EXPECT_EQ(elastic->total_compute_micros, capped->total_compute_micros);
+}
+
+TEST_F(SchedulerTest, RetriesUnavailableTasks) {
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  std::atomic<int> attempts{0};
+  Task t;
+  t.work = [&attempts](const TaskContext& ctx) {
+    attempts.fetch_add(1);
+    if (ctx.attempt < 3) return Status::Unavailable("flaky");
+    return Status::OK();
+  };
+  dag.Add(std::move(t));
+  auto metrics = scheduler.Run(dag, "default");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(metrics->task_retries, 2u);
+}
+
+TEST_F(SchedulerTest, NonRetryableErrorFailsJob) {
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  Task t;
+  t.work = [](const TaskContext&) {
+    return Status::Corruption("data is bad");
+  };
+  dag.Add(std::move(t));
+  EXPECT_TRUE(scheduler.Run(dag, "default").status().IsCorruption());
+}
+
+TEST_F(SchedulerTest, ExhaustedRetriesFailJob) {
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  Task t;
+  t.work = [](const TaskContext&) {
+    return Status::Unavailable("always down");
+  };
+  dag.Add(std::move(t));
+  EXPECT_TRUE(scheduler.Run(dag, "default").status().IsUnavailable());
+}
+
+TEST_F(SchedulerTest, InjectedFailuresAreRetriedTransparently) {
+  Scheduler scheduler(&topology_, 4);
+  TaskFailurePolicy policy;
+  policy.failure_probability = 0.3;
+  policy.after_work = true;
+  policy.seed = 99;
+  scheduler.set_failure_policy(policy);
+  TaskDag dag;
+  std::atomic<int> completions{0};
+  for (int i = 0; i < 32; ++i) {
+    Task t;
+    t.work = [&completions](const TaskContext&) {
+      completions.fetch_add(1);
+      return Status::OK();
+    };
+    dag.Add(std::move(t));
+  }
+  auto metrics = scheduler.Run(dag, "default");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->tasks_run, 32u);
+  EXPECT_GT(metrics->task_retries, 0u);
+  // Post-work failures mean the work ran more times than there are tasks.
+  EXPECT_GT(completions.load(), 32);
+}
+
+TEST_F(SchedulerTest, DependentOfFailedTaskNeverRuns) {
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  std::atomic<bool> dependent_ran{false};
+  Task bad;
+  bad.work = [](const TaskContext&) { return Status::Internal("boom"); };
+  uint64_t bad_id = dag.Add(std::move(bad));
+  Task dependent;
+  dependent.depends_on = {bad_id};
+  dependent.work = [&dependent_ran](const TaskContext&) {
+    dependent_ran.store(true);
+    return Status::OK();
+  };
+  dag.Add(std::move(dependent));
+  EXPECT_TRUE(scheduler.Run(dag, "default").status().IsInternal());
+  EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST_F(SchedulerTest, BadDependencyRejected) {
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  Task t;
+  t.depends_on = {42};
+  t.work = [](const TaskContext&) { return Status::OK(); };
+  dag.Add(std::move(t));
+  EXPECT_TRUE(scheduler.Run(dag, "default").status().IsInvalidArgument());
+}
+
+TEST_F(SchedulerTest, MaxNodesCapsElasticAllocation) {
+  Topology topo = Topology::SingleElasticPool(/*max_nodes=*/3);
+  topo.allocator.target_micros_per_node = 1;
+  Scheduler scheduler(&topo, 2);
+  TaskDag dag;
+  for (int i = 0; i < 10; ++i) {
+    Task t;
+    t.cost.rows = 100000;
+    t.work = [](const TaskContext&) { return Status::OK(); };
+    dag.Add(std::move(t));
+  }
+  auto metrics = scheduler.Run(dag, "default");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->nodes_used, 3u);
+}
+
+TEST_F(SchedulerTest, MeasuredCostOverridesEstimateInVirtualTime) {
+  // A task that declares a huge estimate but reports a tiny measured cost
+  // (e.g. a scan that skipped everything via zone maps) must be charged
+  // the measured cost in the virtual schedule. The estimate still drives
+  // node allocation.
+  Scheduler scheduler(&topology_, 2);
+  TaskDag dag;
+  Task t;
+  t.cost.rows = 100'000'000;  // huge estimate
+  t.measured_cost = std::make_shared<TaskCost>();  // measured: ~nothing
+  auto measured = t.measured_cost;
+  t.work = [measured](const TaskContext&) {
+    measured->rows = 10;
+    return Status::OK();
+  };
+  dag.Add(std::move(t));
+  auto metrics = scheduler.Run(dag, "default");
+  ASSERT_TRUE(metrics.ok());
+  CostModel model;
+  TaskCost tiny;
+  tiny.rows = 10;
+  EXPECT_EQ(metrics->makespan_micros, model.TaskMicros(tiny));
+}
+
+TEST(TopologyTest, ReadWritePoolsExist) {
+  Topology topo = Topology::ReadWritePools(4, 2);
+  ASSERT_EQ(topo.pools.count("read"), 1u);
+  ASSERT_EQ(topo.pools.count("write"), 1u);
+  EXPECT_EQ(topo.pools["read"].max_nodes, 4u);
+  EXPECT_EQ(topo.pools["write"].max_nodes, 2u);
+}
+
+}  // namespace
+}  // namespace polaris::dcp

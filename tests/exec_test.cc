@@ -1,0 +1,473 @@
+// Unit tests for the execution layer: predicates, the merge-on-read
+// scanner with deletion vectors and zone-map skipping, aggregation, joins
+// and the immutable-file data cache.
+
+#include <gtest/gtest.h>
+
+#include "common/guid.h"
+#include "exec/aggregate.h"
+#include "exec/data_cache.h"
+#include "exec/expression.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "format/file_writer.h"
+#include "lst/deletion_vector.h"
+#include "storage/memory_object_store.h"
+
+namespace polaris::exec {
+namespace {
+
+using format::ColumnType;
+using format::RecordBatch;
+using format::Schema;
+using format::Value;
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"amount", ColumnType::kDouble},
+                 {"tag", ColumnType::kString}});
+}
+
+RecordBatch MakeBatch(int n, int offset = 0) {
+  RecordBatch batch{TestSchema()};
+  for (int i = 0; i < n; ++i) {
+    int v = offset + i;
+    EXPECT_TRUE(batch
+                    .AppendRow({Value::Int64(v), Value::Double(v * 1.5),
+                                Value::String(v % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  return batch;
+}
+
+// --- Predicates -----------------------------------------------------------------
+
+TEST(PredicateTest, AllOperatorsOnInt64) {
+  RecordBatch batch = MakeBatch(5);  // ids 0..4
+  struct Case {
+    CompareOp op;
+    int expected;
+  };
+  const Case cases[] = {{CompareOp::kEq, 1},  {CompareOp::kNe, 4},
+                        {CompareOp::kLt, 2},  {CompareOp::kLe, 3},
+                        {CompareOp::kGt, 2},  {CompareOp::kGe, 3}};
+  for (const auto& c : cases) {
+    Conjunction conj;
+    conj.predicates.push_back(Predicate::Make("id", c.op, Value::Int64(2)));
+    auto mask = EvaluateConjunction(conj, batch);
+    ASSERT_TRUE(mask.ok());
+    int count = 0;
+    for (uint8_t m : *mask) count += m;
+    EXPECT_EQ(count, c.expected) << CompareOpName(c.op);
+  }
+}
+
+TEST(PredicateTest, ConjunctionAndsPredicates) {
+  RecordBatch batch = MakeBatch(10);
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kGe, Value::Int64(3)));
+  conj.predicates.push_back(
+      Predicate::Make("tag", CompareOp::kEq, Value::String("even")));
+  auto mask = EvaluateConjunction(conj, batch);
+  ASSERT_TRUE(mask.ok());
+  RecordBatch filtered = FilterBatch(batch, *mask);
+  ASSERT_EQ(filtered.num_rows(), 3u);  // 4, 6, 8
+  EXPECT_EQ(filtered.column(0).Int64At(0), 4);
+}
+
+TEST(PredicateTest, NullsNeverMatch) {
+  RecordBatch batch{TestSchema()};
+  ASSERT_TRUE(batch
+                  .AppendRow({Value::Null(ColumnType::kInt64),
+                              Value::Double(1), Value::String("x")})
+                  .ok());
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kNe, Value::Int64(5)));
+  auto mask = EvaluateConjunction(conj, batch);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ((*mask)[0], 0);
+}
+
+TEST(PredicateTest, UnknownColumnRejected) {
+  RecordBatch batch = MakeBatch(1);
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("ghost", CompareOp::kEq, Value::Int64(1)));
+  EXPECT_TRUE(EvaluateConjunction(conj, batch).status().IsInvalidArgument());
+}
+
+TEST(PredicateTest, TypeMismatchRejected) {
+  RecordBatch batch = MakeBatch(1);
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kEq, Value::String("1")));
+  EXPECT_TRUE(EvaluateConjunction(conj, batch).status().IsInvalidArgument());
+}
+
+TEST(PredicateTest, BoundsForDerivesRanges) {
+  Conjunction conj;
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kGe, Value::Int64(10)));
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kLt, Value::Int64(20)));
+  conj.predicates.push_back(
+      Predicate::Make("id", CompareOp::kGt, Value::Int64(12)));
+  auto bounds = conj.BoundsFor("id");
+  ASSERT_TRUE(bounds.has_low);
+  ASSERT_TRUE(bounds.has_high);
+  EXPECT_EQ(bounds.low.i64, 12);
+  EXPECT_EQ(bounds.high.i64, 20);
+  auto none = conj.BoundsFor("other");
+  EXPECT_FALSE(none.has_low);
+  EXPECT_FALSE(none.has_high);
+}
+
+// --- Scanner ---------------------------------------------------------------------
+
+class ScanTest : public ::testing::Test {
+ protected:
+  ScanTest() : cache_(&store_) {}
+
+  /// Writes `batch` as a data file and registers it in the snapshot.
+  lst::FileState AddFile(const RecordBatch& batch, uint32_t cell = 0,
+                         uint64_t rows_per_group = 1024) {
+    format::FileWriterOptions opts;
+    opts.rows_per_row_group = rows_per_group;
+    format::FileWriter writer(batch.schema(), opts);
+    EXPECT_TRUE(writer.Append(batch).ok());
+    auto bytes = std::move(writer).Finish();
+    EXPECT_TRUE(bytes.ok());
+    std::string path =
+        "data/" + common::Guid::Generate().ToString() + ".parquet";
+    uint64_t size = bytes->size();
+    EXPECT_TRUE(store_.Put(path, std::move(*bytes)).ok());
+    lst::FileState state;
+    state.info.path = path;
+    state.info.row_count = batch.num_rows();
+    state.info.byte_size = size;
+    state.info.cell_id = cell;
+    snapshot_.InsertFile(state);
+    return state;
+  }
+
+  /// Attaches a DV to a file already in the snapshot.
+  void AttachDv(const std::string& file_path,
+                const std::vector<uint64_t>& ordinals) {
+    lst::DeletionVector dv;
+    for (uint64_t o : ordinals) dv.MarkDeleted(o);
+    std::string path = "data/" + common::Guid::Generate().ToString() + ".dv";
+    ASSERT_TRUE(store_.Put(path, dv.ToBlob()).ok());
+    lst::FileState state = snapshot_.files().at(file_path);
+    state.dv_path = path;
+    state.deleted_count = dv.cardinality();
+    snapshot_.InsertFile(state);
+  }
+
+  storage::MemoryObjectStore store_;
+  DataCache cache_;
+  lst::TableSnapshot snapshot_;
+};
+
+TEST_F(ScanTest, ScansAllRows) {
+  AddFile(MakeBatch(50));
+  AddFile(MakeBatch(30, 100));
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanMetrics metrics;
+  auto batch = scanner.ScanAll({}, &metrics);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 80u);
+  EXPECT_EQ(metrics.files_scanned, 2u);
+  EXPECT_EQ(metrics.rows_output, 80u);
+}
+
+TEST_F(ScanTest, DeletionVectorFiltersRows) {
+  lst::FileState file = AddFile(MakeBatch(10));
+  AttachDv(file.info.path, {0, 5, 9});
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanMetrics metrics;
+  auto batch = scanner.ScanAll({}, &metrics);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 7u);
+  EXPECT_EQ(metrics.rows_dv_filtered, 3u);
+  // Deleted ids 0, 5, 9 are absent.
+  for (size_t r = 0; r < batch->num_rows(); ++r) {
+    int64_t id = batch->column(0).Int64At(r);
+    EXPECT_NE(id, 0);
+    EXPECT_NE(id, 5);
+    EXPECT_NE(id, 9);
+  }
+}
+
+TEST_F(ScanTest, DvOrdinalsSpanRowGroups) {
+  // Ordinals are file-relative, not row-group-relative.
+  lst::FileState file = AddFile(MakeBatch(100), 0, /*rows_per_group=*/30);
+  AttachDv(file.info.path, {35, 95});  // in groups 1 and 3
+  TableScanner scanner(&cache_, &snapshot_);
+  auto batch = scanner.ScanAll({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 98u);
+  for (size_t r = 0; r < batch->num_rows(); ++r) {
+    int64_t id = batch->column(0).Int64At(r);
+    EXPECT_NE(id, 35);
+    EXPECT_NE(id, 95);
+  }
+}
+
+TEST_F(ScanTest, PredicateAndProjection) {
+  AddFile(MakeBatch(20));
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanOptions options;
+  options.projection = {"tag", "id"};
+  options.filter.predicates.push_back(
+      Predicate::Make("amount", CompareOp::kGt, Value::Double(20.0)));
+  auto batch = scanner.ScanAll(options);
+  ASSERT_TRUE(batch.ok());
+  // amount = id*1.5 > 20 -> id >= 14.
+  EXPECT_EQ(batch->num_rows(), 6u);
+  EXPECT_EQ(batch->schema().column(0).name, "tag");
+  EXPECT_EQ(batch->schema().column(1).name, "id");
+  EXPECT_EQ(batch->column(1).Int64At(0), 14);
+}
+
+TEST_F(ScanTest, ZoneMapSkipsRowGroups) {
+  AddFile(MakeBatch(100), 0, /*rows_per_group=*/25);  // 4 groups
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanOptions options;
+  options.filter.predicates.push_back(
+      Predicate::Make("id", CompareOp::kGe, Value::Int64(80)));
+  ScanMetrics metrics;
+  auto batch = scanner.ScanAll(options, &metrics);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 20u);
+  EXPECT_EQ(metrics.row_groups_skipped, 3u);
+  EXPECT_EQ(metrics.row_groups_read, 1u);
+}
+
+TEST_F(ScanTest, CellFilterRestrictsFiles) {
+  AddFile(MakeBatch(10), /*cell=*/1);
+  AddFile(MakeBatch(10, 50), /*cell=*/2);
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanOptions options;
+  options.cells = {2};
+  ScanMetrics metrics;
+  auto batch = scanner.ScanAll(options, &metrics);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 10u);
+  EXPECT_EQ(metrics.files_scanned, 1u);
+  EXPECT_EQ(batch->column(0).Int64At(0), 50);
+}
+
+TEST_F(ScanTest, OrdinalCallbackReportsFileOrdinals) {
+  lst::FileState file = AddFile(MakeBatch(10));
+  AttachDv(file.info.path, {2});
+  TableScanner scanner(&cache_, &snapshot_);
+  ScanOptions options;
+  options.filter.predicates.push_back(
+      Predicate::Make("id", CompareOp::kLe, Value::Int64(4)));
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(scanner
+                  .ScanFilesWithOrdinals(
+                      options,
+                      [&](const lst::FileState&, const RecordBatch& batch,
+                          const std::vector<uint64_t>& ordinals) {
+                        EXPECT_EQ(batch.num_rows(), ordinals.size());
+                        seen.insert(seen.end(), ordinals.begin(),
+                                    ordinals.end());
+                        return common::Status::OK();
+                      })
+                  .ok());
+  // ids 0..4 minus deleted ordinal 2.
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 3, 4}));
+}
+
+// --- Aggregation -------------------------------------------------------------------
+
+TEST(AggregateTest, GlobalAggregates) {
+  RecordBatch batch = MakeBatch(10);  // ids 0..9
+  auto result = HashAggregate(
+      batch, {},
+      {{AggFunc::kCount, "", "cnt"},
+       {AggFunc::kSum, "id", "sum_id"},
+       {AggFunc::kMin, "id", "min_id"},
+       {AggFunc::kMax, "id", "max_id"},
+       {AggFunc::kAvg, "amount", "avg_amount"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->column(0).Int64At(0), 10);
+  EXPECT_EQ(result->column(1).Int64At(0), 45);
+  EXPECT_EQ(result->column(2).Int64At(0), 0);
+  EXPECT_EQ(result->column(3).Int64At(0), 9);
+  EXPECT_DOUBLE_EQ(result->column(4).DoubleAt(0), 4.5 * 1.5);
+}
+
+TEST(AggregateTest, GroupByComputesPerGroupAggregates) {
+  RecordBatch batch = MakeBatch(10);
+  auto result = HashAggregate(batch, {"tag"},
+                              {{AggFunc::kCount, "", "cnt"},
+                               {AggFunc::kSum, "id", "sum"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  std::map<std::string, std::pair<int64_t, int64_t>> groups;
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    groups[result->column(0).StringAt(r)] = {result->column(1).Int64At(r),
+                                             result->column(2).Int64At(r)};
+  }
+  ASSERT_EQ(groups.count("even"), 1u);
+  ASSERT_EQ(groups.count("odd"), 1u);
+  EXPECT_EQ(groups["even"], (std::pair<int64_t, int64_t>{5, 0 + 2 + 4 + 6 + 8}));
+  EXPECT_EQ(groups["odd"], (std::pair<int64_t, int64_t>{5, 1 + 3 + 5 + 7 + 9}));
+}
+
+TEST(AggregateTest, EmptyInputGlobalAggregate) {
+  RecordBatch batch{TestSchema()};
+  auto result = HashAggregate(batch, {},
+                              {{AggFunc::kCount, "", "cnt"},
+                               {AggFunc::kSum, "id", "sum"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->column(0).Int64At(0), 0);
+  EXPECT_TRUE(result->column(1).IsNull(0));  // SUM of nothing is NULL
+}
+
+TEST(AggregateTest, EmptyInputGroupedProducesNoRows) {
+  RecordBatch batch{TestSchema()};
+  auto result =
+      HashAggregate(batch, {"tag"}, {{AggFunc::kCount, "", "cnt"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(AggregateTest, NullsExcludedFromColumnAggregates) {
+  RecordBatch batch{TestSchema()};
+  ASSERT_TRUE(batch
+                  .AppendRow({Value::Int64(1), Value::Null(ColumnType::kDouble),
+                              Value::String("a")})
+                  .ok());
+  ASSERT_TRUE(batch
+                  .AppendRow({Value::Int64(2), Value::Double(10.0),
+                              Value::String("a")})
+                  .ok());
+  auto result = HashAggregate(batch, {},
+                              {{AggFunc::kCount, "amount", "cnt"},
+                               {AggFunc::kAvg, "amount", "avg"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).Int64At(0), 1);
+  EXPECT_DOUBLE_EQ(result->column(1).DoubleAt(0), 10.0);
+}
+
+TEST(AggregateTest, InvalidSpecsRejected) {
+  RecordBatch batch = MakeBatch(1);
+  EXPECT_TRUE(HashAggregate(batch, {"ghost"}, {{AggFunc::kCount, "", "c"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(HashAggregate(batch, {}, {{AggFunc::kSum, "", "s"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(HashAggregate(batch, {}, {{AggFunc::kSum, "tag", "s"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Join ----------------------------------------------------------------------------
+
+TEST(JoinTest, InnerEquiJoin) {
+  RecordBatch left{Schema({{"k", ColumnType::kInt64},
+                           {"lv", ColumnType::kString}})};
+  ASSERT_TRUE(left.AppendRow({Value::Int64(1), Value::String("a")}).ok());
+  ASSERT_TRUE(left.AppendRow({Value::Int64(2), Value::String("b")}).ok());
+  ASSERT_TRUE(left.AppendRow({Value::Int64(3), Value::String("c")}).ok());
+  RecordBatch right{Schema({{"k", ColumnType::kInt64},
+                            {"rv", ColumnType::kDouble}})};
+  ASSERT_TRUE(right.AppendRow({Value::Int64(2), Value::Double(20)}).ok());
+  ASSERT_TRUE(right.AppendRow({Value::Int64(3), Value::Double(30)}).ok());
+  ASSERT_TRUE(right.AppendRow({Value::Int64(3), Value::Double(33)}).ok());
+
+  auto joined = HashJoin(left, right, {"k"}, {"k"});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 3u);  // 2 matches once, 3 matches twice
+  // Clashing right key column is renamed.
+  EXPECT_GE(joined->schema().FindColumn("right.k"), 0);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  RecordBatch left{Schema({{"k", ColumnType::kInt64}})};
+  ASSERT_TRUE(left.AppendRow({Value::Null(ColumnType::kInt64)}).ok());
+  RecordBatch right{Schema({{"k", ColumnType::kInt64}})};
+  ASSERT_TRUE(right.AppendRow({Value::Null(ColumnType::kInt64)}).ok());
+  auto joined = HashJoin(left, right, {"k"}, {"k"});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 0u);
+}
+
+TEST(JoinTest, InvalidKeysRejected) {
+  RecordBatch batch = MakeBatch(1);
+  EXPECT_TRUE(
+      HashJoin(batch, batch, {}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(HashJoin(batch, batch, {"id"}, {"ghost"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(HashJoin(batch, batch, {"id"}, {"tag"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Data cache ---------------------------------------------------------------------
+
+TEST(DataCacheTest, CachesImmutableFiles) {
+  storage::MemoryObjectStore store;
+  format::FileWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Append(MakeBatch(5)).ok());
+  auto bytes = std::move(writer).Finish();
+  ASSERT_TRUE(store.Put("f1", std::move(*bytes)).ok());
+
+  DataCache cache(&store);
+  ASSERT_TRUE(cache.GetFile("f1").ok());
+  ASSERT_TRUE(cache.GetFile("f1").ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // One physical read only.
+  EXPECT_EQ(store.stats().gets, 1u);
+}
+
+TEST(DataCacheTest, LruEvictsOldEntries) {
+  storage::MemoryObjectStore store;
+  for (int i = 0; i < 4; ++i) {
+    format::FileWriter writer(TestSchema());
+    ASSERT_TRUE(writer.Append(MakeBatch(1)).ok());
+    auto bytes = std::move(writer).Finish();
+    ASSERT_TRUE(store.Put("f" + std::to_string(i), std::move(*bytes)).ok());
+  }
+  DataCache cache(&store, /*capacity=*/2);
+  ASSERT_TRUE(cache.GetFile("f0").ok());
+  ASSERT_TRUE(cache.GetFile("f1").ok());
+  ASSERT_TRUE(cache.GetFile("f2").ok());  // evicts f0
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.GetFile("f0").ok());  // miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(DataCacheTest, ClearSimulatesColdNode) {
+  storage::MemoryObjectStore store;
+  format::FileWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Append(MakeBatch(1)).ok());
+  auto bytes = std::move(writer).Finish();
+  ASSERT_TRUE(store.Put("f", std::move(*bytes)).ok());
+  DataCache cache(&store);
+  ASSERT_TRUE(cache.GetFile("f").ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.GetFile("f").ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DataCacheTest, MissingBlobSurfacesNotFound) {
+  storage::MemoryObjectStore store;
+  DataCache cache(&store);
+  EXPECT_TRUE(cache.GetFile("ghost").status().IsNotFound());
+  EXPECT_TRUE(cache.GetDeleteVector("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace polaris::exec

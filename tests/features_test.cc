@@ -1,0 +1,476 @@
+// Tests for the extension features: Z-order-style sort keys (§2.3),
+// FE manifest-block compaction at commit (§3 footnote 3), catalog version
+// vacuuming, the background STO daemon, and engine-level Serializable /
+// RCSI transactions (§4.4.2).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "engine/engine.h"
+#include "lst/manifest_io.h"
+#include "sql/session.h"
+#include "storage/memory_object_store.h"
+#include "sto/daemon.h"
+
+namespace polaris {
+namespace {
+
+using catalog::IsolationMode;
+using common::Status;
+using exec::AggFunc;
+using exec::CompareOp;
+using exec::Conjunction;
+using exec::Predicate;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Schema;
+using format::Value;
+
+Schema KvSchema() {
+  return Schema({{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+RecordBatch ShuffledRows(int n, uint64_t seed) {
+  common::Random rng(seed);
+  std::vector<int64_t> keys(n);
+  for (int i = 0; i < n; ++i) keys[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+  }
+  RecordBatch batch{KvSchema()};
+  for (int64_t k : keys) {
+    (void)batch.AppendRow({Value::Int64(k), Value::Int64(k)});
+  }
+  return batch;
+}
+
+// --- Sort keys (Z-order analogue, §2.3) -----------------------------------
+
+class SortKeyTest : public ::testing::Test {
+ protected:
+  static engine::EngineOptions MakeOptions() {
+    engine::EngineOptions options;
+    options.num_cells = 1;  // single cell isolates the clustering effect
+    options.worker_threads = 2;
+    options.file_options.rows_per_row_group = 64;
+    return options;
+  }
+};
+
+TEST_F(SortKeyTest, SortedTablePrunesRowGroups) {
+  engine::PolarisEngine sorted_engine(MakeOptions());
+  engine::PolarisEngine unsorted_engine(MakeOptions());
+  ASSERT_TRUE(sorted_engine.CreateTable("t", KvSchema(), "k").ok());
+  ASSERT_TRUE(unsorted_engine.CreateTable("t", KvSchema()).ok());
+  RecordBatch rows = ShuffledRows(1024, 7);
+  for (auto* engine : {&sorted_engine, &unsorted_engine}) {
+    ASSERT_TRUE(engine
+                    ->RunInTransaction([&](txn::Transaction* txn) {
+                      return engine->Insert(txn, "t", rows).status();
+                    })
+                    .ok());
+  }
+
+  engine::QuerySpec spec;
+  spec.filter.predicates.push_back(
+      Predicate::Make("k", CompareOp::kGe, Value::Int64(1000)));
+  spec.aggregates = {{AggFunc::kCount, "", "n"}};
+
+  engine::QueryStats sorted_stats;
+  engine::QueryStats unsorted_stats;
+  {
+    auto txn = sorted_engine.Begin();
+    auto result = sorted_engine.Query(txn->get(), "t", spec, &sorted_stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->column(0).Int64At(0), 24);
+  }
+  {
+    auto txn = unsorted_engine.Begin();
+    auto result =
+        unsorted_engine.Query(txn->get(), "t", spec, &unsorted_stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->column(0).Int64At(0), 24);
+  }
+  // The clustered table skips most of its 16 row groups; the unsorted one
+  // skips at most the few groups that happen to contain no matching key.
+  EXPECT_GT(sorted_stats.scan.row_groups_skipped, 10u);
+  EXPECT_GT(sorted_stats.scan.row_groups_skipped,
+            unsorted_stats.scan.row_groups_skipped + 5);
+}
+
+TEST_F(SortKeyTest, SortColumnMustExist) {
+  engine::PolarisEngine engine(MakeOptions());
+  EXPECT_TRUE(engine.CreateTable("t", KvSchema(), "ghost")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SortKeyTest, CompactionPreservesClustering) {
+  engine::PolarisEngine engine(MakeOptions());
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema(), "k").ok());
+  // Two inserts -> two small files; delete some rows; compact.
+  for (uint64_t seed : {1u, 2u}) {
+    RecordBatch rows = ShuffledRows(256, seed);
+    ASSERT_TRUE(engine
+                    .RunInTransaction([&](txn::Transaction* txn) {
+                      return engine.Insert(txn, "t", rows).status();
+                    })
+                    .ok());
+  }
+  Conjunction low;
+  low.predicates.push_back(
+      Predicate::Make("k", CompareOp::kLt, Value::Int64(64)));
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Delete(txn, "t", low).status();
+                  })
+                  .ok());
+  auto meta = engine.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(engine.sto()->CompactTable(meta->table_id).ok());
+
+  // Post-compaction range scans still prune.
+  engine::QuerySpec spec;
+  spec.filter.predicates.push_back(
+      Predicate::Make("k", CompareOp::kGe, Value::Int64(250)));
+  spec.aggregates = {{AggFunc::kCount, "", "n"}};
+  engine::QueryStats stats;
+  auto txn = engine.Begin();
+  auto result = engine.Query(txn->get(), "t", spec, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).Int64At(0), 12);  // 250..255 twice
+  EXPECT_GT(stats.scan.row_groups_skipped, 0u);
+}
+
+TEST_F(SortKeyTest, SqlCreateTableOrderBy) {
+  engine::PolarisEngine engine(MakeOptions());
+  sql::SqlSession session(&engine);
+  auto created =
+      session.Execute("CREATE TABLE t (k BIGINT, v BIGINT) ORDER BY k");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto meta = engine.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->sort_column, "k");
+  EXPECT_TRUE(session.Execute("CREATE TABLE u (k BIGINT) ORDER BY nope")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- FE manifest compaction at commit (§3 footnote 3) ------------------------
+
+TEST(ManifestCompactionTest, FragmentedManifestIsRewrittenAtCommit) {
+  engine::EngineOptions options;
+  options.num_cells = 2;
+  options.worker_threads = 2;
+  options.txn_options.compact_manifest_blocks_above = 4;
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+
+  auto txn = engine.Begin();
+  ASSERT_TRUE(txn.ok());
+  // 8 insert statements x 2 cells -> ~16 staged blocks appended.
+  for (int s = 0; s < 8; ++s) {
+    RecordBatch rows{KvSchema()};
+    (void)rows.AppendRow({Value::Int64(s), Value::Int64(s)});
+    (void)rows.AppendRow({Value::Int64(s + 100), Value::Int64(s)});
+    ASSERT_TRUE(engine.Insert(txn->get(), "t", rows).ok());
+  }
+  auto manifest_path =
+      engine.txn_manager()->PrepareWrite(txn->get(), engine.GetTable("t")->table_id);
+  ASSERT_TRUE(manifest_path.ok());
+  auto blocks_before = engine.store()->GetCommittedBlockList(*manifest_path);
+  ASSERT_TRUE(blocks_before.ok());
+  EXPECT_GT(blocks_before->size(), 4u);
+
+  ASSERT_TRUE(engine.Commit(txn->get()).ok());
+  auto blocks_after = engine.store()->GetCommittedBlockList(*manifest_path);
+  ASSERT_TRUE(blocks_after.ok());
+  EXPECT_EQ(blocks_after->size(), 1u);  // canonical single block
+
+  // The rewritten manifest still reconstructs the same data.
+  auto reader = engine.Begin();
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kCount, "", "n"}};
+  auto count = engine.Query(reader->get(), "t", spec);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->column(0).Int64At(0), 16);
+}
+
+// --- Catalog vacuum via STO ------------------------------------------------------
+
+TEST(VacuumTest, GcSweepVacuumsSupersededCatalogVersions) {
+  engine::PolarisEngine engine;
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+  // Many mutating commits create version churn in WriteSets/Manifests.
+  for (int i = 0; i < 10; ++i) {
+    RecordBatch rows{KvSchema()};
+    (void)rows.AppendRow({Value::Int64(i), Value::Int64(i)});
+    ASSERT_TRUE(engine
+                    .RunInTransaction([&](txn::Transaction* txn) {
+                      return engine.Insert(txn, "t", rows).status();
+                    })
+                    .ok());
+    Conjunction filter;
+    filter.predicates.push_back(
+        Predicate::Make("k", CompareOp::kEq, Value::Int64(i)));
+    ASSERT_TRUE(engine
+                    .RunInTransaction([&](txn::Transaction* txn) -> Status {
+                      return engine.Delete(txn, "t", filter).status();
+                    })
+                    .ok());
+  }
+  // With no active transactions, vacuum inside the GC sweep can drop all
+  // superseded versions: a second sweep finds nothing more to drop.
+  engine.clock()->Advance(100LL * 24 * 3600 * 1'000'000);
+  ASSERT_TRUE(engine.sto()->RunOnce(/*run_gc=*/true).ok());
+  uint64_t removed_again =
+      engine.catalog()->store()->Vacuum(engine.catalog()->LatestCommitSeq());
+  EXPECT_EQ(removed_again, 0u);
+  // And the data is intact.
+  auto txn = engine.Begin();
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kCount, "", "n"}};
+  auto count = engine.Query(txn->get(), "t", spec);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->column(0).Int64At(0), 0);
+}
+
+TEST(VacuumTest, MinActiveBeginSeqTracksOldestSnapshot) {
+  engine::PolarisEngine engine;
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+  uint64_t seq_before = engine.catalog()->LatestCommitSeq();
+  auto old_txn = engine.Begin();
+  ASSERT_TRUE(old_txn.ok());
+  // Commits advance the latest seq, but the active transaction pins the
+  // vacuum horizon at its begin sequence.
+  RecordBatch rows{KvSchema()};
+  (void)rows.AppendRow({Value::Int64(1), Value::Int64(1)});
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", rows).status();
+                  })
+                  .ok());
+  EXPECT_EQ(engine.txn_manager()->MinActiveBeginSeq(), seq_before);
+  ASSERT_TRUE(engine.Abort(old_txn->get()).ok());
+  EXPECT_GT(engine.txn_manager()->MinActiveBeginSeq(), seq_before);
+}
+
+// --- Background STO daemon --------------------------------------------------------
+
+TEST(StoDaemonTest, HealsStorageInBackground) {
+  engine::EngineOptions options;
+  options.num_cells = 2;
+  options.worker_threads = 2;
+  options.sto_options.min_file_rows = 8;
+  options.sto_options.max_deleted_fraction = 0.1;
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", ShuffledRows(200, 3))
+                        .status();
+                  })
+                  .ok());
+  Conjunction low;
+  low.predicates.push_back(
+      Predicate::Make("k", CompareOp::kLt, Value::Int64(100)));
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Delete(txn, "t", low).status();
+                  })
+                  .ok());
+  auto meta = engine.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  auto health = engine.sto()->EvaluateHealth(meta->table_id);
+  ASSERT_TRUE(health.ok());
+  ASSERT_FALSE(health->healthy());
+
+  sto::StoDaemon daemon(engine.sto(), std::chrono::milliseconds(5),
+                        /*gc_every_n_sweeps=*/2);
+  daemon.Start();
+  EXPECT_TRUE(daemon.running());
+  daemon.WaitForSweeps(3);
+  daemon.Stop();
+  EXPECT_FALSE(daemon.running());
+  EXPECT_GE(daemon.sweeps(), 3u);
+  EXPECT_EQ(daemon.errors(), 0u);
+
+  health = engine.sto()->EvaluateHealth(meta->table_id);
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->healthy());
+  // Stop/Start cycles are safe.
+  daemon.Start();
+  daemon.WaitForSweeps(daemon.sweeps() + 1);
+  daemon.Stop();
+}
+
+// --- Transaction-manifest overlay invariant (§3.2.3) -------------------------------
+
+TEST(ManifestOverlayTest, ManifestBlobReplayMatchesInMemoryOverlay) {
+  // The BE reads the transaction manifest and overlays it on the committed
+  // snapshot (§3.2.3). Invariant: after every statement, replaying the
+  // manifest blob over the transaction's base snapshot yields exactly the
+  // transaction's current view.
+  engine::EngineOptions options;
+  options.num_cells = 4;
+  options.txn_options.compact_manifest_blocks_above = 0;  // keep raw blocks
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", ShuffledRows(64, 1))
+                        .status();
+                  })
+                  .ok());
+  int64_t table_id = engine.GetTable("t")->table_id;
+
+  auto txn = engine.Begin();
+  ASSERT_TRUE(txn.ok());
+  // Base = committed snapshot as this transaction sees it, captured via a
+  // parallel reader at the same point in time.
+  auto base_reader = engine.Begin();
+  auto base = engine.txn_manager()->GetSnapshot(base_reader->get(), table_id);
+  ASSERT_TRUE(base.ok());
+
+  auto check_invariant = [&]() {
+    auto manifest_path =
+        engine.txn_manager()->PrepareWrite(txn->get(), table_id);
+    ASSERT_TRUE(manifest_path.ok());
+    auto blob = engine.store()->Get(*manifest_path);
+    ASSERT_TRUE(blob.ok());
+    auto entries = lst::ParseEntries(*blob);
+    ASSERT_TRUE(entries.ok());
+    lst::TableSnapshot replayed = *base;
+    ASSERT_TRUE(replayed.Apply(*entries, 0).ok());
+    auto current = engine.txn_manager()->GetSnapshot(txn->get(), table_id);
+    ASSERT_TRUE(current.ok());
+    EXPECT_EQ(replayed.files(), current->files());
+  };
+
+  // Statement 1: insert.
+  ASSERT_TRUE(engine.Insert(txn->get(), "t", ShuffledRows(32, 2)).ok());
+  check_invariant();
+  // Statement 2: delete (forces a reconciling rewrite).
+  Conjunction low;
+  low.predicates.push_back(
+      Predicate::Make("k", CompareOp::kLt, Value::Int64(10)));
+  ASSERT_TRUE(engine.Delete(txn->get(), "t", low).ok());
+  check_invariant();
+  // Statement 3: update touching both committed and intra-txn files.
+  std::vector<exec::Assignment> bump = {
+      {"v", exec::Assignment::Kind::kAddInt64, Value::Int64(1)}};
+  ASSERT_TRUE(engine.Update(txn->get(), "t", Conjunction{}, bump).ok());
+  check_invariant();
+  ASSERT_TRUE(engine.Abort(txn->get()).ok());
+  ASSERT_TRUE(engine.Abort(base_reader->get()).ok());
+}
+
+// --- Restart / durability story (§6.3) ------------------------------------------------
+
+TEST(RestartTest, NewEngineInstanceRestoresFromBackupOnSharedStore) {
+  // "Restart" = a fresh engine process attaching to the same durable
+  // OneLake store, recovering the catalog from the latest backup image —
+  // the paper's zero-data-copy durability story.
+  common::SimClock clock(1'000'000);
+  storage::MemoryObjectStore store(&clock);
+  std::string image;
+  {
+    engine::PolarisEngine first({}, &store, &clock);
+    ASSERT_TRUE(first.CreateTable("t", KvSchema()).ok());
+    ASSERT_TRUE(first
+                    .RunInTransaction([&](txn::Transaction* txn) {
+                      return first.Insert(txn, "t", ShuffledRows(100, 5))
+                          .status();
+                    })
+                    .ok());
+    auto backup = first.BackupDatabase();
+    ASSERT_TRUE(backup.ok());
+    image = *backup;
+  }  // first engine instance gone
+  engine::PolarisEngine second({}, &store, &clock);
+  ASSERT_TRUE(second.RestoreDatabase(image).ok());
+  auto txn = second.Begin();
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kCount, "", "n"},
+                     {AggFunc::kSum, "v", "sum"}};
+  auto result = second.Query(txn->get(), "t", spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->column(0).Int64At(0), 100);
+  EXPECT_EQ(result->column(1).Int64At(0), 99 * 100 / 2);
+  // And the recovered database is fully writable.
+  ASSERT_TRUE(second.Abort(txn->get()).ok());
+  ASSERT_TRUE(second
+                  .RunInTransaction([&](txn::Transaction* t2) {
+                    return second.Insert(t2, "t", ShuffledRows(10, 6))
+                        .status();
+                  })
+                  .ok());
+}
+
+// --- Engine-level Serializable / RCSI (§4.4.2) --------------------------------------
+
+TEST(IsolationLevelTest, SerializableRejectsWriteSkewAcrossTables) {
+  // Two "constraint partners": each transaction reads the other's table
+  // and inserts into its own. SI commits both; Serializable aborts one.
+  for (auto mode :
+       {IsolationMode::kSnapshot, IsolationMode::kSerializable}) {
+    engine::PolarisEngine engine;
+    ASSERT_TRUE(engine.CreateTable("a", KvSchema()).ok());
+    ASSERT_TRUE(engine.CreateTable("b", KvSchema()).ok());
+
+    auto t1 = engine.Begin(mode);
+    auto t2 = engine.Begin(mode);
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE(t2.ok());
+    engine::QuerySpec count;
+    count.aggregates = {{AggFunc::kCount, "", "n"}};
+    // t1 reads b, t2 reads a (both empty).
+    auto r1 = engine.Query(t1->get(), "b", count);
+    auto r2 = engine.Query(t2->get(), "a", count);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->column(0).Int64At(0), 0);
+    EXPECT_EQ(r2->column(0).Int64At(0), 0);
+    // Each writes its own table (allowed only if the other stayed empty —
+    // the classic write-skew constraint).
+    RecordBatch row{KvSchema()};
+    (void)row.AppendRow({Value::Int64(1), Value::Int64(1)});
+    ASSERT_TRUE(engine.Insert(t1->get(), "a", row).ok());
+    ASSERT_TRUE(engine.Insert(t2->get(), "b", row).ok());
+    Status c1 = engine.Commit(t1->get());
+    Status c2 = engine.Commit(t2->get());
+    EXPECT_TRUE(c1.ok());
+    if (mode == IsolationMode::kSnapshot) {
+      EXPECT_TRUE(c2.ok()) << "SI permits write skew (§4.4.2)";
+    } else {
+      EXPECT_TRUE(c2.IsConflict())
+          << "Serializable must reject the skew (§4.4.2)";
+    }
+  }
+}
+
+TEST(IsolationLevelTest, RcsiSessionSeesLatestCommits) {
+  engine::PolarisEngine engine;
+  ASSERT_TRUE(engine.CreateTable("t", KvSchema()).ok());
+  auto rcsi = engine.Begin(IsolationMode::kReadCommittedSnapshot);
+  ASSERT_TRUE(rcsi.ok());
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kCount, "", "n"}};
+  auto before = engine.Query(rcsi->get(), "t", spec);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->column(0).Int64At(0), 0);
+  RecordBatch row{KvSchema()};
+  (void)row.AppendRow({Value::Int64(1), Value::Int64(1)});
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", row).status();
+                  })
+                  .ok());
+  auto after = engine.Query(rcsi->get(), "t", spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->column(0).Int64At(0), 1);  // not pinned to its snapshot
+}
+
+}  // namespace
+}  // namespace polaris

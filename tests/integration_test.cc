@@ -1,0 +1,321 @@
+// Cross-module integration tests: concurrent transaction stress with
+// conservation invariants, task/node failure injection end-to-end,
+// storage fault injection, and maintenance running alongside user work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/engine.h"
+#include "storage/fault_injection_store.h"
+#include "storage/memory_object_store.h"
+
+namespace polaris {
+namespace {
+
+using catalog::IsolationMode;
+using common::Status;
+using exec::AggFunc;
+using exec::CompareOp;
+using exec::Conjunction;
+using exec::Predicate;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Schema;
+using format::Value;
+
+Schema AccountSchema() {
+  return Schema({{"account", ColumnType::kInt64},
+                 {"balance", ColumnType::kInt64}});
+}
+
+RecordBatch AccountRows(std::vector<std::pair<int64_t, int64_t>> rows) {
+  RecordBatch batch{AccountSchema()};
+  for (auto& [account, balance] : rows) {
+    EXPECT_TRUE(
+        batch.AppendRow({Value::Int64(account), Value::Int64(balance)}).ok());
+  }
+  return batch;
+}
+
+int64_t TotalBalance(engine::PolarisEngine& engine,
+                     const std::string& table) {
+  auto txn = engine.Begin();
+  EXPECT_TRUE(txn.ok());
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kSum, "balance", "total"}};
+  auto result = engine.Query(txn->get(), table, spec);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  (void)engine.Abort(txn->get());
+  return result->column(0).IsNull(0) ? 0 : result->column(0).Int64At(0);
+}
+
+int64_t CountRows(engine::PolarisEngine& engine, const std::string& table) {
+  auto txn = engine.Begin();
+  EXPECT_TRUE(txn.ok());
+  engine::QuerySpec spec;
+  spec.aggregates = {{AggFunc::kCount, "", "cnt"}};
+  auto result = engine.Query(txn->get(), table, spec);
+  EXPECT_TRUE(result.ok());
+  (void)engine.Abort(txn->get());
+  return result->column(0).Int64At(0);
+}
+
+TEST(IntegrationTest, ConcurrentTransfersConserveTotalBalance) {
+  // The classic bank-transfer invariant under SI with retries: whatever
+  // interleaving happens, money is conserved.
+  engine::EngineOptions options;
+  options.num_cells = 4;
+  options.worker_threads = 2;
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("accounts", AccountSchema()).ok());
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine
+                        .Insert(txn, "accounts",
+                                AccountRows({{1, 1000}, {2, 1000}}))
+                        .status();
+                  })
+                  .ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 5;
+  std::atomic<int> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &succeeded, t] {
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        int64_t from = (t + i) % 2 == 0 ? 1 : 2;
+        int64_t to = from == 1 ? 2 : 1;
+        Status st = engine.RunInTransaction(
+            [&](txn::Transaction* txn) -> Status {
+              std::vector<exec::Assignment> debit = {
+                  {"balance", exec::Assignment::Kind::kAddInt64,
+                   Value::Int64(-10)}};
+              std::vector<exec::Assignment> credit = {
+                  {"balance", exec::Assignment::Kind::kAddInt64,
+                   Value::Int64(10)}};
+              Conjunction from_filter;
+              from_filter.predicates.push_back(Predicate::Make(
+                  "account", CompareOp::kEq, Value::Int64(from)));
+              Conjunction to_filter;
+              to_filter.predicates.push_back(Predicate::Make(
+                  "account", CompareOp::kEq, Value::Int64(to)));
+              POLARIS_RETURN_IF_ERROR(
+                  engine.Update(txn, "accounts", from_filter, debit)
+                      .status());
+              POLARIS_RETURN_IF_ERROR(
+                  engine.Update(txn, "accounts", to_filter, credit)
+                      .status());
+              return Status::OK();
+            },
+            IsolationMode::kSnapshot, /*max_attempts=*/20);
+        if (st.ok()) succeeded.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(succeeded.load(), 0);
+  // Conservation: every committed transfer moved 10 from one account to
+  // the other; the total is invariant.
+  EXPECT_EQ(TotalBalance(engine, "accounts"), 2000);
+  EXPECT_EQ(CountRows(engine, "accounts"), 2);
+}
+
+TEST(IntegrationTest, WriteTransactionsSurviveInjectedNodeFailures) {
+  // Paper §4.3: a task failure during a write re-schedules the task; the
+  // files from failed attempts are never referenced. With post-work
+  // failures, every retried task leaves orphan blobs behind — the commit
+  // must still produce exactly-once data.
+  engine::EngineOptions options;
+  options.num_cells = 8;
+  options.worker_threads = 4;
+  engine::PolarisEngine engine(options);
+  dcp::TaskFailurePolicy policy;
+  policy.failure_probability = 0.3;
+  policy.after_work = true;
+  policy.seed = 1234;
+  engine.scheduler()->set_failure_policy(policy);
+
+  ASSERT_TRUE(engine.CreateTable("t", AccountSchema()).ok());
+  RecordBatch big{AccountSchema()};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(big.AppendRow({Value::Int64(i), Value::Int64(1)}).ok());
+  }
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", big).status();
+                  })
+                  .ok());
+  // Exactly-once semantics despite retries.
+  EXPECT_EQ(CountRows(engine, "t"), 1000);
+  EXPECT_EQ(TotalBalance(engine, "t"), 1000);
+
+  // Orphan blobs from abandoned attempts exist, and GC reclaims them.
+  engine.scheduler()->set_failure_policy(dcp::TaskFailurePolicy{});
+  engine.clock()->Advance(10'000'000);
+  auto gc = engine.sto()->RunGarbageCollection();
+  ASSERT_TRUE(gc.ok());
+  EXPECT_GT(gc->blobs_deleted, 0u);
+  EXPECT_EQ(CountRows(engine, "t"), 1000);
+}
+
+TEST(IntegrationTest, DeletesAndUpdatesSurviveInjectedNodeFailures) {
+  engine::EngineOptions options;
+  options.num_cells = 4;
+  options.worker_threads = 4;
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("t", AccountSchema()).ok());
+  RecordBatch rows{AccountSchema()};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(rows.AppendRow({Value::Int64(i), Value::Int64(5)}).ok());
+  }
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Insert(txn, "t", rows).status();
+                  })
+                  .ok());
+
+  dcp::TaskFailurePolicy policy;
+  policy.failure_probability = 0.3;
+  policy.after_work = true;
+  policy.seed = 77;
+  engine.scheduler()->set_failure_policy(policy);
+
+  Conjunction low_half;
+  low_half.predicates.push_back(
+      Predicate::Make("account", CompareOp::kLt, Value::Int64(100)));
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Delete(txn, "t", low_half).status();
+                  })
+                  .ok());
+  EXPECT_EQ(CountRows(engine, "t"), 100);
+
+  std::vector<exec::Assignment> bump = {
+      {"balance", exec::Assignment::Kind::kAddInt64, Value::Int64(1)}};
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) {
+                    return engine.Update(txn, "t", Conjunction{}, bump)
+                        .status();
+                  })
+                  .ok());
+  EXPECT_EQ(TotalBalance(engine, "t"), 600);  // 100 rows x 6
+}
+
+TEST(IntegrationTest, TransientStorageFaultsAreRetriedByTasks) {
+  // Wrap the store in a fault injector: write ops fail with probability
+  // 0.2; the DCP retry loop must absorb them (Unavailable is retryable).
+  common::SimClock clock(1'000'000);
+  storage::MemoryObjectStore base(&clock);
+  storage::FaultInjectionStore faulty(&base, /*seed=*/5);
+  storage::FaultPolicy policy;
+  policy.write_failure_probability = 0.2;
+  faulty.set_policy(policy);
+
+  engine::EngineOptions options;
+  options.num_cells = 4;
+  options.worker_threads = 2;
+  engine::PolarisEngine engine(options, &faulty, &clock);
+  ASSERT_TRUE(engine.CreateTable("t", AccountSchema()).ok());
+
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    Status st = engine.RunInTransaction([&](txn::Transaction* txn) {
+      return engine
+          .Insert(txn, "t", AccountRows({{i, 100}, {i + 1000, 100}}))
+          .status();
+    });
+    // Faults on the FE commit path surface as Unavailable; the data path
+    // retries are internal. Either way no partial state may appear.
+    if (st.ok()) ++successes;
+  }
+  ASSERT_GT(successes, 0);
+  EXPECT_GT(faulty.injected_failures(), 0u);
+  EXPECT_EQ(CountRows(engine, "t"), successes * 2);
+  EXPECT_EQ(TotalBalance(engine, "t"), successes * 200);
+}
+
+TEST(IntegrationTest, MaintenanceRunsConcurrentlyWithUserWork) {
+  // STO sweeps interleaved with user transactions: user data is never
+  // corrupted; conflicts only ever abort one side cleanly.
+  engine::EngineOptions options;
+  options.num_cells = 2;
+  options.worker_threads = 2;
+  options.sto_options.min_file_rows = 4;
+  options.sto_options.manifests_per_checkpoint = 4;
+  engine::PolarisEngine engine(options);
+  ASSERT_TRUE(engine.CreateTable("t", AccountSchema()).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread maintenance([&engine, &stop] {
+    while (!stop.load()) {
+      Status st = engine.sto()->RunOnce();
+      ASSERT_TRUE(st.ok() || st.IsConflict()) << st.ToString();
+    }
+  });
+
+  int64_t inserted = 0;
+  for (int round = 0; round < 20; ++round) {
+    Status st = engine.RunInTransaction(
+        [&](txn::Transaction* txn) {
+          return engine
+              .Insert(txn, "t", AccountRows({{round, 1}, {round + 100, 1}}))
+              .status();
+        },
+        IsolationMode::kSnapshot, /*max_attempts=*/10);
+    if (st.ok()) inserted += 2;
+    if (round % 5 == 4) {
+      Conjunction filter;
+      filter.predicates.push_back(Predicate::Make(
+          "account", CompareOp::kEq, Value::Int64(round - 1)));
+      Status del = engine.RunInTransaction(
+          [&](txn::Transaction* txn) -> Status {
+            auto n = engine.Delete(txn, "t", filter);
+            POLARIS_RETURN_IF_ERROR(n.status());
+            return Status::OK();
+          },
+          IsolationMode::kSnapshot, /*max_attempts=*/10);
+      (void)del;
+    }
+  }
+  stop.store(true);
+  maintenance.join();
+
+  // Every committed insert contributed exactly its rows; sum == count.
+  EXPECT_EQ(TotalBalance(engine, "t"), CountRows(engine, "t"));
+  EXPECT_GT(inserted, 0);
+}
+
+TEST(IntegrationTest, ManyTablesManyTransactions) {
+  engine::EngineOptions options;
+  options.num_cells = 2;
+  options.worker_threads = 2;
+  engine::PolarisEngine engine(options);
+  constexpr int kTables = 8;
+  for (int t = 0; t < kTables; ++t) {
+    ASSERT_TRUE(
+        engine.CreateTable("t" + std::to_string(t), AccountSchema()).ok());
+  }
+  // One multi-table transaction writing all of them atomically.
+  ASSERT_TRUE(engine
+                  .RunInTransaction([&](txn::Transaction* txn) -> Status {
+                    for (int t = 0; t < kTables; ++t) {
+                      POLARIS_RETURN_IF_ERROR(
+                          engine
+                              .Insert(txn, "t" + std::to_string(t),
+                                      AccountRows({{t, t * 10}}))
+                              .status());
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  for (int t = 0; t < kTables; ++t) {
+    EXPECT_EQ(CountRows(engine, "t" + std::to_string(t)), 1);
+    EXPECT_EQ(TotalBalance(engine, "t" + std::to_string(t)), t * 10);
+  }
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,399 @@
+// Tests for the SQL front end: lexer, parser, and end-to-end session
+// execution over the engine (the textual equivalent of the paper's T-SQL
+// surface).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+
+namespace polaris::sql {
+namespace {
+
+using format::ColumnType;
+using format::Value;
+
+// --- Lexer ----------------------------------------------------------------
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersAndLiterals) {
+  auto tokens = Tokenize("SELECT x FROM t WHERE y >= 1.5 AND z = 'a''b'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  // y >= 1.5
+  EXPECT_TRUE((*tokens)[6].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[7].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[7].double_value, 1.5);
+  // 'a''b' unescapes to a'b
+  EXPECT_EQ(tokens->at(11).type, TokenType::kString);
+  EXPECT_EQ(tokens->at(11).text, "a'b");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, NegativeNumbersAndComments) {
+  auto tokens = Tokenize("VALUES (-42, -1.5) -- trailing comment");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].int_value, -42);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, -1.5);
+  // Comment consumed; last real token is ')'.
+  EXPECT_TRUE((*tokens)[tokens->size() - 2].IsSymbol(")"));
+}
+
+TEST(LexerTest, RejectsMalformedInput) {
+  EXPECT_TRUE(Tokenize("SELECT 'unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT 1.2.3").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT @x").status().IsInvalidArgument());
+}
+
+// --- Parser ---------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse("CREATE TABLE t (id BIGINT, price DOUBLE, name TEXT);");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kCreateTable);
+  EXPECT_EQ(stmt->table, "t");
+  ASSERT_EQ(stmt->schema.num_columns(), 3u);
+  EXPECT_EQ(stmt->schema.column(0).type, ColumnType::kInt64);
+  EXPECT_EQ(stmt->schema.column(1).type, ColumnType::kDouble);
+  EXPECT_EQ(stmt->schema.column(2).type, ColumnType::kString);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = Parse("INSERT INTO t VALUES (1, 2.5, 'x'), (2, NULL, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kInsert);
+  ASSERT_EQ(stmt->insert_rows.size(), 2u);
+  EXPECT_EQ(stmt->insert_rows[0][0].i64, 1);
+  EXPECT_TRUE(stmt->insert_rows[1][1].is_null);
+}
+
+TEST(ParserTest, SelectWithEverything) {
+  auto stmt = Parse(
+      "SELECT status, COUNT(*) AS n, SUM(amount) FROM orders "
+      "WHERE amount > 10 AND status != 'void' GROUP BY status");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kSelect);
+  ASSERT_EQ(stmt->select_items.size(), 3u);
+  EXPECT_FALSE(stmt->select_items[0].aggregate.has_value());
+  EXPECT_EQ(stmt->select_items[1].alias, "n");
+  EXPECT_EQ(stmt->select_items[2].alias, "sum_amount");
+  ASSERT_EQ(stmt->where.predicates.size(), 2u);
+  EXPECT_EQ(stmt->where.predicates[1].op, exec::CompareOp::kNe);
+  EXPECT_EQ(stmt->group_by, std::vector<std::string>{"status"});
+}
+
+TEST(ParserTest, SelectAsOf) {
+  auto stmt = Parse("SELECT * FROM t AS OF 123456 WHERE x = 1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->as_of.has_value());
+  EXPECT_EQ(*stmt->as_of, 123456);
+  EXPECT_TRUE(stmt->select_items[0].star);
+}
+
+TEST(ParserTest, UpdateWithArithmetic) {
+  auto stmt =
+      Parse("UPDATE t SET a = 5, b = b + 2, c = c - 1.5 WHERE id = 7");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->assignments.size(), 3u);
+  EXPECT_EQ(stmt->assignments[0].kind, exec::Assignment::Kind::kSetValue);
+  EXPECT_EQ(stmt->assignments[1].kind, exec::Assignment::Kind::kAddInt64);
+  EXPECT_EQ(stmt->assignments[1].value.i64, 2);
+  EXPECT_EQ(stmt->assignments[2].kind, exec::Assignment::Kind::kAddDouble);
+  EXPECT_DOUBLE_EQ(stmt->assignments[2].value.f64, -1.5);
+}
+
+TEST(ParserTest, DeleteAndTransactionControl) {
+  EXPECT_EQ(Parse("DELETE FROM t WHERE x < 3")->kind,
+            ParsedStatement::Kind::kDelete);
+  EXPECT_EQ(Parse("BEGIN")->kind, ParsedStatement::Kind::kBegin);
+  EXPECT_EQ(Parse("BEGIN TRANSACTION;")->kind,
+            ParsedStatement::Kind::kBegin);
+  EXPECT_EQ(Parse("COMMIT;")->kind, ParsedStatement::Kind::kCommit);
+  EXPECT_EQ(Parse("ROLLBACK")->kind, ParsedStatement::Kind::kRollback);
+}
+
+TEST(ParserTest, CloneTable) {
+  auto stmt = Parse("CLONE TABLE src TO dst AS OF 99");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kCloneTable);
+  EXPECT_EQ(stmt->table, "src");
+  EXPECT_EQ(stmt->clone_target, "dst");
+  EXPECT_EQ(*stmt->as_of, 99);
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_TRUE(Parse("").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELEC * FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE TABLE t (x BLOB)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("INSERT INTO t VALUES 1,2").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("UPDATE t SET x").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Parse("SELECT * FROM t; SELECT 1").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT SUM(*) FROM t").status().IsInvalidArgument());
+}
+
+// --- Session (end to end) -----------------------------------------------------
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  SqlSessionTest() : session_(&engine_) {}
+
+  SqlResult Must(const std::string& sql) {
+    auto result = session_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *result : SqlResult{};
+  }
+
+  engine::PolarisEngine engine_;
+  SqlSession session_;
+};
+
+TEST_F(SqlSessionTest, CreateInsertSelectRoundTrip) {
+  Must("CREATE TABLE orders (id BIGINT, amount DOUBLE, status TEXT)");
+  SqlResult inserted = Must(
+      "INSERT INTO orders VALUES (1, 10.0, 'open'), (2, 20.0, 'open'), "
+      "(3, 30.0, 'shipped')");
+  EXPECT_EQ(inserted.affected_rows, 3u);
+
+  SqlResult all = Must("SELECT * FROM orders");
+  EXPECT_EQ(all.batch.num_rows(), 3u);
+  EXPECT_EQ(all.batch.num_columns(), 3u);
+
+  SqlResult filtered =
+      Must("SELECT id FROM orders WHERE status = 'open' AND amount > 15");
+  ASSERT_EQ(filtered.batch.num_rows(), 1u);
+  EXPECT_EQ(filtered.batch.column(0).Int64At(0), 2);
+}
+
+TEST_F(SqlSessionTest, IntegerLiteralsWidenToDouble) {
+  Must("CREATE TABLE t (x DOUBLE)");
+  Must("INSERT INTO t VALUES (1), (2.5)");
+  SqlResult sum = Must("SELECT SUM(x) FROM t");
+  EXPECT_DOUBLE_EQ(sum.batch.column(0).DoubleAt(0), 3.5);
+}
+
+TEST_F(SqlSessionTest, AggregatesAndGroupBy) {
+  Must("CREATE TABLE s (region TEXT, rev DOUBLE)");
+  Must("INSERT INTO s VALUES ('e', 1.0), ('e', 2.0), ('w', 5.0)");
+  SqlResult grouped = Must(
+      "SELECT region, COUNT(*) AS n, SUM(rev) AS total FROM s "
+      "GROUP BY region");
+  ASSERT_EQ(grouped.batch.num_rows(), 2u);
+  EXPECT_EQ(grouped.batch.schema().column(0).name, "region");
+  EXPECT_EQ(grouped.batch.schema().column(1).name, "n");
+  EXPECT_EQ(grouped.batch.schema().column(2).name, "total");
+  std::map<std::string, std::pair<int64_t, double>> rows;
+  for (size_t r = 0; r < grouped.batch.num_rows(); ++r) {
+    rows[grouped.batch.column(0).StringAt(r)] = {
+        grouped.batch.column(1).Int64At(r),
+        grouped.batch.column(2).DoubleAt(r)};
+  }
+  EXPECT_EQ(rows["e"].first, 2);
+  EXPECT_DOUBLE_EQ(rows["e"].second, 3.0);
+  EXPECT_DOUBLE_EQ(rows["w"].second, 5.0);
+
+  SqlResult global = Must("SELECT MIN(rev), MAX(rev), AVG(rev) FROM s");
+  EXPECT_DOUBLE_EQ(global.batch.column(0).DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(global.batch.column(1).DoubleAt(0), 5.0);
+  EXPECT_NEAR(global.batch.column(2).DoubleAt(0), 8.0 / 3, 1e-9);
+}
+
+TEST_F(SqlSessionTest, UpdateAndDelete) {
+  Must("CREATE TABLE t (k BIGINT, v BIGINT)");
+  Must("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  SqlResult updated = Must("UPDATE t SET v = v + 5 WHERE k >= 2");
+  EXPECT_EQ(updated.affected_rows, 2u);
+  SqlResult sum = Must("SELECT SUM(v) FROM t");
+  EXPECT_EQ(sum.batch.column(0).Int64At(0), 10 + 25 + 35);
+  SqlResult deleted = Must("DELETE FROM t WHERE k = 1");
+  EXPECT_EQ(deleted.affected_rows, 1u);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 2);
+}
+
+TEST_F(SqlSessionTest, ExplicitTransactionCommitAndRollback) {
+  Must("CREATE TABLE t (k BIGINT)");
+  Must("BEGIN");
+  EXPECT_TRUE(session_.in_transaction());
+  Must("INSERT INTO t VALUES (1)");
+  // Own writes visible inside the transaction.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 1);
+  Must("ROLLBACK");
+  EXPECT_FALSE(session_.in_transaction());
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 0);
+
+  Must("BEGIN TRANSACTION");
+  Must("INSERT INTO t VALUES (2)");
+  Must("COMMIT");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 1);
+}
+
+TEST_F(SqlSessionTest, SnapshotIsolationBetweenSessions) {
+  Must("CREATE TABLE t (k BIGINT)");
+  SqlSession other(&engine_);
+  Must("BEGIN");
+  Must("INSERT INTO t VALUES (1)");
+  // The other session cannot see the uncommitted row.
+  auto other_count = other.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(other_count.ok());
+  EXPECT_EQ(other_count->batch.column(0).Int64At(0), 0);
+  Must("COMMIT");
+  other_count = other.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(other_count.ok());
+  EXPECT_EQ(other_count->batch.column(0).Int64At(0), 1);
+}
+
+TEST_F(SqlSessionTest, ConflictingCommitReportsConflict) {
+  Must("CREATE TABLE t (k BIGINT)");
+  Must("INSERT INTO t VALUES (1), (2)");
+  SqlSession other(&engine_);
+  Must("BEGIN");
+  Must("DELETE FROM t WHERE k = 1");
+  // The other session deletes concurrently and commits first.
+  ASSERT_TRUE(other.Execute("BEGIN").ok());
+  ASSERT_TRUE(other.Execute("DELETE FROM t WHERE k = 2").ok());
+  ASSERT_TRUE(other.Execute("COMMIT").ok());
+  auto commit = session_.Execute("COMMIT");
+  EXPECT_TRUE(commit.status().IsConflict());
+  EXPECT_FALSE(session_.in_transaction());
+  // Only the winner's delete took effect.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 1);
+}
+
+TEST_F(SqlSessionTest, TimeTravelAsOf) {
+  Must("CREATE TABLE t (k BIGINT)");
+  Must("INSERT INTO t VALUES (1)");
+  int64_t then = engine_.clock()->Now();
+  engine_.clock()->Advance(10'000);
+  Must("INSERT INTO t VALUES (2)");
+  SqlResult old_rows = Must("SELECT COUNT(*) FROM t AS OF " +
+                            std::to_string(then));
+  EXPECT_EQ(old_rows.batch.column(0).Int64At(0), 1);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 2);
+}
+
+TEST_F(SqlSessionTest, CloneTableStatement) {
+  Must("CREATE TABLE src (k BIGINT)");
+  Must("INSERT INTO src VALUES (1), (2)");
+  Must("CLONE TABLE src TO dst");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM dst").batch.column(0).Int64At(0), 2);
+  Must("DELETE FROM dst WHERE k = 1");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM dst").batch.column(0).Int64At(0), 1);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM src").batch.column(0).Int64At(0), 2);
+}
+
+TEST_F(SqlSessionTest, DropTable) {
+  Must("CREATE TABLE t (k BIGINT)");
+  Must("DROP TABLE t");
+  EXPECT_TRUE(
+      session_.Execute("SELECT * FROM t").status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, ErrorsAreSurfaced) {
+  EXPECT_TRUE(
+      session_.Execute("SELECT * FROM nope").status().IsNotFound());
+  Must("CREATE TABLE t (k BIGINT)");
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES (1, 2)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES ('nan')")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SELECT k, SUM(k) FROM t")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("COMMIT").status().IsFailedPrecondition());
+  EXPECT_TRUE(session_.Execute("ROLLBACK").status().IsFailedPrecondition());
+  Must("BEGIN");
+  EXPECT_TRUE(session_.Execute("BEGIN").status().IsFailedPrecondition());
+  EXPECT_TRUE(session_.Execute("CREATE TABLE u (x BIGINT)")
+                  .status()
+                  .IsNotSupported());
+  Must("ROLLBACK");
+}
+
+TEST_F(SqlSessionTest, OrderByAndLimit) {
+  Must("CREATE TABLE t (k BIGINT, name TEXT)");
+  Must("INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b'), (1, 'z')");
+  SqlResult asc = Must("SELECT k, name FROM t ORDER BY k, name");
+  ASSERT_EQ(asc.batch.num_rows(), 4u);
+  EXPECT_EQ(asc.batch.column(1).StringAt(0), "a");
+  EXPECT_EQ(asc.batch.column(1).StringAt(1), "z");
+  EXPECT_EQ(asc.batch.column(0).Int64At(3), 3);
+
+  SqlResult desc = Must("SELECT k FROM t ORDER BY k DESC LIMIT 2");
+  ASSERT_EQ(desc.batch.num_rows(), 2u);
+  EXPECT_EQ(desc.batch.column(0).Int64At(0), 3);
+  EXPECT_EQ(desc.batch.column(0).Int64At(1), 2);
+
+  // ORDER BY on aggregate output columns works too.
+  SqlResult grouped = Must(
+      "SELECT name, COUNT(*) AS n FROM t GROUP BY name "
+      "ORDER BY n DESC, name LIMIT 1");
+  ASSERT_EQ(grouped.batch.num_rows(), 1u);
+  // All names are distinct except none; counts all 1 -> first by name.
+  EXPECT_EQ(grouped.batch.column(0).StringAt(0), "a");
+
+  EXPECT_TRUE(session_.Execute("SELECT k FROM t ORDER BY ghost")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SELECT k FROM t LIMIT -1")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, Figure6ThroughSql) {
+  // The paper's §4.2 worked example, driven entirely through the SQL
+  // surface with two concurrent sessions.
+  Must("CREATE TABLE T1 (C1 TEXT, C2 BIGINT)");
+  Must("INSERT INTO T1 VALUES ('A', 1), ('B', 2), ('C', 3)");  // X1
+
+  SqlSession x2(&engine_);
+  SqlSession x3(&engine_);
+  ASSERT_TRUE(x2.Execute("BEGIN").ok());
+  ASSERT_TRUE(x3.Execute("BEGIN").ok());
+  ASSERT_TRUE(x2.Execute("INSERT INTO T1 VALUES ('D', 4), ('E', 5)").ok());
+  ASSERT_TRUE(x2.Execute("DELETE FROM T1 WHERE C1 = 'A'").ok());
+
+  auto sum = [](SqlSession& session) {
+    auto result = session.Execute("SELECT SUM(C2) FROM T1");
+    EXPECT_TRUE(result.ok());
+    return result->batch.column(0).Int64At(0);
+  };
+  EXPECT_EQ(sum(x2), 14);  // X2 sees its own changes
+  EXPECT_EQ(sum(x3), 6);   // X3's snapshot is isolated
+  ASSERT_TRUE(x2.Execute("COMMIT").ok());
+  EXPECT_EQ(sum(x3), 6);   // still repeatable after X2 commits
+  ASSERT_TRUE(x3.Execute("DELETE FROM T1 WHERE C1 = 'B'").ok());
+  EXPECT_TRUE(x3.Execute("COMMIT").status().IsConflict());
+  // X4: a fresh auto-commit read sees X1 + X2 only.
+  EXPECT_EQ(Must("SELECT SUM(C2) FROM T1").batch.column(0).Int64At(0), 14);
+}
+
+TEST_F(SqlSessionTest, NullHandling) {
+  Must("CREATE TABLE t (k BIGINT, v DOUBLE)");
+  Must("INSERT INTO t VALUES (1, NULL), (2, 4.0)");
+  // NULL never matches comparisons.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t WHERE v > 0")
+                .batch.column(0)
+                .Int64At(0),
+            1);
+  // COUNT(col) skips NULLs, COUNT(*) does not.
+  EXPECT_EQ(Must("SELECT COUNT(v) FROM t").batch.column(0).Int64At(0), 1);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 2);
+}
+
+}  // namespace
+}  // namespace polaris::sql

@@ -1,0 +1,268 @@
+// Unit tests for the object store substrate, focused on the Block Blob
+// protocol semantics the transaction manifest design depends on (§3.2.2).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "storage/fault_injection_store.h"
+#include "storage/memory_object_store.h"
+#include "storage/path_util.h"
+
+namespace polaris::storage {
+namespace {
+
+TEST(MemoryObjectStoreTest, PutGetRoundTrip) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("a/b", "hello").ok());
+  auto got = store.Get("a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+}
+
+TEST(MemoryObjectStoreTest, BlobsAreWriteOnce) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("x", "v1").ok());
+  EXPECT_TRUE(store.Put("x", "v2").IsAlreadyExists());
+  EXPECT_EQ(*store.Get("x"), "v1");
+}
+
+TEST(MemoryObjectStoreTest, GetMissingIsNotFound) {
+  MemoryObjectStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Stat("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("nope").IsNotFound());
+}
+
+TEST(MemoryObjectStoreTest, StatReportsSizeAndCreationTime) {
+  common::SimClock clock(500);
+  MemoryObjectStore store(&clock);
+  ASSERT_TRUE(store.Put("f", "12345").ok());
+  auto info = store.Stat("f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 5u);
+  EXPECT_EQ(info->created_at, 500);
+}
+
+TEST(MemoryObjectStoreTest, ListFiltersByPrefixInOrder) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("t/1/b", "1").ok());
+  ASSERT_TRUE(store.Put("t/1/a", "2").ok());
+  ASSERT_TRUE(store.Put("t/2/a", "3").ok());
+  ASSERT_TRUE(store.Put("u/x", "4").ok());
+  auto listed = store.List("t/1/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].path, "t/1/a");
+  EXPECT_EQ((*listed)[1].path, "t/1/b");
+}
+
+TEST(MemoryObjectStoreTest, DeleteRemovesBlob) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("x", "v").ok());
+  ASSERT_TRUE(store.Delete("x").ok());
+  EXPECT_TRUE(store.Get("x").status().IsNotFound());
+  EXPECT_EQ(store.BlobCount(), 0u);
+}
+
+// --- Block Blob protocol -----------------------------------------------------
+
+TEST(BlockBlobTest, StagedBlocksAreInvisibleUntilCommit) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "b1", "alpha").ok());
+  EXPECT_TRUE(store.Get("m").status().IsNotFound());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b1"}).ok());
+  EXPECT_EQ(*store.Get("m"), "alpha");
+}
+
+TEST(BlockBlobTest, CommitConcatenatesInListOrder) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store.StageBlock("m", "b2", "B").ok());
+  ASSERT_TRUE(store.StageBlock("m", "b3", "C").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b3", "b1"}).ok());
+  EXPECT_EQ(*store.Get("m"), "CA");
+  auto ids = store.GetCommittedBlockList("m");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<std::string>{"b3", "b1"}));
+}
+
+TEST(BlockBlobTest, UncommittedBlocksAreDiscardedAtCommit) {
+  // Blocks written by failed/abandoned task attempts are not in the final
+  // list and vanish (paper §3.2.2).
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "attempt1", "garbage").ok());
+  ASSERT_TRUE(store.StageBlock("m", "attempt2", "good").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"attempt2"}).ok());
+  EXPECT_EQ(*store.Get("m"), "good");
+  // attempt1 is gone: recommitting with it must fail.
+  EXPECT_TRUE(store.CommitBlockList("m", {"attempt2", "attempt1"})
+                  .IsInvalidArgument());
+}
+
+TEST(BlockBlobTest, AppendCommitReusesCommittedBlocks) {
+  // Multi-statement inserts append: the new list mixes committed blocks
+  // with newly staged ones (§3.2.3).
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "s1", "one,").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"s1"}).ok());
+  ASSERT_TRUE(store.StageBlock("m", "s2", "two").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"s1", "s2"}).ok());
+  EXPECT_EQ(*store.Get("m"), "one,two");
+}
+
+TEST(BlockBlobTest, RewriteCommitDropsOldBlocks) {
+  // Update/delete statements rewrite the manifest to a single canonical
+  // block; the old blocks are no longer referencable.
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "old1", "x").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"old1"}).ok());
+  ASSERT_TRUE(store.StageBlock("m", "new1", "reconciled").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"new1"}).ok());
+  EXPECT_EQ(*store.Get("m"), "reconciled");
+  EXPECT_TRUE(store.CommitBlockList("m", {"old1"}).IsInvalidArgument());
+}
+
+TEST(BlockBlobTest, RestagingSameBlockIdOverwrites) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "b", "v1").ok());
+  ASSERT_TRUE(store.StageBlock("m", "b", "v2").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b"}).ok());
+  EXPECT_EQ(*store.Get("m"), "v2");
+}
+
+TEST(BlockBlobTest, CommitWithUnknownIdFailsAtomically) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b1"}).ok());
+  // Bad commit: blob state is unchanged.
+  EXPECT_TRUE(store.CommitBlockList("m", {"b1", "ghost"}).IsInvalidArgument());
+  EXPECT_EQ(*store.Get("m"), "A");
+}
+
+TEST(BlockBlobTest, EmptyCommitCreatesEmptyBlob) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.CommitBlockList("m", {}).ok());
+  EXPECT_EQ(*store.Get("m"), "");
+}
+
+TEST(BlockBlobTest, PutAndBlockProtocolsDontMix) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("p", "v").ok());
+  EXPECT_TRUE(store.StageBlock("p", "b", "x").IsFailedPrecondition());
+  EXPECT_TRUE(store.GetCommittedBlockList("p").status().IsFailedPrecondition());
+  ASSERT_TRUE(store.StageBlock("m", "b", "x").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b"}).ok());
+  EXPECT_TRUE(store.Put("m", "v").IsAlreadyExists());
+}
+
+TEST(BlockBlobTest, EmptyBlockIdRejected) {
+  MemoryObjectStore store;
+  EXPECT_TRUE(store.StageBlock("m", "", "x").IsInvalidArgument());
+}
+
+TEST(BlockBlobTest, ConcurrentStagingFromManyThreads) {
+  // BE nodes stage blocks concurrently against the same manifest (§3.2.2).
+  MemoryObjectStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      ASSERT_TRUE(store
+                      .StageBlock("m", "block" + std::to_string(t),
+                                  std::string(1, static_cast<char>('a' + t)))
+                      .ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::string> ids;
+  for (int t = 0; t < kThreads; ++t) ids.push_back("block" + std::to_string(t));
+  ASSERT_TRUE(store.CommitBlockList("m", ids).ok());
+  EXPECT_EQ(*store.Get("m"), "abcdefgh");
+}
+
+TEST(MemoryObjectStoreTest, StatsTrackOperations) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("a", "12345").ok());
+  ASSERT_TRUE(store.Get("a").ok());
+  ASSERT_TRUE(store.StageBlock("m", "b", "xyz").ok());
+  ASSERT_TRUE(store.CommitBlockList("m", {"b"}).ok());
+  StoreStats stats = store.stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.blocks_staged, 1u);
+  EXPECT_EQ(stats.block_commits, 1u);
+  EXPECT_EQ(stats.bytes_written, 8u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().puts, 0u);
+}
+
+// --- Fault injection ----------------------------------------------------------
+
+TEST(FaultInjectionTest, FailNthOperationFiresOnce) {
+  MemoryObjectStore base;
+  FaultInjectionStore store(&base, /*seed=*/1);
+  FaultPolicy policy;
+  policy.fail_nth_operation = 2;
+  store.set_policy(policy);
+  EXPECT_TRUE(store.Put("a", "1").ok());           // op 1
+  EXPECT_TRUE(store.Put("b", "2").IsUnavailable()); // op 2: injected
+  EXPECT_TRUE(store.Put("b", "2").ok());            // trigger disarmed
+  EXPECT_EQ(store.injected_failures(), 1u);
+  // The failed op never reached the base store.
+  EXPECT_EQ(*base.Get("b"), "2");
+}
+
+TEST(FaultInjectionTest, WriteProbabilityInjectsFailures) {
+  MemoryObjectStore base;
+  FaultInjectionStore store(&base, /*seed=*/7);
+  FaultPolicy policy;
+  policy.write_failure_probability = 0.5;
+  store.set_policy(policy);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!store.Put("k" + std::to_string(i), "v").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+TEST(FaultInjectionTest, ReadsUnaffectedByWritePolicy) {
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("k", "v").ok());
+  FaultInjectionStore store(&base, 3);
+  FaultPolicy policy;
+  policy.write_failure_probability = 1.0;
+  store.set_policy(policy);
+  EXPECT_TRUE(store.Get("k").ok());
+  EXPECT_TRUE(store.Put("x", "y").IsUnavailable());
+}
+
+// --- Path layout ---------------------------------------------------------------
+
+TEST(PathUtilTest, LayoutIsStableAndPrefixed) {
+  EXPECT_EQ(PathUtil::DataFilePath(7, "abc"), "tables/7/data/abc.parquet");
+  EXPECT_EQ(PathUtil::DeleteVectorPath(7, "abc"), "tables/7/data/abc.dv");
+  EXPECT_EQ(PathUtil::ManifestPath(7, "abc"), "tables/7/manifests/abc.manifest");
+  EXPECT_TRUE(PathUtil::CheckpointPath(7, 12).starts_with("tables/7/checkpoints/"));
+  EXPECT_TRUE(PathUtil::DataFilePath(7, "x").starts_with(PathUtil::DataDir(7)));
+}
+
+TEST(PathUtilTest, CheckpointPathsSortNumerically) {
+  EXPECT_LT(PathUtil::CheckpointPath(1, 9), PathUtil::CheckpointPath(1, 10));
+  EXPECT_LT(PathUtil::CheckpointPath(1, 99), PathUtil::CheckpointPath(1, 100));
+}
+
+TEST(PathUtilTest, JoinNormalizesSlashes) {
+  EXPECT_EQ(PathUtil::Join("a", "b"), "a/b");
+  EXPECT_EQ(PathUtil::Join("a/", "b"), "a/b");
+  EXPECT_EQ(PathUtil::Join("a", "/b"), "a/b");
+  EXPECT_EQ(PathUtil::Join("a/", "/b"), "a/b");
+  EXPECT_EQ(PathUtil::Join("", "b"), "b");
+  EXPECT_EQ(PathUtil::Join("a", ""), "a");
+}
+
+}  // namespace
+}  // namespace polaris::storage

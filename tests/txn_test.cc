@@ -1,0 +1,480 @@
+// Tests for the transaction manager — the paper's core contribution:
+// Snapshot Isolation over log-structured tables, multi-statement and
+// multi-table transactions, conflict granularities, and the Figure 6
+// worked example.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_db.h"
+#include "common/clock.h"
+#include "exec/dml.h"
+#include "exec/scan.h"
+#include "lst/manifest_io.h"
+#include "lst/snapshot_builder.h"
+#include "storage/memory_object_store.h"
+#include "txn/transaction_manager.h"
+
+namespace polaris::txn {
+namespace {
+
+using catalog::IsolationMode;
+using catalog::TableMeta;
+using exec::CompareOp;
+using exec::Conjunction;
+using exec::Predicate;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Schema;
+using format::Value;
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest()
+      : clock_(1'000'000),
+        store_(&clock_),
+        catalog_(&clock_),
+        builder_(&store_),
+        cache_(&store_),
+        topology_(dcp::Topology::ReadWritePools()),
+        scheduler_(&topology_, 2),
+        manager_(&catalog_, &store_, &builder_, &clock_, options_) {}
+
+  /// T1 from Figure 6: columns C1 (string) and C2 (int64).
+  Schema Fig6Schema() {
+    return Schema({{"C1", ColumnType::kString}, {"C2", ColumnType::kInt64}});
+  }
+
+  TableMeta MustCreateTable(const std::string& name, const Schema& schema) {
+    auto txn = catalog_.Begin();
+    auto meta = catalog_.CreateTable(txn.get(), name, schema);
+    EXPECT_TRUE(meta.ok());
+    EXPECT_TRUE(catalog_.Commit(txn.get(), {}).ok());
+    return *meta;
+  }
+
+  exec::DmlContext MakeContext(const TableMeta& meta,
+                               const std::string& manifest_path) {
+    exec::DmlContext ctx;
+    ctx.store = &store_;
+    ctx.cache = &cache_;
+    ctx.scheduler = &scheduler_;
+    ctx.table_id = meta.table_id;
+    ctx.schema = meta.schema;
+    ctx.manifest_path = manifest_path;
+    ctx.num_cells = 4;
+    ctx.distribution_column = 0;
+    return ctx;
+  }
+
+  common::Status Insert(Transaction* txn, const TableMeta& meta,
+                        const RecordBatch& rows) {
+    auto path = manager_.PrepareWrite(txn, meta.table_id);
+    POLARIS_RETURN_IF_ERROR(path.status());
+    auto result = exec::InsertExecutor::Run(MakeContext(meta, *path), rows);
+    POLARIS_RETURN_IF_ERROR(result.status());
+    return manager_.FinishInsertStatement(txn, meta.table_id, *result);
+  }
+
+  common::Status DeleteWhere(Transaction* txn, const TableMeta& meta,
+                             const Conjunction& filter) {
+    auto path = manager_.PrepareWrite(txn, meta.table_id);
+    POLARIS_RETURN_IF_ERROR(path.status());
+    auto snapshot = manager_.GetSnapshot(txn, meta.table_id);
+    POLARIS_RETURN_IF_ERROR(snapshot.status());
+    auto result = exec::DeleteExecutor::Run(MakeContext(meta, *path),
+                                            *snapshot, filter);
+    POLARIS_RETURN_IF_ERROR(result.status());
+    if (result->rows_affected == 0) return common::Status::OK();
+    return manager_.FinishMutationStatement(txn, meta.table_id, *result);
+  }
+
+  common::Status UpdateWhere(Transaction* txn, const TableMeta& meta,
+                             const Conjunction& filter,
+                             const std::vector<exec::Assignment>& set) {
+    auto path = manager_.PrepareWrite(txn, meta.table_id);
+    POLARIS_RETURN_IF_ERROR(path.status());
+    auto snapshot = manager_.GetSnapshot(txn, meta.table_id);
+    POLARIS_RETURN_IF_ERROR(snapshot.status());
+    auto result = exec::UpdateExecutor::Run(MakeContext(meta, *path),
+                                            *snapshot, filter, set);
+    POLARIS_RETURN_IF_ERROR(result.status());
+    if (result->rows_affected == 0) return common::Status::OK();
+    return manager_.FinishMutationStatement(txn, meta.table_id, *result);
+  }
+
+  /// SUM over an int64 column as seen by `txn`.
+  int64_t Sum(Transaction* txn, const TableMeta& meta,
+              const std::string& column) {
+    auto snapshot = manager_.GetSnapshot(txn, meta.table_id);
+    EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    exec::TableScanner scanner(&cache_, &*snapshot);
+    exec::ScanOptions options;
+    options.projection = {column};
+    auto batch = scanner.ScanAll(options);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    int64_t total = 0;
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      total += batch->column(0).Int64At(r);
+    }
+    return total;
+  }
+
+  RecordBatch Rows(std::vector<std::pair<std::string, int64_t>> rows) {
+    RecordBatch batch{Fig6Schema()};
+    for (auto& [c1, c2] : rows) {
+      EXPECT_TRUE(
+          batch.AppendRow({Value::String(c1), Value::Int64(c2)}).ok());
+    }
+    return batch;
+  }
+
+  Conjunction WhereC1Is(const std::string& v) {
+    Conjunction conj;
+    conj.predicates.push_back(
+        Predicate::Make("C1", CompareOp::kEq, Value::String(v)));
+    return conj;
+  }
+
+  txn::TransactionManagerOptions options_;
+  common::SimClock clock_;
+  storage::MemoryObjectStore store_;
+  catalog::CatalogDb catalog_;
+  lst::SnapshotBuilder builder_;
+  exec::DataCache cache_;
+  dcp::Topology topology_;
+  dcp::Scheduler scheduler_;
+  TransactionManager manager_;
+};
+
+TEST_F(TxnTest, Figure6WorkedExample) {
+  TableMeta t1 = MustCreateTable("T1", Fig6Schema());
+
+  // t=t1: X1 loads three rows and commits.
+  {
+    auto x1 = manager_.Begin();
+    ASSERT_TRUE(x1.ok());
+    ASSERT_TRUE(
+        Insert(x1->get(), t1, Rows({{"A", 1}, {"B", 2}, {"C", 3}})).ok());
+    ASSERT_TRUE(manager_.Commit(x1->get()).ok());
+  }
+  clock_.Advance(1000);
+
+  // t=t2: X2 and X3 start.
+  auto x2 = manager_.Begin();
+  auto x3 = manager_.Begin();
+  ASSERT_TRUE(x2.ok());
+  ASSERT_TRUE(x3.ok());
+
+  // X2 inserts (D,4), (E,5) and deletes (A,1).
+  ASSERT_TRUE(Insert(x2->get(), t1, Rows({{"D", 4}, {"E", 5}})).ok());
+  ASSERT_TRUE(DeleteWhere(x2->get(), t1, WhereC1Is("A")).ok());
+  // X2 sees its own changes: 2+3+4+5 = 14.
+  EXPECT_EQ(Sum(x2->get(), t1, "C2"), 14);
+
+  // X3 reads under SI: SUM(C2) = 6, unaffected by X2's private changes.
+  EXPECT_EQ(Sum(x3->get(), t1, "C2"), 6);
+
+  // t=t3: X2 commits (no conflicts).
+  ASSERT_TRUE(manager_.Commit(x2->get()).ok());
+  clock_.Advance(1000);
+
+  // X3 still sees its snapshot (6), then deletes (B,2) without blocking.
+  EXPECT_EQ(Sum(x3->get(), t1, "C2"), 6);
+  ASSERT_TRUE(DeleteWhere(x3->get(), t1, WhereC1Is("B")).ok());
+
+  // t=t4: X3's commit detects the SI conflict in WriteSets and rolls back.
+  EXPECT_TRUE(manager_.Commit(x3->get()).IsConflict());
+
+  // X4 starts at t4: sees all of X1 and X2 -> SUM = 2+3+4+5 = 14.
+  auto x4 = manager_.Begin();
+  ASSERT_TRUE(x4.ok());
+  EXPECT_EQ(Sum(x4->get(), t1, "C2"), 14);
+  ASSERT_TRUE(manager_.Abort(x4->get()).ok());
+}
+
+TEST_F(TxnTest, UncommittedChangesInvisibleToOthers) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto writer = manager_.Begin();
+  ASSERT_TRUE(Insert(writer->get(), t, Rows({{"A", 1}})).ok());
+  auto reader = manager_.Begin();
+  EXPECT_EQ(Sum(reader->get(), t, "C2"), 0);  // no dirty reads
+  ASSERT_TRUE(manager_.Commit(writer->get()).ok());
+  // Snapshot reader still sees nothing (repeatable reads).
+  EXPECT_EQ(Sum(reader->get(), t, "C2"), 0);
+  // A new transaction sees the commit.
+  auto late = manager_.Begin();
+  EXPECT_EQ(Sum(late->get(), t, "C2"), 1);
+}
+
+TEST_F(TxnTest, MultiStatementReconciliation) {
+  // Two updates touching the same rows in one transaction: the final
+  // manifest must not reference the intermediate statement's files
+  // (§3.2.3).
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  {
+    auto setup = manager_.Begin();
+    ASSERT_TRUE(Insert(setup->get(), t, Rows({{"A", 1}, {"B", 2}})).ok());
+    ASSERT_TRUE(manager_.Commit(setup->get()).ok());
+  }
+  auto txn = manager_.Begin();
+  std::vector<exec::Assignment> add_ten = {
+      {"C2", exec::Assignment::Kind::kAddInt64, Value::Int64(10)}};
+  ASSERT_TRUE(UpdateWhere(txn->get(), t, WhereC1Is("A"), add_ten).ok());
+  EXPECT_EQ(Sum(txn->get(), t, "C2"), 13);  // own write visible (11+2)
+  ASSERT_TRUE(UpdateWhere(txn->get(), t, WhereC1Is("A"), add_ten).ok());
+  EXPECT_EQ(Sum(txn->get(), t, "C2"), 23);  // 21+2
+
+  // Inspect the reconciled transaction manifest: the intermediate update's
+  // data file (created by statement 1, obsoleted by statement 2) must not
+  // appear at all.
+  auto path = manager_.PrepareWrite(txn->get(), t.table_id);
+  ASSERT_TRUE(path.ok());
+  lst::ManifestCommitter committer(&store_);
+  auto entries = committer.ReadManifest(*path);
+  ASSERT_TRUE(entries.ok());
+  int adds = 0;
+  for (const auto& entry : *entries) {
+    if (entry.type == lst::ActionType::kAddDataFile) ++adds;
+  }
+  EXPECT_EQ(adds, 1);  // only the final version's file
+
+  ASSERT_TRUE(manager_.Commit(txn->get()).ok());
+  auto check = manager_.Begin();
+  EXPECT_EQ(Sum(check->get(), t, "C2"), 23);
+}
+
+TEST_F(TxnTest, MultiTableTransactionIsAtomic) {
+  TableMeta a = MustCreateTable("a", Fig6Schema());
+  TableMeta b = MustCreateTable("b", Fig6Schema());
+  {
+    auto txn = manager_.Begin();
+    ASSERT_TRUE(Insert(txn->get(), a, Rows({{"x", 10}})).ok());
+    ASSERT_TRUE(Insert(txn->get(), b, Rows({{"y", 20}})).ok());
+    ASSERT_TRUE(manager_.Commit(txn->get()).ok());
+  }
+  auto reader = manager_.Begin();
+  EXPECT_EQ(Sum(reader->get(), a, "C2"), 10);
+  EXPECT_EQ(Sum(reader->get(), b, "C2"), 20);
+
+  // Aborted multi-table transaction leaves no trace in either table.
+  {
+    auto txn = manager_.Begin();
+    ASSERT_TRUE(Insert(txn->get(), a, Rows({{"x2", 1}})).ok());
+    ASSERT_TRUE(Insert(txn->get(), b, Rows({{"y2", 2}})).ok());
+    ASSERT_TRUE(manager_.Abort(txn->get()).ok());
+  }
+  auto reader2 = manager_.Begin();
+  EXPECT_EQ(Sum(reader2->get(), a, "C2"), 10);
+  EXPECT_EQ(Sum(reader2->get(), b, "C2"), 20);
+}
+
+TEST_F(TxnTest, ConcurrentInsertersBothCommit) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(Insert(t1->get(), t, Rows({{"A", 1}})).ok());
+  ASSERT_TRUE(Insert(t2->get(), t, Rows({{"B", 2}})).ok());
+  EXPECT_TRUE(manager_.Commit(t1->get()).ok());
+  EXPECT_TRUE(manager_.Commit(t2->get()).ok());
+  auto reader = manager_.Begin();
+  EXPECT_EQ(Sum(reader->get(), t, "C2"), 3);
+}
+
+TEST_F(TxnTest, ConcurrentDeletersConflictAtTableGranularity) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  {
+    auto setup = manager_.Begin();
+    ASSERT_TRUE(Insert(setup->get(), t, Rows({{"A", 1}, {"B", 2}})).ok());
+    ASSERT_TRUE(manager_.Commit(setup->get()).ok());
+  }
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(DeleteWhere(t1->get(), t, WhereC1Is("A")).ok());
+  ASSERT_TRUE(DeleteWhere(t2->get(), t, WhereC1Is("B")).ok());
+  EXPECT_TRUE(manager_.Commit(t1->get()).ok());
+  // Table-granularity: even disjoint-row deletes conflict.
+  EXPECT_TRUE(manager_.Commit(t2->get()).IsConflict());
+}
+
+TEST_F(TxnTest, AbortedTransactionLeavesOrphansForGc) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  size_t before = store_.BlobCount();
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(Insert(txn->get(), t, Rows({{"A", 1}})).ok());
+  ASSERT_TRUE(manager_.Abort(txn->get()).ok());
+  // Files remain physically (data file + manifest blob) but are invisible:
+  EXPECT_GT(store_.BlobCount(), before);
+  auto reader = manager_.Begin();
+  EXPECT_EQ(Sum(reader->get(), t, "C2"), 0);
+}
+
+TEST_F(TxnTest, ReadOnlyTransactionNeverConflicts) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto reader = manager_.Begin();
+  EXPECT_EQ(Sum(reader->get(), t, "C2"), 0);
+  auto writer = manager_.Begin();
+  ASSERT_TRUE(Insert(writer->get(), t, Rows({{"A", 5}})).ok());
+  ASSERT_TRUE(manager_.Commit(writer->get()).ok());
+  EXPECT_TRUE(manager_.Commit(reader->get()).ok());
+}
+
+TEST_F(TxnTest, RcsiSeesConcurrentCommits) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto rcsi = manager_.Begin(IsolationMode::kReadCommittedSnapshot);
+  ASSERT_TRUE(rcsi.ok());
+  EXPECT_EQ(Sum(rcsi->get(), t, "C2"), 0);
+  {
+    auto writer = manager_.Begin();
+    ASSERT_TRUE(Insert(writer->get(), t, Rows({{"A", 7}})).ok());
+    ASSERT_TRUE(manager_.Commit(writer->get()).ok());
+  }
+  // RCSI refreshes to the latest committed state per statement (§4.4.2).
+  EXPECT_EQ(Sum(rcsi->get(), t, "C2"), 7);
+}
+
+TEST_F(TxnTest, RcsiKeepsOwnWritesAcrossRefresh) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto rcsi = manager_.Begin(IsolationMode::kReadCommittedSnapshot);
+  ASSERT_TRUE(Insert(rcsi->get(), t, Rows({{"mine", 100}})).ok());
+  {
+    auto writer = manager_.Begin();
+    ASSERT_TRUE(Insert(writer->get(), t, Rows({{"other", 10}})).ok());
+    ASSERT_TRUE(manager_.Commit(writer->get()).ok());
+  }
+  // Sees both the concurrent commit and its own uncommitted insert.
+  EXPECT_EQ(Sum(rcsi->get(), t, "C2"), 110);
+}
+
+TEST_F(TxnTest, TimeTravelSnapshotAsOf) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  {
+    auto txn = manager_.Begin();
+    ASSERT_TRUE(Insert(txn->get(), t, Rows({{"A", 1}})).ok());
+    ASSERT_TRUE(manager_.Commit(txn->get()).ok());
+  }
+  common::Micros before_second = clock_.Now();
+  clock_.Advance(10'000);
+  {
+    auto txn = manager_.Begin();
+    ASSERT_TRUE(Insert(txn->get(), t, Rows({{"B", 2}})).ok());
+    ASSERT_TRUE(manager_.Commit(txn->get()).ok());
+  }
+  auto reader = manager_.Begin();
+  auto old_snap =
+      manager_.GetSnapshotAsOf(reader->get(), t.table_id, before_second);
+  ASSERT_TRUE(old_snap.ok());
+  EXPECT_EQ(old_snap->total_rows(), 1u);
+  auto now_snap = manager_.GetSnapshot(reader->get(), t.table_id);
+  ASSERT_TRUE(now_snap.ok());
+  EXPECT_EQ(now_snap->total_rows(), 2u);
+}
+
+TEST_F(TxnTest, FinishedTransactionRejectsFurtherWork) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Commit(txn->get()).ok());
+  EXPECT_TRUE(
+      manager_.GetSnapshot(txn->get(), t.table_id).status().IsFailedPrecondition());
+  EXPECT_TRUE(manager_.Commit(txn->get()).IsFailedPrecondition());
+  EXPECT_TRUE(manager_.Abort(txn->get()).IsFailedPrecondition());
+}
+
+TEST_F(TxnTest, ActiveTransactionTrackingForGc) {
+  EXPECT_EQ(manager_.active_transactions(), 0u);
+  common::Micros t0 = clock_.Now();
+  auto txn = manager_.Begin();
+  clock_.Advance(1000);
+  EXPECT_EQ(manager_.active_transactions(), 1u);
+  EXPECT_EQ(manager_.MinActiveBeginTime(), t0);
+  ASSERT_TRUE(manager_.Abort(txn->get()).ok());
+  EXPECT_EQ(manager_.active_transactions(), 0u);
+  // With none active, the horizon is "now".
+  EXPECT_EQ(manager_.MinActiveBeginTime(), clock_.Now());
+}
+
+class FileGranularityTxnTest : public TxnTest {
+ protected:
+  FileGranularityTxnTest() {
+    // Reconfigure: conflicts at data-file granularity (§4.4.1).
+  }
+  void SetUp() override {
+    options_.granularity = catalog::ConflictGranularity::kDataFile;
+    file_manager_ = std::make_unique<TransactionManager>(
+        &catalog_, &store_, &builder_, &clock_, options_);
+  }
+  std::unique_ptr<TransactionManager> file_manager_;
+};
+
+TEST_F(FileGranularityTxnTest, DisjointFileDeletesBothCommit) {
+  TableMeta t = MustCreateTable("t", Fig6Schema());
+  // Two committed inserts -> two separate data files (different txns).
+  {
+    auto txn = file_manager_->Begin();
+    auto path = file_manager_->PrepareWrite(txn->get(), t.table_id);
+    ASSERT_TRUE(path.ok());
+    auto result = exec::InsertExecutor::Run(MakeContext(t, *path),
+                                            Rows({{"A", 1}}));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(
+        file_manager_->FinishInsertStatement(txn->get(), t.table_id, *result)
+            .ok());
+    ASSERT_TRUE(file_manager_->Commit(txn->get()).ok());
+  }
+  {
+    auto txn = file_manager_->Begin();
+    auto path = file_manager_->PrepareWrite(txn->get(), t.table_id);
+    ASSERT_TRUE(path.ok());
+    auto result = exec::InsertExecutor::Run(MakeContext(t, *path),
+                                            Rows({{"B", 2}}));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(
+        file_manager_->FinishInsertStatement(txn->get(), t.table_id, *result)
+            .ok());
+    ASSERT_TRUE(file_manager_->Commit(txn->get()).ok());
+  }
+
+  auto delete_where = [&](Transaction* txn, const std::string& c1) {
+    auto path = file_manager_->PrepareWrite(txn, t.table_id);
+    ASSERT_TRUE(path.ok());
+    auto snapshot = file_manager_->GetSnapshot(txn, t.table_id);
+    ASSERT_TRUE(snapshot.ok());
+    auto result = exec::DeleteExecutor::Run(MakeContext(t, *path), *snapshot,
+                                            WhereC1Is(c1));
+    ASSERT_TRUE(result.ok());
+    ASSERT_GT(result->rows_affected, 0u);
+    ASSERT_TRUE(
+        file_manager_->FinishMutationStatement(txn, t.table_id, *result)
+            .ok());
+  };
+
+  // Concurrent deletes touching different data files: both commit.
+  auto t1 = file_manager_->Begin();
+  auto t2 = file_manager_->Begin();
+  delete_where(t1->get(), "A");
+  delete_where(t2->get(), "B");
+  EXPECT_TRUE(file_manager_->Commit(t1->get()).ok());
+  EXPECT_TRUE(file_manager_->Commit(t2->get()).ok());
+
+  // Concurrent deletes touching the SAME file: second one conflicts.
+  {
+    auto setup = file_manager_->Begin();
+    auto path = file_manager_->PrepareWrite(setup->get(), t.table_id);
+    ASSERT_TRUE(path.ok());
+    auto result = exec::InsertExecutor::Run(MakeContext(t, *path),
+                                            Rows({{"C", 3}, {"C", 4}}));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(file_manager_
+                    ->FinishInsertStatement(setup->get(), t.table_id, *result)
+                    .ok());
+    ASSERT_TRUE(file_manager_->Commit(setup->get()).ok());
+  }
+  auto t3 = file_manager_->Begin();
+  auto t4 = file_manager_->Begin();
+  delete_where(t3->get(), "C");
+  delete_where(t4->get(), "C");
+  EXPECT_TRUE(file_manager_->Commit(t3->get()).ok());
+  EXPECT_TRUE(file_manager_->Commit(t4->get()).IsConflict());
+}
+
+}  // namespace
+}  // namespace polaris::txn
