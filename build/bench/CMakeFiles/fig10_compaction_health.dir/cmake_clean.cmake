@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compaction_health.dir/fig10_compaction_health.cc.o"
+  "CMakeFiles/fig10_compaction_health.dir/fig10_compaction_health.cc.o.d"
+  "fig10_compaction_health"
+  "fig10_compaction_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compaction_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_checkpoint_lifetimes.dir/fig11_checkpoint_lifetimes.cc.o"
+  "CMakeFiles/fig11_checkpoint_lifetimes.dir/fig11_checkpoint_lifetimes.cc.o.d"
+  "fig11_checkpoint_lifetimes"
+  "fig11_checkpoint_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_checkpoint_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

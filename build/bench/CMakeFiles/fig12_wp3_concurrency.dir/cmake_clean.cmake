@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_wp3_concurrency.dir/fig12_wp3_concurrency.cc.o"
+  "CMakeFiles/fig12_wp3_concurrency.dir/fig12_wp3_concurrency.cc.o.d"
+  "fig12_wp3_concurrency"
+  "fig12_wp3_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_wp3_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

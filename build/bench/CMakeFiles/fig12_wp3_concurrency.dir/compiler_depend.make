@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_wp3_concurrency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fixed_vs_elastic.dir/fig8_fixed_vs_elastic.cc.o"
+  "CMakeFiles/fig8_fixed_vs_elastic.dir/fig8_fixed_vs_elastic.cc.o.d"
+  "fig8_fixed_vs_elastic"
+  "fig8_fixed_vs_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fixed_vs_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

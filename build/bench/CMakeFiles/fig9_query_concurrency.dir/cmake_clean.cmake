@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query_concurrency.dir/fig9_query_concurrency.cc.o"
+  "CMakeFiles/fig9_query_concurrency.dir/fig9_query_concurrency.cc.o.d"
+  "fig9_query_concurrency"
+  "fig9_query_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

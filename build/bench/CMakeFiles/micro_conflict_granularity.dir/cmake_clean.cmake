@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_conflict_granularity.dir/micro_conflict_granularity.cc.o"
+  "CMakeFiles/micro_conflict_granularity.dir/micro_conflict_granularity.cc.o.d"
+  "micro_conflict_granularity"
+  "micro_conflict_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_conflict_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_manifest_replay.dir/micro_manifest_replay.cc.o"
+  "CMakeFiles/micro_manifest_replay.dir/micro_manifest_replay.cc.o.d"
+  "micro_manifest_replay"
+  "micro_manifest_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_manifest_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

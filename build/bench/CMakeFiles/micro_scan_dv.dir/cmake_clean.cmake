@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scan_dv.dir/micro_scan_dv.cc.o"
+  "CMakeFiles/micro_scan_dv.dir/micro_scan_dv.cc.o.d"
+  "micro_scan_dv"
+  "micro_scan_dv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scan_dv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

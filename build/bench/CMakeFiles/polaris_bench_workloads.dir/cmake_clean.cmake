@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpolaris_bench_workloads.a"
+  "../lib/libpolaris_bench_workloads.pdb"
+  "CMakeFiles/polaris_bench_workloads.dir/workloads.cc.o"
+  "CMakeFiles/polaris_bench_workloads.dir/workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

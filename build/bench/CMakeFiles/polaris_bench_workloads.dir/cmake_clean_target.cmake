@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpolaris_bench_workloads.a"
+)

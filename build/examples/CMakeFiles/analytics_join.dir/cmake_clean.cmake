@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_join.dir/analytics_join.cpp.o"
+  "CMakeFiles/analytics_join.dir/analytics_join.cpp.o.d"
+  "analytics_join"
+  "analytics_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_etl.dir/concurrent_etl.cpp.o"
+  "CMakeFiles/concurrent_etl.dir/concurrent_etl.cpp.o.d"
+  "concurrent_etl"
+  "concurrent_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

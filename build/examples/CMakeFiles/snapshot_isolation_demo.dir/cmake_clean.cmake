@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_isolation_demo.dir/snapshot_isolation_demo.cpp.o"
+  "CMakeFiles/snapshot_isolation_demo.dir/snapshot_isolation_demo.cpp.o.d"
+  "snapshot_isolation_demo"
+  "snapshot_isolation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_isolation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

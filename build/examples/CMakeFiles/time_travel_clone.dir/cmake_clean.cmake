@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_travel_clone.dir/time_travel_clone.cpp.o"
+  "CMakeFiles/time_travel_clone.dir/time_travel_clone.cpp.o.d"
+  "time_travel_clone"
+  "time_travel_clone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_travel_clone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog_db.cc" "src/CMakeFiles/polaris.dir/catalog/catalog_db.cc.o" "gcc" "src/CMakeFiles/polaris.dir/catalog/catalog_db.cc.o.d"
+  "/root/repo/src/catalog/mvcc.cc" "src/CMakeFiles/polaris.dir/catalog/mvcc.cc.o" "gcc" "src/CMakeFiles/polaris.dir/catalog/mvcc.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/polaris.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/polaris.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/polaris.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/polaris.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/guid.cc" "src/CMakeFiles/polaris.dir/common/guid.cc.o" "gcc" "src/CMakeFiles/polaris.dir/common/guid.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/polaris.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/polaris.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/polaris.dir/common/status.cc.o" "gcc" "src/CMakeFiles/polaris.dir/common/status.cc.o.d"
+  "/root/repo/src/dcp/scheduler.cc" "src/CMakeFiles/polaris.dir/dcp/scheduler.cc.o" "gcc" "src/CMakeFiles/polaris.dir/dcp/scheduler.cc.o.d"
+  "/root/repo/src/dcp/thread_pool.cc" "src/CMakeFiles/polaris.dir/dcp/thread_pool.cc.o" "gcc" "src/CMakeFiles/polaris.dir/dcp/thread_pool.cc.o.d"
+  "/root/repo/src/dcp/topology.cc" "src/CMakeFiles/polaris.dir/dcp/topology.cc.o" "gcc" "src/CMakeFiles/polaris.dir/dcp/topology.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/polaris.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/polaris.dir/engine/engine.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/polaris.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/data_cache.cc" "src/CMakeFiles/polaris.dir/exec/data_cache.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/data_cache.cc.o.d"
+  "/root/repo/src/exec/dml.cc" "src/CMakeFiles/polaris.dir/exec/dml.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/dml.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/polaris.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/polaris.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/polaris.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/polaris.dir/exec/scan.cc.o.d"
+  "/root/repo/src/format/column.cc" "src/CMakeFiles/polaris.dir/format/column.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/column.cc.o.d"
+  "/root/repo/src/format/encoding.cc" "src/CMakeFiles/polaris.dir/format/encoding.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/encoding.cc.o.d"
+  "/root/repo/src/format/file_reader.cc" "src/CMakeFiles/polaris.dir/format/file_reader.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/file_reader.cc.o.d"
+  "/root/repo/src/format/file_writer.cc" "src/CMakeFiles/polaris.dir/format/file_writer.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/file_writer.cc.o.d"
+  "/root/repo/src/format/schema.cc" "src/CMakeFiles/polaris.dir/format/schema.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/schema.cc.o.d"
+  "/root/repo/src/format/value.cc" "src/CMakeFiles/polaris.dir/format/value.cc.o" "gcc" "src/CMakeFiles/polaris.dir/format/value.cc.o.d"
+  "/root/repo/src/lst/checkpoint.cc" "src/CMakeFiles/polaris.dir/lst/checkpoint.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/checkpoint.cc.o.d"
+  "/root/repo/src/lst/deletion_vector.cc" "src/CMakeFiles/polaris.dir/lst/deletion_vector.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/deletion_vector.cc.o.d"
+  "/root/repo/src/lst/manifest.cc" "src/CMakeFiles/polaris.dir/lst/manifest.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/manifest.cc.o.d"
+  "/root/repo/src/lst/manifest_io.cc" "src/CMakeFiles/polaris.dir/lst/manifest_io.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/manifest_io.cc.o.d"
+  "/root/repo/src/lst/snapshot_builder.cc" "src/CMakeFiles/polaris.dir/lst/snapshot_builder.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/snapshot_builder.cc.o.d"
+  "/root/repo/src/lst/table_snapshot.cc" "src/CMakeFiles/polaris.dir/lst/table_snapshot.cc.o" "gcc" "src/CMakeFiles/polaris.dir/lst/table_snapshot.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/polaris.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/polaris.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/session.cc" "src/CMakeFiles/polaris.dir/sql/session.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sql/session.cc.o.d"
+  "/root/repo/src/sto/daemon.cc" "src/CMakeFiles/polaris.dir/sto/daemon.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sto/daemon.cc.o.d"
+  "/root/repo/src/sto/delta_publisher.cc" "src/CMakeFiles/polaris.dir/sto/delta_publisher.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sto/delta_publisher.cc.o.d"
+  "/root/repo/src/sto/delta_reader.cc" "src/CMakeFiles/polaris.dir/sto/delta_reader.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sto/delta_reader.cc.o.d"
+  "/root/repo/src/sto/sto.cc" "src/CMakeFiles/polaris.dir/sto/sto.cc.o" "gcc" "src/CMakeFiles/polaris.dir/sto/sto.cc.o.d"
+  "/root/repo/src/storage/fault_injection_store.cc" "src/CMakeFiles/polaris.dir/storage/fault_injection_store.cc.o" "gcc" "src/CMakeFiles/polaris.dir/storage/fault_injection_store.cc.o.d"
+  "/root/repo/src/storage/memory_object_store.cc" "src/CMakeFiles/polaris.dir/storage/memory_object_store.cc.o" "gcc" "src/CMakeFiles/polaris.dir/storage/memory_object_store.cc.o.d"
+  "/root/repo/src/storage/path_util.cc" "src/CMakeFiles/polaris.dir/storage/path_util.cc.o" "gcc" "src/CMakeFiles/polaris.dir/storage/path_util.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/polaris.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/polaris.dir/txn/transaction_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_test.dir/dcp_test.cc.o"
+  "CMakeFiles/dcp_test.dir/dcp_test.cc.o.d"
+  "dcp_test"
+  "dcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sto_test.dir/sto_test.cc.o"
+  "CMakeFiles/sto_test.dir/sto_test.cc.o.d"
+  "sto_test"
+  "sto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
