@@ -126,5 +126,6 @@ int main() {
       "\nshape check: every DM phase turns tables red; autonomous "
       "compaction returns\nall tables to green within a few virtual "
       "minutes of the next sweep.\n");
+  polaris::bench::PrintEngineMetrics(engine);
   return 0;
 }

@@ -100,5 +100,6 @@ int main() {
       "-> checkpoint);\ncatalog_* tables are modified first in each phase, "
       "web_* last, so their\ncheckpoints are staggered in time exactly as "
       "in the paper's figure.\n");
+  polaris::bench::PrintEngineMetrics(engine);
   return 0;
 }

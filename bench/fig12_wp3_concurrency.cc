@@ -119,5 +119,6 @@ int main() {
       "purged DVs and merged small files);\nphase3 stays above phase1 only "
       "because DM grew the tables.\n",
       p2 / p1, p3 / p2b);
+  polaris::bench::PrintEngineMetrics(engine);
   return 0;
 }

@@ -65,6 +65,9 @@ int main() {
                 static_cast<unsigned long long>(sf * kRowsPerSf),
                 job.nodes_used, seconds,
                 gb / (seconds * job.nodes_used));
+    if (sf == 1000) {
+      polaris::bench::PrintEngineMetrics(engine, "SF=1000");
+    }
   }
   std::printf(
       "\nshape check: time(SF=1000)/time(SF=1) should be far below 1000x\n");

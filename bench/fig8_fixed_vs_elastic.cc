@@ -89,6 +89,9 @@ int main() {
                   job->nodes_used,
                   static_cast<double>(job->makespan_micros) / 1e6,
                   static_cast<double>(job->total_compute_micros) / 1e6);
+      if (tb == 10) {
+        polaris::bench::PrintEngineMetrics(engine, "elastic 10TB");
+      }
     }
   }
   std::printf(

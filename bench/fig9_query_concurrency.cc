@@ -121,5 +121,6 @@ int main() {
   std::printf(
       "shape check: the two series coincide (WLM separation + SI + "
       "immutable-file caches),\nand warm runs show zero cache misses.\n");
+  polaris::bench::PrintEngineMetrics(engine);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "workloads.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/random.h"
 
@@ -303,6 +304,15 @@ engine::EngineOptions BenchEngineOptions(uint64_t cost_scale) {
   options.sto_options.max_deleted_fraction = 0.2;
   options.sto_options.min_file_rows = 16;
   return options;
+}
+
+void PrintEngineMetrics(engine::PolarisEngine& engine, const char* label) {
+  if (label != nullptr) {
+    std::printf("\n-- engine metrics (%s) --\n", label);
+  } else {
+    std::printf("\n-- engine metrics --\n");
+  }
+  std::fputs(engine.MetricsSnapshot().ToString().c_str(), stdout);
 }
 
 }  // namespace polaris::bench

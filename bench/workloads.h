@@ -81,6 +81,14 @@ common::Result<common::Micros> RunDataMaintenancePhase(
 /// paper-scale virtual costs.
 engine::EngineOptions BenchEngineOptions(uint64_t cost_scale);
 
+/// Prints the engine's unified metrics snapshot (storage per-op counters
+/// and latency histograms, cache, DCP and STO counters) to stdout,
+/// prefixed by `label` when non-null. Drivers call this after their runs
+/// so every benchmark leaves an auditable trace of what the storage stack
+/// actually did.
+void PrintEngineMetrics(engine::PolarisEngine& engine,
+                        const char* label = nullptr);
+
 }  // namespace polaris::bench
 
 #endif  // POLARIS_BENCH_WORKLOADS_H_

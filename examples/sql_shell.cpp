@@ -3,8 +3,13 @@
 //
 //   $ echo "CREATE TABLE t (x BIGINT); INSERT INTO t VALUES (1); \
 //           SELECT * FROM t;" | ./build/examples/sql_shell
+//
+// Set POLARIS_FAULT_P=<probability> to inject transient storage faults on
+// every read and write (absorbed by the engine's retry layer), and type
+// "METRICS;" to dump the engine's unified metrics registry.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -43,7 +48,15 @@ void PrintResult(const SqlResult& result) {
 }  // namespace
 
 int main() {
-  PolarisEngine engine;
+  polaris::engine::EngineOptions options;
+  if (const char* fault_p = std::getenv("POLARIS_FAULT_P")) {
+    double p = std::atof(fault_p);
+    options.fault_policy.read_failure_probability = p;
+    options.fault_policy.write_failure_probability = p;
+    std::fprintf(stderr, "[fault injection: p=%.3f on reads and writes]\n",
+                 p);
+  }
+  PolarisEngine engine(options);
   SqlSession session(&engine);
   bool interactive = isatty(fileno(stdin));
 
@@ -78,6 +91,19 @@ int main() {
         }
       }
       if (blank) continue;
+      // Shell meta-command: dump the unified metrics registry.
+      std::string word;
+      for (char c : statement) {
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+          word += static_cast<char>(std::toupper(c));
+        } else if (!word.empty()) {
+          break;
+        }
+      }
+      if (word == "METRICS") {
+        std::fputs(engine.MetricsSnapshot().ToString().c_str(), stdout);
+        continue;
+      }
       auto result = session.Execute(statement);
       if (result.ok()) {
         PrintResult(*result);

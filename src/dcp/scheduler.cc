@@ -80,9 +80,11 @@ Result<JobMetrics> Scheduler::Run(const TaskDag& dag,
   }
 
   TaskFailurePolicy policy;
+  obs::MetricsRegistry* metrics_registry;
   {
     std::lock_guard<std::mutex> lock(mu_);
     policy = failure_policy_;
+    metrics_registry = metrics_;
   }
 
   // --- Real execution on the thread pool ------------------------------------
@@ -223,6 +225,12 @@ Result<JobMetrics> Scheduler::Run(const TaskDag& dag,
   }
   if (scheduled != n) {
     return Status::Internal("virtual schedule incomplete (cycle?)");
+  }
+  if (metrics_registry != nullptr) {
+    metrics_registry->Add("dcp.jobs");
+    metrics_registry->Add("dcp.tasks_run", metrics.tasks_run);
+    metrics_registry->Add("dcp.task_retries", metrics.task_retries);
+    metrics_registry->Observe("dcp.makespan_us", metrics.makespan_micros);
   }
   return metrics;
 }

@@ -12,6 +12,7 @@
 #include "dcp/task.h"
 #include "dcp/thread_pool.h"
 #include "dcp/topology.h"
+#include "obs/metrics.h"
 
 namespace polaris::dcp {
 
@@ -59,6 +60,13 @@ class Scheduler {
     failure_policy_ = policy;
   }
 
+  /// Attaches a metrics registry (must outlive the scheduler); per-job task
+  /// counts, retries and makespans are then mirrored under "dcp.*".
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = metrics;
+  }
+
   /// Runs `dag` on `pool_name`. `max_parallelism` caps elastic allocation
   /// (0 = derive from the number of independent tasks). Returns metrics on
   /// success; the first non-retryable task error otherwise.
@@ -73,6 +81,7 @@ class Scheduler {
   ThreadPool pool_;
   std::mutex mu_;
   TaskFailurePolicy failure_policy_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   common::Random failure_rng_{42};
 };
 

@@ -35,7 +35,12 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       owned_store_(store != nullptr
                        ? nullptr
                        : std::make_unique<storage::MemoryObjectStore>(clock_)),
-      store_(store != nullptr ? store : owned_store_.get()),
+      fault_store_(std::make_unique<storage::FaultInjectionStore>(
+          store != nullptr ? store : owned_store_.get(),
+          options_.fault_seed)),
+      retry_store_(std::make_unique<storage::RetryingObjectStore>(
+          fault_store_.get(), clock_, options_.storage_retry, &metrics_)),
+      store_(retry_store_.get()),
       catalog_(clock_),
       builder_(store_),
       cache_(store_, options_.cache_capacity),
@@ -44,7 +49,12 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       scheduler_(&topology_, options_.worker_threads),
       txn_manager_(&catalog_, store_, &builder_, clock_,
                    options_.txn_options),
-      sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options) {}
+      sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options) {
+  fault_store_->set_policy(options_.fault_policy);
+  cache_.set_metrics(&metrics_);
+  scheduler_.set_metrics(&metrics_);
+  sto_.set_metrics(&metrics_);
+}
 
 EngineStats PolarisEngine::Stats() {
   EngineStats stats;
@@ -58,7 +68,13 @@ EngineStats PolarisEngine::Stats() {
   auto tables = catalog_.ListTables(txn.get());
   catalog_.Abort(txn.get());
   if (tables.ok()) stats.tables = tables->size();
+  stats.storage_retries = retry_store_->total_retries();
+  stats.injected_faults = fault_store_->injected_failures();
   return stats;
+}
+
+obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
+  return metrics_.Snapshot();
 }
 
 Result<std::unique_ptr<txn::Transaction>> PolarisEngine::Begin(

@@ -17,8 +17,11 @@
 #include "exec/scan.h"
 #include "format/column.h"
 #include "lst/snapshot_builder.h"
+#include "obs/metrics.h"
 #include "sto/sto.h"
+#include "storage/fault_injection_store.h"
 #include "storage/memory_object_store.h"
+#include "storage/retrying_object_store.h"
 #include "txn/transaction_manager.h"
 
 namespace polaris::engine {
@@ -41,6 +44,13 @@ struct EngineOptions {
   /// Virtual-cost multiplier for scaled-down benchmark reproductions
   /// (see exec::DmlContext::cost_scale).
   uint64_t cost_scale = 1;
+  /// Fault injection applied between the base store and the retry layer
+  /// (the engine always composes base -> FaultInjectionStore ->
+  /// RetryingObjectStore; a zero-probability policy is a pass-through).
+  storage::FaultPolicy fault_policy;
+  uint64_t fault_seed = 42;
+  /// Backoff/budget for the storage retry layer.
+  storage::RetryPolicy storage_retry;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -73,6 +83,9 @@ struct EngineStats {
   uint64_t catalog_commit_seq = 0;
   uint64_t catalog_live_keys = 0;
   uint64_t tables = 0;
+  /// Storage-resilience counters (the decorator stack).
+  uint64_t storage_retries = 0;
+  uint64_t injected_faults = 0;
 };
 
 /// The public facade over the whole system: storage engine, catalog, DCP,
@@ -96,7 +109,17 @@ class PolarisEngine {
 
   // --- Subsystem access (benchmarks, tests) --------------------------------
   common::Clock* clock() { return clock_; }
+  /// Top of the storage decorator stack (what every subsystem reads/writes
+  /// through): base -> FaultInjectionStore -> RetryingObjectStore.
   storage::ObjectStore* store() { return store_; }
+  /// The fault-injection layer, for tests that flip policies mid-run.
+  storage::FaultInjectionStore* fault_store() { return fault_store_.get(); }
+  /// The store beneath the decorators (the engine-owned MemoryObjectStore,
+  /// or the externally provided base) — for tests inspecting raw blobs.
+  storage::ObjectStore* base_store() { return fault_store_->base(); }
+  /// The retry layer (retry/exhaustion counters).
+  storage::RetryingObjectStore* retry_store() { return retry_store_.get(); }
+  obs::MetricsRegistry* metrics() { return &metrics_; }
   catalog::CatalogDb* catalog() { return &catalog_; }
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   sto::SystemTaskOrchestrator* sto() { return &sto_; }
@@ -107,6 +130,11 @@ class PolarisEngine {
 
   /// Aggregated subsystem counters (see EngineStats).
   EngineStats Stats();
+
+  /// Point-in-time copy of the unified metrics registry: per-op storage
+  /// counts/retries/latencies, cache hits/misses, DCP job metrics, STO
+  /// maintenance counters. Bench drivers print this next to their series.
+  obs::MetricsSnapshot MetricsSnapshot();
 
   // --- Transactions ----------------------------------------------------------
   common::Result<std::unique_ptr<txn::Transaction>> Begin(
@@ -189,9 +217,14 @@ class PolarisEngine {
       const QuerySpec& spec, QueryStats* stats);
 
   EngineOptions options_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<common::SimClock> owned_clock_;
   common::Clock* clock_;
   std::unique_ptr<storage::MemoryObjectStore> owned_store_;
+  /// Storage decorator stack (§3.2.2 / §4.3): every subsystem reads and
+  /// writes through fault injection (chaos) + retry (resilience).
+  std::unique_ptr<storage::FaultInjectionStore> fault_store_;
+  std::unique_ptr<storage::RetryingObjectStore> retry_store_;
   storage::ObjectStore* store_;
   catalog::CatalogDb catalog_;
   lst::SnapshotBuilder builder_;

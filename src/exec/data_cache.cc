@@ -17,63 +17,127 @@ void DataCache::EvictIfNeededLocked() {
   }
 }
 
+void DataCache::InsertLocked(
+    const std::string& path,
+    const std::shared_ptr<const format::FileReader>& file,
+    const std::shared_ptr<const lst::DeletionVector>& dv) {
+  auto [it, inserted] = entries_.try_emplace(path);
+  if (inserted) {
+    lru_.push_front(path);
+    it->second.lru_it = lru_.begin();
+  } else {
+    TouchLocked(path, it->second);
+  }
+  if (file != nullptr) it->second.file = file;
+  if (dv != nullptr) it->second.dv = dv;
+  EvictIfNeededLocked();
+}
+
 Result<std::shared_ptr<const format::FileReader>> DataCache::GetFile(
     const std::string& path) {
+  std::shared_ptr<Flight<format::FileReader>> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(path);
     if (it != entries_.end() && it->second.file != nullptr) {
       ++stats_.hits;
+      if (metrics_ != nullptr) metrics_->Add("cache.hits");
       TouchLocked(path, it->second);
       return it->second.file;
     }
-    ++stats_.misses;
+    auto in_flight = inflight_files_.find(path);
+    if (in_flight != inflight_files_.end()) {
+      flight = in_flight->second;
+      ++stats_.coalesced;
+      if (metrics_ != nullptr) metrics_->Add("cache.coalesced");
+    } else {
+      flight = std::make_shared<Flight<format::FileReader>>();
+      inflight_files_[path] = flight;
+      leader = true;
+      ++stats_.misses;
+      if (metrics_ != nullptr) metrics_->Add("cache.misses");
+    }
   }
-  POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
-  POLARIS_ASSIGN_OR_RETURN(format::FileReader reader,
-                           format::FileReader::Open(std::move(blob)));
-  auto shared =
-      std::make_shared<const format::FileReader>(std::move(reader));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.try_emplace(path);
-  if (inserted) {
-    lru_.push_front(path);
-    it->second.lru_it = lru_.begin();
-  } else {
-    TouchLocked(path, it->second);
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    return flight->result;
   }
-  it->second.file = shared;
-  EvictIfNeededLocked();
-  return shared;
+
+  // Leader path: fetch and decode outside the cache lock.
+  auto fetch = [&]() -> Result<std::shared_ptr<const format::FileReader>> {
+    POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
+    POLARIS_ASSIGN_OR_RETURN(format::FileReader reader,
+                             format::FileReader::Open(std::move(blob)));
+    return std::make_shared<const format::FileReader>(std::move(reader));
+  };
+  Result<std::shared_ptr<const format::FileReader>> result = fetch();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) InsertLocked(path, *result, nullptr);
+    inflight_files_.erase(path);
+  }
+  {
+    std::lock_guard<std::mutex> wait_lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
 }
 
 Result<std::shared_ptr<const lst::DeletionVector>> DataCache::GetDeleteVector(
     const std::string& path) {
+  std::shared_ptr<Flight<lst::DeletionVector>> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(path);
     if (it != entries_.end() && it->second.dv != nullptr) {
       ++stats_.hits;
+      if (metrics_ != nullptr) metrics_->Add("cache.hits");
       TouchLocked(path, it->second);
       return it->second.dv;
     }
-    ++stats_.misses;
+    auto in_flight = inflight_dvs_.find(path);
+    if (in_flight != inflight_dvs_.end()) {
+      flight = in_flight->second;
+      ++stats_.coalesced;
+      if (metrics_ != nullptr) metrics_->Add("cache.coalesced");
+    } else {
+      flight = std::make_shared<Flight<lst::DeletionVector>>();
+      inflight_dvs_[path] = flight;
+      leader = true;
+      ++stats_.misses;
+      if (metrics_ != nullptr) metrics_->Add("cache.misses");
+    }
   }
-  POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
-  POLARIS_ASSIGN_OR_RETURN(lst::DeletionVector dv,
-                           lst::DeletionVector::FromBlob(blob));
-  auto shared = std::make_shared<const lst::DeletionVector>(std::move(dv));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.try_emplace(path);
-  if (inserted) {
-    lru_.push_front(path);
-    it->second.lru_it = lru_.begin();
-  } else {
-    TouchLocked(path, it->second);
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    return flight->result;
   }
-  it->second.dv = shared;
-  EvictIfNeededLocked();
-  return shared;
+
+  auto fetch = [&]() -> Result<std::shared_ptr<const lst::DeletionVector>> {
+    POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(path));
+    POLARIS_ASSIGN_OR_RETURN(lst::DeletionVector dv,
+                             lst::DeletionVector::FromBlob(blob));
+    return std::make_shared<const lst::DeletionVector>(std::move(dv));
+  };
+  Result<std::shared_ptr<const lst::DeletionVector>> result = fetch();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) InsertLocked(path, nullptr, *result);
+    inflight_dvs_.erase(path);
+  }
+  {
+    std::lock_guard<std::mutex> wait_lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
 }
 
 DataCache::Stats DataCache::stats() const {

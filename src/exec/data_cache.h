@@ -1,6 +1,7 @@
 #ifndef POLARIS_EXEC_DATA_CACHE_H_
 #define POLARIS_EXEC_DATA_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "format/file_reader.h"
 #include "lst/deletion_vector.h"
+#include "obs/metrics.h"
 #include "storage/object_store.h"
 
 namespace polaris::exec {
@@ -19,11 +21,20 @@ namespace polaris::exec {
 /// in-memory cache on compute nodes, paper §3.3). Because data files and
 /// DV blobs are immutable once committed, cache entries never need
 /// invalidation — the property the paper leans on for "caches stay warm"
-/// in Figure 9. LRU-bounded by entry count.
+/// in Figure 9. LRU-bounded by entry count (capacity is clamped to >= 1;
+/// a zero-capacity cache would evict entries mid-insert).
+///
+/// Concurrent misses on the same path are coalesced: one thread fetches
+/// and decodes the blob while the others wait for its result, so a scan
+/// fan-out over a cold cache issues each store Get exactly once.
 class DataCache {
  public:
   DataCache(storage::ObjectStore* store, size_t capacity = 1024)
-      : store_(store), capacity_(capacity) {}
+      : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Attaches a metrics registry (must outlive the cache); hits/misses/
+  /// coalesced waits are then mirrored under "cache.*".
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Opens (or returns the cached) reader for a data file blob.
   common::Result<std::shared_ptr<const format::FileReader>> GetFile(
@@ -36,6 +47,9 @@ class DataCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Lookups that joined another thread's in-flight fetch instead of
+    /// issuing their own (single-flight coalescing).
+    uint64_t coalesced = 0;
   };
   Stats stats() const;
   void ResetStats();
@@ -44,6 +58,7 @@ class DataCache {
   void Clear();
 
   size_t size() const;
+  size_t capacity() const { return capacity_; }
 
  private:
   struct Entry {
@@ -52,14 +67,33 @@ class DataCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// One in-flight fetch that concurrent misses on the same path share.
+  template <typename T>
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    common::Result<std::shared_ptr<const T>> result =
+        common::Status::Internal("fetch in flight");
+  };
+
   void TouchLocked(const std::string& path, Entry& entry);
   void EvictIfNeededLocked();
+  void InsertLocked(
+      const std::string& path,
+      const std::shared_ptr<const format::FileReader>& file,
+      const std::shared_ptr<const lst::DeletionVector>& dv);
 
   storage::ObjectStore* store_;
   size_t capacity_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
+  std::map<std::string, std::shared_ptr<Flight<format::FileReader>>>
+      inflight_files_;
+  std::map<std::string, std::shared_ptr<Flight<lst::DeletionVector>>>
+      inflight_dvs_;
   Stats stats_;
 };
 

@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace polaris::obs {
+
+const std::vector<common::Micros>& MetricsRegistry::BucketBounds() {
+  static const std::vector<common::Micros> kBounds = {
+      100,        250,        500,        1'000,     2'500,
+      5'000,      10'000,     25'000,     50'000,    100'000,
+      250'000,    500'000,    1'000'000,  2'500'000, 5'000'000,
+      10'000'000};
+  return kBounds;
+}
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Observe(const std::string& name, common::Micros value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[name];
+  if (h.counts.empty()) h.counts.assign(BucketBounds().size() + 1, 0);
+  const auto& bounds = BucketBounds();
+  size_t bucket =
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin();
+  ++h.counts[bucket];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters = counters_;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot out;
+    out.bounds = BucketBounds();
+    out.counts = h.counts;
+    out.count = h.count;
+    out.sum = h.sum;
+    out.min = h.min;
+    out.max = h.max;
+    snapshot.histograms.emplace(name, std::move(out));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+int64_t HistogramSnapshot::ApproxQuantile(double quantile) const {
+  if (count == 0) return -1;
+  uint64_t target = static_cast<uint64_t>(quantile * static_cast<double>(count));
+  if (target >= count) target = count - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > target) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+uint64_t MetricsSnapshot::CounterSum(const std::string& prefix) const {
+  uint64_t total = 0;
+  for (auto it = counters.lower_bound(prefix);
+       it != counters.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "== counters ==\n";
+  for (const auto& [name, value] : counters) {
+    out << "  " << name << " = " << value << "\n";
+  }
+  out << "== latency histograms (us) ==\n";
+  for (const auto& [name, h] : histograms) {
+    out << "  " << name << ": count=" << h.count;
+    if (h.count > 0) {
+      out << " min=" << h.min << " max=" << h.max
+          << " mean=" << (h.sum / static_cast<int64_t>(h.count))
+          << " p50<=" << h.ApproxQuantile(0.5)
+          << " p99<=" << h.ApproxQuantile(0.99);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace polaris::obs

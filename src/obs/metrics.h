@@ -1,0 +1,82 @@
+#ifndef POLARIS_OBS_METRICS_H_
+#define POLARIS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace polaris::obs {
+
+/// Immutable copy of one latency histogram. Buckets are cumulative-free:
+/// `counts[i]` holds the number of observations v with
+/// `bounds[i-1] < v <= bounds[i]` (counts.back() is the overflow bucket for
+/// values above the last bound).
+struct HistogramSnapshot {
+  std::vector<common::Micros> bounds;
+  std::vector<uint64_t> counts;  // size = bounds.size() + 1
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+
+  /// Smallest bucket upper bound covering at least `quantile` (in [0,1]) of
+  /// the observations; -1 when empty. Overflow observations report the max.
+  int64_t ApproxQuantile(double quantile) const;
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Value of a counter, 0 when absent.
+  uint64_t counter(const std::string& name) const;
+  /// Sum of all counters whose name starts with `prefix`.
+  uint64_t CounterSum(const std::string& prefix) const;
+  /// Multi-line human-readable dump (bench drivers print this).
+  std::string ToString() const;
+};
+
+/// Thread-safe named counters + fixed-bucket latency histograms — the single
+/// place every subsystem (storage stack, data cache, DCP scheduler, STO)
+/// reports what it did, so fault-injection runs leave auditable evidence
+/// (retries absorbed, latencies paid) instead of per-component ad-hoc stats.
+///
+/// Names are dotted paths by convention: "store.get.retries",
+/// "cache.hits", "dcp.task_retries", "sto.compactions".
+class MetricsRegistry {
+ public:
+  /// Increments counter `name` by `delta` (creating it at 0 first).
+  void Add(const std::string& name, uint64_t delta = 1);
+
+  /// Records one latency observation (microseconds) in histogram `name`.
+  void Observe(const std::string& name, common::Micros value);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+  /// The fixed bucket upper bounds shared by every histogram, in micros:
+  /// roughly logarithmic from 100us to 10s.
+  static const std::vector<common::Micros>& BucketBounds();
+
+ private:
+  struct Histogram {
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace polaris::obs
+
+#endif  // POLARIS_OBS_METRICS_H_

@@ -53,15 +53,29 @@ Result<SqlResult> SqlSession::Execute(const std::string& statement) {
   return ExecuteParsed(stmt);
 }
 
+Status SqlSession::BeginTransaction(catalog::IsolationMode mode) {
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  aborted_by_conflict_ = false;
+  conflict_cause_ = Status::OK();
+  POLARIS_ASSIGN_OR_RETURN(txn_, engine_->Begin(mode));
+  return Status::OK();
+}
+
 Result<SqlResult> SqlSession::RunStatement(
     const std::function<Result<SqlResult>(txn::Transaction*)>& body) {
   if (txn_ != nullptr) {
     // Explicit transaction: the statement joins it; errors do not abort
-    // the transaction automatically except conflicts, which do.
+    // the transaction automatically except conflicts, which do. The
+    // conflict is remembered so the client's trailing COMMIT/ROLLBACK
+    // reports the rollback instead of "no open transaction".
     auto result = body(txn_.get());
     if (!result.ok() && result.status().IsConflict()) {
       if (!txn_->finished()) (void)engine_->Abort(txn_.get());
       txn_.reset();
+      aborted_by_conflict_ = true;
+      conflict_cause_ = result.status();
     }
     return result;
   }
@@ -78,16 +92,21 @@ Result<SqlResult> SqlSession::RunStatement(
 Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
   switch (stmt.kind) {
     case ParsedStatement::Kind::kBegin: {
-      if (txn_ != nullptr) {
-        return Status::FailedPrecondition("transaction already open");
-      }
-      POLARIS_ASSIGN_OR_RETURN(txn_, engine_->Begin());
+      POLARIS_RETURN_IF_ERROR(BeginTransaction());
       SqlResult result;
       result.message = "BEGIN";
       return result;
     }
     case ParsedStatement::Kind::kCommit: {
       if (txn_ == nullptr) {
+        if (aborted_by_conflict_) {
+          // The transaction was already rolled back by a statement-level
+          // conflict; surface that instead of "no open transaction".
+          aborted_by_conflict_ = false;
+          return Status::Conflict(
+              "transaction rolled back by conflict: " +
+              conflict_cause_.message());
+        }
         return Status::FailedPrecondition("no open transaction");
       }
       Status st = engine_->Commit(txn_.get());
@@ -99,6 +118,16 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
     }
     case ParsedStatement::Kind::kRollback: {
       if (txn_ == nullptr) {
+        if (aborted_by_conflict_) {
+          // Rolling back an already-conflict-aborted transaction is a
+          // no-op that succeeds, as in SQL Server.
+          aborted_by_conflict_ = false;
+          SqlResult result;
+          result.message = "ROLLBACK (transaction was already rolled "
+                           "back by conflict: " +
+                           conflict_cause_.message() + ")";
+          return result;
+        }
         return Status::FailedPrecondition("no open transaction");
       }
       Status st = engine_->Abort(txn_.get());

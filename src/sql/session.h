@@ -43,7 +43,18 @@ class SqlSession {
   /// Parses and executes one statement.
   common::Result<SqlResult> Execute(const std::string& statement);
 
+  /// Opens an explicit transaction, optionally in a non-default isolation
+  /// mode (the SQL surface only parses plain BEGIN; tests and embedding
+  /// applications use this for RCSI/Serializable sessions).
+  common::Status BeginTransaction(
+      catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot);
+
   bool in_transaction() const { return txn_ != nullptr; }
+
+  /// True when the explicit transaction was rolled back by a statement
+  /// conflict and the session is waiting for the client's COMMIT/ROLLBACK
+  /// to acknowledge it.
+  bool aborted_by_conflict() const { return aborted_by_conflict_; }
 
  private:
   common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
@@ -64,6 +75,11 @@ class SqlSession {
 
   engine::PolarisEngine* engine_;
   std::unique_ptr<txn::Transaction> txn_;
+  /// Set when a statement-level Conflict auto-aborted the explicit
+  /// transaction; the next COMMIT/ROLLBACK reports the conflict-driven
+  /// rollback instead of "no open transaction".
+  bool aborted_by_conflict_ = false;
+  common::Status conflict_cause_;
 };
 
 /// Coerces a parsed literal to `want` (integer literals widen to DOUBLE;

@@ -236,6 +236,12 @@ Result<CompactionStats> SystemTaskOrchestrator::CompactTable(
     return finish;
   }
   POLARIS_RETURN_IF_ERROR(txn_manager_->Commit(txn.get()));
+  if (metrics_ != nullptr) {
+    metrics_->Add("sto.compactions");
+    metrics_->Add("sto.compaction.input_files", stats.input_files);
+    metrics_->Add("sto.compaction.output_files", stats.output_files);
+    metrics_->Add("sto.compaction.rows_rewritten", stats.rows_rewritten);
+  }
   POLARIS_LOG(kInfo, "sto") << "compacted table " << table_id << ": "
                             << stats.input_files << " -> "
                             << stats.output_files << " files, purged "
@@ -302,6 +308,7 @@ Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
   }
   Status commit = txn_manager_->Commit(txn.get());
   if (!commit.ok()) return commit;
+  if (metrics_ != nullptr) metrics_->Add("sto.checkpoints");
   {
     std::lock_guard<std::mutex> lock(mu_);
     manifests_since_checkpoint_[table_id] = 0;
@@ -411,6 +418,11 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
     }
   }
   (void)txn_manager_->Abort(txn.get());  // read-only catalog txn
+  if (metrics_ != nullptr) {
+    metrics_->Add("sto.gc.sweeps");
+    metrics_->Add("sto.gc.blobs_scanned", stats.blobs_scanned);
+    metrics_->Add("sto.gc.blobs_deleted", stats.blobs_deleted);
+  }
   POLARIS_LOG(kInfo, "sto") << "GC: scanned " << stats.blobs_scanned
                             << ", deleted " << stats.blobs_deleted
                             << ", active " << stats.blobs_active;
@@ -433,6 +445,7 @@ Status SystemTaskOrchestrator::PublishTable(int64_t table_id) {
   }
   (void)txn_manager_->Abort(txn.get());
   POLARIS_RETURN_IF_ERROR(publisher_.Publish(*meta, *records).status());
+  if (metrics_ != nullptr) metrics_->Add("sto.delta_publishes");
   std::lock_guard<std::mutex> lock(mu_);
   publish_pending_[table_id] = false;
   return Status::OK();

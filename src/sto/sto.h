@@ -11,6 +11,7 @@
 #include "exec/data_cache.h"
 #include "exec/dml.h"
 #include "format/file_writer.h"
+#include "obs/metrics.h"
 #include "sto/delta_publisher.h"
 #include "txn/transaction_manager.h"
 
@@ -80,6 +81,11 @@ class SystemTaskOrchestrator {
 
   const StoOptions& options() const { return options_; }
 
+  /// Attaches a metrics registry (must outlive the STO); compactions,
+  /// checkpoints, GC deletions and publishes are then counted under
+  /// "sto.*".
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// FE commit notification (§5.2): bumps the table's pending-manifest
   /// count and marks it for publishing.
   void OnCommit(int64_t table_id);
@@ -120,6 +126,7 @@ class SystemTaskOrchestrator {
   exec::DataCache* cache_;
   dcp::Scheduler* scheduler_;
   StoOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   DeltaPublisher publisher_;
 
   std::mutex mu_;

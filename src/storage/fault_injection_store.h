@@ -46,6 +46,9 @@ class FaultInjectionStore : public ObjectStore {
   /// Total operations that were failed by injection.
   uint64_t injected_failures() const { return injected_failures_.load(); }
 
+  /// The wrapped store.
+  ObjectStore* base() { return base_; }
+
   common::Status Put(const std::string& path, std::string data) override;
   common::Result<std::string> Get(const std::string& path) override;
   common::Result<BlobInfo> Stat(const std::string& path) override;

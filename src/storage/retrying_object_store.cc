@@ -1,0 +1,142 @@
+#include "storage/retrying_object_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace polaris::storage {
+
+using common::Result;
+using common::Status;
+
+bool RetryingObjectStore::IsRetryable(const Status& status) {
+  if (status.IsUnavailable()) return true;
+  // Timeout-shaped IO errors model a request whose outcome is unknown;
+  // every ObjectStore operation is idempotent-or-checked (write-once Put,
+  // re-stageable blocks, atomic commit), so repeating is safe.
+  if (status.IsIOError()) {
+    const std::string& msg = status.message();
+    return msg.find("timeout") != std::string::npos ||
+           msg.find("timed out") != std::string::npos;
+  }
+  return false;
+}
+
+common::Micros RetryingObjectStore::BackoffFor(uint32_t retry) {
+  double delay = static_cast<double>(policy_.initial_backoff_micros) *
+                 std::pow(policy_.backoff_multiplier,
+                          static_cast<double>(retry - 1));
+  delay = std::min(delay, static_cast<double>(policy_.max_backoff_micros));
+  double jitter;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    jitter = rng_.NextDouble();
+  }
+  delay *= 1.0 - policy_.jitter_fraction * jitter;
+  return std::max<common::Micros>(1, static_cast<common::Micros>(delay));
+}
+
+Status RetryingObjectStore::Execute(
+    const char* op, const std::function<Status()>& attempt) {
+  const std::string prefix = std::string("store.") + op;
+  if (metrics_ != nullptr) metrics_->Add(prefix + ".ops");
+  common::Micros start = clock_ != nullptr ? clock_->Now() : 0;
+
+  uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
+  Status st;
+  for (uint32_t i = 1; i <= max_attempts; ++i) {
+    st = attempt();
+    if (st.ok() || !IsRetryable(st)) break;
+    if (i == max_attempts) {
+      exhausted_.fetch_add(1);
+      if (metrics_ != nullptr) metrics_->Add(prefix + ".exhausted");
+      break;
+    }
+    total_retries_.fetch_add(1);
+    if (metrics_ != nullptr) {
+      metrics_->Add(prefix + ".retries");
+      metrics_->Add("store.retries.total");
+    }
+    common::Micros backoff = BackoffFor(i);
+    if (clock_ != nullptr) clock_->Advance(backoff);
+    if (metrics_ != nullptr) {
+      metrics_->Add("store.backoff_micros.total",
+                    static_cast<uint64_t>(backoff));
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    common::Micros end = clock_ != nullptr ? clock_->Now() : 0;
+    metrics_->Observe(prefix + ".latency_us", end - start);
+    if (!st.ok()) metrics_->Add(prefix + ".errors");
+  }
+  return st;
+}
+
+Status RetryingObjectStore::Put(const std::string& path, std::string data) {
+  // The payload is needed again on retry, so it cannot be moved into the
+  // base call.
+  return Execute("put", [&]() { return base_->Put(path, data); });
+}
+
+Result<std::string> RetryingObjectStore::Get(const std::string& path) {
+  Result<std::string> out = Status::Internal("no attempt made");
+  Status st = Execute("get", [&]() {
+    out = base_->Get(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<BlobInfo> RetryingObjectStore::Stat(const std::string& path) {
+  Result<BlobInfo> out = Status::Internal("no attempt made");
+  Status st = Execute("stat", [&]() {
+    out = base_->Stat(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status RetryingObjectStore::Delete(const std::string& path) {
+  return Execute("delete", [&]() { return base_->Delete(path); });
+}
+
+Result<std::vector<BlobInfo>> RetryingObjectStore::List(
+    const std::string& prefix) {
+  Result<std::vector<BlobInfo>> out = Status::Internal("no attempt made");
+  Status st = Execute("list", [&]() {
+    out = base_->List(prefix);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status RetryingObjectStore::StageBlock(const std::string& path,
+                                       const std::string& block_id,
+                                       std::string data) {
+  // Re-staging the same block ID overwrites (Azure semantics), so a retry
+  // after an ambiguous failure converges to the same staged bytes.
+  return Execute("stage_block",
+                 [&]() { return base_->StageBlock(path, block_id, data); });
+}
+
+Status RetryingObjectStore::CommitBlockList(
+    const std::string& path, const std::vector<std::string>& block_ids) {
+  return Execute("commit_block_list",
+                 [&]() { return base_->CommitBlockList(path, block_ids); });
+}
+
+Result<std::vector<std::string>> RetryingObjectStore::GetCommittedBlockList(
+    const std::string& path) {
+  Result<std::vector<std::string>> out = Status::Internal("no attempt made");
+  Status st = Execute("get_block_list", [&]() {
+    out = base_->GetCommittedBlockList(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace polaris::storage

@@ -1,0 +1,110 @@
+#ifndef POLARIS_STORAGE_RETRYING_OBJECT_STORE_H_
+#define POLARIS_STORAGE_RETRYING_OBJECT_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "storage/object_store.h"
+
+namespace polaris::storage {
+
+/// How RetryingObjectStore paces its attempts.
+struct RetryPolicy {
+  /// Total attempts per operation (first try included). 1 disables retries.
+  uint32_t max_attempts = 5;
+  /// Backoff before the first retry; doubles (see `backoff_multiplier`)
+  /// each subsequent retry up to `max_backoff_micros`.
+  common::Micros initial_backoff_micros = 1'000;
+  common::Micros max_backoff_micros = 1'000'000;
+  double backoff_multiplier = 2.0;
+  /// Fraction of each computed delay that is randomized away (full delay at
+  /// 0.0; anywhere in [delay/2, delay] at 0.5). Jitter is drawn from a
+  /// seeded generator so runs are reproducible.
+  double jitter_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+/// ObjectStore decorator that absorbs transient storage failures with
+/// bounded exponential backoff — the layer the paper's manifest protocol
+/// (§3.2.2) and compute-failure story (§4.3) assume sits between the engine
+/// and a flaky cloud store: staged blocks from failed attempts are simply
+/// re-staged, and write-once / commit-block-list semantics make every
+/// operation here safe to repeat.
+///
+/// Only genuinely transient errors are retried: Unavailable (throttling,
+/// node loss) and timeout-shaped IOErrors. Semantic outcomes — AlreadyExists
+/// on a write-once Put, NotFound, InvalidArgument / FailedPrecondition
+/// (ETag or block-list precondition failures) — pass through untouched on
+/// the first attempt so commit protocols above never see a spurious retry.
+///
+/// Backoff waits are issued through the injected Clock (`Advance`), so
+/// virtual-time tests observe deterministic waits and real clocks can map
+/// them to sleeps. When `metrics` is non-null, per-operation counts,
+/// retries, exhaustions and latencies are recorded under "store.<op>.*".
+class RetryingObjectStore : public ObjectStore {
+ public:
+  /// `base`, `clock` and `metrics` must outlive this store; `metrics` may
+  /// be null.
+  RetryingObjectStore(ObjectStore* base, common::Clock* clock,
+                      RetryPolicy policy = {},
+                      obs::MetricsRegistry* metrics = nullptr)
+      : base_(base),
+        clock_(clock),
+        policy_(policy),
+        metrics_(metrics),
+        rng_(policy.seed) {}
+
+  /// True when `status` models a transient infrastructure failure that a
+  /// repeat of the same request may clear.
+  static bool IsRetryable(const common::Status& status);
+
+  /// Total retries issued across all operations since construction.
+  uint64_t total_retries() const { return total_retries_.load(); }
+  /// Operations that failed even after exhausting the retry budget.
+  uint64_t exhausted_operations() const { return exhausted_.load(); }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  common::Status Put(const std::string& path, std::string data) override;
+  common::Result<std::string> Get(const std::string& path) override;
+  common::Result<BlobInfo> Stat(const std::string& path) override;
+  common::Status Delete(const std::string& path) override;
+  common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) override;
+  common::Status StageBlock(const std::string& path,
+                            const std::string& block_id,
+                            std::string data) override;
+  common::Status CommitBlockList(
+      const std::string& path,
+      const std::vector<std::string>& block_ids) override;
+  common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) override;
+
+ private:
+  /// Runs `attempt` under the retry budget, recording metrics for `op`.
+  common::Status Execute(const char* op,
+                         const std::function<common::Status()>& attempt);
+
+  /// Jittered exponential backoff before retry number `retry` (1-based).
+  common::Micros BackoffFor(uint32_t retry);
+
+  ObjectStore* base_;
+  common::Clock* clock_;
+  RetryPolicy policy_;
+  obs::MetricsRegistry* metrics_;
+  std::mutex rng_mu_;
+  common::Random rng_;
+  std::atomic<uint64_t> total_retries_{0};
+  std::atomic<uint64_t> exhausted_{0};
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_RETRYING_OBJECT_STORE_H_

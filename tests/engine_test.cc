@@ -284,12 +284,12 @@ TEST_F(EngineTest, ZeroCopyClone) {
                   })
                   .ok());
   auto store_stats_before =
-      static_cast<storage::MemoryObjectStore*>(engine_.store())->stats();
+      static_cast<storage::MemoryObjectStore*>(engine_.base_store())->stats();
   auto clone = engine_.CloneTable("src", "dst");
   ASSERT_TRUE(clone.ok()) << clone.status().ToString();
   // The clone wrote no data blobs (bytes_written unchanged): metadata only.
   auto store_stats_after =
-      static_cast<storage::MemoryObjectStore*>(engine_.store())->stats();
+      static_cast<storage::MemoryObjectStore*>(engine_.base_store())->stats();
   EXPECT_EQ(store_stats_after.bytes_written,
             store_stats_before.bytes_written);
   EXPECT_EQ(Count("dst"), 2);

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/guid.h"
 #include "exec/aggregate.h"
 #include "exec/data_cache.h"
@@ -467,6 +471,73 @@ TEST(DataCacheTest, MissingBlobSurfacesNotFound) {
   DataCache cache(&store);
   EXPECT_TRUE(cache.GetFile("ghost").status().IsNotFound());
   EXPECT_TRUE(cache.GetDeleteVector("ghost").status().IsNotFound());
+}
+
+TEST(DataCacheTest, ZeroCapacityIsClampedToOne) {
+  // Regression: capacity=0 used to let EvictIfNeededLocked evict the entry
+  // that was just inserted, so every lookup was a miss that immediately
+  // dropped its result.
+  storage::MemoryObjectStore store;
+  format::FileWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Append(MakeBatch(3)).ok());
+  auto bytes = std::move(writer).Finish();
+  ASSERT_TRUE(store.Put("f", std::move(*bytes)).ok());
+
+  DataCache cache(&store, /*capacity=*/0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  ASSERT_TRUE(cache.GetFile("f").ok());
+  EXPECT_EQ(cache.size(), 1u);  // the fresh entry survived its own insert
+  ASSERT_TRUE(cache.GetFile("f").ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(store.stats().gets, 1u);
+}
+
+TEST(DataCacheTest, ConcurrentMissesAreCoalesced) {
+  storage::MemoryObjectStore store;
+  format::FileWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Append(MakeBatch(8)).ok());
+  auto bytes = std::move(writer).Finish();
+  ASSERT_TRUE(store.Put("f", std::move(*bytes)).ok());
+
+  DataCache cache(&store);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto file = cache.GetFile("f");
+      if (file.ok() && (*file)->num_rows() == 8) ok_count.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kThreads);
+  // Exactly one physical fetch regardless of interleaving; every other
+  // lookup either joined the in-flight fetch or hit the inserted entry.
+  EXPECT_EQ(store.stats().gets, 1u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1u);
+}
+
+TEST(DataCacheTest, FailedFetchIsSharedAndNotCached) {
+  storage::MemoryObjectStore store;
+  DataCache cache(&store);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> not_found{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      if (cache.GetFile("ghost").status().IsNotFound()) {
+        not_found.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(not_found.load(), kThreads);
+  EXPECT_EQ(cache.size(), 0u);  // errors are never inserted
 }
 
 }  // namespace

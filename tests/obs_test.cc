@@ -1,0 +1,142 @@
+// Unit tests for the unified metrics registry: counters, fixed-bucket
+// latency histograms, snapshots and quantile estimation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace polaris::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.Add("store.get.ops");
+  registry.Add("store.get.ops");
+  registry.Add("store.get.retries", 5);
+
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("store.get.ops"), 2u);
+  EXPECT_EQ(snapshot.counter("store.get.retries"), 5u);
+  EXPECT_EQ(snapshot.counter("never.recorded"), 0u);
+}
+
+TEST(MetricsRegistryTest, CounterSumAggregatesByPrefix) {
+  MetricsRegistry registry;
+  registry.Add("store.get.retries", 2);
+  registry.Add("store.put.retries", 3);
+  registry.Add("cache.hits", 100);
+
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterSum("store."), 5u);
+  EXPECT_EQ(snapshot.CounterSum("cache."), 100u);
+  EXPECT_EQ(snapshot.CounterSum("dcp."), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordsObservations) {
+  MetricsRegistry registry;
+  registry.Observe("store.get.latency_us", 50);     // first bucket (<=100)
+  registry.Observe("store.get.latency_us", 150);    // <=250 bucket
+  registry.Observe("store.get.latency_us", 20'000'000);  // overflow
+
+  auto snapshot = registry.Snapshot();
+  const auto& h = snapshot.histograms.at("store.get.latency_us");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.min, 50);
+  EXPECT_EQ(h.max, 20'000'000);
+  EXPECT_EQ(h.sum, 50 + 150 + 20'000'000);
+  ASSERT_EQ(h.counts.size(), h.bounds.size() + 1);
+  EXPECT_EQ(h.counts[0], 1u);            // 50 <= 100
+  EXPECT_EQ(h.counts[1], 1u);            // 150 <= 250
+  EXPECT_EQ(h.counts.back(), 1u);        // overflow bucket
+}
+
+TEST(MetricsRegistryTest, BoundaryValueLandsInItsBucket) {
+  MetricsRegistry registry;
+  // Bucket semantics: counts[i] holds bounds[i-1] < v <= bounds[i].
+  registry.Observe("h", 100);
+  registry.Observe("h", 101);
+  auto snapshot = registry.Snapshot();
+  const auto& h = snapshot.histograms.at("h");
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+}
+
+TEST(HistogramSnapshotTest, ApproxQuantileCoversDistribution) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 90; ++i) registry.Observe("h", 80);       // <=100
+  for (int i = 0; i < 10; ++i) registry.Observe("h", 400'000);  // <=500k
+
+  auto snapshot = registry.Snapshot();
+  const auto& h = snapshot.histograms.at("h");
+  EXPECT_EQ(h.ApproxQuantile(0.5), 100);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 500'000);
+}
+
+TEST(HistogramSnapshotTest, EmptyHistogramQuantileIsMinusOne) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.ApproxQuantile(0.5), -1);
+}
+
+TEST(HistogramSnapshotTest, OverflowQuantileReportsMax) {
+  MetricsRegistry registry;
+  registry.Observe("h", 30'000'000);
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.histograms.at("h").ApproxQuantile(0.99), 30'000'000);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverything) {
+  MetricsRegistry registry;
+  registry.Add("c");
+  registry.Observe("h", 1);
+  registry.Reset();
+  auto snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, SnapshotIsAnIsolatedCopy) {
+  MetricsRegistry registry;
+  registry.Add("c", 1);
+  auto snapshot = registry.Snapshot();
+  registry.Add("c", 41);
+  EXPECT_EQ(snapshot.counter("c"), 1u);
+  EXPECT_EQ(registry.Snapshot().counter("c"), 42u);
+}
+
+TEST(MetricsRegistryTest, ToStringListsCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.Add("store.retries.total", 7);
+  registry.Observe("store.get.latency_us", 123);
+  std::string dump = registry.Snapshot().ToString();
+  EXPECT_NE(dump.find("store.retries.total = 7"), std::string::npos);
+  EXPECT_NE(dump.find("store.get.latency_us"), std::string::npos);
+  EXPECT_NE(dump.find("p50<="), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.Add("contended");
+        registry.Observe("contended_lat", 10);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("contended"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snapshot.histograms.at("contended_lat").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace polaris::obs

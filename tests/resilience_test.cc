@@ -1,0 +1,171 @@
+// End-to-end storage-resilience tests: the engine's decorator stack
+// (base -> FaultInjectionStore -> RetryingObjectStore) must absorb a
+// sustained transient-failure rate while a full DML workload runs, and the
+// unified metrics registry must leave auditable evidence of the retries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "sql/session.h"
+
+namespace polaris {
+namespace {
+
+engine::EngineOptions FaultyOptions(double failure_probability) {
+  engine::EngineOptions options;
+  options.fault_policy.read_failure_probability = failure_probability;
+  options.fault_policy.write_failure_probability = failure_probability;
+  // Headroom over the default budget: at p=0.05 an operation only fails
+  // permanently after 7 consecutive injected faults (~8e-10).
+  options.storage_retry.max_attempts = 7;
+  return options;
+}
+
+TEST(ResilienceTest, DmlWorkloadSurvivesInjectedFaults) {
+  engine::PolarisEngine engine(FaultyOptions(0.05));
+  sql::SqlSession session(&engine);
+
+  auto must = [&](const std::string& statement) {
+    auto result = session.Execute(statement);
+    ASSERT_TRUE(result.ok())
+        << statement << " -> " << result.status().ToString();
+  };
+
+  must("CREATE TABLE orders (id BIGINT, amount DOUBLE, status TEXT)");
+  for (int batch = 0; batch < 5; ++batch) {
+    std::string values;
+    for (int i = 0; i < 20; ++i) {
+      int id = batch * 20 + i;
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(id) + ", " + std::to_string(id) +
+                ".5, 'open')";
+    }
+    must("INSERT INTO orders VALUES " + values);
+  }
+  must("UPDATE orders SET status = 'shipped' WHERE id < 30");
+  must("DELETE FROM orders WHERE id >= 90");
+
+  // Explicit multi-statement transaction committing through the stack.
+  must("BEGIN");
+  must("INSERT INTO orders VALUES (1000, 1.0, 'open')");
+  must("UPDATE orders SET amount = 2.0 WHERE id = 1000");
+  must("COMMIT");
+
+  auto count = session.Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), 91);
+
+  // The workload only survived because the retry layer absorbed faults.
+  auto stats = engine.Stats();
+  EXPECT_GT(stats.injected_faults, 0u);
+  EXPECT_GT(stats.storage_retries, 0u);
+  EXPECT_EQ(engine.retry_store()->exhausted_operations(), 0u);
+  EXPECT_EQ(stats.storage_retries, stats.injected_faults);
+}
+
+TEST(ResilienceTest, MetricsRecordRetriesAndLatencies) {
+  engine::PolarisEngine engine(FaultyOptions(0.1));
+  sql::SqlSession session(&engine);
+
+  auto must = [&](const std::string& statement) {
+    auto result = session.Execute(statement);
+    ASSERT_TRUE(result.ok())
+        << statement << " -> " << result.status().ToString();
+  };
+  must("CREATE TABLE t (k BIGINT, v DOUBLE)");
+  for (int batch = 0; batch < 4; ++batch) {
+    std::string values;
+    for (int i = 0; i < 10; ++i) {
+      int k = batch * 10 + i;
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(k) + ", 1.0)";
+    }
+    must("INSERT INTO t VALUES " + values);
+  }
+  must("DELETE FROM t WHERE k < 5");
+  auto sum = session.Execute("SELECT SUM(v) FROM t");
+  ASSERT_TRUE(sum.ok());
+
+  auto snapshot = engine.MetricsSnapshot();
+  // Retries happened and were attributed per operation: the per-op
+  // "store.<op>.retries" counters add up to the global total.
+  EXPECT_GT(snapshot.counter("store.retries.total"), 0u);
+  uint64_t per_op_retries = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("store.", 0) == 0 && name.ends_with(".retries") &&
+        name != "store.retries.total") {
+      per_op_retries += value;
+    }
+  }
+  EXPECT_EQ(per_op_retries, snapshot.counter("store.retries.total"));
+  EXPECT_GT(snapshot.counter("store.backoff_micros.total"), 0u);
+
+  // The acceptance-criterion trio: reads, staged writes and block commits
+  // all have latency histograms with observations.
+  for (const char* histogram :
+       {"store.get.latency_us", "store.stage_block.latency_us",
+        "store.commit_block_list.latency_us"}) {
+    auto it = snapshot.histograms.find(histogram);
+    ASSERT_NE(it, snapshot.histograms.end()) << histogram;
+    EXPECT_GT(it->second.count, 0u) << histogram;
+  }
+
+  // The other subsystems report into the same registry.
+  EXPECT_GT(snapshot.counter("cache.misses"), 0u);
+  EXPECT_GT(snapshot.counter("dcp.jobs"), 0u);
+  EXPECT_GT(snapshot.counter("dcp.tasks_run"), 0u);
+}
+
+TEST(ResilienceTest, SemanticErrorsAreNotRetriedThroughTheStack) {
+  engine::PolarisEngine engine;  // no injected faults
+  auto* store = engine.store();  // top of the decorator stack
+
+  ASSERT_TRUE(store->Put("manifest/1", "v1").ok());
+  uint64_t retries_before = engine.retry_store()->total_retries();
+
+  // Write-once violation and missing blob: both surface immediately.
+  EXPECT_TRUE(store->Put("manifest/1", "v2").IsAlreadyExists());
+  EXPECT_TRUE(store->Get("manifest/ghost").status().IsNotFound());
+  EXPECT_FALSE(store->CommitBlockList("blob", {"unknown"}).ok());
+
+  EXPECT_EQ(engine.retry_store()->total_retries(), retries_before);
+  auto snapshot = engine.MetricsSnapshot();
+  EXPECT_EQ(snapshot.counter("store.put.retries"), 0u);
+  EXPECT_EQ(snapshot.counter("store.get.retries"), 0u);
+  EXPECT_EQ(snapshot.counter("store.commit_block_list.retries"), 0u);
+}
+
+TEST(ResilienceTest, MaintenanceTasksReportUnderFaults) {
+  engine::EngineOptions options = FaultyOptions(0.02);
+  options.num_cells = 1;
+  engine::PolarisEngine engine(options);
+  sql::SqlSession session(&engine);
+
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (k BIGINT)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (3), (4)").ok());
+  ASSERT_TRUE(session.Execute("DELETE FROM t WHERE k = 2").ok());
+
+  auto meta = engine.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  auto compacted = engine.sto()->CompactTable(meta->table_id);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  ASSERT_GT(compacted->input_files, 0u);
+
+  engine.clock()->Advance(10'000'000);
+  auto gc = engine.sto()->RunGarbageCollection();
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+
+  auto snapshot = engine.MetricsSnapshot();
+  EXPECT_GT(snapshot.counter("sto.compactions"), 0u);
+  EXPECT_GT(snapshot.counter("sto.compaction.input_files"), 0u);
+  EXPECT_GT(snapshot.counter("sto.gc.sweeps"), 0u);
+  auto result = session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.column(0).Int64At(0), 3);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -272,6 +272,76 @@ TEST_F(SqlSessionTest, ConflictingCommitReportsConflict) {
   EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 1);
 }
 
+// A statement-level conflict inside an explicit transaction: an RCSI
+// session holds a delete (DV) on a data file that a concurrent compaction
+// rewrites away; the next statement's snapshot refresh surfaces Conflict
+// and the session auto-aborts the transaction.
+common::Status ProvokeStatementConflict(engine::PolarisEngine& engine,
+                                        SqlSession& session) {
+  POLARIS_RETURN_IF_ERROR(session.BeginTransaction(
+      catalog::IsolationMode::kReadCommittedSnapshot));
+  POLARIS_RETURN_IF_ERROR(
+      session.Execute("DELETE FROM t WHERE k = 1").status());
+  POLARIS_ASSIGN_OR_RETURN(auto meta, engine.GetTable("t"));
+  POLARIS_ASSIGN_OR_RETURN(auto stats,
+                           engine.sto()->CompactTable(meta.table_id));
+  if (stats.input_files == 0) {
+    return common::Status::Internal("compaction did not rewrite any file");
+  }
+  auto refreshed = session.Execute("SELECT COUNT(*) FROM t");
+  if (!refreshed.status().IsConflict()) {
+    return common::Status::Internal("expected statement-level conflict, got " +
+                                    refreshed.status().ToString());
+  }
+  return common::Status::OK();
+}
+
+TEST(SqlSessionConflictTest, CommitAfterConflictAbortReportsConflict) {
+  engine::EngineOptions options;
+  options.num_cells = 1;  // both inserts land in one cell -> compactable
+  engine::PolarisEngine engine(options);
+  SqlSession session(&engine);
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (k BIGINT)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (3), (4)").ok());
+
+  auto provoked = ProvokeStatementConflict(engine, session);
+  ASSERT_TRUE(provoked.ok()) << provoked.ToString();
+  EXPECT_FALSE(session.in_transaction());
+  EXPECT_TRUE(session.aborted_by_conflict());
+
+  // Regression: the trailing COMMIT used to report FailedPrecondition
+  // ("no open transaction"), masking the conflict-driven rollback.
+  auto commit = session.Execute("COMMIT");
+  EXPECT_TRUE(commit.status().IsConflict()) << commit.status().ToString();
+  EXPECT_FALSE(session.aborted_by_conflict());
+
+  // The acknowledgement is one-shot: the session is clean afterwards.
+  EXPECT_TRUE(session.Execute("COMMIT").status().IsFailedPrecondition());
+  auto count = session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), 4);  // delete rolled back
+}
+
+TEST(SqlSessionConflictTest, RollbackAfterConflictAbortSucceeds) {
+  engine::EngineOptions options;
+  options.num_cells = 1;
+  engine::PolarisEngine engine(options);
+  SqlSession session(&engine);
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (k BIGINT)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (3), (4)").ok());
+
+  auto provoked = ProvokeStatementConflict(engine, session);
+  ASSERT_TRUE(provoked.ok()) << provoked.ToString();
+
+  // ROLLBACK acknowledges the rollback that already happened: success.
+  auto rollback = session.Execute("ROLLBACK");
+  ASSERT_TRUE(rollback.ok()) << rollback.status().ToString();
+  EXPECT_FALSE(session.aborted_by_conflict());
+  EXPECT_TRUE(session.Execute("ROLLBACK").status().IsFailedPrecondition());
+}
+
 TEST_F(SqlSessionTest, TimeTravelAsOf) {
   Must("CREATE TABLE t (k BIGINT)");
   Must("INSERT INTO t VALUES (1)");

@@ -230,7 +230,7 @@ TEST_F(StoTest, CheckpointNeverConflictsWithWriters) {
 TEST_F(StoTest, GarbageCollectionRemovesAbortedLeftovers) {
   ASSERT_TRUE(engine_.CreateTable("t", KvSchema()).ok());
   MustInsert("t", Rows(10));
-  auto* store = static_cast<storage::MemoryObjectStore*>(engine_.store());
+  auto* store = static_cast<storage::MemoryObjectStore*>(engine_.base_store());
   size_t committed_count = store->BlobCount();
 
   // Aborted transaction leaves orphan blobs.
@@ -319,7 +319,7 @@ TEST_F(StoTest, GarbageCollectionReclaimsDroppedTables) {
   ASSERT_TRUE(engine_.CreateTable("keeper", KvSchema()).ok());
   MustInsert("doomed", Rows(10));
   MustInsert("keeper", Rows(10));
-  auto* store = static_cast<storage::MemoryObjectStore*>(engine_.store());
+  auto* store = static_cast<storage::MemoryObjectStore*>(engine_.base_store());
   int64_t doomed_id = TableId("doomed");
 
   ASSERT_TRUE(engine_.DropTable("doomed").ok());

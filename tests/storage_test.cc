@@ -6,9 +6,11 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "storage/fault_injection_store.h"
 #include "storage/memory_object_store.h"
 #include "storage/path_util.h"
+#include "storage/retrying_object_store.h"
 
 namespace polaris::storage {
 namespace {
@@ -262,6 +264,223 @@ TEST(PathUtilTest, JoinNormalizesSlashes) {
   EXPECT_EQ(PathUtil::Join("a/", "/b"), "a/b");
   EXPECT_EQ(PathUtil::Join("", "b"), "b");
   EXPECT_EQ(PathUtil::Join("a", ""), "a");
+}
+
+// --- Retrying store -------------------------------------------------------------
+
+/// Delegates to a MemoryObjectStore after failing the first
+/// `fail_remaining` operations with `failure`; counts every attempt.
+class FlakyStore : public ObjectStore {
+ public:
+  explicit FlakyStore(common::Status failure, int fail_remaining = 0)
+      : failure_(std::move(failure)), fail_remaining_(fail_remaining) {}
+
+  int attempts = 0;
+  MemoryObjectStore base;
+
+  common::Status Put(const std::string& path, std::string data) override {
+    if (Fails()) return failure_;
+    return base.Put(path, std::move(data));
+  }
+  common::Result<std::string> Get(const std::string& path) override {
+    if (Fails()) return failure_;
+    return base.Get(path);
+  }
+  common::Result<BlobInfo> Stat(const std::string& path) override {
+    if (Fails()) return failure_;
+    return base.Stat(path);
+  }
+  common::Status Delete(const std::string& path) override {
+    if (Fails()) return failure_;
+    return base.Delete(path);
+  }
+  common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) override {
+    if (Fails()) return failure_;
+    return base.List(prefix);
+  }
+  common::Status StageBlock(const std::string& path,
+                            const std::string& block_id,
+                            std::string data) override {
+    if (Fails()) return failure_;
+    return base.StageBlock(path, block_id, std::move(data));
+  }
+  common::Status CommitBlockList(
+      const std::string& path,
+      const std::vector<std::string>& block_ids) override {
+    if (Fails()) return failure_;
+    return base.CommitBlockList(path, block_ids);
+  }
+  common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) override {
+    if (Fails()) return failure_;
+    return base.GetCommittedBlockList(path);
+  }
+
+ private:
+  bool Fails() {
+    ++attempts;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      return true;
+    }
+    return false;
+  }
+
+  common::Status failure_;
+  int fail_remaining_;
+};
+
+TEST(RetryingStoreTest, AbsorbsTransientUnavailable) {
+  FlakyStore flaky(common::Status::Unavailable("throttled"),
+                   /*fail_remaining=*/2);
+  common::SimClock clock(0);
+  RetryingObjectStore store(&flaky, &clock);
+
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(flaky.attempts, 3);  // 2 failures + 1 success
+  EXPECT_EQ(store.total_retries(), 2u);
+  EXPECT_EQ(store.exhausted_operations(), 0u);
+  EXPECT_EQ(*store.Get("k"), "v");
+}
+
+TEST(RetryingStoreTest, TimeoutIOErrorsAreRetried) {
+  FlakyStore flaky(common::Status::IOError("request timed out"),
+                   /*fail_remaining=*/1);
+  common::SimClock clock(0);
+  RetryingObjectStore store(&flaky, &clock);
+  ASSERT_TRUE(flaky.base.Put("k", "v").ok());
+
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(store.total_retries(), 1u);
+}
+
+TEST(RetryingStoreTest, SemanticErrorsPassThroughWithoutRetry) {
+  FlakyStore flaky(common::Status::OK());
+  common::SimClock clock(0);
+  RetryingObjectStore store(&flaky, &clock);
+
+  // Write-once violation: AlreadyExists, exactly one base attempt each.
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  flaky.attempts = 0;
+  EXPECT_TRUE(store.Put("k", "v2").IsAlreadyExists());
+  EXPECT_EQ(flaky.attempts, 1);
+
+  flaky.attempts = 0;
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_EQ(flaky.attempts, 1);
+
+  // Committing unknown blocks is a precondition failure, not transient.
+  flaky.attempts = 0;
+  EXPECT_FALSE(store.CommitBlockList("blob", {"ghost-block"}).ok());
+  EXPECT_EQ(flaky.attempts, 1);
+
+  EXPECT_EQ(store.total_retries(), 0u);
+}
+
+TEST(RetryingStoreTest, ExhaustsBudgetAndSurfacesUnavailable) {
+  FlakyStore flaky(common::Status::Unavailable("down"),
+                   /*fail_remaining=*/1'000'000);
+  common::SimClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  RetryingObjectStore store(&flaky, &clock, policy);
+
+  EXPECT_TRUE(store.Put("k", "v").IsUnavailable());
+  EXPECT_EQ(flaky.attempts, 4);
+  EXPECT_EQ(store.total_retries(), 3u);
+  EXPECT_EQ(store.exhausted_operations(), 1u);
+}
+
+TEST(RetryingStoreTest, BackoffAdvancesVirtualClockDeterministically) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 1'000;
+  policy.max_backoff_micros = 100'000;
+  policy.seed = 99;
+
+  auto run = [&]() -> common::Micros {
+    FlakyStore flaky(common::Status::Unavailable("down"),
+                     /*fail_remaining=*/4);
+    common::SimClock clock(0);
+    RetryingObjectStore store(&flaky, &clock, policy);
+    EXPECT_TRUE(store.Put("k", "v").ok());
+    return clock.Now();
+  };
+
+  common::Micros first = run();
+  EXPECT_GT(first, 0);
+  // 4 backoffs of at most 1ms, 2ms, 4ms, 8ms.
+  EXPECT_LE(first, 15'000);
+  // Same seed, same schedule.
+  EXPECT_EQ(first, run());
+}
+
+TEST(RetryingStoreTest, RecordsPerOperationMetrics) {
+  FlakyStore flaky(common::Status::Unavailable("throttled"),
+                   /*fail_remaining=*/2);
+  common::SimClock clock(0);
+  obs::MetricsRegistry metrics;
+  RetryingObjectStore store(&flaky, &clock, RetryPolicy{}, &metrics);
+
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  ASSERT_TRUE(store.Get("k").ok());
+
+  auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.counter("store.put.ops"), 1u);
+  EXPECT_EQ(snapshot.counter("store.put.retries"), 2u);
+  EXPECT_EQ(snapshot.counter("store.get.ops"), 1u);
+  EXPECT_EQ(snapshot.counter("store.get.retries"), 0u);
+  EXPECT_EQ(snapshot.counter("store.retries.total"), 2u);
+  EXPECT_GT(snapshot.counter("store.backoff_micros.total"), 0u);
+  EXPECT_EQ(snapshot.histograms.at("store.put.latency_us").count, 1u);
+  EXPECT_EQ(snapshot.histograms.at("store.get.latency_us").count, 1u);
+}
+
+TEST(RetryingStoreTest, ComposesWithFaultInjection) {
+  MemoryObjectStore base;
+  FaultInjectionStore chaos(&base, /*seed=*/11);
+  FaultPolicy faults;
+  faults.write_failure_probability = 0.25;
+  faults.read_failure_probability = 0.25;
+  chaos.set_policy(faults);
+
+  common::SimClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  obs::MetricsRegistry metrics;
+  RetryingObjectStore store(&chaos, &clock, policy, &metrics);
+
+  for (int i = 0; i < 100; ++i) {
+    std::string path = "blob/" + std::to_string(i);
+    ASSERT_TRUE(store.Put(path, "payload").ok()) << path;
+    auto got = store.Get(path);
+    ASSERT_TRUE(got.ok()) << path;
+    EXPECT_EQ(*got, "payload");
+  }
+
+  EXPECT_GT(chaos.injected_failures(), 0u);
+  EXPECT_EQ(store.exhausted_operations(), 0u);
+  // Every injected failure was absorbed by exactly one retry.
+  EXPECT_EQ(store.total_retries(), chaos.injected_failures());
+  EXPECT_EQ(metrics.Snapshot().counter("store.retries.total"),
+            chaos.injected_failures());
+}
+
+TEST(RetryingStoreTest, IsRetryableClassifiesStatuses) {
+  using common::Status;
+  EXPECT_TRUE(RetryingObjectStore::IsRetryable(Status::Unavailable("x")));
+  EXPECT_TRUE(RetryingObjectStore::IsRetryable(Status::IOError("timeout")));
+  EXPECT_TRUE(
+      RetryingObjectStore::IsRetryable(Status::IOError("request timed out")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::IOError("disk full")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::AlreadyExists("x")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(
+      RetryingObjectStore::IsRetryable(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::Conflict("x")));
+  EXPECT_FALSE(RetryingObjectStore::IsRetryable(Status::OK()));
 }
 
 }  // namespace
