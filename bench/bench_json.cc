@@ -1,0 +1,137 @@
+#include "bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace polaris::bench {
+
+namespace {
+
+std::string QuoteJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Add(const std::string& key, int64_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+JsonObject& JsonObject::Add(const std::string& key, uint64_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+JsonObject& JsonObject::Add(const std::string& key, uint32_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  if (!std::isfinite(value)) return AddRaw(key, "null");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return AddRaw(key, buf);
+}
+JsonObject& JsonObject::Add(const std::string& key, bool value) {
+  return AddRaw(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::Add(const std::string& key,
+                            const std::string& value) {
+  return AddRaw(key, QuoteJson(value));
+}
+JsonObject& JsonObject::Add(const std::string& key, const char* value) {
+  return AddRaw(key, QuoteJson(value));
+}
+JsonObject& JsonObject::AddRaw(const std::string& key, std::string json) {
+  fields_.emplace_back(key, std::move(json));
+  return *this;
+}
+
+std::string JsonObject::Render() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out += ", ";
+    out += QuoteJson(key);
+    out += ": ";
+    out += value;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+JsonObject& BenchReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void BenchReport::SetMetrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_ = JsonObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    metrics_.Add(name, value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    metrics_.Add(name + ".count", hist.count);
+    metrics_.Add(name + ".sum_us", static_cast<int64_t>(hist.sum));
+    metrics_.Add(name + ".p50_us", hist.ApproxQuantile(0.5));
+    metrics_.Add(name + ".p99_us", hist.ApproxQuantile(0.99));
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n  \"bench\": " + QuoteJson(name_) + ",\n";
+  out += "  \"config\": " + config_.Render() + ",\n";
+  out += "  \"series\": [\n";
+  bool first = true;
+  for (const auto& row : rows_) {
+    if (!first) out += ",\n";
+    out += "    " + row.Render();
+    first = false;
+  }
+  out += "\n  ],\n";
+  out += "  \"metrics\": " + metrics_.Render() + "\n}\n";
+  return out;
+}
+
+bool BenchReport::Write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("POLARIS_BENCH_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << ToJson();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "bench_json: write failed for %s\n", path.c_str());
+    return false;
+  }
+  std::printf("[bench artifact: %s]\n", path.c_str());
+  return true;
+}
+
+}  // namespace polaris::bench

@@ -1,0 +1,85 @@
+#ifndef POLARIS_BENCH_BENCH_JSON_H_
+#define POLARIS_BENCH_BENCH_JSON_H_
+
+// Machine-readable benchmark artifacts. Every bench driver writes a
+// BENCH_<name>.json file next to its stdout table so results can be
+// diffed, plotted and regression-checked without scraping text:
+//
+//   {
+//     "bench": "fig7_ingestion_scaling",
+//     "config": { ... fixed parameters of the run ... },
+//     "series": [ { ... one measured point ... }, ... ],
+//     "metrics": { ... engine counters + histogram quantiles ... }
+//   }
+//
+// The output directory defaults to the working directory; set
+// POLARIS_BENCH_DIR to redirect (e.g. into a results folder).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+
+namespace polaris::bench {
+
+/// Insertion-ordered JSON object builder (values rendered eagerly).
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, int64_t value);
+  JsonObject& Add(const std::string& key, uint64_t value);
+  JsonObject& Add(const std::string& key, uint32_t value);
+  JsonObject& Add(const std::string& key, double value);
+  JsonObject& Add(const std::string& key, bool value);
+  JsonObject& Add(const std::string& key, const std::string& value);
+  JsonObject& Add(const std::string& key, const char* value);
+  /// `json` is spliced in verbatim — caller guarantees validity.
+  JsonObject& AddRaw(const std::string& key, std::string json);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// One bench run's artifact. Typical driver flow:
+///
+///   BenchReport report("fig7_ingestion_scaling");
+///   report.config().Add("cost_scale", kCostScale);
+///   for (...) report.AddRow().Add("sf", sf).Add("seconds", s);
+///   report.SetMetrics(engine.MetricsSnapshot());
+///   report.Write();
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  JsonObject& config() { return config_; }
+
+  /// Appends a point to the series; returned reference stays valid.
+  JsonObject& AddRow();
+
+  /// Captures counters plus per-histogram count/sum/p50/p99 under
+  /// "metrics". Last call wins (drivers usually snapshot the final
+  /// engine).
+  void SetMetrics(const obs::MetricsSnapshot& snapshot);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into POLARIS_BENCH_DIR (default ".") and
+  /// prints the path; returns false (with a message to stderr) on IO
+  /// failure.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  std::deque<JsonObject> rows_;
+  JsonObject metrics_;
+};
+
+}  // namespace polaris::bench
+
+#endif  // POLARIS_BENCH_BENCH_JSON_H_

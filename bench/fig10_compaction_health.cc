@@ -9,9 +9,11 @@
 #include <map>
 #include <vector>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::DsTableNames;
 using polaris::bench::LoadDsTables;
 using polaris::bench::RunDataMaintenancePhase;
@@ -114,12 +116,25 @@ int main() {
   std::printf("\nper-table health bands (red interval -> healed):\n");
   std::printf("%-16s %-8s %-12s %-12s %-14s\n", "table", "round",
               "red_at_min", "green_at_min", "red_for_min");
+  BenchReport report("fig10_compaction_health");
+  report.config()
+      .Add("cost_scale", uint64_t{2000})
+      .Add("rows_per_table", uint64_t{4000})
+      .Add("rounds", uint64_t{kRounds})
+      .Add("min_file_rows", uint64_t{64})
+      .Add("max_deleted_fraction", 0.1);
   for (const auto& [table, table_bands] : bands) {
     for (size_t i = 0; i < table_bands.size(); ++i) {
       const Band& band = table_bands[i];
       std::printf("%-16s %-8zu %-12.1f %-12.1f %-14.1f\n", table.c_str(),
                   i + 1, band.red_at_min, band.green_at_min,
                   band.green_at_min - band.red_at_min);
+      report.AddRow()
+          .Add("table", table)
+          .Add("round", static_cast<uint64_t>(i + 1))
+          .Add("red_at_min", band.red_at_min)
+          .Add("green_at_min", band.green_at_min)
+          .Add("red_for_min", band.green_at_min - band.red_at_min);
     }
   }
   std::printf(
@@ -127,5 +142,7 @@ int main() {
       "compaction returns\nall tables to green within a few virtual "
       "minutes of the next sweep.\n");
   polaris::bench::PrintEngineMetrics(engine);
+  report.SetMetrics(engine.MetricsSnapshot());
+  report.Write();
   return 0;
 }

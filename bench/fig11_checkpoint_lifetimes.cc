@@ -8,9 +8,11 @@
 #include <map>
 #include <vector>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::DsTableNames;
 using polaris::bench::LoadDsTables;
 using polaris::bench::RunDataMaintenancePhase;
@@ -63,6 +65,12 @@ int main() {
   }
 
   // Reconstruct each checkpoint's lifetime from the catalog + blob stamps.
+  BenchReport report("fig11_checkpoint_lifetimes");
+  report.config()
+      .Add("cost_scale", uint64_t{2000})
+      .Add("rows_per_table", uint64_t{4000})
+      .Add("rounds", uint64_t{kRounds})
+      .Add("manifests_per_checkpoint", uint64_t{10});
   std::printf("%-16s %-10s %-16s %-16s %-14s\n", "table", "ckpt_seq",
               "created_min", "superseded_min", "lifetime_min");
   for (const auto& table : DsTableNames()) {
@@ -93,6 +101,12 @@ int main() {
                       ? std::to_string(end).substr(0, 6).c_str()
                       : "active",
                   end - created_min[i]);
+      report.AddRow()
+          .Add("table", table)
+          .Add("checkpoint_seq", (*records)[i].sequence_id)
+          .Add("created_min", created_min[i])
+          .Add("superseded", superseded)
+          .Add("lifetime_min", end - created_min[i]);
     }
   }
   std::printf(
@@ -101,5 +115,7 @@ int main() {
       "web_* last, so their\ncheckpoints are staggered in time exactly as "
       "in the paper's figure.\n");
   polaris::bench::PrintEngineMetrics(engine);
+  report.SetMetrics(engine.MetricsSnapshot());
+  report.Write();
   return 0;
 }

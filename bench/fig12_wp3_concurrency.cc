@@ -10,9 +10,11 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::DsTableNames;
 using polaris::bench::LoadDsTables;
 using polaris::bench::RunDataMaintenancePhase;
@@ -113,6 +115,22 @@ int main() {
   std::printf("%-40s %-18.2f\n", "2: SU + concurrent DM", p2);
   std::printf("%-40s %-18.2f\n", "2b: SU after DM, before optimize", p2b);
   std::printf("%-40s %-18.2f\n", "3: SU after autonomous optimize", p3);
+  BenchReport report("fig12_wp3_concurrency");
+  report.config()
+      .Add("cost_scale", uint64_t{2000})
+      .Add("rows_per_table", uint64_t{4000})
+      .Add("min_file_rows", uint64_t{64})
+      .Add("max_deleted_fraction", 0.1);
+  report.AddRow().Add("phase", "su_alone").Add("su_time_min_virtual", p1);
+  report.AddRow()
+      .Add("phase", "su_with_concurrent_dm")
+      .Add("su_time_min_virtual", p2);
+  report.AddRow()
+      .Add("phase", "su_after_dm_before_optimize")
+      .Add("su_time_min_virtual", p2b);
+  report.AddRow()
+      .Add("phase", "su_after_autonomous_optimize")
+      .Add("su_time_min_virtual", p3);
   std::printf(
       "\nshape check: phase2/phase1 = %.2fx (expect > 1: fragmentation + "
       "snapshot churn);\nphase3/phase2b = %.2fx (expect < 1: compaction "
@@ -120,5 +138,7 @@ int main() {
       "because DM grew the tables.\n",
       p2 / p1, p3 / p2b);
   polaris::bench::PrintEngineMetrics(engine);
+  report.SetMetrics(engine.MetricsSnapshot());
+  report.Write();
   return 0;
 }

@@ -13,9 +13,11 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::GenerateLineitemSources;
 using polaris::bench::LineitemSchema;
 using polaris::bench::LineitemSourceFiles;
@@ -34,6 +36,11 @@ int main() {
   std::printf("%-8s %-13s %-12s %-16s %-18s %-14s\n", "SF(~GB)", "src_files",
               "rows", "resource_factor", "load_time_s(virt)",
               "GB_per_node_s");
+  BenchReport report("fig7_ingestion_scaling");
+  report.config()
+      .Add("rows_per_sf", kRowsPerSf)
+      .Add("cost_scale", kCostScale)
+      .Add("target_micros_per_node", uint64_t{60'000'000});
 
   for (uint64_t sf : {1ULL, 10ULL, 100ULL, 1000ULL}) {
     PolarisEngine engine(BenchEngineOptions(kCostScale));
@@ -65,11 +72,20 @@ int main() {
                 static_cast<unsigned long long>(sf * kRowsPerSf),
                 job.nodes_used, seconds,
                 gb / (seconds * job.nodes_used));
+    report.AddRow()
+        .Add("sf", sf)
+        .Add("source_files", files)
+        .Add("rows", sf * kRowsPerSf)
+        .Add("nodes", job.nodes_used)
+        .Add("load_time_s_virtual", seconds)
+        .Add("gb_per_node_s", gb / (seconds * job.nodes_used));
     if (sf == 1000) {
       polaris::bench::PrintEngineMetrics(engine, "SF=1000");
+      report.SetMetrics(engine.MetricsSnapshot());
     }
   }
   std::printf(
       "\nshape check: time(SF=1000)/time(SF=1) should be far below 1000x\n");
+  report.Write();
   return 0;
 }

@@ -9,9 +9,11 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::GenerateLineitemSources;
 using polaris::bench::LineitemSchema;
 using polaris::bench::LineitemSourceFiles;
@@ -52,6 +54,11 @@ int main() {
       "paper: elastic finishes much faster at the same total compute\n\n");
   std::printf("%-8s %-10s %-10s %-18s %-18s\n", "TB", "mode", "nodes",
               "load_time_s(virt)", "compute_node_s");
+  BenchReport report("fig8_fixed_vs_elastic");
+  report.config()
+      .Add("rows_per_sf", kRowsPerSf)
+      .Add("cost_scale", kCostScale)
+      .Add("fixed_nodes", kFixedNodes);
 
   for (uint64_t tb : {1ULL, 10ULL}) {
     uint64_t sf = tb * 1000;
@@ -73,6 +80,14 @@ int main() {
                   job->nodes_used,
                   static_cast<double>(job->makespan_micros) / 1e6,
                   static_cast<double>(job->total_compute_micros) / 1e6);
+      report.AddRow()
+          .Add("tb", tb)
+          .Add("mode", "fixed")
+          .Add("nodes", job->nodes_used)
+          .Add("load_time_s_virtual",
+               static_cast<double>(job->makespan_micros) / 1e6)
+          .Add("compute_node_s",
+               static_cast<double>(job->total_compute_micros) / 1e6);
     }
     // Elastic run.
     {
@@ -89,13 +104,23 @@ int main() {
                   job->nodes_used,
                   static_cast<double>(job->makespan_micros) / 1e6,
                   static_cast<double>(job->total_compute_micros) / 1e6);
+      report.AddRow()
+          .Add("tb", tb)
+          .Add("mode", "elastic")
+          .Add("nodes", job->nodes_used)
+          .Add("load_time_s_virtual",
+               static_cast<double>(job->makespan_micros) / 1e6)
+          .Add("compute_node_s",
+               static_cast<double>(job->total_compute_micros) / 1e6);
       if (tb == 10) {
         polaris::bench::PrintEngineMetrics(engine, "elastic 10TB");
+        report.SetMetrics(engine.MetricsSnapshot());
       }
     }
   }
   std::printf(
       "\nshape check: elastic time ~flat across 1TB->10TB; fixed grows "
       "~10x;\ntotal compute (what Fabric bills) matches between modes.\n");
+  report.Write();
   return 0;
 }

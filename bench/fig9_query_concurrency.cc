@@ -11,9 +11,11 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 using polaris::bench::BenchEngineOptions;
+using polaris::bench::BenchReport;
 using polaris::bench::GenerateLineitemSources;
 using polaris::bench::LineitemSchema;
 using polaris::bench::LineitemSourceFiles;
@@ -105,6 +107,12 @@ int main() {
   std::printf("%-6s %-16s %-22s %-12s %-12s\n", "query",
               "isolated_ms(virt)", "with_load_ms(virt)", "cache_hits",
               "cache_misses");
+  BenchReport report("fig9_query_concurrency");
+  report.config()
+      .Add("scale_factor", kScaleFactor)
+      .Add("rows_per_sf", kRowsPerSf)
+      .Add("cost_scale", kCostScale)
+      .Add("queries", static_cast<uint64_t>(queries.size()));
   double sum_isolated = 0;
   double sum_concurrent = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -113,6 +121,12 @@ int main() {
                 concurrent[i].virt_ms,
                 static_cast<unsigned long long>(concurrent[i].cache_hits),
                 static_cast<unsigned long long>(concurrent[i].cache_misses));
+    report.AddRow()
+        .Add("query", queries[i].name)
+        .Add("isolated_ms_virtual", isolated[i].virt_ms)
+        .Add("with_load_ms_virtual", concurrent[i].virt_ms)
+        .Add("cache_hits", concurrent[i].cache_hits)
+        .Add("cache_misses", concurrent[i].cache_misses);
     sum_isolated += isolated[i].virt_ms;
     sum_concurrent += concurrent[i].virt_ms;
   }
@@ -122,5 +136,7 @@ int main() {
       "shape check: the two series coincide (WLM separation + SI + "
       "immutable-file caches),\nand warm runs show zero cache misses.\n");
   polaris::bench::PrintEngineMetrics(engine);
+  report.SetMetrics(engine.MetricsSnapshot());
+  report.Write();
   return 0;
 }

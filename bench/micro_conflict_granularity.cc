@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "engine/engine.h"
 
 namespace {
@@ -84,6 +85,9 @@ int main() {
       "DISJOINT rows\n\n");
   std::printf("%-14s %-10s %-11s %-9s %-10s\n", "granularity", "writers",
               "committed", "aborted", "abort_rate");
+  polaris::bench::BenchReport report("micro_conflict_granularity");
+  report.config().Add("num_cells", uint64_t{1}).Add("worker_threads",
+                                                    uint64_t{2});
   for (int writers : {2, 4, 8, 16}) {
     RunResult table_run =
         RunConcurrentDeleters(ConflictGranularity::kTable, writers);
@@ -95,10 +99,21 @@ int main() {
     std::printf("%-14s %-10d %-11d %-9d %-10.2f\n", "data-file", writers,
                 file_run.committed, file_run.aborted,
                 static_cast<double>(file_run.aborted) / writers);
+    report.AddRow()
+        .Add("granularity", "table")
+        .Add("writers", static_cast<int64_t>(writers))
+        .Add("committed", static_cast<int64_t>(table_run.committed))
+        .Add("aborted", static_cast<int64_t>(table_run.aborted));
+    report.AddRow()
+        .Add("granularity", "data-file")
+        .Add("writers", static_cast<int64_t>(writers))
+        .Add("committed", static_cast<int64_t>(file_run.committed))
+        .Add("aborted", static_cast<int64_t>(file_run.aborted));
   }
   std::printf(
       "\nshape check: table granularity commits exactly 1 of N and aborts "
       "the rest;\nfile granularity commits all N (disjoint files never "
       "conflict).\n");
+  report.Write();
   return 0;
 }

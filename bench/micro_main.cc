@@ -1,0 +1,46 @@
+// Shared main for the google-benchmark micros: unless the caller already
+// passed --benchmark_out, inject
+//   --benchmark_out=BENCH_<program>.json --benchmark_out_format=json
+// so every micro run leaves the same machine-readable artifact the fig
+// drivers produce (see bench_json.h). POLARIS_BENCH_DIR redirects the
+// output directory, matching BenchReport::Write.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::string prog = argv[0];
+    size_t slash = prog.find_last_of('/');
+    if (slash != std::string::npos) prog = prog.substr(slash + 1);
+    std::string dir = ".";
+    if (const char* env = std::getenv("POLARIS_BENCH_DIR")) {
+      if (env[0] != '\0') dir = env;
+    }
+    std::string path = dir + "/BENCH_" + prog + ".json";
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+    std::printf("[bench artifact: %s]\n", path.c_str());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

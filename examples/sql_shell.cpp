@@ -5,12 +5,21 @@
 //           SELECT * FROM t;" | ./build/examples/sql_shell
 //
 // Set POLARIS_FAULT_P=<probability> to inject transient storage faults on
-// every read and write (absorbed by the engine's retry layer), and type
-// "METRICS;" to dump the engine's unified metrics registry.
+// every read and write (absorbed by the engine's retry layer).
+//
+// Shell meta-commands (each terminated by ';'):
+//   METRICS            dump the engine's unified metrics registry
+//   TRACE ON | OFF     enable/disable the engine span recorder
+//   TRACE DUMP <file>  export recorded spans as Chrome/Perfetto JSON
+//                      (open in https://ui.perfetto.dev)
+//
+// EXPLAIN ANALYZE <statement> prints the statement's span tree.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "engine/engine.h"
@@ -102,6 +111,51 @@ int main() {
       }
       if (word == "METRICS") {
         std::fputs(engine.MetricsSnapshot().ToString().c_str(), stdout);
+        continue;
+      }
+      if (word == "TRACE") {
+        // TRACE ON | TRACE OFF | TRACE DUMP <file>
+        std::istringstream parts(statement);
+        std::string cmd, sub, arg;
+        parts >> cmd >> sub;
+        std::getline(parts, arg);
+        while (!arg.empty() &&
+               (std::isspace(static_cast<unsigned char>(arg.back())) ||
+                arg.back() == ';')) {
+          arg.pop_back();
+        }
+        while (!arg.empty() &&
+               std::isspace(static_cast<unsigned char>(arg.front()))) {
+          arg.erase(arg.begin());
+        }
+        for (char& c : sub) c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        if (!sub.empty() && sub.back() == ';') sub.pop_back();
+        if (sub == "ON") {
+          engine.tracer()->set_enabled(true);
+          std::printf("TRACE ON\n");
+        } else if (sub == "OFF") {
+          engine.tracer()->set_enabled(false);
+          std::printf("TRACE OFF\n");
+        } else if (sub == "DUMP") {
+          if (arg.empty()) {
+            std::printf("ERROR: TRACE DUMP needs a file name\n");
+            continue;
+          }
+          std::ofstream out(arg, std::ios::trunc);
+          if (!out) {
+            std::printf("ERROR: cannot open %s\n", arg.c_str());
+            continue;
+          }
+          out << engine.tracer()->ExportChromeTrace();
+          std::printf("TRACE DUMP %s (%zu spans, %llu dropped)\n",
+                      arg.c_str(), engine.tracer()->Snapshot().size(),
+                      static_cast<unsigned long long>(
+                          engine.tracer()->dropped_spans()));
+        } else {
+          std::printf("ERROR: usage: TRACE ON | TRACE OFF | TRACE DUMP "
+                      "<file>\n");
+        }
         continue;
       }
       auto result = session.Execute(statement);

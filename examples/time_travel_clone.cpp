@@ -85,8 +85,10 @@ int main() {
               static_cast<long>(TotalClicks(engine, "events", day1)));
 
   // --- Zero-copy clone (§6.2) -------------------------------------------
+  // stats() lives on the concrete in-memory store at the bottom of the
+  // engine's decorator stack (store() returns the retry/fault wrappers).
   auto* store = static_cast<polaris::storage::MemoryObjectStore*>(
-      engine.store());
+      engine.base_store());
   uint64_t bytes_before = store->stats().bytes_written;
   CHECK_OK(engine.CloneTable("events", "events_day1", day1).status());
   CHECK_OK(engine.CloneTable("events", "events_now").status());

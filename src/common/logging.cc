@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/trace_context.h"
+
 namespace polaris::common {
 
 namespace {
@@ -36,9 +38,21 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 void LogMessage(LogLevel level, const std::string& component,
                 const std::string& message) {
   if (level < GetLogLevel()) return;
+  // Lines emitted inside a traced span carry the active trace/span/txn ids
+  // so log output can be correlated with exported traces.
+  const TraceContext& ctx = MutableCurrentTraceContext();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
-               message.c_str());
+  if (ctx.active()) {
+    std::fprintf(stderr,
+                 "[%s] %s: %s [trace=%llx span=%llx txn=%llu]\n",
+                 LevelName(level), component.c_str(), message.c_str(),
+                 static_cast<unsigned long long>(ctx.trace_id),
+                 static_cast<unsigned long long>(ctx.span_id),
+                 static_cast<unsigned long long>(ctx.txn_id));
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+                 message.c_str());
+  }
 }
 
 }  // namespace polaris::common

@@ -1,0 +1,56 @@
+#ifndef POLARIS_COMMON_TRACE_CONTEXT_H_
+#define POLARIS_COMMON_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace polaris::common {
+
+/// Identifies where in a distributed trace the current thread is working:
+/// the trace (one user statement or one STO background job), the innermost
+/// open span, and — when known — the user transaction. Plain value type so
+/// it can be captured at thread-crossing points (dcp::ThreadPool::Submit)
+/// and reinstalled on the worker.
+///
+/// It lives in `common` (not `obs`) so that `common::logging` can stamp
+/// every log line with the active ids without depending on the tracer.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = not tracing
+  uint64_t span_id = 0;
+  uint64_t txn_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// The calling thread's current trace context. Mutable so span scopes can
+/// install/restore it and the transaction layer can fill in `txn_id` once
+/// a transaction begins.
+inline TraceContext& MutableCurrentTraceContext() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+inline TraceContext CurrentTraceContext() {
+  return MutableCurrentTraceContext();
+}
+
+/// Installs `ctx` as the thread's current context for the scope's
+/// lifetime; restores the previous context on destruction. Used by the
+/// thread pool to carry the submitting thread's context onto workers.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx)
+      : saved_(MutableCurrentTraceContext()) {
+    MutableCurrentTraceContext() = ctx;
+  }
+  ~ScopedTraceContext() { MutableCurrentTraceContext() = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_TRACE_CONTEXT_H_

@@ -5,6 +5,8 @@
 #include <queue>
 #include <thread>
 
+#include "obs/tracer.h"
+
 namespace polaris::dcp {
 
 using common::Result;
@@ -117,12 +119,18 @@ Result<JobMetrics> Scheduler::Run(const TaskDag& dag,
       TaskContext ctx;
       ctx.node_id = static_cast<uint32_t>(id % nodes);
       ctx.attempt = attempt;
+      // One child span per attempt (context arrived via ThreadPool::Submit).
+      obs::Span span(("dcp.task." + task.kind).c_str());
+      span.AddAttr("task_id", id);
+      span.AddAttr("node", ctx.node_id);
+      span.AddAttr("attempt", attempt);
       result = task.work ? task.work(ctx) : Status::OK();
       if (injected && result.ok()) {
         // Node died after doing the work: side effects persist, the DCP
         // sees a failure and will re-run the task.
         result = Status::Unavailable("injected node failure (post-work)");
       }
+      if (!result.ok()) span.AddAttr("error", result.ToString());
       if (result.ok() || !result.IsUnavailable()) break;
     }
     if (attempt > kMaxAttempts) attempt = kMaxAttempts;

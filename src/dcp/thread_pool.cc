@@ -1,5 +1,9 @@
 #include "dcp/thread_pool.h"
 
+#include <utility>
+
+#include "obs/tracer.h"
+
 namespace polaris::dcp {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -20,9 +24,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> work) {
+  // Carry the submitter's trace context onto the worker thread.
+  obs::TraceBinding binding;
+  auto traced = [binding, work = std::move(work)] {
+    obs::TraceBinding::Scope scope(binding);
+    work();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(work));
+    queue_.push_back(std::move(traced));
   }
   work_cv_.notify_one();
 }

@@ -14,6 +14,11 @@ namespace polaris::dcp {
 /// work functions concurrently (exercising the thread-safety of the
 /// storage/catalog layers); scheduling *decisions* and reported timings
 /// come from the deterministic virtual-time scheduler, not from the pool.
+///
+/// Trace contexts cross the pool: Submit captures the submitting thread's
+/// `obs::TraceBinding` (ambient tracer + TraceContext) and installs it
+/// around the work function, so spans opened inside pool work are children
+/// of the submitting statement's span.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -22,7 +27,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `work`; runs on some pool thread.
+  /// Enqueues `work`; runs on some pool thread under the submitting
+  /// thread's trace context.
   void Submit(std::function<void()> work);
 
   /// Blocks until all submitted work has completed.

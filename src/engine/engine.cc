@@ -54,6 +54,7 @@ PolarisEngine::PolarisEngine(EngineOptions options,
   cache_.set_metrics(&metrics_);
   scheduler_.set_metrics(&metrics_);
   sto_.set_metrics(&metrics_);
+  sto_.set_tracer(&tracer_);
 }
 
 EngineStats PolarisEngine::Stats() {
@@ -79,10 +80,12 @@ obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
 
 Result<std::unique_ptr<txn::Transaction>> PolarisEngine::Begin(
     IsolationMode mode) {
+  obs::Span span(&tracer_, "engine.begin");
   return txn_manager_.Begin(mode);
 }
 
 Status PolarisEngine::Commit(txn::Transaction* txn) {
+  obs::Span span(&tracer_, "engine.commit");
   std::vector<int64_t> dirty = txn->dirty_tables();
   POLARIS_RETURN_IF_ERROR(txn_manager_.Commit(txn));
   // FE notifies STO after each commit (§5.2).
@@ -91,6 +94,7 @@ Status PolarisEngine::Commit(txn::Transaction* txn) {
 }
 
 Status PolarisEngine::Abort(txn::Transaction* txn) {
+  obs::Span span(&tracer_, "engine.abort");
   return txn_manager_.Abort(txn);
 }
 
@@ -166,6 +170,11 @@ exec::DmlContext PolarisEngine::MakeDmlContext(
 Result<uint64_t> PolarisEngine::Insert(txn::Transaction* txn,
                                        const std::string& table,
                                        const RecordBatch& rows) {
+  obs::Span span(&tracer_, "engine.insert");
+  if (span.active()) {
+    span.AddAttr("table", table);
+    span.AddAttr("rows", rows.num_rows());
+  }
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -181,6 +190,11 @@ Result<uint64_t> PolarisEngine::Insert(txn::Transaction* txn,
 Result<uint64_t> PolarisEngine::BulkLoad(
     txn::Transaction* txn, const std::string& table,
     const std::vector<RecordBatch>& sources, dcp::JobMetrics* job) {
+  obs::Span span(&tracer_, "engine.bulk_load");
+  if (span.active()) {
+    span.AddAttr("table", table);
+    span.AddAttr("sources", sources.size());
+  }
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -197,6 +211,8 @@ Result<uint64_t> PolarisEngine::BulkLoad(
 Result<uint64_t> PolarisEngine::Delete(txn::Transaction* txn,
                                        const std::string& table,
                                        const exec::Conjunction& filter) {
+  obs::Span span(&tracer_, "engine.delete");
+  if (span.active()) span.AddAttr("table", table);
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -216,6 +232,8 @@ Result<uint64_t> PolarisEngine::Update(
     txn::Transaction* txn, const std::string& table,
     const exec::Conjunction& filter,
     const std::vector<exec::Assignment>& set) {
+  obs::Span span(&tracer_, "engine.update");
+  if (span.active()) span.AddAttr("table", table);
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -358,6 +376,8 @@ Result<RecordBatch> PolarisEngine::Query(txn::Transaction* txn,
                                          const std::string& table,
                                          const QuerySpec& spec,
                                          QueryStats* stats) {
+  obs::Span span(&tracer_, "engine.query");
+  if (span.active()) span.AddAttr("table", table);
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot snapshot,
@@ -370,6 +390,8 @@ Result<RecordBatch> PolarisEngine::QueryAsOf(txn::Transaction* txn,
                                              common::Micros as_of,
                                              const QuerySpec& spec,
                                              QueryStats* stats) {
+  obs::Span span(&tracer_, "engine.query_as_of");
+  if (span.active()) span.AddAttr("table", table);
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(

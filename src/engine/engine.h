@@ -18,6 +18,7 @@
 #include "format/column.h"
 #include "lst/snapshot_builder.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sto/sto.h"
 #include "storage/fault_injection_store.h"
 #include "storage/memory_object_store.h"
@@ -120,6 +121,9 @@ class PolarisEngine {
   /// The retry layer (retry/exhaustion counters).
   storage::RetryingObjectStore* retry_store() { return retry_store_.get(); }
   obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// The engine-wide span recorder. Disabled by default; enable to capture
+  /// traces (see obs::Tracer), export with Tracer::ExportChromeTrace.
+  obs::Tracer* tracer() { return &tracer_; }
   catalog::CatalogDb* catalog() { return &catalog_; }
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   sto::SystemTaskOrchestrator* sto() { return &sto_; }
@@ -220,6 +224,10 @@ class PolarisEngine {
   obs::MetricsRegistry metrics_;
   std::unique_ptr<common::SimClock> owned_clock_;
   common::Clock* clock_;
+  /// Default-constructed (no clock): spans measure real wall time via
+  /// steady_clock even when the engine itself runs on virtual SimClock
+  /// time — profiles and Perfetto timelines stay meaningful.
+  obs::Tracer tracer_;
   std::unique_ptr<storage::MemoryObjectStore> owned_store_;
   /// Storage decorator stack (§3.2.2 / §4.3): every subsystem reads and
   /// writes through fault injection (chaos) + retry (resilience).

@@ -1,6 +1,7 @@
 #include "lst/manifest_io.h"
 
 #include "common/guid.h"
+#include "obs/tracer.h"
 
 namespace polaris::lst {
 
@@ -9,6 +10,11 @@ using common::Status;
 
 Result<std::string> ManifestBlockWriter::StageEntries(
     const std::vector<ManifestEntry>& entries) {
+  obs::Span span("lst.manifest.stage");
+  if (span.active()) {
+    span.AddAttr("path", manifest_path_);
+    span.AddAttr("entries", entries.size());
+  }
   std::string block_id = common::Guid::Generate().ToString();
   POLARIS_RETURN_IF_ERROR(
       store_->StageBlock(manifest_path_, block_id, SerializeEntries(entries)));
@@ -18,6 +24,11 @@ Result<std::string> ManifestBlockWriter::StageEntries(
 Status ManifestCommitter::CommitAppend(
     const std::string& manifest_path,
     const std::vector<std::string>& new_block_ids) {
+  obs::Span span("lst.manifest.commit_append");
+  if (span.active()) {
+    span.AddAttr("path", manifest_path);
+    span.AddAttr("new_blocks", new_block_ids.size());
+  }
   std::vector<std::string> ids;
   auto existing = store_->GetCommittedBlockList(manifest_path);
   if (existing.ok()) {
@@ -32,6 +43,11 @@ Status ManifestCommitter::CommitAppend(
 Result<std::string> ManifestCommitter::CommitRewrite(
     const std::string& manifest_path,
     const std::vector<ManifestEntry>& entries) {
+  obs::Span span("lst.manifest.commit_rewrite");
+  if (span.active()) {
+    span.AddAttr("path", manifest_path);
+    span.AddAttr("entries", entries.size());
+  }
   std::string block_id = common::Guid::Generate().ToString();
   POLARIS_RETURN_IF_ERROR(store_->StageBlock(manifest_path, block_id,
                                              SerializeEntries(entries)));
@@ -41,8 +57,14 @@ Result<std::string> ManifestCommitter::CommitRewrite(
 
 Result<std::vector<ManifestEntry>> ManifestCommitter::ReadManifest(
     const std::string& manifest_path) {
+  obs::Span span("lst.manifest.read");
+  if (span.active()) span.AddAttr("path", manifest_path);
   POLARIS_ASSIGN_OR_RETURN(std::string blob, store_->Get(manifest_path));
-  return ParseEntries(blob);
+  auto entries = ParseEntries(blob);
+  if (span.active() && entries.ok()) {
+    span.AddAttr("entries", entries.value().size());
+  }
+  return entries;
 }
 
 }  // namespace polaris::lst

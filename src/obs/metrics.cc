@@ -62,10 +62,24 @@ int64_t HistogramSnapshot::ApproxQuantile(double quantile) const {
   if (target >= count) target = count - 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < counts.size(); ++i) {
-    seen += counts[i];
-    if (seen > target) {
-      return i < bounds.size() ? bounds[i] : max;
+    if (seen + counts[i] <= target) {
+      seen += counts[i];
+      continue;
     }
+    // Overflow bucket has no upper bound to interpolate toward; the max is
+    // the only honest answer (preserves the pre-interpolation behavior).
+    if (i >= bounds.size()) return max;
+    // Interpolate within the winning bucket. Bucket edges are clamped to
+    // the observed min/max, so e.g. a single observation reports itself
+    // rather than its bucket's upper bound.
+    int64_t lo = i == 0 ? 0 : bounds[i - 1];
+    lo = std::max(lo, min);
+    int64_t hi = std::min<int64_t>(bounds[i], max);
+    if (hi <= lo) return hi;
+    double fraction = static_cast<double>(target - seen + 1) /
+                      static_cast<double>(counts[i]);
+    return lo + static_cast<int64_t>(fraction *
+                                     static_cast<double>(hi - lo));
   }
   return max;
 }
@@ -85,6 +99,45 @@ uint64_t MetricsSnapshot::CounterSum(const std::string& prefix) const {
   return total;
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted paths map onto
+/// that by replacing every other character with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out << pname << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+          << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << pname << "_sum " << h.sum << "\n";
+    out << pname << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream out;
   out << "== counters ==\n";
@@ -97,8 +150,8 @@ std::string MetricsSnapshot::ToString() const {
     if (h.count > 0) {
       out << " min=" << h.min << " max=" << h.max
           << " mean=" << (h.sum / static_cast<int64_t>(h.count))
-          << " p50<=" << h.ApproxQuantile(0.5)
-          << " p99<=" << h.ApproxQuantile(0.99);
+          << " p50~=" << h.ApproxQuantile(0.5)
+          << " p99~=" << h.ApproxQuantile(0.99);
     }
     out << "\n";
   }

@@ -23,8 +23,11 @@ struct HistogramSnapshot {
   int64_t min = 0;
   int64_t max = 0;
 
-  /// Smallest bucket upper bound covering at least `quantile` (in [0,1]) of
-  /// the observations; -1 when empty. Overflow observations report the max.
+  /// Estimated quantile (in [0,1]) of the observations; -1 when empty.
+  /// Finds the bucket holding the target rank and interpolates linearly
+  /// within it, clamping the bucket edges to the observed min/max so a
+  /// coarse bucket does not overstate the value; quantiles landing in the
+  /// overflow bucket report the max.
   int64_t ApproxQuantile(double quantile) const;
 };
 
@@ -39,6 +42,12 @@ struct MetricsSnapshot {
   uint64_t CounterSum(const std::string& prefix) const;
   /// Multi-line human-readable dump (bench drivers print this).
   std::string ToString() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters as
+  /// `counter` metrics, histograms as cumulative-bucket `histogram`
+  /// metrics with `le` labels plus `_sum`/`_count`. Dots in metric names
+  /// become underscores ("store.get.ops" -> "store_get_ops").
+  std::string ToPrometheusText() const;
 };
 
 /// Thread-safe named counters + fixed-bucket latency histograms — the single

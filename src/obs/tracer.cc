@@ -1,0 +1,219 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace polaris::obs {
+
+namespace {
+
+thread_local Tracer* tls_tracer = nullptr;
+
+std::atomic<uint32_t> g_next_thread_id{1};
+
+/// Escapes a string for inclusion in a JSON string literal.
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(common::Clock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+common::Micros Tracer::NowUs() const {
+  if (clock_ != nullptr) return clock_->Now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t Tracer::ThisThreadId() {
+  thread_local uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer* Tracer::CurrentThreadTracer() { return tls_tracer; }
+
+void Tracer::Record(SpanRecord&& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_ && !full_) {
+    ring_.push_back(std::move(record));
+    if (ring_.size() == capacity_) full_ = true;
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  full_ = false;
+  dropped_ = 0;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (!full_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::Trace(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (auto& span : Snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  out.reserve(256 + spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\",\"cat\":\"polaris\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(span.duration_us());
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.thread_id);
+    out += ",\"args\":{\"trace_id\":\"";
+    out += std::to_string(span.trace_id);
+    out += "\",\"span_id\":\"";
+    out += std::to_string(span.span_id);
+    out += "\",\"parent_id\":\"";
+    out += std::to_string(span.parent_id);
+    out += "\"";
+    if (span.txn_id != 0) {
+      out += ",\"txn_id\":\"";
+      out += std::to_string(span.txn_id);
+      out += "\"";
+    }
+    for (const auto& [key, value] : span.attrs) {
+      out += ",\"";
+      AppendJsonEscaped(&out, key);
+      out += "\":\"";
+      AppendJsonEscaped(&out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+// --- TraceBinding -----------------------------------------------------------
+
+TraceBinding::TraceBinding()
+    : tracer_(tls_tracer), context_(common::CurrentTraceContext()) {}
+
+TraceBinding::Scope::Scope(const TraceBinding& binding)
+    : saved_tracer_(tls_tracer), ctx_scope_(binding.context_) {
+  tls_tracer = binding.tracer_;
+}
+
+TraceBinding::Scope::~Scope() { tls_tracer = saved_tracer_; }
+
+// --- Span -------------------------------------------------------------------
+
+Span::Span(Tracer* tracer, const char* name) { Start(tracer, name, false); }
+
+Span::Span(Tracer* tracer, const char* name, RootTag) {
+  Start(tracer, name, true);
+}
+
+void Span::Start(Tracer* tracer, const char* name, bool root) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  saved_tracer_ = tls_tracer;
+  saved_context_ = common::CurrentTraceContext();
+  context_ = saved_context_;
+  if (root || !context_.active()) {
+    context_.trace_id = tracer->NextId();
+    record_.parent_id = 0;
+    if (root) context_.txn_id = 0;
+  } else {
+    record_.parent_id = context_.span_id;
+  }
+  context_.span_id = tracer->NextId();
+  record_.trace_id = context_.trace_id;
+  record_.span_id = context_.span_id;
+  record_.name = name;
+  record_.start_us = tracer->NowUs();
+  record_.thread_id = Tracer::ThisThreadId();
+  tls_tracer = tracer;
+  common::MutableCurrentTraceContext() = context_;
+}
+
+void Span::AddAttr(const char* key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.attrs.emplace_back(key, std::move(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  record_.end_us = tracer_->NowUs();
+  // The transaction layer may have filled in txn_id after the span opened
+  // (e.g. a statement span around Begin); pick up the final value.
+  record_.txn_id = common::CurrentTraceContext().txn_id;
+  tracer_->Record(std::move(record_));
+  tls_tracer = saved_tracer_;
+  common::MutableCurrentTraceContext() = saved_context_;
+  tracer_ = nullptr;
+}
+
+Span::~Span() { End(); }
+
+}  // namespace polaris::obs

@@ -1,0 +1,189 @@
+#ifndef POLARIS_OBS_TRACER_H_
+#define POLARIS_OBS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/trace_context.h"
+
+namespace polaris::obs {
+
+using common::TraceContext;
+
+/// One finished span, as stored in the tracer's ring buffer.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root span
+  uint64_t txn_id = 0;     // 0 = not attributed to a transaction
+  std::string name;
+  common::Micros start_us = 0;
+  common::Micros end_us = 0;
+  /// Small sequential id of the recording thread (Perfetto "tid").
+  uint32_t thread_id = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  common::Micros duration_us() const { return end_us - start_us; }
+};
+
+/// Low-overhead, thread-safe span recorder: the engine-wide tracing
+/// backend behind EXPLAIN ANALYZE, the shell's TRACE command and the
+/// Perfetto export. Spans are opened/closed via the RAII `Span` below;
+/// finished spans land in a bounded ring buffer (oldest evicted first) so
+/// an always-on tracer cannot grow without bound.
+///
+/// Disabled (the default) it costs one relaxed atomic load per would-be
+/// span — cheap enough to leave the instrumentation compiled into every
+/// hot path (acceptance: < 5% on micro_manifest_replay).
+///
+/// Span identity propagates through `common::TraceContext`: a thread-local
+/// (trace_id, span_id, txn_id) triple that `Span` maintains, the thread
+/// pool carries across Submit, and log lines are stamped with.
+class Tracer {
+ public:
+  /// `clock` must outlive the tracer; null falls back to a steady wall
+  /// clock so standalone tracers (tests, tools) work unwired.
+  explicit Tracer(common::Clock* clock = nullptr, size_t capacity = 8192);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded spans (keeps id counters running).
+  void Clear();
+
+  /// Copy of the ring buffer, oldest span first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// All finished spans of one trace, oldest first.
+  std::vector<SpanRecord> Trace(uint64_t trace_id) const;
+
+  /// Spans evicted from the ring buffer since construction/Clear.
+  uint64_t dropped_spans() const;
+
+  /// Serializes every recorded span as Chrome `trace_event` JSON
+  /// ("X" complete events, ts/dur in microseconds) — loads directly in
+  /// Perfetto / chrome://tracing.
+  std::string ExportChromeTrace() const;
+
+  /// The tracer ambient on the calling thread (set by the innermost
+  /// explicitly-bound Span; carried across the thread pool). Null when no
+  /// span is open. Lets deep layers (manifest IO, storage decorators)
+  /// open child spans without plumbing a Tracer* through every signature.
+  static Tracer* CurrentThreadTracer();
+
+  common::Clock* clock() const { return clock_; }
+
+ private:
+  friend class Span;
+  friend class TraceBinding;
+
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) |
+           (uint64_t{1} << 63);  // never 0, never collides after wrap
+  }
+  common::Micros NowUs() const;
+  static uint32_t ThisThreadId();
+  void Record(SpanRecord&& record);
+
+  common::Clock* clock_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<SpanRecord> ring_;  // insertion order, wraps at capacity_
+  size_t head_ = 0;               // next write position once full
+  bool full_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// Captures the calling thread's {ambient tracer, trace context} so work
+/// handed to another thread continues the same trace. The thread pool
+/// captures one per Submit and installs it around the work function.
+class TraceBinding {
+ public:
+  TraceBinding();  // captures from the current thread
+
+  /// Installs the captured binding for the scope of this object on the
+  /// (worker) thread that runs it.
+  class Scope {
+   public:
+    explicit Scope(const TraceBinding& binding);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* saved_tracer_;
+    common::ScopedTraceContext ctx_scope_;
+  };
+
+ private:
+  Tracer* tracer_;
+  TraceContext context_;
+};
+
+/// RAII span. Two binding modes:
+///  * `Span(tracer, name)` — explicit tracer; also installs it as the
+///    thread's ambient tracer for the span's scope (root spans of a
+///    statement or STO job use this).
+///  * `Span(name)` — ambient tracer (deep layers); inert when no traced
+///    work is in progress on this thread.
+/// A span opened while the tracer is disabled is inert: no allocation, no
+/// context mutation.
+class Span {
+ public:
+  struct RootTag {};
+  static constexpr RootTag kRoot{};
+
+  explicit Span(const char* name) : Span(Tracer::CurrentThreadTracer(), name) {}
+  Span(Tracer* tracer, const char* name);
+  /// Starts a new trace (no parent even if a context is active) — STO
+  /// background jobs and EXPLAIN ANALYZE roots.
+  Span(Tracer* tracer, const char* name, RootTag);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  const TraceContext& context() const { return context_; }
+
+  void AddAttr(const char* key, std::string value);
+  void AddAttr(const char* key, const char* value) {
+    AddAttr(key, std::string(value));
+  }
+  void AddAttr(const char* key, int64_t value) {
+    AddAttr(key, std::to_string(value));
+  }
+  void AddAttr(const char* key, uint64_t value) {
+    AddAttr(key, std::to_string(value));
+  }
+  void AddAttr(const char* key, uint32_t value) {
+    AddAttr(key, std::to_string(value));
+  }
+
+  /// Finishes the span early (records it and restores the previous
+  /// context); the destructor is then a no-op.
+  void End();
+
+ private:
+  void Start(Tracer* tracer, const char* name, bool root);
+
+  Tracer* tracer_ = nullptr;       // null when inert or ended
+  Tracer* saved_tracer_ = nullptr;
+  TraceContext saved_context_;
+  TraceContext context_;
+  SpanRecord record_;
+};
+
+}  // namespace polaris::obs
+
+#endif  // POLARIS_OBS_TRACER_H_

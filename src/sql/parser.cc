@@ -363,6 +363,15 @@ Result<ParsedStatement> Parser::ParseDelete() {
 }
 
 Result<ParsedStatement> Parser::ParseStatement() {
+  if (AcceptKeyword("EXPLAIN")) {
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+    if (Peek().IsKeyword("EXPLAIN")) {
+      return Error("EXPLAIN ANALYZE cannot be nested");
+    }
+    POLARIS_ASSIGN_OR_RETURN(ParsedStatement inner, ParseStatement());
+    inner.explain_analyze = true;
+    return inner;
+  }
   if (AcceptKeyword("CREATE")) return ParseCreate();
   if (AcceptKeyword("DROP")) return ParseDrop();
   if (AcceptKeyword("CLONE")) return ParseClone();

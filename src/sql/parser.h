@@ -42,6 +42,10 @@ struct ParsedStatement {
   };
   Kind kind = Kind::kSelect;
 
+  /// Statement was prefixed with EXPLAIN ANALYZE: execute it under a
+  /// dedicated trace and return the profile (span tree) instead of rows.
+  bool explain_analyze = false;
+
   std::string table;
   std::string clone_target;                 // CLONE TABLE <table> TO <target>
   format::Schema schema;                    // CREATE TABLE
@@ -77,6 +81,7 @@ struct ParsedStatement {
 ///     [WHERE conj]
 ///   DELETE FROM t [WHERE conj]
 ///   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
+///   EXPLAIN ANALYZE <statement>
 ///
 /// Literal typing is resolved against the table schema at execution time
 /// (integer literals widen to DOUBLE columns).

@@ -1,7 +1,12 @@
 #include "sql/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
+#include <map>
+
+#include "common/trace_context.h"
+#include "obs/tracer.h"
 
 namespace polaris::sql {
 
@@ -46,11 +51,133 @@ Status CoerceWhere(const format::Schema& schema, exec::Conjunction* where) {
   return Status::OK();
 }
 
+const char* StatementKindName(ParsedStatement::Kind kind) {
+  switch (kind) {
+    case ParsedStatement::Kind::kCreateTable: return "CREATE TABLE";
+    case ParsedStatement::Kind::kDropTable: return "DROP TABLE";
+    case ParsedStatement::Kind::kInsert: return "INSERT";
+    case ParsedStatement::Kind::kSelect: return "SELECT";
+    case ParsedStatement::Kind::kUpdate: return "UPDATE";
+    case ParsedStatement::Kind::kDelete: return "DELETE";
+    case ParsedStatement::Kind::kBegin: return "BEGIN";
+    case ParsedStatement::Kind::kCommit: return "COMMIT";
+    case ParsedStatement::Kind::kRollback: return "ROLLBACK";
+    case ParsedStatement::Kind::kCloneTable: return "CLONE TABLE";
+  }
+  return "?";
+}
+
+/// Renders one trace as an indented profile tree, children ordered by
+/// start time. Durations are wall time between StartSpan and EndSpan.
+void RenderSpanNode(const std::vector<obs::SpanRecord>& spans,
+                    const std::multimap<uint64_t, size_t>& children,
+                    size_t index, int depth, std::string* out) {
+  const obs::SpanRecord& span = spans[index];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  %.3f ms",
+                static_cast<double>(span.duration_us()) / 1000.0);
+  out->append(buf);
+  if (span.txn_id != 0 || !span.attrs.empty()) {
+    out->append("  [");
+    bool first = true;
+    if (span.txn_id != 0) {
+      std::snprintf(buf, sizeof(buf), "txn=%llu",
+                    static_cast<unsigned long long>(span.txn_id));
+      out->append(buf);
+      first = false;
+    }
+    for (const auto& [key, value] : span.attrs) {
+      if (!first) out->append(" ");
+      out->append(key);
+      out->append("=");
+      out->append(value);
+      first = false;
+    }
+    out->append("]");
+  }
+  out->append("\n");
+  auto [begin, end] = children.equal_range(span.span_id);
+  std::vector<size_t> kids;
+  for (auto it = begin; it != end; ++it) kids.push_back(it->second);
+  std::stable_sort(kids.begin(), kids.end(), [&spans](size_t a, size_t b) {
+    return spans[a].start_us < spans[b].start_us;
+  });
+  for (size_t kid : kids) {
+    RenderSpanNode(spans, children, kid, depth + 1, out);
+  }
+}
+
+std::string RenderSpanTree(const std::vector<obs::SpanRecord>& spans) {
+  std::multimap<uint64_t, size_t> children;  // parent span_id -> index
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].span_id] = i;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id != 0 && by_id.count(spans[i].parent_id) != 0) {
+      children.emplace(spans[i].parent_id, i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::stable_sort(roots.begin(), roots.end(), [&spans](size_t a, size_t b) {
+    return spans[a].start_us < spans[b].start_us;
+  });
+  std::string out;
+  for (size_t root : roots) RenderSpanNode(spans, children, root, 0, &out);
+  return out;
+}
+
 }  // namespace
 
 Result<SqlResult> SqlSession::Execute(const std::string& statement) {
   POLARIS_ASSIGN_OR_RETURN(ParsedStatement stmt, Parse(statement));
+  if (stmt.explain_analyze) return ExecuteExplainAnalyze(stmt);
+  // Each statement is its own trace; statements of one explicit
+  // transaction are tied together by their txn attribute.
+  obs::Span span(engine_->tracer(), "sql.statement", obs::Span::kRoot);
+  if (span.active()) {
+    span.AddAttr("kind", StatementKindName(stmt.kind));
+    if (!stmt.table.empty()) span.AddAttr("table", stmt.table);
+    // Statements joining an explicit transaction re-stamp its id (the
+    // BEGIN statement's trace ended with its root span).
+    if (txn_ != nullptr) {
+      common::MutableCurrentTraceContext().txn_id = txn_->id();
+    }
+  }
   return ExecuteParsed(stmt);
+}
+
+Result<SqlResult> SqlSession::ExecuteExplainAnalyze(
+    const ParsedStatement& stmt) {
+  obs::Tracer* tracer = engine_->tracer();
+  const bool was_enabled = tracer->enabled();
+  tracer->set_enabled(true);
+  uint64_t trace_id = 0;
+  Result<SqlResult> inner = Status::Internal("not executed");
+  {
+    obs::Span root(tracer, "sql.statement", obs::Span::kRoot);
+    root.AddAttr("kind", StatementKindName(stmt.kind));
+    if (!stmt.table.empty()) root.AddAttr("table", stmt.table);
+    if (txn_ != nullptr) {
+      common::MutableCurrentTraceContext().txn_id = txn_->id();
+    }
+    trace_id = root.context().trace_id;
+    ParsedStatement plain = stmt;
+    plain.explain_analyze = false;
+    inner = ExecuteParsed(plain);
+    if (!inner.ok()) root.AddAttr("error", inner.status().ToString());
+  }
+  tracer->set_enabled(was_enabled);
+  POLARIS_RETURN_IF_ERROR(inner.status());
+  SqlResult result;
+  result.affected_rows = inner->affected_rows;
+  result.message = RenderSpanTree(tracer->Trace(trace_id));
+  if (!result.message.empty() && result.message.back() == '\n') {
+    result.message.pop_back();
+  }
+  return result;
 }
 
 Status SqlSession::BeginTransaction(catalog::IsolationMode mode) {

@@ -58,6 +58,10 @@ class SqlSession {
 
  private:
   common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
+  /// EXPLAIN ANALYZE: runs `stmt` under a forced-on trace and renders the
+  /// resulting span tree (per-node wall time + attributes) as the result
+  /// message.
+  common::Result<SqlResult> ExecuteExplainAnalyze(const ParsedStatement& stmt);
   common::Result<SqlResult> ExecuteInsert(const ParsedStatement& stmt,
                                           txn::Transaction* txn);
   common::Result<SqlResult> ExecuteSelect(const ParsedStatement& stmt,

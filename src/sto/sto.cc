@@ -84,6 +84,8 @@ Result<StorageHealth> SystemTaskOrchestrator::EvaluateHealth(
 
 Result<CompactionStats> SystemTaskOrchestrator::CompactTable(
     int64_t table_id) {
+  obs::Span span(tracer_, "sto.compaction", obs::Span::kRoot);
+  if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
   // Compaction runs in its own transaction with the same SI semantics as
   // user transactions (§5.1) and can therefore conflict with them.
   POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
@@ -242,6 +244,11 @@ Result<CompactionStats> SystemTaskOrchestrator::CompactTable(
     metrics_->Add("sto.compaction.output_files", stats.output_files);
     metrics_->Add("sto.compaction.rows_rewritten", stats.rows_rewritten);
   }
+  if (span.active()) {
+    span.AddAttr("input_files", stats.input_files);
+    span.AddAttr("output_files", stats.output_files);
+    span.AddAttr("rows_rewritten", stats.rows_rewritten);
+  }
   POLARIS_LOG(kInfo, "sto") << "compacted table " << table_id << ": "
                             << stats.input_files << " -> "
                             << stats.output_files << " files, purged "
@@ -275,6 +282,8 @@ Result<bool> SystemTaskOrchestrator::MaybeCheckpoint(int64_t table_id) {
 }
 
 Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
+  obs::Span span(tracer_, "sto.checkpoint", obs::Span::kRoot);
+  if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
   // The checkpoint operation runs in its own transaction (§5.2); it never
   // touches WriteSets or data files and thus never conflicts with user
   // transactions.
@@ -319,6 +328,7 @@ Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
 }
 
 Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
+  obs::Span span(tracer_, "sto.gc", obs::Span::kRoot);
   // First purge catalog rows of dropped tables (their own transaction, so
   // the GC snapshot below no longer references those blobs).
   {
@@ -423,6 +433,11 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
     metrics_->Add("sto.gc.blobs_scanned", stats.blobs_scanned);
     metrics_->Add("sto.gc.blobs_deleted", stats.blobs_deleted);
   }
+  if (span.active()) {
+    span.AddAttr("blobs_scanned", stats.blobs_scanned);
+    span.AddAttr("blobs_deleted", stats.blobs_deleted);
+    span.AddAttr("blobs_active", stats.blobs_active);
+  }
   POLARIS_LOG(kInfo, "sto") << "GC: scanned " << stats.blobs_scanned
                             << ", deleted " << stats.blobs_deleted
                             << ", active " << stats.blobs_active;
@@ -430,6 +445,8 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
 }
 
 Status SystemTaskOrchestrator::PublishTable(int64_t table_id) {
+  obs::Span span(tracer_, "sto.publish", obs::Span::kRoot);
+  if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
   POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
   auto meta = txn_manager_->catalog()->GetTableById(txn->catalog_txn(),
                                                     table_id);

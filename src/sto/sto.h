@@ -12,6 +12,7 @@
 #include "exec/dml.h"
 #include "format/file_writer.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sto/delta_publisher.h"
 #include "txn/transaction_manager.h"
 
@@ -86,6 +87,12 @@ class SystemTaskOrchestrator {
   /// "sto.*".
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a tracer (must outlive the STO); each maintenance job then
+  /// records a root span ("sto.compaction", "sto.checkpoint", "sto.gc",
+  /// "sto.publish") — background jobs are their own traces, not children
+  /// of whatever user statement happened to trigger the sweep.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// FE commit notification (§5.2): bumps the table's pending-manifest
   /// count and marks it for publishing.
   void OnCommit(int64_t table_id);
@@ -127,6 +134,7 @@ class SystemTaskOrchestrator {
   dcp::Scheduler* scheduler_;
   StoOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   DeltaPublisher publisher_;
 
   std::mutex mu_;

@@ -1,51 +1,65 @@
 #include "storage/fault_injection_store.h"
 
+#include "obs/tracer.h"
+
 namespace polaris::storage {
 
 using common::Result;
 using common::Status;
 
-bool FaultInjectionStore::ShouldFail(bool is_write) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++op_counter_;
-  if (policy_.fail_nth_operation != 0 &&
-      op_counter_ == policy_.fail_nth_operation) {
-    policy_.fail_nth_operation = 0;  // one-shot
-    injected_failures_.fetch_add(1);
-    return true;
+bool FaultInjectionStore::ShouldFail(bool is_write, const char* op,
+                                     const std::string& path) {
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++op_counter_;
+    if (policy_.fail_nth_operation != 0 &&
+        op_counter_ == policy_.fail_nth_operation) {
+      policy_.fail_nth_operation = 0;  // one-shot
+      fail = true;
+    } else {
+      double p = is_write ? policy_.write_failure_probability
+                          : policy_.read_failure_probability;
+      fail = p > 0.0 && rng_.Bernoulli(p);
+    }
   }
-  double p = is_write ? policy_.write_failure_probability
-                      : policy_.read_failure_probability;
-  if (p > 0.0 && rng_.Bernoulli(p)) {
+  if (fail) {
     injected_failures_.fetch_add(1);
-    return true;
+    // Chaos leaves a trace: a marker span under the retrying store's op
+    // span, so an EXPLAIN ANALYZE / Perfetto timeline shows exactly which
+    // attempt the injected fault ate.
+    obs::Span span("store.fault_injected");
+    if (span.active()) {
+      span.AddAttr("op", op);
+      span.AddAttr("path", path);
+    }
   }
-  return false;
+  return fail;
 }
 
 Status FaultInjectionStore::Put(const std::string& path, std::string data) {
-  if (ShouldFail(/*is_write=*/true)) {
+  if (ShouldFail(/*is_write=*/true, "Put", path)) {
     return Status::Unavailable("injected fault: Put " + path);
   }
   return base_->Put(path, std::move(data));
 }
 
 Result<std::string> FaultInjectionStore::Get(const std::string& path) {
-  if (ShouldFail(/*is_write=*/false)) {
+  if (ShouldFail(/*is_write=*/false, "Get", path)) {
     return Status::Unavailable("injected fault: Get " + path);
   }
   return base_->Get(path);
 }
 
 Result<BlobInfo> FaultInjectionStore::Stat(const std::string& path) {
-  if (ShouldFail(/*is_write=*/false)) {
+  if (ShouldFail(/*is_write=*/false, "Stat", path)) {
     return Status::Unavailable("injected fault: Stat " + path);
   }
   return base_->Stat(path);
 }
 
 Status FaultInjectionStore::Delete(const std::string& path) {
-  if (ShouldFail(/*is_write=*/true)) {
+  if (ShouldFail(/*is_write=*/true, "Delete", path)) {
     return Status::Unavailable("injected fault: Delete " + path);
   }
   return base_->Delete(path);
@@ -53,7 +67,7 @@ Status FaultInjectionStore::Delete(const std::string& path) {
 
 Result<std::vector<BlobInfo>> FaultInjectionStore::List(
     const std::string& prefix) {
-  if (ShouldFail(/*is_write=*/false)) {
+  if (ShouldFail(/*is_write=*/false, "List", prefix)) {
     return Status::Unavailable("injected fault: List " + prefix);
   }
   return base_->List(prefix);
@@ -62,7 +76,7 @@ Result<std::vector<BlobInfo>> FaultInjectionStore::List(
 Status FaultInjectionStore::StageBlock(const std::string& path,
                                        const std::string& block_id,
                                        std::string data) {
-  if (ShouldFail(/*is_write=*/true)) {
+  if (ShouldFail(/*is_write=*/true, "StageBlock", path)) {
     return Status::Unavailable("injected fault: StageBlock " + path);
   }
   return base_->StageBlock(path, block_id, std::move(data));
@@ -70,7 +84,7 @@ Status FaultInjectionStore::StageBlock(const std::string& path,
 
 Status FaultInjectionStore::CommitBlockList(
     const std::string& path, const std::vector<std::string>& block_ids) {
-  if (ShouldFail(/*is_write=*/true)) {
+  if (ShouldFail(/*is_write=*/true, "CommitBlockList", path)) {
     return Status::Unavailable("injected fault: CommitBlockList " + path);
   }
   return base_->CommitBlockList(path, block_ids);
@@ -78,7 +92,7 @@ Status FaultInjectionStore::CommitBlockList(
 
 Result<std::vector<std::string>> FaultInjectionStore::GetCommittedBlockList(
     const std::string& path) {
-  if (ShouldFail(/*is_write=*/false)) {
+  if (ShouldFail(/*is_write=*/false, "GetCommittedBlockList", path)) {
     return Status::Unavailable("injected fault: GetCommittedBlockList " +
                                path);
   }

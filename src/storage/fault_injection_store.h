@@ -65,8 +65,9 @@ class FaultInjectionStore : public ObjectStore {
       const std::string& path) override;
 
  private:
-  /// Returns true if this operation should fail.
-  bool ShouldFail(bool is_write);
+  /// Returns true if this operation should fail. On injection, records a
+  /// "store.fault_injected" marker span (op + path) on the active trace.
+  bool ShouldFail(bool is_write, const char* op, const std::string& path);
 
   ObjectStore* base_;
   std::mutex mu_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.h"
+
 namespace polaris::storage {
 
 using common::Result;
@@ -36,14 +38,21 @@ common::Micros RetryingObjectStore::BackoffFor(uint32_t retry) {
 }
 
 Status RetryingObjectStore::Execute(
-    const char* op, const std::function<Status()>& attempt) {
+    const char* op, const std::string& path,
+    const std::function<Status()>& attempt) {
   const std::string prefix = std::string("store.") + op;
   if (metrics_ != nullptr) metrics_->Add(prefix + ".ops");
   common::Micros start = clock_ != nullptr ? clock_->Now() : 0;
+  // Ambient-tracer child span: every blob operation that runs under a
+  // traced statement/job shows up as a leaf with its retries absorbed.
+  obs::Span span(prefix.c_str());
+  if (span.active()) span.AddAttr("path", path);
 
   uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
+  uint32_t attempts = 0;
   Status st;
   for (uint32_t i = 1; i <= max_attempts; ++i) {
+    attempts = i;
     st = attempt();
     if (st.ok() || !IsRetryable(st)) break;
     if (i == max_attempts) {
@@ -63,6 +72,11 @@ Status RetryingObjectStore::Execute(
                     static_cast<uint64_t>(backoff));
     }
   }
+  if (span.active()) {
+    span.AddAttr("attempts", attempts);
+    span.AddAttr("retries", attempts - 1);
+    if (!st.ok()) span.AddAttr("error", st.ToString());
+  }
 
   if (metrics_ != nullptr) {
     common::Micros end = clock_ != nullptr ? clock_->Now() : 0;
@@ -75,12 +89,12 @@ Status RetryingObjectStore::Execute(
 Status RetryingObjectStore::Put(const std::string& path, std::string data) {
   // The payload is needed again on retry, so it cannot be moved into the
   // base call.
-  return Execute("put", [&]() { return base_->Put(path, data); });
+  return Execute("put", path, [&]() { return base_->Put(path, data); });
 }
 
 Result<std::string> RetryingObjectStore::Get(const std::string& path) {
   Result<std::string> out = Status::Internal("no attempt made");
-  Status st = Execute("get", [&]() {
+  Status st = Execute("get", path, [&]() {
     out = base_->Get(path);
     return out.status();
   });
@@ -90,7 +104,7 @@ Result<std::string> RetryingObjectStore::Get(const std::string& path) {
 
 Result<BlobInfo> RetryingObjectStore::Stat(const std::string& path) {
   Result<BlobInfo> out = Status::Internal("no attempt made");
-  Status st = Execute("stat", [&]() {
+  Status st = Execute("stat", path, [&]() {
     out = base_->Stat(path);
     return out.status();
   });
@@ -99,13 +113,13 @@ Result<BlobInfo> RetryingObjectStore::Stat(const std::string& path) {
 }
 
 Status RetryingObjectStore::Delete(const std::string& path) {
-  return Execute("delete", [&]() { return base_->Delete(path); });
+  return Execute("delete", path, [&]() { return base_->Delete(path); });
 }
 
 Result<std::vector<BlobInfo>> RetryingObjectStore::List(
     const std::string& prefix) {
   Result<std::vector<BlobInfo>> out = Status::Internal("no attempt made");
-  Status st = Execute("list", [&]() {
+  Status st = Execute("list", prefix, [&]() {
     out = base_->List(prefix);
     return out.status();
   });
@@ -118,20 +132,20 @@ Status RetryingObjectStore::StageBlock(const std::string& path,
                                        std::string data) {
   // Re-staging the same block ID overwrites (Azure semantics), so a retry
   // after an ambiguous failure converges to the same staged bytes.
-  return Execute("stage_block",
+  return Execute("stage_block", path,
                  [&]() { return base_->StageBlock(path, block_id, data); });
 }
 
 Status RetryingObjectStore::CommitBlockList(
     const std::string& path, const std::vector<std::string>& block_ids) {
-  return Execute("commit_block_list",
+  return Execute("commit_block_list", path,
                  [&]() { return base_->CommitBlockList(path, block_ids); });
 }
 
 Result<std::vector<std::string>> RetryingObjectStore::GetCommittedBlockList(
     const std::string& path) {
   Result<std::vector<std::string>> out = Status::Internal("no attempt made");
-  Status st = Execute("get_block_list", [&]() {
+  Status st = Execute("get_block_list", path, [&]() {
     out = base_->GetCommittedBlockList(path);
     return out.status();
   });

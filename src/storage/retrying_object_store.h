@@ -88,8 +88,10 @@ class RetryingObjectStore : public ObjectStore {
       const std::string& path) override;
 
  private:
-  /// Runs `attempt` under the retry budget, recording metrics for `op`.
-  common::Status Execute(const char* op,
+  /// Runs `attempt` under the retry budget, recording metrics for `op` and
+  /// — when a trace is active on this thread — a child span named
+  /// "store.<op>" carrying `path` and the attempts/retries absorbed.
+  common::Status Execute(const char* op, const std::string& path,
                          const std::function<common::Status()>& attempt);
 
   /// Jittered exponential backoff before retry number `retry` (1-based).

@@ -2,7 +2,9 @@
 
 #include "common/guid.h"
 #include "common/logging.h"
+#include "common/trace_context.h"
 #include "lst/manifest_io.h"
+#include "obs/tracer.h"
 #include "storage/path_util.h"
 
 namespace polaris::txn {
@@ -24,6 +26,7 @@ TransactionManager::TransactionManager(catalog::CatalogDb* catalog,
 
 Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
     IsolationMode mode) {
+  obs::Span span("txn.begin");
   auto txn = std::unique_ptr<Transaction>(new Transaction());
   txn->catalog_txn_ = catalog_->Begin(mode);
   txn->begin_time_ = clock_->Now();
@@ -31,6 +34,11 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
     std::lock_guard<std::mutex> lock(mu_);
     active_[txn->id()] = {txn->begin_time_, txn->catalog_txn_->begin_seq()};
   }
+  if (span.active()) span.AddAttr("txn_id", txn->id());
+  // Stamp the transaction id into the ambient trace context so every span
+  // (and log line) opened while this transaction runs carries it. The
+  // enclosing statement/engine span restores the previous context on exit.
+  common::MutableCurrentTraceContext().txn_id = txn->id();
   return txn;
 }
 
@@ -203,6 +211,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->finished_) {
     return Status::FailedPrecondition("transaction already finished");
   }
+  obs::Span span("txn.commit");
+  if (span.active()) {
+    span.AddAttr("txn_id", txn->id());
+    uint64_t dirty = 0;
+    for (const auto& [table_id, state] : txn->tables_) {
+      (void)table_id;
+      if (state.dirty) ++dirty;
+    }
+    span.AddAttr("dirty_tables", dirty);
+  }
   // FE manifest compaction (§3 footnote 3): collapse a fragmented
   // transaction manifest into its canonical single block before commit.
   if (options_.compact_manifest_blocks_above > 0) {
@@ -258,6 +276,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   txn->finished_ = true;
   Unregister(txn);
   if (!st.ok()) {
+    if (span.active()) span.AddAttr("error", st.ToString());
     POLARIS_LOG(kInfo, "txn") << "transaction " << txn->id()
                               << " failed validation: " << st.ToString();
   }
@@ -268,6 +287,8 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->finished_) {
     return Status::FailedPrecondition("transaction already finished");
   }
+  obs::Span span("txn.abort");
+  if (span.active()) span.AddAttr("txn_id", txn->id());
   catalog_->Abort(txn->catalog_txn());
   txn->finished_ = true;
   Unregister(txn);

@@ -71,8 +71,22 @@ TEST(HistogramSnapshotTest, ApproxQuantileCoversDistribution) {
 
   auto snapshot = registry.Snapshot();
   const auto& h = snapshot.histograms.at("h");
-  EXPECT_EQ(h.ApproxQuantile(0.5), 100);
-  EXPECT_EQ(h.ApproxQuantile(0.99), 500'000);
+  // p50 interpolates inside the first bucket, whose edges are clamped to
+  // the observed min (80) and the bucket bound (100).
+  EXPECT_EQ(h.ApproxQuantile(0.5), 91);
+  // p99 lands in the <=500k bucket; its upper edge clamps to max (400k).
+  EXPECT_EQ(h.ApproxQuantile(0.99), 400'000);
+}
+
+TEST(HistogramSnapshotTest, SingleObservationReportsItself) {
+  MetricsRegistry registry;
+  registry.Observe("h", 4'321);
+  auto snapshot = registry.Snapshot();
+  const auto& h = snapshot.histograms.at("h");
+  // Clamping both bucket edges to min/max collapses the bucket to the
+  // lone observation instead of its bucket's upper bound (5'000).
+  EXPECT_EQ(h.ApproxQuantile(0.5), 4'321);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 4'321);
 }
 
 TEST(HistogramSnapshotTest, EmptyHistogramQuantileIsMinusOne) {
@@ -113,7 +127,32 @@ TEST(MetricsRegistryTest, ToStringListsCountersAndHistograms) {
   std::string dump = registry.Snapshot().ToString();
   EXPECT_NE(dump.find("store.retries.total = 7"), std::string::npos);
   EXPECT_NE(dump.find("store.get.latency_us"), std::string::npos);
-  EXPECT_NE(dump.find("p50<="), std::string::npos);
+  EXPECT_NE(dump.find("p50~="), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToPrometheusTextExposesCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.Add("store.get.ops", 7);
+  registry.Observe("store.get.latency_us", 50);      // <=100
+  registry.Observe("store.get.latency_us", 150);     // <=250
+  registry.Observe("store.get.latency_us", 20'000'000);  // overflow
+
+  std::string text = registry.Snapshot().ToPrometheusText();
+  // Dots are not legal in Prometheus metric names; they map to '_'.
+  EXPECT_NE(text.find("# TYPE store_get_ops counter"), std::string::npos);
+  EXPECT_NE(text.find("store_get_ops 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE store_get_latency_us histogram"),
+            std::string::npos);
+  // Buckets are cumulative: one observation <=100, two <=250.
+  EXPECT_NE(text.find("store_get_latency_us_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("store_get_latency_us_bucket{le=\"250\"} 2"),
+            std::string::npos);
+  // +Inf bucket equals the total count (includes the overflow sample).
+  EXPECT_NE(text.find("store_get_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("store_get_latency_us_sum 20000200"), std::string::npos);
+  EXPECT_NE(text.find("store_get_latency_us_count 3"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {

@@ -465,5 +465,44 @@ TEST_F(SqlSessionTest, NullHandling) {
   EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 2);
 }
 
+TEST_F(SqlSessionTest, ExplainAnalyzeRendersSpanTree) {
+  Must("CREATE TABLE t (k BIGINT)");
+  SqlResult profile = Must("EXPLAIN ANALYZE INSERT INTO t VALUES (1), (2)");
+  // The statement still executes for real...
+  EXPECT_EQ(profile.affected_rows, 2u);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").batch.column(0).Int64At(0), 2);
+  // ...and the message is the profile: a span tree rooted at the
+  // statement, descending through the engine into manifest IO and at
+  // least one storage blob op with its retry-count attributes.
+  const std::string& tree = profile.message;
+  EXPECT_NE(tree.find("sql.statement"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("kind=INSERT"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("engine.insert"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("lst.manifest."), std::string::npos) << tree;
+  EXPECT_NE(tree.find("store."), std::string::npos) << tree;
+  EXPECT_NE(tree.find("attempts="), std::string::npos) << tree;
+  EXPECT_NE(tree.find("retries="), std::string::npos) << tree;
+  EXPECT_NE(tree.find(" ms"), std::string::npos) << tree;
+  // Children are indented under the root.
+  EXPECT_NE(tree.find("\n  "), std::string::npos) << tree;
+
+  // Profiling a query leaves the tracer state alone afterwards.
+  SqlResult q = Must("EXPLAIN ANALYZE SELECT COUNT(*) FROM t");
+  EXPECT_NE(q.message.find("engine.query"), std::string::npos) << q.message;
+  EXPECT_FALSE(engine_.tracer()->enabled());
+}
+
+TEST_F(SqlSessionTest, ExplainAnalyzeErrorsSurfaceAndNestingRejected) {
+  // Inner statement errors propagate as the statement's own error.
+  EXPECT_TRUE(session_.Execute("EXPLAIN ANALYZE SELECT * FROM nope")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(session_.Execute("EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT 1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      session_.Execute("EXPLAIN SELECT 1").status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace polaris::sql
