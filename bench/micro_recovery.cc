@@ -1,0 +1,117 @@
+// Reopen (crash-recovery) latency of a durable database as a function of
+// journal length, with and without a catalog checkpoint. Replay is O(tail):
+// a checkpoint bounds the tail, so reopen time should stay flat with a
+// checkpoint and grow linearly without one.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_json.h"
+#include "engine/engine.h"
+
+using polaris::engine::EngineOptions;
+using polaris::engine::PolarisEngine;
+
+namespace {
+
+polaris::format::Schema EventsSchema() {
+  using polaris::format::ColumnType;
+  return polaris::format::Schema(
+      {{"id", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+EngineOptions MakeOptions(const std::string& data_dir) {
+  EngineOptions options;
+  options.num_cells = 2;
+  options.worker_threads = 2;
+  options.data_dir = data_dir;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const auto base_dir =
+      std::filesystem::temp_directory_path() / "polaris_micro_recovery";
+
+  polaris::bench::BenchReport report("micro_recovery");
+  report.config().Add("num_cells", uint64_t{2}).Add("txn_rows", uint64_t{1});
+
+  std::printf("micro_recovery: reopen latency vs journal length\n\n");
+  std::printf("%-12s %-12s %-12s %-16s\n", "journal_len", "checkpoint",
+              "reopen_ms", "records_replayed");
+
+  for (int journal_len : {8, 64, 256}) {
+    for (bool checkpointed : {false, true}) {
+      std::filesystem::remove_all(base_dir);
+      auto options = MakeOptions(base_dir.string());
+      // Keep the STO's automatic checkpointing out of the way so the
+      // journal length is exactly what this grid dials in.
+      options.journal_options.checkpoint_every_records = 1u << 30;
+
+      {
+        auto opened = PolarisEngine::Open(options);
+        if (!opened.ok()) {
+          std::fprintf(stderr, "open failed: %s\n",
+                       opened.status().ToString().c_str());
+          return 1;
+        }
+        auto& engine = *opened;
+        if (!engine->CreateTable("events", EventsSchema()).ok()) return 1;
+        for (int i = 0; i < journal_len; ++i) {
+          polaris::format::RecordBatch batch{EventsSchema()};
+          (void)batch.AppendRow({polaris::format::Value::Int64(i),
+                                 polaris::format::Value::Int64(i * 10)});
+          auto status = engine->RunInTransaction(
+              [&](polaris::txn::Transaction* txn) {
+                return engine->Insert(txn, "events", batch).status();
+              });
+          if (!status.ok()) {
+            std::fprintf(stderr, "insert failed: %s\n",
+                         status.ToString().c_str());
+            return 1;
+          }
+        }
+        if (checkpointed) {
+          if (!engine->CheckpointCatalog().ok()) return 1;
+          auto reclaimed = engine->journal()->ReclaimSupersededSegments();
+          if (!reclaimed.ok()) return 1;
+        }
+        // Engine discarded without shutdown: reopen measures recovery.
+      }
+
+      auto t0 = std::chrono::steady_clock::now();
+      auto reopened = PolarisEngine::Open(MakeOptions(base_dir.string()));
+      auto t1 = std::chrono::steady_clock::now();
+      if (!reopened.ok()) {
+        std::fprintf(stderr, "reopen failed: %s\n",
+                     reopened.status().ToString().c_str());
+        return 1;
+      }
+      double reopen_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      uint64_t replayed = (*reopened)->recovery_info().records_replayed;
+
+      std::printf("%-12d %-12s %-12.3f %-16llu\n", journal_len,
+                  checkpointed ? "yes" : "no", reopen_ms,
+                  static_cast<unsigned long long>(replayed));
+      report.AddRow()
+          .Add("journal_len", static_cast<uint64_t>(journal_len))
+          .Add("checkpointed", checkpointed)
+          .Add("reopen_ms", reopen_ms)
+          .Add("records_replayed", replayed);
+    }
+  }
+
+  std::filesystem::remove_all(base_dir);
+  std::printf(
+      "\nshape check: without a checkpoint the replayed-record count "
+      "grows with\njournal length; with one it stays at zero — recovery "
+      "is O(tail), and the\ncheckpoint is what bounds the tail. (Residual "
+      "reopen time is the object\nstore's open-time directory scan, which "
+      "grows with total blob count, not\njournal length.)\n");
+  report.Write();
+  return 0;
+}

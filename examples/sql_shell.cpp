@@ -7,6 +7,10 @@
 // Set POLARIS_FAULT_P=<probability> to inject transient storage faults on
 // every read and write (absorbed by the engine's retry layer).
 //
+// By default the database lives in memory and vanishes on exit. Pass
+// --data-dir <path> to open (or create) a durable database there:
+// committed transactions survive restarts and are recovered on open.
+//
 // Shell meta-commands (each terminated by ';'):
 //   METRICS            dump the engine's unified metrics registry
 //   TRACE ON | OFF     enable/disable the engine span recorder
@@ -56,8 +60,19 @@ void PrintResult(const SqlResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   polaris::engine::EngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      options.data_dir = argv[++i];
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.data_dir = arg.substr(std::string("--data-dir=").size());
+    } else {
+      std::fprintf(stderr, "usage: %s [--data-dir <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   if (const char* fault_p = std::getenv("POLARIS_FAULT_P")) {
     double p = std::atof(fault_p);
     options.fault_policy.read_failure_probability = p;
@@ -65,7 +80,13 @@ int main() {
     std::fprintf(stderr, "[fault injection: p=%.3f on reads and writes]\n",
                  p);
   }
-  PolarisEngine engine(options);
+  auto opened = PolarisEngine::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open database: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  PolarisEngine& engine = **opened;
   SqlSession session(&engine);
   bool interactive = isatty(fileno(stdin));
 
@@ -74,6 +95,15 @@ int main() {
         "polaris-tx SQL shell. Statements end with ';'. Ctrl-D to exit.\n"
         "Dialect: CREATE/DROP/CLONE TABLE, INSERT, SELECT [AS OF], UPDATE,"
         " DELETE,\n         BEGIN/COMMIT/ROLLBACK.\n\n");
+    if (!options.data_dir.empty()) {
+      const auto& recovery = engine.recovery_info();
+      std::printf(
+          "durable database at %s (checkpoint seq %llu, %llu journal "
+          "records replayed)\n\n",
+          options.data_dir.c_str(),
+          static_cast<unsigned long long>(recovery.checkpoint_seq),
+          static_cast<unsigned long long>(recovery.records_replayed));
+    }
   }
 
   std::string buffer;

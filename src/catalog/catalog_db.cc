@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/bytes.h"
+#include "common/crashpoint.h"
 
 namespace polaris::catalog {
 
@@ -322,6 +323,7 @@ Status CatalogDb::Commit(MvccTransaction* txn,
   common::Micros now = clock_->Now();
   std::vector<ManifestRecord> records;
   auto hook = [&](MvccStore::CommitContext* ctx) -> Status {
+    POLARIS_CRASH_POINT(common::crash::kCatalogCommitBeforeManifests);
     // Assign manifest sequence ids in commit order: next = max visible + 1
     // per table, computed under the commit lock so that even two
     // non-conflicting committers get distinct, ordered ids.
@@ -348,6 +350,9 @@ Status CatalogDb::Commit(MvccTransaction* txn,
                  EncodeManifestValue(record.path, txn_id, now));
       records.push_back(std::move(record));
     }
+    // Manifests rows are buffered in the pending transaction; the journal
+    // append (the durability point) has not run yet.
+    POLARIS_CRASH_POINT(common::crash::kCatalogCommitAfterManifests);
     return Status::OK();
   };
   POLARIS_RETURN_IF_ERROR(store_.Commit(txn, hook));

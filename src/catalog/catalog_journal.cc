@@ -1,0 +1,428 @@
+#include "catalog/catalog_journal.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/crashpoint.h"
+#include "common/logging.h"
+
+namespace polaris::catalog {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x314a4c50;      // "PLJ1"
+constexpr uint32_t kCheckpointMagic = 0x314b4350;  // "PCK1"
+// magic + crc + body_len
+constexpr size_t kFrameHeaderSize = 12;
+
+std::string Pad20(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `data`.
+uint32_t Crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+/// Extracts the zero-padded sequence from a segment/checkpoint blob name
+/// ("<prefix>/<20 digits>.<ext>"). Returns nullopt for foreign blobs.
+std::optional<uint64_t> SeqFromPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  name.resize(dot);
+  if (name.empty() || name.size() > 20) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : name) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+struct ParsedRecord {
+  uint64_t commit_seq = 0;
+  std::vector<std::pair<std::string, std::optional<std::string>>> writes;
+};
+
+/// Parses one framed record at the reader's cursor. Returns nullopt (and
+/// leaves `torn` explanation to the caller) on any malformation — a torn
+/// tail, a bad checksum, garbage.
+std::optional<ParsedRecord> ParseRecord(common::ByteReader* in) {
+  if (in->remaining() < kFrameHeaderSize) return std::nullopt;
+  uint32_t magic, crc, body_len;
+  if (!in->GetU32(&magic).ok() || magic != kRecordMagic) return std::nullopt;
+  if (!in->GetU32(&crc).ok()) return std::nullopt;
+  if (!in->GetU32(&body_len).ok()) return std::nullopt;
+  if (in->remaining() < body_len) return std::nullopt;
+  std::string body(body_len, '\0');
+  if (!in->GetRaw(body.data(), body_len).ok()) return std::nullopt;
+  if (Crc32(body) != crc) return std::nullopt;
+  common::ByteReader body_in(body);
+  ParsedRecord record;
+  uint64_t count;
+  if (!body_in.GetU64(&record.commit_seq).ok()) return std::nullopt;
+  if (!body_in.GetVarint(&count).ok()) return std::nullopt;
+  record.writes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    uint8_t has_value;
+    if (!body_in.GetString(&key).ok()) return std::nullopt;
+    if (!body_in.GetU8(&has_value).ok()) return std::nullopt;
+    std::optional<std::string> value;
+    if (has_value != 0) {
+      std::string v;
+      if (!body_in.GetString(&v).ok()) return std::nullopt;
+      value = std::move(v);
+    }
+    record.writes.emplace_back(std::move(key), std::move(value));
+  }
+  if (!body_in.AtEnd()) return std::nullopt;
+  return record;
+}
+
+}  // namespace
+
+CatalogJournal::CatalogJournal(storage::ObjectStore* store,
+                               CatalogJournalOptions options,
+                               obs::MetricsRegistry* metrics)
+    : store_(store), options_(std::move(options)), metrics_(metrics) {
+  if (options_.records_per_segment == 0) options_.records_per_segment = 1;
+}
+
+std::string CatalogJournal::SegmentPath(uint64_t first_seq) const {
+  return JournalPrefix() + Pad20(first_seq) + ".seg";
+}
+
+std::string CatalogJournal::CheckpointPath(uint64_t seq) const {
+  return CheckpointPrefix() + Pad20(seq) + ".ckpt";
+}
+
+std::string CatalogJournal::EncodeRecord(
+    uint64_t commit_seq,
+    const std::map<std::string, std::optional<std::string>>& writes) {
+  common::ByteWriter body;
+  body.PutU64(commit_seq);
+  body.PutVarint(writes.size());
+  for (const auto& [key, value] : writes) {
+    body.PutString(key);
+    body.PutU8(value.has_value() ? 1 : 0);
+    if (value.has_value()) body.PutString(*value);
+  }
+  common::ByteWriter frame;
+  frame.PutU32(kRecordMagic);
+  frame.PutU32(Crc32(body.data()));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.data().data(), body.size());
+  return frame.Release();
+}
+
+Result<CatalogJournal::RecoveredState> CatalogJournal::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveredState state;
+
+  // --- Latest readable checkpoint -----------------------------------------
+  std::map<std::string, std::string> live;
+  POLARIS_ASSIGN_OR_RETURN(auto checkpoints,
+                           store_->List(CheckpointPrefix()));
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    auto blob = store_->Get(it->path);
+    if (!blob.ok()) continue;
+    common::ByteReader in(*blob);
+    uint32_t magic;
+    uint64_t seq, count;
+    if (!in.GetU32(&magic).ok() || magic != kCheckpointMagic) continue;
+    if (!in.GetU64(&seq).ok() || !in.GetVarint(&count).ok()) continue;
+    std::map<std::string, std::string> rows;
+    bool valid = true;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string key, value;
+      if (!in.GetString(&key).ok() || !in.GetString(&value).ok()) {
+        valid = false;
+        break;
+      }
+      rows.emplace(std::move(key), std::move(value));
+    }
+    if (!valid || !in.AtEnd()) continue;
+    live = std::move(rows);
+    state.checkpoint_seq = seq;
+    break;
+  }
+
+  // --- Journal tail replay -------------------------------------------------
+  uint64_t last_seq = state.checkpoint_seq;
+  POLARIS_ASSIGN_OR_RETURN(auto segments, store_->List(JournalPrefix()));
+  std::vector<std::pair<uint64_t, std::string>> ordered;
+  ordered.reserve(segments.size());
+  for (const auto& info : segments) {
+    auto first_seq = SeqFromPath(info.path);
+    if (first_seq.has_value()) ordered.emplace_back(*first_seq, info.path);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    // O(tail): a segment is entirely covered by the checkpoint when the
+    // next segment starts at or before checkpoint_seq + 1 — skip the read.
+    if (i + 1 < ordered.size() &&
+        ordered[i + 1].first <= state.checkpoint_seq + 1) {
+      continue;
+    }
+    POLARIS_ASSIGN_OR_RETURN(std::string data,
+                             store_->Get(ordered[i].second));
+    common::ByteReader in(data);
+    state.segments_scanned++;
+    while (!in.AtEnd()) {
+      auto record = ParseRecord(&in);
+      if (!record.has_value()) {
+        // Torn or corrupt record: a crash mid-append. Everything before
+        // it is intact; the record itself never reached its durability
+        // point, so dropping it *is* the correct recovery outcome.
+        state.torn_tail = true;
+        POLARIS_LOG(kWarn, "journal")
+            << "dropping torn/corrupt record tail in " << ordered[i].second
+            << " after seq " << last_seq;
+        break;
+      }
+      if (record->commit_seq <= last_seq) continue;  // covered already
+      for (auto& [key, value] : record->writes) {
+        if (value.has_value()) {
+          live[key] = std::move(*value);
+        } else {
+          live.erase(key);
+        }
+      }
+      last_seq = record->commit_seq;
+      state.records_replayed++;
+    }
+  }
+  state.commit_seq = last_seq;
+
+  // Dead segments hold only torn garbage (no record survived); delete
+  // them so the post-recovery appender can never collide with their
+  // names when it rolls a fresh segment.
+  for (const auto& [first_seq, path] : ordered) {
+    if (first_seq > state.commit_seq) {
+      (void)store_->Delete(path);
+      POLARIS_LOG(kWarn, "journal") << "deleted dead journal segment " << path;
+    }
+  }
+
+  state.rows.reserve(live.size());
+  for (auto& [key, value] : live) state.rows.emplace_back(key, value);
+
+  // --- Prime the appender --------------------------------------------------
+  active_segment_.clear();
+  active_ids_.clear();
+  active_generation_ = 0;
+  active_records_ = 0;
+  poisoned_ = false;
+  last_appended_seq_ = state.commit_seq;
+  last_checkpoint_seq_ = state.checkpoint_seq;
+  records_since_checkpoint_ = state.commit_seq - state.checkpoint_seq;
+  return state;
+}
+
+Status CatalogJournal::Append(
+    uint64_t commit_seq,
+    const std::map<std::string, std::optional<std::string>>& writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::Internal(
+        "catalog journal failed closed after an append error; "
+        "reopen the database to recover");
+  }
+  POLARIS_CRASH_POINT(common::crash::kJournalAppendBefore);
+  if (active_segment_.empty() ||
+      active_records_ >= options_.records_per_segment) {
+    active_segment_ = SegmentPath(commit_seq);
+    active_ids_.clear();
+    active_generation_ = 0;
+    active_records_ = 0;
+    segments_started_++;
+    if (metrics_ != nullptr) metrics_->Add("catalog.journal.segments");
+  }
+
+  std::string record = EncodeRecord(commit_seq, writes);
+  // A torn append durably commits only a prefix of the record — the
+  // checksum/length framing must reject it on replay.
+  bool torn = common::CrashPoints::Fire(common::crash::kJournalAppendTorn);
+  std::string block_id = "r" + Pad20(commit_seq);
+  Status st = store_->StageBlock(
+      active_segment_, block_id,
+      torn ? record.substr(0, record.size() / 2) : record);
+  if (st.ok()) {
+    std::vector<std::string> ids = active_ids_;
+    ids.push_back(block_id);
+    // ETag-guarded: succeeds only when nobody else extended (or created)
+    // this segment since our last append — single-writer enforcement.
+    st = store_->CommitBlockListIf(active_segment_, ids, active_generation_);
+    if (st.ok()) {
+      active_ids_ = std::move(ids);
+      active_generation_++;
+      active_records_++;
+    }
+  }
+  if (!st.ok()) {
+    // The blob tail state is unknown (did the commit land?); refuse all
+    // further appends so the in-memory catalog can't silently run ahead
+    // of the journal. Recovery re-derives the truth from the blobs.
+    poisoned_ = true;
+    return st;
+  }
+  last_appended_seq_ = commit_seq;
+  records_appended_++;
+  bytes_appended_ += record.size();
+  records_since_checkpoint_++;
+  if (metrics_ != nullptr) {
+    metrics_->Add("catalog.journal.appends");
+    metrics_->Add("catalog.journal.bytes", record.size());
+  }
+  if (torn) {
+    poisoned_ = true;
+    return Status::Internal(std::string("crash point fired: ") +
+                            common::crash::kJournalAppendTorn);
+  }
+  if (common::CrashPoints::Fire(common::crash::kJournalAppendAfterCommit)) {
+    // The record IS durable; the process dies before acknowledging. The
+    // transaction will be visible after reopen even though the client
+    // saw an error — the classic lost-ack outcome.
+    poisoned_ = true;
+    return Status::Internal(std::string("crash point fired: ") +
+                            common::crash::kJournalAppendAfterCommit);
+  }
+  return Status::OK();
+}
+
+Status CatalogJournal::WriteCheckpoint(
+    uint64_t commit_seq,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::ByteWriter out;
+  out.PutU32(kCheckpointMagic);
+  out.PutU64(commit_seq);
+  out.PutVarint(rows.size());
+  for (const auto& [key, value] : rows) {
+    out.PutString(key);
+    out.PutString(value);
+  }
+  Status st = store_->Put(CheckpointPath(commit_seq), out.Release());
+  // A checkpoint at a given sequence always has the same content, so a
+  // concurrent/previous writer having won is success.
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+  if (commit_seq >= last_checkpoint_seq_) {
+    last_checkpoint_seq_ = commit_seq;
+    records_since_checkpoint_ = last_appended_seq_ > commit_seq
+                                    ? last_appended_seq_ - commit_seq
+                                    : 0;
+  }
+  checkpoints_written_++;
+  if (metrics_ != nullptr) metrics_->Add("catalog.journal.checkpoints");
+  POLARIS_LOG(kInfo, "journal")
+      << "catalog checkpoint at seq " << commit_seq << " (" << rows.size()
+      << " rows)";
+  return Status::OK();
+}
+
+bool CatalogJournal::ShouldCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.checkpoint_every_records > 0 &&
+         records_since_checkpoint_ >= options_.checkpoint_every_records;
+}
+
+Result<uint64_t> CatalogJournal::ReclaimSupersededSegments() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t deleted = 0;
+
+  POLARIS_ASSIGN_OR_RETURN(auto checkpoints,
+                           store_->List(CheckpointPrefix()));
+  uint64_t latest_ckpt = 0;
+  for (const auto& info : checkpoints) {
+    auto seq = SeqFromPath(info.path);
+    if (seq.has_value()) latest_ckpt = std::max(latest_ckpt, *seq);
+  }
+  if (latest_ckpt == 0) return deleted;  // nothing is superseded yet
+
+  for (const auto& info : checkpoints) {
+    auto seq = SeqFromPath(info.path);
+    if (seq.has_value() && *seq < latest_ckpt) {
+      POLARIS_RETURN_IF_ERROR(store_->Delete(info.path));
+      deleted++;
+    }
+  }
+
+  POLARIS_ASSIGN_OR_RETURN(auto segments, store_->List(JournalPrefix()));
+  std::vector<std::pair<uint64_t, std::string>> ordered;
+  for (const auto& info : segments) {
+    auto first_seq = SeqFromPath(info.path);
+    if (first_seq.has_value()) ordered.emplace_back(*first_seq, info.path);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    // Every record in segment i is below segment i+1's first sequence,
+    // so the checkpoint fully covers it iff that bound is <= ckpt+1.
+    if (ordered[i + 1].first <= latest_ckpt + 1 &&
+        ordered[i].second != active_segment_) {
+      POLARIS_RETURN_IF_ERROR(store_->Delete(ordered[i].second));
+      deleted++;
+    }
+  }
+  if (deleted > 0 && metrics_ != nullptr) {
+    metrics_->Add("catalog.journal.blobs_reclaimed", deleted);
+  }
+  return deleted;
+}
+
+uint64_t CatalogJournal::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_appended_;
+}
+
+uint64_t CatalogJournal::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_appended_;
+}
+
+uint64_t CatalogJournal::segments_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_started_;
+}
+
+uint64_t CatalogJournal::checkpoints_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_written_;
+}
+
+uint64_t CatalogJournal::last_checkpoint_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_checkpoint_seq_;
+}
+
+uint64_t CatalogJournal::records_since_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_since_checkpoint_;
+}
+
+}  // namespace polaris::catalog

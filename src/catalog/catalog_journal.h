@@ -1,0 +1,147 @@
+#ifndef POLARIS_CATALOG_CATALOG_JOURNAL_H_
+#define POLARIS_CATALOG_CATALOG_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/object_store.h"
+
+namespace polaris::catalog {
+
+/// Cadence knobs for the catalog journal.
+struct CatalogJournalOptions {
+  /// Records per journal segment before rolling to a new one. Smaller
+  /// segments mean finer-grained reclamation; larger ones fewer blobs.
+  uint64_t records_per_segment = 128;
+  /// ShouldCheckpoint() turns true once this many records accumulate past
+  /// the latest checkpoint (0 disables the automatic trigger). The STO
+  /// drives the actual checkpoint write during its sweeps.
+  uint64_t checkpoint_every_records = 256;
+  /// Object-store prefix all journal/checkpoint blobs live under. Must
+  /// stay outside the "tables/" namespace the blob GC scans.
+  std::string prefix = "catalog/";
+};
+
+/// Write-ahead journal for the MVCC catalog — the recovery half of the
+/// paper's design, where the catalog inherits the logging of its SQL DB
+/// (§4.1). Every committed catalog transaction appends one checksummed,
+/// length-prefixed record to the active journal segment blob; a periodic
+/// full-state checkpoint blob bounds replay to the tail. Segments are
+/// committed with ETag-guarded CommitBlockListIf so two processes can
+/// never both extend the same segment (single-writer enforcement).
+///
+/// Record frame: u32 magic | u32 crc32(body) | u32 body_len | body,
+/// where body = u64 commit_seq, varint n, n x (key, has_value, [value]).
+/// A torn final record (crash mid-append) fails its checksum or length
+/// check and is dropped by Recover; everything before it replays.
+///
+/// Replay is idempotent because records are full-row images keyed by
+/// commit_seq: applying "seq s sets key k to v" twice, or re-applying
+/// records already covered by a checkpoint (seq <= checkpoint seq, which
+/// Recover skips), converges to the same final map.
+///
+/// Thread-safe; Append runs under the MvccStore commit lock anyway.
+class CatalogJournal {
+ public:
+  /// `store` and `metrics` must outlive the journal; `metrics` may be
+  /// null.
+  explicit CatalogJournal(storage::ObjectStore* store,
+                          CatalogJournalOptions options = {},
+                          obs::MetricsRegistry* metrics = nullptr);
+
+  /// What Recover reconstructed.
+  struct RecoveredState {
+    /// Live catalog rows after replay.
+    std::vector<std::pair<std::string, std::string>> rows;
+    /// The state is complete through this commit sequence (0 = empty db).
+    uint64_t commit_seq = 0;
+    /// Checkpoint the replay started from (0 = none found).
+    uint64_t checkpoint_seq = 0;
+    uint64_t records_replayed = 0;
+    uint64_t segments_scanned = 0;
+    /// A torn/corrupt trailing record was found and dropped.
+    bool torn_tail = false;
+  };
+
+  /// Loads the latest catalog checkpoint, replays the journal tail, and
+  /// primes the appender: the next Append starts a fresh segment after
+  /// commit_seq, and dead segments (only torn garbage, nothing
+  /// recoverable) are deleted so future segment names cannot collide.
+  /// Calling Recover again yields an identical RecoveredState.
+  common::Result<RecoveredState> Recover();
+
+  /// Durably appends one committed catalog transaction (wired as the
+  /// MvccStore commit listener, so it runs under the commit lock with
+  /// monotonically increasing `commit_seq`). After any failure the
+  /// journal fails closed: the blob tail is in an unknown state, so all
+  /// further Appends are refused until the database is reopened.
+  common::Status Append(
+      uint64_t commit_seq,
+      const std::map<std::string, std::optional<std::string>>& writes);
+
+  /// Writes a full-state checkpoint blob at `commit_seq` (idempotent:
+  /// re-writing the same sequence is a no-op).
+  common::Status WriteCheckpoint(
+      uint64_t commit_seq,
+      const std::vector<std::pair<std::string, std::string>>& rows);
+
+  /// True once checkpoint_every_records records accumulated past the
+  /// latest checkpoint.
+  bool ShouldCheckpoint() const;
+
+  /// Deletes journal segments whose every record is covered by the
+  /// latest checkpoint, plus superseded checkpoint blobs. Returns the
+  /// number of blobs deleted. (STO garbage collection calls this.)
+  common::Result<uint64_t> ReclaimSupersededSegments();
+
+  // Counters (bench/test bookkeeping).
+  uint64_t records_appended() const;
+  uint64_t bytes_appended() const;
+  uint64_t segments_started() const;
+  uint64_t checkpoints_written() const;
+  uint64_t last_checkpoint_seq() const;
+  uint64_t records_since_checkpoint() const;
+
+ private:
+  std::string SegmentPath(uint64_t first_seq) const;
+  std::string CheckpointPath(uint64_t seq) const;
+  std::string JournalPrefix() const { return options_.prefix + "journal/"; }
+  std::string CheckpointPrefix() const { return options_.prefix + "ckpt/"; }
+
+  static std::string EncodeRecord(
+      uint64_t commit_seq,
+      const std::map<std::string, std::optional<std::string>>& writes);
+
+  mutable std::mutex mu_;
+  storage::ObjectStore* store_;
+  CatalogJournalOptions options_;
+  obs::MetricsRegistry* metrics_;
+
+  // Active segment (appender) state.
+  std::string active_segment_;
+  std::vector<std::string> active_ids_;
+  uint64_t active_generation_ = 0;
+  uint64_t active_records_ = 0;
+  bool poisoned_ = false;
+
+  uint64_t last_appended_seq_ = 0;
+  uint64_t last_checkpoint_seq_ = 0;
+  uint64_t records_since_checkpoint_ = 0;
+
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t segments_started_ = 0;
+  uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace polaris::catalog
+
+#endif  // POLARIS_CATALOG_CATALOG_JOURNAL_H_

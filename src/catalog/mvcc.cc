@@ -240,6 +240,19 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
     }
   }
 
+  // --- Durability (write-ahead) --------------------------------------------
+  // The journal append is the durability point: once the listener returns
+  // OK the commit is recoverable; if it fails nothing was installed and
+  // the commit sequence is not consumed, so the store state matches what
+  // a post-crash recovery would reconstruct.
+  if (commit_listener_) {
+    Status st = commit_listener_(commit_seq, txn->writes_);
+    if (!st.ok()) {
+      txn->finished_ = true;
+      return st;
+    }
+  }
+
   // --- Install -------------------------------------------------------------
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -295,9 +308,10 @@ uint64_t MvccStore::Vacuum(uint64_t horizon_seq) {
   return removed;
 }
 
-std::vector<std::pair<std::string, std::string>> MvccStore::ExportLatest()
-    const {
+std::vector<std::pair<std::string, std::string>> MvccStore::ExportLatest(
+    uint64_t* commit_seq_out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (commit_seq_out != nullptr) *commit_seq_out = commit_seq_;
   std::vector<std::pair<std::string, std::string>> out;
   for (const auto& [key, chain] : rows_) {
     if (!chain.empty() && chain.back().deleted_seq == 0) {
@@ -308,17 +322,18 @@ std::vector<std::pair<std::string, std::string>> MvccStore::ExportLatest()
 }
 
 void MvccStore::ImportSnapshot(
-    const std::vector<std::pair<std::string, std::string>>& rows) {
+    const std::vector<std::pair<std::string, std::string>>& rows,
+    uint64_t commit_seq) {
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   rows_.clear();
   for (const auto& [key, value] : rows) {
     Version v;
     v.value = value;
-    v.created_seq = 1;
+    v.created_seq = commit_seq;
     rows_[key].push_back(std::move(v));
   }
-  commit_seq_ = 1;
+  commit_seq_ = commit_seq;
 }
 
 uint64_t MvccStore::LiveKeyCount() const {

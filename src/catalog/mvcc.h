@@ -125,6 +125,22 @@ class MvccStore {
 
   using CommitHook = std::function<common::Status(CommitContext*)>;
 
+  /// Durability listener: invoked under the commit lock for every commit,
+  /// after validation and the commit hook but *before* the writes are
+  /// installed — write-ahead semantics. `writes` is the transaction's full
+  /// effective write set (hook-added writes included); nullopt values are
+  /// deletes. If the listener fails, the commit fails, nothing is
+  /// installed, and the commit sequence is not consumed.
+  using CommitListener = std::function<common::Status(
+      uint64_t commit_seq,
+      const std::map<std::string, std::optional<std::string>>& writes)>;
+
+  /// Installs the durability listener (the catalog journal). Attach before
+  /// serving transactions; not synchronized against in-flight commits.
+  void SetCommitListener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
+
   /// Validates and commits. Returns Conflict if another transaction
   /// committed a conflicting write (or, in serializable mode, invalidated
   /// the read set) since `txn` began. On any failure the transaction is
@@ -145,14 +161,19 @@ class MvccStore {
 
   /// Exports all live key-value pairs at the latest committed snapshot.
   /// Basis of zero-data-copy Backup (paper §6.3): the catalog rows are the
-  /// only thing a backup needs to copy.
-  std::vector<std::pair<std::string, std::string>> ExportLatest() const;
+  /// only thing a backup needs to copy. When `commit_seq_out` is non-null
+  /// it receives the commit sequence the export is consistent with (an
+  /// atomic pair, as catalog checkpoints require).
+  std::vector<std::pair<std::string, std::string>> ExportLatest(
+      uint64_t* commit_seq_out = nullptr) const;
 
   /// Replaces the entire store contents with `rows`, as a single committed
-  /// version. Must not run concurrently with any transaction; the caller
-  /// (engine Restore) enforces quiescence.
+  /// version at `commit_seq` (recovery/restore pass the sequence the rows
+  /// are consistent with). Must not run concurrently with any transaction;
+  /// the caller (engine Restore/Open) enforces quiescence.
   void ImportSnapshot(
-      const std::vector<std::pair<std::string, std::string>>& rows);
+      const std::vector<std::pair<std::string, std::string>>& rows,
+      uint64_t commit_seq = 1);
 
  private:
   struct Version {
@@ -173,6 +194,7 @@ class MvccStore {
   std::map<std::string, std::vector<Version>> rows_;
   uint64_t commit_seq_ = 0;
   uint64_t next_txn_id_ = 1;
+  CommitListener commit_listener_;  // guarded by commit_mu_ during commits
 };
 
 }  // namespace polaris::catalog

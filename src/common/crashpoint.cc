@@ -1,0 +1,53 @@
+#include "common/crashpoint.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace polaris::common {
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_fired{0};
+std::mutex g_mu;
+std::string g_name;        // guarded by g_mu
+uint64_t g_skip = 0;       // guarded by g_mu
+}  // namespace
+
+void CrashPoints::Arm(std::string name, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_name = std::move(name);
+  g_skip = skip;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void CrashPoints::Disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed.store(false, std::memory_order_release);
+  g_name.clear();
+  g_skip = 0;
+}
+
+bool CrashPoints::Fire(std::string_view name) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  if (g_name != name) return false;
+  if (g_skip > 0) {
+    --g_skip;
+    return false;
+  }
+  g_armed.store(false, std::memory_order_release);
+  g_name.clear();
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool CrashPoints::armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+uint64_t CrashPoints::fired_count() {
+  return g_fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace polaris::common

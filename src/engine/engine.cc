@@ -32,11 +32,21 @@ PolarisEngine::PolarisEngine(EngineOptions options,
                        ? nullptr
                        : std::make_unique<common::SimClock>(1'000'000)),
       clock_(clock != nullptr ? clock : owned_clock_.get()),
-      owned_store_(store != nullptr
+      owned_store_(store != nullptr || !options_.data_dir.empty()
                        ? nullptr
                        : std::make_unique<storage::MemoryObjectStore>(clock_)),
+      owned_local_store_(
+          store == nullptr && !options_.data_dir.empty()
+              ? std::make_unique<storage::LocalFileObjectStore>(
+                    options_.data_dir, clock_)
+              : nullptr),
       fault_store_(std::make_unique<storage::FaultInjectionStore>(
-          store != nullptr ? store : owned_store_.get(),
+          store != nullptr
+              ? store
+              : (owned_local_store_ != nullptr
+                     ? static_cast<storage::ObjectStore*>(
+                           owned_local_store_.get())
+                     : owned_store_.get()),
           options_.fault_seed)),
       retry_store_(std::make_unique<storage::RetryingObjectStore>(
           fault_store_.get(), clock_, options_.storage_retry, &metrics_)),
@@ -55,6 +65,59 @@ PolarisEngine::PolarisEngine(EngineOptions options,
   scheduler_.set_metrics(&metrics_);
   sto_.set_metrics(&metrics_);
   sto_.set_tracer(&tracer_);
+  if (owned_local_store_ != nullptr) {
+    // Persisted created_at stamps must stay in the past of the (virtual)
+    // clock, or GC's created_at-vs-active-transaction comparisons would
+    // misclassify old blobs as in-flight after a reopen.
+    common::Micros max_seen = owned_local_store_->max_created_at();
+    if (max_seen >= clock_->Now()) {
+      clock_->Advance(max_seen + 1 - clock_->Now());
+    }
+  }
+}
+
+common::Result<std::unique_ptr<PolarisEngine>> PolarisEngine::Open(
+    EngineOptions options, common::Clock* clock) {
+  auto engine = std::make_unique<PolarisEngine>(options, nullptr, clock);
+  if (!options.data_dir.empty()) {
+    POLARIS_RETURN_IF_ERROR(engine->owned_local_store_->init_status());
+    POLARIS_RETURN_IF_ERROR(engine->RecoverCatalog());
+  }
+  return engine;
+}
+
+Status PolarisEngine::RecoverCatalog() {
+  journal_ = std::make_unique<catalog::CatalogJournal>(
+      store_, options_.journal_options, &metrics_);
+  POLARIS_ASSIGN_OR_RETURN(recovery_, journal_->Recover());
+  if (recovery_.commit_seq > 0) {
+    catalog_.store()->ImportSnapshot(recovery_.rows, recovery_.commit_seq);
+  }
+  recovery_.rows.clear();  // imported; keep only the summary
+  catalog_.store()->SetCommitListener(
+      [this](uint64_t commit_seq,
+             const std::map<std::string, std::optional<std::string>>& writes) {
+        return journal_->Append(commit_seq, writes);
+      });
+  sto_.set_catalog_journal(journal_.get());
+  POLARIS_LOG(kInfo, "engine")
+      << "opened durable database at " << options_.data_dir
+      << ": checkpoint seq " << recovery_.checkpoint_seq << ", replayed "
+      << recovery_.records_replayed << " journal records to seq "
+      << recovery_.commit_seq
+      << (recovery_.torn_tail ? " (dropped torn tail record)" : "")
+      << ", swept " << owned_local_store_->swept_staged_blocks()
+      << " orphaned staged blocks";
+  return Status::OK();
+}
+
+Status PolarisEngine::CheckpointCatalog() {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition("not a durable engine");
+  }
+  uint64_t seq = 0;
+  auto rows = catalog_.store()->ExportLatest(&seq);
+  return journal_->WriteCheckpoint(seq, rows);
 }
 
 EngineStats PolarisEngine::Stats() {
@@ -71,6 +134,10 @@ EngineStats PolarisEngine::Stats() {
   if (tables.ok()) stats.tables = tables->size();
   stats.storage_retries = retry_store_->total_retries();
   stats.injected_faults = fault_store_->injected_failures();
+  if (journal_ != nullptr) {
+    stats.journal_records = journal_->records_appended();
+    stats.journal_checkpoints = journal_->checkpoints_written();
+  }
   return stats;
 }
 
@@ -470,7 +537,17 @@ Status PolarisEngine::RestoreDatabase(const std::string& image) {
     rows.emplace_back(std::move(key), std::move(value));
   }
   if (!in.AtEnd()) return Status::Corruption("trailing backup bytes");
-  catalog_.store()->ImportSnapshot(rows);
+  if (journal_ != nullptr) {
+    // Durable restore: the imported state supersedes the whole journal,
+    // so persist it as a checkpoint at a fresh sequence *first* (if the
+    // write fails, in-memory state is untouched). Replay after the next
+    // reopen starts from this checkpoint; older records are skipped.
+    uint64_t seq = catalog_.store()->LatestCommitSeq() + 1;
+    POLARIS_RETURN_IF_ERROR(journal_->WriteCheckpoint(seq, rows));
+    catalog_.store()->ImportSnapshot(rows, seq);
+  } else {
+    catalog_.store()->ImportSnapshot(rows);
+  }
   POLARIS_LOG(kInfo, "engine") << "restored database from backup ("
                                << rows.size() << " catalog rows)";
   return Status::OK();

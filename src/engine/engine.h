@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog_db.h"
+#include "catalog/catalog_journal.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "dcp/scheduler.h"
@@ -21,6 +22,7 @@
 #include "obs/tracer.h"
 #include "sto/sto.h"
 #include "storage/fault_injection_store.h"
+#include "storage/local_file_object_store.h"
 #include "storage/memory_object_store.h"
 #include "storage/retrying_object_store.h"
 #include "txn/transaction_manager.h"
@@ -52,6 +54,13 @@ struct EngineOptions {
   uint64_t fault_seed = 42;
   /// Backoff/budget for the storage retry layer.
   storage::RetryPolicy storage_retry;
+  /// When non-empty, the engine is durable: blobs live in a
+  /// LocalFileObjectStore rooted at this directory and every catalog
+  /// commit is journaled there. Use PolarisEngine::Open to construct a
+  /// durable engine — it recovers any existing state on reopen.
+  std::string data_dir;
+  /// Segment/checkpoint cadence for the catalog journal (durable mode).
+  catalog::CatalogJournalOptions journal_options;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -87,6 +96,9 @@ struct EngineStats {
   /// Storage-resilience counters (the decorator stack).
   uint64_t storage_retries = 0;
   uint64_t injected_faults = 0;
+  /// Durability counters (zero for in-memory engines).
+  uint64_t journal_records = 0;
+  uint64_t journal_checkpoints = 0;
 };
 
 /// The public facade over the whole system: storage engine, catalog, DCP,
@@ -103,6 +115,16 @@ class PolarisEngine {
   explicit PolarisEngine(EngineOptions options = {},
                          storage::ObjectStore* store = nullptr,
                          common::Clock* clock = nullptr);
+
+  /// Opens a database. For in-memory options this is equivalent to the
+  /// constructor; when `options.data_dir` is set it opens (or creates)
+  /// the durable database there — loading the latest catalog checkpoint,
+  /// replaying the journal tail (a torn final record is dropped), and
+  /// wiring every future catalog commit through the journal. Committed
+  /// snapshots are readable immediately after Open; staged blobs of
+  /// transactions that never committed are invisible and reclaimed.
+  static common::Result<std::unique_ptr<PolarisEngine>> Open(
+      EngineOptions options = {}, common::Clock* clock = nullptr);
 
   // Not movable: subsystems hold pointers to each other.
   PolarisEngine(const PolarisEngine&) = delete;
@@ -125,6 +147,12 @@ class PolarisEngine {
   /// traces (see obs::Tracer), export with Tracer::ExportChromeTrace.
   obs::Tracer* tracer() { return &tracer_; }
   catalog::CatalogDb* catalog() { return &catalog_; }
+  /// The catalog journal (null for in-memory engines).
+  catalog::CatalogJournal* journal() { return journal_.get(); }
+  /// What recovery replayed when this durable engine was opened.
+  const catalog::CatalogJournal::RecoveredState& recovery_info() const {
+    return recovery_;
+  }
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   sto::SystemTaskOrchestrator* sto() { return &sto_; }
   exec::DataCache* cache() { return &cache_; }
@@ -211,7 +239,14 @@ class PolarisEngine {
   /// reclaimed by the next GC.
   common::Status RestoreDatabase(const std::string& image);
 
+  /// Durable engines only: writes a catalog checkpoint at the current
+  /// commit sequence, bounding the next reopen's journal replay.
+  common::Status CheckpointCatalog();
+
  private:
+  /// Durable-mode Open half: recover journal state into the catalog and
+  /// install the commit listener.
+  common::Status RecoverCatalog();
   exec::DmlContext MakeDmlContext(const catalog::TableMeta& meta,
                                   const std::string& manifest_path);
 
@@ -229,11 +264,14 @@ class PolarisEngine {
   /// time — profiles and Perfetto timelines stay meaningful.
   obs::Tracer tracer_;
   std::unique_ptr<storage::MemoryObjectStore> owned_store_;
+  std::unique_ptr<storage::LocalFileObjectStore> owned_local_store_;
   /// Storage decorator stack (§3.2.2 / §4.3): every subsystem reads and
   /// writes through fault injection (chaos) + retry (resilience).
   std::unique_ptr<storage::FaultInjectionStore> fault_store_;
   std::unique_ptr<storage::RetryingObjectStore> retry_store_;
   storage::ObjectStore* store_;
+  std::unique_ptr<catalog::CatalogJournal> journal_;
+  catalog::CatalogJournal::RecoveredState recovery_;
   catalog::CatalogDb catalog_;
   lst::SnapshotBuilder builder_;
   exec::DataCache cache_;

@@ -494,12 +494,36 @@ Status SystemTaskOrchestrator::RunOnce(bool run_gc) {
       POLARIS_RETURN_IF_ERROR(PublishTable(meta.table_id));
     }
   }
+  POLARIS_RETURN_IF_ERROR(MaintainCatalogJournal());
   if (run_gc) {
     POLARIS_RETURN_IF_ERROR(RunGarbageCollection().status());
     // Also reclaim superseded catalog row versions that no active
     // transaction's snapshot can still see.
     txn_manager_->catalog()->store()->Vacuum(
         txn_manager_->MinActiveBeginSeq());
+  }
+  return Status::OK();
+}
+
+Status SystemTaskOrchestrator::MaintainCatalogJournal() {
+  if (journal_ == nullptr) return Status::OK();
+  if (journal_->ShouldCheckpoint()) {
+    obs::Span span(tracer_, "sto.catalog_checkpoint", obs::Span::kRoot);
+    // ExportLatest pairs the rows with the commit sequence they are
+    // consistent with, taken atomically under the catalog lock.
+    uint64_t seq = 0;
+    auto rows = txn_manager_->catalog()->store()->ExportLatest(&seq);
+    POLARIS_RETURN_IF_ERROR(journal_->WriteCheckpoint(seq, rows));
+    if (metrics_ != nullptr) metrics_->Add("sto.catalog_checkpoints");
+  }
+  POLARIS_ASSIGN_OR_RETURN(uint64_t reclaimed,
+                           journal_->ReclaimSupersededSegments());
+  if (reclaimed > 0) {
+    if (metrics_ != nullptr) {
+      metrics_->Add("sto.journal_blobs_reclaimed", reclaimed);
+    }
+    POLARIS_LOG(kInfo, "sto")
+        << "reclaimed " << reclaimed << " superseded catalog journal blobs";
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog_journal.h"
 #include "common/result.h"
 #include "exec/data_cache.h"
 #include "exec/dml.h"
@@ -93,6 +94,14 @@ class SystemTaskOrchestrator {
   /// of whatever user statement happened to trigger the sweep.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the durable engine's catalog journal (may be null). The STO
+  /// then writes periodic catalog checkpoints and reclaims superseded
+  /// journal segments during its sweeps — §5.2/§5.3 extended to the
+  /// catalog's own log.
+  void set_catalog_journal(catalog::CatalogJournal* journal) {
+    journal_ = journal;
+  }
+
   /// FE commit notification (§5.2): bumps the table's pending-manifest
   /// count and marks it for publishing.
   void OnCommit(int64_t table_id);
@@ -124,6 +133,11 @@ class SystemTaskOrchestrator {
   /// Delta-format log in the user-visible OneLake location (§5.4).
   common::Status PublishTable(int64_t table_id);
 
+  /// Catalog-journal maintenance: writes a catalog checkpoint when the
+  /// journal asks for one, then reclaims superseded segments. No-op when
+  /// no journal is attached. Runs as part of every RunOnce sweep.
+  common::Status MaintainCatalogJournal();
+
   /// One background sweep: health check + compaction where needed,
   /// checkpointing, publishing; GC only when `run_gc`.
   common::Status RunOnce(bool run_gc = false);
@@ -135,6 +149,7 @@ class SystemTaskOrchestrator {
   StoOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  catalog::CatalogJournal* journal_ = nullptr;
   DeltaPublisher publisher_;
 
   std::mutex mu_;

@@ -90,6 +90,15 @@ Status FaultInjectionStore::CommitBlockList(
   return base_->CommitBlockList(path, block_ids);
 }
 
+Status FaultInjectionStore::CommitBlockListIf(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    uint64_t expected_generation) {
+  if (ShouldFail(/*is_write=*/true, "CommitBlockListIf", path)) {
+    return Status::Unavailable("injected fault: CommitBlockListIf " + path);
+  }
+  return base_->CommitBlockListIf(path, block_ids, expected_generation);
+}
+
 Result<std::vector<std::string>> FaultInjectionStore::GetCommittedBlockList(
     const std::string& path) {
   if (ShouldFail(/*is_write=*/false, "GetCommittedBlockList", path)) {

@@ -1,0 +1,565 @@
+#include "storage/local_file_object_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/crashpoint.h"
+#include "common/guid.h"
+#include "common/logging.h"
+
+namespace polaris::storage {
+
+namespace fs = std::filesystem;
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kBlobMagic = 0x31424c50;  // "PLB1"
+
+bool IsPlainChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+char HexDigit(int v) { return v < 10 ? static_cast<char>('0' + v)
+                                     : static_cast<char>('a' + v - 10); }
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Maps one blob-path segment to a filesystem-safe name. Characters
+/// outside [A-Za-z0-9._-] are %XX-escaped; "." / ".." / "" (which are
+/// special to the filesystem) are escaped entirely. A lone "%" encodes
+/// the empty segment — '%' is otherwise always followed by two hex
+/// digits, so the mapping is bijective.
+std::string EncodeSegment(const std::string& segment) {
+  if (segment.empty()) return "%";
+  bool force = segment == "." || segment == "..";
+  std::string out;
+  out.reserve(segment.size());
+  for (char c : segment) {
+    if (!force && IsPlainChar(c)) {
+      out += c;
+    } else {
+      out += '%';
+      out += HexDigit((static_cast<unsigned char>(c) >> 4) & 0xf);
+      out += HexDigit(static_cast<unsigned char>(c) & 0xf);
+    }
+  }
+  return out;
+}
+
+bool DecodeSegment(const std::string& encoded, std::string* out) {
+  if (encoded == "%") {
+    out->clear();
+    return true;
+  }
+  out->clear();
+  out->reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      *out += encoded[i];
+      continue;
+    }
+    if (i + 2 >= encoded.size()) return false;
+    int hi = HexValue(encoded[i + 1]);
+    int lo = HexValue(encoded[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    *out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (true) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      segments.push_back(path.substr(start));
+      break;
+    }
+    segments.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return segments;
+}
+
+Result<std::string> ReadFile(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return Status::NotFound("blob file not found: " + file);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + file);
+  return content;
+}
+
+/// Writes `content` durably: all bytes + fsync before returning OK.
+Status WriteFileSynced(const std::string& file, const std::string& content) {
+  int fd = ::open(file.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open failed: " + file + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written,
+                        content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::IOError("write failed: " + file + ": " +
+                                  std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::IOError("fsync failed: " + file + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close failed: " + file + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// fsync on a directory persists the rename that just happened inside
+/// it. Best effort: some filesystems refuse directory fds.
+void SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+uint64_t LocalFileObjectStore::Header::payload_size() const {
+  uint64_t total = 0;
+  for (const auto& [id, size] : blocks) {
+    (void)id;
+    total += size;
+  }
+  return total;
+}
+
+LocalFileObjectStore::LocalFileObjectStore(std::string root,
+                                           common::Clock* clock)
+    : root_(std::move(root)), clock_(clock) {
+  if (clock_ == nullptr) {
+    owned_clock_ = std::make_unique<common::SimClock>(1);
+    clock_ = owned_clock_.get();
+  }
+  init_status_ = SweepAndScan();
+}
+
+Status LocalFileObjectStore::SweepAndScan() {
+  std::error_code ec;
+  for (const char* sub : {"objects", "staged", "tmp"}) {
+    fs::create_directories(fs::path(root_) / sub, ec);
+    if (ec) {
+      return Status::IOError("cannot create " + root_ + "/" + sub + ": " +
+                             ec.message());
+    }
+  }
+  // Discard uncommitted state a crashed process left behind: staged
+  // blocks never named by a CommitBlockList are invisible by contract.
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(root_) / "staged", ec)) {
+    if (entry.is_regular_file(ec)) ++swept_staged_blocks_;
+  }
+  fs::remove_all(fs::path(root_) / "staged", ec);
+  fs::remove_all(fs::path(root_) / "tmp", ec);
+  fs::create_directories(fs::path(root_) / "staged", ec);
+  fs::create_directories(fs::path(root_) / "tmp", ec);
+  if (ec) return Status::IOError("sweep failed: " + ec.message());
+
+  // Scan committed blobs so a reopening engine can advance its clock
+  // past every persisted created_at stamp.
+  common::Micros max_seen = 0;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(root_) / "objects", ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    auto content = ReadFile(entry.path().string());
+    if (!content.ok()) return content.status();
+    Header header;
+    POLARIS_RETURN_IF_ERROR(
+        ParseHeader(*content, entry.path().string(), &header));
+    max_seen = std::max(max_seen, header.created_at);
+  }
+  if (ec) return Status::IOError("scan failed: " + ec.message());
+  max_created_at_.store(max_seen);
+  return Status::OK();
+}
+
+std::string LocalFileObjectStore::ObjectFile(const std::string& path) const {
+  fs::path file = fs::path(root_) / "objects";
+  std::vector<std::string> segments = SplitPath(path);
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    file /= EncodeSegment(segments[i]);
+  }
+  file /= EncodeSegment(segments.back()) + ".blob";
+  return file.string();
+}
+
+std::string LocalFileObjectStore::StagedDir(const std::string& path) const {
+  fs::path dir = fs::path(root_) / "staged";
+  std::vector<std::string> segments = SplitPath(path);
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    dir /= EncodeSegment(segments[i]);
+  }
+  dir /= EncodeSegment(segments.back()) + ".blocks";
+  return dir.string();
+}
+
+Status LocalFileObjectStore::ParseHeader(const std::string& content,
+                                         const std::string& path,
+                                         Header* header) {
+  common::ByteReader in(content);
+  uint32_t magic;
+  POLARIS_RETURN_IF_ERROR(in.GetU32(&magic));
+  if (magic != kBlobMagic) {
+    return Status::Corruption("bad blob magic in " + path);
+  }
+  uint8_t is_block_blob;
+  POLARIS_RETURN_IF_ERROR(in.GetU8(&is_block_blob));
+  int64_t created_at;
+  POLARIS_RETURN_IF_ERROR(in.GetI64(&created_at));
+  POLARIS_RETURN_IF_ERROR(in.GetU64(&header->generation));
+  uint64_t num_blocks;
+  POLARIS_RETURN_IF_ERROR(in.GetVarint(&num_blocks));
+  header->is_block_blob = is_block_blob != 0;
+  header->created_at = created_at;
+  header->blocks.clear();
+  header->blocks.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    std::string id;
+    uint64_t size;
+    POLARIS_RETURN_IF_ERROR(in.GetString(&id));
+    POLARIS_RETURN_IF_ERROR(in.GetVarint(&size));
+    header->blocks.emplace_back(std::move(id), size);
+  }
+  header->payload_offset = in.position();
+  if (content.size() - header->payload_offset != header->payload_size()) {
+    return Status::Corruption("blob payload size mismatch in " + path);
+  }
+  return Status::OK();
+}
+
+Status LocalFileObjectStore::WriteBlobFileLocked(
+    const std::string& file, const Header& header,
+    const std::vector<std::string>& block_payloads,
+    const char* crash_point) {
+  common::ByteWriter out;
+  out.PutU32(kBlobMagic);
+  out.PutU8(header.is_block_blob ? 1 : 0);
+  out.PutI64(header.created_at);
+  out.PutU64(header.generation);
+  out.PutVarint(header.blocks.size());
+  for (const auto& [id, size] : header.blocks) {
+    out.PutString(id);
+    out.PutVarint(size);
+  }
+  std::string content = out.Release();
+  for (const auto& payload : block_payloads) content += payload;
+
+  std::error_code ec;
+  fs::path target(file);
+  fs::create_directories(target.parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create " + target.parent_path().string() +
+                           ": " + ec.message());
+  }
+  std::string tmp =
+      (fs::path(root_) / "tmp" / common::Guid::Generate().ToString())
+          .string();
+  POLARIS_RETURN_IF_ERROR(WriteFileSynced(tmp, content));
+  // The temp file is durable but the rename has not happened: a crash
+  // here must leave the blob's previous committed state intact.
+  POLARIS_CRASH_POINT(crash_point);
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    return Status::IOError("rename failed: " + tmp + " -> " + file + ": " +
+                           ec.message());
+  }
+  SyncDirectory(target.parent_path().string());
+  common::Micros prev = max_created_at_.load();
+  while (header.created_at > prev &&
+         !max_created_at_.compare_exchange_weak(prev, header.created_at)) {
+  }
+  return Status::OK();
+}
+
+Status LocalFileObjectStore::Put(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string file = ObjectFile(path);
+  std::error_code ec;
+  if (fs::exists(file, ec) || fs::exists(StagedDir(path), ec)) {
+    return Status::AlreadyExists("blob exists: " + path);
+  }
+  Header header;
+  header.is_block_blob = false;
+  header.created_at = clock_->Now();
+  header.generation = 1;
+  header.blocks.emplace_back("", data.size());
+  std::vector<std::string> payloads;
+  payloads.push_back(std::move(data));
+  return WriteBlobFileLocked(file, header, payloads,
+                             common::crash::kStorePutBeforeRename);
+}
+
+Result<std::string> LocalFileObjectStore::Get(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto content = ReadFile(ObjectFile(path));
+  if (!content.ok()) return Status::NotFound("blob not found: " + path);
+  Header header;
+  POLARIS_RETURN_IF_ERROR(ParseHeader(*content, path, &header));
+  return content->substr(header.payload_offset);
+}
+
+Result<BlobInfo> LocalFileObjectStore::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto content = ReadFile(ObjectFile(path));
+  if (!content.ok()) return Status::NotFound("blob not found: " + path);
+  Header header;
+  POLARIS_RETURN_IF_ERROR(ParseHeader(*content, path, &header));
+  BlobInfo info;
+  info.path = path;
+  info.size = header.payload_size();
+  info.created_at = header.created_at;
+  info.generation = header.generation;
+  return info;
+}
+
+Status LocalFileObjectStore::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  bool had_object = fs::remove(ObjectFile(path), ec);
+  bool had_staged = fs::remove_all(StagedDir(path), ec) > 0;
+  if (!had_object && !had_staged) {
+    return Status::NotFound("blob not found: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BlobInfo>> LocalFileObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobInfo> out;
+  fs::path objects = fs::path(root_) / "objects";
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(objects, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    // Reconstruct the blob path from the encoded relative file path.
+    fs::path rel = fs::relative(entry.path(), objects, ec);
+    if (ec) continue;
+    std::string blob_path;
+    bool valid = true;
+    for (auto it = rel.begin(); it != rel.end(); ++it) {
+      std::string encoded = it->string();
+      if (std::next(it) == rel.end()) {
+        const std::string suffix = ".blob";
+        if (encoded.size() < suffix.size() ||
+            encoded.compare(encoded.size() - suffix.size(), suffix.size(),
+                            suffix) != 0) {
+          valid = false;
+          break;
+        }
+        encoded.resize(encoded.size() - suffix.size());
+      }
+      std::string segment;
+      if (!DecodeSegment(encoded, &segment)) {
+        valid = false;
+        break;
+      }
+      if (!blob_path.empty() || it != rel.begin()) blob_path += '/';
+      blob_path += segment;
+    }
+    if (!valid) continue;
+    if (blob_path.compare(0, prefix.size(), prefix) != 0) continue;
+    auto content = ReadFile(entry.path().string());
+    if (!content.ok()) return content.status();
+    Header header;
+    POLARIS_RETURN_IF_ERROR(ParseHeader(*content, blob_path, &header));
+    BlobInfo info;
+    info.path = blob_path;
+    info.size = header.payload_size();
+    info.created_at = header.created_at;
+    info.generation = header.generation;
+    out.push_back(std::move(info));
+  }
+  if (ec) return Status::IOError("list failed: " + ec.message());
+  std::sort(out.begin(), out.end(),
+            [](const BlobInfo& a, const BlobInfo& b) { return a.path < b.path; });
+  return out;
+}
+
+Status LocalFileObjectStore::StageBlock(const std::string& path,
+                                        const std::string& block_id,
+                                        std::string data) {
+  if (block_id.empty()) {
+    return Status::InvalidArgument("block id must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string file = ObjectFile(path);
+  std::error_code ec;
+  if (fs::exists(file, ec)) {
+    auto content = ReadFile(file);
+    if (!content.ok()) return content.status();
+    Header header;
+    POLARIS_RETURN_IF_ERROR(ParseHeader(*content, path, &header));
+    if (!header.is_block_blob) {
+      return Status::FailedPrecondition("blob is not a block blob: " + path);
+    }
+  }
+  fs::path dir(StagedDir(path));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + dir.string() + ": " +
+                           ec.message());
+  }
+  // Staged blocks are scratch state — discarded wholesale on reopen — so
+  // a plain overwrite-in-place write is enough (re-stage = overwrite).
+  std::ofstream block(dir / EncodeSegment(block_id),
+                      std::ios::binary | std::ios::trunc);
+  block.write(data.data(), static_cast<std::streamsize>(data.size()));
+  block.close();
+  if (!block) {
+    return Status::IOError("stage write failed for block '" + block_id +
+                           "' of " + path);
+  }
+  return Status::OK();
+}
+
+Status LocalFileObjectStore::CommitBlockList(
+    const std::string& path, const std::vector<std::string>& block_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitBlockListLocked(path, block_ids, std::nullopt);
+}
+
+Status LocalFileObjectStore::CommitBlockListIf(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    uint64_t expected_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitBlockListLocked(path, block_ids, expected_generation);
+}
+
+Status LocalFileObjectStore::CommitBlockListLocked(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    std::optional<uint64_t> expected_generation) {
+  std::string file = ObjectFile(path);
+  std::error_code ec;
+  bool exists = fs::exists(file, ec);
+  Header old_header;
+  std::string old_content;
+  if (exists) {
+    auto content = ReadFile(file);
+    if (!content.ok()) return content.status();
+    old_content = std::move(*content);
+    POLARIS_RETURN_IF_ERROR(ParseHeader(old_content, path, &old_header));
+    if (!old_header.is_block_blob) {
+      return Status::FailedPrecondition("blob is not a block blob: " + path);
+    }
+  }
+  uint64_t current_generation = exists ? old_header.generation : 0;
+  if (expected_generation.has_value() &&
+      *expected_generation != current_generation) {
+    return Status::FailedPrecondition(
+        "generation mismatch for " + path + ": expected " +
+        std::to_string(*expected_generation) + ", found " +
+        std::to_string(current_generation));
+  }
+
+  // Offsets of the currently committed blocks, for re-committed IDs.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> committed;  // id -> (off, size)
+  uint64_t offset = old_header.payload_offset;
+  for (const auto& [id, size] : old_header.blocks) {
+    committed.emplace(id, std::make_pair(offset, size));
+    offset += size;
+  }
+  std::string staged_dir = StagedDir(path);
+
+  Header header;
+  header.is_block_blob = true;
+  header.created_at = exists ? old_header.created_at : clock_->Now();
+  header.generation = current_generation + 1;
+  std::vector<std::string> payloads;
+  payloads.reserve(block_ids.size());
+  for (const auto& id : block_ids) {
+    // Staged wins over a previously committed block with the same ID
+    // (Azure: latest staged version).
+    std::string staged_file =
+        (fs::path(staged_dir) / EncodeSegment(id)).string();
+    if (fs::exists(staged_file, ec)) {
+      auto data = ReadFile(staged_file);
+      if (!data.ok()) return data.status();
+      header.blocks.emplace_back(id, data->size());
+      payloads.push_back(std::move(*data));
+    } else if (auto it = committed.find(id); it != committed.end()) {
+      header.blocks.emplace_back(id, it->second.second);
+      payloads.push_back(
+          old_content.substr(it->second.first, it->second.second));
+    } else {
+      return Status::InvalidArgument("unknown block id '" + id +
+                                     "' for blob: " + path);
+    }
+  }
+
+  POLARIS_RETURN_IF_ERROR(
+      WriteBlobFileLocked(file, header, payloads,
+                          common::crash::kStoreCommitBeforeRename));
+  // All staged blocks are discarded after a commit, referenced or not.
+  fs::remove_all(staged_dir, ec);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LocalFileObjectStore::GetCommittedBlockList(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto content = ReadFile(ObjectFile(path));
+  if (!content.ok()) return Status::NotFound("blob not found: " + path);
+  Header header;
+  POLARIS_RETURN_IF_ERROR(ParseHeader(*content, path, &header));
+  if (!header.is_block_blob) {
+    return Status::FailedPrecondition("blob is not a block blob: " + path);
+  }
+  std::vector<std::string> ids;
+  ids.reserve(header.blocks.size());
+  for (const auto& [id, size] : header.blocks) {
+    (void)size;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+uint64_t LocalFileObjectStore::StagedBlockCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(root_) / "staged", ec)) {
+    if (entry.is_regular_file(ec)) ++count;
+  }
+  return count;
+}
+
+}  // namespace polaris::storage

@@ -43,6 +43,7 @@ Status MemoryObjectStore::Put(const std::string& path, std::string data) {
   blob.is_block_blob = false;
   blob.committed = true;
   blob.created_at = clock_->Now();
+  blob.generation = 1;
   stats_.puts++;
   stats_.bytes_written += data.size();
   blob.committed_ids = {""};
@@ -72,6 +73,7 @@ Result<BlobInfo> MemoryObjectStore::Stat(const std::string& path) {
   info.path = path;
   info.size = it->second.CommittedSize();
   info.created_at = it->second.created_at;
+  info.generation = it->second.generation;
   return info;
 }
 
@@ -98,6 +100,7 @@ Result<std::vector<BlobInfo>> MemoryObjectStore::List(
     info.path = it->first;
     info.size = it->second.CommittedSize();
     info.created_at = it->second.created_at;
+    info.generation = it->second.generation;
     out.push_back(std::move(info));
   }
   return out;
@@ -126,7 +129,29 @@ Status MemoryObjectStore::StageBlock(const std::string& path,
 Status MemoryObjectStore::CommitBlockList(
     const std::string& path, const std::vector<std::string>& block_ids) {
   std::lock_guard<std::mutex> lock(mu_);
+  return CommitBlockListLocked(path, block_ids, std::nullopt);
+}
+
+Status MemoryObjectStore::CommitBlockListIf(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    uint64_t expected_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitBlockListLocked(path, block_ids, expected_generation);
+}
+
+Status MemoryObjectStore::CommitBlockListLocked(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    std::optional<uint64_t> expected_generation) {
   auto it = blobs_.find(path);
+  uint64_t current_generation =
+      (it != blobs_.end() && it->second.committed) ? it->second.generation : 0;
+  if (expected_generation.has_value() &&
+      *expected_generation != current_generation) {
+    return Status::FailedPrecondition(
+        "generation mismatch for " + path + ": expected " +
+        std::to_string(*expected_generation) + ", found " +
+        std::to_string(current_generation));
+  }
   if (it == blobs_.end()) {
     // Committing an empty list on a fresh path creates an empty block blob
     // (matches Azure). Any non-empty list must name staged blocks.
@@ -137,6 +162,7 @@ Status MemoryObjectStore::CommitBlockList(
     blob.is_block_blob = true;
     blob.committed = true;
     blob.created_at = clock_->Now();
+    blob.generation = 1;
     stats_.block_commits++;
     return Status::OK();
   }
@@ -167,6 +193,8 @@ Status MemoryObjectStore::CommitBlockList(
   blob.committed_blocks = std::move(new_blocks);
   blob.staged_blocks.clear();
   blob.committed = true;
+  blob.generation = current_generation + 1;
+  if (blob.created_at == 0) blob.created_at = clock_->Now();
   stats_.block_commits++;
   return Status::OK();
 }

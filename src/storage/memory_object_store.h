@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,9 @@ class MemoryObjectStore : public ObjectStore {
   common::Status CommitBlockList(
       const std::string& path,
       const std::vector<std::string>& block_ids) override;
+  common::Status CommitBlockListIf(const std::string& path,
+                                   const std::vector<std::string>& block_ids,
+                                   uint64_t expected_generation) override;
   common::Result<std::vector<std::string>> GetCommittedBlockList(
       const std::string& path) override;
 
@@ -48,6 +52,10 @@ class MemoryObjectStore : public ObjectStore {
   common::Clock* clock() { return clock_; }
 
  private:
+  common::Status CommitBlockListLocked(
+      const std::string& path, const std::vector<std::string>& block_ids,
+      std::optional<uint64_t> expected_generation);
+
   struct Blob {
     // Committed state: ordered block list; for Put blobs a single implicit
     // block named "".
@@ -58,6 +66,7 @@ class MemoryObjectStore : public ObjectStore {
     bool is_block_blob = false;
     bool committed = false;  // visible?
     common::Micros created_at = 0;
+    uint64_t generation = 0;  // bumped by every successful commit
 
     uint64_t CommittedSize() const;
     std::string Concatenate() const;

@@ -20,6 +20,10 @@ struct BlobInfo {
   /// start time to decide whether an unreferenced file belongs to an
   /// aborted transaction (paper §5.3).
   common::Micros created_at = 0;
+  /// Commit generation, the ETag analogue: 1 once the blob is first
+  /// created (Put or first CommitBlockList), incremented by every later
+  /// CommitBlockList. Durable stores persist it with the blob.
+  uint64_t generation = 0;
 };
 
 /// Cloud object store abstraction modeling ADLS / OneLake (paper §3.2.2).
@@ -78,6 +82,16 @@ class ObjectStore {
   /// All staged blocks are discarded afterwards, committed or not.
   virtual common::Status CommitBlockList(
       const std::string& path, const std::vector<std::string>& block_ids) = 0;
+
+  /// Conditional CommitBlockList — the ETag-guarded write (Azure
+  /// `If-Match`). Succeeds only if the blob's current generation equals
+  /// `expected_generation`; pass 0 to require that the blob does not yet
+  /// exist. On mismatch fails with FailedPrecondition and the blob is
+  /// unchanged. This is the optimistic-concurrency primitive the catalog
+  /// journal uses to guarantee a single writer per segment.
+  virtual common::Status CommitBlockListIf(
+      const std::string& path, const std::vector<std::string>& block_ids,
+      uint64_t expected_generation) = 0;
 
   /// IDs in the current committed block list, in order. NotFound if the
   /// blob has never been committed.

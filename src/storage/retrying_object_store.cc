@@ -142,6 +142,16 @@ Status RetryingObjectStore::CommitBlockList(
                  [&]() { return base_->CommitBlockList(path, block_ids); });
 }
 
+Status RetryingObjectStore::CommitBlockListIf(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    uint64_t expected_generation) {
+  // A generation mismatch surfaces as FailedPrecondition, which is not
+  // retryable — exactly what an ETag-guarded commit protocol needs.
+  return Execute("commit_block_list_if", path, [&]() {
+    return base_->CommitBlockListIf(path, block_ids, expected_generation);
+  });
+}
+
 Result<std::vector<std::string>> RetryingObjectStore::GetCommittedBlockList(
     const std::string& path) {
   Result<std::vector<std::string>> out = Status::Internal("no attempt made");

@@ -84,6 +84,9 @@ class RetryingObjectStore : public ObjectStore {
   common::Status CommitBlockList(
       const std::string& path,
       const std::vector<std::string>& block_ids) override;
+  common::Status CommitBlockListIf(const std::string& path,
+                                   const std::vector<std::string>& block_ids,
+                                   uint64_t expected_generation) override;
   common::Result<std::vector<std::string>> GetCommittedBlockList(
       const std::string& path) override;
 

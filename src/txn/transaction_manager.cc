@@ -1,5 +1,6 @@
 #include "txn/transaction_manager.h"
 
+#include "common/crashpoint.h"
 #include "common/guid.h"
 #include "common/logging.h"
 #include "common/trace_context.h"
@@ -269,6 +270,9 @@ Status TransactionManager::Commit(Transaction* txn) {
       }
     }
   }
+  // WriteSets are durable (journaled with the catalog commit below), but
+  // a crash here leaves only uncommitted MVCC buffers — nothing visible.
+  POLARIS_CRASH_POINT(common::crash::kCommitAfterWriteSets);
   // Steps 2-4: commit lock, Manifests inserts with sequence assignment,
   // and the SQL commit — all inside CatalogDb::Commit. A Conflict here is
   // the SI first-committer-wins rejection.

@@ -1,9 +1,10 @@
-// Unit tests for the object store substrate, focused on the Block Blob
-// protocol semantics the transaction manifest design depends on (§3.2.2).
+// Unit tests for the object store substrate: per-store statistics, fault
+// injection, path layout, and the retrying decorator. The object-store
+// *semantics* (Put/Get/Block Blob protocol, §3.2.2) are covered by the
+// conformance suite in store_conformance_test.cc, which runs the same
+// assertions against every ObjectStore implementation.
 
 #include <gtest/gtest.h>
-
-#include <thread>
 
 #include "common/clock.h"
 #include "obs/metrics.h"
@@ -14,175 +15,6 @@
 
 namespace polaris::storage {
 namespace {
-
-TEST(MemoryObjectStoreTest, PutGetRoundTrip) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.Put("a/b", "hello").ok());
-  auto got = store.Get("a/b");
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(*got, "hello");
-}
-
-TEST(MemoryObjectStoreTest, BlobsAreWriteOnce) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.Put("x", "v1").ok());
-  EXPECT_TRUE(store.Put("x", "v2").IsAlreadyExists());
-  EXPECT_EQ(*store.Get("x"), "v1");
-}
-
-TEST(MemoryObjectStoreTest, GetMissingIsNotFound) {
-  MemoryObjectStore store;
-  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
-  EXPECT_TRUE(store.Stat("nope").status().IsNotFound());
-  EXPECT_TRUE(store.Delete("nope").IsNotFound());
-}
-
-TEST(MemoryObjectStoreTest, StatReportsSizeAndCreationTime) {
-  common::SimClock clock(500);
-  MemoryObjectStore store(&clock);
-  ASSERT_TRUE(store.Put("f", "12345").ok());
-  auto info = store.Stat("f");
-  ASSERT_TRUE(info.ok());
-  EXPECT_EQ(info->size, 5u);
-  EXPECT_EQ(info->created_at, 500);
-}
-
-TEST(MemoryObjectStoreTest, ListFiltersByPrefixInOrder) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.Put("t/1/b", "1").ok());
-  ASSERT_TRUE(store.Put("t/1/a", "2").ok());
-  ASSERT_TRUE(store.Put("t/2/a", "3").ok());
-  ASSERT_TRUE(store.Put("u/x", "4").ok());
-  auto listed = store.List("t/1/");
-  ASSERT_TRUE(listed.ok());
-  ASSERT_EQ(listed->size(), 2u);
-  EXPECT_EQ((*listed)[0].path, "t/1/a");
-  EXPECT_EQ((*listed)[1].path, "t/1/b");
-}
-
-TEST(MemoryObjectStoreTest, DeleteRemovesBlob) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.Put("x", "v").ok());
-  ASSERT_TRUE(store.Delete("x").ok());
-  EXPECT_TRUE(store.Get("x").status().IsNotFound());
-  EXPECT_EQ(store.BlobCount(), 0u);
-}
-
-// --- Block Blob protocol -----------------------------------------------------
-
-TEST(BlockBlobTest, StagedBlocksAreInvisibleUntilCommit) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "b1", "alpha").ok());
-  EXPECT_TRUE(store.Get("m").status().IsNotFound());
-  ASSERT_TRUE(store.CommitBlockList("m", {"b1"}).ok());
-  EXPECT_EQ(*store.Get("m"), "alpha");
-}
-
-TEST(BlockBlobTest, CommitConcatenatesInListOrder) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "b1", "A").ok());
-  ASSERT_TRUE(store.StageBlock("m", "b2", "B").ok());
-  ASSERT_TRUE(store.StageBlock("m", "b3", "C").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"b3", "b1"}).ok());
-  EXPECT_EQ(*store.Get("m"), "CA");
-  auto ids = store.GetCommittedBlockList("m");
-  ASSERT_TRUE(ids.ok());
-  EXPECT_EQ(*ids, (std::vector<std::string>{"b3", "b1"}));
-}
-
-TEST(BlockBlobTest, UncommittedBlocksAreDiscardedAtCommit) {
-  // Blocks written by failed/abandoned task attempts are not in the final
-  // list and vanish (paper §3.2.2).
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "attempt1", "garbage").ok());
-  ASSERT_TRUE(store.StageBlock("m", "attempt2", "good").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"attempt2"}).ok());
-  EXPECT_EQ(*store.Get("m"), "good");
-  // attempt1 is gone: recommitting with it must fail.
-  EXPECT_TRUE(store.CommitBlockList("m", {"attempt2", "attempt1"})
-                  .IsInvalidArgument());
-}
-
-TEST(BlockBlobTest, AppendCommitReusesCommittedBlocks) {
-  // Multi-statement inserts append: the new list mixes committed blocks
-  // with newly staged ones (§3.2.3).
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "s1", "one,").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"s1"}).ok());
-  ASSERT_TRUE(store.StageBlock("m", "s2", "two").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"s1", "s2"}).ok());
-  EXPECT_EQ(*store.Get("m"), "one,two");
-}
-
-TEST(BlockBlobTest, RewriteCommitDropsOldBlocks) {
-  // Update/delete statements rewrite the manifest to a single canonical
-  // block; the old blocks are no longer referencable.
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "old1", "x").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"old1"}).ok());
-  ASSERT_TRUE(store.StageBlock("m", "new1", "reconciled").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"new1"}).ok());
-  EXPECT_EQ(*store.Get("m"), "reconciled");
-  EXPECT_TRUE(store.CommitBlockList("m", {"old1"}).IsInvalidArgument());
-}
-
-TEST(BlockBlobTest, RestagingSameBlockIdOverwrites) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "b", "v1").ok());
-  ASSERT_TRUE(store.StageBlock("m", "b", "v2").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"b"}).ok());
-  EXPECT_EQ(*store.Get("m"), "v2");
-}
-
-TEST(BlockBlobTest, CommitWithUnknownIdFailsAtomically) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.StageBlock("m", "b1", "A").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"b1"}).ok());
-  // Bad commit: blob state is unchanged.
-  EXPECT_TRUE(store.CommitBlockList("m", {"b1", "ghost"}).IsInvalidArgument());
-  EXPECT_EQ(*store.Get("m"), "A");
-}
-
-TEST(BlockBlobTest, EmptyCommitCreatesEmptyBlob) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.CommitBlockList("m", {}).ok());
-  EXPECT_EQ(*store.Get("m"), "");
-}
-
-TEST(BlockBlobTest, PutAndBlockProtocolsDontMix) {
-  MemoryObjectStore store;
-  ASSERT_TRUE(store.Put("p", "v").ok());
-  EXPECT_TRUE(store.StageBlock("p", "b", "x").IsFailedPrecondition());
-  EXPECT_TRUE(store.GetCommittedBlockList("p").status().IsFailedPrecondition());
-  ASSERT_TRUE(store.StageBlock("m", "b", "x").ok());
-  ASSERT_TRUE(store.CommitBlockList("m", {"b"}).ok());
-  EXPECT_TRUE(store.Put("m", "v").IsAlreadyExists());
-}
-
-TEST(BlockBlobTest, EmptyBlockIdRejected) {
-  MemoryObjectStore store;
-  EXPECT_TRUE(store.StageBlock("m", "", "x").IsInvalidArgument());
-}
-
-TEST(BlockBlobTest, ConcurrentStagingFromManyThreads) {
-  // BE nodes stage blocks concurrently against the same manifest (§3.2.2).
-  MemoryObjectStore store;
-  constexpr int kThreads = 8;
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&store, t] {
-      ASSERT_TRUE(store
-                      .StageBlock("m", "block" + std::to_string(t),
-                                  std::string(1, static_cast<char>('a' + t)))
-                      .ok());
-    });
-  }
-  for (auto& th : threads) th.join();
-  std::vector<std::string> ids;
-  for (int t = 0; t < kThreads; ++t) ids.push_back("block" + std::to_string(t));
-  ASSERT_TRUE(store.CommitBlockList("m", ids).ok());
-  EXPECT_EQ(*store.Get("m"), "abcdefgh");
-}
 
 TEST(MemoryObjectStoreTest, StatsTrackOperations) {
   MemoryObjectStore store;
@@ -311,6 +143,12 @@ class FlakyStore : public ObjectStore {
     if (Fails()) return failure_;
     return base.CommitBlockList(path, block_ids);
   }
+  common::Status CommitBlockListIf(const std::string& path,
+                                   const std::vector<std::string>& block_ids,
+                                   uint64_t expected_generation) override {
+    if (Fails()) return failure_;
+    return base.CommitBlockListIf(path, block_ids, expected_generation);
+  }
   common::Result<std::vector<std::string>> GetCommittedBlockList(
       const std::string& path) override {
     if (Fails()) return failure_;
@@ -375,7 +213,27 @@ TEST(RetryingStoreTest, SemanticErrorsPassThroughWithoutRetry) {
   EXPECT_FALSE(store.CommitBlockList("blob", {"ghost-block"}).ok());
   EXPECT_EQ(flaky.attempts, 1);
 
+  // Generation mismatches are commit-protocol signals, never retried:
+  // retrying a lost conditional write could double-apply a commit.
+  ASSERT_TRUE(flaky.base.StageBlock("cond", "b", "x").ok());
+  flaky.attempts = 0;
+  EXPECT_TRUE(store.CommitBlockListIf("cond", {"b"}, /*expected_generation=*/9)
+                  .IsFailedPrecondition());
+  EXPECT_EQ(flaky.attempts, 1);
+
   EXPECT_EQ(store.total_retries(), 0u);
+}
+
+TEST(RetryingStoreTest, ConditionalCommitRetriesTransientFailures) {
+  FlakyStore flaky(common::Status::Unavailable("throttled"),
+                   /*fail_remaining=*/2);
+  common::SimClock clock(0);
+  RetryingObjectStore store(&flaky, &clock);
+  ASSERT_TRUE(flaky.base.StageBlock("m", "b", "x").ok());
+
+  ASSERT_TRUE(store.CommitBlockListIf("m", {"b"}, /*expected_generation=*/0)
+                  .ok());
+  EXPECT_EQ(store.total_retries(), 2u);
 }
 
 TEST(RetryingStoreTest, ExhaustsBudgetAndSurfacesUnavailable) {

@@ -1,0 +1,374 @@
+// Object-store conformance suite: every ObjectStore implementation must
+// satisfy the same contract — write-once Put, the Block Blob staging
+// protocol (§3.2.2), generation-conditional commits, and deterministic
+// listing — because the commit protocol's correctness rests on these
+// semantics, not on any one backend. The suite is parameterized over all
+// backends; backend-specific behavior (durability across reopen, on-disk
+// layout) is tested separately at the bottom.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "storage/local_file_object_store.h"
+#include "storage/memory_object_store.h"
+
+namespace polaris::storage {
+namespace {
+
+class StoreConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<common::SimClock>(500);
+    if (GetParam() == "memory") {
+      store_ = std::make_unique<MemoryObjectStore>(clock_.get());
+    } else {
+      const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+      root_ = std::filesystem::path(::testing::TempDir()) /
+              (std::string("polaris_conformance_") + info->name());
+      std::filesystem::remove_all(root_);
+      auto local = std::make_unique<LocalFileObjectStore>(root_.string(),
+                                                          clock_.get());
+      ASSERT_TRUE(local->init_status().ok());
+      store_ = std::move(local);
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  ObjectStore& store() { return *store_; }
+
+  std::unique_ptr<common::SimClock> clock_;
+  std::unique_ptr<ObjectStore> store_;
+  std::filesystem::path root_;
+};
+
+TEST_P(StoreConformanceTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store().Put("a/b", "hello").ok());
+  auto got = store().Get("a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+}
+
+TEST_P(StoreConformanceTest, BlobsAreWriteOnce) {
+  ASSERT_TRUE(store().Put("x", "v1").ok());
+  EXPECT_TRUE(store().Put("x", "v2").IsAlreadyExists());
+  EXPECT_EQ(*store().Get("x"), "v1");
+}
+
+TEST_P(StoreConformanceTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store().Get("nope").status().IsNotFound());
+  EXPECT_TRUE(store().Stat("nope").status().IsNotFound());
+  EXPECT_TRUE(store().Delete("nope").IsNotFound());
+}
+
+TEST_P(StoreConformanceTest, StatReportsSizeCreationTimeAndGeneration) {
+  ASSERT_TRUE(store().Put("f", "12345").ok());
+  auto info = store().Stat("f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 5u);
+  EXPECT_EQ(info->created_at, 500);
+  EXPECT_EQ(info->generation, 1u);
+}
+
+TEST_P(StoreConformanceTest, ListFiltersByPrefixInOrder) {
+  ASSERT_TRUE(store().Put("t/1/b", "1").ok());
+  ASSERT_TRUE(store().Put("t/1/a", "2").ok());
+  ASSERT_TRUE(store().Put("t/2/a", "3").ok());
+  ASSERT_TRUE(store().Put("u/x", "4").ok());
+  auto listed = store().List("t/1/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].path, "t/1/a");
+  EXPECT_EQ((*listed)[1].path, "t/1/b");
+}
+
+TEST_P(StoreConformanceTest, DeleteRemovesBlob) {
+  ASSERT_TRUE(store().Put("x", "v").ok());
+  ASSERT_TRUE(store().Delete("x").ok());
+  EXPECT_TRUE(store().Get("x").status().IsNotFound());
+}
+
+TEST_P(StoreConformanceTest, DeleteDiscardsStagedBlocks) {
+  // Deleting a blob also discards its staged (uncommitted) blocks, so a
+  // later commit cannot resurrect them.
+  ASSERT_TRUE(store().StageBlock("m", "b1", "ghost").ok());
+  ASSERT_TRUE(store().Delete("m").ok());
+  EXPECT_TRUE(store().CommitBlockList("m", {"b1"}).IsInvalidArgument());
+}
+
+// --- Block Blob protocol -----------------------------------------------------
+
+TEST_P(StoreConformanceTest, StagedBlocksAreInvisibleUntilCommit) {
+  ASSERT_TRUE(store().StageBlock("m", "b1", "alpha").ok());
+  EXPECT_TRUE(store().Get("m").status().IsNotFound());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b1"}).ok());
+  EXPECT_EQ(*store().Get("m"), "alpha");
+}
+
+TEST_P(StoreConformanceTest, CommitConcatenatesInListOrder) {
+  ASSERT_TRUE(store().StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store().StageBlock("m", "b2", "B").ok());
+  ASSERT_TRUE(store().StageBlock("m", "b3", "C").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b3", "b1"}).ok());
+  EXPECT_EQ(*store().Get("m"), "CA");
+  auto ids = store().GetCommittedBlockList("m");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<std::string>{"b3", "b1"}));
+}
+
+TEST_P(StoreConformanceTest, UncommittedBlocksAreDiscardedAtCommit) {
+  // Blocks written by failed/abandoned task attempts are not in the final
+  // list and vanish (paper §3.2.2).
+  ASSERT_TRUE(store().StageBlock("m", "attempt1", "garbage").ok());
+  ASSERT_TRUE(store().StageBlock("m", "attempt2", "good").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"attempt2"}).ok());
+  EXPECT_EQ(*store().Get("m"), "good");
+  // attempt1 is gone: recommitting with it must fail.
+  EXPECT_TRUE(store().CommitBlockList("m", {"attempt2", "attempt1"})
+                  .IsInvalidArgument());
+}
+
+TEST_P(StoreConformanceTest, AppendCommitReusesCommittedBlocks) {
+  // Multi-statement inserts append: the new list mixes committed blocks
+  // with newly staged ones (§3.2.3).
+  ASSERT_TRUE(store().StageBlock("m", "s1", "one,").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"s1"}).ok());
+  ASSERT_TRUE(store().StageBlock("m", "s2", "two").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"s1", "s2"}).ok());
+  EXPECT_EQ(*store().Get("m"), "one,two");
+}
+
+TEST_P(StoreConformanceTest, RewriteCommitDropsOldBlocks) {
+  // Update/delete statements rewrite the manifest to a single canonical
+  // block; the old blocks are no longer referencable.
+  ASSERT_TRUE(store().StageBlock("m", "old1", "x").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"old1"}).ok());
+  ASSERT_TRUE(store().StageBlock("m", "new1", "reconciled").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"new1"}).ok());
+  EXPECT_EQ(*store().Get("m"), "reconciled");
+  EXPECT_TRUE(store().CommitBlockList("m", {"old1"}).IsInvalidArgument());
+}
+
+TEST_P(StoreConformanceTest, RestagingSameBlockIdOverwrites) {
+  ASSERT_TRUE(store().StageBlock("m", "b", "v1").ok());
+  ASSERT_TRUE(store().StageBlock("m", "b", "v2").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b"}).ok());
+  EXPECT_EQ(*store().Get("m"), "v2");
+}
+
+TEST_P(StoreConformanceTest, CommitWithUnknownIdFailsAtomically) {
+  ASSERT_TRUE(store().StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b1"}).ok());
+  // Bad commit: blob state is unchanged.
+  EXPECT_TRUE(
+      store().CommitBlockList("m", {"b1", "ghost"}).IsInvalidArgument());
+  EXPECT_EQ(*store().Get("m"), "A");
+}
+
+TEST_P(StoreConformanceTest, EmptyCommitCreatesEmptyBlob) {
+  ASSERT_TRUE(store().CommitBlockList("m", {}).ok());
+  EXPECT_EQ(*store().Get("m"), "");
+}
+
+TEST_P(StoreConformanceTest, PutAndBlockProtocolsDontMix) {
+  ASSERT_TRUE(store().Put("p", "v").ok());
+  EXPECT_TRUE(store().StageBlock("p", "b", "x").IsFailedPrecondition());
+  EXPECT_TRUE(
+      store().GetCommittedBlockList("p").status().IsFailedPrecondition());
+  ASSERT_TRUE(store().StageBlock("m", "b", "x").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b"}).ok());
+  EXPECT_TRUE(store().Put("m", "v").IsAlreadyExists());
+}
+
+TEST_P(StoreConformanceTest, EmptyBlockIdRejected) {
+  EXPECT_TRUE(store().StageBlock("m", "", "x").IsInvalidArgument());
+}
+
+TEST_P(StoreConformanceTest, ConcurrentStagingFromManyThreads) {
+  // BE nodes stage blocks concurrently against the same manifest (§3.2.2).
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      ASSERT_TRUE(store()
+                      .StageBlock("m", "block" + std::to_string(t),
+                                  std::string(1, static_cast<char>('a' + t)))
+                      .ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::string> ids;
+  for (int t = 0; t < kThreads; ++t) ids.push_back("block" + std::to_string(t));
+  ASSERT_TRUE(store().CommitBlockList("m", ids).ok());
+  EXPECT_EQ(*store().Get("m"), "abcdefgh");
+}
+
+// --- Generation-conditional commits (ETags) ----------------------------------
+
+TEST_P(StoreConformanceTest, GenerationAdvancesPerCommit) {
+  ASSERT_TRUE(store().StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b1"}).ok());
+  EXPECT_EQ(store().Stat("m")->generation, 1u);
+  ASSERT_TRUE(store().StageBlock("m", "b2", "B").ok());
+  ASSERT_TRUE(store().CommitBlockList("m", {"b1", "b2"}).ok());
+  EXPECT_EQ(store().Stat("m")->generation, 2u);
+}
+
+TEST_P(StoreConformanceTest, ConditionalCommitEnforcesExpectedGeneration) {
+  // expected_generation 0 = blob must not exist yet.
+  ASSERT_TRUE(store().StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store().CommitBlockListIf("m", {"b1"}, 0).ok());
+  // The blob now exists at generation 1; a second create-style commit
+  // loses the race.
+  ASSERT_TRUE(store().StageBlock("m", "b2", "B").ok());
+  EXPECT_TRUE(store().CommitBlockListIf("m", {"b2"}, 0).IsFailedPrecondition());
+  EXPECT_EQ(*store().Get("m"), "A");
+  // Matching the current generation succeeds and advances it.
+  ASSERT_TRUE(store().CommitBlockListIf("m", {"b1", "b2"}, 1).ok());
+  EXPECT_EQ(*store().Get("m"), "AB");
+  EXPECT_EQ(store().Stat("m")->generation, 2u);
+  // A stale writer (still expecting generation 1) is rejected.
+  ASSERT_TRUE(store().StageBlock("m", "b3", "C").ok());
+  EXPECT_TRUE(store().CommitBlockListIf("m", {"b3"}, 1).IsFailedPrecondition());
+  EXPECT_EQ(*store().Get("m"), "AB");
+}
+
+TEST_P(StoreConformanceTest, ConditionalCommitRejectionLeavesStagedBlocks) {
+  // A losing conditional commit must not consume the writer's staged
+  // blocks: it may re-read, re-validate and commit again.
+  ASSERT_TRUE(store().StageBlock("m", "b1", "A").ok());
+  ASSERT_TRUE(store().CommitBlockListIf("m", {"b1"}, 0).ok());
+  ASSERT_TRUE(store().StageBlock("m", "b2", "B").ok());
+  EXPECT_TRUE(store().CommitBlockListIf("m", {"b2"}, 5).IsFailedPrecondition());
+  ASSERT_TRUE(store().CommitBlockListIf("m", {"b1", "b2"}, 1).ok());
+  EXPECT_EQ(*store().Get("m"), "AB");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, StoreConformanceTest,
+                         ::testing::Values("memory", "local_file"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- LocalFileObjectStore-specific durability --------------------------------
+
+class LocalFileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = std::filesystem::path(::testing::TempDir()) /
+            (std::string("polaris_localfs_") + info->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::unique_ptr<LocalFileObjectStore> Open(common::Clock* clock = nullptr) {
+    auto store = std::make_unique<LocalFileObjectStore>(root_.string(), clock);
+    EXPECT_TRUE(store->init_status().ok()) << store->init_status().ToString();
+    return store;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(LocalFileStoreTest, CommittedBlobsSurviveReopen) {
+  common::SimClock clock(1'000);
+  {
+    auto store = Open(&clock);
+    ASSERT_TRUE(store->Put("tables/1/data/f.parquet", "payload").ok());
+    ASSERT_TRUE(store->StageBlock("tables/1/manifests/m", "b1", "one,").ok());
+    ASSERT_TRUE(store->StageBlock("tables/1/manifests/m", "b2", "two").ok());
+    ASSERT_TRUE(
+        store->CommitBlockList("tables/1/manifests/m", {"b1", "b2"}).ok());
+  }
+  auto store = Open(&clock);
+  EXPECT_EQ(*store->Get("tables/1/data/f.parquet"), "payload");
+  EXPECT_EQ(*store->Get("tables/1/manifests/m"), "one,two");
+  auto ids = store->GetCommittedBlockList("tables/1/manifests/m");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<std::string>{"b1", "b2"}));
+  auto info = store->Stat("tables/1/data/f.parquet");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->created_at, 1'000);
+  EXPECT_EQ(info->generation, 1u);
+}
+
+TEST_F(LocalFileStoreTest, StagedBlocksAreSweptOnReopen) {
+  // Uncommitted staged blocks are crash litter: a reopen discards them,
+  // exactly like Azure discards uncommitted blocks (§3.2.2).
+  {
+    auto store = Open();
+    ASSERT_TRUE(store->StageBlock("m", "b1", "half-written").ok());
+    EXPECT_EQ(store->StagedBlockCount(), 1u);
+  }
+  auto store = Open();
+  EXPECT_EQ(store->StagedBlockCount(), 0u);
+  EXPECT_EQ(store->swept_staged_blocks(), 1u);
+  EXPECT_TRUE(store->CommitBlockList("m", {"b1"}).IsInvalidArgument());
+  EXPECT_TRUE(store->Get("m").status().IsNotFound());
+}
+
+TEST_F(LocalFileStoreTest, GenerationPersistsAcrossReopen) {
+  {
+    auto store = Open();
+    ASSERT_TRUE(store->StageBlock("m", "b1", "A").ok());
+    ASSERT_TRUE(store->CommitBlockList("m", {"b1"}).ok());
+    ASSERT_TRUE(store->StageBlock("m", "b2", "B").ok());
+    ASSERT_TRUE(store->CommitBlockList("m", {"b1", "b2"}).ok());
+  }
+  auto store = Open();
+  EXPECT_EQ(store->Stat("m")->generation, 2u);
+  // Conditional writes keep working against the persisted generation.
+  ASSERT_TRUE(store->StageBlock("m", "b3", "C").ok());
+  EXPECT_TRUE(store->CommitBlockListIf("m", {"b3"}, 1).IsFailedPrecondition());
+  ASSERT_TRUE(store->CommitBlockListIf("m", {"b1", "b2", "b3"}, 2).ok());
+  EXPECT_EQ(*store->Get("m"), "ABC");
+}
+
+TEST_F(LocalFileStoreTest, HostilePathSegmentsRoundTrip) {
+  auto store = Open();
+  const std::vector<std::string> paths = {
+      "tables/1/data/with space.parquet",
+      "weird/%already%encoded",
+      "dots/../escape-attempt",
+      "unicode/café",
+  };
+  for (const auto& p : paths) {
+    ASSERT_TRUE(store->Put(p, "v:" + p).ok()) << p;
+  }
+  for (const auto& p : paths) {
+    EXPECT_EQ(*store->Get(p), "v:" + p) << p;
+  }
+  auto listed = store->List("");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), paths.size());
+  // Nothing escaped the store root.
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root_)) {
+    auto rel = std::filesystem::relative(entry.path(), root_);
+    EXPECT_FALSE(rel.string().starts_with("..")) << entry.path();
+  }
+}
+
+TEST_F(LocalFileStoreTest, MaxCreatedAtTracksPersistedBlobs) {
+  common::SimClock clock(2'000);
+  {
+    auto store = Open(&clock);
+    ASSERT_TRUE(store->Put("a", "1").ok());
+    clock.Advance(500);
+    ASSERT_TRUE(store->Put("b", "2").ok());
+  }
+  common::SimClock fresh(0);
+  auto store = Open(&fresh);
+  EXPECT_EQ(store->max_created_at(), 2'500);
+}
+
+}  // namespace
+}  // namespace polaris::storage
