@@ -12,12 +12,20 @@
 // committed transactions survive restarts and are recovered on open.
 //
 // Shell meta-commands (each terminated by ';'):
-//   METRICS            dump the engine's unified metrics registry
+//   METRICS            dump the unified metrics registry in Prometheus
+//                      text exposition format (same renderer a scrape
+//                      endpoint would use)
+//   HEALTH             SLO watchdog verdicts (SELECT * FROM sys.dm_health)
+//   EVENTS DUMP <file> export the structured event log as JSON lines
 //   TRACE ON | OFF     enable/disable the engine span recorder
 //   TRACE DUMP <file>  export recorded spans as Chrome/Perfetto JSON
 //                      (open in https://ui.perfetto.dev)
 //
-// EXPLAIN ANALYZE <statement> prints the statement's span tree.
+// Pass --log-json <file> to stream every structured event to <file> as
+// JSON lines while the shell runs.
+//
+// EXPLAIN ANALYZE <statement> prints the statement's span tree. System
+// views are queryable like tables: SELECT * FROM sys.dm_views; lists them.
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,14 +70,21 @@ void PrintResult(const SqlResult& result) {
 
 int main(int argc, char** argv) {
   polaris::engine::EngineOptions options;
+  std::string log_json_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data-dir" && i + 1 < argc) {
       options.data_dir = argv[++i];
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       options.data_dir = arg.substr(std::string("--data-dir=").size());
+    } else if (arg == "--log-json" && i + 1 < argc) {
+      log_json_path = argv[++i];
+    } else if (arg.rfind("--log-json=", 0) == 0) {
+      log_json_path = arg.substr(std::string("--log-json=").size());
     } else {
-      std::fprintf(stderr, "usage: %s [--data-dir <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--data-dir <path>] [--log-json <file>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -87,6 +102,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   PolarisEngine& engine = **opened;
+  if (!log_json_path.empty()) {
+    auto st = engine.events()->OpenJsonSink(log_json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot open event sink: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[structured events -> %s]\n",
+                 log_json_path.c_str());
+  }
   SqlSession session(&engine);
   bool interactive = isatty(fileno(stdin));
 
@@ -94,7 +119,10 @@ int main(int argc, char** argv) {
     std::printf(
         "polaris-tx SQL shell. Statements end with ';'. Ctrl-D to exit.\n"
         "Dialect: CREATE/DROP/CLONE TABLE, INSERT, SELECT [AS OF], UPDATE,"
-        " DELETE,\n         BEGIN/COMMIT/ROLLBACK.\n\n");
+        " DELETE,\n         BEGIN/COMMIT/ROLLBACK.\n"
+        "System views: SELECT * FROM sys.dm_views;   Meta: METRICS, "
+        "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>."
+        "\n\n");
     if (!options.data_dir.empty()) {
       const auto& recovery = engine.recovery_info();
       std::printf(
@@ -140,7 +168,52 @@ int main(int argc, char** argv) {
         }
       }
       if (word == "METRICS") {
-        std::fputs(engine.MetricsSnapshot().ToString().c_str(), stdout);
+        // One code path for humans and scrapers: the Prometheus renderer.
+        std::fputs(engine.MetricsSnapshot().ToPrometheusText().c_str(),
+                   stdout);
+        continue;
+      }
+      if (word == "HEALTH") {
+        auto health = session.Execute("SELECT * FROM sys.dm_health;");
+        if (health.ok()) {
+          PrintResult(*health);
+        } else {
+          std::printf("ERROR: %s\n", health.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (word == "EVENTS") {
+        // EVENTS DUMP <file>
+        std::istringstream parts(statement);
+        std::string cmd, sub, arg;
+        parts >> cmd >> sub;
+        std::getline(parts, arg);
+        while (!arg.empty() &&
+               (std::isspace(static_cast<unsigned char>(arg.back())) ||
+                arg.back() == ';')) {
+          arg.pop_back();
+        }
+        while (!arg.empty() &&
+               std::isspace(static_cast<unsigned char>(arg.front()))) {
+          arg.erase(arg.begin());
+        }
+        for (char& c : sub) c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        if (!sub.empty() && sub.back() == ';') sub.pop_back();
+        if (sub == "DUMP" && !arg.empty()) {
+          std::ofstream out(arg, std::ios::trunc);
+          if (!out) {
+            std::printf("ERROR: cannot open %s\n", arg.c_str());
+            continue;
+          }
+          out << engine.events()->ToJsonLines();
+          std::printf("EVENTS DUMP %s (%zu events, %llu dropped)\n",
+                      arg.c_str(), engine.events()->size(),
+                      static_cast<unsigned long long>(
+                          engine.events()->dropped()));
+        } else {
+          std::printf("ERROR: usage: EVENTS DUMP <file>\n");
+        }
         continue;
       }
       if (word == "TRACE") {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 
 #include "common/bytes.h"
@@ -248,6 +249,10 @@ Result<CatalogJournal::RecoveredState> CatalogJournal::Recover() {
 Status CatalogJournal::Append(
     uint64_t commit_seq,
     const std::map<std::string, std::optional<std::string>>& writes) {
+  // Wall latency of the durability point (staging + ETag commit), the SLO
+  // the health watchdog tracks; timed on the real clock because the
+  // engine's sim clock only advances on injected waits.
+  const auto wall_start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   if (poisoned_) {
     return Status::Internal(
@@ -299,6 +304,11 @@ Status CatalogJournal::Append(
   if (metrics_ != nullptr) {
     metrics_->Add("catalog.journal.appends");
     metrics_->Add("catalog.journal.bytes", record.size());
+    metrics_->Observe(
+        "catalog.journal.append_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
   }
   if (torn) {
     poisoned_ = true;

@@ -11,6 +11,10 @@ std::atomic<uint64_t> g_fired{0};
 std::mutex g_mu;
 std::string g_name;        // guarded by g_mu
 uint64_t g_skip = 0;       // guarded by g_mu
+std::function<void(std::string_view)>& FireObserver() {
+  static std::function<void(std::string_view)> observer;  // guarded by g_mu
+  return observer;
+}
 }  // namespace
 
 void CrashPoints::Arm(std::string name, uint64_t skip) {
@@ -39,7 +43,14 @@ bool CrashPoints::Fire(std::string_view name) {
   g_armed.store(false, std::memory_order_release);
   g_name.clear();
   g_fired.fetch_add(1, std::memory_order_relaxed);
+  if (FireObserver()) FireObserver()(name);
   return true;
+}
+
+void CrashPoints::SetFireObserver(
+    std::function<void(std::string_view)> observer) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  FireObserver() = std::move(observer);
 }
 
 bool CrashPoints::armed() {

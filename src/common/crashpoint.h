@@ -2,6 +2,7 @@
 #define POLARIS_COMMON_CRASHPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -41,6 +42,14 @@ class CrashPoints {
 
   /// Total points fired since process start (test bookkeeping).
   static uint64_t fired_count();
+
+  /// Installs a process-global observer invoked (under the registry lock)
+  /// with the point name each time one fires — lets the engine turn
+  /// crash-point hits into structured events without this header knowing
+  /// about the obs layer. Pass an empty function to uninstall. Crash
+  /// points are test-only machinery; like Arm, the observer is global and
+  /// the last installer wins.
+  static void SetFireObserver(std::function<void(std::string_view)> observer);
 };
 
 /// The crash-point taxonomy (see DESIGN.md §8). Each name identifies an

@@ -1,12 +1,15 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <mutex>
 
 #include "common/bytes.h"
+#include "common/crashpoint.h"
 #include "common/logging.h"
+#include "engine/system_views.h"
 
 namespace polaris::engine {
 
@@ -32,6 +35,7 @@ PolarisEngine::PolarisEngine(EngineOptions options,
                        ? nullptr
                        : std::make_unique<common::SimClock>(1'000'000)),
       clock_(clock != nullptr ? clock : owned_clock_.get()),
+      events_(clock_, options_.event_log_capacity),
       owned_store_(store != nullptr || !options_.data_dir.empty()
                        ? nullptr
                        : std::make_unique<storage::MemoryObjectStore>(clock_)),
@@ -59,12 +63,27 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       scheduler_(&topology_, options_.worker_threads),
       txn_manager_(&catalog_, store_, &builder_, clock_,
                    options_.txn_options),
-      sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options) {
+      sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options),
+      recorder_(&metrics_, options_.metrics_history_capacity),
+      watchdog_(&recorder_, &events_, &metrics_) {
   fault_store_->set_policy(options_.fault_policy);
   cache_.set_metrics(&metrics_);
   scheduler_.set_metrics(&metrics_);
   sto_.set_metrics(&metrics_);
   sto_.set_tracer(&tracer_);
+  retry_store_->set_event_log(&events_);
+  txn_manager_.set_event_log(&events_);
+  sto_.set_event_log(&events_);
+  views_ = std::make_unique<SystemViews>(this);
+  // Crash points are process-global test machinery; the observer follows
+  // the same last-engine-wins convention as Arm and is cleared on
+  // destruction, turning fired points into typed events.
+  common::CrashPoints::SetFireObserver([this](std::string_view point) {
+    events_.Emit(obs::EventLevel::kWarn, "crash", "crashpoint.fired",
+                 {{"point", std::string(point)}});
+  });
+  InstallDefaultSloRules();
+  StartSampler();
   if (owned_local_store_ != nullptr) {
     // Persisted created_at stamps must stay in the past of the (virtual)
     // clock, or GC's created_at-vs-active-transaction comparisons would
@@ -73,6 +92,118 @@ PolarisEngine::PolarisEngine(EngineOptions options,
     if (max_seen >= clock_->Now()) {
       clock_->Advance(max_seen + 1 - clock_->Now());
     }
+  }
+}
+
+PolarisEngine::~PolarisEngine() {
+  common::CrashPoints::SetFireObserver({});
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+}
+
+void PolarisEngine::StartSampler() {
+  if (options_.sampler_period_micros == 0) return;
+  sampler_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    while (!sampler_stop_) {
+      sampler_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.sampler_period_micros));
+      if (sampler_stop_) break;
+      lock.unlock();
+      SampleObservabilityOnce();
+      lock.lock();
+    }
+  });
+}
+
+void PolarisEngine::SampleObservabilityOnce() {
+  std::vector<std::pair<std::string, double>> gauges;
+  gauges.emplace_back("txn.active",
+                      static_cast<double>(txn_manager_.active_transactions()));
+  gauges.emplace_back("sto.manifests_backlog",
+                      static_cast<double>(sto_.pending_manifests_total()));
+  gauges.emplace_back("tracer.dropped_spans",
+                      static_cast<double>(tracer_.dropped_spans()));
+  gauges.emplace_back("tracer.ring_spans",
+                      static_cast<double>(tracer_.size()));
+  gauges.emplace_back("cache.entries", static_cast<double>(cache_.size()));
+  common::Micros now = clock_->Now();
+  recorder_.SampleOnce(now, gauges);
+  watchdog_.Evaluate(now);
+}
+
+void PolarisEngine::InstallDefaultSloRules() {
+  {
+    obs::SloRule rule;
+    rule.name = "storage-retry-rate";
+    rule.description = "store retries per operation over the sample window";
+    rule.kind = obs::SloRule::Kind::kRatio;
+    rule.metric = "store.retries.total";
+    rule.denominators = {"store.ops.total"};
+    rule.warn_threshold = 0.1;
+    rule.fail_threshold = 0.5;
+    rule.min_activity = 10;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "storage-retry-exhaustion";
+    rule.description =
+        "operations that failed after exhausting the retry budget";
+    rule.kind = obs::SloRule::Kind::kDelta;
+    rule.metric = "store.exhausted.total";
+    rule.warn_threshold = 0;  // any exhaustion over the window warns
+    rule.fail_threshold = 5;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "journal-append-p99";
+    rule.description = "catalog journal append p99 latency (us)";
+    rule.kind = obs::SloRule::Kind::kGauge;
+    rule.metric = "catalog.journal.append_us.p99";
+    rule.warn_threshold = 100'000;
+    rule.fail_threshold = 1'000'000;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "sto-checkpoint-backlog";
+    rule.description = "manifests accumulated past the newest checkpoints";
+    rule.kind = obs::SloRule::Kind::kGauge;
+    rule.metric = "sto.manifests_backlog";
+    double per = static_cast<double>(
+        std::max<uint64_t>(1, options_.sto_options.manifests_per_checkpoint));
+    rule.warn_threshold = per * 2;
+    rule.fail_threshold = per * 5;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "cache-hit-rate";
+    rule.description = "data cache hit rate floor over the sample window";
+    rule.kind = obs::SloRule::Kind::kRatio;
+    rule.metric = "cache.hits";
+    rule.denominators = {"cache.hits", "cache.misses"};
+    rule.above_is_bad = false;
+    rule.warn_threshold = 0.5;
+    rule.fail_threshold = 0.2;
+    rule.min_activity = 20;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "tracer-drops";
+    rule.description = "spans evicted from the tracer ring (truncated traces)";
+    rule.kind = obs::SloRule::Kind::kDelta;
+    rule.metric = "tracer.dropped_spans";
+    rule.warn_threshold = 0;   // any drop over the window warns
+    rule.fail_threshold = 1e12;  // drops degrade traces, never the engine
+    watchdog_.AddRule(rule);
   }
 }
 
@@ -100,6 +231,15 @@ Status PolarisEngine::RecoverCatalog() {
         return journal_->Append(commit_seq, writes);
       });
   sto_.set_catalog_journal(journal_.get());
+  events_.Emit(
+      obs::EventLevel::kInfo, "engine", "engine.recovered",
+      {{"data_dir", options_.data_dir},
+       {"checkpoint_seq", std::to_string(recovery_.checkpoint_seq)},
+       {"records_replayed", std::to_string(recovery_.records_replayed)},
+       {"commit_seq", std::to_string(recovery_.commit_seq)},
+       {"torn_tail", recovery_.torn_tail ? "true" : "false"},
+       {"swept_staged_blocks",
+        std::to_string(owned_local_store_->swept_staged_blocks())}});
   POLARIS_LOG(kInfo, "engine")
       << "opened durable database at " << options_.data_dir
       << ": checkpoint seq " << recovery_.checkpoint_seq << ", replayed "
@@ -142,7 +282,16 @@ EngineStats PolarisEngine::Stats() {
 }
 
 obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
-  return metrics_.Snapshot();
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  // Counters kept outside the registry (atomics on their own subsystems)
+  // are merged in so one snapshot — and sys.dm_metrics — sees everything.
+  snapshot.counters["tracer.dropped_spans"] = tracer_.dropped_spans();
+  snapshot.counters["tracer.ring_spans"] = tracer_.size();
+  snapshot.counters["storage.injected_faults"] =
+      fault_store_->injected_failures();
+  snapshot.counters["events.emitted"] = events_.total_emitted();
+  snapshot.counters["events.dropped"] = events_.dropped();
+  return snapshot;
 }
 
 Result<std::unique_ptr<txn::Transaction>> PolarisEngine::Begin(

@@ -1,9 +1,12 @@
 #ifndef POLARIS_ENGINE_ENGINE_H_
 #define POLARIS_ENGINE_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/catalog_db.h"
@@ -18,7 +21,9 @@
 #include "exec/scan.h"
 #include "format/column.h"
 #include "lst/snapshot_builder.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "obs/tracer.h"
 #include "sto/sto.h"
 #include "storage/fault_injection_store.h"
@@ -28,6 +33,8 @@
 #include "txn/transaction_manager.h"
 
 namespace polaris::engine {
+
+class SystemViews;
 
 /// Configuration of a Polaris engine instance.
 struct EngineOptions {
@@ -61,6 +68,15 @@ struct EngineOptions {
   std::string data_dir;
   /// Segment/checkpoint cadence for the catalog journal (durable mode).
   catalog::CatalogJournalOptions journal_options;
+  /// Period of the background observability sampler thread that feeds
+  /// sys.dm_metrics_history and the health watchdog (real time; the
+  /// engine's virtual clock only stamps the samples). 0 disables the
+  /// thread — tests drive SampleObservabilityOnce() deterministically.
+  common::Micros sampler_period_micros = 1'000'000;
+  /// Bounded ring capacities for the structured event log and the
+  /// per-metric time-series rings.
+  size_t event_log_capacity = 4096;
+  size_t metrics_history_capacity = 512;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -126,6 +142,9 @@ class PolarisEngine {
   static common::Result<std::unique_ptr<PolarisEngine>> Open(
       EngineOptions options = {}, common::Clock* clock = nullptr);
 
+  /// Stops the observability sampler thread before members tear down.
+  ~PolarisEngine();
+
   // Not movable: subsystems hold pointers to each other.
   PolarisEngine(const PolarisEngine&) = delete;
   PolarisEngine& operator=(const PolarisEngine&) = delete;
@@ -159,6 +178,23 @@ class PolarisEngine {
   dcp::Scheduler* scheduler() { return &scheduler_; }
   dcp::Topology* topology() { return &topology_; }
   const EngineOptions& options() const { return options_; }
+
+  // --- Observability ---------------------------------------------------------
+  /// The engine-wide structured event log (sys.dm_events, --log-json).
+  obs::EventLog* events() { return &events_; }
+  /// Per-metric sample rings fed by the sampler (sys.dm_metrics_history).
+  const obs::TimeSeriesRecorder* time_series() const { return &recorder_; }
+  /// The SLO watchdog (sys.dm_health).
+  const obs::HealthWatchdog* health() const { return &watchdog_; }
+  /// The DMV provider behind `SELECT ... FROM sys.<view>`.
+  const SystemViews* system_views() const { return views_.get(); }
+
+  /// One sampler tick: snapshots the registry (plus live gauges — active
+  /// transactions, STO backlog, tracer/cache occupancy) into the
+  /// time-series rings and re-evaluates the health rules. The background
+  /// thread calls this every `sampler_period_micros`; tests call it
+  /// directly for deterministic histories.
+  void SampleObservabilityOnce();
 
   /// Aggregated subsystem counters (see EngineStats).
   EngineStats Stats();
@@ -247,6 +283,13 @@ class PolarisEngine {
   /// Durable-mode Open half: recover journal state into the catalog and
   /// install the commit listener.
   common::Status RecoverCatalog();
+
+  /// Registers the built-in SLO rules on the watchdog (retry rate, retry
+  /// exhaustion, journal append p99, STO checkpoint backlog, cache
+  /// hit-rate floor, tracer drops).
+  void InstallDefaultSloRules();
+  /// Starts the background sampler thread (no-op when the period is 0).
+  void StartSampler();
   exec::DmlContext MakeDmlContext(const catalog::TableMeta& meta,
                                   const std::string& manifest_path);
 
@@ -263,6 +306,9 @@ class PolarisEngine {
   /// steady_clock even when the engine itself runs on virtual SimClock
   /// time — profiles and Perfetto timelines stay meaningful.
   obs::Tracer tracer_;
+  /// Declared before the subsystems that emit into it (txn manager, STO,
+  /// retry store) so it outlives them; stamps events on the engine clock.
+  obs::EventLog events_;
   std::unique_ptr<storage::MemoryObjectStore> owned_store_;
   std::unique_ptr<storage::LocalFileObjectStore> owned_local_store_;
   /// Storage decorator stack (§3.2.2 / §4.3): every subsystem reads and
@@ -279,6 +325,13 @@ class PolarisEngine {
   dcp::Scheduler scheduler_;
   txn::TransactionManager txn_manager_;
   sto::SystemTaskOrchestrator sto_;
+  obs::TimeSeriesRecorder recorder_;
+  obs::HealthWatchdog watchdog_;
+  std::unique_ptr<SystemViews> views_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;  // guarded by sampler_mu_
+  std::thread sampler_thread_;
 };
 
 }  // namespace polaris::engine

@@ -1,0 +1,280 @@
+#include "engine/system_views.h"
+
+#include <utility>
+
+#include "engine/engine.h"
+#include "obs/event_log.h"
+#include "obs/time_series.h"
+
+namespace polaris::engine {
+
+using format::ColumnDesc;
+using format::ColumnType;
+using format::RecordBatch;
+using format::Row;
+using format::Schema;
+using format::Value;
+
+namespace {
+
+Schema MakeSchema(std::vector<ColumnDesc> columns) {
+  return Schema(std::move(columns));
+}
+
+Value Str(std::string s) { return Value::String(std::move(s)); }
+Value I64(int64_t v) { return Value::Int64(v); }
+Value I64u(uint64_t v) { return Value::Int64(static_cast<int64_t>(v)); }
+Value F64(double v) { return Value::Double(v); }
+
+std::string JoinInt64(const std::vector<int64_t>& values) {
+  std::string out;
+  for (int64_t v : values) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::string JoinFields(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) out += " ";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SystemViews::IsSystemTable(const std::string& table) {
+  return table.rfind("sys.", 0) == 0;
+}
+
+const std::vector<std::pair<std::string, std::string>>&
+SystemViews::Catalog() {
+  static const std::vector<std::pair<std::string, std::string>> kCatalog = {
+      {"dm_tran_active", "in-flight transactions"},
+      {"dm_tran_history", "recently finished transactions (bounded ring)"},
+      {"dm_storage_stats", "per-operation object-store traffic and faults"},
+      {"dm_sto_jobs", "STO maintenance job history (bounded ring)"},
+      {"dm_cache", "data-cache counters and occupancy"},
+      {"dm_metrics", "unified metrics registry with p50/p95/p99"},
+      {"dm_metrics_history", "time-series sampler rings (name, ts, value)"},
+      {"dm_events", "structured event log tail"},
+      {"dm_health", "SLO watchdog verdicts"},
+      {"dm_views", "this catalog"},
+  };
+  return kCatalog;
+}
+
+common::Result<RecordBatch> SystemViews::Query(
+    const std::string& table) const {
+  if (table == "sys.dm_tran_active") return TranActive();
+  if (table == "sys.dm_tran_history") return TranHistory();
+  if (table == "sys.dm_storage_stats") return StorageStats();
+  if (table == "sys.dm_sto_jobs") return StoJobs();
+  if (table == "sys.dm_cache") return Cache();
+  if (table == "sys.dm_metrics") return Metrics();
+  if (table == "sys.dm_metrics_history") return MetricsHistory();
+  if (table == "sys.dm_events") return Events();
+  if (table == "sys.dm_health") return Health();
+  if (table == "sys.dm_views") return Views();
+  return common::Status::NotFound("unknown system view: " + table);
+}
+
+RecordBatch SystemViews::TranActive() const {
+  RecordBatch batch(MakeSchema({{"name", ColumnType::kString},
+                                {"txn_id", ColumnType::kInt64},
+                                {"state", ColumnType::kString},
+                                {"isolation", ColumnType::kString},
+                                {"begin_time_us", ColumnType::kInt64},
+                                {"begin_seq", ColumnType::kInt64},
+                                {"tables", ColumnType::kString}}));
+  for (const auto& info : engine_->txn_manager()->ActiveTransactionInfos()) {
+    (void)batch.AppendRow(Row{Str("txn-" + std::to_string(info.txn_id)),
+                              I64u(info.txn_id), Str("active"),
+                              Str(info.isolation), I64(info.begin_time),
+                              I64u(info.begin_seq),
+                              Str(JoinInt64(info.tables))});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::TranHistory() const {
+  RecordBatch batch(MakeSchema({{"txn_id", ColumnType::kInt64},
+                                {"state", ColumnType::kString},
+                                {"isolation", ColumnType::kString},
+                                {"begin_time_us", ColumnType::kInt64},
+                                {"end_time_us", ColumnType::kInt64},
+                                {"latency_us", ColumnType::kInt64},
+                                {"tables_touched", ColumnType::kInt64},
+                                {"cause", ColumnType::kString}}));
+  for (const auto& rec :
+       engine_->txn_manager()->RecentTransactionHistory()) {
+    (void)batch.AppendRow(Row{I64u(rec.txn_id), Str(rec.state),
+                              Str(rec.isolation), I64(rec.begin_time),
+                              I64(rec.end_time),
+                              I64(rec.end_time - rec.begin_time),
+                              I64u(rec.tables_touched), Str(rec.cause)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::StorageStats() const {
+  RecordBatch batch(MakeSchema({{"op", ColumnType::kString},
+                                {"ops", ColumnType::kInt64},
+                                {"retries", ColumnType::kInt64},
+                                {"exhausted", ColumnType::kInt64},
+                                {"errors", ColumnType::kInt64},
+                                {"bytes", ColumnType::kInt64}}));
+  obs::MetricsSnapshot snapshot = engine_->metrics()->Snapshot();
+  static const char* kOps[] = {
+      "put",       "get",
+      "stat",      "delete",
+      "list",      "stage_block",
+      "commit_block_list", "commit_block_list_if",
+      "get_block_list"};
+  for (const char* op : kOps) {
+    std::string prefix = std::string("store.") + op;
+    uint64_t ops = snapshot.counter(prefix + ".ops");
+    if (ops == 0) continue;
+    (void)batch.AppendRow(Row{Str(op), I64u(ops),
+                              I64u(snapshot.counter(prefix + ".retries")),
+                              I64u(snapshot.counter(prefix + ".exhausted")),
+                              I64u(snapshot.counter(prefix + ".errors")),
+                              I64u(snapshot.counter(prefix + ".bytes"))});
+  }
+  // Chaos layer: faults injected beneath the retry decorator.
+  (void)batch.AppendRow(
+      Row{Str("injected_faults"),
+          I64u(engine_->fault_store()->injected_failures()), I64(0), I64(0),
+          I64(0), I64(0)});
+  return batch;
+}
+
+RecordBatch SystemViews::StoJobs() const {
+  RecordBatch batch(MakeSchema({{"job_id", ColumnType::kInt64},
+                                {"kind", ColumnType::kString},
+                                {"table_id", ColumnType::kInt64},
+                                {"start_us", ColumnType::kInt64},
+                                {"end_us", ColumnType::kInt64},
+                                {"duration_us", ColumnType::kInt64},
+                                {"status", ColumnType::kString},
+                                {"detail", ColumnType::kString},
+                                {"bytes_reclaimed", ColumnType::kInt64}}));
+  for (const auto& job : engine_->sto()->JobHistory()) {
+    (void)batch.AppendRow(Row{I64u(job.job_id), Str(job.kind),
+                              I64(job.table_id), I64(job.start_time),
+                              I64(job.end_time),
+                              I64(job.end_time - job.start_time),
+                              Str(job.status), Str(job.detail),
+                              I64u(job.bytes_reclaimed)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::Cache() const {
+  RecordBatch batch(MakeSchema({{"hits", ColumnType::kInt64},
+                                {"misses", ColumnType::kInt64},
+                                {"coalesced", ColumnType::kInt64},
+                                {"evictions", ColumnType::kInt64},
+                                {"entries", ColumnType::kInt64},
+                                {"capacity", ColumnType::kInt64}}));
+  exec::DataCache::Stats stats = engine_->cache()->stats();
+  (void)batch.AppendRow(
+      Row{I64u(stats.hits), I64u(stats.misses), I64u(stats.coalesced),
+          I64u(stats.evictions),
+          I64u(engine_->cache()->size()),
+          I64u(engine_->cache()->capacity())});
+  return batch;
+}
+
+RecordBatch SystemViews::Metrics() const {
+  RecordBatch batch(MakeSchema({{"name", ColumnType::kString},
+                                {"kind", ColumnType::kString},
+                                {"value", ColumnType::kDouble},
+                                {"p50", ColumnType::kDouble},
+                                {"p95", ColumnType::kDouble},
+                                {"p99", ColumnType::kDouble}}));
+  obs::MetricsSnapshot snapshot = engine_->MetricsSnapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    (void)batch.AppendRow(Row{Str(name), Str("counter"),
+                              F64(static_cast<double>(value)),
+                              Value::Null(ColumnType::kDouble),
+                              Value::Null(ColumnType::kDouble),
+                              Value::Null(ColumnType::kDouble)});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    // `value` is the observation count; quantiles carry the latency shape.
+    (void)batch.AppendRow(
+        Row{Str(name), Str("histogram"), F64(static_cast<double>(h.count)),
+            F64(static_cast<double>(h.ApproxQuantile(0.5))),
+            F64(static_cast<double>(h.ApproxQuantile(0.95))),
+            F64(static_cast<double>(h.ApproxQuantile(0.99)))});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::MetricsHistory() const {
+  RecordBatch batch(MakeSchema({{"name", ColumnType::kString},
+                                {"ts_us", ColumnType::kInt64},
+                                {"value", ColumnType::kDouble}}));
+  const obs::TimeSeriesRecorder* recorder = engine_->time_series();
+  for (const auto& name : recorder->SeriesNames()) {
+    for (const auto& sample : recorder->Series(name)) {
+      (void)batch.AppendRow(Row{Str(name), I64(sample.ts_us),
+                                F64(sample.value)});
+    }
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::Events() const {
+  RecordBatch batch(MakeSchema({{"seq", ColumnType::kInt64},
+                                {"ts_us", ColumnType::kInt64},
+                                {"level", ColumnType::kString},
+                                {"component", ColumnType::kString},
+                                {"event", ColumnType::kString},
+                                {"txn_id", ColumnType::kInt64},
+                                {"trace_id", ColumnType::kInt64},
+                                {"fields", ColumnType::kString},
+                                {"message", ColumnType::kString}}));
+  for (const auto& rec : engine_->events()->Snapshot()) {
+    (void)batch.AppendRow(
+        Row{I64u(rec.seq), I64(rec.ts_us),
+            Str(std::string(obs::EventLevelName(rec.level))),
+            Str(rec.component), Str(rec.name), I64u(rec.txn_id),
+            I64u(rec.trace_id), Str(JoinFields(rec.fields)),
+            Str(rec.message)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::Health() const {
+  RecordBatch batch(MakeSchema({{"rule", ColumnType::kString},
+                                {"status", ColumnType::kString},
+                                {"value", ColumnType::kDouble},
+                                {"warn_threshold", ColumnType::kDouble},
+                                {"fail_threshold", ColumnType::kDouble},
+                                {"since_us", ColumnType::kInt64},
+                                {"description", ColumnType::kString}}));
+  for (const auto& row : engine_->health()->States()) {
+    (void)batch.AppendRow(
+        Row{Str(row.rule), Str(std::string(obs::HealthStatusName(row.status))),
+            F64(row.value), F64(row.warn_threshold), F64(row.fail_threshold),
+            I64(row.since_us), Str(row.description)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::Views() const {
+  RecordBatch batch(MakeSchema({{"view_name", ColumnType::kString},
+                                {"description", ColumnType::kString}}));
+  for (const auto& [name, description] : Catalog()) {
+    (void)batch.AppendRow(Row{Str("sys." + name), Str(description)});
+  }
+  return batch;
+}
+
+}  // namespace polaris::engine

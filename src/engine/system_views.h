@@ -1,0 +1,64 @@
+#ifndef POLARIS_ENGINE_SYSTEM_VIEWS_H_
+#define POLARIS_ENGINE_SYSTEM_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/column.h"
+
+namespace polaris::engine {
+
+class PolarisEngine;
+
+/// The DMV provider: materializes `sys.*` system views from live engine
+/// state (SQL Server dm_* style). Each view is produced as an ordinary
+/// RecordBatch, so the SQL layer composes WHERE / ORDER BY / LIMIT /
+/// aggregates over it through the normal executor — system views are just
+/// virtual tables whose rows are computed at query time.
+///
+/// Catalog (see DESIGN.md §6):
+///   sys.dm_tran_active     in-flight transactions
+///   sys.dm_tran_history    recently finished transactions (bounded ring)
+///   sys.dm_storage_stats   per-operation object-store traffic + faults
+///   sys.dm_sto_jobs        STO maintenance job history (bounded ring)
+///   sys.dm_cache           data-cache counters and occupancy
+///   sys.dm_metrics         unified metrics registry with p50/p95/p99
+///   sys.dm_metrics_history time-series sampler rings (name, ts, value)
+///   sys.dm_events          structured event log tail
+///   sys.dm_health          SLO watchdog verdicts
+///   sys.dm_views           this catalog
+class SystemViews {
+ public:
+  /// `engine` must outlive this object.
+  explicit SystemViews(PolarisEngine* engine) : engine_(engine) {}
+
+  /// True when `table` names a system view namespace member ("sys." prefix,
+  /// case-sensitive — system views are lowercase identifiers).
+  static bool IsSystemTable(const std::string& table);
+
+  /// All view names (without the "sys." prefix) with one-line descriptions.
+  static const std::vector<std::pair<std::string, std::string>>& Catalog();
+
+  /// Materializes the full contents of view `table` ("sys.dm_..."); the
+  /// caller applies filtering/ordering/limits. NotFound for unknown views.
+  common::Result<format::RecordBatch> Query(const std::string& table) const;
+
+ private:
+  format::RecordBatch TranActive() const;
+  format::RecordBatch TranHistory() const;
+  format::RecordBatch StorageStats() const;
+  format::RecordBatch StoJobs() const;
+  format::RecordBatch Cache() const;
+  format::RecordBatch Metrics() const;
+  format::RecordBatch MetricsHistory() const;
+  format::RecordBatch Events() const;
+  format::RecordBatch Health() const;
+  format::RecordBatch Views() const;
+
+  PolarisEngine* engine_;
+};
+
+}  // namespace polaris::engine
+
+#endif  // POLARIS_ENGINE_SYSTEM_VIEWS_H_

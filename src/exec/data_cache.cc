@@ -14,6 +14,8 @@ void DataCache::EvictIfNeededLocked() {
   while (entries_.size() > capacity_ && !lru_.empty()) {
     entries_.erase(lru_.back());
     lru_.pop_back();
+    ++stats_.evictions;
+    if (metrics_ != nullptr) metrics_->Add("cache.evictions");
   }
 }
 

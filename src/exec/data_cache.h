@@ -50,6 +50,9 @@ class DataCache {
     /// Lookups that joined another thread's in-flight fetch instead of
     /// issuing their own (single-flight coalescing).
     uint64_t coalesced = 0;
+    /// Entries pushed out by the LRU bound (never by invalidation —
+    /// cached blobs are immutable).
+    uint64_t evictions = 0;
   };
   Stats stats() const;
   void ResetStats();

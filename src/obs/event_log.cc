@@ -1,0 +1,209 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/trace_context.h"
+
+namespace polaris::obs {
+
+std::string_view EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug: return "DEBUG";
+    case EventLevel::kInfo: return "INFO";
+    case EventLevel::kWarn: return "WARN";
+    case EventLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+common::LogLevel ToLogLevel(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug: return common::LogLevel::kDebug;
+    case EventLevel::kInfo: return common::LogLevel::kInfo;
+    case EventLevel::kWarn: return common::LogLevel::kWarn;
+    case EventLevel::kError: return common::LogLevel::kError;
+  }
+  return common::LogLevel::kInfo;
+}
+
+}  // namespace
+
+EventLog::EventLog(common::Clock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+common::Micros EventLog::NowUs() const {
+  if (clock_ != nullptr) return clock_->Now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventLog::Emit(EventLevel level, std::string_view component,
+                    std::string_view name,
+                    std::vector<std::pair<std::string, std::string>> fields,
+                    std::string_view message) {
+  EventRecord record;
+  record.ts_us = NowUs();
+  record.level = level;
+  record.component = std::string(component);
+  record.name = std::string(name);
+  const common::TraceContext ctx = common::CurrentTraceContext();
+  record.trace_id = ctx.trace_id;
+  record.span_id = ctx.span_id;
+  record.txn_id = ctx.txn_id;
+  record.fields = std::move(fields);
+  record.message = std::string(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < min_level_) return;
+  EmitLocked(std::move(record));
+}
+
+void EventLog::EmitLocked(EventRecord&& record) {
+  record.seq = next_seq_++;
+  if (stderr_echo_) {
+    std::ostringstream line;
+    line << record.name;
+    for (const auto& [key, value] : record.fields) {
+      line << " " << key << "=" << value;
+    }
+    if (!record.message.empty()) line << " | " << record.message;
+    common::LogMessage(ToLogLevel(record.level), record.component,
+                       line.str());
+  }
+  if (json_sink_open_ && json_sink_.good()) {
+    json_sink_ << ToJsonLine(record) << "\n";
+    json_sink_.flush();
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  full_ = true;
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<EventRecord> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventRecord> out;
+  out.reserve(ring_.size());
+  if (full_) {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t EventLog::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void EventLog::set_min_level(EventLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+void EventLog::set_stderr_echo(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stderr_echo_ = on;
+}
+
+common::Status EventLog::OpenJsonSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (json_sink_open_) json_sink_.close();
+  json_sink_.clear();
+  json_sink_.open(path, std::ios::trunc);
+  json_sink_open_ = json_sink_.is_open();
+  if (!json_sink_open_) {
+    return common::Status::IOError("cannot open event log sink: " + path);
+  }
+  return common::Status::OK();
+}
+
+void EventLog::CloseJsonSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (json_sink_open_) json_sink_.close();
+  json_sink_open_ = false;
+}
+
+std::string EventLog::ToJsonLine(const EventRecord& record) {
+  std::string out = "{\"seq\":" + std::to_string(record.seq) +
+                    ",\"ts_us\":" + std::to_string(record.ts_us) +
+                    ",\"level\":\"";
+  out += EventLevelName(record.level);
+  out += "\",\"component\":\"";
+  AppendJsonEscaped(record.component, &out);
+  out += "\",\"event\":\"";
+  AppendJsonEscaped(record.name, &out);
+  out += "\"";
+  if (record.trace_id != 0) {
+    out += ",\"trace_id\":\"" + std::to_string(record.trace_id) + "\"";
+    out += ",\"span_id\":\"" + std::to_string(record.span_id) + "\"";
+  }
+  if (record.txn_id != 0) {
+    out += ",\"txn_id\":" + std::to_string(record.txn_id);
+  }
+  for (const auto& [key, value] : record.fields) {
+    out += ",\"";
+    AppendJsonEscaped(key, &out);
+    out += "\":\"";
+    AppendJsonEscaped(value, &out);
+    out += "\"";
+  }
+  if (!record.message.empty()) {
+    out += ",\"message\":\"";
+    AppendJsonEscaped(record.message, &out);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string EventLog::ToJsonLines() const {
+  std::string out;
+  for (const auto& record : Snapshot()) {
+    out += ToJsonLine(record);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace polaris::obs

@@ -1,0 +1,112 @@
+#ifndef POLARIS_OBS_EVENT_LOG_H_
+#define POLARIS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace polaris::obs {
+
+enum class EventLevel { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view EventLevelName(EventLevel level);
+
+/// One structured event: a typed, component-tagged record carrying the
+/// ambient trace/span/transaction ids plus free-form key-value fields.
+struct EventRecord {
+  /// Monotonic per-log sequence number (never reused; survives eviction,
+  /// so gaps in a snapshot reveal dropped events).
+  uint64_t seq = 0;
+  common::Micros ts_us = 0;
+  EventLevel level = EventLevel::kInfo;
+  std::string component;  // "txn", "sto", "engine", "storage", "health"
+  std::string name;       // event type: "txn.commit", "sto.job", ...
+  /// Trace identity captured from common::CurrentTraceContext() at Emit.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t txn_id = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string message;  // optional human-readable summary
+};
+
+/// The engine-wide structured event log — the typed replacement for the
+/// raw POLARIS_LOG text path. Producers Emit leveled, component-tagged
+/// records with key-value fields; the log keeps them in a thread-safe
+/// bounded ring (oldest evicted first), optionally mirrors each record to
+/// a JSON-lines file sink and/or the legacy stderr log, and serves tail
+/// snapshots to sys.dm_events.
+///
+/// Commit/abort, recovery replay, STO job start/finish, retry exhaustion,
+/// crash-point hits and SLO transitions are all emitted through here.
+class EventLog {
+ public:
+  /// `clock` must outlive the log; null falls back to a steady wall clock
+  /// so standalone logs (tests, tools) work unwired. Engine-owned logs use
+  /// the engine clock so event timestamps share the transaction timeline.
+  explicit EventLog(common::Clock* clock = nullptr, size_t capacity = 4096);
+
+  /// Records one event. Trace/span/txn ids are stamped from the calling
+  /// thread's ambient TraceContext.
+  void Emit(EventLevel level, std::string_view component,
+            std::string_view name,
+            std::vector<std::pair<std::string, std::string>> fields = {},
+            std::string_view message = {});
+
+  /// Copy of the ring, oldest first.
+  std::vector<EventRecord> Snapshot() const;
+
+  /// Events evicted from the ring since construction.
+  uint64_t dropped() const;
+  /// Total events emitted since construction.
+  uint64_t total_emitted() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Events below this level are discarded (default kDebug = keep all).
+  void set_min_level(EventLevel level);
+
+  /// Mirrors every emitted record through common::LogMessage (stderr),
+  /// honoring the process-wide log level — keeps the legacy text log
+  /// alive for interactive shells while the ring stays the source of
+  /// truth.
+  void set_stderr_echo(bool on);
+
+  /// Opens a JSON-lines sink: every future event is appended to `path`
+  /// as one JSON object per line (the sql_shell --log-json flag).
+  common::Status OpenJsonSink(const std::string& path);
+  void CloseJsonSink();
+
+  /// The whole ring as JSON lines (EVENTS DUMP).
+  std::string ToJsonLines() const;
+  static std::string ToJsonLine(const EventRecord& record);
+
+ private:
+  common::Micros NowUs() const;
+  void EmitLocked(EventRecord&& record);
+
+  common::Clock* clock_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<EventRecord> ring_;  // insertion order, wraps at capacity_
+  size_t head_ = 0;                // next write position once full
+  bool full_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t dropped_ = 0;
+  EventLevel min_level_ = EventLevel::kDebug;
+  bool stderr_echo_ = false;
+  std::ofstream json_sink_;
+  bool json_sink_open_ = false;
+};
+
+}  // namespace polaris::obs
+
+#endif  // POLARIS_OBS_EVENT_LOG_H_

@@ -113,27 +113,101 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// Label values must escape backslash, double-quote and newline per the
+/// text exposition format 0.0.4.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Registry names may carry labels as `base{key=value,key=value}` (values
+/// unquoted; no commas or '=' inside). The exporter splits them so the
+/// exposition carries real labels instead of a mangled flat name.
+struct ParsedMetricName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+ParsedMetricName ParseMetricName(const std::string& name) {
+  ParsedMetricName parsed;
+  size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    parsed.base = name;
+    return parsed;
+  }
+  parsed.base = name.substr(0, brace);
+  std::string inner = name.substr(brace + 1, name.size() - brace - 2);
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    size_t comma = inner.find(',', pos);
+    if (comma == std::string::npos) comma = inner.size();
+    std::string pair = inner.substr(pos, comma - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      parsed.labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    pos = comma + 1;
+  }
+  return parsed;
+}
+
+/// Renders `{k="v",...}` with values escaped; `extra` (the histogram `le`
+/// label) is appended last. Empty when there are no labels at all.
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra_key = {}, const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PrometheusName(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters) {
-    std::string pname = PrometheusName(name);
+    ParsedMetricName parsed = ParseMetricName(name);
+    std::string pname = PrometheusName(parsed.base);
     out << "# TYPE " << pname << " counter\n";
-    out << pname << " " << value << "\n";
+    out << pname << RenderLabels(parsed.labels) << " " << value << "\n";
   }
   for (const auto& [name, h] : histograms) {
-    std::string pname = PrometheusName(name);
+    ParsedMetricName parsed = ParseMetricName(name);
+    std::string pname = PrometheusName(parsed.base);
     out << "# TYPE " << pname << " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];
-      out << pname << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
-          << "\n";
+      out << pname << "_bucket"
+          << RenderLabels(parsed.labels, "le", std::to_string(h.bounds[i]))
+          << " " << cumulative << "\n";
     }
-    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
-    out << pname << "_sum " << h.sum << "\n";
-    out << pname << "_count " << h.count << "\n";
+    out << pname << "_bucket" << RenderLabels(parsed.labels, "le", "+Inf")
+        << " " << h.count << "\n";
+    out << pname << "_sum" << RenderLabels(parsed.labels) << " " << h.sum
+        << "\n";
+    out << pname << "_count" << RenderLabels(parsed.labels) << " " << h.count
+        << "\n";
   }
   return out.str();
 }

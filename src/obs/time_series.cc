@@ -1,0 +1,232 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace polaris::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry* registry,
+                                       size_t capacity_per_series)
+    : registry_(registry),
+      capacity_(capacity_per_series == 0 ? 1 : capacity_per_series) {}
+
+void TimeSeriesRecorder::SampleOnce(
+    const common::Micros now,
+    const std::vector<std::pair<std::string, double>>& gauges) {
+  MetricsSnapshot snapshot = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto record = [&](const std::string& name, double value) {
+    std::deque<Sample>& ring = series_[name];
+    ring.push_back({now, value});
+    while (ring.size() > capacity_) ring.pop_front();
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    record(name, static_cast<double>(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    record(name + ".count", static_cast<double>(h.count));
+    record(name + ".p50", static_cast<double>(h.ApproxQuantile(0.5)));
+    record(name + ".p95", static_cast<double>(h.ApproxQuantile(0.95)));
+    record(name + ".p99", static_cast<double>(h.ApproxQuantile(0.99)));
+  }
+  for (const auto& [name, value] : gauges) {
+    record(name, value);
+  }
+  ++samples_;
+}
+
+std::vector<std::string> TimeSeriesRecorder::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    (void)ring;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return std::vector<Sample>(it->second.begin(), it->second.end());
+}
+
+bool TimeSeriesRecorder::Latest(const std::string& name, Sample* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.empty()) return false;
+  *out = it->second.back();
+  return true;
+}
+
+double TimeSeriesRecorder::DeltaOverWindow(const std::string& name,
+                                           size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.size() < 2) return 0;
+  const std::deque<Sample>& ring = it->second;
+  size_t newest = ring.size() - 1;
+  size_t oldest = window >= newest ? 0 : newest - window;
+  return std::max(0.0, ring[newest].value - ring[oldest].value);
+}
+
+uint64_t TimeSeriesRecorder::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::string TimeSeriesRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"series\":{";
+  bool first_series = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first_series) out += ",";
+    first_series = false;
+    out += "\"";
+    // Metric names are dotted identifiers; no JSON escaping needed beyond
+    // quotes, which Add() callers never use in registry names — but be
+    // safe for injected gauges.
+    for (char c : name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\":[";
+    bool first = true;
+    for (const Sample& sample : ring) {
+      if (!first) out += ",";
+      first = false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "{\"ts_us\":%lld,\"value\":%.6g}",
+                    static_cast<long long>(sample.ts_us), sample.value);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string_view HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk: return "OK";
+    case HealthStatus::kWarn: return "WARN";
+    case HealthStatus::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+HealthWatchdog::HealthWatchdog(TimeSeriesRecorder* recorder, EventLog* events,
+                               MetricsRegistry* metrics)
+    : recorder_(recorder), events_(events), metrics_(metrics) {}
+
+void HealthWatchdog::AddRule(SloRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthRow row;
+  row.rule = rule.name;
+  row.warn_threshold = rule.warn_threshold;
+  row.fail_threshold = rule.fail_threshold;
+  row.description = rule.description;
+  rules_.push_back(std::move(rule));
+  states_.push_back(std::move(row));
+}
+
+double HealthWatchdog::RuleValue(const SloRule& rule, bool* has_data) const {
+  *has_data = true;
+  switch (rule.kind) {
+    case SloRule::Kind::kGauge: {
+      TimeSeriesRecorder::Sample sample;
+      if (!recorder_->Latest(rule.metric, &sample)) {
+        *has_data = false;
+        return 0;
+      }
+      return sample.value;
+    }
+    case SloRule::Kind::kDelta:
+      return recorder_->DeltaOverWindow(rule.metric, rule.window);
+    case SloRule::Kind::kRatio: {
+      double denominator = 0;
+      for (const std::string& name : rule.denominators) {
+        denominator += recorder_->DeltaOverWindow(name, rule.window);
+      }
+      if (denominator < rule.min_activity) {
+        *has_data = false;  // not enough traffic to judge
+        return 0;
+      }
+      return recorder_->DeltaOverWindow(rule.metric, rule.window) /
+             denominator;
+    }
+  }
+  *has_data = false;
+  return 0;
+}
+
+void HealthWatchdog::Evaluate(common::Micros now) {
+  struct Transition {
+    std::string rule;
+    HealthStatus from;
+    HealthStatus to;
+    double value;
+  };
+  std::vector<Transition> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const SloRule& rule = rules_[i];
+      HealthRow& row = states_[i];
+      bool has_data = false;
+      double value = RuleValue(rule, &has_data);
+      HealthStatus status = HealthStatus::kOk;
+      if (has_data) {
+        if (rule.above_is_bad) {
+          if (value > rule.fail_threshold) status = HealthStatus::kFail;
+          else if (value > rule.warn_threshold) status = HealthStatus::kWarn;
+        } else {
+          if (value < rule.fail_threshold) status = HealthStatus::kFail;
+          else if (value < rule.warn_threshold) status = HealthStatus::kWarn;
+        }
+      }
+      row.value = value;
+      if (row.since_us == 0) row.since_us = now;
+      if (status != row.status) {
+        fired.push_back({rule.name, row.status, status, value});
+        row.status = status;
+        row.since_us = now;
+        ++transitions_;
+      }
+    }
+  }
+  // Event/metric emission outside mu_ — the event log has its own lock.
+  for (const Transition& t : fired) {
+    char value_buf[32];
+    std::snprintf(value_buf, sizeof(value_buf), "%.4g", t.value);
+    if (events_ != nullptr) {
+      events_->Emit(t.to == HealthStatus::kFail ? EventLevel::kError
+                    : t.to == HealthStatus::kWarn ? EventLevel::kWarn
+                                                  : EventLevel::kInfo,
+                    "health", "health.transition",
+                    {{"rule", t.rule},
+                     {"from", std::string(HealthStatusName(t.from))},
+                     {"to", std::string(HealthStatusName(t.to))},
+                     {"value", value_buf}});
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add("health.transitions{rule=" + t.rule + ",to=" +
+                    std::string(HealthStatusName(t.to)) + "}");
+    }
+  }
+}
+
+std::vector<HealthRow> HealthWatchdog::States() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+uint64_t HealthWatchdog::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+}  // namespace polaris::obs

@@ -1,0 +1,146 @@
+#ifndef POLARIS_OBS_TIME_SERIES_H_
+#define POLARIS_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace polaris::obs {
+
+/// Bounded per-metric ring buffers of periodic MetricsRegistry samples —
+/// the history behind sys.dm_metrics_history and the input the health
+/// watchdog evaluates its SLO rules over.
+///
+/// Each SampleOnce snapshots the registry: counters are recorded at their
+/// current value (rules compute windowed deltas); histograms are flattened
+/// into four derived series (`<name>.count`, `.p50`, `.p95`, `.p99`).
+/// Callers may inject extra gauge readings (active transactions, STO
+/// backlog, tracer occupancy) that have no registry counter.
+///
+/// Thread-safe; the engine drives it from a background sampler thread
+/// (default period 1s) and tests call SampleOnce directly.
+class TimeSeriesRecorder {
+ public:
+  struct Sample {
+    common::Micros ts_us = 0;
+    double value = 0;
+  };
+
+  /// `registry` must outlive the recorder.
+  explicit TimeSeriesRecorder(MetricsRegistry* registry,
+                              size_t capacity_per_series = 512);
+
+  /// Takes one sample of every metric (plus `gauges`) stamped `now`.
+  void SampleOnce(common::Micros now,
+                  const std::vector<std::pair<std::string, double>>& gauges =
+                      {});
+
+  std::vector<std::string> SeriesNames() const;
+  std::vector<Sample> Series(const std::string& name) const;
+
+  /// Latest recorded value of `name`; false when the series is absent.
+  bool Latest(const std::string& name, Sample* out) const;
+
+  /// value(newest) - value(max(0, newest - window)) over `name`'s ring;
+  /// 0 when the series is absent or has a single point. Negative deltas
+  /// (registry reset) clamp to 0.
+  double DeltaOverWindow(const std::string& name, size_t window) const;
+
+  /// Samples taken since construction.
+  uint64_t samples_taken() const;
+
+  /// {"series": {"<name>": [{"ts_us":..,"value":..}, ...], ...}}
+  std::string ToJson() const;
+
+ private:
+  MetricsRegistry* registry_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<Sample>> series_;
+  uint64_t samples_ = 0;
+};
+
+enum class HealthStatus { kOk = 0, kWarn, kFail };
+
+std::string_view HealthStatusName(HealthStatus status);
+
+/// One declarative SLO rule evaluated against the recorder after each
+/// sample. Three input shapes cover the built-in rules:
+///  * kGauge — the latest sample of `metric` (histogram quantiles are
+///    gauges too: recorded series "<hist>.p99").
+///  * kDelta — windowed increase of counter `metric`.
+///  * kRatio — windowed increase of `metric` divided by the summed
+///    windowed increase of `denominators` (rate over window).
+/// Direction: with `above_is_bad`, value > fail_threshold is FAIL and
+/// value > warn_threshold is WARN; inverted otherwise (floors, e.g. cache
+/// hit rate). A rule with too little activity (ratio denominator delta
+/// below `min_activity`, or a missing series) reports OK.
+struct SloRule {
+  std::string name;
+  std::string description;
+  enum class Kind { kGauge, kDelta, kRatio };
+  Kind kind = Kind::kGauge;
+  std::string metric;
+  std::vector<std::string> denominators;  // kRatio only
+  size_t window = 10;                     // samples, kDelta/kRatio
+  bool above_is_bad = true;
+  double warn_threshold = 0;
+  double fail_threshold = 0;
+  double min_activity = 1;
+};
+
+struct HealthRow {
+  std::string rule;
+  HealthStatus status = HealthStatus::kOk;
+  double value = 0;
+  double warn_threshold = 0;
+  double fail_threshold = 0;
+  /// When the rule entered its current status.
+  common::Micros since_us = 0;
+  std::string description;
+};
+
+/// Evaluates SLO rules over the recorder each sample, keeps the current
+/// verdict per rule (sys.dm_health) and fires a structured event on every
+/// status transition. `recorder` must outlive the watchdog; `events` and
+/// `metrics` may be null.
+class HealthWatchdog {
+ public:
+  HealthWatchdog(TimeSeriesRecorder* recorder, EventLog* events = nullptr,
+                 MetricsRegistry* metrics = nullptr);
+
+  void AddRule(SloRule rule);
+
+  /// Re-evaluates every rule against the recorder's current state.
+  void Evaluate(common::Micros now);
+
+  std::vector<HealthRow> States() const;
+
+  /// Status transitions observed since construction.
+  uint64_t transitions() const;
+
+ private:
+  double RuleValue(const SloRule& rule, bool* has_data) const;
+
+  TimeSeriesRecorder* recorder_;
+  EventLog* events_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  std::vector<SloRule> rules_;
+  std::vector<HealthRow> states_;  // parallel to rules_
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace polaris::obs
+
+#endif  // POLARIS_OBS_TIME_SERIES_H_

@@ -112,6 +112,11 @@ uint64_t Tracer::dropped_spans() const {
   return dropped_;
 }
 
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
 std::string Tracer::ExportChromeTrace() const {
   std::vector<SpanRecord> spans = Snapshot();
   std::string out;

@@ -67,6 +67,10 @@ class Tracer {
   /// Spans evicted from the ring buffer since construction/Clear.
   uint64_t dropped_spans() const;
 
+  /// Finished spans currently held in the ring (occupancy); together with
+  /// dropped_spans() this makes truncated traces detectable.
+  size_t size() const;
+
   /// Serializes every recorded span as Chrome `trace_event` JSON
   /// ("X" complete events, ts/dur in microseconds) — loads directly in
   /// Perfetto / chrome://tracing.

@@ -63,6 +63,18 @@ class Parser {
     }
     return Advance().text;
   }
+  /// Table names may be schema-qualified (`sys.dm_tran_active`); user
+  /// tables remain single identifiers. The qualified form is stored
+  /// dot-joined, matching the catalog / system-view lookup key.
+  Result<std::string> ParseTableName(const std::string& what) {
+    POLARIS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+    while (AcceptSymbol(".")) {
+      POLARIS_ASSIGN_OR_RETURN(std::string part,
+                               ExpectIdentifier("identifier after '.'"));
+      name += "." + part;
+    }
+    return name;
+  }
   Status ExpectStatementEnd() {
     AcceptSymbol(";");
     if (Peek().type != TokenType::kEnd) {
@@ -180,7 +192,7 @@ Result<ParsedStatement> Parser::ParseInsert() {
   ParsedStatement stmt;
   stmt.kind = ParsedStatement::Kind::kInsert;
   POLARIS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
-  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ParseTableName("table name"));
   POLARIS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
   do {
     POLARIS_RETURN_IF_ERROR(ExpectSymbol("("));
@@ -273,7 +285,7 @@ Result<ParsedStatement> Parser::ParseSelect() {
   } while (AcceptSymbol(","));
 
   POLARIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
-  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ParseTableName("table name"));
   POLARIS_RETURN_IF_ERROR(ParseAsOf(&stmt));
   POLARIS_RETURN_IF_ERROR(ParseWhere(&stmt.where));
   if (AcceptKeyword("GROUP")) {
@@ -311,7 +323,7 @@ Result<ParsedStatement> Parser::ParseSelect() {
 Result<ParsedStatement> Parser::ParseUpdate() {
   ParsedStatement stmt;
   stmt.kind = ParsedStatement::Kind::kUpdate;
-  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ParseTableName("table name"));
   POLARIS_RETURN_IF_ERROR(ExpectKeyword("SET"));
   do {
     POLARIS_ASSIGN_OR_RETURN(std::string column,
@@ -356,7 +368,7 @@ Result<ParsedStatement> Parser::ParseDelete() {
   ParsedStatement stmt;
   stmt.kind = ParsedStatement::Kind::kDelete;
   POLARIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
-  POLARIS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  POLARIS_ASSIGN_OR_RETURN(stmt.table, ParseTableName("table name"));
   POLARIS_RETURN_IF_ERROR(ParseWhere(&stmt.where));
   POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
   return stmt;

@@ -83,6 +83,9 @@ struct ParsedStatement {
 ///   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
 ///   EXPLAIN ANALYZE <statement>
 ///
+/// Table names in DML/SELECT may be schema-qualified (`sys.dm_health`);
+/// the `sys.` namespace is reserved for read-only system views.
+///
 /// Literal typing is resolved against the table schema at execution time
 /// (integer literals widen to DOUBLE columns).
 common::Result<ParsedStatement> Parse(const std::string& sql);

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/trace_context.h"
+#include "engine/system_views.h"
 #include "obs/tracer.h"
 
 namespace polaris::sql {
@@ -49,6 +50,127 @@ Status CoerceWhere(const format::Schema& schema, exec::Conjunction* where) {
         pred.literal, CoerceLiteral(pred.literal, schema.column(idx).type));
   }
   return Status::OK();
+}
+
+/// Validates the SELECT list and splits it into a plain projection or a
+/// set of aggregates (shared by table scans and system-view scans).
+Status AnalyzeSelectList(const ParsedStatement& stmt, bool* has_aggregate,
+                         std::vector<std::string>* projection,
+                         std::vector<exec::AggSpec>* aggregates) {
+  *has_aggregate = false;
+  for (const auto& item : stmt.select_items) {
+    if (item.aggregate.has_value()) *has_aggregate = true;
+  }
+  if (*has_aggregate) {
+    for (const auto& item : stmt.select_items) {
+      if (item.star) {
+        return Status::InvalidArgument("'*' cannot be mixed with aggregates");
+      }
+      if (item.aggregate.has_value()) {
+        aggregates->push_back({*item.aggregate, item.column, item.alias});
+      } else if (std::find(stmt.group_by.begin(), stmt.group_by.end(),
+                           item.column) == stmt.group_by.end()) {
+        return Status::InvalidArgument(
+            "column '" + item.column +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+    }
+    return Status::OK();
+  }
+  if (!stmt.group_by.empty()) {
+    return Status::InvalidArgument("GROUP BY requires aggregates");
+  }
+  bool star = false;
+  for (const auto& item : stmt.select_items) {
+    if (item.star) {
+      star = true;
+    } else {
+      projection->push_back(item.column);
+    }
+  }
+  if (star && !projection->empty()) {
+    return Status::InvalidArgument(
+        "'*' cannot be combined with other select items");
+  }
+  return Status::OK();
+}
+
+/// Re-shapes `raw` to the select-list order and aliases, then applies
+/// ORDER BY and LIMIT (both over the output columns). `star_only` means
+/// the batch is passed through unshaped.
+Result<SqlResult> ShapeSelectOutput(const ParsedStatement& stmt,
+                                    bool has_aggregate, bool star_only,
+                                    RecordBatch raw) {
+  SqlResult result;
+  if (star_only) {
+    result.batch = std::move(raw);
+  } else {
+    std::vector<int> source_cols;
+    std::vector<format::ColumnDesc> descs;
+    for (const auto& item : stmt.select_items) {
+      // Aggregates are named by alias in the engine output; plain columns
+      // by their own name.
+      const std::string& lookup =
+          item.aggregate.has_value() ? item.alias : item.column;
+      int idx = raw.schema().FindColumn(lookup);
+      if (idx < 0) {
+        if (!has_aggregate) {
+          return Status::InvalidArgument("unknown column in SELECT: " +
+                                         lookup);
+        }
+        return Status::Internal("result column missing: " + lookup);
+      }
+      source_cols.push_back(idx);
+      descs.push_back({item.alias, raw.schema().column(idx).type});
+    }
+    RecordBatch shaped{format::Schema(descs)};
+    for (size_t r = 0; r < raw.num_rows(); ++r) {
+      format::Row row;
+      row.reserve(source_cols.size());
+      for (int c : source_cols) row.push_back(raw.column(c).ValueAt(r));
+      POLARIS_RETURN_IF_ERROR(shaped.AppendRow(row));
+    }
+    result.batch = std::move(shaped);
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;  // (column index, descending)
+    for (const auto& key : stmt.order_by) {
+      int idx = result.batch.schema().FindColumn(key.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("ORDER BY column not in output: " +
+                                       key.column);
+      }
+      keys.emplace_back(idx, key.descending);
+    }
+    std::vector<size_t> order(result.batch.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const RecordBatch& batch = result.batch;
+    std::stable_sort(order.begin(), order.end(),
+                     [&batch, &keys](size_t a, size_t b) {
+                       for (const auto& [idx, desc] : keys) {
+                         int cmp = batch.column(idx).ValueAt(a).Compare(
+                             batch.column(idx).ValueAt(b));
+                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                       }
+                       return false;
+                     });
+    RecordBatch sorted{result.batch.schema()};
+    for (size_t i : order) {
+      POLARIS_RETURN_IF_ERROR(sorted.AppendRow(result.batch.GetRow(i)));
+    }
+    result.batch = std::move(sorted);
+  }
+  if (stmt.limit.has_value() && result.batch.num_rows() > *stmt.limit) {
+    RecordBatch limited{result.batch.schema()};
+    for (size_t r = 0; r < *stmt.limit; ++r) {
+      POLARIS_RETURN_IF_ERROR(limited.AppendRow(result.batch.GetRow(r)));
+    }
+    result.batch = std::move(limited);
+  }
+
+  result.message = std::to_string(result.batch.num_rows()) + " rows";
+  return result;
 }
 
 const char* StatementKindName(ParsedStatement::Kind kind) {
@@ -302,18 +424,35 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
       return result;
     }
     case ParsedStatement::Kind::kInsert:
+      if (engine::SystemViews::IsSystemTable(stmt.table)) {
+        return Status::InvalidArgument("system views are read-only: " +
+                                       stmt.table);
+      }
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteInsert(stmt, txn);
       });
     case ParsedStatement::Kind::kSelect:
+      // System views read live engine state outside any snapshot; they do
+      // not open (or join) a transaction.
+      if (engine::SystemViews::IsSystemTable(stmt.table)) {
+        return ExecuteSystemViewSelect(stmt);
+      }
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteSelect(stmt, txn);
       });
     case ParsedStatement::Kind::kUpdate:
+      if (engine::SystemViews::IsSystemTable(stmt.table)) {
+        return Status::InvalidArgument("system views are read-only: " +
+                                       stmt.table);
+      }
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteUpdate(stmt, txn);
       });
     case ParsedStatement::Kind::kDelete:
+      if (engine::SystemViews::IsSystemTable(stmt.table)) {
+        return Status::InvalidArgument("system views are read-only: " +
+                                       stmt.table);
+      }
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteDelete(stmt, txn);
       });
@@ -362,43 +501,10 @@ Result<SqlResult> SqlSession::ExecuteSelect(const ParsedStatement& stmt,
   POLARIS_RETURN_IF_ERROR(CoerceWhere(meta.schema, &spec.filter));
 
   bool has_aggregate = false;
-  for (const auto& item : stmt.select_items) {
-    if (item.aggregate.has_value()) has_aggregate = true;
-  }
-
-  if (has_aggregate) {
-    spec.group_by = stmt.group_by;
-    for (const auto& item : stmt.select_items) {
-      if (item.star) {
-        return Status::InvalidArgument(
-            "'*' cannot be mixed with aggregates");
-      }
-      if (item.aggregate.has_value()) {
-        spec.aggregates.push_back({*item.aggregate, item.column,
-                                   item.alias});
-      } else if (std::find(stmt.group_by.begin(), stmt.group_by.end(),
-                           item.column) == stmt.group_by.end()) {
-        return Status::InvalidArgument(
-            "column '" + item.column +
-            "' must appear in GROUP BY or inside an aggregate");
-      }
-    }
-  } else if (!stmt.group_by.empty()) {
-    return Status::InvalidArgument("GROUP BY requires aggregates");
-  } else {
-    bool star = false;
-    for (const auto& item : stmt.select_items) {
-      if (item.star) {
-        star = true;
-      } else {
-        spec.projection.push_back(item.column);
-      }
-    }
-    if (star && !spec.projection.empty()) {
-      return Status::InvalidArgument(
-          "'*' cannot be combined with other select items");
-    }
-  }
+  POLARIS_RETURN_IF_ERROR(AnalyzeSelectList(stmt, &has_aggregate,
+                                            &spec.projection,
+                                            &spec.aggregates));
+  if (has_aggregate) spec.group_by = stmt.group_by;
 
   RecordBatch raw;
   if (stmt.as_of.has_value()) {
@@ -408,75 +514,44 @@ Result<SqlResult> SqlSession::ExecuteSelect(const ParsedStatement& stmt,
     POLARIS_ASSIGN_OR_RETURN(raw, engine_->Query(txn, stmt.table, spec));
   }
 
-  // Re-shape the engine result to the select-list order and aliases.
-  SqlResult result;
-  bool star_only = !has_aggregate && spec.projection.empty();
-  if (star_only) {
-    result.batch = std::move(raw);
-  } else {
-    std::vector<int> source_cols;
-    std::vector<format::ColumnDesc> descs;
-    for (const auto& item : stmt.select_items) {
-      // Aggregates are named by alias in the engine output; plain columns
-      // by their own name.
-      const std::string& lookup =
-          item.aggregate.has_value() ? item.alias : item.column;
-      int idx = raw.schema().FindColumn(lookup);
-      if (idx < 0) {
-        return Status::Internal("result column missing: " + lookup);
-      }
-      source_cols.push_back(idx);
-      descs.push_back({item.alias, raw.schema().column(idx).type});
-    }
-    RecordBatch shaped{format::Schema(descs)};
-    for (size_t r = 0; r < raw.num_rows(); ++r) {
-      format::Row row;
-      row.reserve(source_cols.size());
-      for (int c : source_cols) row.push_back(raw.column(c).ValueAt(r));
-      POLARIS_RETURN_IF_ERROR(shaped.AppendRow(row));
-    }
-    result.batch = std::move(shaped);
+  return ShapeSelectOutput(stmt, has_aggregate,
+                           !has_aggregate && spec.projection.empty(),
+                           std::move(raw));
+}
+
+Result<SqlResult> SqlSession::ExecuteSystemViewSelect(
+    const ParsedStatement& stmt) {
+  if (stmt.as_of.has_value()) {
+    return Status::InvalidArgument(
+        "AS OF is not supported on system views (they reflect live state)");
+  }
+  // Materialize the view, then run the same relational pipeline a table
+  // scan gets: WHERE -> aggregate -> reshape -> ORDER BY -> LIMIT.
+  POLARIS_ASSIGN_OR_RETURN(RecordBatch raw,
+                           engine_->system_views()->Query(stmt.table));
+
+  exec::Conjunction where = stmt.where;
+  POLARIS_RETURN_IF_ERROR(CoerceWhere(raw.schema(), &where));
+  if (!where.empty()) {
+    POLARIS_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                             exec::EvaluateConjunction(where, raw));
+    raw = exec::FilterBatch(raw, mask);
   }
 
-  // ORDER BY over the output columns, then LIMIT.
-  if (!stmt.order_by.empty()) {
-    std::vector<std::pair<int, bool>> keys;  // (column index, descending)
-    for (const auto& key : stmt.order_by) {
-      int idx = result.batch.schema().FindColumn(key.column);
-      if (idx < 0) {
-        return Status::InvalidArgument("ORDER BY column not in output: " +
-                                       key.column);
-      }
-      keys.emplace_back(idx, key.descending);
-    }
-    std::vector<size_t> order(result.batch.num_rows());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    const RecordBatch& batch = result.batch;
-    std::stable_sort(order.begin(), order.end(),
-                     [&batch, &keys](size_t a, size_t b) {
-                       for (const auto& [idx, desc] : keys) {
-                         int cmp = batch.column(idx).ValueAt(a).Compare(
-                             batch.column(idx).ValueAt(b));
-                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
-                       }
-                       return false;
-                     });
-    RecordBatch sorted{result.batch.schema()};
-    for (size_t i : order) {
-      POLARIS_RETURN_IF_ERROR(sorted.AppendRow(result.batch.GetRow(i)));
-    }
-    result.batch = std::move(sorted);
-  }
-  if (stmt.limit.has_value() && result.batch.num_rows() > *stmt.limit) {
-    RecordBatch limited{result.batch.schema()};
-    for (size_t r = 0; r < *stmt.limit; ++r) {
-      POLARIS_RETURN_IF_ERROR(limited.AppendRow(result.batch.GetRow(r)));
-    }
-    result.batch = std::move(limited);
+  bool has_aggregate = false;
+  std::vector<std::string> projection;
+  std::vector<exec::AggSpec> aggregates;
+  POLARIS_RETURN_IF_ERROR(
+      AnalyzeSelectList(stmt, &has_aggregate, &projection, &aggregates));
+  if (has_aggregate) {
+    POLARIS_ASSIGN_OR_RETURN(raw,
+                             exec::HashAggregate(raw, stmt.group_by,
+                                                 aggregates));
   }
 
-  result.message = std::to_string(result.batch.num_rows()) + " rows";
-  return result;
+  return ShapeSelectOutput(stmt, has_aggregate,
+                           !has_aggregate && projection.empty(),
+                           std::move(raw));
 }
 
 Result<SqlResult> SqlSession::ExecuteUpdate(const ParsedStatement& stmt,

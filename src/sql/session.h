@@ -66,6 +66,11 @@ class SqlSession {
                                           txn::Transaction* txn);
   common::Result<SqlResult> ExecuteSelect(const ParsedStatement& stmt,
                                           txn::Transaction* txn);
+  /// SELECT over a `sys.*` system view: materializes the DMV from live
+  /// engine state (no transaction, no snapshot) and runs the same
+  /// WHERE / aggregate / ORDER BY / LIMIT pipeline as table selects.
+  common::Result<SqlResult> ExecuteSystemViewSelect(
+      const ParsedStatement& stmt);
   common::Result<SqlResult> ExecuteUpdate(const ParsedStatement& stmt,
                                           txn::Transaction* txn);
   common::Result<SqlResult> ExecuteDelete(const ParsedStatement& stmt,

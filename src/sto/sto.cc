@@ -82,7 +82,75 @@ Result<StorageHealth> SystemTaskOrchestrator::EvaluateHealth(
   return health;
 }
 
+common::Micros SystemTaskOrchestrator::Now() const {
+  return txn_manager_->catalog()->clock()->Now();
+}
+
+void SystemTaskOrchestrator::RecordJob(StoJobRecord record) {
+  record.end_time = Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.job_id = next_job_id_++;
+    job_history_.push_back(record);
+    while (job_history_.size() > options_.job_history_capacity) {
+      job_history_.pop_front();
+    }
+  }
+  if (events_ != nullptr) {
+    obs::EventLevel level = obs::EventLevel::kInfo;
+    if (record.status == "error") level = obs::EventLevel::kError;
+    if (record.status == "conflict") level = obs::EventLevel::kWarn;
+    events_->Emit(
+        level, "sto", "sto.job",
+        {{"kind", record.kind},
+         {"table_id", std::to_string(record.table_id)},
+         {"status", record.status},
+         {"duration_us",
+          std::to_string(record.end_time - record.start_time)},
+         {"bytes_reclaimed", std::to_string(record.bytes_reclaimed)}},
+        record.detail);
+  }
+}
+
+std::vector<StoJobRecord> SystemTaskOrchestrator::JobHistory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {job_history_.begin(), job_history_.end()};
+}
+
+uint64_t SystemTaskOrchestrator::pending_manifests_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [table_id, count] : manifests_since_checkpoint_) {
+    (void)table_id;
+    total += count;
+  }
+  return total;
+}
+
 Result<CompactionStats> SystemTaskOrchestrator::CompactTable(
+    int64_t table_id) {
+  StoJobRecord job;
+  job.kind = "compaction";
+  job.table_id = table_id;
+  job.start_time = Now();
+  Result<CompactionStats> result = CompactTableImpl(table_id);
+  if (!result.ok()) {
+    job.status = result.status().IsConflict() ? "conflict" : "error";
+    job.detail = result.status().ToString();
+  } else if (result->input_files == 0) {
+    job.status = "noop";
+  } else {
+    job.status = "ok";
+    job.detail = std::to_string(result->input_files) + " -> " +
+                 std::to_string(result->output_files) + " files, purged " +
+                 std::to_string(result->deleted_rows_purged) +
+                 " deleted rows";
+  }
+  RecordJob(std::move(job));
+  return result;
+}
+
+Result<CompactionStats> SystemTaskOrchestrator::CompactTableImpl(
     int64_t table_id) {
   obs::Span span(tracer_, "sto.compaction", obs::Span::kRoot);
   if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
@@ -282,6 +350,22 @@ Result<bool> SystemTaskOrchestrator::MaybeCheckpoint(int64_t table_id) {
 }
 
 Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
+  StoJobRecord job;
+  job.kind = "checkpoint";
+  job.table_id = table_id;
+  job.start_time = Now();
+  Result<bool> result = ForceCheckpointImpl(table_id);
+  if (!result.ok()) {
+    job.status = result.status().IsConflict() ? "conflict" : "error";
+    job.detail = result.status().ToString();
+  } else {
+    job.status = *result ? "ok" : "noop";
+  }
+  RecordJob(std::move(job));
+  return result;
+}
+
+Result<bool> SystemTaskOrchestrator::ForceCheckpointImpl(int64_t table_id) {
   obs::Span span(tracer_, "sto.checkpoint", obs::Span::kRoot);
   if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
   // The checkpoint operation runs in its own transaction (§5.2); it never
@@ -328,6 +412,24 @@ Result<bool> SystemTaskOrchestrator::ForceCheckpoint(int64_t table_id) {
 }
 
 Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
+  StoJobRecord job;
+  job.kind = "gc";
+  job.start_time = Now();
+  Result<GcStats> result = RunGarbageCollectionImpl();
+  if (!result.ok()) {
+    job.status = result.status().IsConflict() ? "conflict" : "error";
+    job.detail = result.status().ToString();
+  } else {
+    job.status = result->blobs_deleted > 0 ? "ok" : "noop";
+    job.detail = "scanned " + std::to_string(result->blobs_scanned) +
+                 ", deleted " + std::to_string(result->blobs_deleted);
+    job.bytes_reclaimed = result->bytes_reclaimed;
+  }
+  RecordJob(std::move(job));
+  return result;
+}
+
+Result<GcStats> SystemTaskOrchestrator::RunGarbageCollectionImpl() {
   obs::Span span(tracer_, "sto.gc", obs::Span::kRoot);
   // First purge catalog rows of dropped tables (their own transaction, so
   // the GC snapshot below no longer references those blobs).
@@ -420,6 +522,7 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
       Status del = txn_manager_->store()->Delete(blob.path);
       if (del.ok() || del.IsNotFound()) {
         ++stats.blobs_deleted;
+        stats.bytes_reclaimed += blob.size;
       } else {
         return finish(del);
       }
@@ -432,6 +535,7 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
     metrics_->Add("sto.gc.sweeps");
     metrics_->Add("sto.gc.blobs_scanned", stats.blobs_scanned);
     metrics_->Add("sto.gc.blobs_deleted", stats.blobs_deleted);
+    metrics_->Add("sto.gc.bytes_reclaimed", stats.bytes_reclaimed);
   }
   if (span.active()) {
     span.AddAttr("blobs_scanned", stats.blobs_scanned);
@@ -445,6 +549,22 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollection() {
 }
 
 Status SystemTaskOrchestrator::PublishTable(int64_t table_id) {
+  StoJobRecord job;
+  job.kind = "publish";
+  job.table_id = table_id;
+  job.start_time = Now();
+  Status st = PublishTableImpl(table_id);
+  if (!st.ok()) {
+    job.status = st.IsConflict() ? "conflict" : "error";
+    job.detail = st.ToString();
+  } else {
+    job.status = "ok";
+  }
+  RecordJob(std::move(job));
+  return st;
+}
+
+Status SystemTaskOrchestrator::PublishTableImpl(int64_t table_id) {
   obs::Span span(tracer_, "sto.publish", obs::Span::kRoot);
   if (span.active()) span.AddAttr("table_id", static_cast<int64_t>(table_id));
   POLARIS_ASSIGN_OR_RETURN(auto txn, txn_manager_->Begin());
@@ -507,6 +627,25 @@ Status SystemTaskOrchestrator::RunOnce(bool run_gc) {
 
 Status SystemTaskOrchestrator::MaintainCatalogJournal() {
   if (journal_ == nullptr) return Status::OK();
+  StoJobRecord job;
+  job.kind = "journal";
+  job.start_time = Now();
+  uint64_t reclaimed_blobs = 0;
+  Status st = MaintainCatalogJournalImpl(&reclaimed_blobs);
+  if (!st.ok()) {
+    job.status = "error";
+    job.detail = st.ToString();
+  } else {
+    job.status = reclaimed_blobs > 0 ? "ok" : "noop";
+    job.detail = "reclaimed " + std::to_string(reclaimed_blobs) +
+                 " journal blobs";
+  }
+  RecordJob(std::move(job));
+  return st;
+}
+
+Status SystemTaskOrchestrator::MaintainCatalogJournalImpl(
+    uint64_t* reclaimed_blobs) {
   if (journal_->ShouldCheckpoint()) {
     obs::Span span(tracer_, "sto.catalog_checkpoint", obs::Span::kRoot);
     // ExportLatest pairs the rows with the commit sequence they are
@@ -518,6 +657,7 @@ Status SystemTaskOrchestrator::MaintainCatalogJournal() {
   }
   POLARIS_ASSIGN_OR_RETURN(uint64_t reclaimed,
                            journal_->ReclaimSupersededSegments());
+  *reclaimed_blobs = reclaimed;
   if (reclaimed > 0) {
     if (metrics_ != nullptr) {
       metrics_->Add("sto.journal_blobs_reclaimed", reclaimed);

@@ -2,6 +2,7 @@
 #define POLARIS_STO_STO_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "exec/data_cache.h"
 #include "exec/dml.h"
 #include "format/file_writer.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sto/delta_publisher.h"
@@ -33,6 +35,8 @@ struct StoOptions {
   common::Micros retention_micros = 7LL * 24 * 3600 * 1'000'000;
   /// WLM pool STO maintenance tasks run on.
   std::string pool = "write";
+  /// Finished maintenance jobs retained for sys.dm_sto_jobs.
+  size_t job_history_capacity = 128;
   /// Writer settings for compacted files; the engine aligns this with its
   /// own data-file settings so compaction preserves row-group geometry.
   format::FileWriterOptions file_options;
@@ -64,6 +68,24 @@ struct GcStats {
   /// Unknown blobs retained because they may belong to an in-flight
   /// transaction (created after the GC safety horizon).
   uint64_t blobs_retained_unknown = 0;
+  /// Store bytes freed by the deleted blobs.
+  uint64_t bytes_reclaimed = 0;
+};
+
+/// One finished maintenance job in the bounded history ring (backs
+/// sys.dm_sto_jobs).
+struct StoJobRecord {
+  uint64_t job_id = 0;
+  /// "compaction" | "checkpoint" | "gc" | "publish" | "journal".
+  std::string kind;
+  int64_t table_id = -1;  // -1 for store-global jobs (gc, journal)
+  common::Micros start_time = 0;
+  common::Micros end_time = 0;
+  /// "ok" | "noop" | "conflict" | "error".
+  std::string status;
+  /// Human-readable outcome summary or error text.
+  std::string detail;
+  uint64_t bytes_reclaimed = 0;
 };
 
 /// The System Task Orchestrator (paper §3.3, §5): a control-plane service
@@ -101,6 +123,17 @@ class SystemTaskOrchestrator {
   void set_catalog_journal(catalog::CatalogJournal* journal) {
     journal_ = journal;
   }
+
+  /// Attaches a structured event log (must outlive the STO); every
+  /// maintenance job then emits an `sto.job` event with its outcome.
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
+  /// Finished maintenance jobs, oldest first (bounded ring).
+  std::vector<StoJobRecord> JobHistory() const;
+
+  /// Manifests committed past the newest checkpoint, summed over all
+  /// tables — the checkpoint backlog the health watchdog tracks.
+  uint64_t pending_manifests_total() const;
 
   /// FE commit notification (§5.2): bumps the table's pending-manifest
   /// count and marks it for publishing.
@@ -143,6 +176,20 @@ class SystemTaskOrchestrator {
   common::Status RunOnce(bool run_gc = false);
 
  private:
+  /// The un-instrumented job bodies; the public entry points above wrap
+  /// them with job-history recording and outcome events.
+  common::Result<CompactionStats> CompactTableImpl(int64_t table_id);
+  common::Result<bool> ForceCheckpointImpl(int64_t table_id);
+  common::Result<GcStats> RunGarbageCollectionImpl();
+  common::Status PublishTableImpl(int64_t table_id);
+  common::Status MaintainCatalogJournalImpl(uint64_t* reclaimed_blobs);
+
+  /// Completes `record` (job id, end time) and pushes it into the ring;
+  /// emits the `sto.job` event when a log is attached.
+  void RecordJob(StoJobRecord record);
+
+  common::Micros Now() const;
+
   txn::TransactionManager* txn_manager_;
   exec::DataCache* cache_;
   dcp::Scheduler* scheduler_;
@@ -150,13 +197,16 @@ class SystemTaskOrchestrator {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   catalog::CatalogJournal* journal_ = nullptr;
+  obs::EventLog* events_ = nullptr;
   DeltaPublisher publisher_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   /// Manifests committed since the newest checkpoint, per table.
   std::map<int64_t, uint64_t> manifests_since_checkpoint_;
   /// Tables with commits not yet published.
   std::map<int64_t, bool> publish_pending_;
+  uint64_t next_job_id_ = 1;
+  std::deque<StoJobRecord> job_history_;  // bounded by job_history_capacity
 };
 
 }  // namespace polaris::sto

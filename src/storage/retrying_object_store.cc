@@ -41,7 +41,10 @@ Status RetryingObjectStore::Execute(
     const char* op, const std::string& path,
     const std::function<Status()>& attempt) {
   const std::string prefix = std::string("store.") + op;
-  if (metrics_ != nullptr) metrics_->Add(prefix + ".ops");
+  if (metrics_ != nullptr) {
+    metrics_->Add(prefix + ".ops");
+    metrics_->Add("store.ops.total");
+  }
   common::Micros start = clock_ != nullptr ? clock_->Now() : 0;
   // Ambient-tracer child span: every blob operation that runs under a
   // traced statement/job shows up as a leaf with its retries absorbed.
@@ -57,7 +60,18 @@ Status RetryingObjectStore::Execute(
     if (st.ok() || !IsRetryable(st)) break;
     if (i == max_attempts) {
       exhausted_.fetch_add(1);
-      if (metrics_ != nullptr) metrics_->Add(prefix + ".exhausted");
+      if (metrics_ != nullptr) {
+        metrics_->Add(prefix + ".exhausted");
+        metrics_->Add("store.exhausted.total");
+      }
+      if (events_ != nullptr) {
+        events_->Emit(obs::EventLevel::kError, "storage",
+                      "store.retry_exhausted",
+                      {{"op", op},
+                       {"path", path},
+                       {"attempts", std::to_string(attempts)}},
+                      st.ToString());
+      }
       break;
     }
     total_retries_.fetch_add(1);
@@ -89,7 +103,10 @@ Status RetryingObjectStore::Execute(
 Status RetryingObjectStore::Put(const std::string& path, std::string data) {
   // The payload is needed again on retry, so it cannot be moved into the
   // base call.
-  return Execute("put", path, [&]() { return base_->Put(path, data); });
+  const uint64_t bytes = data.size();
+  Status st = Execute("put", path, [&]() { return base_->Put(path, data); });
+  if (st.ok() && metrics_ != nullptr) metrics_->Add("store.put.bytes", bytes);
+  return st;
 }
 
 Result<std::string> RetryingObjectStore::Get(const std::string& path) {
@@ -99,6 +116,7 @@ Result<std::string> RetryingObjectStore::Get(const std::string& path) {
     return out.status();
   });
   if (!st.ok()) return st;
+  if (metrics_ != nullptr) metrics_->Add("store.get.bytes", out->size());
   return out;
 }
 
@@ -132,8 +150,13 @@ Status RetryingObjectStore::StageBlock(const std::string& path,
                                        std::string data) {
   // Re-staging the same block ID overwrites (Azure semantics), so a retry
   // after an ambiguous failure converges to the same staged bytes.
-  return Execute("stage_block", path,
-                 [&]() { return base_->StageBlock(path, block_id, data); });
+  const uint64_t bytes = data.size();
+  Status st = Execute("stage_block", path,
+                      [&]() { return base_->StageBlock(path, block_id, data); });
+  if (st.ok() && metrics_ != nullptr) {
+    metrics_->Add("store.stage_block.bytes", bytes);
+  }
+  return st;
 }
 
 Status RetryingObjectStore::CommitBlockList(

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "storage/object_store.h"
 
@@ -65,6 +66,10 @@ class RetryingObjectStore : public ObjectStore {
   /// repeat of the same request may clear.
   static bool IsRetryable(const common::Status& status);
 
+  /// Attaches a structured event log (must outlive this store); retry
+  /// exhaustions are then emitted as `store.retry_exhausted` events.
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
   /// Total retries issued across all operations since construction.
   uint64_t total_retries() const { return total_retries_.load(); }
   /// Operations that failed even after exhausting the retry budget.
@@ -104,6 +109,7 @@ class RetryingObjectStore : public ObjectStore {
   common::Clock* clock_;
   RetryPolicy policy_;
   obs::MetricsRegistry* metrics_;
+  obs::EventLog* events_ = nullptr;
   std::mutex rng_mu_;
   common::Random rng_;
   std::atomic<uint64_t> total_retries_{0};

@@ -14,6 +14,14 @@ using catalog::IsolationMode;
 using common::Result;
 using common::Status;
 
+namespace {
+const char* IsolationName(IsolationMode mode) {
+  return mode == IsolationMode::kReadCommittedSnapshot
+             ? "read_committed_snapshot"
+             : "snapshot";
+}
+}  // namespace
+
 TransactionManager::TransactionManager(catalog::CatalogDb* catalog,
                                        storage::ObjectStore* store,
                                        lst::SnapshotBuilder* builder,
@@ -33,7 +41,10 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
   txn->begin_time_ = clock_->Now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    active_[txn->id()] = {txn->begin_time_, txn->catalog_txn_->begin_seq()};
+    ActiveTxn& entry = active_[txn->id()];
+    entry.begin_time = txn->begin_time_;
+    entry.begin_seq = txn->catalog_txn_->begin_seq();
+    entry.mode = mode;
   }
   if (span.active()) span.AddAttr("txn_id", txn->id());
   // Stamp the transaction id into the ambient trace context so every span
@@ -43,9 +54,37 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
   return txn;
 }
 
-void TransactionManager::Unregister(Transaction* txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  active_.erase(txn->id());
+void TransactionManager::RecordFinished(Transaction* txn,
+                                        const std::string& state,
+                                        const std::string& cause) {
+  TxnHistoryRecord record;
+  record.txn_id = txn->id();
+  record.end_time = clock_->Now();
+  record.state = state;
+  record.cause = cause;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn->id());
+    if (it != active_.end()) {
+      record.isolation = IsolationName(it->second.mode);
+      record.begin_time = it->second.begin_time;
+      record.tables_touched = it->second.tables.size();
+      active_.erase(it);
+    }
+    history_.push_back(record);
+    while (history_.size() > options_.history_capacity) history_.pop_front();
+  }
+  if (events_ != nullptr) {
+    obs::EventLevel level = state == "conflict" ? obs::EventLevel::kWarn
+                                                : obs::EventLevel::kInfo;
+    events_->Emit(
+        level, "txn", "txn." + state,
+        {{"txn_id", std::to_string(record.txn_id)},
+         {"isolation", record.isolation},
+         {"tables", std::to_string(record.tables_touched)},
+         {"latency_us", std::to_string(record.end_time - record.begin_time)}},
+        cause);
+  }
 }
 
 Result<lst::TableSnapshot> TransactionManager::BuildCommittedSnapshot(
@@ -85,6 +124,13 @@ Result<lst::TableSnapshot> TransactionManager::GetSnapshot(
     state.base = committed;
     state.current = std::move(committed);
     it = txn->tables_.emplace(table_id, std::move(state)).first;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto active_it = active_.find(txn->id());
+      if (active_it != active_.end()) {
+        active_it->second.tables.insert(table_id);
+      }
+    }
     return it->second.current;
   }
   Transaction::TableState& state = it->second;
@@ -278,8 +324,11 @@ Status TransactionManager::Commit(Transaction* txn) {
   // the SI first-committer-wins rejection.
   Status st = catalog_->Commit(txn->catalog_txn(), pending);
   txn->finished_ = true;
-  Unregister(txn);
-  if (!st.ok()) {
+  if (st.ok()) {
+    RecordFinished(txn, "committed", "");
+  } else {
+    RecordFinished(txn, st.IsConflict() ? "conflict" : "aborted",
+                   st.ToString());
     if (span.active()) span.AddAttr("error", st.ToString());
     POLARIS_LOG(kInfo, "txn") << "transaction " << txn->id()
                               << " failed validation: " << st.ToString();
@@ -295,7 +344,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (span.active()) span.AddAttr("txn_id", txn->id());
   catalog_->Abort(txn->catalog_txn());
   txn->finished_ = true;
-  Unregister(txn);
+  RecordFinished(txn, "aborted", "");
   // Data files, DV blobs and the manifest blob written by this transaction
   // remain in the store unreferenced; GC removes them once they are older
   // than every active transaction (§5.3).
@@ -325,6 +374,28 @@ uint64_t TransactionManager::MinActiveBeginSeq() const {
 uint64_t TransactionManager::active_transactions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_.size();
+}
+
+std::vector<ActiveTxnInfo> TransactionManager::ActiveTransactionInfos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ActiveTxnInfo> out;
+  out.reserve(active_.size());
+  for (const auto& [id, entry] : active_) {
+    ActiveTxnInfo info;
+    info.txn_id = id;
+    info.isolation = IsolationName(entry.mode);
+    info.begin_time = entry.begin_time;
+    info.begin_seq = entry.begin_seq;
+    info.tables.assign(entry.tables.begin(), entry.tables.end());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<TxnHistoryRecord> TransactionManager::RecentTransactionHistory()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {history_.begin(), history_.end()};
 }
 
 }  // namespace polaris::txn

@@ -2,15 +2,19 @@
 #define POLARIS_TXN_TRANSACTION_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog_db.h"
 #include "common/result.h"
 #include "exec/dml.h"
 #include "lst/snapshot_builder.h"
+#include "obs/event_log.h"
 #include "storage/object_store.h"
 #include "txn/transaction.h"
 
@@ -30,6 +34,32 @@ struct TransactionManagerOptions {
   /// Keeps long multi-statement insert transactions from leaving
   /// fragmented manifests behind. 0 disables.
   uint64_t compact_manifest_blocks_above = 8;
+  /// Finished transactions retained for sys.dm_tran_history.
+  size_t history_capacity = 256;
+};
+
+/// Live view of one in-flight transaction (backs sys.dm_tran_active).
+struct ActiveTxnInfo {
+  uint64_t txn_id = 0;
+  std::string isolation;  // "snapshot" | "read_committed_snapshot"
+  common::Micros begin_time = 0;
+  uint64_t begin_seq = 0;
+  /// Tables whose snapshot this transaction has captured (reads + writes).
+  std::vector<int64_t> tables;
+};
+
+/// One finished transaction in the bounded history ring (backs
+/// sys.dm_tran_history).
+struct TxnHistoryRecord {
+  uint64_t txn_id = 0;
+  std::string isolation;
+  common::Micros begin_time = 0;
+  common::Micros end_time = 0;
+  /// "committed", "conflict" or "aborted".
+  std::string state;
+  /// Conflict cause / commit error detail; empty on success.
+  std::string cause;
+  uint64_t tables_touched = 0;
 };
 
 /// The FE-side transaction manager — the paper's core contribution (§4):
@@ -112,6 +142,16 @@ class TransactionManager {
 
   uint64_t active_transactions() const;
 
+  /// Snapshot of every in-flight transaction, ordered by txn id.
+  std::vector<ActiveTxnInfo> ActiveTransactionInfos() const;
+
+  /// Recently finished transactions, oldest first (bounded ring).
+  std::vector<TxnHistoryRecord> RecentTransactionHistory() const;
+
+  /// Attaches a structured event log (must outlive the manager); commit,
+  /// conflict and abort outcomes are then emitted as typed events.
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
   catalog::CatalogDb* catalog() { return catalog_; }
   storage::ObjectStore* store() { return store_; }
   lst::SnapshotBuilder* snapshot_builder() { return builder_; }
@@ -122,21 +162,28 @@ class TransactionManager {
   common::Result<lst::TableSnapshot> BuildCommittedSnapshot(
       Transaction* txn, int64_t table_id);
 
-  void Unregister(Transaction* txn);
+  /// Moves the transaction into the history ring and emits its outcome
+  /// event. `state` is "committed" / "conflict" / "aborted".
+  void RecordFinished(Transaction* txn, const std::string& state,
+                      const std::string& cause);
 
   catalog::CatalogDb* catalog_;
   storage::ObjectStore* store_;
   lst::SnapshotBuilder* builder_;
   common::Clock* clock_;
   TransactionManagerOptions options_;
+  obs::EventLog* events_ = nullptr;
 
   struct ActiveTxn {
     common::Micros begin_time = 0;
     uint64_t begin_seq = 0;
+    catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot;
+    std::set<int64_t> tables;  // snapshot-captured tables
   };
 
   mutable std::mutex mu_;
   std::map<uint64_t, ActiveTxn> active_;  // keyed by txn id
+  std::deque<TxnHistoryRecord> history_;  // bounded by history_capacity
 };
 
 }  // namespace polaris::txn

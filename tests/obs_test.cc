@@ -1,12 +1,20 @@
-// Unit tests for the unified metrics registry: counters, fixed-bucket
-// latency histograms, snapshots and quantile estimation.
+// Unit tests for the unified metrics registry (counters, fixed-bucket
+// latency histograms, snapshots, quantile estimation, Prometheus
+// exposition), the structured event log, the time-series recorder and the
+// SLO health watchdog.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/trace_context.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/time_series.h"
 
 namespace polaris::obs {
 namespace {
@@ -175,6 +183,239 @@ TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {
             static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(snapshot.histograms.at("contended_lat").count,
             static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValuesAndNames) {
+  MetricsRegistry registry;
+  // Labeled convention: base{key=value,...}. Values may carry quotes,
+  // backslashes and newlines, which the exposition format must escape.
+  registry.Add("health.transitions{rule=say \"hi\",to=a\\b\nc}", 3);
+  // Quotes in a bare metric name sanitize to '_' like any other
+  // non-alphanumeric byte.
+  registry.Add("we\"ird.name", 1);
+
+  std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE health_transitions counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rule=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("to=\"a\\\\b\\nc\""), std::string::npos);
+  EXPECT_NE(text.find("we_ird_name 1"), std::string::npos);
+  // The escaped newline must not produce a literal line break mid-sample.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("health_transitions{") != std::string::npos) {
+      EXPECT_NE(line.find("} 3"), std::string::npos) << line;
+    }
+  }
+}
+
+// --- EventLog -------------------------------------------------------------
+
+TEST(EventLogTest, BoundedRingEvictsOldestAndKeepsSeq) {
+  EventLog log(nullptr, 4);
+  for (int i = 0; i < 6; ++i) {
+    log.Emit(EventLevel::kInfo, "test", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.total_emitted(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  auto snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Oldest-first, and sequence numbers survive eviction (gap visible).
+  EXPECT_EQ(snapshot.front().name, "e2");
+  EXPECT_EQ(snapshot.front().seq, 3u);
+  EXPECT_EQ(snapshot.back().name, "e5");
+  EXPECT_EQ(snapshot.back().seq, 6u);
+}
+
+TEST(EventLogTest, CapturesAmbientTraceContext) {
+  common::TraceContext ctx;
+  ctx.trace_id = 7;
+  ctx.span_id = 8;
+  ctx.txn_id = 9;
+  EventLog log;
+  {
+    common::ScopedTraceContext scope(ctx);
+    log.Emit(EventLevel::kWarn, "txn", "txn.conflict", {{"table", "t"}},
+             "write-write conflict");
+  }
+  auto snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const EventRecord& rec = snapshot[0];
+  EXPECT_EQ(rec.level, EventLevel::kWarn);
+  EXPECT_EQ(rec.component, "txn");
+  EXPECT_EQ(rec.trace_id, 7u);
+  EXPECT_EQ(rec.span_id, 8u);
+  EXPECT_EQ(rec.txn_id, 9u);
+  ASSERT_EQ(rec.fields.size(), 1u);
+  EXPECT_EQ(rec.fields[0].second, "t");
+  EXPECT_EQ(rec.message, "write-write conflict");
+
+  std::string json = EventLog::ToJsonLine(rec);
+  EXPECT_NE(json.find("\"level\":\"WARN\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"txn.conflict\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"7\""), std::string::npos);
+  EXPECT_NE(json.find("\"txn_id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"table\":\"t\""), std::string::npos);
+}
+
+TEST(EventLogTest, MinLevelFiltersEmissions) {
+  EventLog log;
+  log.set_min_level(EventLevel::kWarn);
+  log.Emit(EventLevel::kInfo, "test", "quiet");
+  log.Emit(EventLevel::kError, "test", "loud");
+  auto snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "loud");
+}
+
+TEST(EventLogTest, JsonSinkStreamsEveryEvent) {
+  std::string path = ::testing::TempDir() + "/polaris_events_test.jsonl";
+  std::remove(path.c_str());
+  EventLog log;
+  log.Emit(EventLevel::kInfo, "test", "before.sink");
+  ASSERT_TRUE(log.OpenJsonSink(path).ok());
+  log.Emit(EventLevel::kInfo, "test", "first", {{"k", "v"}});
+  log.Emit(EventLevel::kError, "test", "second");
+  log.CloseJsonSink();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);  // only events emitted while open
+  EXPECT_NE(lines[0].find("\"event\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"ERROR\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- TimeSeriesRecorder ---------------------------------------------------
+
+TEST(TimeSeriesRecorderTest, SamplesCountersHistogramsAndGauges) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry, 4);
+  registry.Add("ops", 5);
+  registry.Observe("lat", 100);
+  recorder.SampleOnce(1'000, {{"gauge.active", 2.5}});
+
+  TimeSeriesRecorder::Sample sample;
+  ASSERT_TRUE(recorder.Latest("ops", &sample));
+  EXPECT_EQ(sample.ts_us, 1'000);
+  EXPECT_DOUBLE_EQ(sample.value, 5.0);
+  ASSERT_TRUE(recorder.Latest("gauge.active", &sample));
+  EXPECT_DOUBLE_EQ(sample.value, 2.5);
+  // Histograms flatten to derived series.
+  ASSERT_TRUE(recorder.Latest("lat.count", &sample));
+  EXPECT_DOUBLE_EQ(sample.value, 1.0);
+  EXPECT_TRUE(recorder.Latest("lat.p99", &sample));
+  EXPECT_FALSE(recorder.Latest("absent", &sample));
+
+  registry.Add("ops", 3);
+  recorder.SampleOnce(2'000);
+  EXPECT_DOUBLE_EQ(recorder.DeltaOverWindow("ops", 10), 3.0);
+  EXPECT_DOUBLE_EQ(recorder.DeltaOverWindow("absent", 10), 0.0);
+  EXPECT_EQ(recorder.samples_taken(), 2u);
+}
+
+TEST(TimeSeriesRecorderTest, RingsAreBoundedAndJsonWellFormed) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry, 3);
+  registry.Add("c");
+  for (int i = 1; i <= 8; ++i) recorder.SampleOnce(i * 100);
+  auto series = recorder.Series("c");
+  ASSERT_EQ(series.size(), 3u);  // capacity bound, oldest evicted
+  EXPECT_EQ(series.front().ts_us, 600);
+  EXPECT_EQ(series.back().ts_us, 800);
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\":[{\"ts_us\":600"), std::string::npos);
+}
+
+// --- HealthWatchdog -------------------------------------------------------
+
+TEST(HealthWatchdogTest, DeltaRuleTransitionsAndFiresEvents) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry);
+  EventLog events;
+  HealthWatchdog watchdog(&recorder, &events, &registry);
+  SloRule rule;
+  rule.name = "error-burst";
+  rule.description = "errors over the last 2 samples";
+  rule.kind = SloRule::Kind::kDelta;
+  rule.metric = "errors";
+  rule.window = 2;
+  rule.warn_threshold = 2;
+  rule.fail_threshold = 5;
+  watchdog.AddRule(rule);
+
+  registry.Add("errors", 0);  // the counter exists from the first sample
+  recorder.SampleOnce(1'000);
+  watchdog.Evaluate(1'000);
+  auto states = watchdog.States();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].status, HealthStatus::kOk);
+
+  registry.Add("errors", 10);
+  recorder.SampleOnce(2'000);
+  watchdog.Evaluate(2'000);
+  states = watchdog.States();
+  EXPECT_EQ(states[0].status, HealthStatus::kFail);
+  EXPECT_DOUBLE_EQ(states[0].value, 10.0);
+  EXPECT_EQ(states[0].since_us, 2'000);
+  EXPECT_EQ(watchdog.transitions(), 1u);
+
+  // No new errors: the window slides past the burst and the rule recovers.
+  recorder.SampleOnce(3'000);
+  watchdog.Evaluate(3'000);
+  recorder.SampleOnce(4'000);
+  watchdog.Evaluate(4'000);
+  states = watchdog.States();
+  EXPECT_EQ(states[0].status, HealthStatus::kOk);
+  EXPECT_EQ(watchdog.transitions(), 2u);
+
+  // Each transition emitted one structured event.
+  size_t transition_events = 0;
+  for (const auto& rec : events.Snapshot()) {
+    if (rec.name == "health.transition") ++transition_events;
+  }
+  EXPECT_EQ(transition_events, 2u);
+  EXPECT_GE(registry.Snapshot().CounterSum("health.transitions"), 2u);
+}
+
+TEST(HealthWatchdogTest, RatioFloorRespectsMinActivity) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry);
+  HealthWatchdog watchdog(&recorder);
+  SloRule rule;
+  rule.name = "cache-hit-rate";
+  rule.kind = SloRule::Kind::kRatio;
+  rule.metric = "cache.hits";
+  rule.denominators = {"cache.hits", "cache.misses"};
+  rule.window = 10;
+  rule.above_is_bad = false;  // a floor: low hit rate is bad
+  rule.warn_threshold = 0.5;
+  rule.fail_threshold = 0.2;
+  rule.min_activity = 10;
+  watchdog.AddRule(rule);
+
+  // Two lookups is below min_activity: no verdict, stays OK.
+  registry.Add("cache.hits", 0);
+  registry.Add("cache.misses", 0);
+  recorder.SampleOnce(1'000);
+  watchdog.Evaluate(1'000);
+  registry.Add("cache.misses", 2);
+  recorder.SampleOnce(2'000);
+  watchdog.Evaluate(2'000);
+  EXPECT_EQ(watchdog.States()[0].status, HealthStatus::kOk);
+
+  // 1 hit / 10 lookups = 0.1, under the 0.2 floor with enough activity.
+  registry.Add("cache.hits", 1);
+  registry.Add("cache.misses", 9);
+  recorder.SampleOnce(3'000);
+  watchdog.Evaluate(3'000);
+  EXPECT_EQ(watchdog.States()[0].status, HealthStatus::kFail);
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// End-to-end tests for the sys.* system views (DMVs): SELECT over live
+// engine state through the normal SQL executor, composing WHERE, ORDER
+// BY, LIMIT and aggregates; plus the read-only / AS OF guard rails and a
+// concurrency stress that runs under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/system_views.h"
+#include "sql/session.h"
+
+namespace polaris {
+namespace {
+
+using sql::SqlResult;
+using sql::SqlSession;
+
+engine::EngineOptions NoSamplerOptions() {
+  engine::EngineOptions options;
+  // Drive SampleObservabilityOnce() by hand so the time-series and
+  // health contents are deterministic.
+  options.sampler_period_micros = 0;
+  return options;
+}
+
+class SystemViewsTest : public ::testing::Test {
+ protected:
+  SystemViewsTest() : engine_(NoSamplerOptions()), session_(&engine_) {}
+
+  SqlResult Must(const std::string& statement) {
+    auto result = session_.Execute(statement);
+    EXPECT_TRUE(result.ok()) << statement << " -> "
+                             << result.status().ToString();
+    return result.ok() ? *result : SqlResult{};
+  }
+
+  int FindColumn(const SqlResult& result, const std::string& name) {
+    return result.batch.schema().FindColumn(name);
+  }
+
+  engine::PolarisEngine engine_;
+  SqlSession session_;
+};
+
+TEST_F(SystemViewsTest, CatalogListsEveryView) {
+  SqlResult views = Must("SELECT * FROM sys.dm_views ORDER BY view_name");
+  EXPECT_EQ(views.batch.num_rows(),
+            engine::SystemViews::Catalog().size());
+  // Every listed view must actually be queryable.
+  for (size_t r = 0; r < views.batch.num_rows(); ++r) {
+    std::string name = views.batch.column(0).StringAt(r);
+    auto result = session_.Execute("SELECT * FROM " + name);
+    EXPECT_TRUE(result.ok()) << name << " -> "
+                             << result.status().ToString();
+  }
+}
+
+TEST_F(SystemViewsTest, TranActiveShowsOpenTransaction) {
+  Must("CREATE TABLE t (x BIGINT)");
+  Must("BEGIN");
+  Must("INSERT INTO t VALUES (1)");
+
+  // The acceptance query, through the normal executor.
+  SqlResult active = Must("SELECT name, state FROM sys.dm_tran_active");
+  ASSERT_EQ(active.batch.num_rows(), 1u);
+  EXPECT_EQ(active.batch.schema().column(0).name, "name");
+  EXPECT_EQ(active.batch.schema().column(1).name, "state");
+  EXPECT_EQ(active.batch.column(0).StringAt(0).rfind("txn-", 0), 0u);
+  EXPECT_EQ(active.batch.column(1).StringAt(0), "active");
+
+  // WHERE composes over the view.
+  SqlResult filtered = Must(
+      "SELECT txn_id FROM sys.dm_tran_active WHERE state = 'active'");
+  EXPECT_EQ(filtered.batch.num_rows(), 1u);
+  SqlResult none = Must(
+      "SELECT txn_id FROM sys.dm_tran_active WHERE state = 'zombie'");
+  EXPECT_EQ(none.batch.num_rows(), 0u);
+
+  Must("COMMIT");
+  SqlResult after = Must("SELECT name FROM sys.dm_tran_active");
+  EXPECT_EQ(after.batch.num_rows(), 0u);
+}
+
+TEST_F(SystemViewsTest, TranHistoryRecordsCommitsAndConflicts) {
+  Must("CREATE TABLE t (id BIGINT, v BIGINT)");
+  Must("INSERT INTO t VALUES (1, 0)");
+
+  // A conflicting pair: both sessions update the same row.
+  SqlSession other(&engine_);
+  ASSERT_TRUE(session_.Execute("BEGIN")->message == "BEGIN");
+  ASSERT_TRUE(other.Execute("BEGIN")->message == "BEGIN");
+  Must("UPDATE t SET v = 1 WHERE id = 1");
+  ASSERT_TRUE(other.Execute("UPDATE t SET v = 2 WHERE id = 1").ok());
+  Must("COMMIT");
+  auto lost = other.Execute("COMMIT");
+  EXPECT_FALSE(lost.ok());
+
+  SqlResult commits = Must(
+      "SELECT txn_id, latency_us FROM sys.dm_tran_history "
+      "WHERE state = 'committed' ORDER BY txn_id DESC");
+  EXPECT_GE(commits.batch.num_rows(), 2u);  // the INSERT + the winner
+  SqlResult conflicts = Must(
+      "SELECT cause FROM sys.dm_tran_history WHERE state = 'conflict'");
+  ASSERT_EQ(conflicts.batch.num_rows(), 1u);
+  EXPECT_NE(conflicts.batch.column(0).StringAt(0).find("onflict"),
+            std::string::npos);
+
+  // LIMIT composes.
+  SqlResult limited =
+      Must("SELECT txn_id FROM sys.dm_tran_history LIMIT 1");
+  EXPECT_EQ(limited.batch.num_rows(), 1u);
+}
+
+TEST_F(SystemViewsTest, HealthReturnsVerdictForEveryRule) {
+  engine_.SampleObservabilityOnce();
+  SqlResult health = Must("SELECT * FROM sys.dm_health");
+  EXPECT_GE(health.batch.num_rows(), 4u);  // the default SLO rule set
+  int status_col = FindColumn(health, "status");
+  ASSERT_GE(status_col, 0);
+  for (size_t r = 0; r < health.batch.num_rows(); ++r) {
+    const std::string& status = health.batch.column(status_col).StringAt(r);
+    EXPECT_TRUE(status == "OK" || status == "WARN" || status == "FAIL")
+        << status;
+  }
+  // An idle engine is healthy.
+  SqlResult failing =
+      Must("SELECT rule FROM sys.dm_health WHERE status = 'FAIL'");
+  EXPECT_EQ(failing.batch.num_rows(), 0u);
+}
+
+TEST_F(SystemViewsTest, EventsCaptureCommitLifecycle) {
+  Must("CREATE TABLE t (x BIGINT)");
+  Must("INSERT INTO t VALUES (1)");
+  SqlResult committed = Must(
+      "SELECT component, fields FROM sys.dm_events "
+      "WHERE event = 'txn.committed'");
+  ASSERT_GE(committed.batch.num_rows(), 1u);
+  EXPECT_EQ(committed.batch.column(0).StringAt(0), "txn");
+  EXPECT_NE(committed.batch.column(1).StringAt(0).find("latency_us="),
+            std::string::npos);
+
+  // Aggregates compose over views.
+  SqlResult by_level = Must(
+      "SELECT level, COUNT(*) AS n FROM sys.dm_events GROUP BY level "
+      "ORDER BY n DESC");
+  EXPECT_GE(by_level.batch.num_rows(), 1u);
+}
+
+TEST_F(SystemViewsTest, MetricsHistoryFillsAfterSampling) {
+  Must("CREATE TABLE t (x BIGINT)");
+  Must("INSERT INTO t VALUES (1)");
+  SqlResult empty = Must("SELECT name FROM sys.dm_metrics_history");
+  EXPECT_EQ(empty.batch.num_rows(), 0u);
+
+  engine_.SampleObservabilityOnce();
+  engine_.SampleObservabilityOnce();
+  SqlResult history = Must(
+      "SELECT name, COUNT(*) AS samples FROM sys.dm_metrics_history "
+      "GROUP BY name ORDER BY name");
+  ASSERT_GE(history.batch.num_rows(), 1u);
+  int samples_col = FindColumn(history, "samples");
+  ASSERT_GE(samples_col, 0);
+  for (size_t r = 0; r < history.batch.num_rows(); ++r) {
+    EXPECT_EQ(history.batch.column(samples_col).Int64At(r), 2);
+  }
+  // The sampler-injected gauges are present.
+  SqlResult gauge = Must(
+      "SELECT value FROM sys.dm_metrics_history WHERE name = 'txn.active'");
+  EXPECT_EQ(gauge.batch.num_rows(), 2u);
+}
+
+TEST_F(SystemViewsTest, StoJobsRecordMaintenanceSweeps) {
+  Must("CREATE TABLE t (x BIGINT)");
+  for (int i = 0; i < 4; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  ASSERT_TRUE(engine_.sto()->RunOnce(/*run_gc=*/true).ok());
+
+  SqlResult jobs = Must(
+      "SELECT kind, status FROM sys.dm_sto_jobs ORDER BY kind");
+  EXPECT_GE(jobs.batch.num_rows(), 1u);
+  SqlResult per_kind = Must(
+      "SELECT kind, COUNT(*) AS n FROM sys.dm_sto_jobs GROUP BY kind");
+  EXPECT_GE(per_kind.batch.num_rows(), 1u);
+}
+
+TEST_F(SystemViewsTest, StorageStatsAndCacheAndMetrics) {
+  Must("CREATE TABLE t (x BIGINT)");
+  Must("INSERT INTO t VALUES (1), (2)");
+  Must("SELECT * FROM t");
+
+  SqlResult stats = Must(
+      "SELECT op, ops, bytes FROM sys.dm_storage_stats WHERE op = 'put'");
+  ASSERT_EQ(stats.batch.num_rows(), 1u);
+  EXPECT_GT(stats.batch.column(1).Int64At(0), 0);
+  EXPECT_GT(stats.batch.column(2).Int64At(0), 0);
+
+  SqlResult cache = Must("SELECT * FROM sys.dm_cache");
+  EXPECT_EQ(cache.batch.num_rows(), 1u);
+
+  SqlResult counters = Must(
+      "SELECT name, value FROM sys.dm_metrics WHERE kind = 'counter' "
+      "ORDER BY name");
+  EXPECT_GE(counters.batch.num_rows(), 3u);
+  SqlResult ring = Must(
+      "SELECT value FROM sys.dm_metrics WHERE name = 'tracer.ring_spans'");
+  EXPECT_EQ(ring.batch.num_rows(), 1u);
+}
+
+TEST_F(SystemViewsTest, SystemViewsAreReadOnlyAndLive) {
+  auto insert = session_.Execute("INSERT INTO sys.dm_cache VALUES (1)");
+  EXPECT_TRUE(insert.status().IsInvalidArgument());
+  auto update =
+      session_.Execute("UPDATE sys.dm_cache SET hits = 0");
+  EXPECT_TRUE(update.status().IsInvalidArgument());
+  auto del = session_.Execute("DELETE FROM sys.dm_events");
+  EXPECT_TRUE(del.status().IsInvalidArgument());
+  auto as_of = session_.Execute("SELECT * FROM sys.dm_cache AS OF 123");
+  EXPECT_TRUE(as_of.status().IsInvalidArgument());
+  auto unknown = session_.Execute("SELECT * FROM sys.dm_nonexistent");
+  EXPECT_TRUE(unknown.status().IsNotFound());
+  // Unknown columns are rejected, as on real tables.
+  auto bad_col = session_.Execute("SELECT no_such FROM sys.dm_cache");
+  EXPECT_FALSE(bad_col.ok());
+}
+
+TEST_F(SystemViewsTest, SelectingViewsDoesNotOpenTransactions) {
+  Must("SELECT * FROM sys.dm_views");
+  EXPECT_FALSE(session_.in_transaction());
+  SqlResult active = Must("SELECT name FROM sys.dm_tran_active");
+  // Querying the view must not register as an active transaction itself.
+  EXPECT_EQ(active.batch.num_rows(), 0u);
+}
+
+// Readers hammer the DMVs while writers commit and the STO sweeps; run
+// under TSan this checks every engine-state snapshot taken by the views.
+TEST(SystemViewsStressTest, ConcurrentQueriesDuringWritesAndSweeps) {
+  engine::PolarisEngine engine(NoSamplerOptions());
+  {
+    SqlSession ddl(&engine);
+    auto created =
+        ddl.Execute("CREATE TABLE t (id BIGINT, v BIGINT)");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kWriters = 2;
+  constexpr int kIterations = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  std::vector<std::thread> threads;
+
+  static const char* kQueries[] = {
+      "SELECT name, state FROM sys.dm_tran_active",
+      "SELECT kind, status FROM sys.dm_sto_jobs LIMIT 8",
+      "SELECT COUNT(*) FROM sys.dm_events",
+      "SELECT state, COUNT(*) AS n FROM sys.dm_tran_history "
+      "GROUP BY state",
+      "SELECT * FROM sys.dm_storage_stats ORDER BY ops DESC LIMIT 4",
+      "SELECT * FROM sys.dm_health",
+  };
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&engine, &stop, &reader_failures, r] {
+      SqlSession session(&engine);
+      size_t q = static_cast<size_t>(r);
+      while (!stop.load(std::memory_order_acquire)) {
+        const char* query = kQueries[q++ % (sizeof(kQueries) /
+                                            sizeof(kQueries[0]))];
+        if (!session.Execute(query).ok()) {
+          reader_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&engine, w] {
+      SqlSession session(&engine);
+      for (int i = 0; i < kIterations; ++i) {
+        int id = w * kIterations + i;
+        // Conflicts from concurrent sweeps retry inside the session.
+        (void)session.Execute("INSERT INTO t VALUES (" +
+                              std::to_string(id) + ", 0)");
+        (void)session.Execute("UPDATE t SET v = v + 1 WHERE id = " +
+                              std::to_string(id));
+      }
+    });
+  }
+  threads.emplace_back([&engine, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)engine.sto()->RunOnce(/*run_gc=*/true);
+      engine.SampleObservabilityOnce();
+    }
+  });
+
+  // Writers bound the run; readers and the sweeper spin until they join.
+  for (int i = kReaders; i < kReaders + kWriters; ++i) threads[i].join();
+  stop.store(true, std::memory_order_release);
+  for (int i = 0; i < kReaders; ++i) threads[i].join();
+  threads.back().join();
+
+  EXPECT_EQ(reader_failures.load(), 0);
+  SqlSession check(&engine);
+  auto history = check.Execute(
+      "SELECT COUNT(*) AS n FROM sys.dm_tran_history "
+      "WHERE state = 'committed'");
+  ASSERT_TRUE(history.ok());
+  EXPECT_GT(history->batch.column(0).Int64At(0), 0);
+}
+
+}  // namespace
+}  // namespace polaris
