@@ -1,0 +1,156 @@
+// Overload behavior of statement admission control: an open-loop burst of
+// concurrent sessions against a fixed-slot engine. As offered load grows
+// past capacity, the shed rate should rise while the p99 latency of the
+// statements that WERE admitted stays bounded — the queue (not the
+// statement) absorbs the overload, and the bounded queue sheds the rest.
+// Without admission control every statement is "admitted" and the tail
+// latency grows with the burst instead.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "engine/engine.h"
+#include "sql/session.h"
+
+using polaris::engine::EngineOptions;
+using polaris::engine::PolarisEngine;
+
+namespace {
+
+constexpr uint32_t kSlots = 2;
+constexpr int kStatementsPerSession = 25;
+
+struct BurstResult {
+  int committed = 0;
+  int shed = 0;
+  int failed = 0;  // anything else (must stay 0)
+  double p50_admitted_ms = 0.0;
+  double p99_admitted_ms = 0.0;
+};
+
+double Quantile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(values->size()));
+  if (idx >= values->size()) idx = values->size() - 1;
+  return (*values)[idx];
+}
+
+BurstResult RunBurst(PolarisEngine* engine, int sessions) {
+  BurstResult result;
+  std::mutex mu;
+  std::vector<double> admitted_ms;
+  std::atomic<int> committed{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> failed{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    workers.emplace_back([&, s] {
+      polaris::sql::SqlSession session(engine);
+      for (int i = 0; i < kStatementsPerSession; ++i) {
+        int value = s * kStatementsPerSession + i;
+        auto t0 = std::chrono::steady_clock::now();
+        auto outcome = session.Execute("INSERT INTO t VALUES (" +
+                                       std::to_string(value) + ")");
+        auto t1 = std::chrono::steady_clock::now();
+        if (outcome.ok()) {
+          ++committed;
+          double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          std::lock_guard<std::mutex> lock(mu);
+          admitted_ms.push_back(ms);
+        } else if (outcome.status().IsUnavailable()) {
+          ++shed;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  result.committed = committed.load();
+  result.shed = shed.load();
+  result.failed = failed.load();
+  result.p50_admitted_ms = Quantile(&admitted_ms, 0.50);
+  result.p99_admitted_ms = Quantile(&admitted_ms, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  polaris::bench::BenchReport report("micro_overload");
+  report.config()
+      .Add("max_concurrent", uint64_t{kSlots})
+      .Add("max_queue", uint64_t{4})
+      .Add("statements_per_session", uint64_t{kStatementsPerSession});
+
+  std::printf("micro_overload: shed rate and admitted-latency tail vs "
+              "offered load\n\n");
+  std::printf("%-10s %-10s %-10s %-10s %-12s %-12s\n", "sessions",
+              "committed", "shed", "shed_rate", "p50_adm_ms", "p99_adm_ms");
+
+  for (int multiplier : {1, 2, 4, 8}) {
+    EngineOptions options;
+    options.worker_threads = 2;
+    options.admission.max_concurrent = kSlots;
+    options.admission.max_queue = 4;
+    options.admission.queue_timeout_micros = 100'000;  // wall time
+    options.admission.retry_after_micros = 10'000;
+    PolarisEngine engine(options);
+    {
+      polaris::sql::SqlSession setup(&engine);
+      auto created = setup.Execute("CREATE TABLE t (k BIGINT)");
+      if (!created.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n",
+                     created.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    int sessions = static_cast<int>(kSlots) * multiplier;
+    BurstResult burst = RunBurst(&engine, sessions);
+    if (burst.failed != 0) {
+      std::fprintf(stderr,
+                   "%d statements failed with unexpected errors\n",
+                   burst.failed);
+      return 1;
+    }
+    int total = burst.committed + burst.shed;
+    double shed_rate =
+        total > 0 ? static_cast<double>(burst.shed) / total : 0.0;
+
+    std::printf("%-10d %-10d %-10d %-10.3f %-12.3f %-12.3f\n", sessions,
+                burst.committed, burst.shed, shed_rate,
+                burst.p50_admitted_ms, burst.p99_admitted_ms);
+    report.AddRow()
+        .Add("sessions", static_cast<uint64_t>(sessions))
+        .Add("overload_factor", static_cast<uint64_t>(multiplier))
+        .Add("committed", static_cast<uint64_t>(burst.committed))
+        .Add("shed", static_cast<uint64_t>(burst.shed))
+        .Add("shed_rate", shed_rate)
+        .Add("p50_admitted_ms", burst.p50_admitted_ms)
+        .Add("p99_admitted_ms", burst.p99_admitted_ms);
+    // Last call wins: the report carries the most-overloaded engine's
+    // counters (admission.shed.total, queue wait histogram).
+    report.SetMetrics(engine.MetricsSnapshot());
+  }
+  std::printf(
+      "\nshape check: every statement terminates (committed or shed with a "
+      "retry-after\nhint) at every overload factor — zero hung statements. "
+      "The admitted tail is\nbounded by queue depth x service time, not by "
+      "the burst size; excess load\nsurfaces as shed rate instead of "
+      "latency.\n");
+  report.Write();
+  return 0;
+}

@@ -26,6 +26,10 @@
 //
 // EXPLAIN ANALYZE <statement> prints the statement's span tree. System
 // views are queryable like tables: SELECT * FROM sys.dm_views; lists them.
+//
+// SET DEADLINE <ms>; gives every subsequent statement a time budget (0
+// disables it); KILL <txn_id>; cancels a running transaction — find ids
+// with SELECT * FROM sys.dm_tran_active;.
 
 #include <cstdio>
 #include <cstdlib>
@@ -120,6 +124,9 @@ int main(int argc, char** argv) {
         "polaris-tx SQL shell. Statements end with ';'. Ctrl-D to exit.\n"
         "Dialect: CREATE/DROP/CLONE TABLE, INSERT, SELECT [AS OF], UPDATE,"
         " DELETE,\n         BEGIN/COMMIT/ROLLBACK.\n"
+        "Overload: SET DEADLINE <ms> caps every later statement (0 turns it"
+        " off);\n         KILL <txn_id> cancels a transaction (ids in "
+        "sys.dm_tran_active).\n"
         "System views: SELECT * FROM sys.dm_views;   Meta: METRICS, "
         "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>."
         "\n\n");

@@ -1,0 +1,161 @@
+#ifndef POLARIS_COMMON_DEADLINE_H_
+#define POLARIS_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace polaris::common {
+
+/// Shared cancellation state behind CancelSource/CancelToken. A source and
+/// all tokens derived from it point at one of these; flipping the flag is
+/// visible to every holder immediately.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::string reason;  // guarded by mu; set once when cancelled
+};
+
+/// Read-only view of a cancellation flag. Cheap to copy (shared_ptr).
+/// A default-constructed token can never be cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool cancellable() const { return state_ != nullptr; }
+
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// The reason passed to CancelSource::Cancel, or "" if not cancelled.
+  std::string reason() const {
+    if (!cancelled()) return "";
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->reason;
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<CancelState> state_;
+};
+
+/// Owner side of a cancellation flag. The transaction manager holds one per
+/// active transaction; `KILL <txn_id>` flips it and every cooperative check
+/// along the statement's path observes the flip.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// Requests cancellation. Idempotent; the first reason wins.
+  void Cancel(std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->reason.empty()) state_->reason = std::move(reason);
+    }
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<CancelState> state_;
+};
+
+/// A point in (virtual or wall) time by which work must finish, plus an
+/// optional cancellation token. Plain value type: it rides inside
+/// TraceContext across thread-crossing points, so every layer that already
+/// propagates trace context gets deadline propagation for free.
+///
+/// A default-constructed Deadline is unbounded and uncancellable — checks
+/// are no-ops — so code paths with no caller budget pay nothing.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `budget_micros` from now on `clock`. budget <= 0 means
+  /// "already expired" (used by tests for expire-before-start).
+  static Deadline After(Clock* clock, Micros budget_micros,
+                        CancelToken token = CancelToken()) {
+    Deadline d;
+    d.clock_ = clock;
+    d.deadline_us_ = clock->Now() + budget_micros;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  /// An unbounded deadline that still observes `token` (KILL without a
+  /// statement timeout).
+  static Deadline CancellableOnly(CancelToken token) {
+    Deadline d;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  bool has_deadline() const { return clock_ != nullptr; }
+  bool cancellable() const { return token_.cancellable(); }
+  /// True when a check could ever fail — lets hot loops skip the work.
+  bool bounded() const { return has_deadline() || cancellable(); }
+
+  const CancelToken& token() const { return token_; }
+  void set_token(CancelToken token) { token_ = std::move(token); }
+
+  /// Microseconds left before expiry; kUnboundedBudget when no deadline.
+  /// Never negative.
+  static constexpr Micros kUnboundedBudget = INT64_MAX;
+  Micros remaining_micros() const {
+    if (clock_ == nullptr) return kUnboundedBudget;
+    Micros left = deadline_us_ - clock_->Now();
+    return left > 0 ? left : 0;
+  }
+
+  bool expired() const {
+    return clock_ != nullptr && clock_->Now() >= deadline_us_;
+  }
+  bool cancelled() const { return token_.cancelled(); }
+
+  /// The cooperative check every blocking loop calls: OK while there is
+  /// budget left and no cancellation; Cancelled or DeadlineExceeded (with
+  /// `what` naming the blocked operation) otherwise. Cancellation wins ties
+  /// so KILL is reported as Cancelled even after the deadline passes.
+  Status Check(std::string_view what) const {
+    if (cancelled()) {
+      std::string reason = token_.reason();
+      std::string msg(what);
+      msg += ": cancelled";
+      if (!reason.empty()) {
+        msg += " (";
+        msg += reason;
+        msg += ")";
+      }
+      return Status::Cancelled(std::move(msg));
+    }
+    if (expired()) {
+      std::string msg(what);
+      msg += ": deadline exceeded";
+      return Status::DeadlineExceeded(std::move(msg));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Clock* clock_ = nullptr;  // nullptr = no deadline
+  Micros deadline_us_ = 0;  // absolute, on clock_
+  CancelToken token_;
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_DEADLINE_H_

@@ -25,6 +25,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotSupported,
   kInternal,
+  /// The caller's deadline elapsed before the operation finished. Never
+  /// retried by any layer: the budget is already burned.
+  kDeadlineExceeded,
+  /// The operation was cancelled cooperatively (KILL, session teardown).
+  /// Never retried.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("Conflict", ...).
@@ -70,6 +76,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -86,6 +98,10 @@ class Status {
   }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

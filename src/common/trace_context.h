@@ -2,6 +2,10 @@
 #define POLARIS_COMMON_TRACE_CONTEXT_H_
 
 #include <cstdint>
+#include <string_view>
+
+#include "common/deadline.h"
+#include "common/status.h"
 
 namespace polaris::common {
 
@@ -17,6 +21,10 @@ struct TraceContext {
   uint64_t trace_id = 0;  // 0 = not tracing
   uint64_t span_id = 0;
   uint64_t txn_id = 0;
+  /// The request's remaining time budget and cancellation token. Because it
+  /// lives here, every thread-crossing point that carries the trace context
+  /// (dcp::ThreadPool, STO jobs) carries the deadline too.
+  Deadline deadline;
 
   bool active() const { return trace_id != 0; }
 };
@@ -49,6 +57,40 @@ class ScopedTraceContext {
 
  private:
   TraceContext saved_;
+};
+
+/// The calling thread's ambient deadline (unbounded by default).
+inline const Deadline& CurrentDeadline() {
+  return MutableCurrentTraceContext().deadline;
+}
+
+/// Cooperative cancellation point: checks the ambient deadline/token and
+/// returns Cancelled / DeadlineExceeded / OK. Blocking loops call this
+/// between units of work; it is a cheap no-op when no budget is installed.
+inline Status CheckCurrentDeadline(std::string_view what) {
+  const Deadline& d = CurrentDeadline();
+  if (!d.bounded()) return Status::OK();
+  return d.Check(what);
+}
+
+/// Installs `deadline` as the thread's ambient deadline for the scope's
+/// lifetime, restoring the previous one on destruction. Used by SqlSession
+/// at statement entry.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(Deadline deadline)
+      : saved_(MutableCurrentTraceContext().deadline) {
+    MutableCurrentTraceContext().deadline = std::move(deadline);
+  }
+  ~ScopedDeadline() {
+    MutableCurrentTraceContext().deadline = std::move(saved_);
+  }
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  Deadline saved_;
 };
 
 }  // namespace polaris::common

@@ -5,6 +5,7 @@
 #include <queue>
 #include <thread>
 
+#include "common/trace_context.h"
 #include "obs/tracer.h"
 
 namespace polaris::dcp {
@@ -110,6 +111,12 @@ Result<JobMetrics> Scheduler::Run(const TaskDag& dag,
     Status result = Status::OK();
     uint32_t attempt = 1;
     for (; attempt <= kMaxAttempts; ++attempt) {
+      // The submitting statement's deadline rode in on the trace binding;
+      // don't restart a task whose statement is already dead. Cancelled /
+      // DeadlineExceeded are not Unavailable, so the retry loop below also
+      // stops on them.
+      result = common::CheckCurrentDeadline("dcp.task." + task.kind);
+      if (!result.ok()) break;
       bool injected = HashBernoulli(policy.seed, id, attempt,
                                     policy.failure_probability);
       if (injected && !policy.after_work) {

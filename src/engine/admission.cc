@@ -1,0 +1,121 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace polaris::engine {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+common::Micros WallNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status AdmissionController::Shed(const char* cause, std::string_view what,
+                                 uint64_t* counter) {
+  // Called with mu_ held.
+  ++*counter;
+  if (metrics_ != nullptr) metrics_->Add("admission.shed.total");
+  if (events_ != nullptr) {
+    events_->Emit(obs::EventLevel::kWarn, "engine", "statement.shed",
+                  {{"cause", cause},
+                   {"statement", std::string(what)},
+                   {"running", std::to_string(running_)},
+                   {"queued", std::to_string(queued_)},
+                   {"retry_after_us",
+                    std::to_string(options_.retry_after_micros)}});
+  }
+  return Status::Unavailable(
+      std::string("admission control: statement shed (") + cause +
+      "); retry after " + std::to_string(options_.retry_after_micros) +
+      "us");
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const common::Deadline& deadline, std::string_view what) {
+  if (!enabled()) return Ticket();  // inert ticket, nothing to release
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    ++admitted_total_;
+    if (metrics_ != nullptr) metrics_->Add("admission.admitted.total");
+    return Ticket(this);
+  }
+  if (queued_ >= options_.max_queue) {
+    return Shed("queue_full", what, &shed_queue_full_);
+  }
+
+  ++queued_;
+  const common::Micros wait_start = WallNow();
+  const common::Micros wait_until =
+      wait_start + options_.queue_timeout_micros;
+  // Wait in short slices so a KILL or an expiring (virtual-time) deadline
+  // is noticed promptly even though nobody signals the cv for it.
+  constexpr auto kSlice = std::chrono::milliseconds(5);
+  Status result = Status::OK();
+  bool admitted = false;
+  while (true) {
+    if (running_ < options_.max_concurrent) {
+      admitted = true;
+      break;
+    }
+    Status budget = deadline.bounded() ? deadline.Check(what) : Status::OK();
+    if (!budget.ok()) {
+      ++cancelled_in_queue_;
+      if (metrics_ != nullptr) metrics_->Add("admission.cancelled.total");
+      result = budget;
+      break;
+    }
+    if (WallNow() >= wait_until) {
+      result = Shed("queue_timeout", what, &shed_queue_timeout_);
+      break;
+    }
+    slot_free_.wait_for(lock, kSlice);
+  }
+  --queued_;
+  const uint64_t waited = static_cast<uint64_t>(
+      std::max<common::Micros>(0, WallNow() - wait_start));
+  queue_wait_micros_total_ += waited;
+  if (metrics_ != nullptr) {
+    metrics_->Observe("admission.queue_wait_us",
+                      static_cast<common::Micros>(waited));
+  }
+  if (!admitted) return result;
+  ++running_;
+  ++admitted_total_;
+  if (metrics_ != nullptr) metrics_->Add("admission.admitted.total");
+  return Ticket(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ > 0) --running_;
+  }
+  slot_free_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.max_concurrent = options_.max_concurrent;
+  s.max_queue = options_.max_queue;
+  s.running = running_;
+  s.queued = queued_;
+  s.admitted_total = admitted_total_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_queue_timeout = shed_queue_timeout_;
+  s.cancelled_in_queue = cancelled_in_queue_;
+  s.queue_wait_micros_total = queue_wait_micros_total_;
+  return s;
+}
+
+}  // namespace polaris::engine

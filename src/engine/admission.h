@@ -1,0 +1,135 @@
+#ifndef POLARIS_ENGINE_ADMISSION_H_
+#define POLARIS_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace polaris::engine {
+
+struct AdmissionOptions {
+  /// Statements allowed to run concurrently. 0 = unbounded (admission
+  /// control disabled; Admit always succeeds immediately).
+  uint32_t max_concurrent = 0;
+  /// Statements allowed to wait for a slot. Arrivals beyond
+  /// max_concurrent + max_queue are shed immediately.
+  uint32_t max_queue = 16;
+  /// Longest a statement may wait in the queue (wall time) before being
+  /// shed. Bounds worst-case latency instead of queueing forever.
+  common::Micros queue_timeout_micros = 1'000'000;
+  /// Hint returned with every shed: how long the client should wait
+  /// before retrying.
+  common::Micros retry_after_micros = 100'000;
+};
+
+/// Bounded-concurrency + bounded-queue admission control for SQL
+/// statements — the Polaris workload-management inheritance: under a burst
+/// the engine runs a fixed number of statements, queues a bounded number
+/// more, and sheds the rest with Unavailable + a retry-after hint rather
+/// than letting every session pile onto slow storage.
+///
+/// Queue waits are real (condition-variable) waits measured on wall time,
+/// so the queue timeout fires even when the engine runs on virtual time;
+/// the waiter also re-checks its statement deadline / KILL token while
+/// queued, so a cancelled statement leaves the queue promptly.
+class AdmissionController {
+ public:
+  /// RAII slot: releasing (destruction) wakes the next queued waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Ticket() { Release(); }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->Release();
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    AdmissionController* controller_ = nullptr;
+  };
+
+  struct Stats {
+    uint32_t max_concurrent = 0;
+    uint32_t max_queue = 0;
+    uint32_t running = 0;
+    uint32_t queued = 0;
+    uint64_t admitted_total = 0;
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_queue_timeout = 0;
+    uint64_t cancelled_in_queue = 0;
+    uint64_t queue_wait_micros_total = 0;
+  };
+
+  explicit AdmissionController(AdmissionOptions options = {})
+      : options_(options) {}
+
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
+  bool enabled() const { return options_.max_concurrent > 0; }
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Blocks until a slot is free (bounded by the queue timeout and by
+  /// `deadline`), returning a Ticket, or fails with:
+  ///   Unavailable       — queue full or queue timeout (sheds carry a
+  ///                       "retry after <n>us" hint and emit
+  ///                       statement.shed),
+  ///   DeadlineExceeded / Cancelled — the statement's own budget died
+  ///                       while queued.
+  /// `what` names the statement kind for events/errors.
+  common::Result<Ticket> Admit(const common::Deadline& deadline,
+                               std::string_view what);
+
+  Stats stats() const;
+
+ private:
+  friend class Ticket;
+  void Release();
+
+  common::Status Shed(const char* cause, std::string_view what,
+                      uint64_t* counter);
+
+  AdmissionOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog* events_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  uint32_t running_ = 0;  // guarded by mu_
+  uint32_t queued_ = 0;   // guarded by mu_
+  uint64_t admitted_total_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_queue_timeout_ = 0;
+  uint64_t cancelled_in_queue_ = 0;
+  uint64_t queue_wait_micros_total_ = 0;
+};
+
+}  // namespace polaris::engine
+
+#endif  // POLARIS_ENGINE_ADMISSION_H_

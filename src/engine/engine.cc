@@ -9,6 +9,7 @@
 #include "common/bytes.h"
 #include "common/crashpoint.h"
 #include "common/logging.h"
+#include "common/trace_context.h"
 #include "engine/system_views.h"
 
 namespace polaris::engine {
@@ -51,10 +52,13 @@ PolarisEngine::PolarisEngine(EngineOptions options,
                      ? static_cast<storage::ObjectStore*>(
                            owned_local_store_.get())
                      : owned_store_.get()),
-          options_.fault_seed)),
+          options_.fault_seed, clock_)),
       retry_store_(std::make_unique<storage::RetryingObjectStore>(
           fault_store_.get(), clock_, options_.storage_retry, &metrics_)),
-      store_(retry_store_.get()),
+      breaker_store_(std::make_unique<storage::CircuitBreakerStore>(
+          retry_store_.get(), clock_, options_.circuit_breaker)),
+      store_(breaker_store_.get()),
+      admission_(options_.admission),
       catalog_(clock_),
       builder_(store_),
       cache_(store_, options_.cache_capacity),
@@ -72,6 +76,10 @@ PolarisEngine::PolarisEngine(EngineOptions options,
   sto_.set_metrics(&metrics_);
   sto_.set_tracer(&tracer_);
   retry_store_->set_event_log(&events_);
+  breaker_store_->set_metrics(&metrics_);
+  breaker_store_->set_event_log(&events_);
+  admission_.set_metrics(&metrics_);
+  admission_.set_event_log(&events_);
   txn_manager_.set_event_log(&events_);
   sto_.set_event_log(&events_);
   views_ = std::make_unique<SystemViews>(this);
@@ -131,6 +139,26 @@ void PolarisEngine::SampleObservabilityOnce() {
   gauges.emplace_back("tracer.ring_spans",
                       static_cast<double>(tracer_.size()));
   gauges.emplace_back("cache.entries", static_cast<double>(cache_.size()));
+  // Breaker state as a severity gauge: 0 closed, 1 half-open, 2 open —
+  // ordered so above-is-bad SLO thresholds read naturally.
+  double breaker_severity = 0.0;
+  switch (breaker_store_->state()) {
+    case storage::CircuitBreakerStore::State::kClosed:
+      breaker_severity = 0.0;
+      break;
+    case storage::CircuitBreakerStore::State::kHalfOpen:
+      breaker_severity = 1.0;
+      break;
+    case storage::CircuitBreakerStore::State::kOpen:
+      breaker_severity = 2.0;
+      break;
+  }
+  gauges.emplace_back("store.breaker.state", breaker_severity);
+  AdmissionController::Stats admission = admission_.stats();
+  gauges.emplace_back("admission.running",
+                      static_cast<double>(admission.running));
+  gauges.emplace_back("admission.queued",
+                      static_cast<double>(admission.queued));
   common::Micros now = clock_->Now();
   recorder_.SampleOnce(now, gauges);
   watchdog_.Evaluate(now);
@@ -193,6 +221,27 @@ void PolarisEngine::InstallDefaultSloRules() {
     rule.warn_threshold = 0.5;
     rule.fail_threshold = 0.2;
     rule.min_activity = 20;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "storage-circuit-breaker";
+    rule.description =
+        "circuit breaker state (0 closed, 1 half-open, 2 open)";
+    rule.kind = obs::SloRule::Kind::kGauge;
+    rule.metric = "store.breaker.state";
+    rule.warn_threshold = 0.5;  // half-open warns
+    rule.fail_threshold = 1.5;  // open fails
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
+    rule.name = "admission-shed-rate";
+    rule.description = "statements shed at admission over the sample window";
+    rule.kind = obs::SloRule::Kind::kDelta;
+    rule.metric = "admission.shed.total";
+    rule.warn_threshold = 0;  // any shedding over the window warns
+    rule.fail_threshold = 100;
     watchdog_.AddRule(rule);
   }
   {
@@ -291,6 +340,13 @@ obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
       fault_store_->injected_failures();
   snapshot.counters["events.emitted"] = events_.total_emitted();
   snapshot.counters["events.dropped"] = events_.dropped();
+  snapshot.counters["storage.injected_latency_micros"] =
+      fault_store_->injected_latency_micros();
+  snapshot.counters["store.breaker.state"] =
+      static_cast<uint64_t>(breaker_store_->state());
+  AdmissionController::Stats admission = admission_.stats();
+  snapshot.counters["admission.running"] = admission.running;
+  snapshot.counters["admission.queued"] = admission.queued;
   return snapshot;
 }
 
@@ -312,6 +368,10 @@ Status PolarisEngine::Commit(txn::Transaction* txn) {
 Status PolarisEngine::Abort(txn::Transaction* txn) {
   obs::Span span(&tracer_, "engine.abort");
   return txn_manager_.Abort(txn);
+}
+
+Status PolarisEngine::KillTransaction(uint64_t txn_id) {
+  return txn_manager_.Kill(txn_id);
 }
 
 Status PolarisEngine::RunInTransaction(
@@ -391,6 +451,7 @@ Result<uint64_t> PolarisEngine::Insert(txn::Transaction* txn,
     span.AddAttr("table", table);
     span.AddAttr("rows", rows.num_rows());
   }
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.insert"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -411,6 +472,7 @@ Result<uint64_t> PolarisEngine::BulkLoad(
     span.AddAttr("table", table);
     span.AddAttr("sources", sources.size());
   }
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.bulk_load"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -429,6 +491,7 @@ Result<uint64_t> PolarisEngine::Delete(txn::Transaction* txn,
                                        const exec::Conjunction& filter) {
   obs::Span span(&tracer_, "engine.delete");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.delete"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -450,6 +513,7 @@ Result<uint64_t> PolarisEngine::Update(
     const std::vector<exec::Assignment>& set) {
   obs::Span span(&tracer_, "engine.update");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.update"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(std::string manifest_path,
@@ -539,6 +603,10 @@ Result<RecordBatch> PolarisEngine::DistributedScan(
     task.work = [this, group_ptr, &scan_projection, &spec, &slots, &slots_mu,
                  my_slot, measured,
                  bytes_per_row](const dcp::TaskContext&) -> Status {
+      // The deadline rides into the worker via the thread pool's trace
+      // binding; a scan task whose statement is already dead (or killed)
+      // stops before touching storage.
+      POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("scan.task"));
       exec::TableScanner scanner(&cache_, group_ptr);
       exec::ScanOptions options;
       options.projection = scan_projection;
@@ -594,6 +662,7 @@ Result<RecordBatch> PolarisEngine::Query(txn::Transaction* txn,
                                          QueryStats* stats) {
   obs::Span span(&tracer_, "engine.query");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.query"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(lst::TableSnapshot snapshot,
@@ -608,6 +677,7 @@ Result<RecordBatch> PolarisEngine::QueryAsOf(txn::Transaction* txn,
                                              QueryStats* stats) {
   obs::Span span(&tracer_, "engine.query_as_of");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.query_as_of"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
   POLARIS_ASSIGN_OR_RETURN(

@@ -12,8 +12,10 @@
 #include "catalog/catalog_db.h"
 #include "catalog/catalog_journal.h"
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "dcp/scheduler.h"
+#include "engine/admission.h"
 #include "exec/aggregate.h"
 #include "exec/data_cache.h"
 #include "exec/dml.h"
@@ -26,6 +28,7 @@
 #include "obs/time_series.h"
 #include "obs/tracer.h"
 #include "sto/sto.h"
+#include "storage/circuit_breaker_store.h"
 #include "storage/fault_injection_store.h"
 #include "storage/local_file_object_store.h"
 #include "storage/memory_object_store.h"
@@ -61,6 +64,13 @@ struct EngineOptions {
   uint64_t fault_seed = 42;
   /// Backoff/budget for the storage retry layer.
   storage::RetryPolicy storage_retry;
+  /// Circuit breaker on top of the retry layer. `failure_threshold == 0`
+  /// leaves the decorator in pass-through mode (default), preserving the
+  /// retry-until-exhausted behavior; set a threshold to trip open after
+  /// that many consecutive post-retry storage failures.
+  storage::CircuitBreakerOptions circuit_breaker{/*failure_threshold=*/0};
+  /// Statement admission control (max_concurrent == 0 disables it).
+  AdmissionOptions admission;
   /// When non-empty, the engine is durable: blobs live in a
   /// LocalFileObjectStore rooted at this directory and every catalog
   /// commit is journaled there. Use PolarisEngine::Open to construct a
@@ -152,7 +162,8 @@ class PolarisEngine {
   // --- Subsystem access (benchmarks, tests) --------------------------------
   common::Clock* clock() { return clock_; }
   /// Top of the storage decorator stack (what every subsystem reads/writes
-  /// through): base -> FaultInjectionStore -> RetryingObjectStore.
+  /// through): base -> FaultInjectionStore -> RetryingObjectStore ->
+  /// CircuitBreakerStore.
   storage::ObjectStore* store() { return store_; }
   /// The fault-injection layer, for tests that flip policies mid-run.
   storage::FaultInjectionStore* fault_store() { return fault_store_.get(); }
@@ -161,6 +172,12 @@ class PolarisEngine {
   storage::ObjectStore* base_store() { return fault_store_->base(); }
   /// The retry layer (retry/exhaustion counters).
   storage::RetryingObjectStore* retry_store() { return retry_store_.get(); }
+  /// The circuit breaker on top of the stack (state, fast-fail counters).
+  storage::CircuitBreakerStore* circuit_breaker() {
+    return breaker_store_.get();
+  }
+  /// Statement admission control (SqlSession gates through this).
+  AdmissionController* admission() { return &admission_; }
   obs::MetricsRegistry* metrics() { return &metrics_; }
   /// The engine-wide span recorder. Disabled by default; enable to capture
   /// traces (see obs::Tracer), export with Tracer::ExportChromeTrace.
@@ -209,6 +226,12 @@ class PolarisEngine {
       catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot);
   common::Status Commit(txn::Transaction* txn);
   common::Status Abort(txn::Transaction* txn);
+
+  /// Requests cooperative cancellation of a live transaction (`KILL
+  /// <txn_id>`). The owning statement observes the flip at its next
+  /// cancellation point and aborts cleanly; NotFound if no such active
+  /// transaction.
+  common::Status KillTransaction(uint64_t txn_id);
 
   /// Runs `body` in a transaction, retrying on Conflict up to
   /// `max_attempts` times (the FE retry loop, §3).
@@ -313,9 +336,13 @@ class PolarisEngine {
   std::unique_ptr<storage::LocalFileObjectStore> owned_local_store_;
   /// Storage decorator stack (§3.2.2 / §4.3): every subsystem reads and
   /// writes through fault injection (chaos) + retry (resilience).
+  /// (base -> fault injection -> retry -> circuit breaker; the breaker is
+  /// on top so it observes post-retry outcomes).
   std::unique_ptr<storage::FaultInjectionStore> fault_store_;
   std::unique_ptr<storage::RetryingObjectStore> retry_store_;
+  std::unique_ptr<storage::CircuitBreakerStore> breaker_store_;
   storage::ObjectStore* store_;
+  AdmissionController admission_;
   std::unique_ptr<catalog::CatalogJournal> journal_;
   catalog::CatalogJournal::RecoveredState recovery_;
   catalog::CatalogDb catalog_;

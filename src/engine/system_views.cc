@@ -63,6 +63,7 @@ SystemViews::Catalog() {
       {"dm_metrics_history", "time-series sampler rings (name, ts, value)"},
       {"dm_events", "structured event log tail"},
       {"dm_health", "SLO watchdog verdicts"},
+      {"dm_admission", "admission-control occupancy and shed counters"},
       {"dm_views", "this catalog"},
   };
   return kCatalog;
@@ -79,6 +80,7 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_metrics_history") return MetricsHistory();
   if (table == "sys.dm_events") return Events();
   if (table == "sys.dm_health") return Health();
+  if (table == "sys.dm_admission") return Admission();
   if (table == "sys.dm_views") return Views();
   return common::Status::NotFound("unknown system view: " + table);
 }
@@ -90,13 +92,15 @@ RecordBatch SystemViews::TranActive() const {
                                 {"isolation", ColumnType::kString},
                                 {"begin_time_us", ColumnType::kInt64},
                                 {"begin_seq", ColumnType::kInt64},
-                                {"tables", ColumnType::kString}}));
+                                {"tables", ColumnType::kString},
+                                {"cancel_requested", ColumnType::kInt64}}));
   for (const auto& info : engine_->txn_manager()->ActiveTransactionInfos()) {
     (void)batch.AppendRow(Row{Str("txn-" + std::to_string(info.txn_id)),
                               I64u(info.txn_id), Str("active"),
                               Str(info.isolation), I64(info.begin_time),
                               I64u(info.begin_seq),
-                              Str(JoinInt64(info.tables))});
+                              Str(JoinInt64(info.tables)),
+                              I64(info.cancel_requested ? 1 : 0)});
   }
   return batch;
 }
@@ -265,6 +269,27 @@ RecordBatch SystemViews::Health() const {
             F64(row.value), F64(row.warn_threshold), F64(row.fail_threshold),
             I64(row.since_us), Str(row.description)});
   }
+  return batch;
+}
+
+RecordBatch SystemViews::Admission() const {
+  RecordBatch batch(
+      MakeSchema({{"max_concurrent", ColumnType::kInt64},
+                  {"max_queue", ColumnType::kInt64},
+                  {"running", ColumnType::kInt64},
+                  {"queued", ColumnType::kInt64},
+                  {"admitted_total", ColumnType::kInt64},
+                  {"shed_queue_full", ColumnType::kInt64},
+                  {"shed_queue_timeout", ColumnType::kInt64},
+                  {"cancelled_in_queue", ColumnType::kInt64},
+                  {"queue_wait_us_total", ColumnType::kInt64}}));
+  AdmissionController::Stats stats = engine_->admission()->stats();
+  (void)batch.AppendRow(
+      Row{I64(stats.max_concurrent), I64(stats.max_queue),
+          I64(stats.running), I64(stats.queued), I64u(stats.admitted_total),
+          I64u(stats.shed_queue_full), I64u(stats.shed_queue_timeout),
+          I64u(stats.cancelled_in_queue),
+          I64u(stats.queue_wait_micros_total)});
   return batch;
 }
 

@@ -27,6 +27,7 @@ class PolarisEngine;
 ///   sys.dm_metrics_history time-series sampler rings (name, ts, value)
 ///   sys.dm_events          structured event log tail
 ///   sys.dm_health          SLO watchdog verdicts
+///   sys.dm_admission       admission-control occupancy and shed counters
 ///   sys.dm_views           this catalog
 class SystemViews {
  public:
@@ -54,6 +55,7 @@ class SystemViews {
   format::RecordBatch MetricsHistory() const;
   format::RecordBatch Events() const;
   format::RecordBatch Health() const;
+  format::RecordBatch Admission() const;
   format::RecordBatch Views() const;
 
   PolarisEngine* engine_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace_context.h"
+
 namespace polaris::exec {
 
 using common::Result;
@@ -163,6 +165,9 @@ Result<RecordBatch> TableScanner::ScanAll(const ScanOptions& options,
   for (const auto& [path, file] : snapshot_->files()) {
     (void)path;
     if (!CellSelected(options.cells, file.info.cell_id)) continue;
+    // Scan batches are a cancellation point: a killed or deadline-burned
+    // statement stops between files rather than finishing the table.
+    POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("scan.file"));
     POLARIS_RETURN_IF_ERROR(
         ScanFile(file, options, /*full_rows=*/false, collect, metrics));
   }
@@ -181,6 +186,7 @@ Status TableScanner::ScanFilesWithOrdinals(const ScanOptions& options,
   for (const auto& [path, file] : snapshot_->files()) {
     (void)path;
     if (!CellSelected(options.cells, file.info.cell_id)) continue;
+    POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("scan.file"));
     POLARIS_RETURN_IF_ERROR(
         ScanFile(file, options, /*full_rows=*/true, callback, metrics));
   }

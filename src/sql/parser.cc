@@ -410,6 +410,30 @@ Result<ParsedStatement> Parser::ParseStatement() {
     POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
     return stmt;
   }
+  if (AcceptKeyword("KILL")) {
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kKill;
+    if (Peek().type != TokenType::kInteger || Peek().int_value <= 0) {
+      return Error("expected a positive transaction id after KILL");
+    }
+    stmt.kill_txn_id = static_cast<uint64_t>(Advance().int_value);
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+  if (AcceptKeyword("SET")) {
+    // Statement-leading SET is a session option; UPDATE ... SET is handled
+    // inside ParseUpdate and never reaches here.
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kSetDeadline;
+    POLARIS_RETURN_IF_ERROR(ExpectKeyword("DEADLINE"));
+    if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+      return Error("expected a non-negative millisecond budget after "
+                   "SET DEADLINE");
+    }
+    stmt.deadline_millis = Advance().int_value;
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
   return Error("expected a statement keyword");
 }
 

@@ -39,6 +39,8 @@ struct ParsedStatement {
     kCommit,
     kRollback,
     kCloneTable,
+    kKill,         // KILL <txn_id>: request cooperative cancellation
+    kSetDeadline,  // SET DEADLINE <ms>: per-session statement budget
   };
   Kind kind = Kind::kSelect;
 
@@ -63,6 +65,8 @@ struct ParsedStatement {
   std::optional<uint64_t> limit;            // SELECT ... LIMIT n
   std::optional<int64_t> as_of;             // ... AS OF <micros>
   std::vector<exec::Assignment> assignments;  // UPDATE ... SET
+  uint64_t kill_txn_id = 0;                 // KILL <txn_id>
+  int64_t deadline_millis = 0;              // SET DEADLINE <ms>; 0 disables
 };
 
 /// Parses exactly one statement (a trailing ';' is allowed). The
@@ -81,6 +85,8 @@ struct ParsedStatement {
 ///     [WHERE conj]
 ///   DELETE FROM t [WHERE conj]
 ///   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
+///   KILL <txn_id>
+///   SET DEADLINE <ms>            -- 0 turns the session deadline off
 ///   EXPLAIN ANALYZE <statement>
 ///
 /// Table names in DML/SELECT may be schema-qualified (`sys.dm_health`);

@@ -185,6 +185,8 @@ const char* StatementKindName(ParsedStatement::Kind kind) {
     case ParsedStatement::Kind::kCommit: return "COMMIT";
     case ParsedStatement::Kind::kRollback: return "ROLLBACK";
     case ParsedStatement::Kind::kCloneTable: return "CLONE TABLE";
+    case ParsedStatement::Kind::kKill: return "KILL";
+    case ParsedStatement::Kind::kSetDeadline: return "SET DEADLINE";
   }
   return "?";
 }
@@ -255,20 +257,83 @@ std::string RenderSpanTree(const std::vector<obs::SpanRecord>& spans) {
 
 Result<SqlResult> SqlSession::Execute(const std::string& statement) {
   POLARIS_ASSIGN_OR_RETURN(ParsedStatement stmt, Parse(statement));
-  if (stmt.explain_analyze) return ExecuteExplainAnalyze(stmt);
-  // Each statement is its own trace; statements of one explicit
-  // transaction are tied together by their txn attribute.
-  obs::Span span(engine_->tracer(), "sql.statement", obs::Span::kRoot);
-  if (span.active()) {
-    span.AddAttr("kind", StatementKindName(stmt.kind));
-    if (!stmt.table.empty()) span.AddAttr("table", stmt.table);
-    // Statements joining an explicit transaction re-stamp its id (the
-    // BEGIN statement's trace ended with its root span).
-    if (txn_ != nullptr) {
-      common::MutableCurrentTraceContext().txn_id = txn_->id();
-    }
+
+  // Lifecycle control statements manage the request-lifecycle layer
+  // itself: they bypass admission control and never carry a deadline, so
+  // an operator can always KILL a runaway transaction from a saturated
+  // engine.
+  if (stmt.kind == ParsedStatement::Kind::kKill ||
+      stmt.kind == ParsedStatement::Kind::kSetDeadline) {
+    return ExecuteParsed(stmt);
   }
-  return ExecuteParsed(stmt);
+
+  // Install the statement's budget for everything below: the SET DEADLINE
+  // countdown (on the engine clock) plus — inside an explicit transaction —
+  // the transaction's KILL token. Auto-commit statements pick their token
+  // up in TransactionManager::Begin.
+  common::CancelToken token;
+  if (txn_ != nullptr) token = txn_->cancel_token();
+  common::Deadline deadline =
+      statement_deadline_micros_ > 0
+          ? common::Deadline::After(engine_->clock(),
+                                    statement_deadline_micros_, token)
+          : common::Deadline::CancellableOnly(token);
+  common::ScopedDeadline scoped_deadline(deadline);
+
+  // Admission control gates statements that reach user tables / storage.
+  // Transaction control (BEGIN/COMMIT/ROLLBACK) and sys.* reads always
+  // run: clients must be able to release resources and operators must be
+  // able to observe an overloaded engine.
+  bool gated = true;
+  switch (stmt.kind) {
+    case ParsedStatement::Kind::kBegin:
+    case ParsedStatement::Kind::kCommit:
+    case ParsedStatement::Kind::kRollback:
+      gated = false;
+      break;
+    case ParsedStatement::Kind::kSelect:
+      gated = !engine::SystemViews::IsSystemTable(stmt.table);
+      break;
+    default:
+      break;
+  }
+  engine::AdmissionController::Ticket ticket;
+  if (gated) {
+    auto admitted =
+        engine_->admission()->Admit(deadline, StatementKindName(stmt.kind));
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(*admitted);
+  }
+
+  Result<SqlResult> result = Status::Internal("not executed");
+  if (stmt.explain_analyze) {
+    result = ExecuteExplainAnalyze(stmt);
+  } else {
+    // Each statement is its own trace; statements of one explicit
+    // transaction are tied together by their txn attribute.
+    obs::Span span(engine_->tracer(), "sql.statement", obs::Span::kRoot);
+    if (span.active()) {
+      span.AddAttr("kind", StatementKindName(stmt.kind));
+      if (!stmt.table.empty()) span.AddAttr("table", stmt.table);
+      // Statements joining an explicit transaction re-stamp its id (the
+      // BEGIN statement's trace ended with its root span).
+      if (txn_ != nullptr) {
+        common::MutableCurrentTraceContext().txn_id = txn_->id();
+      }
+    }
+    result = ExecuteParsed(stmt);
+  }
+
+  if (!result.ok() && (result.status().IsCancelled() ||
+                       result.status().IsDeadlineExceeded())) {
+    engine_->metrics()->Add("sql.statement.killed.total");
+    engine_->events()->Emit(
+        obs::EventLevel::kWarn, "sql", "statement.killed",
+        {{"kind", StatementKindName(stmt.kind)},
+         {"cause", result.status().IsCancelled() ? "killed" : "deadline"}},
+        result.status().message());
+  }
+  return result;
 }
 
 Result<SqlResult> SqlSession::ExecuteExplainAnalyze(
@@ -316,11 +381,15 @@ Result<SqlResult> SqlSession::RunStatement(
     const std::function<Result<SqlResult>(txn::Transaction*)>& body) {
   if (txn_ != nullptr) {
     // Explicit transaction: the statement joins it; errors do not abort
-    // the transaction automatically except conflicts, which do. The
-    // conflict is remembered so the client's trailing COMMIT/ROLLBACK
+    // the transaction automatically except conflicts, kills and burned
+    // deadlines, which do — a dead statement must release its catalog
+    // intent locks rather than hold them until the client notices. The
+    // cause is remembered so the client's trailing COMMIT/ROLLBACK
     // reports the rollback instead of "no open transaction".
     auto result = body(txn_.get());
-    if (!result.ok() && result.status().IsConflict()) {
+    if (!result.ok() &&
+        (result.status().IsConflict() || result.status().IsCancelled() ||
+         result.status().IsDeadlineExceeded())) {
       if (!txn_->finished()) (void)engine_->Abort(txn_.get());
       txn_.reset();
       aborted_by_conflict_ = true;
@@ -350,8 +419,17 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
       if (txn_ == nullptr) {
         if (aborted_by_conflict_) {
           // The transaction was already rolled back by a statement-level
-          // conflict; surface that instead of "no open transaction".
+          // conflict / kill / deadline; surface that instead of "no open
+          // transaction", preserving the original status code.
           aborted_by_conflict_ = false;
+          if (conflict_cause_.IsCancelled()) {
+            return Status::Cancelled("transaction rolled back: " +
+                                     conflict_cause_.message());
+          }
+          if (conflict_cause_.IsDeadlineExceeded()) {
+            return Status::DeadlineExceeded("transaction rolled back: " +
+                                            conflict_cause_.message());
+          }
           return Status::Conflict(
               "transaction rolled back by conflict: " +
               conflict_cause_.message());
@@ -456,6 +534,24 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteDelete(stmt, txn);
       });
+    case ParsedStatement::Kind::kKill: {
+      POLARIS_RETURN_IF_ERROR(engine_->KillTransaction(stmt.kill_txn_id));
+      SqlResult result;
+      result.message = "KILL " + std::to_string(stmt.kill_txn_id) +
+                       " (cancellation requested; the statement aborts at "
+                       "its next cooperative check)";
+      return result;
+    }
+    case ParsedStatement::Kind::kSetDeadline: {
+      statement_deadline_micros_ = stmt.deadline_millis * 1000;
+      SqlResult result;
+      result.message =
+          stmt.deadline_millis == 0
+              ? "SET DEADLINE off"
+              : "SET DEADLINE " + std::to_string(stmt.deadline_millis) +
+                    " ms";
+      return result;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }

@@ -56,6 +56,11 @@ class SqlSession {
   /// to acknowledge it.
   bool aborted_by_conflict() const { return aborted_by_conflict_; }
 
+  /// Per-statement time budget installed by `SET DEADLINE <ms>`; 0 = off.
+  int64_t statement_deadline_micros() const {
+    return statement_deadline_micros_;
+  }
+
  private:
   common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
   /// EXPLAIN ANALYZE: runs `stmt` under a forced-on trace and renders the
@@ -89,6 +94,9 @@ class SqlSession {
   /// rollback instead of "no open transaction".
   bool aborted_by_conflict_ = false;
   common::Status conflict_cause_;
+  /// SET DEADLINE <ms> budget applied to every subsequent statement
+  /// (microseconds on the engine clock); 0 disables the deadline.
+  int64_t statement_deadline_micros_ = 0;
 };
 
 /// Coerces a parsed literal to `want` (integer literals widen to DOUBLE;

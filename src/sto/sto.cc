@@ -5,6 +5,7 @@
 
 #include "common/guid.h"
 #include "common/logging.h"
+#include "common/trace_context.h"
 #include "exec/scan.h"
 #include "format/file_writer.h"
 #include "lst/checkpoint.h"
@@ -508,6 +509,11 @@ Result<GcStats> SystemTaskOrchestrator::RunGarbageCollectionImpl() {
 
   GcStats stats;
   for (const auto& blob : *blobs) {
+    // GC can walk a large store; check the budget every few dozen blobs.
+    if ((stats.blobs_scanned & 63) == 0) {
+      Status budget = common::CheckCurrentDeadline("sto.gc");
+      if (!budget.ok()) return finish(budget);
+    }
     ++stats.blobs_scanned;
     if (active.count(blob.path) != 0) {
       ++stats.blobs_active;
@@ -595,6 +601,10 @@ Status SystemTaskOrchestrator::RunOnce(bool run_gc) {
   POLARIS_RETURN_IF_ERROR(tables.status());
 
   for (const auto& meta : *tables) {
+    // Cooperative cancellation between per-table maintenance jobs: a
+    // deadline-bounded sweep (tests, shutdown paths) stops at a table
+    // boundary instead of finishing the whole pass.
+    POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("sto.sweep"));
     POLARIS_ASSIGN_OR_RETURN(StorageHealth health,
                              EvaluateHealth(meta.table_id));
     if (!health.healthy()) {

@@ -1,0 +1,224 @@
+#include "storage/circuit_breaker_store.h"
+
+#include <algorithm>
+
+namespace polaris::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+common::Clock* FallbackClock() {
+  static common::SystemClock clock;
+  return &clock;
+}
+
+}  // namespace
+
+std::string_view CircuitBreakerStore::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreakerStore::CircuitBreakerStore(ObjectStore* base,
+                                         common::Clock* clock,
+                                         CircuitBreakerOptions options)
+    : base_(base),
+      clock_(clock != nullptr ? clock : FallbackClock()),
+      options_(options) {
+  options_.half_open_probes = std::max<uint32_t>(1, options_.half_open_probes);
+}
+
+common::Micros CircuitBreakerStore::Now() const { return clock_->Now(); }
+
+bool CircuitBreakerStore::CountsAsFailure(const Status& status) {
+  // Post-retry Unavailable means the retry budget was spent and storage is
+  // still down; IOError is an infrastructure fault by definition. Anything
+  // else is either success, a semantic outcome, or the client's own budget.
+  return status.IsUnavailable() || status.IsIOError();
+}
+
+void CircuitBreakerStore::TransitionLocked(State to, std::string_view why) {
+  State from = state();
+  if (from == to) return;
+  state_.store(static_cast<int>(to), std::memory_order_release);
+  if (to == State::kOpen) {
+    times_opened_.fetch_add(1);
+    open_until_us_ = Now() + options_.open_duration_micros;
+    probe_successes_ = 0;
+  } else if (to == State::kHalfOpen) {
+    probe_successes_ = 0;
+  } else {  // closed
+    consecutive_failures_ = 0;
+    probe_successes_ = 0;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("store.breaker.transitions.total");
+    if (to == State::kOpen) metrics_->Add("store.breaker.opened.total");
+  }
+  if (events_ != nullptr) {
+    events_->Emit(to == State::kOpen ? obs::EventLevel::kWarn
+                                     : obs::EventLevel::kInfo,
+                  "storage", "breaker.transition",
+                  {{"from", std::string(StateName(from))},
+                   {"to", std::string(StateName(to))},
+                   {"reason", std::string(why)}});
+  }
+}
+
+Status CircuitBreakerStore::Admit(const char* op, bool* is_probe) {
+  *is_probe = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  State s = state();
+  if (s == State::kOpen) {
+    if (Now() >= open_until_us_) {
+      TransitionLocked(State::kHalfOpen, "open duration elapsed");
+      s = State::kHalfOpen;
+    } else {
+      fast_failures_.fetch_add(1);
+      if (metrics_ != nullptr) metrics_->Add("store.breaker.fast_fail.total");
+      common::Micros retry_after = open_until_us_ - Now();
+      return Status::Unavailable(
+          std::string("circuit breaker open: ") + op +
+          " rejected without storage traffic; retry after " +
+          std::to_string(retry_after) + "us");
+    }
+  }
+  if (s == State::kHalfOpen) {
+    if (probe_in_flight_) {
+      // Only one probe at a time; everyone else is still shed.
+      fast_failures_.fetch_add(1);
+      if (metrics_ != nullptr) metrics_->Add("store.breaker.fast_fail.total");
+      return Status::Unavailable(std::string("circuit breaker half-open: ") +
+                                 op + " rejected while probe in flight");
+    }
+    probe_in_flight_ = true;
+    *is_probe = true;
+  }
+  return Status::OK();
+}
+
+void CircuitBreakerStore::OnOutcome(bool is_probe, const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_probe) probe_in_flight_ = false;
+  // Budget/semantic outcomes carry no storage-health signal either way.
+  if (!status.ok() && !CountsAsFailure(status)) return;
+  switch (state()) {
+    case State::kClosed:
+      if (status.ok()) {
+        consecutive_failures_ = 0;
+      } else if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionLocked(State::kOpen,
+                         std::to_string(consecutive_failures_) +
+                             " consecutive storage failures");
+      }
+      break;
+    case State::kHalfOpen:
+      if (!is_probe) break;  // stragglers admitted before the trip
+      if (status.ok()) {
+        if (++probe_successes_ >= options_.half_open_probes) {
+          TransitionLocked(State::kClosed, "probe succeeded");
+        }
+      } else {
+        TransitionLocked(State::kOpen, "probe failed");
+      }
+      break;
+    case State::kOpen:
+      // A straggler finishing after the trip; nothing to update.
+      break;
+  }
+}
+
+Status CircuitBreakerStore::Execute(
+    const char* op, const std::function<Status()>& attempt) {
+  if (!enabled()) return attempt();
+  bool is_probe = false;
+  Status gate = Admit(op, &is_probe);
+  if (!gate.ok()) return gate;
+  Status st = attempt();
+  OnOutcome(is_probe, st);
+  return st;
+}
+
+Status CircuitBreakerStore::Put(const std::string& path, std::string data) {
+  return Execute("Put",
+                 [&]() { return base_->Put(path, std::move(data)); });
+}
+
+Result<std::string> CircuitBreakerStore::Get(const std::string& path) {
+  Result<std::string> out = Status::Internal("no attempt made");
+  Status st = Execute("Get", [&]() {
+    out = base_->Get(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<BlobInfo> CircuitBreakerStore::Stat(const std::string& path) {
+  Result<BlobInfo> out = Status::Internal("no attempt made");
+  Status st = Execute("Stat", [&]() {
+    out = base_->Stat(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status CircuitBreakerStore::Delete(const std::string& path) {
+  return Execute("Delete", [&]() { return base_->Delete(path); });
+}
+
+Result<std::vector<BlobInfo>> CircuitBreakerStore::List(
+    const std::string& prefix) {
+  Result<std::vector<BlobInfo>> out = Status::Internal("no attempt made");
+  Status st = Execute("List", [&]() {
+    out = base_->List(prefix);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status CircuitBreakerStore::StageBlock(const std::string& path,
+                                       const std::string& block_id,
+                                       std::string data) {
+  return Execute("StageBlock", [&]() {
+    return base_->StageBlock(path, block_id, std::move(data));
+  });
+}
+
+Status CircuitBreakerStore::CommitBlockList(
+    const std::string& path, const std::vector<std::string>& block_ids) {
+  return Execute("CommitBlockList",
+                 [&]() { return base_->CommitBlockList(path, block_ids); });
+}
+
+Status CircuitBreakerStore::CommitBlockListIf(
+    const std::string& path, const std::vector<std::string>& block_ids,
+    uint64_t expected_generation) {
+  return Execute("CommitBlockListIf", [&]() {
+    return base_->CommitBlockListIf(path, block_ids, expected_generation);
+  });
+}
+
+Result<std::vector<std::string>> CircuitBreakerStore::GetCommittedBlockList(
+    const std::string& path) {
+  Result<std::vector<std::string>> out = Status::Internal("no attempt made");
+  Status st = Execute("GetCommittedBlockList", [&]() {
+    out = base_->GetCommittedBlockList(path);
+    return out.status();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace polaris::storage

@@ -1,0 +1,126 @@
+#ifndef POLARIS_STORAGE_CIRCUIT_BREAKER_STORE_H_
+#define POLARIS_STORAGE_CIRCUIT_BREAKER_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "storage/object_store.h"
+
+namespace polaris::storage {
+
+struct CircuitBreakerOptions {
+  /// Consecutive infrastructure failures (post-retry) that trip the
+  /// breaker open. 0 = pass-through (the breaker never trips).
+  uint32_t failure_threshold = 5;
+  /// How long the breaker stays open before letting a probe through.
+  common::Micros open_duration_micros = 5'000'000;
+  /// Consecutive successful probes in half-open required to close again.
+  uint32_t half_open_probes = 1;
+};
+
+/// ObjectStore decorator implementing the classic closed / open / half-open
+/// circuit breaker. It sits on TOP of the retry layer so it observes
+/// post-retry outcomes: a failure here means the retry budget was already
+/// spent, i.e. storage is genuinely browned out, not just blinking.
+///
+///   closed    — ops pass through; consecutive failures are counted.
+///   open      — ops fail fast with Unavailable (no storage traffic) until
+///               `open_duration_micros` elapses.
+///   half-open — one probe at a time is allowed through; success closes
+///               the breaker, failure reopens it.
+///
+/// Only infrastructure failures (Unavailable, IOError) count against the
+/// breaker. Semantic outcomes (NotFound, Conflict, FailedPrecondition, ...)
+/// and client-budget outcomes (DeadlineExceeded, Cancelled) say nothing
+/// about storage health and pass through uncounted.
+///
+/// Transitions emit `breaker.transition` events; the current state is
+/// exposed as a gauge (`store.breaker.state`) feeding sys.dm_health.
+class CircuitBreakerStore : public ObjectStore {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  static std::string_view StateName(State state);
+
+  /// `base` and `clock` must outlive this store; `clock` may be null (a
+  /// steady wall clock is used for the open-duration timer then).
+  CircuitBreakerStore(ObjectStore* base, common::Clock* clock,
+                      CircuitBreakerOptions options = {});
+
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+
+  /// Pass-through when the threshold is 0 (decorator present, logic off).
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+  uint64_t fast_failures() const { return fast_failures_.load(); }
+  uint64_t times_opened() const { return times_opened_.load(); }
+
+  ObjectStore* base() { return base_; }
+
+  common::Status Put(const std::string& path, std::string data) override;
+  common::Result<std::string> Get(const std::string& path) override;
+  common::Result<BlobInfo> Stat(const std::string& path) override;
+  common::Status Delete(const std::string& path) override;
+  common::Result<std::vector<BlobInfo>> List(
+      const std::string& prefix) override;
+  common::Status StageBlock(const std::string& path,
+                            const std::string& block_id,
+                            std::string data) override;
+  common::Status CommitBlockList(
+      const std::string& path,
+      const std::vector<std::string>& block_ids) override;
+  common::Status CommitBlockListIf(const std::string& path,
+                                   const std::vector<std::string>& block_ids,
+                                   uint64_t expected_generation) override;
+  common::Result<std::vector<std::string>> GetCommittedBlockList(
+      const std::string& path) override;
+
+ private:
+  /// Gate + outcome bookkeeping around one wrapped operation.
+  common::Status Execute(const char* op,
+                         const std::function<common::Status()>& attempt);
+
+  /// True when `status` indicates storage infrastructure trouble.
+  static bool CountsAsFailure(const common::Status& status);
+
+  /// Admission decision. Returns OK to let the op through (setting
+  /// `*is_probe` in half-open), or the fail-fast Unavailable status.
+  common::Status Admit(const char* op, bool* is_probe);
+
+  void OnOutcome(bool is_probe, const common::Status& status);
+
+  /// Must hold mu_. Changes state + emits breaker.transition.
+  void TransitionLocked(State to, std::string_view why);
+
+  common::Micros Now() const;
+
+  ObjectStore* base_;
+  common::Clock* clock_;
+  CircuitBreakerOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog* events_ = nullptr;
+
+  std::mutex mu_;
+  std::atomic<int> state_{static_cast<int>(State::kClosed)};
+  uint32_t consecutive_failures_ = 0;  // guarded by mu_
+  uint32_t probe_successes_ = 0;       // guarded by mu_
+  bool probe_in_flight_ = false;       // guarded by mu_
+  common::Micros open_until_us_ = 0;   // guarded by mu_
+  std::atomic<uint64_t> fast_failures_{0};
+  std::atomic<uint64_t> times_opened_{0};
+};
+
+}  // namespace polaris::storage
+
+#endif  // POLARIS_STORAGE_CIRCUIT_BREAKER_STORE_H_

@@ -10,9 +10,16 @@ using common::Status;
 bool FaultInjectionStore::ShouldFail(bool is_write, const char* op,
                                      const std::string& path) {
   bool fail = false;
+  common::Micros delay = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++op_counter_;
+    delay = is_write ? policy_.write_latency_micros
+                     : policy_.read_latency_micros;
+    if (policy_.heavy_tail_probability > 0.0 &&
+        rng_.Bernoulli(policy_.heavy_tail_probability)) {
+      delay = policy_.heavy_tail_latency_micros;
+    }
     if (policy_.fail_nth_operation != 0 &&
         op_counter_ == policy_.fail_nth_operation) {
       policy_.fail_nth_operation = 0;  // one-shot
@@ -22,6 +29,12 @@ bool FaultInjectionStore::ShouldFail(bool is_write, const char* op,
                           : policy_.read_failure_probability;
       fail = p > 0.0 && rng_.Bernoulli(p);
     }
+  }
+  if (delay > 0 && clock_ != nullptr) {
+    // Slow storage burns time even when the request ultimately fails —
+    // that is what makes brownouts worse than outages for deadlines.
+    clock_->Advance(delay);
+    injected_latency_micros_.fetch_add(static_cast<uint64_t>(delay));
   }
   if (fail) {
     injected_failures_.fetch_add(1);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "storage/object_store.h"
 
@@ -24,6 +25,18 @@ struct FaultPolicy {
   /// once with Unavailable, then the trigger disarms. Deterministic hooks
   /// for tests that need a failure at a precise point.
   uint64_t fail_nth_operation = 0;
+  /// Injected latency per read-side operation, in microseconds, applied by
+  /// advancing the injected clock before the wrapped call. Models a slow
+  /// (browned-out) blob service rather than a dead one; lets deadline paths
+  /// be exercised deterministically on virtual time.
+  common::Micros read_latency_micros = 0;
+  /// Injected latency per write-side operation, in microseconds.
+  common::Micros write_latency_micros = 0;
+  /// Heavy-tail mode: with this probability an operation takes
+  /// `heavy_tail_latency_micros` instead of its base latency (p99-style
+  /// stragglers, the Polaris workload-management motivation).
+  double heavy_tail_probability = 0.0;
+  common::Micros heavy_tail_latency_micros = 0;
 };
 
 /// ObjectStore decorator that injects transient failures, used to verify
@@ -35,8 +48,11 @@ struct FaultPolicy {
 /// that need torn writes can stage blocks directly.
 class FaultInjectionStore : public ObjectStore {
  public:
-  FaultInjectionStore(ObjectStore* base, uint64_t seed)
-      : base_(base), rng_(seed) {}
+  /// `clock` (optional) is advanced by the policy's injected latency; with
+  /// a null clock latency injection is a no-op and only faults fire.
+  FaultInjectionStore(ObjectStore* base, uint64_t seed,
+                      common::Clock* clock = nullptr)
+      : base_(base), rng_(seed), clock_(clock) {}
 
   void set_policy(const FaultPolicy& policy) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -45,6 +61,11 @@ class FaultInjectionStore : public ObjectStore {
 
   /// Total operations that were failed by injection.
   uint64_t injected_failures() const { return injected_failures_.load(); }
+
+  /// Total virtual microseconds of latency injected so far.
+  uint64_t injected_latency_micros() const {
+    return injected_latency_micros_.load();
+  }
 
   /// The wrapped store.
   ObjectStore* base() { return base_; }
@@ -70,14 +91,18 @@ class FaultInjectionStore : public ObjectStore {
  private:
   /// Returns true if this operation should fail. On injection, records a
   /// "store.fault_injected" marker span (op + path) on the active trace.
+  /// Also applies the policy's injected latency (clock-advancing) before
+  /// deciding, so even failed attempts burn simulated time.
   bool ShouldFail(bool is_write, const char* op, const std::string& path);
 
   ObjectStore* base_;
   std::mutex mu_;
   FaultPolicy policy_;
   common::Random rng_;
+  common::Clock* clock_;
   uint64_t op_counter_ = 0;
   std::atomic<uint64_t> injected_failures_{0};
+  std::atomic<uint64_t> injected_latency_micros_{0};
 };
 
 }  // namespace polaris::storage

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace_context.h"
 #include "obs/tracer.h"
 
 namespace polaris::storage {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+/// Wall clock used for elapsed/backoff accounting when no clock was
+/// injected, so metrics never silently record 0. Advance() is a no-op on
+/// it, matching the historical "no clock, no wait" pacing behavior.
+common::Clock* FallbackClock() {
+  static common::SystemClock clock;
+  return &clock;
+}
+
+}  // namespace
 
 bool RetryingObjectStore::IsRetryable(const Status& status) {
   if (status.IsUnavailable()) return true;
@@ -45,57 +58,97 @@ Status RetryingObjectStore::Execute(
     metrics_->Add(prefix + ".ops");
     metrics_->Add("store.ops.total");
   }
-  common::Micros start = clock_ != nullptr ? clock_->Now() : 0;
+  // Backoff waits and elapsed time are always accounted: against the
+  // injected clock when present, against a wall clock otherwise.
+  common::Clock* clock = clock_ != nullptr ? clock_ : FallbackClock();
+  common::Micros start = clock->Now();
   // Ambient-tracer child span: every blob operation that runs under a
   // traced statement/job shows up as a leaf with its retries absorbed.
   obs::Span span(prefix.c_str());
   if (span.active()) span.AddAttr("path", path);
+  // The caller's remaining budget rides on the thread's trace context.
+  const common::Deadline& deadline = common::CurrentDeadline();
 
   uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
   uint32_t attempts = 0;
-  Status st;
-  for (uint32_t i = 1; i <= max_attempts; ++i) {
-    attempts = i;
-    st = attempt();
-    if (st.ok() || !IsRetryable(st)) break;
-    if (i == max_attempts) {
-      exhausted_.fetch_add(1);
+  // Expired-before-start: don't issue a request whose answer is unusable.
+  Status st = deadline.bounded() ? deadline.Check(prefix) : Status::OK();
+  if (st.ok()) {
+    for (uint32_t i = 1; i <= max_attempts; ++i) {
+      attempts = i;
+      st = attempt();
+      if (st.ok() || !IsRetryable(st)) break;
+      if (i == max_attempts) {
+        exhausted_.fetch_add(1);
+        if (metrics_ != nullptr) {
+          metrics_->Add(prefix + ".exhausted");
+          metrics_->Add("store.exhausted.total");
+        }
+        if (events_ != nullptr) {
+          events_->Emit(obs::EventLevel::kError, "storage",
+                        "store.retry_exhausted",
+                        {{"op", op},
+                         {"path", path},
+                         {"attempts", std::to_string(attempts)}},
+                        st.ToString());
+        }
+        break;
+      }
+      common::Micros backoff = BackoffFor(i);
+      if (deadline.bounded()) {
+        Status budget = deadline.Check(prefix);
+        if (!budget.ok()) {
+          // The attempt itself burned the budget (or a KILL landed):
+          // stop retrying and surface the terminal status instead of the
+          // transient one. Neither code is ever retried upstream.
+          st = budget;
+          break;
+        }
+        common::Micros remaining = deadline.remaining_micros();
+        if (deadline.has_deadline() && backoff >= remaining) {
+          // Waiting the full backoff guarantees expiry; cap the wait at
+          // the remaining budget and report DeadlineExceeded, so the
+          // statement fails within deadline + one backoff quantum at
+          // worst.
+          clock->Advance(remaining);
+          if (metrics_ != nullptr) {
+            metrics_->Add("store.backoff_micros.total",
+                          static_cast<uint64_t>(remaining));
+          }
+          st = Status::DeadlineExceeded(
+              prefix + " " + path + ": retry budget exhausted by deadline");
+          break;
+        }
+      }
+      total_retries_.fetch_add(1);
       if (metrics_ != nullptr) {
-        metrics_->Add(prefix + ".exhausted");
-        metrics_->Add("store.exhausted.total");
+        metrics_->Add(prefix + ".retries");
+        metrics_->Add("store.retries.total");
       }
-      if (events_ != nullptr) {
-        events_->Emit(obs::EventLevel::kError, "storage",
-                      "store.retry_exhausted",
-                      {{"op", op},
-                       {"path", path},
-                       {"attempts", std::to_string(attempts)}},
-                      st.ToString());
+      clock->Advance(backoff);
+      if (metrics_ != nullptr) {
+        metrics_->Add("store.backoff_micros.total",
+                      static_cast<uint64_t>(backoff));
       }
-      break;
-    }
-    total_retries_.fetch_add(1);
-    if (metrics_ != nullptr) {
-      metrics_->Add(prefix + ".retries");
-      metrics_->Add("store.retries.total");
-    }
-    common::Micros backoff = BackoffFor(i);
-    if (clock_ != nullptr) clock_->Advance(backoff);
-    if (metrics_ != nullptr) {
-      metrics_->Add("store.backoff_micros.total",
-                    static_cast<uint64_t>(backoff));
     }
   }
   if (span.active()) {
     span.AddAttr("attempts", attempts);
-    span.AddAttr("retries", attempts - 1);
+    span.AddAttr("retries", attempts > 0 ? attempts - 1 : 0);
     if (!st.ok()) span.AddAttr("error", st.ToString());
   }
 
   if (metrics_ != nullptr) {
-    common::Micros end = clock_ != nullptr ? clock_->Now() : 0;
-    metrics_->Observe(prefix + ".latency_us", end - start);
-    if (!st.ok()) metrics_->Add(prefix + ".errors");
+    metrics_->Observe(prefix + ".latency_us", clock->Now() - start);
+    metrics_->Observe(prefix + ".attempts", attempts);
+    if (!st.ok()) {
+      metrics_->Add(prefix + ".errors");
+      if (st.IsDeadlineExceeded()) {
+        metrics_->Add("store.deadline_exceeded.total");
+      } else if (st.IsCancelled()) {
+        metrics_->Add("store.cancelled.total");
+      }
+    }
   }
   return st;
 }

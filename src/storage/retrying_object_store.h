@@ -48,7 +48,15 @@ struct RetryPolicy {
 /// Backoff waits are issued through the injected Clock (`Advance`), so
 /// virtual-time tests observe deterministic waits and real clocks can map
 /// them to sleeps. When `metrics` is non-null, per-operation counts,
-/// retries, exhaustions and latencies are recorded under "store.<op>.*".
+/// retries, exhaustions, attempts-per-op and latencies are recorded under
+/// "store.<op>.*"; with no injected clock a wall clock backs the accounting
+/// so it never silently reads 0.
+///
+/// Deadline-aware: the ambient `common::Deadline` (carried in the thread's
+/// TraceContext) is checked before the first attempt and before every
+/// retry; each backoff is capped at the remaining budget, and once the
+/// budget is burned the operation fails with DeadlineExceeded — a terminal
+/// code no layer retries.
 class RetryingObjectStore : public ObjectStore {
  public:
   /// `base`, `clock` and `metrics` must outlive this store; `metrics` may

@@ -10,6 +10,7 @@
 
 #include "catalog/mvcc.h"
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "lst/table_snapshot.h"
 
 namespace polaris::txn {
@@ -32,6 +33,11 @@ class Transaction {
   /// The underlying catalog transaction; the engine uses it for DDL and
   /// catalog reads so that logical metadata obeys the same isolation.
   catalog::MvccTransaction* catalog_txn() { return catalog_txn_.get(); }
+
+  /// Flips when an operator issues `KILL <txn_id>`. Sessions attach this
+  /// token to the statement deadline they install, making every
+  /// cooperative cancellation point on the statement's path observe it.
+  const common::CancelToken& cancel_token() const { return cancel_token_; }
 
   /// Tables this transaction has written (for post-commit notifications).
   std::vector<int64_t> dirty_tables() const {
@@ -65,6 +71,7 @@ class Transaction {
   std::unique_ptr<catalog::MvccTransaction> catalog_txn_;
   common::Micros begin_time_ = 0;
   bool finished_ = false;
+  common::CancelToken cancel_token_;
   std::map<int64_t, TableState> tables_;
 };
 

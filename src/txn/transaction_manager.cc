@@ -45,12 +45,17 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
     entry.begin_time = txn->begin_time_;
     entry.begin_seq = txn->catalog_txn_->begin_seq();
     entry.mode = mode;
+    txn->cancel_token_ = entry.cancel.token();
   }
   if (span.active()) span.AddAttr("txn_id", txn->id());
   // Stamp the transaction id into the ambient trace context so every span
   // (and log line) opened while this transaction runs carries it. The
   // enclosing statement/engine span restores the previous context on exit.
+  // The KILL token joins the ambient deadline for the same reason: every
+  // cancellation point downstream of Begin observes it.
   common::MutableCurrentTraceContext().txn_id = txn->id();
+  common::MutableCurrentTraceContext().deadline.set_token(
+      txn->cancel_token_);
   return txn;
 }
 
@@ -258,6 +263,17 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->finished_) {
     return Status::FailedPrecondition("transaction already finished");
   }
+  {
+    // A statement whose budget is already burned (or that was killed) must
+    // not start the validation phase; abort instead so the catalog
+    // transaction's intent locks are released and only discardable
+    // uncommitted blocks remain.
+    Status budget = common::CheckCurrentDeadline("txn.commit");
+    if (!budget.ok()) {
+      (void)Abort(txn);
+      return budget;
+    }
+  }
   obs::Span span("txn.commit");
   if (span.active()) {
     span.AddAttr("txn_id", txn->id());
@@ -351,6 +367,25 @@ Status TransactionManager::Abort(Transaction* txn) {
   return Status::OK();
 }
 
+Status TransactionManager::Kill(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) {
+      return Status::NotFound("no active transaction " +
+                              std::to_string(txn_id));
+    }
+    it->second.cancel.Cancel("killed by operator (KILL " +
+                             std::to_string(txn_id) + ")");
+  }
+  if (events_ != nullptr) {
+    events_->Emit(obs::EventLevel::kWarn, "txn", "txn.kill_requested",
+                  {{"txn_id", std::to_string(txn_id)}});
+  }
+  POLARIS_LOG(kInfo, "txn") << "KILL requested for transaction " << txn_id;
+  return Status::OK();
+}
+
 common::Micros TransactionManager::MinActiveBeginTime() const {
   std::lock_guard<std::mutex> lock(mu_);
   common::Micros min_time = clock_->Now();
@@ -387,6 +422,7 @@ std::vector<ActiveTxnInfo> TransactionManager::ActiveTransactionInfos() const {
     info.begin_time = entry.begin_time;
     info.begin_seq = entry.begin_seq;
     info.tables.assign(entry.tables.begin(), entry.tables.end());
+    info.cancel_requested = entry.cancel.cancelled();
     out.push_back(std::move(info));
   }
   return out;

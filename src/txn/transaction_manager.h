@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog_db.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "exec/dml.h"
 #include "lst/snapshot_builder.h"
@@ -46,6 +47,8 @@ struct ActiveTxnInfo {
   uint64_t begin_seq = 0;
   /// Tables whose snapshot this transaction has captured (reads + writes).
   std::vector<int64_t> tables;
+  /// True once a KILL was issued for this transaction.
+  bool cancel_requested = false;
 };
 
 /// One finished transaction in the bounded history ring (backs
@@ -131,6 +134,13 @@ class TransactionManager {
   /// for garbage collection.
   common::Status Abort(Transaction* txn);
 
+  /// `KILL <txn_id>`: flips the transaction's cancel token. The statement
+  /// driving the transaction observes the flip at its next cancellation
+  /// point, fails with Cancelled, and its session aborts the transaction —
+  /// Kill itself never mutates transaction state (the owning session is
+  /// single-threaded over it). NotFound when no such active transaction.
+  common::Status Kill(uint64_t txn_id);
+
   /// Earliest begin time among active transactions, or `clock->Now()` when
   /// none are active. The GC safety horizon for unreferenced files (§5.3).
   common::Micros MinActiveBeginTime() const;
@@ -179,6 +189,9 @@ class TransactionManager {
     uint64_t begin_seq = 0;
     catalog::IsolationMode mode = catalog::IsolationMode::kSnapshot;
     std::set<int64_t> tables;  // snapshot-captured tables
+    /// KILL target. Tokens handed to the Transaction/session keep the
+    /// shared state alive past the active_ erase.
+    common::CancelSource cancel;
   };
 
   mutable std::mutex mu_;

@@ -1,0 +1,546 @@
+// Request-lifecycle tests: statement deadlines, cooperative cancellation
+// (KILL), admission control under overload, and the storage circuit
+// breaker. The matrix exercises expiry at every interesting point — before
+// the statement starts, mid-retry inside the storage stack, mid-scan, and
+// mid-commit — plus KILL during DML with proof that the victim's locks are
+// released. Every blocked path must terminate; nothing may hang.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/trace_context.h"
+#include "engine/engine.h"
+#include "sql/session.h"
+#include "storage/circuit_breaker_store.h"
+#include "storage/fault_injection_store.h"
+#include "storage/memory_object_store.h"
+
+namespace polaris {
+namespace {
+
+using common::Status;
+
+void MustExecute(sql::SqlSession* session, const std::string& statement) {
+  auto result = session->Execute(statement);
+  ASSERT_TRUE(result.ok()) << statement << " -> "
+                           << result.status().ToString();
+}
+
+bool HasEvent(engine::PolarisEngine* engine, const std::string& name,
+              const std::string& field_value = "") {
+  for (const auto& rec : engine->events()->Snapshot()) {
+    if (rec.name != name) continue;
+    if (field_value.empty()) return true;
+    for (const auto& [key, value] : rec.fields) {
+      (void)key;
+      if (value == field_value) return true;
+    }
+  }
+  return false;
+}
+
+// --- Deadline / cancellation primitives ------------------------------------
+
+TEST(DeadlineTest, ChecksReportExpiryAndCancellation) {
+  common::SimClock clock(0);
+  common::Deadline unbounded;
+  EXPECT_FALSE(unbounded.bounded());
+  EXPECT_TRUE(unbounded.Check("op").ok());
+
+  common::Deadline d = common::Deadline::After(&clock, 100);
+  EXPECT_TRUE(d.Check("op").ok());
+  EXPECT_EQ(d.remaining_micros(), 100);
+  clock.Advance(100);
+  EXPECT_TRUE(d.Check("op").IsDeadlineExceeded());
+  EXPECT_EQ(d.remaining_micros(), 0);
+
+  // Cancellation wins ties: a killed statement reports Cancelled even
+  // after its deadline also passed.
+  common::CancelSource source;
+  common::Deadline both = common::Deadline::After(&clock, 0, source.token());
+  source.Cancel("killed by test");
+  Status st = both.Check("op");
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_NE(st.message().find("killed by test"), std::string::npos);
+}
+
+TEST(DeadlineTest, ExpiredBeforeStartStopsEngineWork) {
+  engine::PolarisEngine engine;
+  auto table = engine.CreateTable(
+      "t", format::Schema({{"k", format::ColumnType::kInt64}}));
+  ASSERT_TRUE(table.ok());
+
+  // Budget 0: expired before the statement issues any work. The engine's
+  // entry check fires before any storage traffic.
+  common::ScopedDeadline scoped(
+      common::Deadline::After(engine.clock(), 0));
+  format::RecordBatch rows(table->schema);
+  ASSERT_TRUE(rows.AppendRow({format::Value::Int64(1)}).ok());
+  Status st = engine.RunInTransaction([&](txn::Transaction* txn) {
+    return engine.Insert(txn, "t", rows).status();
+  });
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_TRUE(engine.txn_manager()->ActiveTransactionInfos().empty());
+}
+
+// --- Fault-injection latency (brownout) ------------------------------------
+
+TEST(FaultLatencyTest, InjectedLatencyAdvancesClockEvenOnFailure) {
+  storage::MemoryObjectStore base;
+  common::SimClock clock(0);
+  storage::FaultInjectionStore store(&base, /*seed=*/7, &clock);
+
+  storage::FaultPolicy policy;
+  policy.read_latency_micros = 1'000;
+  policy.write_latency_micros = 500;
+  store.set_policy(policy);
+
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(clock.Now(), 500);
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(clock.Now(), 1'500);
+  EXPECT_EQ(store.injected_latency_micros(), 1'500u);
+
+  // Heavy-tail mode: with probability 1 every op takes the straggler
+  // latency instead of its base latency.
+  policy.heavy_tail_probability = 1.0;
+  policy.heavy_tail_latency_micros = 50'000;
+  store.set_policy(policy);
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(clock.Now(), 51'500);
+
+  // Latency burns even when the op then fails: a browned-out service is
+  // slow first and unavailable second.
+  policy.read_failure_probability = 1.0;
+  policy.heavy_tail_probability = 0.0;
+  store.set_policy(policy);
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
+  EXPECT_EQ(clock.Now(), 52'500);
+}
+
+// --- Deadline vs the retry layer -------------------------------------------
+
+TEST(OverloadTest, DeadlineExpiresMidRetryNotRetriedFurther) {
+  engine::EngineOptions options;
+  options.storage_retry.max_attempts = 1'000;  // exhaustion never wins
+  options.storage_retry.initial_backoff_micros = 10'000;
+  engine::PolarisEngine engine(options);
+  sql::SqlSession session(&engine);
+
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+  MustExecute(&session, "INSERT INTO t VALUES (1)");
+
+  // Storage goes fully dark; the statement's 50ms budget is burned by
+  // retry backoff (virtual time) long before 1000 attempts.
+  storage::FaultPolicy dark;
+  dark.read_failure_probability = 1.0;
+  engine.fault_store()->set_policy(dark);
+
+  MustExecute(&session, "SET DEADLINE 50");
+  auto result = session.Execute("SELECT * FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+
+  // The terminal code is never retried and leaves audit counters.
+  auto snapshot = engine.MetricsSnapshot();
+  EXPECT_GE(snapshot.counter("store.deadline_exceeded.total"), 1u);
+  EXPECT_TRUE(HasEvent(&engine, "statement.killed"));
+
+  // Storage heals; the session deadline turns off; work resumes. No
+  // statement hung, nothing leaked.
+  engine.fault_store()->set_policy(storage::FaultPolicy{});
+  MustExecute(&session, "SET DEADLINE 0");
+  MustExecute(&session, "INSERT INTO t VALUES (2)");
+  EXPECT_TRUE(engine.txn_manager()->ActiveTransactionInfos().empty());
+}
+
+TEST(OverloadTest, DeadlineExpiresMidScanUnderBrownout) {
+  engine::PolarisEngine engine;
+  sql::SqlSession session(&engine);
+
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+  // Several files so the scan has multiple cancellation points.
+  for (int i = 0; i < 4; ++i) {
+    MustExecute(&session,
+                "INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+
+  // Brownout: every read takes 30ms of virtual time. A 50ms statement
+  // budget dies partway through the scan.
+  storage::FaultPolicy slow;
+  slow.read_latency_micros = 30'000;
+  engine.fault_store()->set_policy(slow);
+
+  MustExecute(&session, "SET DEADLINE 50");
+  auto result = session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_GT(engine.fault_store()->injected_latency_micros(), 0u);
+
+  engine.fault_store()->set_policy(storage::FaultPolicy{});
+  MustExecute(&session, "SET DEADLINE 0");
+  auto count = session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), 4);
+}
+
+TEST(OverloadTest, DeadlineExpiresMidCommitAbortsAndReleasesLocks) {
+  engine::EngineOptions options;
+  // Force commit-time storage IO: the fragmented transaction manifest is
+  // compacted (read + rewrite) on the COMMIT path.
+  options.txn_options.compact_manifest_blocks_above = 1;
+  engine::PolarisEngine engine(options);
+  sql::SqlSession session(&engine);
+
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+
+  // Storage ops take 40ms each: the INSERTs inside the transaction run
+  // with no deadline, then COMMIT under a 50ms budget burns it on the
+  // commit path's manifest compaction IO.
+  MustExecute(&session, "BEGIN");
+  MustExecute(&session, "INSERT INTO t VALUES (1)");
+  MustExecute(&session, "INSERT INTO t VALUES (2)");
+  MustExecute(&session, "INSERT INTO t VALUES (3)");
+
+  storage::FaultPolicy slow;
+  slow.write_latency_micros = 40'000;
+  slow.read_latency_micros = 40'000;
+  engine.fault_store()->set_policy(slow);
+  MustExecute(&session, "SET DEADLINE 50");
+
+  auto commit = session.Execute("COMMIT");
+  ASSERT_FALSE(commit.ok());
+  EXPECT_TRUE(commit.status().IsDeadlineExceeded())
+      << commit.status().ToString();
+  EXPECT_FALSE(session.in_transaction());
+  // The aborted transaction released everything: no active entries, and a
+  // second writer can immediately commit to the same table.
+  EXPECT_TRUE(engine.txn_manager()->ActiveTransactionInfos().empty());
+
+  engine.fault_store()->set_policy(storage::FaultPolicy{});
+  sql::SqlSession other(&engine);
+  MustExecute(&other, "INSERT INTO t VALUES (2)");
+  auto count = other.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), 1);  // only the new row
+}
+
+// --- KILL ------------------------------------------------------------------
+
+TEST(OverloadTest, KillDuringDmlAbortsVictimAndReleasesLocks) {
+  engine::PolarisEngine engine;
+  sql::SqlSession victim(&engine);
+  sql::SqlSession operator_session(&engine);
+
+  MustExecute(&victim, "CREATE TABLE t (k BIGINT)");
+  MustExecute(&victim, "BEGIN");
+  MustExecute(&victim, "INSERT INTO t VALUES (1)");
+
+  auto active = engine.txn_manager()->ActiveTransactionInfos();
+  ASSERT_EQ(active.size(), 1u);
+  const uint64_t txn_id = active[0].txn_id;
+
+  // The operator kills from another session; the flip is visible in
+  // sys.dm_tran_active before the victim even notices.
+  MustExecute(&operator_session, "KILL " + std::to_string(txn_id));
+  auto flagged = operator_session.Execute(
+      "SELECT cancel_requested FROM sys.dm_tran_active WHERE txn_id = " +
+      std::to_string(txn_id));
+  ASSERT_TRUE(flagged.ok());
+  ASSERT_EQ(flagged->batch.num_rows(), 1u);
+  EXPECT_EQ(flagged->batch.column(0).Int64At(0), 1);
+
+  // The victim's next statement observes the token, fails Cancelled, and
+  // the session auto-aborts the transaction (locks released).
+  auto update = victim.Execute("UPDATE t SET k = 2 WHERE k = 1");
+  ASSERT_FALSE(update.ok());
+  EXPECT_TRUE(update.status().IsCancelled()) << update.status().ToString();
+  EXPECT_FALSE(victim.in_transaction());
+  EXPECT_TRUE(engine.txn_manager()->ActiveTransactionInfos().empty());
+  EXPECT_TRUE(HasEvent(&engine, "txn.kill_requested"));
+  EXPECT_TRUE(HasEvent(&engine, "statement.killed"));
+
+  // Uncommitted work is discarded; another writer proceeds immediately.
+  MustExecute(&operator_session, "INSERT INTO t VALUES (10)");
+  auto count = operator_session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), 1);
+
+  // The victim's trailing COMMIT reports the rollback, Cancelled.
+  auto commit = victim.Execute("COMMIT");
+  EXPECT_TRUE(commit.status().IsCancelled()) << commit.status().ToString();
+
+  // KILLing a transaction that no longer exists is NotFound.
+  auto gone = operator_session.Execute("KILL " + std::to_string(txn_id));
+  EXPECT_TRUE(gone.status().IsNotFound());
+}
+
+// --- Admission control -----------------------------------------------------
+
+TEST(OverloadTest, AdmissionShedsOverloadWithoutHangingStatements) {
+  engine::EngineOptions options;
+  options.admission.max_concurrent = 2;
+  options.admission.max_queue = 2;
+  options.admission.queue_timeout_micros = 200'000;  // wall time
+  options.admission.retry_after_micros = 10'000;
+  engine::PolarisEngine engine(options);
+
+  {
+    sql::SqlSession setup(&engine);
+    MustExecute(&setup, "CREATE TABLE t (k BIGINT)");
+  }
+
+  // 4x overload: 8 sessions hammer a 2-slot engine. Every statement must
+  // terminate as committed or shed — zero hung statements.
+  constexpr int kThreads = 8;
+  constexpr int kStatementsPerThread = 10;
+  std::atomic<int> committed{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&engine, &committed, &shed, &unexpected, w] {
+      sql::SqlSession session(&engine);
+      for (int i = 0; i < kStatementsPerThread; ++i) {
+        int value = w * kStatementsPerThread + i;
+        auto result = session.Execute("INSERT INTO t VALUES (" +
+                                      std::to_string(value) + ")");
+        if (result.ok()) {
+          ++committed;
+        } else if (result.status().IsUnavailable()) {
+          ++shed;
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(committed.load() + shed.load(),
+            kThreads * kStatementsPerThread);
+  EXPECT_GT(committed.load(), 0);
+
+  auto stats = engine.admission()->stats();
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  // +1: the setup CREATE TABLE was admitted too.
+  EXPECT_EQ(stats.admitted_total,
+            static_cast<uint64_t>(committed.load()) + 1);
+
+  // Committed statements really landed.
+  sql::SqlSession check(&engine);
+  auto count = check.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0).Int64At(0), committed.load());
+
+  // sys.dm_admission reflects the same counters (not gated, so it works
+  // even on a saturated engine).
+  auto view = check.Execute(
+      "SELECT admitted_total, shed_queue_full FROM sys.dm_admission");
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->batch.num_rows(), 1u);
+  // +2: the setup CREATE TABLE and the COUNT(*) above were admitted too.
+  EXPECT_EQ(view->batch.column(0).Int64At(0), committed.load() + 2);
+  if (shed.load() > 0) {
+    EXPECT_TRUE(HasEvent(&engine, "statement.shed"));
+    EXPECT_GE(engine.MetricsSnapshot().counter("admission.shed.total"), 1u);
+  }
+}
+
+TEST(OverloadTest, ShedCarriesRetryAfterHint) {
+  engine::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;  // no queue: concurrent arrivals shed instantly
+  options.retry_after_micros = 123'000;
+  engine::AdmissionController admission(options);
+
+  common::Deadline unbounded;
+  auto first = admission.Admit(unbounded, "INSERT");
+  ASSERT_TRUE(first.ok());
+  auto second = admission.Admit(unbounded, "INSERT");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsUnavailable());
+  EXPECT_NE(second.status().message().find("retry after 123000us"),
+            std::string::npos)
+      << second.status().ToString();
+  EXPECT_EQ(admission.stats().shed_queue_full, 1u);
+
+  first->Release();
+  auto third = admission.Admit(unbounded, "INSERT");
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(OverloadTest, QueuedStatementLeavesOnKill) {
+  engine::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 4;
+  options.queue_timeout_micros = 60'000'000;  // long: cancellation must win
+  engine::AdmissionController admission(options);
+
+  common::Deadline unbounded;
+  auto slot = admission.Admit(unbounded, "INSERT");
+  ASSERT_TRUE(slot.ok());
+
+  common::CancelSource kill;
+  common::Deadline cancellable =
+      common::Deadline::CancellableOnly(kill.token());
+  std::atomic<bool> done{false};
+  Status queued_outcome;
+  std::thread waiter([&] {
+    auto result = admission.Admit(cancellable, "SELECT");
+    queued_outcome = result.status();
+    done = true;
+  });
+  // Let the waiter queue up, then kill it; it must return promptly.
+  while (admission.stats().queued == 0) std::this_thread::yield();
+  kill.Cancel("killed by operator");
+  waiter.join();
+  ASSERT_TRUE(done.load());
+  EXPECT_TRUE(queued_outcome.IsCancelled()) << queued_outcome.ToString();
+  EXPECT_EQ(admission.stats().cancelled_in_queue, 1u);
+}
+
+// --- Circuit breaker -------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensHalfOpensAndClosesAgain) {
+  storage::MemoryObjectStore base;
+  common::SimClock clock(0);
+  storage::FaultInjectionStore faults(&base, /*seed=*/3, &clock);
+  obs::MetricsRegistry metrics;
+  obs::EventLog events(&clock, 128);
+
+  storage::CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_duration_micros = 1'000;
+  options.half_open_probes = 1;
+  storage::CircuitBreakerStore breaker(&faults, &clock, options);
+  breaker.set_metrics(&metrics);
+  breaker.set_event_log(&events);
+  ASSERT_TRUE(breaker.enabled());
+
+  ASSERT_TRUE(base.Put("k", "v").ok());
+
+  // Two consecutive infrastructure failures trip the breaker.
+  storage::FaultPolicy dark;
+  dark.read_failure_probability = 1.0;
+  faults.set_policy(dark);
+  EXPECT_TRUE(breaker.Get("k").status().IsUnavailable());
+  EXPECT_EQ(breaker.state(), storage::CircuitBreakerStore::State::kClosed);
+  EXPECT_TRUE(breaker.Get("k").status().IsUnavailable());
+  EXPECT_EQ(breaker.state(), storage::CircuitBreakerStore::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+
+  // Open: fail fast, no storage traffic reaches the faulty layer.
+  uint64_t faults_before = faults.injected_failures();
+  auto fast = breaker.Get("k");
+  EXPECT_TRUE(fast.status().IsUnavailable());
+  EXPECT_NE(fast.status().message().find("circuit breaker open"),
+            std::string::npos)
+      << fast.status().ToString();
+  EXPECT_EQ(faults.injected_failures(), faults_before);
+  EXPECT_EQ(breaker.fast_failures(), 1u);
+
+  // Open duration elapses; storage healed; the half-open probe succeeds
+  // and the breaker closes.
+  clock.Advance(options.open_duration_micros);
+  faults.set_policy(storage::FaultPolicy{});
+  auto probe = breaker.Get("k");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(*probe, "v");
+  EXPECT_EQ(breaker.state(), storage::CircuitBreakerStore::State::kClosed);
+
+  // The full transition history is on the event log.
+  std::vector<std::string> transitions;
+  for (const auto& rec : events.Snapshot()) {
+    if (rec.name != "breaker.transition") continue;
+    std::string from_to;
+    for (const auto& [key, value] : rec.fields) {
+      if (key == "from" || key == "to") {
+        from_to += (from_to.empty() ? "" : "->") + value;
+      }
+    }
+    transitions.push_back(from_to);
+  }
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], "closed->open");
+  EXPECT_EQ(transitions[1], "open->half_open");
+  EXPECT_EQ(transitions[2], "half_open->closed");
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  storage::MemoryObjectStore base;
+  common::SimClock clock(0);
+  storage::FaultInjectionStore faults(&base, /*seed=*/3, &clock);
+  storage::CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_micros = 1'000;
+  storage::CircuitBreakerStore breaker(&faults, &clock, options);
+
+  ASSERT_TRUE(base.Put("k", "v").ok());
+  storage::FaultPolicy dark;
+  dark.read_failure_probability = 1.0;
+  faults.set_policy(dark);
+
+  EXPECT_TRUE(breaker.Get("k").status().IsUnavailable());
+  EXPECT_EQ(breaker.state(), storage::CircuitBreakerStore::State::kOpen);
+  clock.Advance(options.open_duration_micros);
+  // Probe goes through, still dark: straight back to open.
+  EXPECT_TRUE(breaker.Get("k").status().IsUnavailable());
+  EXPECT_EQ(breaker.state(), storage::CircuitBreakerStore::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreakerTest, EngineBreakerTripsUnderBrownoutAndReports) {
+  engine::EngineOptions options;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_duration_micros = 1'000'000;
+  options.storage_retry.max_attempts = 2;
+  engine::PolarisEngine engine(options);
+  sql::SqlSession session(&engine);
+
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+  MustExecute(&session, "INSERT INTO t VALUES (1)");
+
+  storage::FaultPolicy dark;
+  dark.read_failure_probability = 1.0;
+  dark.write_failure_probability = 1.0;
+  engine.fault_store()->set_policy(dark);
+
+  // Post-retry failures accumulate until the breaker opens; further
+  // statements fail fast without hammering storage.
+  for (int i = 0; i < 4; ++i) {
+    auto result = session.Execute("SELECT COUNT(*) FROM t");
+    ASSERT_FALSE(result.ok());
+  }
+  EXPECT_EQ(engine.circuit_breaker()->state(),
+            storage::CircuitBreakerStore::State::kOpen);
+  EXPECT_GT(engine.circuit_breaker()->fast_failures(), 0u);
+  EXPECT_TRUE(HasEvent(&engine, "breaker.transition", "open"));
+
+  // The breaker state is a gauge feeding sys.dm_health.
+  engine.SampleObservabilityOnce();
+  auto health = session.Execute(
+      "SELECT status FROM sys.dm_health WHERE rule = "
+      "'storage-circuit-breaker'");
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health->batch.num_rows(), 1u);
+  EXPECT_EQ(health->batch.column(0).StringAt(0), "FAIL");
+
+  // Attempts-per-op histogram records the retry shape (satellite:
+  // deterministic backoff accounting even without an injected clock).
+  auto snapshot = engine.MetricsSnapshot();
+  EXPECT_GT(snapshot.histograms.at("store.get.attempts").count, 0u);
+}
+
+}  // namespace
+}  // namespace polaris
