@@ -246,9 +246,8 @@ Result<CatalogJournal::RecoveredState> CatalogJournal::Recover() {
   return state;
 }
 
-Status CatalogJournal::Append(
-    uint64_t commit_seq,
-    const std::map<std::string, std::optional<std::string>>& writes) {
+Status CatalogJournal::AppendBatch(const std::vector<CommitRecord>& records) {
+  if (records.empty()) return Status::OK();
   // Wall latency of the durability point (staging + ETag commit), the SLO
   // the health watchdog tracks; timed on the real clock because the
   // engine's sim clock only advances on injected waits.
@@ -262,7 +261,7 @@ Status CatalogJournal::Append(
   POLARIS_CRASH_POINT(common::crash::kJournalAppendBefore);
   if (active_segment_.empty() ||
       active_records_ >= options_.records_per_segment) {
-    active_segment_ = SegmentPath(commit_seq);
+    active_segment_ = SegmentPath(records.front().commit_seq);
     active_ids_.clear();
     active_generation_ = 0;
     active_records_ = 0;
@@ -270,24 +269,37 @@ Status CatalogJournal::Append(
     if (metrics_ != nullptr) metrics_->Add("catalog.journal.segments");
   }
 
-  std::string record = EncodeRecord(commit_seq, writes);
-  // A torn append durably commits only a prefix of the record — the
-  // checksum/length framing must reject it on replay.
+  // Stage every record, then commit the block list once: the whole batch
+  // reaches its durability point in a single object-store write.
+  //
+  // A torn append durably commits only a prefix of the last record — the
+  // checksum/length framing must reject it on replay while everything
+  // before it in the batch survives.
   bool torn = common::CrashPoints::Fire(common::crash::kJournalAppendTorn);
-  std::string block_id = "r" + Pad20(commit_seq);
-  Status st = store_->StageBlock(
-      active_segment_, block_id,
-      torn ? record.substr(0, record.size() / 2) : record);
+  std::vector<std::string> ids = active_ids_;
+  uint64_t batch_bytes = 0;
+  Status st = Status::OK();
+  for (size_t i = 0; i < records.size() && st.ok(); ++i) {
+    std::string record =
+        EncodeRecord(records[i].commit_seq, *records[i].writes);
+    bool maim = torn && i + 1 == records.size();
+    std::string block_id = "r" + Pad20(records[i].commit_seq);
+    st = store_->StageBlock(
+        active_segment_, block_id,
+        maim ? record.substr(0, record.size() / 2) : record);
+    if (st.ok()) {
+      ids.push_back(block_id);
+      batch_bytes += record.size();
+    }
+  }
   if (st.ok()) {
-    std::vector<std::string> ids = active_ids_;
-    ids.push_back(block_id);
     // ETag-guarded: succeeds only when nobody else extended (or created)
     // this segment since our last append — single-writer enforcement.
     st = store_->CommitBlockListIf(active_segment_, ids, active_generation_);
     if (st.ok()) {
       active_ids_ = std::move(ids);
       active_generation_++;
-      active_records_++;
+      active_records_ += records.size();
     }
   }
   if (!st.ok()) {
@@ -297,18 +309,21 @@ Status CatalogJournal::Append(
     poisoned_ = true;
     return st;
   }
-  last_appended_seq_ = commit_seq;
-  records_appended_++;
-  bytes_appended_ += record.size();
-  records_since_checkpoint_++;
+  last_appended_seq_ = records.back().commit_seq;
+  records_appended_ += records.size();
+  bytes_appended_ += batch_bytes;
+  records_since_checkpoint_ += records.size();
   if (metrics_ != nullptr) {
     metrics_->Add("catalog.journal.appends");
-    metrics_->Add("catalog.journal.bytes", record.size());
+    metrics_->Add("catalog.journal.records", records.size());
+    metrics_->Add("catalog.journal.bytes", batch_bytes);
     metrics_->Observe(
         "catalog.journal.append_us",
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - wall_start)
             .count());
+    metrics_->Observe("catalog.journal.batch_records",
+                      static_cast<common::Micros>(records.size()));
   }
   if (torn) {
     poisoned_ = true;
@@ -316,14 +331,20 @@ Status CatalogJournal::Append(
                             common::crash::kJournalAppendTorn);
   }
   if (common::CrashPoints::Fire(common::crash::kJournalAppendAfterCommit)) {
-    // The record IS durable; the process dies before acknowledging. The
-    // transaction will be visible after reopen even though the client
+    // The batch IS durable; the process dies before acknowledging. The
+    // transactions will be visible after reopen even though the clients
     // saw an error — the classic lost-ack outcome.
     poisoned_ = true;
     return Status::Internal(std::string("crash point fired: ") +
                             common::crash::kJournalAppendAfterCommit);
   }
   return Status::OK();
+}
+
+Status CatalogJournal::Append(
+    uint64_t commit_seq,
+    const std::map<std::string, std::optional<std::string>>& writes) {
+  return AppendBatch({CommitRecord{commit_seq, &writes}});
 }
 
 Status CatalogJournal::WriteCheckpoint(

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/mvcc.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -78,11 +79,19 @@ class CatalogJournal {
   /// Calling Recover again yields an identical RecoveredState.
   common::Result<RecoveredState> Recover();
 
-  /// Durably appends one committed catalog transaction (wired as the
-  /// MvccStore commit listener, so it runs under the commit lock with
-  /// monotonically increasing `commit_seq`). After any failure the
-  /// journal fails closed: the blob tail is in an unknown state, so all
-  /// further Appends are refused until the database is reopened.
+  /// Durably appends a batch of sequenced catalog commits (ascending
+  /// commit_seq) as one object-store write: every record is staged, then
+  /// a single ETag-guarded block-list commit is the durability point for
+  /// the whole batch. Wired as the MvccStore commit listener, so it is
+  /// called by the group-commit leader with mutually increasing
+  /// sequences; a batch may overfill the active segment past
+  /// records_per_segment (the roll decision is per batch). After any
+  /// failure the journal fails closed: the blob tail is in an unknown
+  /// state, so all further appends are refused until the database is
+  /// reopened.
+  common::Status AppendBatch(const std::vector<CommitRecord>& records);
+
+  /// Single-record convenience wrapper around AppendBatch.
   common::Status Append(
       uint64_t commit_seq,
       const std::map<std::string, std::optional<std::string>>& writes);

@@ -1,11 +1,52 @@
 #include "catalog/mvcc.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/crashpoint.h"
+#include "common/trace_context.h"
 
 namespace polaris::catalog {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+/// How many installed commits the gate keeps around (seq + written keys)
+/// for serializable read re-validation. A pre-validation older than the
+/// ring falls back to a full rescan of the read set.
+constexpr size_t kRecentCommitCap = 256;
+
+/// Overlays `writes` restricted to `prefix` onto the sorted (key, value)
+/// vector `out`: values replace or insert, tombstones erase.
+void OverlayPrefix(
+    std::vector<std::pair<std::string, std::string>>* out,
+    const std::map<std::string, std::optional<std::string>>& writes,
+    const std::string& prefix) {
+  for (auto it = writes.lower_bound(prefix); it != writes.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    auto pos = std::lower_bound(
+        out->begin(), out->end(), it->first,
+        [](const auto& pair, const std::string& key) {
+          return pair.first < key;
+        });
+    bool exists = pos != out->end() && pos->first == it->first;
+    if (it->second.has_value()) {
+      if (exists) {
+        pos->second = *it->second;
+      } else {
+        out->insert(pos, {it->first, *it->second});
+      }
+    } else if (exists) {
+      out->erase(pos);
+    }
+  }
+}
+
+}  // namespace
 
 std::string_view IsolationModeName(IsolationMode mode) {
   switch (mode) {
@@ -84,25 +125,7 @@ Result<std::vector<std::pair<std::string, std::string>>> MvccStore::Scan(
     }
   }
   // Overlay own writes (and drop own deletes).
-  for (auto it = txn->writes_.lower_bound(prefix); it != txn->writes_.end();
-       ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    auto pos = std::lower_bound(
-        out.begin(), out.end(), it->first,
-        [](const auto& pair, const std::string& key) {
-          return pair.first < key;
-        });
-    bool exists = pos != out.end() && pos->first == it->first;
-    if (it->second.has_value()) {
-      if (exists) {
-        pos->second = *it->second;
-      } else {
-        out.insert(pos, {it->first, *it->second});
-      }
-    } else if (exists) {
-      out.erase(pos);
-    }
-  }
+  OverlayPrefix(&out, txn->writes_, prefix);
   return out;
 }
 
@@ -125,59 +148,88 @@ Status MvccStore::Delete(MvccTransaction* txn, const std::string& key) {
 
 std::optional<std::string> MvccStore::CommitContext::ReadLatest(
     const std::string& key) const {
-  // Called under commit_mu_; mu_ still guards rows_.
-  std::lock_guard<std::mutex> lock(store_->mu_);
-  // Own pending writes win (including hook-added ones).
+  // Own writes win: hook-staged first, then the transaction's.
+  auto staged = staged_.find(key);
+  if (staged != staged_.end()) return staged->second;
   auto write = txn_->writes_.find(key);
   if (write != txn_->writes_.end()) return write->second;
+  // Commits sequenced ahead of us but still waiting on their durability
+  // batch are logically committed before us; newest wins.
+  {
+    std::lock_guard<std::mutex> lock(store_->commit_mu_);
+    for (auto it = store_->pending_.rbegin(); it != store_->pending_.rend();
+         ++it) {
+      auto w = (*it)->writes.find(key);
+      if (w != (*it)->writes.end()) return w->second;
+    }
+  }
+  std::lock_guard<std::mutex> lock(store_->mu_);
   return store_->GetAtLocked(key, store_->commit_seq_);
 }
 
 std::vector<std::pair<std::string, std::string>>
 MvccStore::CommitContext::ScanLatest(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(store_->mu_);
   std::vector<std::pair<std::string, std::string>> out;
-  for (auto it = store_->rows_.lower_bound(prefix); it != store_->rows_.end();
-       ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    auto value = store_->GetAtLocked(it->first, store_->commit_seq_);
-    if (value) out.emplace_back(it->first, std::move(*value));
-  }
-  for (auto it = txn_->writes_.lower_bound(prefix); it != txn_->writes_.end();
-       ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    auto pos = std::lower_bound(
-        out.begin(), out.end(), it->first,
-        [](const auto& pair, const std::string& key) {
-          return pair.first < key;
-        });
-    bool exists = pos != out.end() && pos->first == it->first;
-    if (it->second.has_value()) {
-      if (exists) {
-        pos->second = *it->second;
-      } else {
-        out.insert(pos, {it->first, *it->second});
-      }
-    } else if (exists) {
-      out.erase(pos);
+  {
+    std::lock_guard<std::mutex> lock(store_->mu_);
+    for (auto it = store_->rows_.lower_bound(prefix);
+         it != store_->rows_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      auto value = store_->GetAtLocked(it->first, store_->commit_seq_);
+      if (value) out.emplace_back(it->first, std::move(*value));
     }
   }
+  {
+    // Overlay sequenced-but-uninstalled commits in sequence order, so a
+    // hook assigning manifest sequence ids sees the ids already claimed
+    // by commits queued ahead of it.
+    std::lock_guard<std::mutex> lock(store_->commit_mu_);
+    for (const auto& entry : store_->pending_) {
+      OverlayPrefix(&out, entry->writes, prefix);
+    }
+  }
+  OverlayPrefix(&out, txn_->writes_, prefix);
+  OverlayPrefix(&out, staged_, prefix);
   return out;
 }
 
 void MvccStore::CommitContext::Write(const std::string& key,
                                      std::string value) {
-  txn_->writes_[key] = std::move(value);
+  staged_[key] = std::move(value);
 }
 
-Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
-  if (txn->finished_) {
-    return Status::FailedPrecondition("transaction already finished");
+Status MvccStore::ValidateReadsAgainstRowsLocked(
+    const MvccTransaction* txn) const {
+  auto invalidated = [&](const std::string& key) {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) return false;
+    const Version& last = it->second.back();
+    return last.created_seq > txn->begin_seq_ ||
+           last.deleted_seq > txn->begin_seq_;
+  };
+  for (const auto& key : txn->read_keys_) {
+    if (invalidated(key)) {
+      return Status::Conflict("serializable read conflict on key: " + key);
+    }
   }
-  // The commit lock (§4.1.2 step 2): commits are totally ordered.
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  for (const auto& prefix : txn->read_prefixes_) {
+    for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      if (invalidated(it->first)) {
+        return Status::Conflict("serializable range conflict at key: " +
+                                it->first);
+      }
+    }
+  }
+  return Status::OK();
+}
 
-  // --- Validation ---------------------------------------------------------
+Status MvccStore::ValidateForSequencing(MvccTransaction* txn,
+                                        uint64_t observed_seq) {
+  const bool check_reads =
+      txn->mode_ == IsolationMode::kSerializable &&
+      (!txn->read_keys_.empty() || !txn->read_prefixes_.empty());
+  std::lock_guard<std::mutex> plk(commit_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // First-committer-wins on the write set: if any written key has a
@@ -190,7 +242,6 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
       for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
         if (v->created_seq > txn->begin_seq_ ||
             v->deleted_seq > txn->begin_seq_) {
-          txn->finished_ = true;
           return Status::Conflict("write-write conflict on key: " + key);
         }
         // Versions are ordered; once we see one at/below the snapshot we
@@ -198,82 +249,325 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
         if (v->created_seq <= txn->begin_seq_) break;
       }
     }
-    if (txn->mode_ == IsolationMode::kSerializable) {
-      auto invalidated = [&](const std::string& key) {
-        auto it = rows_.find(key);
-        if (it == rows_.end()) return false;
-        const Version& last = it->second.back();
-        return last.created_seq > txn->begin_seq_ ||
-               last.deleted_seq > txn->begin_seq_;
-      };
-      for (const auto& key : txn->read_keys_) {
-        if (invalidated(key)) {
-          txn->finished_ = true;
+    // The ring covers (recent_trimmed_to_, commit_seq_]; if the gate's
+    // pre-validation is older than that, rescan the read set against the
+    // installed store (rare: the store moved more than kRecentCommitCap
+    // commits while this committer queued).
+    if (check_reads && observed_seq < recent_trimmed_to_) {
+      stat_revalidation_fallbacks_++;
+      POLARIS_RETURN_IF_ERROR(ValidateReadsAgainstRowsLocked(txn));
+      observed_seq = commit_seq_;
+    }
+  }
+  // First-committer-wins against commits sequenced but not yet installed:
+  // every pending sequence is newer than any live snapshot, so overlap is
+  // a conflict outright. (A pending commit whose batch later fails makes
+  // this a false positive — conservative, never unsound.)
+  for (const auto& entry : pending_) {
+    for (const auto& [key, value] : txn->writes_) {
+      (void)value;
+      if (entry->writes.count(key) != 0) {
+        return Status::Conflict("write-write conflict on key: " + key);
+      }
+    }
+  }
+  if (check_reads) {
+    std::unordered_set<std::string_view> read_keys(txn->read_keys_.begin(),
+                                                   txn->read_keys_.end());
+    auto touches = [&](const std::string& key) {
+      if (read_keys.count(key) != 0) return true;
+      for (const auto& prefix : txn->read_prefixes_) {
+        if (key.compare(0, prefix.size(), prefix) == 0) return true;
+      }
+      return false;
+    };
+    // Installed after the pre-validation observed the store...
+    for (auto it = recent_commits_.rbegin();
+         it != recent_commits_.rend() && it->first > observed_seq; ++it) {
+      for (const auto& key : it->second) {
+        if (touches(key)) {
           return Status::Conflict("serializable read conflict on key: " + key);
         }
       }
-      for (const auto& prefix : txn->read_prefixes_) {
-        for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
-          if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-          if (invalidated(it->first)) {
-            txn->finished_ = true;
-            return Status::Conflict("serializable range conflict at key: " +
-                                    it->first);
-          }
+    }
+    // ...or sequenced and still queued for durability.
+    for (const auto& entry : pending_) {
+      for (const auto& [key, value] : entry->writes) {
+        (void)value;
+        if (touches(key)) {
+          return Status::Conflict("serializable read conflict on key: " + key);
         }
       }
     }
   }
+  return Status::OK();
+}
 
-  // --- Commit hook (sequence assignment etc.) ------------------------------
-  uint64_t commit_seq;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    commit_seq = commit_seq_ + 1;
-  }
-  if (hook) {
-    CommitContext ctx(this, txn, commit_seq);
-    Status st = hook(&ctx);
-    if (!st.ok()) {
-      txn->finished_ = true;
-      return st;
-    }
-  }
+void MvccStore::FlushRoundLocked(std::unique_lock<std::mutex>& lk) {
+  flush_in_progress_ = true;
+  std::vector<std::shared_ptr<CommitEntry>> batch;
+  batch.swap(queue_);
+  const CommitListener& listener = commit_listener_;
+  lk.unlock();
 
-  // --- Durability (write-ahead) --------------------------------------------
-  // The journal append is the durability point: once the listener returns
-  // OK the commit is recoverable; if it fails nothing was installed and
-  // the commit sequence is not consumed, so the store state matches what
-  // a post-crash recovery would reconstruct.
-  if (commit_listener_) {
-    Status st = commit_listener_(commit_seq, txn->writes_);
-    if (!st.ok()) {
-      txn->finished_ = true;
-      return st;
-    }
+  const auto wall_start = std::chrono::steady_clock::now();
+  Status st = Status::OK();
+  if (common::CrashPoints::Fire(common::crash::kCommitBatchFormed)) {
+    // Crash before the durability point: nothing in this batch reached
+    // the journal, so recovery must not observe any of it.
+    st = Status::Internal(std::string("crash point fired: ") +
+                          common::crash::kCommitBatchFormed);
   }
-
-  // --- Install -------------------------------------------------------------
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    commit_seq_ = commit_seq;
-    for (auto& [key, value] : txn->writes_) {
-      auto& chain = rows_[key];
-      if (!chain.empty() && chain.back().deleted_seq == 0) {
-        chain.back().deleted_seq = commit_seq;
+  bool durable = false;
+  if (st.ok()) {
+    if (listener) {
+      // The batch's durability must not ride one member's statement
+      // budget: the leader flushes under a neutral deadline, and a
+      // cancelled member detaches at the barrier instead of cancelling
+      // the shared append.
+      common::ScopedDeadline neutral{common::Deadline()};
+      std::vector<CommitRecord> records;
+      records.reserve(batch.size());
+      for (const auto& entry : batch) {
+        records.push_back({entry->seq, &entry->writes});
       }
-      if (value.has_value()) {
-        Version v;
-        v.value = std::move(*value);
-        v.created_seq = commit_seq;
-        chain.push_back(std::move(v));
-      } else if (chain.empty()) {
-        rows_.erase(key);  // delete of a never-existing key: no-op
+      st = listener(records);
+    }
+    durable = st.ok();
+  }
+  bool installed = false;
+  if (durable && common::CrashPoints::Fire(common::crash::kCommitBatchAppended)) {
+    // The batch IS durable but the process dies before install: the
+    // in-memory catalog is now behind the journal, so the pipeline fails
+    // closed (reopen recovers the batch from the journal).
+    st = Status::Internal(std::string("crash point fired: ") +
+                          common::crash::kCommitBatchAppended);
+  } else if (durable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : batch) {
+      for (const auto& [key, value] : entry->writes) {
+        auto& chain = rows_[key];
+        if (!chain.empty() && chain.back().deleted_seq == 0) {
+          chain.back().deleted_seq = entry->seq;
+        }
+        if (value.has_value()) {
+          Version v;
+          v.value = *value;
+          v.created_seq = entry->seq;
+          chain.push_back(std::move(v));
+        } else if (chain.empty()) {
+          rows_.erase(key);  // delete of a never-existing key: no-op
+        }
+      }
+      commit_seq_ = entry->seq;
+    }
+    installed = true;
+    if (common::CrashPoints::Fire(common::crash::kCommitBatchInstalled)) {
+      // Durable AND installed; only the acknowledgement is lost — the
+      // classic lost-ack outcome, reported as an error to every waiter.
+      st = Status::Internal(std::string("crash point fired: ") +
+                            common::crash::kCommitBatchInstalled);
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("catalog.commit.batches");
+    metrics_->Observe("catalog.commit.batch_records",
+                      static_cast<int64_t>(batch.size()));
+    metrics_->Observe(
+        "catalog.commit.flush_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    if (installed) {
+      metrics_->Add("catalog.commit.committed", batch.size());
+    }
+  }
+
+  lk.lock();
+  if (durable && !installed) pipeline_poisoned_ = true;
+  for (const auto& entry : batch) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), entry),
+                   pending_.end());
+    if (installed) {
+      std::vector<std::string> keys;
+      keys.reserve(entry->writes.size());
+      for (const auto& [key, value] : entry->writes) {
+        (void)value;
+        keys.push_back(key);
+      }
+      recent_commits_.emplace_back(entry->seq, std::move(keys));
+    }
+    entry->status = st;
+    entry->done = true;
+  }
+  while (recent_commits_.size() > kRecentCommitCap) {
+    recent_trimmed_to_ = recent_commits_.front().first;
+    recent_commits_.pop_front();
+  }
+  stat_batches_++;
+  stat_batch_records_ += batch.size();
+  stat_max_batch_ = std::max<uint64_t>(stat_max_batch_, batch.size());
+  if (installed) {
+    stat_commits_ += batch.size();
+  } else {
+    stat_flush_failures_++;
+  }
+  flush_in_progress_ = false;
+  flush_cv_.notify_all();
+}
+
+Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
+  if (txn->finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  // Benchmark baseline: one lock across the whole commit, IO included.
+  std::unique_lock<std::mutex> serial_lk;
+  if (serial_commit_.load(std::memory_order_relaxed)) {
+    serial_lk = std::unique_lock<std::mutex>(serial_gate_);
+  }
+  const common::Deadline deadline = common::CurrentDeadline();
+  if (deadline.bounded()) {
+    // A commit whose budget is already spent must not enter the gate at
+    // all: fail fast instead of occupying a sequencing slot it would only
+    // detach from.
+    Status early = deadline.Check("catalog.commit");
+    if (!early.ok()) {
+      txn->finished_ = true;
+      return early;
+    }
+  }
+
+  // --- Pre-validation (outside the gate) ----------------------------------
+  // Serializable read sets can be arbitrarily wide (prefix scans), so the
+  // O(matching rows) walk happens here against the installed store; the
+  // gate then re-validates only what changed after `observed_seq`, using
+  // the recent-commit ring and the pending queue.
+  uint64_t observed_seq = 0;
+  if (txn->mode_ == IsolationMode::kSerializable &&
+      (!txn->read_keys_.empty() || !txn->read_prefixes_.empty())) {
+    Status preval;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      observed_seq = commit_seq_;
+      preval = ValidateReadsAgainstRowsLocked(txn);
+    }
+    if (!preval.ok()) {
+      // Lock order is commit_mu_ -> mu_, so mu_ must drop before the
+      // counter update takes commit_mu_.
+      txn->finished_ = true;
+      std::lock_guard<std::mutex> plk(commit_mu_);
+      stat_conflicts_++;
+      return preval;
+    }
+    stat_prevalidated_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Sequencing gate: priority-ordered admission ------------------------
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  const auto me = std::pair<int, uint64_t>(
+      -static_cast<int>(txn->priority_), ++gate_ticket_);
+  gate_waiters_.insert(me);
+  while (sequencing_ || *gate_waiters_.begin() != me) {
+    if (deadline.bounded()) {
+      gate_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      if (!sequencing_ && *gate_waiters_.begin() == me) break;
+      Status st = deadline.Check("catalog.commit.sequence");
+      if (!st.ok()) {
+        gate_waiters_.erase(me);
+        gate_cv_.notify_all();
+        txn->finished_ = true;
+        return st;
+      }
+    } else {
+      gate_cv_.wait(lk);
+    }
+  }
+  gate_waiters_.erase(me);
+  if (pipeline_poisoned_) {
+    gate_cv_.notify_all();
+    txn->finished_ = true;
+    return Status::Internal(
+        "commit pipeline failed closed after a partial group commit; "
+        "reopen the database to recover");
+  }
+  sequencing_ = true;
+  lk.unlock();
+
+  // --- Sequencing critical section (exclusive, no IO) ---------------------
+  // Other committers may queue at the gate (by priority) while this runs;
+  // the durability flush of earlier batches proceeds concurrently.
+  Status st = ValidateForSequencing(txn, observed_seq);
+  const uint64_t seq = sequenced_seq_ + 1;
+  CommitContext ctx(this, txn, seq);
+  if (st.ok() && hook) st = hook(&ctx);
+  if (!st.ok()) {
+    // Validation or hook failure: the sequence is not consumed.
+    lk.lock();
+    if (st.IsConflict()) stat_conflicts_++;
+    sequencing_ = false;
+    gate_cv_.notify_all();
+    lk.unlock();
+    txn->finished_ = true;
+    return st;
+  }
+
+  // --- Sequence allocation + enqueue --------------------------------------
+  lk.lock();
+  // Merge hook-staged writes into the commit's effective write set only
+  // now: the transaction's own write set stays clean if the durability
+  // point is never reached.
+  auto entry = std::make_shared<CommitEntry>();
+  entry->seq = seq;
+  entry->writes = txn->writes_;
+  for (auto& [key, value] : ctx.staged_) {
+    entry->writes[key] = std::move(value);
+  }
+  sequenced_seq_ = seq;
+  queue_.push_back(entry);
+  pending_.push_back(entry);
+  if (txn->priority_ == CommitPriority::kHigh) stat_high_priority_++;
+  sequencing_ = false;
+  gate_cv_.notify_all();
+
+  // --- Group-commit barrier -----------------------------------------------
+  while (!entry->done) {
+    if (!flush_in_progress_) {
+      FlushRoundLocked(lk);  // leader: flush everything queued, us included
+      continue;
+    }
+    if (deadline.bounded()) {
+      flush_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      if (entry->done) break;
+      Status dst = deadline.Check("catalog.commit.flush-wait");
+      if (!dst.ok()) {
+        // Detach without stalling the batch: the leader still resolves
+        // the entry, so the commit's outcome is in doubt (it may land).
+        entry->detached = true;
+        stat_waiters_detached_++;
+        if (metrics_ != nullptr) {
+          metrics_->Add("catalog.commit.waiters_detached");
+        }
+        txn->finished_ = true;
+        return dst;
+      }
+    } else {
+      flush_cv_.wait(lk);
+    }
+  }
+  // If the queue holds only entries whose waiters detached, drain them
+  // now rather than leaving them for the next committer.
+  if (!flush_in_progress_ && !queue_.empty()) {
+    bool orphans_only = true;
+    for (const auto& e : queue_) {
+      if (!e->detached) {
+        orphans_only = false;
+        break;
       }
     }
+    if (orphans_only) FlushRoundLocked(lk);
   }
   txn->finished_ = true;
-  return Status::OK();
+  return entry->status;
 }
 
 void MvccStore::Abort(MvccTransaction* txn) {
@@ -284,6 +578,24 @@ void MvccStore::Abort(MvccTransaction* txn) {
 uint64_t MvccStore::LatestCommitSeq() const {
   std::lock_guard<std::mutex> lock(mu_);
   return commit_seq_;
+}
+
+MvccStore::CommitPipelineStats MvccStore::PipelineStats() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  CommitPipelineStats stats;
+  stats.commits = stat_commits_;
+  stats.conflicts = stat_conflicts_;
+  stats.batches = stat_batches_;
+  stats.batch_records = stat_batch_records_;
+  stats.max_batch = stat_max_batch_;
+  stats.flush_failures = stat_flush_failures_;
+  stats.waiters_detached = stat_waiters_detached_;
+  stats.high_priority = stat_high_priority_;
+  stats.prevalidated = stat_prevalidated_.load(std::memory_order_relaxed);
+  stats.revalidation_fallbacks = stat_revalidation_fallbacks_;
+  stats.gate_waiters = gate_waiters_.size();
+  stats.pending = pending_.size();
+  return stats;
 }
 
 uint64_t MvccStore::Vacuum(uint64_t horizon_seq) {
@@ -334,6 +646,14 @@ void MvccStore::ImportSnapshot(
     rows_[key].push_back(std::move(v));
   }
   commit_seq_ = commit_seq;
+  // Reset the commit pipeline: the caller guarantees quiescence, so no
+  // sequenced-but-uninstalled commit can exist.
+  sequenced_seq_ = commit_seq;
+  queue_.clear();
+  pending_.clear();
+  recent_commits_.clear();
+  recent_trimmed_to_ = commit_seq;
+  pipeline_poisoned_ = false;
 }
 
 uint64_t MvccStore::LiveKeyCount() const {

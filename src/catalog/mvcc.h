@@ -1,18 +1,23 @@
 #ifndef POLARIS_CATALOG_MVCC_H_
 #define POLARIS_CATALOG_MVCC_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace polaris::catalog {
 
@@ -34,6 +39,20 @@ enum class IsolationMode {
 
 std::string_view IsolationModeName(IsolationMode mode);
 
+/// Relative urgency at the commit sequencing gate — the catalog-side
+/// mirror of engine admission priorities. When committers queue for the
+/// gate under contention, higher priorities validate and sequence first.
+enum class CommitPriority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// One sequenced commit handed to the durability listener. `writes` points
+/// at the commit's effective write set (hook-added writes included;
+/// nullopt values are deletes) and is valid only for the duration of the
+/// listener call.
+struct CommitRecord {
+  uint64_t commit_seq = 0;
+  const std::map<std::string, std::optional<std::string>>* writes = nullptr;
+};
+
 /// Handle for one in-flight catalog transaction. Created by
 /// MvccStore::Begin; all reads/writes go through the store.
 class MvccTransaction {
@@ -43,12 +62,26 @@ class MvccTransaction {
   IsolationMode mode() const { return mode_; }
   bool finished() const { return finished_; }
 
+  CommitPriority priority() const { return priority_; }
+  void set_priority(CommitPriority priority) { priority_ = priority; }
+
+  /// Keys currently buffered in this transaction's own write set. A commit
+  /// that fails before its durability point must leave this untouched by
+  /// hook-staged writes (write-set pollution regression).
+  std::vector<std::string> written_keys() const {
+    std::vector<std::string> out;
+    out.reserve(writes_.size());
+    for (const auto& [key, value] : writes_) out.push_back(key);
+    return out;
+  }
+
  private:
   friend class MvccStore;
 
   uint64_t id_ = 0;
   uint64_t begin_seq_ = 0;
   IsolationMode mode_ = IsolationMode::kSnapshot;
+  CommitPriority priority_ = CommitPriority::kNormal;
   bool finished_ = false;
   /// Buffered writes: key -> new value, or nullopt for a delete.
   std::map<std::string, std::optional<std::string>> writes_;
@@ -66,10 +99,24 @@ class MvccTransaction {
 ///    and (once superseded/deleted) the commit sequence that ended it.
 ///  * A snapshot `S` sees version `v` iff `v.created_seq <= S` and
 ///    (`v.deleted_seq == 0` or `v.deleted_seq > S`).
-///  * Commit takes the process-wide commit lock (the paper's §4.1.2
-///    step 2), validates first-committer-wins on the write set, optionally
-///    validates the read set (serializable), then installs all writes at
-///    the next commit sequence atomically.
+///  * Commits are totally ordered (the paper's §4.1.2 step 2), but the
+///    total order is produced by a pipelined group commit rather than one
+///    lock held across the durability IO:
+///      1. serializable read sets pre-validate outside the gate against
+///         the installed store (re-validated later against anything newer);
+///      2. a priority-ordered sequencing gate admits one committer at a
+///         time to validate (first-committer-wins against installed and
+///         pending commits), run its commit hook, and claim the next
+///         commit sequence — a short critical section with no IO;
+///      3. sequenced commits queue for the durability point; a leader
+///         flushes the whole queue through the commit listener as one
+///         batch while followers wait on the commit barrier (a follower
+///         whose deadline expires detaches without stalling the batch);
+///      4. the leader installs the batch in sequence order and wakes the
+///         waiters.
+///    A commit hook failing does not consume its sequence; a failed
+///    durability batch leaves a sequence gap, which journal replay
+///    tolerates (records are keyed by ascending commit_seq).
 ///
 /// Thread-safe. Transactions themselves must not be shared across threads.
 class MvccStore {
@@ -98,18 +145,25 @@ class MvccStore {
   /// Buffers a delete.
   common::Status Delete(MvccTransaction* txn, const std::string& key);
 
-  /// Commit-time hook context: runs under the commit lock, after write
-  /// validation, *before* the writes are installed. It can read the latest
-  /// committed state and add more writes — Polaris uses this to assign
-  /// manifest sequence ids in commit order.
+  /// Commit-time hook context: runs inside the sequencing gate, after
+  /// write validation, *before* the writes reach the durability point. It
+  /// can read the latest committed state — including commits sequenced
+  /// ahead of this one that are still waiting on their durability batch —
+  /// and add more writes; Polaris uses this to assign manifest sequence
+  /// ids in commit order.
   class CommitContext {
    public:
-    /// Latest committed value of `key` (ignores the txn snapshot).
+    /// Latest committed-or-sequenced value of `key` (ignores the txn
+    /// snapshot).
     std::optional<std::string> ReadLatest(const std::string& key) const;
-    /// Latest committed values with `prefix`, ordered by key.
+    /// Latest committed-or-sequenced values with `prefix`, ordered by key.
     std::vector<std::pair<std::string, std::string>> ScanLatest(
         const std::string& prefix) const;
-    /// Adds a write installed together with the transaction.
+    /// Stages a write installed together with the transaction. Staged
+    /// writes are kept apart from the transaction's own write set and
+    /// merged into the commit only once it is enqueued for durability, so
+    /// a commit that fails afterwards (journal error, crash point) does
+    /// not leave hook-authored writes behind in the transaction.
     void Write(const std::string& key, std::string value);
     /// The commit sequence this transaction will commit at.
     uint64_t commit_seq() const { return commit_seq_; }
@@ -121,25 +175,54 @@ class MvccStore {
     MvccStore* store_;
     MvccTransaction* txn_;
     uint64_t commit_seq_;
+    /// Hook-authored writes, merged into the effective write set only
+    /// when the commit is enqueued for the durability point.
+    std::map<std::string, std::optional<std::string>> staged_;
   };
 
   using CommitHook = std::function<common::Status(CommitContext*)>;
 
-  /// Durability listener: invoked under the commit lock for every commit,
-  /// after validation and the commit hook but *before* the writes are
-  /// installed — write-ahead semantics. `writes` is the transaction's full
-  /// effective write set (hook-added writes included); nullopt values are
-  /// deletes. If the listener fails, the commit fails, nothing is
-  /// installed, and the commit sequence is not consumed.
-  using CommitListener = std::function<common::Status(
-      uint64_t commit_seq,
-      const std::map<std::string, std::optional<std::string>>& writes)>;
+  /// Durability listener (the catalog journal): the group-commit leader
+  /// invokes it with a batch of one or more sequenced commits in ascending
+  /// commit_seq order, after validation and the commit hooks but *before*
+  /// any of them is installed — write-ahead semantics. If the listener
+  /// fails, every commit in the batch fails and nothing is installed.
+  using CommitListener =
+      std::function<common::Status(const std::vector<CommitRecord>&)>;
 
   /// Installs the durability listener (the catalog journal). Attach before
   /// serving transactions; not synchronized against in-flight commits.
   void SetCommitListener(CommitListener listener) {
     commit_listener_ = std::move(listener);
   }
+
+  /// Publishes group-commit counters and flush latency to `metrics` (may
+  /// be null). Attach before serving transactions.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Benchmark baseline: when true every commit holds one global lock
+  /// across validation, the durability listener, and install — the
+  /// pre-group-commit behavior micro_txn_contention compares against.
+  void set_serial_commit(bool on) {
+    serial_commit_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Commit-pipeline counters (surfaced by sys.dm_commit).
+  struct CommitPipelineStats {
+    uint64_t commits = 0;            ///< commits installed
+    uint64_t conflicts = 0;          ///< validation failures
+    uint64_t batches = 0;            ///< group-commit flush rounds
+    uint64_t batch_records = 0;      ///< commits across all flush rounds
+    uint64_t max_batch = 0;          ///< largest flush round
+    uint64_t flush_failures = 0;     ///< rounds the listener refused
+    uint64_t waiters_detached = 0;   ///< followers that gave up (deadline/KILL)
+    uint64_t high_priority = 0;      ///< commits sequenced at kHigh
+    uint64_t prevalidated = 0;       ///< read sets validated outside the gate
+    uint64_t revalidation_fallbacks = 0;  ///< gate-side full read rescans
+    uint64_t gate_waiters = 0;       ///< committers queued for the gate now
+    uint64_t pending = 0;            ///< sequenced, not yet installed now
+  };
+  CommitPipelineStats PipelineStats() const;
 
   /// Validates and commits. Returns Conflict if another transaction
   /// committed a conflicting write (or, in serializable mode, invalidated
@@ -170,7 +253,8 @@ class MvccStore {
   /// Replaces the entire store contents with `rows`, as a single committed
   /// version at `commit_seq` (recovery/restore pass the sequence the rows
   /// are consistent with). Must not run concurrently with any transaction;
-  /// the caller (engine Restore/Open) enforces quiescence.
+  /// the caller (engine Restore/Open) enforces quiescence. Also resets the
+  /// commit pipeline (pending queue, recent-commit ring, poison flag).
   void ImportSnapshot(
       const std::vector<std::pair<std::string, std::string>>& rows,
       uint64_t commit_seq = 1);
@@ -182,6 +266,19 @@ class MvccStore {
     uint64_t deleted_seq = 0;  // 0 = still live
   };
 
+  /// One sequenced commit travelling through the group-commit pipeline.
+  /// Immutable from enqueue until the leader resolves it, so the leader
+  /// can read `writes` outside commit_mu_ while validators read it under
+  /// commit_mu_.
+  struct CommitEntry {
+    uint64_t seq = 0;
+    /// Effective write set: txn writes merged with hook-staged writes.
+    std::map<std::string, std::optional<std::string>> writes;
+    bool done = false;      // status is final; the waiter may return
+    bool detached = false;  // waiter gave up; the leader still resolves it
+    common::Status status = common::Status::OK();
+  };
+
   /// Returns the visible value of `key` at snapshot `seq` (no txn overlay).
   std::optional<std::string> GetAtLocked(const std::string& key,
                                          uint64_t seq) const;
@@ -189,12 +286,81 @@ class MvccStore {
   /// Effective snapshot for a read by `txn` (RCSI refreshes per read).
   uint64_t ReadSnapshotLocked(const MvccTransaction* txn) const;
 
+  /// Serializable read-set check against the installed store, at snapshot
+  /// bound txn->begin_seq_. Requires mu_.
+  common::Status ValidateReadsAgainstRowsLocked(
+      const MvccTransaction* txn) const;
+
+  /// Gate-side validation: first-committer-wins against installed and
+  /// pending commits, plus serializable read re-validation covering
+  /// everything newer than `observed_seq` (the installed sequence the
+  /// out-of-gate pre-validation covered). Called by the active sequencer;
+  /// acquires commit_mu_ then mu_ internally.
+  common::Status ValidateForSequencing(MvccTransaction* txn,
+                                       uint64_t observed_seq);
+
+  /// One group-commit flush round: claims the queue, appends the batch
+  /// via the listener under a neutral deadline, installs it in sequence
+  /// order, resolves the entries, and wakes the barrier. `lk` holds
+  /// commit_mu_ and is released around the IO.
+  void FlushRoundLocked(std::unique_lock<std::mutex>& lk);
+
   mutable std::mutex mu_;
-  std::mutex commit_mu_;  // the commit lock; acquired before mu_
-  std::map<std::string, std::vector<Version>> rows_;
-  uint64_t commit_seq_ = 0;
+  /// The commit-pipeline lock, acquired before mu_ (never the reverse):
+  /// guards the sequencing gate, the pending/flush queues, the
+  /// recent-commit ring, and flush leadership. Unlike the pre-group-commit
+  /// design it is NOT held across the durability IO or the commit hook.
+  mutable std::mutex commit_mu_;
+  std::condition_variable gate_cv_;   // sequencing admission, by priority
+  std::condition_variable flush_cv_;  // group-commit barrier
+  std::map<std::string, std::vector<Version>> rows_;  // guarded by mu_
+  uint64_t commit_seq_ = 0;  // last installed; guarded by mu_
   uint64_t next_txn_id_ = 1;
-  CommitListener commit_listener_;  // guarded by commit_mu_ during commits
+  CommitListener commit_listener_;  // set before serving; then read-only
+
+  // --- Sequencing gate (guarded by commit_mu_) ---------------------------
+  /// Waiting committers ordered by (priority descending, arrival FIFO).
+  std::set<std::pair<int, uint64_t>> gate_waiters_;
+  uint64_t gate_ticket_ = 0;
+  bool sequencing_ = false;  // a committer is inside the gate
+  /// Last allocated commit sequence (>= commit_seq_). Written under
+  /// commit_mu_; the active sequencer may read it unlocked (gate handoff
+  /// through commit_mu_ orders the accesses).
+  uint64_t sequenced_seq_ = 0;
+
+  // --- Group-commit state (guarded by commit_mu_) ------------------------
+  std::vector<std::shared_ptr<CommitEntry>> queue_;    // awaiting a flush
+  std::vector<std::shared_ptr<CommitEntry>> pending_;  // sequenced, not installed
+  bool flush_in_progress_ = false;
+  /// Set when a batch reached durability but could not be installed (crash
+  /// point): in-memory state is behind the journal, so the pipeline fails
+  /// closed until the database is reopened.
+  bool pipeline_poisoned_ = false;
+
+  /// Ring of recently installed (commit_seq, written keys), newest at the
+  /// back, used to re-validate serializable read sets at the gate without
+  /// rescanning rows_. recent_trimmed_to_ is the highest evicted sequence:
+  /// the ring covers (recent_trimmed_to_, commit_seq_].
+  std::deque<std::pair<uint64_t, std::vector<std::string>>> recent_commits_;
+  uint64_t recent_trimmed_to_ = 0;
+
+  std::atomic<bool> serial_commit_{false};
+  std::mutex serial_gate_;  // held across the whole commit in serial mode
+
+  obs::MetricsRegistry* metrics_ = nullptr;  // set before serving
+
+  // Pipeline counters. All except stat_prevalidated_ are updated under
+  // commit_mu_; pre-validation runs outside it, hence the atomic.
+  uint64_t stat_commits_ = 0;
+  uint64_t stat_conflicts_ = 0;
+  uint64_t stat_batches_ = 0;
+  uint64_t stat_batch_records_ = 0;
+  uint64_t stat_max_batch_ = 0;
+  uint64_t stat_flush_failures_ = 0;
+  uint64_t stat_waiters_detached_ = 0;
+  uint64_t stat_high_priority_ = 0;
+  uint64_t stat_revalidation_fallbacks_ = 0;
+  std::atomic<uint64_t> stat_prevalidated_{0};
 };
 
 }  // namespace polaris::catalog

@@ -64,6 +64,15 @@ inline constexpr char kCatalogCommitBeforeManifests[] =
 /// (the durability point) not yet reached.
 inline constexpr char kCatalogCommitAfterManifests[] =
     "catalog.commit.after_manifests";
+/// commit pipeline: the group-commit leader claimed its batch but nothing
+/// reached the journal — no commit in the batch may survive a reopen.
+inline constexpr char kCommitBatchFormed[] = "commit.batch.formed";
+/// commit pipeline: the batch is durable in the journal but dies before
+/// the in-memory install — recovery must surface every batched commit.
+inline constexpr char kCommitBatchAppended[] = "commit.batch.appended";
+/// commit pipeline: the batch is durable and installed; only the
+/// acknowledgement to the waiters is lost.
+inline constexpr char kCommitBatchInstalled[] = "commit.batch.installed";
 /// journal: before any byte of the record is staged.
 inline constexpr char kJournalAppendBefore[] = "journal.append.before";
 /// journal: a truncated record is durably committed (torn write), then

@@ -79,6 +79,7 @@ PolarisEngine::PolarisEngine(EngineOptions options,
   breaker_store_->set_metrics(&metrics_);
   breaker_store_->set_event_log(&events_);
   admission_.set_metrics(&metrics_);
+  catalog_.store()->set_metrics(&metrics_);
   admission_.set_event_log(&events_);
   txn_manager_.set_event_log(&events_);
   sto_.set_event_log(&events_);
@@ -275,9 +276,8 @@ Status PolarisEngine::RecoverCatalog() {
   }
   recovery_.rows.clear();  // imported; keep only the summary
   catalog_.store()->SetCommitListener(
-      [this](uint64_t commit_seq,
-             const std::map<std::string, std::optional<std::string>>& writes) {
-        return journal_->Append(commit_seq, writes);
+      [this](const std::vector<catalog::CommitRecord>& records) {
+        return journal_->AppendBatch(records);
       });
   sto_.set_catalog_journal(journal_.get());
   events_.Emit(

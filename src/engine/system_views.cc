@@ -64,6 +64,7 @@ SystemViews::Catalog() {
       {"dm_events", "structured event log tail"},
       {"dm_health", "SLO watchdog verdicts"},
       {"dm_admission", "admission-control occupancy and shed counters"},
+      {"dm_commit", "catalog group-commit pipeline counters"},
       {"dm_views", "this catalog"},
   };
   return kCatalog;
@@ -81,6 +82,7 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_events") return Events();
   if (table == "sys.dm_health") return Health();
   if (table == "sys.dm_admission") return Admission();
+  if (table == "sys.dm_commit") return Commit();
   if (table == "sys.dm_views") return Views();
   return common::Status::NotFound("unknown system view: " + table);
 }
@@ -290,6 +292,46 @@ RecordBatch SystemViews::Admission() const {
           I64u(stats.shed_queue_full), I64u(stats.shed_queue_timeout),
           I64u(stats.cancelled_in_queue),
           I64u(stats.queue_wait_micros_total)});
+  return batch;
+}
+
+RecordBatch SystemViews::Commit() const {
+  RecordBatch batch(
+      MakeSchema({{"commits", ColumnType::kInt64},
+                  {"conflicts", ColumnType::kInt64},
+                  {"batches", ColumnType::kInt64},
+                  {"batch_records", ColumnType::kInt64},
+                  {"max_batch", ColumnType::kInt64},
+                  {"avg_batch", ColumnType::kDouble},
+                  {"flush_failures", ColumnType::kInt64},
+                  {"waiters_detached", ColumnType::kInt64},
+                  {"high_priority", ColumnType::kInt64},
+                  {"prevalidated", ColumnType::kInt64},
+                  {"revalidation_fallbacks", ColumnType::kInt64},
+                  {"gate_waiters", ColumnType::kInt64},
+                  {"pending", ColumnType::kInt64},
+                  {"flush_p50_us", ColumnType::kDouble},
+                  {"flush_p99_us", ColumnType::kDouble}}));
+  catalog::MvccStore::CommitPipelineStats stats =
+      engine_->catalog()->store()->PipelineStats();
+  obs::MetricsSnapshot snapshot = engine_->MetricsSnapshot();
+  double flush_p50 = 0, flush_p99 = 0;
+  auto flush = snapshot.histograms.find("catalog.commit.flush_us");
+  if (flush != snapshot.histograms.end()) {
+    flush_p50 = static_cast<double>(flush->second.ApproxQuantile(0.5));
+    flush_p99 = static_cast<double>(flush->second.ApproxQuantile(0.99));
+  }
+  double avg_batch =
+      stats.batches > 0
+          ? static_cast<double>(stats.batch_records) / stats.batches
+          : 0.0;
+  (void)batch.AppendRow(
+      Row{I64u(stats.commits), I64u(stats.conflicts), I64u(stats.batches),
+          I64u(stats.batch_records), I64u(stats.max_batch), F64(avg_batch),
+          I64u(stats.flush_failures), I64u(stats.waiters_detached),
+          I64u(stats.high_priority), I64u(stats.prevalidated),
+          I64u(stats.revalidation_fallbacks), I64u(stats.gate_waiters),
+          I64u(stats.pending), F64(flush_p50), F64(flush_p99)});
   return batch;
 }
 

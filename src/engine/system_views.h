@@ -28,6 +28,7 @@ class PolarisEngine;
 ///   sys.dm_events          structured event log tail
 ///   sys.dm_health          SLO watchdog verdicts
 ///   sys.dm_admission       admission-control occupancy and shed counters
+///   sys.dm_commit          catalog group-commit pipeline counters
 ///   sys.dm_views           this catalog
 class SystemViews {
  public:
@@ -56,6 +57,7 @@ class SystemViews {
   format::RecordBatch Events() const;
   format::RecordBatch Health() const;
   format::RecordBatch Admission() const;
+  format::RecordBatch Commit() const;
   format::RecordBatch Views() const;
 
   PolarisEngine* engine_;

@@ -39,6 +39,12 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin(
   auto txn = std::unique_ptr<Transaction>(new Transaction());
   txn->catalog_txn_ = catalog_->Begin(mode);
   txn->begin_time_ = clock_->Now();
+  // Admission-style commit priority: a statement running under a bounded
+  // deadline is latency-sensitive, so it sequences ahead of deadline-less
+  // (background/bulk) work when committers queue at the commit gate.
+  txn->catalog_txn_->set_priority(common::CurrentDeadline().bounded()
+                                      ? catalog::CommitPriority::kHigh
+                                      : catalog::CommitPriority::kNormal);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ActiveTxn& entry = active_[txn->id()];

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "catalog/mvcc.h"
+#include "common/clock.h"
+#include "common/trace_context.h"
 
 namespace polaris::catalog {
 namespace {
@@ -219,7 +224,7 @@ TEST(MvccTest, SerializableRejectsPhantomIntoScannedRange) {
   EXPECT_TRUE(store.Commit(t1.get()).IsConflict());
 }
 
-TEST(MvccTest, CommitHookRunsUnderCommitLock) {
+TEST(MvccTest, CommitHookRunsInsideSequencingGate) {
   MvccStore store;
   auto t1 = store.Begin();
   ASSERT_TRUE(store.Put(t1.get(), "a", "1").ok());
@@ -305,6 +310,276 @@ TEST(MvccTest, ConcurrentCommittersSerializeCorrectly) {
   // conservation invariant.)
   int committed = kThreads * kPerThread - conflicts.load();
   EXPECT_EQ(std::stoi(final_value->value()), committed);
+}
+
+// --- Commit-pipeline tests (group commit, priorities, deadlines) -----------
+
+TEST(MvccTest, HookWritesDoNotPolluteTxnWhenListenerFails) {
+  MvccStore store;
+  store.SetCommitListener([](const std::vector<CommitRecord>&) {
+    return Status::Internal("journal refused the batch");
+  });
+  auto txn = store.Begin();
+  ASSERT_TRUE(store.Put(txn.get(), "user", "v").ok());
+  Status st = store.Commit(txn.get(), [](MvccStore::CommitContext* ctx) {
+    ctx->Write("hooked", "yes");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInternal());
+  // The failed durability point must not leave the hook's write behind in
+  // the transaction's own write set (write-set pollution regression).
+  EXPECT_EQ(txn->written_keys(), std::vector<std::string>{"user"});
+  auto reader = store.Begin();
+  EXPECT_EQ(Get(store, reader.get(), "user"), std::nullopt);
+  EXPECT_EQ(Get(store, reader.get(), "hooked"), std::nullopt);
+  EXPECT_EQ(store.LatestCommitSeq(), 0u);
+  EXPECT_EQ(store.PipelineStats().flush_failures, 1u);
+
+  // A refused append is not poison: with a healthy listener the store keeps
+  // committing, and the failed batch's sequence is left as a gap.
+  store.SetCommitListener(
+      [](const std::vector<CommitRecord>&) { return Status::OK(); });
+  auto t2 = store.Begin();
+  ASSERT_TRUE(store.Put(t2.get(), "k2", "v2").ok());
+  ASSERT_TRUE(store.Commit(t2.get()).ok());
+  EXPECT_EQ(store.LatestCommitSeq(), 2u);
+}
+
+TEST(MvccTest, HookFailureDoesNotConsumeItsSequence) {
+  MvccStore store;
+  auto t1 = store.Begin();
+  ASSERT_TRUE(store.Put(t1.get(), "a", "1").ok());
+  EXPECT_TRUE(store
+                  .Commit(t1.get(),
+                          [](MvccStore::CommitContext* ctx) {
+                            ctx->Write("hooked", "x");
+                            return Status::Internal("hook says no");
+                          })
+                  .IsInternal());
+  EXPECT_EQ(t1->written_keys(), std::vector<std::string>{"a"});
+  auto t2 = store.Begin();
+  ASSERT_TRUE(store.Put(t2.get(), "b", "2").ok());
+  ASSERT_TRUE(store.Commit(t2.get()).ok());
+  // Unlike a failed durability batch, a hook failure happens before the
+  // sequence is claimed, so the next commit gets seq 1 — no gap.
+  EXPECT_EQ(store.LatestCommitSeq(), 1u);
+}
+
+TEST(MvccTest, ExpiredDeadlineFailsFastBeforeSequencing) {
+  MvccStore store;
+  common::SimClock clock;
+  auto txn = store.Begin();
+  ASSERT_TRUE(store.Put(txn.get(), "k", "v").ok());
+  common::ScopedDeadline scoped(common::Deadline::After(&clock, 0));
+  EXPECT_TRUE(store.Commit(txn.get()).IsDeadlineExceeded());
+  EXPECT_TRUE(txn->finished());
+  auto reader = store.Begin();
+  EXPECT_EQ(Get(store, reader.get(), "k"), std::nullopt);
+  EXPECT_EQ(store.PipelineStats().commits, 0u);
+}
+
+TEST(MvccTest, ExpiredWaiterDetachesWithoutStallingTheBatch) {
+  MvccStore store;
+  common::SimClock clock;
+  std::atomic<int> listener_calls{0};
+  std::promise<void> entered_promise;
+  std::future<void> entered = entered_promise.get_future();
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  store.SetCommitListener([&](const std::vector<CommitRecord>&) {
+    if (listener_calls.fetch_add(1) == 0) {
+      entered_promise.set_value();
+      release.wait();  // hold the first batch at the durability point
+    }
+    return Status::OK();
+  });
+
+  auto ta = store.Begin();
+  ASSERT_TRUE(store.Put(ta.get(), "a", "1").ok());
+  std::thread leader([&] { EXPECT_TRUE(store.Commit(ta.get()).ok()); });
+  entered.wait();  // the leader is now blocked inside the listener
+
+  auto tb = store.Begin();
+  ASSERT_TRUE(store.Put(tb.get(), "b", "1").ok());
+  Status b_status;
+  std::thread follower([&] {
+    common::ScopedDeadline scoped(common::Deadline::After(&clock, 5'000));
+    b_status = store.Commit(tb.get());
+  });
+  // Wait until the follower is sequenced and parked at the commit barrier,
+  // then expire its deadline (virtual time; the leader is unbounded).
+  while (store.PipelineStats().pending < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  clock.Advance(10'000);
+  follower.join();
+  EXPECT_TRUE(b_status.IsDeadlineExceeded());
+  EXPECT_EQ(store.PipelineStats().waiters_detached, 1u);
+  // The detached commit is in doubt, not rolled back: nothing is installed
+  // while the first batch is still at the durability point...
+  EXPECT_EQ(store.LatestCommitSeq(), 0u);
+
+  release_promise.set_value();
+  leader.join();
+  // ...and once the leader's batch lands it drains the orphaned entry, so
+  // the detached commit resolves as applied without a waiter.
+  auto reader = store.Begin();
+  EXPECT_EQ(Get(store, reader.get(), "a"), "1");
+  EXPECT_EQ(Get(store, reader.get(), "b"), "1");
+  EXPECT_EQ(store.PipelineStats().pending, 0u);
+}
+
+TEST(MvccTest, LeaderBatchesQueuedCommitsIntoOneFlush) {
+  MvccStore store;
+  constexpr int kThreads = 6;
+  std::atomic<int> listener_calls{0};
+  store.SetCommitListener([&](const std::vector<CommitRecord>&) {
+    if (listener_calls.fetch_add(1) == 0) {
+      // Hold the first flush (one record: the leader sequenced and claimed
+      // the queue before anyone else reached the gate) until every other
+      // committer is sequenced behind it; the second flush must then carry
+      // all of them as one batch.
+      for (int spin = 0; spin < 10'000; ++spin) {
+        if (store.PipelineStats().pending >= kThreads) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return Status::OK();
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      auto txn = store.Begin();
+      ASSERT_TRUE(store.Put(txn.get(), "k" + std::to_string(t), "v").ok());
+      EXPECT_TRUE(store.Commit(txn.get()).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto stats = store.PipelineStats();
+  EXPECT_EQ(stats.commits, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.max_batch, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(store.LatestCommitSeq(), static_cast<uint64_t>(kThreads));
+  auto reader = store.Begin();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(Get(store, reader.get(), "k" + std::to_string(t)), "v");
+  }
+}
+
+TEST(MvccTest, HighPriorityCommitterSequencesFirst) {
+  MvccStore store;
+  std::mutex order_mu;
+  std::map<std::string, uint64_t> seq_of;
+  store.SetCommitListener([&](const std::vector<CommitRecord>& records) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    for (const auto& record : records) {
+      for (const auto& [key, value] : *record.writes) {
+        (void)value;
+        seq_of[key] = record.commit_seq;
+      }
+    }
+    return Status::OK();
+  });
+
+  std::promise<void> hook_entered_promise;
+  std::future<void> hook_entered = hook_entered_promise.get_future();
+  std::promise<void> hook_release_promise;
+  std::shared_future<void> hook_release(hook_release_promise.get_future());
+  auto ta = store.Begin();
+  ASSERT_TRUE(store.Put(ta.get(), "a", "1").ok());
+  std::thread a_thread([&] {
+    EXPECT_TRUE(store
+                    .Commit(ta.get(),
+                            [&](MvccStore::CommitContext*) {
+                              hook_entered_promise.set_value();
+                              hook_release.wait();
+                              return Status::OK();
+                            })
+                    .ok());
+  });
+  hook_entered.wait();  // A now occupies the sequencing gate
+
+  auto tb = store.Begin();
+  ASSERT_TRUE(store.Put(tb.get(), "b", "1").ok());
+  std::thread b_thread([&] { EXPECT_TRUE(store.Commit(tb.get()).ok()); });
+  while (store.PipelineStats().gate_waiters < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto tc = store.Begin();
+  tc->set_priority(CommitPriority::kHigh);
+  ASSERT_TRUE(store.Put(tc.get(), "c", "1").ok());
+  std::thread c_thread([&] { EXPECT_TRUE(store.Commit(tc.get()).ok()); });
+  while (store.PipelineStats().gate_waiters < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hook_release_promise.set_value();
+  a_thread.join();
+  b_thread.join();
+  c_thread.join();
+
+  // C arrived at the gate after B but sequenced ahead of it.
+  ASSERT_EQ(seq_of.size(), 3u);
+  EXPECT_LT(seq_of["c"], seq_of["b"]);
+  EXPECT_LT(seq_of["a"], seq_of["c"]);
+  EXPECT_EQ(store.PipelineStats().high_priority, 1u);
+}
+
+TEST(MvccTest, SerializablePrefixValidationHappensOutsideTheGate) {
+  MvccStore store;
+  for (int i = 0; i < 300; ++i) {
+    auto setup = store.Begin();
+    ASSERT_TRUE(
+        store.Put(setup.get(), "p/" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(store.Commit(setup.get()).ok());
+  }
+  auto txn = store.Begin(IsolationMode::kSerializable);
+  auto scan = store.Scan(txn.get(), "p/");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 300u);
+  ASSERT_TRUE(store.Put(txn.get(), "summary", "300").ok());
+  EXPECT_TRUE(store.Commit(txn.get()).ok());
+  // The wide range validation ran as pre-validation outside the gate; the
+  // gate-side re-check was served by the recent-commit ring, never by a
+  // full rescan.
+  auto stats = store.PipelineStats();
+  EXPECT_GE(stats.prevalidated, 1u);
+  EXPECT_EQ(stats.revalidation_fallbacks, 0u);
+}
+
+TEST(MvccTest, GateRevalidationCatchesSequencedButUninstalledConflicts) {
+  MvccStore store;
+  std::atomic<int> listener_calls{0};
+  std::promise<void> entered_promise;
+  std::future<void> entered = entered_promise.get_future();
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  store.SetCommitListener([&](const std::vector<CommitRecord>&) {
+    if (listener_calls.fetch_add(1) == 0) {
+      entered_promise.set_value();
+      release.wait();
+    }
+    return Status::OK();
+  });
+
+  auto reader = store.Begin(IsolationMode::kSerializable);
+  auto scan = store.Scan(reader.get(), "p/");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(store.Put(reader.get(), "out", "x").ok());
+
+  auto writer = store.Begin();
+  ASSERT_TRUE(store.Put(writer.get(), "p/new", "phantom").ok());
+  std::thread w([&] { EXPECT_TRUE(store.Commit(writer.get()).ok()); });
+  entered.wait();
+  // The writer is sequenced but not installed (its batch is held at the
+  // durability point), so the reader's pre-validation against the
+  // installed store passes — only the gate-side re-check against the
+  // pending queue can see the phantom.
+  EXPECT_TRUE(store.Commit(reader.get()).IsConflict());
+  release_promise.set_value();
+  w.join();
+  auto t2 = store.Begin();
+  EXPECT_EQ(Get(store, t2.get(), "p/new"), "phantom");
 }
 
 }  // namespace

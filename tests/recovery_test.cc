@@ -290,6 +290,9 @@ TEST_F(RecoveryTest, CrashPointMatrix) {
       std::string(common::crash::kCommitAfterWriteSets),
       std::string(common::crash::kCatalogCommitBeforeManifests),
       std::string(common::crash::kCatalogCommitAfterManifests),
+      std::string(common::crash::kCommitBatchFormed),
+      std::string(common::crash::kCommitBatchAppended),
+      std::string(common::crash::kCommitBatchInstalled),
       std::string(common::crash::kJournalAppendBefore),
       std::string(common::crash::kJournalAppendTorn),
       std::string(common::crash::kJournalAppendAfterCommit),

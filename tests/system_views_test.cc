@@ -212,6 +212,24 @@ TEST_F(SystemViewsTest, StorageStatsAndCacheAndMetrics) {
   EXPECT_EQ(ring.batch.num_rows(), 1u);
 }
 
+TEST_F(SystemViewsTest, CommitViewCountsPipelineActivity) {
+  Must("CREATE TABLE t (x BIGINT)");
+  Must("INSERT INTO t VALUES (1)");
+  Must("INSERT INTO t VALUES (2)");
+
+  SqlResult commit_view = Must(
+      "SELECT commits, batches, max_batch, avg_batch, pending "
+      "FROM sys.dm_commit");
+  ASSERT_EQ(commit_view.batch.num_rows(), 1u);
+  // CREATE + two INSERTs = at least three installed commits, each flushed
+  // through at least one batch; nothing should still be in flight.
+  EXPECT_GE(commit_view.batch.column(0).Int64At(0), 3);
+  EXPECT_GE(commit_view.batch.column(1).Int64At(0), 1);
+  EXPECT_GE(commit_view.batch.column(2).Int64At(0), 1);
+  EXPECT_GE(commit_view.batch.column(3).DoubleAt(0), 1.0);
+  EXPECT_EQ(commit_view.batch.column(4).Int64At(0), 0);
+}
+
 TEST_F(SystemViewsTest, SystemViewsAreReadOnlyAndLive) {
   auto insert = session_.Execute("INSERT INTO sys.dm_cache VALUES (1)");
   EXPECT_TRUE(insert.status().IsInvalidArgument());
