@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 namespace polaris::bench {
 
@@ -85,17 +86,66 @@ JsonObject& BenchReport::AddRow() {
   return rows_.back();
 }
 
-void BenchReport::SetMetrics(const obs::MetricsSnapshot& snapshot) {
-  metrics_ = JsonObject();
+namespace {
+
+JsonObject MetricsObject(const obs::MetricsSnapshot& snapshot) {
+  JsonObject metrics;
   for (const auto& [name, value] : snapshot.counters) {
-    metrics_.Add(name, value);
+    metrics.Add(name, value);
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    metrics_.Add(name + ".count", hist.count);
-    metrics_.Add(name + ".sum_us", static_cast<int64_t>(hist.sum));
-    metrics_.Add(name + ".p50_us", hist.ApproxQuantile(0.5));
-    metrics_.Add(name + ".p99_us", hist.ApproxQuantile(0.99));
+    metrics.Add(name + ".count", hist.count);
+    metrics.Add(name + ".sum_us", static_cast<int64_t>(hist.sum));
+    metrics.Add(name + ".p50_us", hist.ApproxQuantile(0.5));
+    metrics.Add(name + ".p99_us", hist.ApproxQuantile(0.99));
   }
+  return metrics;
+}
+
+// Stash for the google-benchmark micros (single-threaded at the points
+// RecordArtifactMetrics / EmbedMetricsInArtifact run).
+std::string g_artifact_metrics_json;  // NOLINT
+
+}  // namespace
+
+void BenchReport::SetMetrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_ = MetricsObject(snapshot);
+}
+
+std::string MetricsToJson(const obs::MetricsSnapshot& snapshot) {
+  return MetricsObject(snapshot).Render();
+}
+
+void RecordArtifactMetrics(const obs::MetricsSnapshot& snapshot) {
+  g_artifact_metrics_json = MetricsToJson(snapshot);
+}
+
+bool EmbedMetricsInArtifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_json: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  size_t close = body.find_last_of('}');
+  if (close == std::string::npos) {
+    std::fprintf(stderr, "bench_json: %s is not a JSON object\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string metrics =
+      g_artifact_metrics_json.empty() ? "{}" : g_artifact_metrics_json;
+  body.insert(close, ",\n  \"metrics\": " + metrics + "\n");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot rewrite %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  out.close();
+  return static_cast<bool>(out);
 }
 
 std::string BenchReport::ToJson() const {

@@ -80,6 +80,21 @@ class BenchReport {
   JsonObject metrics_;
 };
 
+/// Renders a metrics snapshot the way BenchReport::SetMetrics embeds it:
+/// a flat JSON object of counters plus per-histogram count/sum/p50/p99.
+std::string MetricsToJson(const obs::MetricsSnapshot& snapshot);
+
+/// For google-benchmark micros (which write their artifact through the
+/// benchmark library, not BenchReport): stashes a snapshot that the
+/// shared micro main splices into the artifact as a top-level "metrics"
+/// section after the run. Last call wins.
+void RecordArtifactMetrics(const obs::MetricsSnapshot& snapshot);
+
+/// Splices the stashed RecordArtifactMetrics snapshot (or "{}" when none
+/// was recorded) into the JSON object in `path` as a trailing "metrics"
+/// key. Returns false (with a message to stderr) on IO/shape failure.
+bool EmbedMetricsInArtifact(const std::string& path);
+
 }  // namespace polaris::bench
 
 #endif  // POLARIS_BENCH_BENCH_JSON_H_

@@ -32,9 +32,12 @@ struct RunResult {
 };
 
 /// `writers` concurrent transactions each delete one distinct key (each
-/// key lives in its own data file), then all try to commit.
+/// key lives in its own data file), then all try to commit. When
+/// `metrics_out` is set it receives the engine's final metrics snapshot.
 RunResult RunConcurrentDeleters(ConflictGranularity granularity,
-                                int writers) {
+                                int writers,
+                                polaris::obs::MetricsSnapshot* metrics_out =
+                                    nullptr) {
   EngineOptions options;
   options.num_cells = 1;  // all keys share a cell: contention by design
   options.worker_threads = 2;
@@ -74,6 +77,7 @@ RunResult RunConcurrentDeleters(ConflictGranularity granularity,
       std::abort();
     }
   }
+  if (metrics_out != nullptr) *metrics_out = engine.MetricsSnapshot();
   return result;
 }
 
@@ -88,11 +92,12 @@ int main() {
   polaris::bench::BenchReport report("micro_conflict_granularity");
   report.config().Add("num_cells", uint64_t{1}).Add("worker_threads",
                                                     uint64_t{2});
+  polaris::obs::MetricsSnapshot last_metrics;
   for (int writers : {2, 4, 8, 16}) {
     RunResult table_run =
         RunConcurrentDeleters(ConflictGranularity::kTable, writers);
-    RunResult file_run =
-        RunConcurrentDeleters(ConflictGranularity::kDataFile, writers);
+    RunResult file_run = RunConcurrentDeleters(ConflictGranularity::kDataFile,
+                                               writers, &last_metrics);
     std::printf("%-14s %-10d %-11d %-9d %-10.2f\n", "table", writers,
                 table_run.committed, table_run.aborted,
                 static_cast<double>(table_run.aborted) / writers);
@@ -114,6 +119,7 @@ int main() {
       "\nshape check: table granularity commits exactly 1 of N and aborts "
       "the rest;\nfile granularity commits all N (disjoint files never "
       "conflict).\n");
+  report.SetMetrics(last_metrics);
   report.Write();
   return 0;
 }

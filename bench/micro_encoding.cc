@@ -6,8 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "common/random.h"
 #include "format/encoding.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -79,6 +81,12 @@ void RunEncodingBench(benchmark::State& state, const ColumnVector& col) {
       static_cast<double>(probe.size()) / kRows;
   state.counters["encoding"] = static_cast<double>(chosen);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+  // Accumulate across benchmarks into the artifact's "metrics" section.
+  static polaris::obs::MetricsRegistry registry;
+  registry.Add("encoding.columns_encoded");
+  registry.Add("encoding.encoded_bytes", probe.size());
+  registry.Add("encoding.rows", kRows);
+  polaris::bench::RecordArtifactMetrics(registry.Snapshot());
 }
 
 void BM_EncodeSortedInts_Delta(benchmark::State& state) {

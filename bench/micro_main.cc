@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   }
   std::string out_flag;
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string artifact_path;
   if (!has_out) {
     std::string prog = argv[0];
     size_t slash = prog.find_last_of('/');
@@ -29,11 +32,11 @@ int main(int argc, char** argv) {
     if (const char* env = std::getenv("POLARIS_BENCH_DIR")) {
       if (env[0] != '\0') dir = env;
     }
-    std::string path = dir + "/BENCH_" + prog + ".json";
-    out_flag = "--benchmark_out=" + path;
+    artifact_path = dir + "/BENCH_" + prog + ".json";
+    out_flag = "--benchmark_out=" + artifact_path;
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
-    std::printf("[bench artifact: %s]\n", path.c_str());
+    std::printf("[bench artifact: %s]\n", artifact_path.c_str());
   }
   int new_argc = static_cast<int>(args.size());
   benchmark::Initialize(&new_argc, args.data());
@@ -42,5 +45,11 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Splice the engine counters the fixtures stashed (see
+  // RecordArtifactMetrics) into the artifact so every BENCH_*.json carries
+  // a "metrics" section, matching the BenchReport drivers.
+  if (!artifact_path.empty()) {
+    (void)polaris::bench::EmbedMetricsInArtifact(artifact_path);
+  }
   return 0;
 }

@@ -93,6 +93,9 @@ int main() {
       double reopen_ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
       uint64_t replayed = (*reopened)->recovery_info().records_replayed;
+      // Last grid point wins: the artifact's metrics section shows the
+      // recovery counters of the longest-journal reopen.
+      report.SetMetrics((*reopened)->MetricsSnapshot());
 
       std::printf("%-12d %-12s %-12.3f %-16llu\n", journal_len,
                   checkpointed ? "yes" : "no", reopen_ms,

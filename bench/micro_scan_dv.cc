@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "engine/engine.h"
 
 namespace {
@@ -71,6 +72,7 @@ void RunScan(benchmark::State& state, PolarisEngine& engine) {
     if (!result.ok()) std::abort();
     benchmark::DoNotOptimize(result->num_rows());
   }
+  polaris::bench::RecordArtifactMetrics(engine.MetricsSnapshot());
 }
 
 void BM_ScanWithDeletedFraction(benchmark::State& state) {
@@ -105,6 +107,7 @@ void BM_ZoneMapPrunedScan(benchmark::State& state) {
     if (!result.ok()) std::abort();
     benchmark::DoNotOptimize(result->num_rows());
   }
+  polaris::bench::RecordArtifactMetrics(engine->MetricsSnapshot());
 }
 BENCHMARK(BM_ZoneMapPrunedScan);
 

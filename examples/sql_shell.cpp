@@ -20,6 +20,8 @@
 //   TRACE ON | OFF     enable/disable the engine span recorder
 //   TRACE DUMP <file>  export recorded spans as Chrome/Perfetto JSON
 //                      (open in https://ui.perfetto.dev)
+//   QUERYSTORE TOP <n> heaviest statement fingerprints by total wall time
+//                      (shorthand for a sys.query_store SELECT)
 //
 // Pass --log-json <file> to stream every structured event to <file> as
 // JSON lines while the shell runs.
@@ -128,8 +130,8 @@ int main(int argc, char** argv) {
         " off);\n         KILL <txn_id> cancels a transaction (ids in "
         "sys.dm_tran_active).\n"
         "System views: SELECT * FROM sys.dm_views;   Meta: METRICS, "
-        "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>."
-        "\n\n");
+        "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>, "
+        "QUERYSTORE TOP <n>.\n\n");
     if (!options.data_dir.empty()) {
       const auto& recovery = engine.recovery_info();
       std::printf(
@@ -265,6 +267,35 @@ int main(int argc, char** argv) {
         } else {
           std::printf("ERROR: usage: TRACE ON | TRACE OFF | TRACE DUMP "
                       "<file>\n");
+        }
+        continue;
+      }
+      if (word == "QUERYSTORE") {
+        // QUERYSTORE TOP <n>
+        std::istringstream parts(statement);
+        std::string cmd, sub, arg;
+        parts >> cmd >> sub >> arg;
+        for (char& c : sub) c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        while (!arg.empty() &&
+               (arg.back() == ';' ||
+                std::isspace(static_cast<unsigned char>(arg.back())))) {
+          arg.pop_back();
+        }
+        long n = arg.empty() ? 0 : std::strtol(arg.c_str(), nullptr, 10);
+        if (sub != "TOP" || n <= 0) {
+          std::printf("ERROR: usage: QUERYSTORE TOP <n>\n");
+          continue;
+        }
+        auto top = session.Execute(
+            "SELECT fingerprint, kind, executions, wall_p50_us, wall_p99_us, "
+            "total_wall_us, errors FROM sys.query_store ORDER BY "
+            "total_wall_us DESC LIMIT " +
+            std::to_string(n) + ";");
+        if (top.ok()) {
+          PrintResult(*top);
+        } else {
+          std::printf("ERROR: %s\n", top.status().ToString().c_str());
         }
         continue;
       }

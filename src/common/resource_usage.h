@@ -1,0 +1,217 @@
+#ifndef POLARIS_COMMON_RESOURCE_USAGE_H_
+#define POLARIS_COMMON_RESOURCE_USAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/trace_context.h"
+
+namespace polaris::common {
+
+/// How a statement ended, for resource accounting and the Query Store.
+/// `kShed` covers capacity rejections (admission shed, circuit breaker
+/// open); `kKilled` is cooperative cancellation (KILL); `kExpired` is a
+/// burned deadline.
+enum class StatementOutcome {
+  kOk = 0,
+  kError,
+  kConflict,
+  kShed,
+  kKilled,
+  kExpired,
+};
+
+inline std::string_view StatementOutcomeName(StatementOutcome outcome) {
+  switch (outcome) {
+    case StatementOutcome::kOk: return "ok";
+    case StatementOutcome::kError: return "error";
+    case StatementOutcome::kConflict: return "conflict";
+    case StatementOutcome::kShed: return "shed";
+    case StatementOutcome::kKilled: return "killed";
+    case StatementOutcome::kExpired: return "expired";
+  }
+  return "?";
+}
+
+/// Maps a statement's final Status onto its accounting outcome.
+inline StatementOutcome ClassifyStatementOutcome(const Status& status) {
+  if (status.ok()) return StatementOutcome::kOk;
+  if (status.IsConflict()) return StatementOutcome::kConflict;
+  if (status.IsCancelled()) return StatementOutcome::kKilled;
+  if (status.IsDeadlineExceeded()) return StatementOutcome::kExpired;
+  if (status.IsUnavailable()) return StatementOutcome::kShed;
+  return StatementOutcome::kError;
+}
+
+/// Point-in-time copy of one statement's resource vector. Plain value
+/// type: the Query Store aggregates these, EXPLAIN ANALYZE renders them.
+struct ResourceUsageSnapshot {
+  /// Statement wall time on the engine clock (virtual under SimClock, so
+  /// fault-injected latency is visible deterministically in tests).
+  int64_t wall_us = 0;
+  /// Time spent queued at admission control (real wall time).
+  int64_t queue_us = 0;
+  /// Time spent inside the commit pipeline (engine clock).
+  int64_t commit_us = 0;
+  uint64_t store_read_ops = 0;
+  uint64_t store_write_ops = 0;
+  uint64_t store_read_bytes = 0;
+  uint64_t store_write_bytes = 0;
+  uint64_t store_retries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Optimistic-conflict retries of the whole statement (auto-commit FE
+  /// retry loop).
+  uint64_t statement_retries = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+
+  void Add(const ResourceUsageSnapshot& other) {
+    wall_us += other.wall_us;
+    queue_us += other.queue_us;
+    commit_us += other.commit_us;
+    store_read_ops += other.store_read_ops;
+    store_write_ops += other.store_write_ops;
+    store_read_bytes += other.store_read_bytes;
+    store_write_bytes += other.store_write_bytes;
+    store_retries += other.store_retries;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    statement_retries += other.statement_retries;
+    rows_scanned += other.rows_scanned;
+    rows_returned += other.rows_returned;
+  }
+
+  /// The EXPLAIN ANALYZE resource-vector block (multi-line, no trailing
+  /// newline).
+  std::string ToString() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "resources: wall=%lldus queue=%lldus commit=%lldus retries=%llu\n"
+        "  store: read_ops=%llu read_bytes=%llu write_ops=%llu "
+        "write_bytes=%llu retries=%llu\n"
+        "  cache: hits=%llu misses=%llu  rows: scanned=%llu returned=%llu",
+        static_cast<long long>(wall_us), static_cast<long long>(queue_us),
+        static_cast<long long>(commit_us),
+        static_cast<unsigned long long>(statement_retries),
+        static_cast<unsigned long long>(store_read_ops),
+        static_cast<unsigned long long>(store_read_bytes),
+        static_cast<unsigned long long>(store_write_ops),
+        static_cast<unsigned long long>(store_write_bytes),
+        static_cast<unsigned long long>(store_retries),
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        static_cast<unsigned long long>(rows_scanned),
+        static_cast<unsigned long long>(rows_returned));
+    return buf;
+  }
+};
+
+/// Accumulator for one statement's resource vector, charged from the
+/// existing choke points (admission, storage decorators, data cache, scan,
+/// commit pipeline) through the ambient TraceContext — the same channel
+/// Deadline/CancelToken already ride, so charges from DCP worker threads
+/// land on the owning statement without new plumbing.
+///
+/// All fields are relaxed atomics: scan tasks on pool workers charge
+/// concurrently; the owner reads the snapshot only after the scheduler has
+/// joined its tasks. The accumulator must outlive every task of its
+/// statement, which SqlSession guarantees by scoping it around execution
+/// (Scheduler::Run waits for all submitted tasks; STO is explicitly
+/// driven, never from a statement's captured context).
+class ResourceUsage {
+ public:
+  void ChargeQueue(int64_t us) { queue_us_.fetch_add(us, kRelaxed); }
+  void ChargeCommit(int64_t us) { commit_us_.fetch_add(us, kRelaxed); }
+  void ChargeStoreOp(bool is_write, uint64_t bytes = 0) {
+    if (is_write) {
+      store_write_ops_.fetch_add(1, kRelaxed);
+      if (bytes != 0) store_write_bytes_.fetch_add(bytes, kRelaxed);
+    } else {
+      store_read_ops_.fetch_add(1, kRelaxed);
+      if (bytes != 0) store_read_bytes_.fetch_add(bytes, kRelaxed);
+    }
+  }
+  void ChargeStoreBytes(bool is_write, uint64_t bytes) {
+    if (bytes == 0) return;
+    (is_write ? store_write_bytes_ : store_read_bytes_)
+        .fetch_add(bytes, kRelaxed);
+  }
+  void ChargeStoreRetries(uint64_t n) {
+    if (n != 0) store_retries_.fetch_add(n, kRelaxed);
+  }
+  void ChargeCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+  void ChargeCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+  void ChargeStatementRetry() { statement_retries_.fetch_add(1, kRelaxed); }
+  void ChargeRowsScanned(uint64_t n) {
+    if (n != 0) rows_scanned_.fetch_add(n, kRelaxed);
+  }
+  void ChargeRowsReturned(uint64_t n) {
+    if (n != 0) rows_returned_.fetch_add(n, kRelaxed);
+  }
+
+  ResourceUsageSnapshot Snapshot() const {
+    ResourceUsageSnapshot s;
+    s.queue_us = queue_us_.load(kRelaxed);
+    s.commit_us = commit_us_.load(kRelaxed);
+    s.store_read_ops = store_read_ops_.load(kRelaxed);
+    s.store_write_ops = store_write_ops_.load(kRelaxed);
+    s.store_read_bytes = store_read_bytes_.load(kRelaxed);
+    s.store_write_bytes = store_write_bytes_.load(kRelaxed);
+    s.store_retries = store_retries_.load(kRelaxed);
+    s.cache_hits = cache_hits_.load(kRelaxed);
+    s.cache_misses = cache_misses_.load(kRelaxed);
+    s.statement_retries = statement_retries_.load(kRelaxed);
+    s.rows_scanned = rows_scanned_.load(kRelaxed);
+    s.rows_returned = rows_returned_.load(kRelaxed);
+    return s;
+  }
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  std::atomic<int64_t> queue_us_{0};
+  std::atomic<int64_t> commit_us_{0};
+  std::atomic<uint64_t> store_read_ops_{0};
+  std::atomic<uint64_t> store_write_ops_{0};
+  std::atomic<uint64_t> store_read_bytes_{0};
+  std::atomic<uint64_t> store_write_bytes_{0};
+  std::atomic<uint64_t> store_retries_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> statement_retries_{0};
+  std::atomic<uint64_t> rows_scanned_{0};
+  std::atomic<uint64_t> rows_returned_{0};
+};
+
+/// The statement accumulator of the calling thread's ambient context;
+/// null outside an accounted statement. Charge sites are no-ops when null.
+inline ResourceUsage* CurrentResourceUsage() {
+  return MutableCurrentTraceContext().usage;
+}
+
+/// Installs `usage` as the thread's ambient accumulator for the scope's
+/// lifetime, restoring the previous one on destruction. SqlSession wraps
+/// statement execution in one of these.
+class ScopedResourceUsage {
+ public:
+  explicit ScopedResourceUsage(ResourceUsage* usage)
+      : saved_(MutableCurrentTraceContext().usage) {
+    MutableCurrentTraceContext().usage = usage;
+  }
+  ~ScopedResourceUsage() { MutableCurrentTraceContext().usage = saved_; }
+
+  ScopedResourceUsage(const ScopedResourceUsage&) = delete;
+  ScopedResourceUsage& operator=(const ScopedResourceUsage&) = delete;
+
+ private:
+  ResourceUsage* saved_;
+};
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_RESOURCE_USAGE_H_

@@ -9,6 +9,8 @@
 
 namespace polaris::common {
 
+class ResourceUsage;
+
 /// Identifies where in a distributed trace the current thread is working:
 /// the trace (one user statement or one STO background job), the innermost
 /// open span, and — when known — the user transaction. Plain value type so
@@ -25,6 +27,11 @@ struct TraceContext {
   /// lives here, every thread-crossing point that carries the trace context
   /// (dcp::ThreadPool, STO jobs) carries the deadline too.
   Deadline deadline;
+  /// The owning statement's resource accumulator (common/resource_usage.h);
+  /// null outside an accounted statement. A raw pointer is safe because
+  /// every thread-crossing carrier of the context is joined before the
+  /// statement scope that owns the accumulator ends.
+  ResourceUsage* usage = nullptr;
 
   bool active() const { return trace_id != 0; }
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/resource_usage.h"
+
 namespace polaris::engine {
 
 using common::Result;
@@ -87,6 +89,12 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   if (metrics_ != nullptr) {
     metrics_->Observe("admission.queue_wait_us",
                       static_cast<common::Micros>(waited));
+  }
+  // Charged whether the statement was admitted, shed, or cancelled: the
+  // queue time of a shed statement is exactly what its resource vector
+  // should show.
+  if (auto* usage = common::CurrentResourceUsage()) {
+    usage->ChargeQueue(static_cast<int64_t>(waited));
   }
   if (!admitted) return result;
   ++running_;

@@ -68,6 +68,7 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       txn_manager_(&catalog_, store_, &builder_, clock_,
                    options_.txn_options),
       sto_(&txn_manager_, &cache_, &scheduler_, options_.sto_options),
+      query_store_(clock_, options_.query_store),
       recorder_(&metrics_, options_.metrics_history_capacity),
       watchdog_(&recorder_, &events_, &metrics_) {
   fault_store_->set_policy(options_.fault_policy);
@@ -140,6 +141,8 @@ void PolarisEngine::SampleObservabilityOnce() {
   gauges.emplace_back("tracer.ring_spans",
                       static_cast<double>(tracer_.size()));
   gauges.emplace_back("cache.entries", static_cast<double>(cache_.size()));
+  gauges.emplace_back("query_store.fingerprints",
+                      static_cast<double>(query_store_.fingerprints()));
   // Breaker state as a severity gauge: 0 closed, 1 half-open, 2 open —
   // ordered so above-is-bad SLO thresholds read naturally.
   double breaker_severity = 0.0;
@@ -247,6 +250,24 @@ void PolarisEngine::InstallDefaultSloRules() {
   }
   {
     obs::SloRule rule;
+    rule.name = "query-store-latency-regression";
+    rule.description =
+        "worst per-fingerprint p99 vs trailing-interval baseline (ratio)";
+    rule.kind = obs::SloRule::Kind::kProbe;
+    rule.probe = [this](bool* has_data) {
+      obs::QueryStore::Regression worst;
+      if (!query_store_.WorstRegression(&worst)) {
+        *has_data = false;
+        return 0.0;
+      }
+      return worst.ratio;
+    };
+    rule.warn_threshold = 2.0;   // current p99 doubled vs baseline
+    rule.fail_threshold = 10.0;  // order-of-magnitude regression
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
     rule.name = "tracer-drops";
     rule.description = "spans evicted from the tracer ring (truncated traces)";
     rule.kind = obs::SloRule::Kind::kDelta;
@@ -347,6 +368,12 @@ obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
   AdmissionController::Stats admission = admission_.stats();
   snapshot.counters["admission.running"] = admission.running;
   snapshot.counters["admission.queued"] = admission.queued;
+  snapshot.counters["query_store.recorded.total"] =
+      query_store_.recorded_total();
+  snapshot.counters["query_store.overflow.total"] =
+      query_store_.overflow_total();
+  snapshot.counters["query_store.fingerprints"] =
+      query_store_.fingerprints();
   return snapshot;
 }
 
@@ -359,7 +386,14 @@ Result<std::unique_ptr<txn::Transaction>> PolarisEngine::Begin(
 Status PolarisEngine::Commit(txn::Transaction* txn) {
   obs::Span span(&tracer_, "engine.commit");
   std::vector<int64_t> dirty = txn->dirty_tables();
-  POLARIS_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+  const common::Micros commit_start = clock_->Now();
+  Status st = txn_manager_.Commit(txn);
+  // Commit-pipeline time is charged win or lose: a conflicting commit
+  // spent real pipeline time the statement's vector should show.
+  if (auto* usage = common::CurrentResourceUsage()) {
+    usage->ChargeCommit(clock_->Now() - commit_start);
+  }
+  POLARIS_RETURN_IF_ERROR(st);
   // FE notifies STO after each commit (§5.2).
   for (int64_t table_id : dirty) sto_.OnCommit(table_id);
   return Status::OK();
@@ -385,6 +419,9 @@ Status PolarisEngine::RunInTransaction(
       if (!txn->finished()) (void)Abort(txn.get());
       if (st.IsConflict()) {
         last = st;
+        if (auto* usage = common::CurrentResourceUsage()) {
+          usage->ChargeStatementRetry();
+        }
         continue;  // optimistic retry (§3)
       }
       return st;
@@ -393,6 +430,9 @@ Status PolarisEngine::RunInTransaction(
     if (st.ok()) return st;
     if (!st.IsConflict()) return st;
     last = st;
+    if (auto* usage = common::CurrentResourceUsage()) {
+      usage->ChargeStatementRetry();
+    }
   }
   return last;
 }

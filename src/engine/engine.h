@@ -25,6 +25,7 @@
 #include "lst/snapshot_builder.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/query_store.h"
 #include "obs/time_series.h"
 #include "obs/tracer.h"
 #include "sto/sto.h"
@@ -87,6 +88,9 @@ struct EngineOptions {
   /// per-metric time-series rings.
   size_t event_log_capacity = 4096;
   size_t metrics_history_capacity = 512;
+  /// The per-fingerprint workload repository behind sys.query_store
+  /// (enabled by default; see obs::QueryStoreOptions).
+  obs::QueryStoreOptions query_store;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -203,6 +207,9 @@ class PolarisEngine {
   const obs::TimeSeriesRecorder* time_series() const { return &recorder_; }
   /// The SLO watchdog (sys.dm_health).
   const obs::HealthWatchdog* health() const { return &watchdog_; }
+  /// The per-fingerprint workload repository (sys.query_store).
+  obs::QueryStore* query_store() { return &query_store_; }
+  const obs::QueryStore* query_store() const { return &query_store_; }
   /// The DMV provider behind `SELECT ... FROM sys.<view>`.
   const SystemViews* system_views() const { return views_.get(); }
 
@@ -352,6 +359,7 @@ class PolarisEngine {
   dcp::Scheduler scheduler_;
   txn::TransactionManager txn_manager_;
   sto::SystemTaskOrchestrator sto_;
+  obs::QueryStore query_store_;
   obs::TimeSeriesRecorder recorder_;
   obs::HealthWatchdog watchdog_;
   std::unique_ptr<SystemViews> views_;

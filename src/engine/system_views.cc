@@ -66,6 +66,9 @@ SystemViews::Catalog() {
       {"dm_admission", "admission-control occupancy and shed counters"},
       {"dm_commit", "catalog group-commit pipeline counters"},
       {"dm_views", "this catalog"},
+      {"query_store", "per-fingerprint workload repository (Query Store)"},
+      {"query_store_intervals",
+       "per-fingerprint interval-bucketed Query Store stats"},
   };
   return kCatalog;
 }
@@ -84,6 +87,8 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_admission") return Admission();
   if (table == "sys.dm_commit") return Commit();
   if (table == "sys.dm_views") return Views();
+  if (table == "sys.query_store") return QueryStoreView();
+  if (table == "sys.query_store_intervals") return QueryStoreIntervals();
   return common::Status::NotFound("unknown system view: " + table);
 }
 
@@ -340,6 +345,79 @@ RecordBatch SystemViews::Views() const {
                                 {"description", ColumnType::kString}}));
   for (const auto& [name, description] : Catalog()) {
     (void)batch.AppendRow(Row{Str("sys." + name), Str(description)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::QueryStoreView() const {
+  RecordBatch batch(
+      MakeSchema({{"fingerprint_id", ColumnType::kInt64},
+                  {"fingerprint", ColumnType::kString},
+                  {"kind", ColumnType::kString},
+                  // "executions", not "count": COUNT is a reserved word
+                  // in the SQL surface.
+                  {"executions", ColumnType::kInt64},
+                  {"ok", ColumnType::kInt64},
+                  {"errors", ColumnType::kInt64},
+                  {"conflicts", ColumnType::kInt64},
+                  {"shed", ColumnType::kInt64},
+                  {"killed", ColumnType::kInt64},
+                  {"expired", ColumnType::kInt64},
+                  {"wall_p50_us", ColumnType::kInt64},
+                  {"wall_p99_us", ColumnType::kInt64},
+                  {"total_wall_us", ColumnType::kInt64},
+                  {"total_queue_us", ColumnType::kInt64},
+                  {"total_commit_us", ColumnType::kInt64},
+                  {"store_read_ops", ColumnType::kInt64},
+                  {"store_write_ops", ColumnType::kInt64},
+                  {"store_read_bytes", ColumnType::kInt64},
+                  {"store_write_bytes", ColumnType::kInt64},
+                  {"store_retries", ColumnType::kInt64},
+                  {"cache_hits", ColumnType::kInt64},
+                  {"cache_misses", ColumnType::kInt64},
+                  {"statement_retries", ColumnType::kInt64},
+                  {"rows_scanned", ColumnType::kInt64},
+                  {"rows_returned", ColumnType::kInt64},
+                  {"first_seen_us", ColumnType::kInt64},
+                  {"last_seen_us", ColumnType::kInt64}}));
+  for (const auto& row : engine_->query_store()->Snapshot()) {
+    (void)batch.AppendRow(
+        Row{I64u(row.fingerprint_id), Str(row.fingerprint), Str(row.kind),
+            I64u(row.count), I64u(row.ok), I64u(row.errors),
+            I64u(row.conflicts), I64u(row.shed), I64u(row.killed),
+            I64u(row.expired), I64(row.wall_p50_us), I64(row.wall_p99_us),
+            I64(row.total_wall_us), I64(row.total_queue_us),
+            I64(row.total_commit_us), I64u(row.store_read_ops),
+            I64u(row.store_write_ops), I64u(row.store_read_bytes),
+            I64u(row.store_write_bytes), I64u(row.store_retries),
+            I64u(row.cache_hits), I64u(row.cache_misses),
+            I64u(row.statement_retries), I64u(row.rows_scanned),
+            I64u(row.rows_returned), I64(row.first_seen_us),
+            I64(row.last_seen_us)});
+  }
+  return batch;
+}
+
+RecordBatch SystemViews::QueryStoreIntervals() const {
+  RecordBatch batch(MakeSchema({{"fingerprint_id", ColumnType::kInt64},
+                                {"fingerprint", ColumnType::kString},
+                                {"interval_start_us", ColumnType::kInt64},
+                                {"executions", ColumnType::kInt64},
+                                {"errors", ColumnType::kInt64},
+                                {"wall_p50_us", ColumnType::kInt64},
+                                {"wall_p99_us", ColumnType::kInt64},
+                                {"total_wall_us", ColumnType::kInt64},
+                                {"store_ops", ColumnType::kInt64},
+                                {"store_bytes", ColumnType::kInt64},
+                                {"rows_scanned", ColumnType::kInt64},
+                                {"rows_returned", ColumnType::kInt64}}));
+  for (const auto& row : engine_->query_store()->IntervalSnapshot()) {
+    (void)batch.AppendRow(
+        Row{I64u(row.fingerprint_id), Str(row.fingerprint),
+            I64(row.interval_start_us), I64u(row.count), I64u(row.errors),
+            I64(row.wall_p50_us), I64(row.wall_p99_us), I64(row.total_wall_us),
+            I64u(row.store_ops), I64u(row.store_bytes), I64u(row.rows_scanned),
+            I64u(row.rows_returned)});
   }
   return batch;
 }

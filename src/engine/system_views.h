@@ -30,6 +30,10 @@ class PolarisEngine;
 ///   sys.dm_admission       admission-control occupancy and shed counters
 ///   sys.dm_commit          catalog group-commit pipeline counters
 ///   sys.dm_views           this catalog
+///   sys.query_store        per-fingerprint workload repository (Query Store)
+///   sys.query_store_intervals
+///                          per-fingerprint interval-bucketed Query Store
+///                          stats (newest interval first)
 class SystemViews {
  public:
   /// `engine` must outlive this object.
@@ -59,6 +63,8 @@ class SystemViews {
   format::RecordBatch Admission() const;
   format::RecordBatch Commit() const;
   format::RecordBatch Views() const;
+  format::RecordBatch QueryStoreView() const;
+  format::RecordBatch QueryStoreIntervals() const;
 
   PolarisEngine* engine_;
 };

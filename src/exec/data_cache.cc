@@ -1,5 +1,7 @@
 #include "exec/data_cache.h"
 
+#include "common/resource_usage.h"
+
 namespace polaris::exec {
 
 using common::Result;
@@ -45,6 +47,9 @@ Result<std::shared_ptr<const format::FileReader>> DataCache::GetFile(
     if (it != entries_.end() && it->second.file != nullptr) {
       ++stats_.hits;
       if (metrics_ != nullptr) metrics_->Add("cache.hits");
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheHit();
+      }
       TouchLocked(path, it->second);
       return it->second.file;
     }
@@ -53,12 +58,20 @@ Result<std::shared_ptr<const format::FileReader>> DataCache::GetFile(
       flight = in_flight->second;
       ++stats_.coalesced;
       if (metrics_ != nullptr) metrics_->Add("cache.coalesced");
+      // A coalesced waiter shares the leader's fetch but still missed the
+      // cache from its statement's point of view.
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheMiss();
+      }
     } else {
       flight = std::make_shared<Flight<format::FileReader>>();
       inflight_files_[path] = flight;
       leader = true;
       ++stats_.misses;
       if (metrics_ != nullptr) metrics_->Add("cache.misses");
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheMiss();
+      }
     }
   }
   if (!leader) {
@@ -99,6 +112,9 @@ Result<std::shared_ptr<const lst::DeletionVector>> DataCache::GetDeleteVector(
     if (it != entries_.end() && it->second.dv != nullptr) {
       ++stats_.hits;
       if (metrics_ != nullptr) metrics_->Add("cache.hits");
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheHit();
+      }
       TouchLocked(path, it->second);
       return it->second.dv;
     }
@@ -107,12 +123,20 @@ Result<std::shared_ptr<const lst::DeletionVector>> DataCache::GetDeleteVector(
       flight = in_flight->second;
       ++stats_.coalesced;
       if (metrics_ != nullptr) metrics_->Add("cache.coalesced");
+      // A coalesced waiter shares the leader's fetch but still missed the
+      // cache from its statement's point of view.
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheMiss();
+      }
     } else {
       flight = std::make_shared<Flight<lst::DeletionVector>>();
       inflight_dvs_[path] = flight;
       leader = true;
       ++stats_.misses;
       if (metrics_ != nullptr) metrics_->Add("cache.misses");
+      if (auto* usage = common::CurrentResourceUsage()) {
+        usage->ChargeCacheMiss();
+      }
     }
   }
   if (!leader) {

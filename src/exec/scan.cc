@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/resource_usage.h"
 #include "common/trace_context.h"
 
 namespace polaris::exec {
@@ -88,6 +89,9 @@ Status TableScanner::ScanFile(const lst::FileState& file,
     if (metrics != nullptr) {
       ++metrics->row_groups_read;
       metrics->rows_read += batch.num_rows();
+    }
+    if (auto* usage = common::CurrentResourceUsage()) {
+      usage->ChargeRowsScanned(batch.num_rows());
     }
 
     // Merge-on-read: drop rows marked deleted in the DV, tracking the

@@ -19,18 +19,46 @@ void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
   counters_[name] += delta;
 }
 
-void MetricsRegistry::Observe(const std::string& name, common::Micros value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Histogram& h = histograms_[name];
-  if (h.counts.empty()) h.counts.assign(BucketBounds().size() + 1, 0);
-  const auto& bounds = BucketBounds();
+void Histogram::Observe(common::Micros value) {
+  const auto& bounds = MetricsRegistry::BucketBounds();
+  if (counts_.empty()) counts_.assign(bounds.size() + 1, 0);
   size_t bucket =
       std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin();
-  ++h.counts[bucket];
-  if (h.count == 0 || value < h.min) h.min = value;
-  if (h.count == 0 || value > h.max) h.max = value;
-  ++h.count;
-  h.sum += value;
+  ++counts_[bucket];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(other.counts_.size(), 0);
+  for (size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = MetricsRegistry::BucketBounds();
+  out.counts = counts_.empty()
+                   ? std::vector<uint64_t>(out.bounds.size() + 1, 0)
+                   : counts_;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  return out;
+}
+
+void MetricsRegistry::Observe(const std::string& name, common::Micros value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Observe(value);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -38,14 +66,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   snapshot.counters = counters_;
   for (const auto& [name, h] : histograms_) {
-    HistogramSnapshot out;
-    out.bounds = BucketBounds();
-    out.counts = h.counts;
-    out.count = h.count;
-    out.sum = h.sum;
-    out.min = h.min;
-    out.max = h.max;
-    snapshot.histograms.emplace(name, std::move(out));
+    snapshot.histograms.emplace(name, h.Snapshot());
   }
   return snapshot;
 }

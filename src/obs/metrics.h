@@ -31,6 +31,28 @@ struct HistogramSnapshot {
   int64_t ApproxQuantile(double quantile) const;
 };
 
+/// Fixed-bucket histogram accumulator. Unlocked — callers provide
+/// synchronization (MetricsRegistry holds one per name under its mutex;
+/// the Query Store holds them per fingerprint/interval under its own).
+/// All instances share the registry's bucket bounds so snapshots merge.
+class Histogram {
+ public:
+  void Observe(common::Micros value);
+  /// Adds every bucket/statistic of `other` into this histogram (used to
+  /// merge interval histograms into a trailing baseline).
+  void Merge(const Histogram& other);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+
+ private:
+  std::vector<uint64_t> counts_;  // lazily sized bounds+1; empty until first
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
 /// Point-in-time copy of every metric in a registry.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
@@ -73,14 +95,6 @@ class MetricsRegistry {
   static const std::vector<common::Micros>& BucketBounds();
 
  private:
-  struct Histogram {
-    std::vector<uint64_t> counts;
-    uint64_t count = 0;
-    int64_t sum = 0;
-    int64_t min = 0;
-    int64_t max = 0;
-  };
-
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;

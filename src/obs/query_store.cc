@@ -1,0 +1,231 @@
+#include "obs/query_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace polaris::obs {
+
+namespace {
+
+constexpr const char* kOverflowFingerprint = "(other)";
+
+/// FNV-1a 64 over the fingerprint text (mirrors sql::FingerprintId; kept
+/// local so obs does not depend on the SQL layer).
+uint64_t HashFingerprint(const std::string& fingerprint) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : fingerprint) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+QueryStore::QueryStore(common::Clock* clock, QueryStoreOptions options)
+    : clock_(clock), options_(options), enabled_(options.enabled) {
+  if (options_.max_fingerprints == 0) options_.max_fingerprints = 1;
+  if (options_.interval_micros <= 0) options_.interval_micros = 60'000'000;
+  if (options_.max_intervals == 0) options_.max_intervals = 1;
+}
+
+int64_t QueryStore::NowMicros() const {
+  if (clock_ != nullptr) return clock_->Now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void QueryStore::Record(const std::string& fingerprint, std::string_view kind,
+                        common::StatementOutcome outcome,
+                        const common::ResourceUsageSnapshot& usage) {
+  if (!enabled()) return;
+  const int64_t now = NowMicros();
+  const int64_t interval_start =
+      now - (now % options_.interval_micros);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    // Reserve one slot for the fold-in entry so a full store still
+    // accounts every statement somewhere.
+    bool full = entries_.size() >= options_.max_fingerprints;
+    if (full) {
+      ++overflow_;
+      it = entries_.find(kOverflowFingerprint);
+      if (it == entries_.end()) {
+        it = entries_.emplace(kOverflowFingerprint, Entry{}).first;
+        it->second.kind = "(mixed)";
+        it->second.first_seen_us = now;
+      }
+    } else {
+      it = entries_.emplace(fingerprint, Entry{}).first;
+      it->second.kind = std::string(kind);
+      it->second.first_seen_us = now;
+    }
+  }
+  Entry& entry = it->second;
+  ++entry.outcomes[static_cast<int>(outcome)];
+  entry.wall.Observe(usage.wall_us);
+  entry.totals.Add(usage);
+  entry.last_seen_us = now;
+
+  if (entry.intervals.empty() ||
+      entry.intervals.back().start_us != interval_start) {
+    entry.intervals.push_back(Interval{});
+    entry.intervals.back().start_us = interval_start;
+    while (entry.intervals.size() > options_.max_intervals) {
+      entry.intervals.pop_front();
+    }
+  }
+  Interval& bucket = entry.intervals.back();
+  ++bucket.count;
+  if (outcome != common::StatementOutcome::kOk) ++bucket.errors;
+  bucket.wall.Observe(usage.wall_us);
+  bucket.store_ops += usage.store_read_ops + usage.store_write_ops;
+  bucket.store_bytes += usage.store_read_bytes + usage.store_write_bytes;
+  bucket.rows_scanned += usage.rows_scanned;
+  bucket.rows_returned += usage.rows_returned;
+}
+
+QueryStoreEntryRow QueryStore::EntryRow(const std::string& fingerprint,
+                                        const Entry& entry) const {
+  QueryStoreEntryRow row;
+  row.fingerprint_id = HashFingerprint(fingerprint);
+  row.fingerprint = fingerprint;
+  row.kind = entry.kind;
+  for (uint64_t n : entry.outcomes) row.count += n;
+  row.ok = entry.outcomes[static_cast<int>(common::StatementOutcome::kOk)];
+  row.errors =
+      entry.outcomes[static_cast<int>(common::StatementOutcome::kError)];
+  row.conflicts =
+      entry.outcomes[static_cast<int>(common::StatementOutcome::kConflict)];
+  row.shed = entry.outcomes[static_cast<int>(common::StatementOutcome::kShed)];
+  row.killed =
+      entry.outcomes[static_cast<int>(common::StatementOutcome::kKilled)];
+  row.expired =
+      entry.outcomes[static_cast<int>(common::StatementOutcome::kExpired)];
+  HistogramSnapshot wall = entry.wall.Snapshot();
+  row.wall_p50_us = wall.ApproxQuantile(0.5);
+  row.wall_p99_us = wall.ApproxQuantile(0.99);
+  row.total_wall_us = entry.totals.wall_us;
+  row.total_queue_us = entry.totals.queue_us;
+  row.total_commit_us = entry.totals.commit_us;
+  row.store_read_ops = entry.totals.store_read_ops;
+  row.store_write_ops = entry.totals.store_write_ops;
+  row.store_read_bytes = entry.totals.store_read_bytes;
+  row.store_write_bytes = entry.totals.store_write_bytes;
+  row.store_retries = entry.totals.store_retries;
+  row.cache_hits = entry.totals.cache_hits;
+  row.cache_misses = entry.totals.cache_misses;
+  row.statement_retries = entry.totals.statement_retries;
+  row.rows_scanned = entry.totals.rows_scanned;
+  row.rows_returned = entry.totals.rows_returned;
+  row.first_seen_us = entry.first_seen_us;
+  row.last_seen_us = entry.last_seen_us;
+  return row;
+}
+
+std::vector<QueryStoreEntryRow> QueryStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryStoreEntryRow> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [fingerprint, entry] : entries_) {
+    rows.push_back(EntryRow(fingerprint, entry));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const QueryStoreEntryRow& a,
+                      const QueryStoreEntryRow& b) {
+                     return a.total_wall_us > b.total_wall_us;
+                   });
+  return rows;
+}
+
+std::vector<QueryStoreEntryRow> QueryStore::TopByWallTime(size_t n) const {
+  std::vector<QueryStoreEntryRow> rows = Snapshot();
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::vector<QueryStoreIntervalRow> QueryStore::IntervalSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryStoreIntervalRow> rows;
+  for (const auto& [fingerprint, entry] : entries_) {
+    for (auto it = entry.intervals.rbegin(); it != entry.intervals.rend();
+         ++it) {
+      QueryStoreIntervalRow row;
+      row.fingerprint_id = HashFingerprint(fingerprint);
+      row.fingerprint = fingerprint;
+      row.interval_start_us = it->start_us;
+      row.count = it->count;
+      row.errors = it->errors;
+      HistogramSnapshot wall = it->wall.Snapshot();
+      row.wall_p50_us = wall.ApproxQuantile(0.5);
+      row.wall_p99_us = wall.ApproxQuantile(0.99);
+      row.total_wall_us = wall.sum;
+      row.store_ops = it->store_ops;
+      row.store_bytes = it->store_bytes;
+      row.rows_scanned = it->rows_scanned;
+      row.rows_returned = it->rows_returned;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+bool QueryStore::WorstRegression(Regression* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool found = false;
+  for (const auto& [fingerprint, entry] : entries_) {
+    // The fold-in entry mixes unrelated statement shapes; its latency
+    // distribution is meaningless for regression judgement.
+    if (fingerprint == kOverflowFingerprint) continue;
+    if (entry.intervals.size() < 2) continue;
+    const Interval& current = entry.intervals.back();
+    if (current.count < options_.regression_min_samples) continue;
+    Histogram baseline;
+    for (size_t i = 0; i + 1 < entry.intervals.size(); ++i) {
+      baseline.Merge(entry.intervals[i].wall);
+    }
+    if (baseline.count() < options_.regression_min_samples) continue;
+    int64_t current_p99 = current.wall.Snapshot().ApproxQuantile(0.99);
+    int64_t baseline_p99 = baseline.Snapshot().ApproxQuantile(0.99);
+    double ratio = static_cast<double>(current_p99) /
+                   static_cast<double>(std::max<int64_t>(1, baseline_p99));
+    if (!found || ratio > out->ratio) {
+      found = true;
+      out->fingerprint = fingerprint;
+      out->ratio = ratio;
+      out->current_p99_us = current_p99;
+      out->baseline_p99_us = baseline_p99;
+      out->current_samples = current.count;
+      out->baseline_samples = baseline.count();
+    }
+  }
+  return found;
+}
+
+uint64_t QueryStore::recorded_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t QueryStore::overflow_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflow_;
+}
+
+uint64_t QueryStore::fingerprints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void QueryStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  recorded_ = 0;
+  overflow_ = 0;
+}
+
+}  // namespace polaris::obs

@@ -1,0 +1,179 @@
+#ifndef POLARIS_OBS_QUERY_STORE_H_
+#define POLARIS_OBS_QUERY_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/resource_usage.h"
+#include "obs/metrics.h"
+
+namespace polaris::obs {
+
+struct QueryStoreOptions {
+  /// Enabled by default: the overhead budget (< 5% on
+  /// bench/micro_txn_contention) is asserted in that bench.
+  bool enabled = true;
+  /// Bounded heavy-hitter set: distinct fingerprints tracked. Statements
+  /// beyond the cap fold into a synthetic "(other)" entry so the store
+  /// never grows without bound.
+  size_t max_fingerprints = 256;
+  /// Width of one aggregation interval on the engine clock.
+  common::Micros interval_micros = 60'000'000;
+  /// Closed intervals retained per fingerprint (current + trailing
+  /// baseline).
+  size_t max_intervals = 8;
+  /// Minimum samples in both the current interval and the trailing
+  /// baseline before the latency-regression probe will judge a
+  /// fingerprint.
+  uint64_t regression_min_samples = 16;
+};
+
+/// One interval bucket of a fingerprint's history (sys.query_store_intervals).
+struct QueryStoreIntervalRow {
+  uint64_t fingerprint_id = 0;
+  std::string fingerprint;
+  int64_t interval_start_us = 0;
+  uint64_t count = 0;
+  uint64_t errors = 0;  // every non-ok outcome
+  int64_t wall_p50_us = 0;
+  int64_t wall_p99_us = 0;
+  int64_t total_wall_us = 0;
+  uint64_t store_ops = 0;
+  uint64_t store_bytes = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+};
+
+/// Cumulative per-fingerprint aggregate (sys.query_store).
+struct QueryStoreEntryRow {
+  uint64_t fingerprint_id = 0;
+  std::string fingerprint;
+  std::string kind;  // statement kind of the first recording
+  uint64_t count = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t conflicts = 0;
+  uint64_t shed = 0;
+  uint64_t killed = 0;
+  uint64_t expired = 0;
+  int64_t wall_p50_us = 0;
+  int64_t wall_p99_us = 0;
+  int64_t total_wall_us = 0;
+  int64_t total_queue_us = 0;
+  int64_t total_commit_us = 0;
+  uint64_t store_read_ops = 0;
+  uint64_t store_write_ops = 0;
+  uint64_t store_read_bytes = 0;
+  uint64_t store_write_bytes = 0;
+  uint64_t store_retries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t statement_retries = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  int64_t first_seen_us = 0;
+  int64_t last_seen_us = 0;
+};
+
+/// The workload repository (SQL Server Query Store analogue): per-
+/// statement-fingerprint resource aggregates, cumulative and bucketed
+/// into engine-clock intervals, with a latency-regression probe the SLO
+/// watchdog polls. Thread-safe; SqlSession records one row per statement.
+class QueryStore {
+ public:
+  /// `clock` stamps recordings and interval boundaries; falls back to
+  /// real steady time when null (engine passes its own clock).
+  explicit QueryStore(common::Clock* clock = nullptr,
+                      QueryStoreOptions options = {});
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  const QueryStoreOptions& options() const { return options_; }
+
+  /// Aggregates one finished statement. `kind` is the statement kind of
+  /// the SQL surface ("SELECT", "INSERT", ...); `usage.wall_us` feeds the
+  /// latency histograms. No-op while disabled.
+  void Record(const std::string& fingerprint, std::string_view kind,
+              common::StatementOutcome outcome,
+              const common::ResourceUsageSnapshot& usage);
+
+  /// Cumulative per-fingerprint aggregates, heaviest (by total wall time)
+  /// first.
+  std::vector<QueryStoreEntryRow> Snapshot() const;
+
+  /// Per-fingerprint interval buckets, newest interval first within each
+  /// fingerprint.
+  std::vector<QueryStoreIntervalRow> IntervalSnapshot() const;
+
+  /// Top `n` fingerprints by total wall time.
+  std::vector<QueryStoreEntryRow> TopByWallTime(size_t n) const;
+
+  struct Regression {
+    std::string fingerprint;
+    double ratio = 0;          // current p99 / baseline p99
+    int64_t current_p99_us = 0;
+    int64_t baseline_p99_us = 0;
+    uint64_t current_samples = 0;
+    uint64_t baseline_samples = 0;
+  };
+
+  /// The worst current-interval-p99 vs trailing-baseline-p99 ratio across
+  /// fingerprints with enough samples on both sides; false when no
+  /// fingerprint qualifies. This is the SLO watchdog's probe input.
+  bool WorstRegression(Regression* out) const;
+
+  /// Statements recorded since construction (including folded ones).
+  uint64_t recorded_total() const;
+  /// Statements folded into "(other)" because the fingerprint set was full.
+  uint64_t overflow_total() const;
+  /// Distinct fingerprints currently tracked.
+  uint64_t fingerprints() const;
+
+  void Reset();
+
+ private:
+  struct Interval {
+    int64_t start_us = 0;
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    Histogram wall;
+    uint64_t store_ops = 0;
+    uint64_t store_bytes = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t rows_returned = 0;
+  };
+
+  struct Entry {
+    std::string kind;
+    uint64_t outcomes[6] = {0, 0, 0, 0, 0, 0};
+    Histogram wall;
+    common::ResourceUsageSnapshot totals;
+    int64_t first_seen_us = 0;
+    int64_t last_seen_us = 0;
+    std::deque<Interval> intervals;  // oldest first
+  };
+
+  int64_t NowMicros() const;
+  QueryStoreEntryRow EntryRow(const std::string& fingerprint,
+                              const Entry& entry) const;
+
+  common::Clock* clock_;
+  QueryStoreOptions options_;
+  std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  uint64_t recorded_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace polaris::obs
+
+#endif  // POLARIS_OBS_QUERY_STORE_H_

@@ -158,6 +158,13 @@ double HealthWatchdog::RuleValue(const SloRule& rule, bool* has_data) const {
       return recorder_->DeltaOverWindow(rule.metric, rule.window) /
              denominator;
     }
+    case SloRule::Kind::kProbe: {
+      if (!rule.probe) {
+        *has_data = false;
+        return 0;
+      }
+      return rule.probe(has_data);
+    }
   }
   *has_data = false;
   return 0;

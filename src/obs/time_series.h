@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -74,23 +75,27 @@ enum class HealthStatus { kOk = 0, kWarn, kFail };
 std::string_view HealthStatusName(HealthStatus status);
 
 /// One declarative SLO rule evaluated against the recorder after each
-/// sample. Three input shapes cover the built-in rules:
+/// sample. Four input shapes cover the built-in rules:
 ///  * kGauge — the latest sample of `metric` (histogram quantiles are
 ///    gauges too: recorded series "<hist>.p99").
 ///  * kDelta — windowed increase of counter `metric`.
 ///  * kRatio — windowed increase of `metric` divided by the summed
 ///    windowed increase of `denominators` (rate over window).
+///  * kProbe — `probe` computes the value from arbitrary live state (the
+///    Query Store regression rule); it sets *has_data=false to abstain.
 /// Direction: with `above_is_bad`, value > fail_threshold is FAIL and
 /// value > warn_threshold is WARN; inverted otherwise (floors, e.g. cache
 /// hit rate). A rule with too little activity (ratio denominator delta
-/// below `min_activity`, or a missing series) reports OK.
+/// below `min_activity`, a missing series, or an abstaining probe)
+/// reports OK.
 struct SloRule {
   std::string name;
   std::string description;
-  enum class Kind { kGauge, kDelta, kRatio };
+  enum class Kind { kGauge, kDelta, kRatio, kProbe };
   Kind kind = Kind::kGauge;
   std::string metric;
   std::vector<std::string> denominators;  // kRatio only
+  std::function<double(bool* has_data)> probe;  // kProbe only
   size_t window = 10;                     // samples, kDelta/kRatio
   bool above_is_bad = true;
   double warn_threshold = 0;

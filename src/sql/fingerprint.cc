@@ -1,0 +1,85 @@
+#include "sql/fingerprint.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace polaris::sql {
+
+namespace {
+
+/// Trims and collapses whitespace runs to single spaces (the fallback
+/// normalization for statements the lexer cannot tokenize).
+std::string CollapseWhitespace(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FingerprintStatement(const std::string& statement) {
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) return CollapseWhitespace(statement);
+
+  std::string out;
+  out.reserve(statement.size());
+  bool after_values = false;
+  bool saw_value_group = false;
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    const Token& token = (*tokens)[i];
+    if (token.type == TokenType::kEnd) break;
+    if (token.IsSymbol(";") && i + 2 >= tokens->size()) continue;
+    if (token.IsKeyword("VALUES")) {
+      after_values = true;
+      saw_value_group = false;
+    }
+    // Collapse `VALUES (..), (..), ...` to its first row: the row count is
+    // a literal property of the statement, not part of its shape.
+    if (after_values && saw_value_group && token.IsSymbol(",") &&
+        i + 1 < tokens->size() && (*tokens)[i + 1].IsSymbol("(")) {
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < tokens->size(); ++j) {
+        if ((*tokens)[j].IsSymbol("(")) ++depth;
+        if ((*tokens)[j].IsSymbol(")") && --depth == 0) break;
+      }
+      i = j;  // skip the whole extra row group
+      continue;
+    }
+    if (after_values && token.IsSymbol(")")) saw_value_group = true;
+    if (!out.empty()) out += ' ';
+    switch (token.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString:
+        out += '?';
+        break;
+      default:
+        out += token.text;
+        break;
+    }
+  }
+  return out.empty() ? CollapseWhitespace(statement) : out;
+}
+
+uint64_t FingerprintId(const std::string& fingerprint) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : fingerprint) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace polaris::sql

@@ -1,0 +1,25 @@
+#ifndef POLARIS_SQL_FINGERPRINT_H_
+#define POLARIS_SQL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace polaris::sql {
+
+/// Normalizes a SQL statement to its workload fingerprint: keywords upper
+/// case, literals (integers, floats, strings) replaced by '?', whitespace
+/// collapsed to single spaces, a trailing ';' dropped, and multi-row
+/// VALUES lists collapsed to one row — so `INSERT INTO t VALUES (1,'a'),
+/// (2,'b');` and `insert into t values (9,'z')` share the fingerprint
+/// `INSERT INTO t VALUES ( ? , ? )`.
+///
+/// Statements the lexer rejects fall back to their whitespace-trimmed raw
+/// text, so every statement has *some* stable fingerprint.
+std::string FingerprintStatement(const std::string& statement);
+
+/// Stable 64-bit id of a fingerprint (FNV-1a over the normalized text).
+uint64_t FingerprintId(const std::string& fingerprint);
+
+}  // namespace polaris::sql
+
+#endif  // POLARIS_SQL_FINGERPRINT_H_

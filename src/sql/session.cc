@@ -5,9 +5,11 @@
 #include <functional>
 #include <map>
 
+#include "common/resource_usage.h"
 #include "common/trace_context.h"
 #include "engine/system_views.h"
 #include "obs/tracer.h"
+#include "sql/fingerprint.h"
 
 namespace polaris::sql {
 
@@ -297,47 +299,103 @@ Result<SqlResult> SqlSession::Execute(const std::string& statement) {
     default:
       break;
   }
+  // Per-statement resource accounting: the accumulator rides the ambient
+  // trace context (like the deadline above) so every choke point — the
+  // admission queue, storage decorators, data cache, scan tasks on DCP
+  // workers, the commit pipeline — charges the owning statement. The scope
+  // outlives all of them (Scheduler::Run joins its tasks).
+  common::ResourceUsage usage;
+  common::ScopedResourceUsage usage_scope(&usage);
+  const common::Micros wall_start = engine_->clock()->Now();
+
+  Result<SqlResult> result = Status::Internal("not executed");
+  // When EXPLAIN ANALYZE converts a terminal outcome (shed / killed /
+  // expired) into a rendered profile, the underlying status lives here so
+  // accounting and events still see how the statement really ended.
+  Status terminal = Status::OK();
+  bool admitted_ok = true;
+
   engine::AdmissionController::Ticket ticket;
   if (gated) {
     auto admitted =
         engine_->admission()->Admit(deadline, StatementKindName(stmt.kind));
-    if (!admitted.ok()) return admitted.status();
-    ticket = std::move(*admitted);
-  }
-
-  Result<SqlResult> result = Status::Internal("not executed");
-  if (stmt.explain_analyze) {
-    result = ExecuteExplainAnalyze(stmt);
-  } else {
-    // Each statement is its own trace; statements of one explicit
-    // transaction are tied together by their txn attribute.
-    obs::Span span(engine_->tracer(), "sql.statement", obs::Span::kRoot);
-    if (span.active()) {
-      span.AddAttr("kind", StatementKindName(stmt.kind));
-      if (!stmt.table.empty()) span.AddAttr("table", stmt.table);
-      // Statements joining an explicit transaction re-stamp its id (the
-      // BEGIN statement's trace ended with its root span).
-      if (txn_ != nullptr) {
-        common::MutableCurrentTraceContext().txn_id = txn_->id();
+    if (!admitted.ok()) {
+      admitted_ok = false;
+      if (stmt.explain_analyze) {
+        // The statement never ran; there is no span tree, but the client
+        // still gets a rendered result with the outcome and the resource
+        // vector (queue time of the shed wait included) instead of a bare
+        // error.
+        terminal = admitted.status();
+        SqlResult rendered;
+        rendered.message = "statement did not run (no profile)";
+        result = std::move(rendered);
+      } else {
+        result = admitted.status();
       }
+    } else {
+      ticket = std::move(*admitted);
     }
-    result = ExecuteParsed(stmt);
   }
 
-  if (!result.ok() && (result.status().IsCancelled() ||
-                       result.status().IsDeadlineExceeded())) {
+  if (admitted_ok) {
+    if (stmt.explain_analyze) {
+      result = ExecuteExplainAnalyze(stmt, &terminal);
+    } else {
+      // Each statement is its own trace; statements of one explicit
+      // transaction are tied together by their txn attribute.
+      obs::Span span(engine_->tracer(), "sql.statement", obs::Span::kRoot);
+      if (span.active()) {
+        span.AddAttr("kind", StatementKindName(stmt.kind));
+        if (!stmt.table.empty()) span.AddAttr("table", stmt.table);
+        // Statements joining an explicit transaction re-stamp its id (the
+        // BEGIN statement's trace ended with its root span).
+        if (txn_ != nullptr) {
+          common::MutableCurrentTraceContext().txn_id = txn_->id();
+        }
+      }
+      result = ExecuteParsed(stmt);
+    }
+  }
+
+  if (result.ok()) usage.ChargeRowsReturned(result->batch.num_rows());
+  common::ResourceUsageSnapshot vec = usage.Snapshot();
+  vec.wall_us = engine_->clock()->Now() - wall_start;
+  const Status effective = !terminal.ok() ? terminal : result.status();
+  const common::StatementOutcome outcome =
+      common::ClassifyStatementOutcome(effective);
+
+  if (engine_->query_store()->enabled()) {
+    engine_->query_store()->Record(FingerprintStatement(statement),
+                                   StatementKindName(stmt.kind), outcome,
+                                   vec);
+  }
+
+  if (stmt.explain_analyze && result.ok()) {
+    // Every EXPLAIN ANALYZE profile ends with the statement's resource
+    // vector; terminal outcomes add how the statement died.
+    if (!result->message.empty()) result->message += "\n";
+    result->message += vec.ToString();
+    if (!effective.ok()) {
+      result->message += "\noutcome: ";
+      result->message += common::StatementOutcomeName(outcome);
+      result->message += " - " + effective.ToString();
+    }
+  }
+
+  if (effective.IsCancelled() || effective.IsDeadlineExceeded()) {
     engine_->metrics()->Add("sql.statement.killed.total");
     engine_->events()->Emit(
         obs::EventLevel::kWarn, "sql", "statement.killed",
         {{"kind", StatementKindName(stmt.kind)},
-         {"cause", result.status().IsCancelled() ? "killed" : "deadline"}},
-        result.status().message());
+         {"cause", effective.IsCancelled() ? "killed" : "deadline"}},
+        effective.message());
   }
   return result;
 }
 
 Result<SqlResult> SqlSession::ExecuteExplainAnalyze(
-    const ParsedStatement& stmt) {
+    const ParsedStatement& stmt, Status* terminal) {
   obs::Tracer* tracer = engine_->tracer();
   const bool was_enabled = tracer->enabled();
   tracer->set_enabled(true);
@@ -357,9 +415,17 @@ Result<SqlResult> SqlSession::ExecuteExplainAnalyze(
     if (!inner.ok()) root.AddAttr("error", inner.status().ToString());
   }
   tracer->set_enabled(was_enabled);
-  POLARIS_RETURN_IF_ERROR(inner.status());
+  const Status& st = inner.status();
+  // A statement that died of its lifecycle — killed, deadline burned, or
+  // shed under overload — still produced a profile worth reading; only
+  // genuine statement errors (parse-time/semantic/IO) surface as errors.
+  const bool terminal_outcome = !st.ok() && (st.IsCancelled() ||
+                                             st.IsDeadlineExceeded() ||
+                                             st.IsUnavailable());
+  if (!st.ok() && !terminal_outcome) return st;
+  if (terminal_outcome) *terminal = st;
   SqlResult result;
-  result.affected_rows = inner->affected_rows;
+  if (inner.ok()) result.affected_rows = inner->affected_rows;
   result.message = RenderSpanTree(tracer->Trace(trace_id));
   if (!result.message.empty() && result.message.back() == '\n') {
     result.message.pop_back();

@@ -65,8 +65,12 @@ class SqlSession {
   common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
   /// EXPLAIN ANALYZE: runs `stmt` under a forced-on trace and renders the
   /// resulting span tree (per-node wall time + attributes) as the result
-  /// message.
-  common::Result<SqlResult> ExecuteExplainAnalyze(const ParsedStatement& stmt);
+  /// message. A statement killed, deadline-expired, or shed mid-run still
+  /// renders its partial span tree: the terminal status is reported
+  /// through `*terminal` and the call returns OK so the profile (plus the
+  /// resource vector Execute appends) reaches the client.
+  common::Result<SqlResult> ExecuteExplainAnalyze(const ParsedStatement& stmt,
+                                                  common::Status* terminal);
   common::Result<SqlResult> ExecuteInsert(const ParsedStatement& stmt,
                                           txn::Transaction* txn);
   common::Result<SqlResult> ExecuteSelect(const ParsedStatement& stmt,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/resource_usage.h"
 #include "common/trace_context.h"
 #include "obs/tracer.h"
 
@@ -19,6 +20,14 @@ namespace {
 common::Clock* FallbackClock() {
   static common::SystemClock clock;
   return &clock;
+}
+
+/// Op class for per-statement accounting: mutating operations are writes,
+/// everything else reads.
+bool IsWriteOp(const char* op) {
+  const std::string_view name(op);
+  return name == "put" || name == "delete" || name == "stage_block" ||
+         name == "commit_block_list" || name == "commit_block_list_if";
 }
 
 }  // namespace
@@ -138,6 +147,13 @@ Status RetryingObjectStore::Execute(
     if (!st.ok()) span.AddAttr("error", st.ToString());
   }
 
+  // Per-statement accounting rides the ambient trace context, so charges
+  // from DCP workers land on the owning statement's vector.
+  if (auto* usage = common::CurrentResourceUsage()) {
+    usage->ChargeStoreOp(IsWriteOp(op));
+    usage->ChargeStoreRetries(attempts > 0 ? attempts - 1 : 0);
+  }
+
   if (metrics_ != nullptr) {
     metrics_->Observe(prefix + ".latency_us", clock->Now() - start);
     metrics_->Observe(prefix + ".attempts", attempts);
@@ -158,7 +174,12 @@ Status RetryingObjectStore::Put(const std::string& path, std::string data) {
   // base call.
   const uint64_t bytes = data.size();
   Status st = Execute("put", path, [&]() { return base_->Put(path, data); });
-  if (st.ok() && metrics_ != nullptr) metrics_->Add("store.put.bytes", bytes);
+  if (st.ok()) {
+    if (metrics_ != nullptr) metrics_->Add("store.put.bytes", bytes);
+    if (auto* usage = common::CurrentResourceUsage()) {
+      usage->ChargeStoreBytes(/*is_write=*/true, bytes);
+    }
+  }
   return st;
 }
 
@@ -170,6 +191,9 @@ Result<std::string> RetryingObjectStore::Get(const std::string& path) {
   });
   if (!st.ok()) return st;
   if (metrics_ != nullptr) metrics_->Add("store.get.bytes", out->size());
+  if (auto* usage = common::CurrentResourceUsage()) {
+    usage->ChargeStoreBytes(/*is_write=*/false, out->size());
+  }
   return out;
 }
 
@@ -206,8 +230,11 @@ Status RetryingObjectStore::StageBlock(const std::string& path,
   const uint64_t bytes = data.size();
   Status st = Execute("stage_block", path,
                       [&]() { return base_->StageBlock(path, block_id, data); });
-  if (st.ok() && metrics_ != nullptr) {
-    metrics_->Add("store.stage_block.bytes", bytes);
+  if (st.ok()) {
+    if (metrics_ != nullptr) metrics_->Add("store.stage_block.bytes", bytes);
+    if (auto* usage = common::CurrentResourceUsage()) {
+      usage->ChargeStoreBytes(/*is_write=*/true, bytes);
+    }
   }
   return st;
 }

@@ -109,6 +109,52 @@ TEST(HistogramSnapshotTest, OverflowQuantileReportsMax) {
   EXPECT_EQ(snapshot.histograms.at("h").ApproxQuantile(0.99), 30'000'000);
 }
 
+TEST(HistogramSnapshotTest, AllObservationsInOverflowBucket) {
+  // Every sample above the last bucket bound (10s): any quantile lands in
+  // the overflow bucket, which reports the observed max (there is no
+  // upper bound to interpolate toward).
+  MetricsRegistry registry;
+  registry.Observe("h", 20'000'000);
+  registry.Observe("h", 25'000'000);
+  registry.Observe("h", 30'000'000);
+  auto snapshot = registry.Snapshot();
+  const auto& h = snapshot.histograms.at("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 30'000'000);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 30'000'000);
+}
+
+TEST(HistogramTest, MergeCombinesBucketsAndStats) {
+  Histogram a;
+  Histogram b;
+  a.Observe(80);
+  a.Observe(400'000);
+  b.Observe(50);
+  b.Observe(20'000'000);  // overflow
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 80 + 400'000 + 50 + 20'000'000);
+  HistogramSnapshot snapshot = a.Snapshot();
+  EXPECT_EQ(snapshot.min, 50);
+  EXPECT_EQ(snapshot.max, 20'000'000);
+  // Merging an empty histogram changes nothing; merging into an empty
+  // histogram copies the source.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  Histogram fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.count(), 4u);
+  EXPECT_EQ(fresh.Snapshot().max, 20'000'000);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryPrometheusTextIsEmpty) {
+  MetricsRegistry registry;
+  // No metrics -> no exposition lines; a scrape of a just-booted process
+  // must not produce malformed output.
+  EXPECT_EQ(registry.Snapshot().ToPrometheusText(), "");
+}
+
 TEST(MetricsRegistryTest, ResetClearsEverything) {
   MetricsRegistry registry;
   registry.Add("c");

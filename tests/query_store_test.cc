@@ -1,0 +1,518 @@
+// Tests for per-statement resource accounting and the Query Store
+// workload repository: SQL fingerprint normalization, per-fingerprint
+// aggregates and interval bucketing on the engine clock, the bounded
+// fingerprint set, the latency-regression SLO probe, EXPLAIN ANALYZE's
+// terminal-outcome rendering, and a concurrent multi-session workload
+// that runs under TSan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/resource_usage.h"
+#include "engine/engine.h"
+#include "obs/query_store.h"
+#include "sql/fingerprint.h"
+#include "sql/session.h"
+#include "storage/fault_injection_store.h"
+
+namespace polaris {
+namespace {
+
+using common::ResourceUsageSnapshot;
+using common::StatementOutcome;
+using obs::QueryStore;
+using obs::QueryStoreOptions;
+using sql::FingerprintStatement;
+using sql::SqlSession;
+
+void MustExecute(SqlSession* session, const std::string& statement) {
+  auto result = session->Execute(statement);
+  ASSERT_TRUE(result.ok()) << statement << " -> "
+                           << result.status().ToString();
+}
+
+// --- Fingerprint normalization ---------------------------------------------
+
+TEST(FingerprintTest, StripsLiteralsAndUppercasesKeywords) {
+  EXPECT_EQ(FingerprintStatement("select * from t where k = 42;"),
+            "SELECT * FROM t WHERE k = ?");
+  EXPECT_EQ(FingerprintStatement("SELECT v FROM t WHERE v = 1.5"),
+            "SELECT v FROM t WHERE v = ?");
+  EXPECT_EQ(FingerprintStatement("SELECT v FROM t WHERE s = 'abc'"),
+            "SELECT v FROM t WHERE s = ?");
+}
+
+TEST(FingerprintTest, EquivalentStatementsShareAFingerprint) {
+  // Different literals, casing, whitespace, row counts and a trailing
+  // semicolon: one workload shape, one fingerprint.
+  std::string canonical =
+      FingerprintStatement("INSERT INTO t VALUES (1, 'a')");
+  EXPECT_EQ(FingerprintStatement("insert   into t\nvalues (2,'b'), (3,'c');"),
+            canonical);
+  EXPECT_EQ(FingerprintStatement("INSERT INTO t VALUES (99, 'zzz');"),
+            canonical);
+  EXPECT_EQ(canonical, "INSERT INTO t VALUES ( ? , ? )");
+}
+
+TEST(FingerprintTest, DistinctShapesGetDistinctFingerprints) {
+  EXPECT_NE(FingerprintStatement("SELECT * FROM a"),
+            FingerprintStatement("SELECT * FROM b"));
+  EXPECT_NE(sql::FingerprintId("SELECT * FROM a"),
+            sql::FingerprintId("SELECT * FROM b"));
+  // Ids are a pure function of the normalized text.
+  EXPECT_EQ(sql::FingerprintId("SELECT * FROM a"),
+            sql::FingerprintId("SELECT * FROM a"));
+}
+
+// --- QueryStore aggregates --------------------------------------------------
+
+ResourceUsageSnapshot UsageWithWall(int64_t wall_us) {
+  ResourceUsageSnapshot vec;
+  vec.wall_us = wall_us;
+  return vec;
+}
+
+TEST(QueryStoreTest, AggregatesOutcomesAndTotals) {
+  common::SimClock clock(1);
+  QueryStore store(&clock);
+
+  ResourceUsageSnapshot vec;
+  vec.wall_us = 1'000;
+  vec.store_read_ops = 2;
+  vec.store_read_bytes = 512;
+  vec.rows_scanned = 10;
+  vec.rows_returned = 3;
+  store.Record("SELECT * FROM t WHERE k = ?", "SELECT",
+               StatementOutcome::kOk, vec);
+  store.Record("SELECT * FROM t WHERE k = ?", "SELECT",
+               StatementOutcome::kOk, vec);
+  store.Record("SELECT * FROM t WHERE k = ?", "SELECT",
+               StatementOutcome::kError, UsageWithWall(500));
+
+  auto rows = store.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& row = rows[0];
+  EXPECT_EQ(row.fingerprint, "SELECT * FROM t WHERE k = ?");
+  EXPECT_EQ(row.fingerprint_id,
+            sql::FingerprintId("SELECT * FROM t WHERE k = ?"));
+  EXPECT_EQ(row.kind, "SELECT");
+  EXPECT_EQ(row.count, 3u);
+  EXPECT_EQ(row.ok, 2u);
+  EXPECT_EQ(row.errors, 1u);
+  EXPECT_EQ(row.total_wall_us, 2'500);
+  EXPECT_EQ(row.store_read_ops, 4u);
+  EXPECT_EQ(row.store_read_bytes, 1'024u);
+  EXPECT_EQ(row.rows_scanned, 20u);
+  EXPECT_EQ(row.rows_returned, 6u);
+  EXPECT_GT(row.wall_p99_us, 0);
+  EXPECT_EQ(store.recorded_total(), 3u);
+  EXPECT_EQ(store.fingerprints(), 1u);
+}
+
+TEST(QueryStoreTest, DisabledStoreRecordsNothing) {
+  QueryStoreOptions options;
+  options.enabled = false;
+  common::SimClock clock(1);
+  QueryStore store(&clock, options);
+  store.Record("SELECT ?", "SELECT", StatementOutcome::kOk,
+               UsageWithWall(10));
+  EXPECT_EQ(store.recorded_total(), 0u);
+  EXPECT_TRUE(store.Snapshot().empty());
+
+  store.set_enabled(true);
+  store.Record("SELECT ?", "SELECT", StatementOutcome::kOk,
+               UsageWithWall(10));
+  EXPECT_EQ(store.recorded_total(), 1u);
+}
+
+TEST(QueryStoreTest, IntervalBucketingFollowsTheEngineClock) {
+  common::SimClock clock(1);
+  QueryStoreOptions options;
+  options.interval_micros = 1'000'000;
+  options.max_intervals = 3;
+  QueryStore store(&clock, options);
+
+  store.Record("Q", "SELECT", StatementOutcome::kOk, UsageWithWall(100));
+  store.Record("Q", "SELECT", StatementOutcome::kError, UsageWithWall(100));
+  clock.Advance(1'000'000);  // next interval
+  store.Record("Q", "SELECT", StatementOutcome::kOk, UsageWithWall(200));
+
+  auto intervals = store.IntervalSnapshot();
+  ASSERT_EQ(intervals.size(), 2u);
+  // Newest first within a fingerprint.
+  EXPECT_EQ(intervals[0].interval_start_us, 1'000'000);
+  EXPECT_EQ(intervals[0].count, 1u);
+  EXPECT_EQ(intervals[0].errors, 0u);
+  EXPECT_EQ(intervals[1].interval_start_us, 0);
+  EXPECT_EQ(intervals[1].count, 2u);
+  EXPECT_EQ(intervals[1].errors, 1u);
+
+  // The ring is bounded: after enough boundary crossings only
+  // max_intervals buckets survive.
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(1'000'000);
+    store.Record("Q", "SELECT", StatementOutcome::kOk, UsageWithWall(50));
+  }
+  EXPECT_EQ(store.IntervalSnapshot().size(), 3u);
+}
+
+TEST(QueryStoreTest, BoundedFingerprintSetFoldsIntoOther) {
+  common::SimClock clock(1);
+  QueryStoreOptions options;
+  options.max_fingerprints = 2;
+  QueryStore store(&clock, options);
+
+  store.Record("A", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+  store.Record("B", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+  store.Record("C", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+  store.Record("D", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+  store.Record("A", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+
+  EXPECT_EQ(store.recorded_total(), 5u);
+  EXPECT_EQ(store.overflow_total(), 2u);  // C and D folded
+  auto rows = store.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);  // A, B, "(other)"
+  bool found_other = false;
+  for (const auto& row : rows) {
+    if (row.fingerprint == "(other)") {
+      found_other = true;
+      EXPECT_EQ(row.count, 2u);
+      EXPECT_EQ(row.kind, "(mixed)");
+    }
+  }
+  EXPECT_TRUE(found_other);
+
+  store.Reset();
+  EXPECT_EQ(store.recorded_total(), 0u);
+  EXPECT_TRUE(store.Snapshot().empty());
+}
+
+TEST(QueryStoreTest, TopByWallTimeRanksHeaviestFirst) {
+  common::SimClock clock(1);
+  QueryStore store(&clock);
+  store.Record("cheap", "SELECT", StatementOutcome::kOk, UsageWithWall(10));
+  store.Record("costly", "SELECT", StatementOutcome::kOk,
+               UsageWithWall(10'000));
+  store.Record("middling", "SELECT", StatementOutcome::kOk,
+               UsageWithWall(500));
+
+  auto top = store.TopByWallTime(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].fingerprint, "costly");
+  EXPECT_EQ(top[1].fingerprint, "middling");
+}
+
+// --- Latency-regression probe -----------------------------------------------
+
+TEST(QueryStoreTest, WorstRegressionComparesCurrentToTrailingBaseline) {
+  common::SimClock clock(1);
+  QueryStoreOptions options;
+  options.interval_micros = 1'000'000;
+  options.regression_min_samples = 4;
+  QueryStore store(&clock, options);
+
+  // Two fast baseline intervals, then a 50x-slower current interval.
+  for (int interval = 0; interval < 2; ++interval) {
+    for (int i = 0; i < 4; ++i) {
+      store.Record("Q", "SELECT", StatementOutcome::kOk,
+                   UsageWithWall(1'000));
+    }
+    clock.Advance(1'000'000);
+  }
+  for (int i = 0; i < 4; ++i) {
+    store.Record("Q", "SELECT", StatementOutcome::kOk,
+                 UsageWithWall(50'000));
+  }
+
+  QueryStore::Regression worst;
+  ASSERT_TRUE(store.WorstRegression(&worst));
+  EXPECT_EQ(worst.fingerprint, "Q");
+  EXPECT_GT(worst.ratio, 10.0);
+  EXPECT_GT(worst.current_p99_us, worst.baseline_p99_us);
+  EXPECT_EQ(worst.current_samples, 4u);
+  EXPECT_EQ(worst.baseline_samples, 8u);
+}
+
+TEST(QueryStoreTest, RegressionAbstainsWithoutEnoughSamples) {
+  common::SimClock clock(1);
+  QueryStoreOptions options;
+  options.interval_micros = 1'000'000;
+  options.regression_min_samples = 16;
+  QueryStore store(&clock, options);
+
+  // Plenty of intervals but too few samples per side.
+  for (int interval = 0; interval < 3; ++interval) {
+    store.Record("Q", "SELECT", StatementOutcome::kOk, UsageWithWall(100));
+    clock.Advance(1'000'000);
+  }
+  QueryStore::Regression worst;
+  EXPECT_FALSE(store.WorstRegression(&worst));
+}
+
+TEST(QueryStoreTest, SeededRegressionFiresTheSloRule) {
+  common::SimClock clock(1);
+  engine::EngineOptions options;
+  options.sampler_period_micros = 0;  // drive the watchdog by hand
+  options.query_store.interval_micros = 1'000'000;
+  options.query_store.regression_min_samples = 8;
+  engine::PolarisEngine engine(options, /*store=*/nullptr, &clock);
+
+  // Seed the engine's own store: a fast trailing baseline, then a current
+  // interval an order of magnitude slower — past the rule's fail
+  // threshold (10x).
+  QueryStore* qstore = engine.query_store();
+  for (int interval = 0; interval < 2; ++interval) {
+    for (int i = 0; i < 8; ++i) {
+      qstore->Record("SELECT * FROM orders WHERE id = ?", "SELECT",
+                     StatementOutcome::kOk, UsageWithWall(1'000));
+    }
+    clock.Advance(1'000'000);
+  }
+  for (int i = 0; i < 8; ++i) {
+    qstore->Record("SELECT * FROM orders WHERE id = ?", "SELECT",
+                   StatementOutcome::kOk, UsageWithWall(60'000));
+  }
+
+  engine.SampleObservabilityOnce();
+
+  // The verdict lands in sys.dm_health through the normal SQL surface.
+  SqlSession session(&engine);
+  auto health = session.Execute(
+      "SELECT status, value FROM sys.dm_health "
+      "WHERE rule = 'query-store-latency-regression'");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_EQ(health->batch.num_rows(), 1u);
+  EXPECT_EQ(health->batch.column(0).StringAt(0), "FAIL");
+  EXPECT_GT(health->batch.column(1).DoubleAt(0), 10.0);
+
+  // The transition left a structured event.
+  bool saw_transition = false;
+  for (const auto& rec : engine.events()->Snapshot()) {
+    if (rec.name == "health.transition") {
+      for (const auto& [key, value] : rec.fields) {
+        if (key == "rule" && value == "query-store-latency-regression") {
+          saw_transition = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_transition);
+}
+
+// --- End-to-end through the SQL surface -------------------------------------
+
+engine::EngineOptions ManualSamplerOptions() {
+  engine::EngineOptions options;
+  options.sampler_period_micros = 0;
+  return options;
+}
+
+TEST(QueryStoreSqlTest, StatementsAreRecordedWithResourceVectors) {
+  engine::PolarisEngine engine(ManualSamplerOptions());
+  SqlSession session(&engine);
+
+  MustExecute(&session, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustExecute(&session, "INSERT INTO t VALUES (1, 10)");
+  MustExecute(&session, "INSERT INTO t VALUES (2, 20)");
+  MustExecute(&session, "INSERT INTO t VALUES (3, 30)");
+  MustExecute(&session, "SELECT * FROM t");
+  auto bad = session.Execute("SELECT * FROM missing");
+  EXPECT_FALSE(bad.ok());
+
+  // SET DEADLINE is session control, not workload: it bypasses accounting.
+  uint64_t before = engine.query_store()->recorded_total();
+  MustExecute(&session, "SET DEADLINE 0");
+  EXPECT_EQ(engine.query_store()->recorded_total(), before);
+
+  auto rows = engine.query_store()->Snapshot();
+  const obs::QueryStoreEntryRow* insert_row = nullptr;
+  const obs::QueryStoreEntryRow* select_row = nullptr;
+  const obs::QueryStoreEntryRow* missing_row = nullptr;
+  for (const auto& row : rows) {
+    if (row.fingerprint == "INSERT INTO t VALUES ( ? , ? )") {
+      insert_row = &row;
+    }
+    if (row.fingerprint == "SELECT * FROM t") select_row = &row;
+    if (row.fingerprint == "SELECT * FROM missing") missing_row = &row;
+  }
+  ASSERT_NE(insert_row, nullptr);
+  EXPECT_EQ(insert_row->count, 3u);
+  EXPECT_EQ(insert_row->ok, 3u);
+  EXPECT_EQ(insert_row->kind, "INSERT");
+  // Committing an insert writes the log/data/manifest through the charged
+  // storage decorators.
+  EXPECT_GT(insert_row->store_write_ops, 0u);
+  EXPECT_GT(insert_row->store_write_bytes, 0u);
+
+  ASSERT_NE(select_row, nullptr);
+  EXPECT_EQ(select_row->ok, 1u);
+  EXPECT_EQ(select_row->rows_returned, 3u);
+  EXPECT_GT(select_row->rows_scanned, 0u);
+
+  ASSERT_NE(missing_row, nullptr);
+  EXPECT_EQ(missing_row->errors, 1u);
+
+  // The same aggregates surface in the DMV through the SQL executor.
+  auto view = session.Execute(
+      "SELECT fingerprint, executions, ok FROM sys.query_store "
+      "WHERE kind = 'INSERT'");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->batch.num_rows(), 1u);
+  EXPECT_EQ(view->batch.column(0).StringAt(0),
+            "INSERT INTO t VALUES ( ? , ? )");
+  EXPECT_EQ(view->batch.column(1).Int64At(0), 3);
+  EXPECT_EQ(view->batch.column(2).Int64At(0), 3);
+
+  auto intervals = session.Execute(
+      "SELECT fingerprint, executions FROM sys.query_store_intervals");
+  ASSERT_TRUE(intervals.ok()) << intervals.status().ToString();
+  EXPECT_GT(intervals->batch.num_rows(), 0u);
+}
+
+TEST(QueryStoreSqlTest, ExplainAnalyzeAppendsTheResourceVector) {
+  engine::PolarisEngine engine(ManualSamplerOptions());
+  SqlSession session(&engine);
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+  MustExecute(&session, "INSERT INTO t VALUES (7)");
+
+  auto result = session.Execute("EXPLAIN ANALYZE SELECT * FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->message.find("resources:"), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("rows:"), std::string::npos);
+  // A healthy statement reports no terminal outcome line.
+  EXPECT_EQ(result->message.find("outcome:"), std::string::npos)
+      << result->message;
+}
+
+TEST(QueryStoreSqlTest, ExplainAnalyzeExpiredRendersPartialProfile) {
+  engine::PolarisEngine engine(ManualSamplerOptions());
+  SqlSession session(&engine);
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+  for (int i = 0; i < 4; ++i) {
+    MustExecute(&session,
+                "INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+
+  // Brownout: reads cost 30ms of virtual time each, so a 50ms budget dies
+  // mid-scan — but EXPLAIN ANALYZE still renders the partial profile.
+  storage::FaultPolicy slow;
+  slow.read_latency_micros = 30'000;
+  engine.fault_store()->set_policy(slow);
+  MustExecute(&session, "SET DEADLINE 50");
+
+  auto result = session.Execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->message.find("resources:"), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("outcome: expired"), std::string::npos)
+      << result->message;
+
+  // Accounting saw the true outcome even though the client got a profile.
+  bool found = false;
+  for (const auto& row : engine.query_store()->Snapshot()) {
+    if (row.fingerprint == "EXPLAIN ANALYZE SELECT COUNT ( * ) FROM t") {
+      found = true;
+      EXPECT_EQ(row.expired, 1u);
+      EXPECT_GT(row.total_wall_us, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  engine.fault_store()->set_policy(storage::FaultPolicy{});
+  MustExecute(&session, "SET DEADLINE 0");
+}
+
+TEST(QueryStoreSqlTest, ExplainAnalyzeShedStatementReportsNoProfile) {
+  engine::EngineOptions options = ManualSamplerOptions();
+  options.admission.max_concurrent = 1;
+  options.admission.max_queue = 0;  // arrivals beyond the slot shed at once
+  engine::PolarisEngine engine(options);
+  SqlSession session(&engine);
+  MustExecute(&session, "CREATE TABLE t (k BIGINT)");
+
+  // Occupy the only slot so the next gated statement is shed.
+  common::Deadline unbounded;
+  auto slot = engine.admission()->Admit(unbounded, "occupier");
+  ASSERT_TRUE(slot.ok());
+
+  auto plain = session.Execute("SELECT * FROM t");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_TRUE(plain.status().IsUnavailable()) << plain.status().ToString();
+
+  auto result = session.Execute("EXPLAIN ANALYZE SELECT * FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->message.find("statement did not run (no profile)"),
+            std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("resources:"), std::string::npos);
+  EXPECT_NE(result->message.find("outcome: shed"), std::string::npos)
+      << result->message;
+
+  bool found = false;
+  for (const auto& row : engine.query_store()->Snapshot()) {
+    if (row.fingerprint == "EXPLAIN ANALYZE SELECT * FROM t") {
+      found = true;
+      EXPECT_EQ(row.shed, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryStoreSqlTest, ConcurrentSessionsRecordEveryStatement) {
+  engine::PolarisEngine engine(ManualSamplerOptions());
+  {
+    SqlSession setup(&engine);
+    for (int t = 0; t < 4; ++t) {
+      MustExecute(&setup,
+                  "CREATE TABLE t" + std::to_string(t) + " (k BIGINT)");
+    }
+  }
+  const uint64_t before = engine.query_store()->recorded_total();
+
+  constexpr int kThreads = 4;
+  constexpr int kStatements = 40;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&engine, t] {
+      SqlSession session(&engine);  // sessions are per-connection
+      const std::string table = "t" + std::to_string(t);
+      for (int i = 0; i < kStatements; ++i) {
+        if (i % 2 == 0) {
+          auto insert = session.Execute("INSERT INTO " + table +
+                                        " VALUES (" + std::to_string(i) +
+                                        ")");
+          ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+        } else {
+          auto select = session.Execute("SELECT COUNT(*) FROM " + table);
+          ASSERT_TRUE(select.ok()) << select.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Every statement of every session was recorded exactly once.
+  EXPECT_EQ(engine.query_store()->recorded_total() - before,
+            static_cast<uint64_t>(kThreads * kStatements));
+  uint64_t counted = 0;
+  for (const auto& row : engine.query_store()->Snapshot()) {
+    counted += row.count;
+  }
+  EXPECT_EQ(counted, engine.query_store()->recorded_total());
+  // Per-table INSERT and SELECT fingerprints each saw their half.
+  for (const auto& row : engine.query_store()->Snapshot()) {
+    if (row.fingerprint.rfind("INSERT INTO t", 0) == 0) {
+      EXPECT_EQ(row.count, static_cast<uint64_t>(kStatements / 2))
+          << row.fingerprint;
+      EXPECT_EQ(row.ok, row.count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polaris
