@@ -11,6 +11,13 @@
 // --data-dir <path> to open (or create) a durable database there:
 // committed transactions survive restarts and are recovered on open.
 //
+// Pass --replica together with --data-dir to attach to that database as a
+// read-only replica: the shell bootstraps from the primary's checkpoint +
+// journal and continuously applies new commits, so SELECTs see the
+// primary's writes with bounded lag (watch SELECT * FROM sys.dm_replica;).
+// DML/DDL is rejected; SET WAIT FOR COMMIT <seq>; blocks until the
+// primary's commit <seq> is visible (read-your-writes).
+//
 // Shell meta-commands (each terminated by ';'):
 //   METRICS            dump the unified metrics registry in Prometheus
 //                      text exposition format (same renderer a scrape
@@ -87,12 +94,20 @@ int main(int argc, char** argv) {
       log_json_path = argv[++i];
     } else if (arg.rfind("--log-json=", 0) == 0) {
       log_json_path = arg.substr(std::string("--log-json=").size());
+    } else if (arg == "--replica") {
+      options.replica = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--data-dir <path>] [--log-json <file>]\n",
+                   "usage: %s [--data-dir <path>] [--replica] "
+                   "[--log-json <file>]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (options.replica && options.data_dir.empty()) {
+    std::fprintf(stderr, "--replica needs --data-dir <path> (the primary's "
+                         "database directory)\n");
+    return 2;
   }
   if (const char* fault_p = std::getenv("POLARIS_FAULT_P")) {
     double p = std::atof(fault_p);
@@ -132,7 +147,16 @@ int main(int argc, char** argv) {
         "System views: SELECT * FROM sys.dm_views;   Meta: METRICS, "
         "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>, "
         "QUERYSTORE TOP <n>.\n\n");
-    if (!options.data_dir.empty()) {
+    if (options.replica) {
+      auto status = engine.replica()->GetStatus();
+      std::printf(
+          "read-only replica of %s (watermark %llu, bootstrap replayed "
+          "%llu records)\nwrites are rejected; SET WAIT FOR COMMIT <seq>; "
+          "waits for a primary commit\n\n",
+          options.data_dir.c_str(),
+          static_cast<unsigned long long>(status.watermark),
+          static_cast<unsigned long long>(status.bootstrap_records));
+    } else if (!options.data_dir.empty()) {
       const auto& recovery = engine.recovery_info();
       std::printf(
           "durable database at %s (checkpoint seq %llu, %llu journal "

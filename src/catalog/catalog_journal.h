@@ -29,7 +29,32 @@ struct CatalogJournalOptions {
   /// Object-store prefix all journal/checkpoint blobs live under. Must
   /// stay outside the "tables/" namespace the blob GC scans.
   std::string prefix = "catalog/";
+  /// ReclaimSupersededSegments keeps this many of the newest journal
+  /// segments even when a checkpoint fully covers them — the retention
+  /// floor for attached replica tailers, whose cursors trail the primary
+  /// by a bounded number of segments. 0 reclaims everything superseded
+  /// (a tailer then falls back to checkpoint re-bootstrap on 404).
+  uint64_t reclaim_retain_segments = 0;
 };
+
+/// One journal segment blob, keyed by the commit sequence of its first
+/// record (which is also its blob name).
+struct JournalSegmentInfo {
+  uint64_t first_seq = 0;
+  std::string path;
+  uint64_t size = 0;
+};
+
+/// Lists journal segments that may contain records with commit_seq >=
+/// `since_seq`. Ordering contract: ascending by first_seq, which equals
+/// ascending lexicographic blob-name order because segment names are
+/// 20-digit zero-padded. The result contains every segment whose
+/// first_seq >= since_seq plus the one immediately preceding (its later
+/// records may reach since_seq; callers skip the covered prefix). Foreign
+/// blobs under the prefix are ignored.
+common::Result<std::vector<JournalSegmentInfo>> ListJournalSegmentsSince(
+    storage::ObjectStore* store, const CatalogJournalOptions& options,
+    uint64_t since_seq);
 
 /// Write-ahead journal for the MVCC catalog — the recovery half of the
 /// paper's design, where the catalog inherits the logging of its SQL DB
@@ -107,9 +132,15 @@ class CatalogJournal {
   bool ShouldCheckpoint() const;
 
   /// Deletes journal segments whose every record is covered by the
-  /// latest checkpoint, plus superseded checkpoint blobs. Returns the
-  /// number of blobs deleted. (STO garbage collection calls this.)
+  /// latest checkpoint, plus superseded checkpoint blobs — except the
+  /// newest reclaim_retain_segments segments, which are retained for
+  /// attached replica tailers. Returns the number of blobs deleted. (STO
+  /// garbage collection calls this.)
   common::Result<uint64_t> ReclaimSupersededSegments();
+
+  /// ListJournalSegmentsSince over this journal's store and prefix.
+  common::Result<std::vector<JournalSegmentInfo>> ListSegmentsSince(
+      uint64_t since_seq) const;
 
   // Counters (bench/test bookkeeping).
   uint64_t records_appended() const;
@@ -124,10 +155,6 @@ class CatalogJournal {
   std::string CheckpointPath(uint64_t seq) const;
   std::string JournalPrefix() const { return options_.prefix + "journal/"; }
   std::string CheckpointPrefix() const { return options_.prefix + "ckpt/"; }
-
-  static std::string EncodeRecord(
-      uint64_t commit_seq,
-      const std::map<std::string, std::optional<std::string>>& writes);
 
   mutable std::mutex mu_;
   storage::ObjectStore* store_;

@@ -1,0 +1,134 @@
+#include "catalog/journal_format.h"
+
+#include <array>
+#include <cstdio>
+
+namespace polaris::catalog::journal_format {
+
+std::string Pad20(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::optional<uint64_t> SeqFromPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  name.resize(dot);
+  if (name.empty() || name.size() > 20) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : name) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::optional<ParsedRecord> ParseRecord(common::ByteReader* in) {
+  if (in->remaining() < kFrameHeaderSize) return std::nullopt;
+  uint32_t magic, crc, body_len;
+  if (!in->GetU32(&magic).ok() || magic != kRecordMagic) return std::nullopt;
+  if (!in->GetU32(&crc).ok()) return std::nullopt;
+  if (!in->GetU32(&body_len).ok()) return std::nullopt;
+  if (in->remaining() < body_len) return std::nullopt;
+  std::string body(body_len, '\0');
+  if (!in->GetRaw(body.data(), body_len).ok()) return std::nullopt;
+  if (Crc32(body) != crc) return std::nullopt;
+  common::ByteReader body_in(body);
+  ParsedRecord record;
+  uint64_t count;
+  if (!body_in.GetU64(&record.commit_seq).ok()) return std::nullopt;
+  if (!body_in.GetVarint(&count).ok()) return std::nullopt;
+  record.writes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    uint8_t has_value;
+    if (!body_in.GetString(&key).ok()) return std::nullopt;
+    if (!body_in.GetU8(&has_value).ok()) return std::nullopt;
+    std::optional<std::string> value;
+    if (has_value != 0) {
+      std::string v;
+      if (!body_in.GetString(&v).ok()) return std::nullopt;
+      value = std::move(v);
+    }
+    record.writes.emplace_back(std::move(key), std::move(value));
+  }
+  if (!body_in.AtEnd()) return std::nullopt;
+  return record;
+}
+
+std::string EncodeRecord(
+    uint64_t commit_seq,
+    const std::map<std::string, std::optional<std::string>>& writes) {
+  common::ByteWriter body;
+  body.PutU64(commit_seq);
+  body.PutVarint(writes.size());
+  for (const auto& [key, value] : writes) {
+    body.PutString(key);
+    body.PutU8(value.has_value() ? 1 : 0);
+    if (value.has_value()) body.PutString(*value);
+  }
+  common::ByteWriter frame;
+  frame.PutU32(kRecordMagic);
+  frame.PutU32(Crc32(body.data()));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.data().data(), body.size());
+  return frame.Release();
+}
+
+std::string EncodeCheckpoint(
+    uint64_t commit_seq,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  common::ByteWriter out;
+  out.PutU32(kCheckpointMagic);
+  out.PutU64(commit_seq);
+  out.PutVarint(rows.size());
+  for (const auto& [key, value] : rows) {
+    out.PutString(key);
+    out.PutString(value);
+  }
+  return out.Release();
+}
+
+bool DecodeCheckpoint(std::string_view blob, uint64_t* commit_seq,
+                      std::map<std::string, std::string>* rows) {
+  common::ByteReader in(blob);
+  uint32_t magic;
+  uint64_t seq, count;
+  if (!in.GetU32(&magic).ok() || magic != kCheckpointMagic) return false;
+  if (!in.GetU64(&seq).ok() || !in.GetVarint(&count).ok()) return false;
+  std::map<std::string, std::string> decoded;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key, value;
+    if (!in.GetString(&key).ok() || !in.GetString(&value).ok()) return false;
+    decoded.emplace(std::move(key), std::move(value));
+  }
+  if (!in.AtEnd()) return false;
+  *commit_seq = seq;
+  *rows = std::move(decoded);
+  return true;
+}
+
+}  // namespace polaris::catalog::journal_format

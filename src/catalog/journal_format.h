@@ -1,0 +1,69 @@
+#ifndef POLARIS_CATALOG_JOURNAL_FORMAT_H_
+#define POLARIS_CATALOG_JOURNAL_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace polaris::catalog::journal_format {
+
+/// On-disk framing of the catalog journal, shared by the appender
+/// (CatalogJournal), crash recovery, and the replica tailer
+/// (JournalReplayer). Everything here is pure encode/decode — no IO, no
+/// locking — so a reader in another process interprets segment bytes with
+/// exactly the code the writer used to produce them.
+
+constexpr uint32_t kRecordMagic = 0x314a4c50;      // "PLJ1"
+constexpr uint32_t kCheckpointMagic = 0x314b4350;  // "PCK1"
+// magic + crc + body_len
+constexpr size_t kFrameHeaderSize = 12;
+
+/// 20-digit zero-padded decimal, so lexicographic blob-name order equals
+/// numeric sequence order (ObjectStore::List sorts lexicographically).
+std::string Pad20(uint64_t v);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Extracts the zero-padded sequence from a segment/checkpoint blob name
+/// ("<prefix>/<20 digits>.<ext>"). Returns nullopt for foreign blobs.
+std::optional<uint64_t> SeqFromPath(const std::string& path);
+
+/// One decoded journal record: a committed catalog transaction's write
+/// set (nullopt values are deletes), keyed by its commit sequence.
+struct ParsedRecord {
+  uint64_t commit_seq = 0;
+  std::vector<std::pair<std::string, std::optional<std::string>>> writes;
+};
+
+/// Parses one framed record at the reader's cursor. Returns nullopt (and
+/// leaves `torn` explanation to the caller) on any malformation — a torn
+/// tail, a bad checksum, garbage. On nullopt the reader's position is
+/// unspecified; callers resume from the offset of the last good record.
+std::optional<ParsedRecord> ParseRecord(common::ByteReader* in);
+
+/// Frames one record: u32 magic | u32 crc32(body) | u32 body_len | body,
+/// where body = u64 commit_seq, varint n, n x (key, has_value, [value]).
+std::string EncodeRecord(
+    uint64_t commit_seq,
+    const std::map<std::string, std::optional<std::string>>& writes);
+
+/// Serializes a PCK1 full-state checkpoint at `commit_seq`.
+std::string EncodeCheckpoint(
+    uint64_t commit_seq,
+    const std::vector<std::pair<std::string, std::string>>& rows);
+
+/// Decodes a PCK1 checkpoint blob. Returns false (outputs untouched) when
+/// the blob is malformed — the caller falls back to an older checkpoint.
+bool DecodeCheckpoint(std::string_view blob, uint64_t* commit_seq,
+                      std::map<std::string, std::string>* rows);
+
+}  // namespace polaris::catalog::journal_format
+
+#endif  // POLARIS_CATALOG_JOURNAL_FORMAT_H_

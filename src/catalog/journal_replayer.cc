@@ -1,0 +1,221 @@
+#include "catalog/journal_replayer.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "catalog/journal_format.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace polaris::catalog {
+
+using common::Result;
+using common::Status;
+
+namespace jf = journal_format;
+
+namespace {
+
+/// Per-segment scan product. `end_offset` is the byte position just past
+/// the last frame that parsed cleanly — the resumable offset for that
+/// segment. `clean` is false when trailing bytes failed to parse (torn
+/// tail or poisoned remnant).
+struct SegmentScan {
+  std::vector<jf::ParsedRecord> records;
+  uint64_t end_offset = 0;
+  bool clean = true;
+  Status status = Status::OK();
+};
+
+void ScanSegment(storage::ObjectStore* store, const JournalSegmentInfo& seg,
+                 SegmentScan* out) {
+  auto blob = store->Get(seg.path);
+  if (!blob.ok()) {
+    out->status = blob.status();
+    return;
+  }
+  common::ByteReader in(*blob);
+  while (!in.AtEnd()) {
+    auto record = jf::ParseRecord(&in);
+    if (!record.has_value()) {
+      out->clean = false;
+      break;
+    }
+    out->end_offset = in.position();
+    out->records.push_back(std::move(*record));
+  }
+}
+
+}  // namespace
+
+Result<JournalReplayer::BootstrapResult> JournalReplayer::Bootstrap(
+    size_t parallelism) const {
+  BootstrapResult result;
+  auto& state = result.state;
+
+  // --- Latest readable checkpoint -----------------------------------------
+  std::map<std::string, std::string> live;
+  POLARIS_ASSIGN_OR_RETURN(auto checkpoints,
+                           store_->List(options_.prefix + "ckpt/"));
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    auto blob = store_->Get(it->path);
+    if (!blob.ok()) continue;
+    uint64_t seq;
+    std::map<std::string, std::string> rows;
+    if (!jf::DecodeCheckpoint(*blob, &seq, &rows)) continue;
+    live = std::move(rows);
+    state.checkpoint_seq = seq;
+    break;
+  }
+
+  // --- Journal tail replay -------------------------------------------------
+  // ListJournalSegmentsSince(checkpoint_seq + 1) is exactly the O(tail)
+  // replay set: every segment fully covered by the checkpoint is pruned,
+  // the straddling one is kept (its covered records are skipped by the
+  // `seq <= last_seq` check in the merge below).
+  uint64_t last_seq = state.checkpoint_seq;
+  POLARIS_ASSIGN_OR_RETURN(
+      auto replay,
+      ListJournalSegmentsSince(store_, options_, state.checkpoint_seq + 1));
+
+  std::vector<SegmentScan> scans(replay.size());
+  size_t workers = std::min(parallelism, replay.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < replay.size(); ++i) {
+      ScanSegment(store_, replay[i], &scans[i]);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t i = w; i < replay.size(); i += workers) {
+          ScanSegment(store_, replay[i], &scans[i]);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Serial merge in first_seq order restores the total commit order the
+  // per-segment scans relaxed.
+  for (size_t i = 0; i < replay.size(); ++i) {
+    POLARIS_RETURN_IF_ERROR(scans[i].status);
+    state.segments_scanned++;
+    for (auto& record : scans[i].records) {
+      if (record.commit_seq <= last_seq) continue;  // covered already
+      for (auto& [key, value] : record.writes) {
+        if (value.has_value()) {
+          live[key] = std::move(*value);
+        } else {
+          live.erase(key);
+        }
+      }
+      last_seq = record.commit_seq;
+      state.records_replayed++;
+    }
+    if (!scans[i].clean) {
+      // Torn or corrupt record: a crash mid-append. Everything before it
+      // is intact; the record itself never reached its durability point,
+      // so dropping it *is* the correct recovery outcome.
+      state.torn_tail = true;
+      POLARIS_LOG(kWarn, "journal")
+          << "dropping torn/corrupt record tail in " << replay[i].path
+          << " after seq " << last_seq;
+    }
+  }
+  state.commit_seq = last_seq;
+
+  state.rows.reserve(live.size());
+  for (auto& [key, value] : live) state.rows.emplace_back(key, value);
+
+  result.cursor.applied_seq = last_seq;
+  if (!replay.empty()) {
+    result.cursor.segment_first_seq = replay.back().first_seq;
+    result.cursor.byte_offset = scans.back().end_offset;
+  }
+  return result;
+}
+
+Result<JournalReplayer::TailResult> JournalReplayer::TailOnce(
+    ReplayCursor* cursor, const ApplyFn& apply) const {
+  TailResult result;
+  POLARIS_ASSIGN_OR_RETURN(
+      auto segments,
+      ListJournalSegmentsSince(store_, options_, cursor->applied_seq + 1));
+  if (segments.empty()) {
+    // An empty listing is only benign when the cursor never sat inside a
+    // segment: the predecessor rule of ListJournalSegmentsSince would
+    // otherwise have returned at least the cursor's own segment, so its
+    // absence means GC truncated the whole journal past us (new state is
+    // only reachable via a checkpoint).
+    if (cursor->segment_first_seq > 0) {
+      return Status::NotFound(
+          "journal truncated past replica cursor (segment " +
+          std::to_string(cursor->segment_first_seq) +
+          " is gone); re-bootstrap required");
+    }
+    return result;  // virgin journal: nothing to do
+  }
+
+  // GC ran past us: the oldest surviving segment starts beyond the next
+  // sequence we need, so the records in between are only reachable via a
+  // checkpoint. (A sequence gap from a failed durability batch also
+  // lands here; the re-bootstrap it triggers is idempotent and merely
+  // wasteful, and that combination — poisoned primary, then GC, with the
+  // replica behind — is vanishingly rare.)
+  if (segments.front().first_seq > cursor->applied_seq + 1) {
+    return Status::NotFound(
+        "journal truncated past replica cursor (oldest segment starts at " +
+        std::to_string(segments.front().first_seq) + ", need " +
+        std::to_string(cursor->applied_seq + 1) + "); re-bootstrap required");
+  }
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& seg = segments[i];
+    if (seg.first_seq < cursor->segment_first_seq) continue;  // already done
+    uint64_t offset =
+        seg.first_seq == cursor->segment_first_seq ? cursor->byte_offset : 0;
+    // NotFound here means GC deleted the segment between List and Get;
+    // propagate so the caller re-bootstraps.
+    POLARIS_ASSIGN_OR_RETURN(std::string data, store_->Get(seg.path));
+    if (offset > data.size()) {
+      // Segments are prefix-stable, so a shrink means the name was
+      // reused (dead segment deleted by primary recovery, then
+      // recreated). Treat like truncation: rebuild from a checkpoint.
+      return Status::NotFound("journal segment " + seg.path +
+                              " shrank below replica cursor offset; "
+                              "re-bootstrap required");
+    }
+    cursor->segment_first_seq = seg.first_seq;
+    cursor->byte_offset = offset;
+    result.segments_visited++;
+    common::ByteReader in(std::string_view(data).substr(offset));
+    while (!in.AtEnd()) {
+      auto record = jf::ParseRecord(&in);
+      if (!record.has_value()) {
+        if (i + 1 < segments.size()) {
+          // A later segment exists, so the primary gave up on this one
+          // (torn append -> poison -> fresh segment on reopen). The
+          // unparsable remainder is dead garbage; move past it.
+          break;
+        }
+        // Newest segment: this is (or may be) a mid-append torn tail.
+        // Hold the cursor before the bad frame; once the primary's next
+        // commit lands the re-read from here parses cleanly.
+        result.torn_tail = true;
+        return result;
+      }
+      if (record->commit_seq > cursor->applied_seq) {
+        POLARIS_RETURN_IF_ERROR(apply(record->commit_seq, record->writes));
+        cursor->applied_seq = record->commit_seq;
+        result.records_applied++;
+      }
+      cursor->byte_offset = offset + in.position();
+    }
+  }
+  return result;
+}
+
+}  // namespace polaris::catalog

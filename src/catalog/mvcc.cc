@@ -420,6 +420,25 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
   if (txn->finished_) {
     return Status::FailedPrecondition("transaction already finished");
   }
+  if (read_only_.load(std::memory_order_relaxed)) {
+    // Replica: read-only commits finish without claiming a commit
+    // sequence — the replicated journal stream owns the sequence space,
+    // and a locally claimed sequence would collide with it. Anything
+    // that stages a write is rejected; the hook still runs (CatalogDb
+    // always passes one, and with nothing pending it stages nothing).
+    txn->finished_ = true;
+    if (!txn->writes_.empty()) {
+      return Status::FailedPrecondition(
+          "read-only replica: catalog writes are not allowed");
+    }
+    CommitContext ctx(this, txn, 0);
+    if (hook) POLARIS_RETURN_IF_ERROR(hook(&ctx));
+    if (!ctx.staged_.empty()) {
+      return Status::FailedPrecondition(
+          "read-only replica: catalog writes are not allowed");
+    }
+    return Status::OK();
+  }
   // Benchmark baseline: one lock across the whole commit, IO included.
   std::unique_lock<std::mutex> serial_lk;
   if (serial_commit_.load(std::memory_order_relaxed)) {
@@ -567,7 +586,47 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
     if (orphans_only) FlushRoundLocked(lk);
   }
   txn->finished_ = true;
+  if (entry->status.ok()) txn->commit_seq_ = entry->seq;
   return entry->status;
+}
+
+Status MvccStore::ApplyReplicated(
+    uint64_t commit_seq,
+    const std::vector<std::pair<std::string, std::optional<std::string>>>&
+        writes) {
+  std::lock_guard<std::mutex> plk(commit_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Idempotence: a tail pass re-reading records below the watermark
+  // (after a re-bootstrap, or a diff applied at a sequence the cursor
+  // already passed) must be a no-op.
+  if (commit_seq <= commit_seq_) return Status::OK();
+  std::vector<std::string> keys;
+  keys.reserve(writes.size());
+  for (const auto& [key, value] : writes) {
+    auto& chain = rows_[key];
+    if (!chain.empty() && chain.back().deleted_seq == 0) {
+      chain.back().deleted_seq = commit_seq;
+    }
+    if (value.has_value()) {
+      Version v;
+      v.value = *value;
+      v.created_seq = commit_seq;
+      chain.push_back(std::move(v));
+    } else if (chain.empty()) {
+      rows_.erase(key);  // delete of a never-existing key: no-op
+    }
+    keys.push_back(key);
+  }
+  // Version chains grew exactly as a local install would have grown
+  // them, so snapshot readers pinned below `commit_seq` are unaffected.
+  commit_seq_ = commit_seq;
+  sequenced_seq_ = commit_seq;
+  recent_commits_.emplace_back(commit_seq, std::move(keys));
+  while (recent_commits_.size() > kRecentCommitCap) {
+    recent_trimmed_to_ = recent_commits_.front().first;
+    recent_commits_.pop_front();
+  }
+  return Status::OK();
 }
 
 void MvccStore::Abort(MvccTransaction* txn) {

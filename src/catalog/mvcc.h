@@ -65,6 +65,10 @@ class MvccTransaction {
   CommitPriority priority() const { return priority_; }
   void set_priority(CommitPriority priority) { priority_ = priority; }
 
+  /// Commit sequence this transaction installed at; 0 until Commit
+  /// succeeds (aborts and read-only short-circuits leave it 0).
+  uint64_t commit_seq() const { return commit_seq_; }
+
   /// Keys currently buffered in this transaction's own write set. A commit
   /// that fails before its durability point must leave this untouched by
   /// hook-staged writes (write-set pollution regression).
@@ -80,6 +84,7 @@ class MvccTransaction {
 
   uint64_t id_ = 0;
   uint64_t begin_seq_ = 0;
+  uint64_t commit_seq_ = 0;
   IsolationMode mode_ = IsolationMode::kSnapshot;
   CommitPriority priority_ = CommitPriority::kNormal;
   bool finished_ = false;
@@ -259,6 +264,29 @@ class MvccStore {
       const std::vector<std::pair<std::string, std::string>>& rows,
       uint64_t commit_seq = 1);
 
+  /// Replica mode: Commit short-circuits for read-only transactions
+  /// without claiming a commit sequence (the replicated stream owns the
+  /// sequence space) and rejects any transaction carrying writes with
+  /// FailedPrecondition. Local commits and ApplyReplicated are the only
+  /// sequence sources on a replica.
+  void set_read_only(bool on) {
+    read_only_.store(on, std::memory_order_relaxed);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs one replicated commit (a journal record shipped from the
+  /// primary) as version `commit_seq`, exactly as the group-commit leader
+  /// would install a local commit: concurrent snapshot readers at older
+  /// sequences keep their views. Idempotent — a sequence at or below the
+  /// installed watermark is a no-op (re-reads after a cursor re-bootstrap
+  /// land here). Replica-side only; must not race local writers.
+  common::Status ApplyReplicated(
+      uint64_t commit_seq,
+      const std::vector<std::pair<std::string, std::optional<std::string>>>&
+          writes);
+
  private:
   struct Version {
     std::string value;
@@ -346,6 +374,7 @@ class MvccStore {
 
   std::atomic<bool> serial_commit_{false};
   std::mutex serial_gate_;  // held across the whole commit in serial mode
+  std::atomic<bool> read_only_{false};
 
   obs::MetricsRegistry* metrics_ = nullptr;  // set before serving
 

@@ -43,7 +43,8 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       owned_local_store_(
           store == nullptr && !options_.data_dir.empty()
               ? std::make_unique<storage::LocalFileObjectStore>(
-                    options_.data_dir, clock_)
+                    options_.data_dir, clock_,
+                    /*read_only=*/options_.replica)
               : nullptr),
       fault_store_(std::make_unique<storage::FaultInjectionStore>(
           store != nullptr
@@ -106,6 +107,9 @@ PolarisEngine::PolarisEngine(EngineOptions options,
 }
 
 PolarisEngine::~PolarisEngine() {
+  // The tailer reads through the storage decorators and writes into the
+  // catalog, so it must stop before any of those members tear down.
+  if (replica_tailer_ != nullptr) replica_tailer_->Stop();
   common::CrashPoints::SetFireObserver({});
   {
     std::lock_guard<std::mutex> lock(sampler_mu_);
@@ -163,6 +167,13 @@ void PolarisEngine::SampleObservabilityOnce() {
                       static_cast<double>(admission.running));
   gauges.emplace_back("admission.queued",
                       static_cast<double>(admission.queued));
+  if (replica_tailer_ != nullptr) {
+    replica::ReplicaStatus rs = replica_tailer_->GetStatus();
+    gauges.emplace_back("replica.watermark",
+                        static_cast<double>(rs.watermark));
+    gauges.emplace_back("replica.staleness_us",
+                        static_cast<double>(rs.staleness_us));
+  }
   common::Micros now = clock_->Now();
   recorder_.SampleOnce(now, gauges);
   watchdog_.Evaluate(now);
@@ -266,6 +277,38 @@ void PolarisEngine::InstallDefaultSloRules() {
     rule.fail_threshold = 10.0;  // order-of-magnitude regression
     watchdog_.AddRule(rule);
   }
+  if (options_.replica) {
+    {
+      obs::SloRule rule;
+      rule.name = "replica-staleness";
+      rule.description =
+          "engine-clock micros since the replica last reached the journal "
+          "tip (read-staleness upper bound)";
+      rule.kind = obs::SloRule::Kind::kProbe;
+      rule.probe = [this](bool* has_data) {
+        // The tailer attaches after construction (AttachReplica); the
+        // rule is installed first, so probe defensively.
+        if (replica_tailer_ == nullptr) {
+          *has_data = false;
+          return 0.0;
+        }
+        return static_cast<double>(replica_tailer_->GetStatus().staleness_us);
+      };
+      rule.warn_threshold = 5e6;   // 5 s behind warns
+      rule.fail_threshold = 60e6;  // a minute behind fails
+      watchdog_.AddRule(rule);
+    }
+    {
+      obs::SloRule rule;
+      rule.name = "replica-tail-errors";
+      rule.description = "failed tail polls over the sample window";
+      rule.kind = obs::SloRule::Kind::kDelta;
+      rule.metric = "replica.tail_errors";
+      rule.warn_threshold = 0;  // any failed poll over the window warns
+      rule.fail_threshold = 10;
+      watchdog_.AddRule(rule);
+    }
+  }
   {
     obs::SloRule rule;
     rule.name = "tracer-drops";
@@ -280,12 +323,74 @@ void PolarisEngine::InstallDefaultSloRules() {
 
 common::Result<std::unique_ptr<PolarisEngine>> PolarisEngine::Open(
     EngineOptions options, common::Clock* clock) {
+  if (options.replica && options.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "replica mode needs a shared store: set data_dir or use OpenOn");
+  }
   auto engine = std::make_unique<PolarisEngine>(options, nullptr, clock);
   if (!options.data_dir.empty()) {
     POLARIS_RETURN_IF_ERROR(engine->owned_local_store_->init_status());
+    if (options.replica) {
+      POLARIS_RETURN_IF_ERROR(engine->AttachReplica());
+    } else {
+      POLARIS_RETURN_IF_ERROR(engine->RecoverCatalog());
+    }
+  }
+  return engine;
+}
+
+common::Result<std::unique_ptr<PolarisEngine>> PolarisEngine::OpenOn(
+    EngineOptions options, storage::ObjectStore* store, common::Clock* clock) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("OpenOn needs an external store");
+  }
+  options.data_dir.clear();  // the external store is the database
+  auto engine = std::make_unique<PolarisEngine>(options, store, clock);
+  if (options.replica) {
+    POLARIS_RETURN_IF_ERROR(engine->AttachReplica());
+  } else {
     POLARIS_RETURN_IF_ERROR(engine->RecoverCatalog());
   }
   return engine;
+}
+
+Status PolarisEngine::AttachReplica() {
+  // Reject catalog writes at the root: even a code path that slips past
+  // the engine-level CheckWritable guards cannot claim commit sequences.
+  catalog_.store()->set_read_only(true);
+  replica_tailer_ = std::make_unique<replica::ReplicaTailer>(
+      store_, options_.journal_options, catalog_.store(), clock_, &metrics_,
+      &tracer_, &events_, options_.replica_options);
+  POLARIS_RETURN_IF_ERROR(replica_tailer_->BootstrapInitial());
+  replica_tailer_->Start();
+  replica::ReplicaStatus rs = replica_tailer_->GetStatus();
+  events_.Emit(obs::EventLevel::kInfo, "engine", "engine.replica_attached",
+               {{"data_dir", options_.data_dir},
+                {"watermark", std::to_string(rs.watermark)},
+                {"bootstrap_records", std::to_string(rs.bootstrap_records)},
+                {"bootstrap_segments", std::to_string(rs.bootstrap_segments)}});
+  POLARIS_LOG(kInfo, "engine")
+      << "attached read-only replica"
+      << (options_.data_dir.empty() ? "" : " at " + options_.data_dir)
+      << ": watermark " << rs.watermark << ", bootstrap replayed "
+      << rs.bootstrap_records << " records over " << rs.bootstrap_segments
+      << " segments";
+  return Status::OK();
+}
+
+Status PolarisEngine::CheckWritable(const char* op) const {
+  if (options_.replica) {
+    return Status::FailedPrecondition(std::string("read-only replica: ") +
+                                      op + " is not allowed");
+  }
+  return Status::OK();
+}
+
+Status PolarisEngine::MinReadWatermark(uint64_t seq) {
+  // A primary's committed sequences are visible the moment Commit
+  // returns; only a replica can lag behind.
+  if (replica_tailer_ == nullptr) return Status::OK();
+  return replica_tailer_->WaitForCommit(seq);
 }
 
 Status PolarisEngine::RecoverCatalog() {
@@ -301,6 +406,9 @@ Status PolarisEngine::RecoverCatalog() {
         return journal_->AppendBatch(records);
       });
   sto_.set_catalog_journal(journal_.get());
+  const uint64_t swept = owned_local_store_ != nullptr
+                             ? owned_local_store_->swept_staged_blocks()
+                             : 0;
   events_.Emit(
       obs::EventLevel::kInfo, "engine", "engine.recovered",
       {{"data_dir", options_.data_dir},
@@ -308,20 +416,20 @@ Status PolarisEngine::RecoverCatalog() {
        {"records_replayed", std::to_string(recovery_.records_replayed)},
        {"commit_seq", std::to_string(recovery_.commit_seq)},
        {"torn_tail", recovery_.torn_tail ? "true" : "false"},
-       {"swept_staged_blocks",
-        std::to_string(owned_local_store_->swept_staged_blocks())}});
+       {"swept_staged_blocks", std::to_string(swept)}});
   POLARIS_LOG(kInfo, "engine")
-      << "opened durable database at " << options_.data_dir
+      << "opened durable database"
+      << (options_.data_dir.empty() ? "" : " at " + options_.data_dir)
       << ": checkpoint seq " << recovery_.checkpoint_seq << ", replayed "
       << recovery_.records_replayed << " journal records to seq "
       << recovery_.commit_seq
       << (recovery_.torn_tail ? " (dropped torn tail record)" : "")
-      << ", swept " << owned_local_store_->swept_staged_blocks()
-      << " orphaned staged blocks";
+      << ", swept " << swept << " orphaned staged blocks";
   return Status::OK();
 }
 
 Status PolarisEngine::CheckpointCatalog() {
+  POLARIS_RETURN_IF_ERROR(CheckWritable("CHECKPOINT"));
   if (journal_ == nullptr) {
     return Status::FailedPrecondition("not a durable engine");
   }
@@ -347,6 +455,11 @@ EngineStats PolarisEngine::Stats() {
   if (journal_ != nullptr) {
     stats.journal_records = journal_->records_appended();
     stats.journal_checkpoints = journal_->checkpoints_written();
+  }
+  if (replica_tailer_ != nullptr) {
+    replica::ReplicaStatus rs = replica_tailer_->GetStatus();
+    stats.replica_watermark = rs.watermark;
+    stats.replica_records_applied = rs.records_applied;
   }
   return stats;
 }
@@ -374,6 +487,9 @@ obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
       query_store_.overflow_total();
   snapshot.counters["query_store.fingerprints"] =
       query_store_.fingerprints();
+  if (replica_tailer_ != nullptr) {
+    snapshot.counters["replica.watermark"] = replica_tailer_->watermark();
+  }
   return snapshot;
 }
 
@@ -440,6 +556,7 @@ Status PolarisEngine::RunInTransaction(
 Result<TableMeta> PolarisEngine::CreateTable(const std::string& name,
                                              const format::Schema& schema,
                                              const std::string& sort_column) {
+  POLARIS_RETURN_IF_ERROR(CheckWritable("CREATE TABLE"));
   TableMeta meta;
   POLARIS_RETURN_IF_ERROR(RunInTransaction([&](txn::Transaction* txn) {
     POLARIS_ASSIGN_OR_RETURN(
@@ -451,6 +568,7 @@ Result<TableMeta> PolarisEngine::CreateTable(const std::string& name,
 }
 
 Status PolarisEngine::DropTable(const std::string& name) {
+  POLARIS_RETURN_IF_ERROR(CheckWritable("DROP TABLE"));
   return RunInTransaction([&](txn::Transaction* txn) {
     return catalog_.DropTable(txn->catalog_txn(), name);
   });
@@ -491,6 +609,7 @@ Result<uint64_t> PolarisEngine::Insert(txn::Transaction* txn,
     span.AddAttr("table", table);
     span.AddAttr("rows", rows.num_rows());
   }
+  POLARIS_RETURN_IF_ERROR(CheckWritable("INSERT"));
   POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.insert"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
@@ -512,6 +631,7 @@ Result<uint64_t> PolarisEngine::BulkLoad(
     span.AddAttr("table", table);
     span.AddAttr("sources", sources.size());
   }
+  POLARIS_RETURN_IF_ERROR(CheckWritable("BULK LOAD"));
   POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.bulk_load"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
@@ -531,6 +651,7 @@ Result<uint64_t> PolarisEngine::Delete(txn::Transaction* txn,
                                        const exec::Conjunction& filter) {
   obs::Span span(&tracer_, "engine.delete");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(CheckWritable("DELETE"));
   POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.delete"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
@@ -553,6 +674,7 @@ Result<uint64_t> PolarisEngine::Update(
     const std::vector<exec::Assignment>& set) {
   obs::Span span(&tracer_, "engine.update");
   if (span.active()) span.AddAttr("table", table);
+  POLARIS_RETURN_IF_ERROR(CheckWritable("UPDATE"));
   POLARIS_RETURN_IF_ERROR(common::CheckCurrentDeadline("engine.update"));
   POLARIS_ASSIGN_OR_RETURN(TableMeta meta,
                            catalog_.GetTableByName(txn->catalog_txn(), table));
@@ -729,6 +851,7 @@ Result<RecordBatch> PolarisEngine::QueryAsOf(txn::Transaction* txn,
 Result<TableMeta> PolarisEngine::CloneTable(
     const std::string& source, const std::string& dest,
     std::optional<common::Micros> as_of) {
+  POLARIS_RETURN_IF_ERROR(CheckWritable("CLONE TABLE"));
   // A clone copies only the logical metadata: the dest table plus one
   // Manifests row per source manifest, re-keyed to the new table id
   // (§6.2). The same SI semantics as any transaction guarantee a
@@ -776,6 +899,7 @@ Result<std::string> PolarisEngine::BackupDatabase() {
 }
 
 Status PolarisEngine::RestoreDatabase(const std::string& image) {
+  POLARIS_RETURN_IF_ERROR(CheckWritable("RESTORE"));
   if (txn_manager_.active_transactions() != 0) {
     return Status::FailedPrecondition(
         "cannot restore with active transactions");

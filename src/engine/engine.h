@@ -28,6 +28,7 @@
 #include "obs/query_store.h"
 #include "obs/time_series.h"
 #include "obs/tracer.h"
+#include "replica/replica_tailer.h"
 #include "sto/sto.h"
 #include "storage/circuit_breaker_store.h"
 #include "storage/fault_injection_store.h"
@@ -91,6 +92,15 @@ struct EngineOptions {
   /// The per-fingerprint workload repository behind sys.query_store
   /// (enabled by default; see obs::QueryStoreOptions).
   obs::QueryStoreOptions query_store;
+  /// Opens the database as a read-only replica: the same `data_dir` (or
+  /// externally provided store, see PolarisEngine::OpenOn) is attached
+  /// read-only, the catalog is bootstrapped from the latest checkpoint +
+  /// journal, and a background tailer continuously applies the primary's
+  /// journal records. All DML/DDL returns FailedPrecondition; reads are
+  /// snapshot-isolated at the replica's apply watermark.
+  bool replica = false;
+  /// Tailer knobs (poll cadence, catch-up parallelism); replica mode only.
+  replica::ReplicaOptions replica_options;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -129,6 +139,9 @@ struct EngineStats {
   /// Durability counters (zero for in-memory engines).
   uint64_t journal_records = 0;
   uint64_t journal_checkpoints = 0;
+  /// Replica counters (zero on primaries).
+  uint64_t replica_watermark = 0;
+  uint64_t replica_records_applied = 0;
 };
 
 /// The public facade over the whole system: storage engine, catalog, DCP,
@@ -155,6 +168,14 @@ class PolarisEngine {
   /// transactions that never committed are invisible and reclaimed.
   static common::Result<std::unique_ptr<PolarisEngine>> Open(
       EngineOptions options = {}, common::Clock* clock = nullptr);
+
+  /// Opens a database on an externally provided object store (tests and
+  /// benches sharing one store between a primary and its replicas). With
+  /// `options.replica` set the store is attached read-only and tailed;
+  /// otherwise this recovers and journals exactly like a durable Open.
+  static common::Result<std::unique_ptr<PolarisEngine>> OpenOn(
+      EngineOptions options, storage::ObjectStore* store,
+      common::Clock* clock = nullptr);
 
   /// Stops the observability sampler thread before members tear down.
   ~PolarisEngine();
@@ -192,6 +213,13 @@ class PolarisEngine {
   /// What recovery replayed when this durable engine was opened.
   const catalog::CatalogJournal::RecoveredState& recovery_info() const {
     return recovery_;
+  }
+  /// True when this engine was opened as a read-only replica.
+  bool is_replica() const { return options_.replica; }
+  /// The continuous-apply tailer (null on primaries).
+  replica::ReplicaTailer* replica() { return replica_tailer_.get(); }
+  const replica::ReplicaTailer* replica() const {
+    return replica_tailer_.get();
   }
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   sto::SystemTaskOrchestrator* sto() { return &sto_; }
@@ -309,10 +337,25 @@ class PolarisEngine {
   /// commit sequence, bounding the next reopen's journal replay.
   common::Status CheckpointCatalog();
 
+  /// Read-your-writes across the primary/replica boundary: blocks until
+  /// this engine's visible commit sequence reaches `seq`, honoring the
+  /// ambient deadline/cancellation (`SET WAIT FOR COMMIT <seq>`). On a
+  /// primary every committed sequence is already visible, so this returns
+  /// immediately.
+  common::Status MinReadWatermark(uint64_t seq);
+
  private:
   /// Durable-mode Open half: recover journal state into the catalog and
   /// install the commit listener.
   common::Status RecoverCatalog();
+
+  /// Replica-mode Open half: mark the catalog read-only, bootstrap it
+  /// from the shared store's checkpoint + journal, start the tailer.
+  common::Status AttachReplica();
+
+  /// FailedPrecondition on replicas; OK on primaries. Every write entry
+  /// point checks this before touching storage.
+  common::Status CheckWritable(const char* op) const;
 
   /// Registers the built-in SLO rules on the watchdog (retry rate, retry
   /// exhaustion, journal append p99, STO checkpoint backlog, cache
@@ -360,6 +403,9 @@ class PolarisEngine {
   txn::TransactionManager txn_manager_;
   sto::SystemTaskOrchestrator sto_;
   obs::QueryStore query_store_;
+  /// Replica mode only; declared after catalog_/store decorators (it
+  /// reads through both) and stopped first in the destructor.
+  std::unique_ptr<replica::ReplicaTailer> replica_tailer_;
   obs::TimeSeriesRecorder recorder_;
   obs::HealthWatchdog watchdog_;
   std::unique_ptr<SystemViews> views_;

@@ -65,6 +65,7 @@ SystemViews::Catalog() {
       {"dm_health", "SLO watchdog verdicts"},
       {"dm_admission", "admission-control occupancy and shed counters"},
       {"dm_commit", "catalog group-commit pipeline counters"},
+      {"dm_replica", "replica apply watermark, lag, and tailer counters"},
       {"dm_views", "this catalog"},
       {"query_store", "per-fingerprint workload repository (Query Store)"},
       {"query_store_intervals",
@@ -86,6 +87,7 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_health") return Health();
   if (table == "sys.dm_admission") return Admission();
   if (table == "sys.dm_commit") return Commit();
+  if (table == "sys.dm_replica") return Replica();
   if (table == "sys.dm_views") return Views();
   if (table == "sys.query_store") return QueryStoreView();
   if (table == "sys.query_store_intervals") return QueryStoreIntervals();
@@ -337,6 +339,35 @@ RecordBatch SystemViews::Commit() const {
           I64u(stats.high_priority), I64u(stats.prevalidated),
           I64u(stats.revalidation_fallbacks), I64u(stats.gate_waiters),
           I64u(stats.pending), F64(flush_p50), F64(flush_p99)});
+  return batch;
+}
+
+RecordBatch SystemViews::Replica() const {
+  RecordBatch batch(MakeSchema({{"state", ColumnType::kString},
+                                {"watermark", ColumnType::kInt64},
+                                {"lag_records", ColumnType::kInt64},
+                                {"staleness_us", ColumnType::kInt64},
+                                {"records_applied", ColumnType::kInt64},
+                                {"segments_visited", ColumnType::kInt64},
+                                {"polls", ColumnType::kInt64},
+                                {"tail_errors", ColumnType::kInt64},
+                                {"rebootstraps", ColumnType::kInt64},
+                                {"bootstrap_records", ColumnType::kInt64},
+                                {"bootstrap_ms", ColumnType::kDouble},
+                                {"torn_tail_pending", ColumnType::kInt64},
+                                {"last_error", ColumnType::kString}}));
+  // Empty on primaries: a replica-only view, like dm_sto_jobs is empty
+  // before any maintenance ran.
+  const replica::ReplicaTailer* tailer = engine_->replica();
+  if (tailer == nullptr) return batch;
+  replica::ReplicaStatus rs = tailer->GetStatus();
+  (void)batch.AppendRow(
+      Row{Str(rs.state), I64u(rs.watermark), I64u(tailer->LagLowerBound()),
+          I64(rs.staleness_us), I64u(rs.records_applied),
+          I64u(rs.segments_visited), I64u(rs.polls), I64u(rs.tail_errors),
+          I64u(rs.rebootstraps), I64u(rs.bootstrap_records),
+          F64(rs.bootstrap_ms), I64(rs.torn_tail_pending ? 1 : 0),
+          Str(rs.last_error)});
   return batch;
 }
 

@@ -12,14 +12,15 @@ using common::Status;
 
 namespace {
 
-constexpr std::array<std::string_view, 41> kKeywords = {
+constexpr std::array<std::string_view, 43> kKeywords = {
     "AS",     "ASC",    "AVG",      "BEGIN",  "BY",     "CLONE",
     "COMMIT", "COUNT",  "CREATE",   "DELETE", "DESC",   "DOUBLE",
     "DROP",   "FROM",   "GROUP",    "INSERT", "INT",    "INTO",
     "MAX",    "MIN",    "NULL",     "OF",     "ORDER",  "ROLLBACK",
     "SELECT", "SET",    "SUM",      "TABLE",  "TEXT",   "TO",
     "AND",    "BIGINT", "TRANSACTION", "UPDATE", "VALUES", "WHERE",
-    "LIMIT",  "EXPLAIN", "ANALYZE", "KILL",   "DEADLINE"};
+    "LIMIT",  "EXPLAIN", "ANALYZE", "KILL",   "DEADLINE",
+    "WAIT",   "FOR"};
 
 bool IsKeywordWord(const std::string& upper) {
   return std::find(kKeywords.begin(), kKeywords.end(), upper) !=

@@ -424,6 +424,20 @@ Result<ParsedStatement> Parser::ParseStatement() {
     // Statement-leading SET is a session option; UPDATE ... SET is handled
     // inside ParseUpdate and never reaches here.
     ParsedStatement stmt;
+    if (AcceptKeyword("WAIT")) {
+      // SET WAIT FOR COMMIT <seq>: block until this session's engine has
+      // applied commit sequence <seq> (read-your-writes on a replica).
+      stmt.kind = ParsedStatement::Kind::kWaitForCommit;
+      POLARIS_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+      POLARIS_RETURN_IF_ERROR(ExpectKeyword("COMMIT"));
+      if (Peek().type != TokenType::kInteger || Peek().int_value <= 0) {
+        return Error("expected a positive commit sequence after "
+                     "SET WAIT FOR COMMIT");
+      }
+      stmt.wait_commit_seq = static_cast<uint64_t>(Advance().int_value);
+      POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return stmt;
+    }
     stmt.kind = ParsedStatement::Kind::kSetDeadline;
     POLARIS_RETURN_IF_ERROR(ExpectKeyword("DEADLINE"));
     if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {

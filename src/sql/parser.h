@@ -41,6 +41,7 @@ struct ParsedStatement {
     kCloneTable,
     kKill,         // KILL <txn_id>: request cooperative cancellation
     kSetDeadline,  // SET DEADLINE <ms>: per-session statement budget
+    kWaitForCommit,  // SET WAIT FOR COMMIT <seq>: replica read-your-writes
   };
   Kind kind = Kind::kSelect;
 
@@ -67,6 +68,7 @@ struct ParsedStatement {
   std::vector<exec::Assignment> assignments;  // UPDATE ... SET
   uint64_t kill_txn_id = 0;                 // KILL <txn_id>
   int64_t deadline_millis = 0;              // SET DEADLINE <ms>; 0 disables
+  uint64_t wait_commit_seq = 0;             // SET WAIT FOR COMMIT <seq>
 };
 
 /// Parses exactly one statement (a trailing ';' is allowed). The
@@ -87,6 +89,8 @@ struct ParsedStatement {
 ///   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
 ///   KILL <txn_id>
 ///   SET DEADLINE <ms>            -- 0 turns the session deadline off
+///   SET WAIT FOR COMMIT <seq>    -- block until <seq> is visible (replica
+///                                   read-your-writes; deadline-bounded)
 ///   EXPLAIN ANALYZE <statement>
 ///
 /// Table names in DML/SELECT may be schema-qualified (`sys.dm_health`);

@@ -189,6 +189,7 @@ const char* StatementKindName(ParsedStatement::Kind kind) {
     case ParsedStatement::Kind::kCloneTable: return "CLONE TABLE";
     case ParsedStatement::Kind::kKill: return "KILL";
     case ParsedStatement::Kind::kSetDeadline: return "SET DEADLINE";
+    case ParsedStatement::Kind::kWaitForCommit: return "SET WAIT FOR COMMIT";
   }
   return "?";
 }
@@ -291,6 +292,12 @@ Result<SqlResult> SqlSession::Execute(const std::string& statement) {
     case ParsedStatement::Kind::kBegin:
     case ParsedStatement::Kind::kCommit:
     case ParsedStatement::Kind::kRollback:
+      gated = false;
+      break;
+    case ParsedStatement::Kind::kWaitForCommit:
+      // A watermark wait holds no engine resources — it parks on a
+      // condition variable until the tailer catches up — so it must not
+      // occupy an admission slot for its (potentially long) wait.
       gated = false;
       break;
     case ParsedStatement::Kind::kSelect:
@@ -503,10 +510,14 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
         return Status::FailedPrecondition("no open transaction");
       }
       Status st = engine_->Commit(txn_.get());
+      // The catalog sequence this commit claimed: a client can hand it to
+      // a replica session's SET WAIT FOR COMMIT for read-your-writes.
+      const uint64_t commit_seq = txn_->commit_seq();
       txn_.reset();
       POLARIS_RETURN_IF_ERROR(st);
       SqlResult result;
-      result.message = "COMMIT";
+      result.message = "COMMIT (commit_seq " + std::to_string(commit_seq) +
+                       ")";
       return result;
     }
     case ParsedStatement::Kind::kRollback: {
@@ -606,6 +617,14 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
       result.message = "KILL " + std::to_string(stmt.kill_txn_id) +
                        " (cancellation requested; the statement aborts at "
                        "its next cooperative check)";
+      return result;
+    }
+    case ParsedStatement::Kind::kWaitForCommit: {
+      POLARIS_RETURN_IF_ERROR(
+          engine_->MinReadWatermark(stmt.wait_commit_seq));
+      SqlResult result;
+      result.message = "WAIT FOR COMMIT " +
+                       std::to_string(stmt.wait_commit_seq) + " (visible)";
       return result;
     }
     case ParsedStatement::Kind::kSetDeadline: {

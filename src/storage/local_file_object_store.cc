@@ -151,6 +151,11 @@ void SyncDirectory(const std::string& dir) {
   ::close(fd);
 }
 
+Status ReadOnlyViolation(const std::string& op, const std::string& path) {
+  return Status::FailedPrecondition("read-only object store: " + op +
+                                    " rejected for " + path);
+}
+
 }  // namespace
 
 uint64_t LocalFileObjectStore::Header::payload_size() const {
@@ -163,8 +168,9 @@ uint64_t LocalFileObjectStore::Header::payload_size() const {
 }
 
 LocalFileObjectStore::LocalFileObjectStore(std::string root,
-                                           common::Clock* clock)
-    : root_(std::move(root)), clock_(clock) {
+                                           common::Clock* clock,
+                                           bool read_only)
+    : root_(std::move(root)), read_only_(read_only), clock_(clock) {
   if (clock_ == nullptr) {
     owned_clock_ = std::make_unique<common::SimClock>(1);
     clock_ = owned_clock_.get();
@@ -174,24 +180,36 @@ LocalFileObjectStore::LocalFileObjectStore(std::string root,
 
 Status LocalFileObjectStore::SweepAndScan() {
   std::error_code ec;
-  for (const char* sub : {"objects", "staged", "tmp"}) {
-    fs::create_directories(fs::path(root_) / sub, ec);
-    if (ec) {
-      return Status::IOError("cannot create " + root_ + "/" + sub + ": " +
-                             ec.message());
+  if (read_only_) {
+    // A replica attaching to a live primary's directory: the staged and
+    // tmp entries are the PRIMARY's in-flight transactions, not crash
+    // leftovers — touching them would destroy uncommitted writes the
+    // primary is about to commit. Don't create anything either; only
+    // verify the layout exists.
+    if (!fs::is_directory(fs::path(root_) / "objects", ec)) {
+      return Status::NotFound("no object store at " + root_ +
+                              " (missing objects/ directory)");
     }
+  } else {
+    for (const char* sub : {"objects", "staged", "tmp"}) {
+      fs::create_directories(fs::path(root_) / sub, ec);
+      if (ec) {
+        return Status::IOError("cannot create " + root_ + "/" + sub + ": " +
+                               ec.message());
+      }
+    }
+    // Discard uncommitted state a crashed process left behind: staged
+    // blocks never named by a CommitBlockList are invisible by contract.
+    for (const auto& entry :
+         fs::recursive_directory_iterator(fs::path(root_) / "staged", ec)) {
+      if (entry.is_regular_file(ec)) ++swept_staged_blocks_;
+    }
+    fs::remove_all(fs::path(root_) / "staged", ec);
+    fs::remove_all(fs::path(root_) / "tmp", ec);
+    fs::create_directories(fs::path(root_) / "staged", ec);
+    fs::create_directories(fs::path(root_) / "tmp", ec);
+    if (ec) return Status::IOError("sweep failed: " + ec.message());
   }
-  // Discard uncommitted state a crashed process left behind: staged
-  // blocks never named by a CommitBlockList are invisible by contract.
-  for (const auto& entry :
-       fs::recursive_directory_iterator(fs::path(root_) / "staged", ec)) {
-    if (entry.is_regular_file(ec)) ++swept_staged_blocks_;
-  }
-  fs::remove_all(fs::path(root_) / "staged", ec);
-  fs::remove_all(fs::path(root_) / "tmp", ec);
-  fs::create_directories(fs::path(root_) / "staged", ec);
-  fs::create_directories(fs::path(root_) / "tmp", ec);
-  if (ec) return Status::IOError("sweep failed: " + ec.message());
 
   // Scan committed blobs so a reopening engine can advance its clock
   // past every persisted created_at stamp.
@@ -310,6 +328,7 @@ Status LocalFileObjectStore::WriteBlobFileLocked(
 }
 
 Status LocalFileObjectStore::Put(const std::string& path, std::string data) {
+  if (read_only_) return ReadOnlyViolation("Put", path);
   std::lock_guard<std::mutex> lock(mu_);
   std::string file = ObjectFile(path);
   std::error_code ec;
@@ -351,6 +370,7 @@ Result<BlobInfo> LocalFileObjectStore::Stat(const std::string& path) {
 }
 
 Status LocalFileObjectStore::Delete(const std::string& path) {
+  if (read_only_) return ReadOnlyViolation("Delete", path);
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
   bool had_object = fs::remove(ObjectFile(path), ec);
@@ -419,6 +439,7 @@ Status LocalFileObjectStore::StageBlock(const std::string& path,
   if (block_id.empty()) {
     return Status::InvalidArgument("block id must be non-empty");
   }
+  if (read_only_) return ReadOnlyViolation("StageBlock", path);
   std::lock_guard<std::mutex> lock(mu_);
   std::string file = ObjectFile(path);
   std::error_code ec;
@@ -452,6 +473,7 @@ Status LocalFileObjectStore::StageBlock(const std::string& path,
 
 Status LocalFileObjectStore::CommitBlockList(
     const std::string& path, const std::vector<std::string>& block_ids) {
+  if (read_only_) return ReadOnlyViolation("CommitBlockList", path);
   std::lock_guard<std::mutex> lock(mu_);
   return CommitBlockListLocked(path, block_ids, std::nullopt);
 }
@@ -459,6 +481,7 @@ Status LocalFileObjectStore::CommitBlockList(
 Status LocalFileObjectStore::CommitBlockListIf(
     const std::string& path, const std::vector<std::string>& block_ids,
     uint64_t expected_generation) {
+  if (read_only_) return ReadOnlyViolation("CommitBlockListIf", path);
   std::lock_guard<std::mutex> lock(mu_);
   return CommitBlockListLocked(path, block_ids, expected_generation);
 }

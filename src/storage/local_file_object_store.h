@@ -37,17 +37,27 @@ namespace polaris::storage {
 /// process are swept away: uncommitted blocks are invisible by contract,
 /// so discarding them is exactly the abort semantics the block-blob
 /// protocol promises (paper §4.3).
+///
+/// In read-only mode (replicas attaching to a live primary's directory)
+/// the constructor neither sweeps nor creates anything — the primary's
+/// in-flight staged blocks are its own state — and every mutating
+/// operation returns FailedPrecondition. Reads remain safe against a
+/// concurrent primary because commits are atomic renames: a Get sees
+/// either the old or the new committed file, never a mixture.
 class LocalFileObjectStore : public ObjectStore {
  public:
   /// `clock` stamps created_at; if null an internal SimClock is used.
   /// Construction cannot fail — check init_status() before use.
   explicit LocalFileObjectStore(std::string root,
-                                common::Clock* clock = nullptr);
+                                common::Clock* clock = nullptr,
+                                bool read_only = false);
 
   /// Non-OK when the directory layout could not be created or scanned.
   const common::Status& init_status() const { return init_status_; }
 
   const std::string& root() const { return root_; }
+
+  bool read_only() const { return read_only_; }
 
   /// Largest created_at stamp across blobs found at open time (0 when
   /// empty). A reopening engine advances its virtual clock past this so
@@ -114,6 +124,7 @@ class LocalFileObjectStore : public ObjectStore {
 
   mutable std::mutex mu_;
   std::string root_;
+  bool read_only_ = false;
   std::unique_ptr<common::SimClock> owned_clock_;
   common::Clock* clock_;
   common::Status init_status_;

@@ -29,6 +29,10 @@ class Transaction {
   catalog::IsolationMode mode() const { return catalog_txn_->mode(); }
   common::Micros begin_time() const { return begin_time_; }
   bool finished() const { return finished_; }
+  /// The catalog sequence this transaction committed at (0 until a
+  /// successful commit). Feed it to a replica's `SET WAIT FOR COMMIT`
+  /// or PolarisEngine::MinReadWatermark for read-your-writes.
+  uint64_t commit_seq() const { return catalog_txn_->commit_seq(); }
 
   /// The underlying catalog transaction; the engine uses it for DDL and
   /// catalog reads so that logical metadata obeys the same isolation.
