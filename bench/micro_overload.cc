@@ -100,6 +100,7 @@ int main() {
   std::printf("%-10s %-10s %-10s %-10s %-12s %-12s\n", "sessions",
               "committed", "shed", "shed_rate", "p50_adm_ms", "p99_adm_ms");
 
+  std::string wait_stats_json = "{}";
   for (int multiplier : {1, 2, 4, 8}) {
     EngineOptions options;
     options.worker_threads = 2;
@@ -142,9 +143,13 @@ int main() {
         .Add("p50_admitted_ms", burst.p50_admitted_ms)
         .Add("p99_admitted_ms", burst.p99_admitted_ms);
     // Last call wins: the report carries the most-overloaded engine's
-    // counters (admission.shed.total, queue wait histogram).
+    // counters (admission.shed.total, queue wait histogram) and its full
+    // dm_wait_stats snapshot — under an 8x burst the ADMISSION_QUEUE
+    // class should dominate, showing where the overload was absorbed.
     report.SetMetrics(engine.MetricsSnapshot());
+    wait_stats_json = engine.wait_stats()->TakeSnapshot().ToJson();
   }
+  report.config().AddRaw("dm_wait_stats", wait_stats_json);
   std::printf(
       "\nshape check: every statement terminates (committed or shed with a "
       "retry-after\nhint) at every overload factor — zero hung statements. "

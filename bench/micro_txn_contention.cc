@@ -27,6 +27,7 @@
 #include "catalog/catalog_journal.h"
 #include "catalog/mvcc.h"
 #include "common/resource_usage.h"
+#include "common/wait_stats.h"
 #include "obs/metrics.h"
 #include "obs/query_store.h"
 #include "storage/memory_object_store.h"
@@ -72,6 +73,10 @@ struct RunResult {
   double p99_ms = 0.0;
   uint64_t batches = 0;
   double avg_batch = 0.0;
+  /// Sum of the per-commit wall latencies — the attribution denominator:
+  /// with a 250us store round trip at the durability point, commit wall
+  /// time in this bench is blocked time.
+  double commit_wall_us = 0.0;
   int failed = 0;
 };
 
@@ -79,10 +84,14 @@ struct RunResult {
 /// is also recorded into it against one shared fingerprint — the
 /// worst-case Record path (all sessions contending on a single entry) the
 /// enabled-by-default overhead budget is asserted against. When `metrics`
-/// is set it receives commit latencies and pipeline counters.
+/// is set it receives commit latencies and pipeline counters. When
+/// `waits` is set the commit pipeline records its gate/barrier/store-IO
+/// waits into it (the waits-on arm of the wait-stats A/B; null = the
+/// fully inert waits-off arm).
 RunResult RunContention(bool serial, int sessions,
                         polaris::obs::QueryStore* qstore = nullptr,
-                        polaris::obs::MetricsRegistry* metrics = nullptr) {
+                        polaris::obs::MetricsRegistry* metrics = nullptr,
+                        polaris::common::WaitStats* waits = nullptr) {
   SlowCommitStore blobs;
   CatalogJournal journal(&blobs, CatalogJournalOptions{});
   auto recovered = journal.Recover();
@@ -97,6 +106,7 @@ RunResult RunContention(bool serial, int sessions,
         return journal.AppendBatch(records);
       });
   store.set_serial_commit(serial);
+  if (waits != nullptr) store.set_wait_stats(waits);
 
   std::mutex mu;
   std::vector<double> latencies_ms;
@@ -150,6 +160,7 @@ RunResult RunContention(bool serial, int sessions,
       seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
   result.p50_ms = Quantile(&latencies_ms, 0.50);
   result.p99_ms = Quantile(&latencies_ms, 0.99);
+  for (double ms : latencies_ms) result.commit_wall_us += ms * 1000.0;
   auto stats = store.PipelineStats();
   result.batches = stats.batches;
   result.avg_batch =
@@ -256,6 +267,62 @@ int main() {
       .Add("query_store_overhead_ok", overhead_ok)
       .Add("query_store_recorded", qs_recorded);
 
+  // Wait-stats overhead gate, same discipline as the Query Store gate:
+  // A/B at group/32 with arms alternated, best-of-N per arm. The off arm
+  // passes no registry, so ScopedWait is fully inert (no clock reads);
+  // the on arm records every gate/barrier/store-IO wait. Budget < 5%.
+  double waits_off_best = 0.0;
+  double waits_on_best = 0.0;
+  polaris::common::WaitStats::Snapshot wait_snap;
+  double attributed_wall_us = 0.0;
+  for (int round = 0; round < kOverheadRounds; ++round) {
+    RunResult off = RunContention(false, 32);
+    polaris::common::WaitStats wait_stats;
+    RunResult on =
+        RunContention(false, 32, nullptr, nullptr, &wait_stats);
+    if (off.failed != 0 || on.failed != 0) {
+      std::fprintf(stderr, "wait-run commits failed unexpectedly\n");
+      return 1;
+    }
+    waits_off_best = std::max(waits_off_best, off.commits_per_sec);
+    waits_on_best = std::max(waits_on_best, on.commits_per_sec);
+    wait_snap = wait_stats.TakeSnapshot();
+    attributed_wall_us = on.commit_wall_us;
+  }
+  double waits_overhead = waits_off_best > 0
+                              ? (waits_off_best - waits_on_best) /
+                                    waits_off_best
+                              : 1.0;
+  bool waits_overhead_ok = waits_overhead < kOverheadBudget;
+
+  // Attribution check (last waits-on run): the gate, barrier and
+  // store-IO classes must explain >= 90% of the blocked time the 32
+  // sessions measured around their commits. Self-time accounting means
+  // the classes partition that time, so a large gap would mean an
+  // uninstrumented blocking point on the commit path.
+  auto class_us = [&wait_snap](polaris::common::WaitClass cls) {
+    return wait_snap.classes[static_cast<int>(cls)].total_us;
+  };
+  const int64_t commit_path_us =
+      class_us(polaris::common::WaitClass::kCommitGate) +
+      class_us(polaris::common::WaitClass::kCommitBarrier) +
+      class_us(polaris::common::WaitClass::kStoreIo) +
+      class_us(polaris::common::WaitClass::kLockIntent);
+  double attribution = attributed_wall_us > 0
+                           ? static_cast<double>(commit_path_us) /
+                                 attributed_wall_us
+                           : 0.0;
+  constexpr double kAttributionFloor = 0.90;
+  bool attribution_ok = attribution >= kAttributionFloor;
+  report.config()
+      .Add("wait_stats_overhead_frac", waits_overhead)
+      .Add("wait_stats_overhead_budget", kOverheadBudget)
+      .Add("wait_stats_overhead_ok", waits_overhead_ok)
+      .Add("wait_attribution_frac", attribution)
+      .Add("wait_attribution_floor", kAttributionFloor)
+      .Add("wait_attribution_ok", attribution_ok)
+      .AddRaw("dm_wait_stats", wait_snap.ToJson());
+
   std::printf(
       "\nshape check: serial throughput is pinned near "
       "1/store-round-trip regardless of\nsessions; group commit amortizes "
@@ -268,6 +335,19 @@ int main() {
       "(budget %.0f%%) [%s]\n",
       overhead * 100.0, kOverheadBudget * 100.0,
       overhead_ok ? "PASS" : "FAIL");
+  std::printf(
+      "wait_stats overhead at group/32: %.2f%% of throughput "
+      "(budget %.0f%%) [%s]\n",
+      waits_overhead * 100.0, kOverheadBudget * 100.0,
+      waits_overhead_ok ? "PASS" : "FAIL");
+  std::printf(
+      "wait attribution at group/32: gate+barrier+store-IO explain "
+      "%.1f%% of commit\nwall time (floor %.0f%%) [%s]\n",
+      attribution * 100.0, kAttributionFloor * 100.0,
+      attribution_ok ? "PASS" : "FAIL");
   report.Write();
-  return (speedup >= 3.0 && overhead_ok) ? 0 : 1;
+  return (speedup >= 3.0 && overhead_ok && waits_overhead_ok &&
+          attribution_ok)
+             ? 0
+             : 1;
 }

@@ -29,9 +29,12 @@
 //                      (open in https://ui.perfetto.dev)
 //   QUERYSTORE TOP <n> heaviest statement fingerprints by total wall time
 //                      (shorthand for a sys.query_store SELECT)
+//   WAITS [TOP <n>]    engine-wide wait-event totals by class, heaviest
+//                      first (shorthand for a sys.dm_wait_stats SELECT)
 //
 // Pass --log-json <file> to stream every structured event to <file> as
-// JSON lines while the shell runs.
+// JSON lines while the shell runs; on exit the shell emits one
+// shell.wait_summary event with the session's per-class wait totals.
 //
 // EXPLAIN ANALYZE <statement> prints the statement's span tree. System
 // views are queryable like tables: SELECT * FROM sys.dm_views; lists them.
@@ -146,7 +149,7 @@ int main(int argc, char** argv) {
         "sys.dm_tran_active).\n"
         "System views: SELECT * FROM sys.dm_views;   Meta: METRICS, "
         "HEALTH,\n         TRACE ON|OFF|DUMP <file>, EVENTS DUMP <file>, "
-        "QUERYSTORE TOP <n>.\n\n");
+        "QUERYSTORE TOP <n>,\n         WAITS [TOP <n>].\n\n");
     if (options.replica) {
       auto status = engine.replica()->GetStatus();
       std::printf(
@@ -323,6 +326,36 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (word == "WAITS") {
+        // WAITS | WAITS TOP <n>
+        std::istringstream parts(statement);
+        std::string cmd, sub, arg;
+        parts >> cmd >> sub >> arg;
+        for (char& c : sub) c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        if (!sub.empty() && sub.back() == ';') sub.pop_back();
+        while (!arg.empty() &&
+               (arg.back() == ';' ||
+                std::isspace(static_cast<unsigned char>(arg.back())))) {
+          arg.pop_back();
+        }
+        long n = arg.empty() ? 0 : std::strtol(arg.c_str(), nullptr, 10);
+        if (!sub.empty() && (sub != "TOP" || n <= 0)) {
+          std::printf("ERROR: usage: WAITS [TOP <n>]\n");
+          continue;
+        }
+        std::string query =
+            "SELECT wait_class, waits, wait_us, max_wait_us, signal_us "
+            "FROM sys.dm_wait_stats ORDER BY wait_us DESC";
+        if (n > 0) query += " LIMIT " + std::to_string(n);
+        auto waits = session.Execute(query + ";");
+        if (waits.ok()) {
+          PrintResult(*waits);
+        } else {
+          std::printf("ERROR: %s\n", waits.status().ToString().c_str());
+        }
+        continue;
+      }
       auto result = session.Execute(statement);
       if (result.ok()) {
         PrintResult(*result);
@@ -330,6 +363,24 @@ int main(int argc, char** argv) {
         std::printf("ERROR: %s\n", result.status().ToString().c_str());
       }
     }
+  }
+  if (!log_json_path.empty()) {
+    // One terminal event carrying the session's wait profile, so a
+    // --log-json artifact is self-describing about where time blocked.
+    polaris::common::WaitStats::Snapshot waits =
+        engine.wait_stats()->TakeSnapshot();
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("total_wait_us", std::to_string(waits.total_us()));
+    for (int i = 0; i < polaris::common::kWaitClassCount; ++i) {
+      if (waits.classes[i].count == 0) continue;
+      fields.emplace_back(
+          std::string(polaris::common::WaitClassName(
+              static_cast<polaris::common::WaitClass>(i))),
+          std::to_string(waits.classes[i].total_us) + "us/" +
+              std::to_string(waits.classes[i].count));
+    }
+    engine.events()->Emit(polaris::obs::EventLevel::kInfo, "shell",
+                          "shell.wait_summary", fields);
   }
   if (interactive) std::printf("\nbye\n");
   return 0;

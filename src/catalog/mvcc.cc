@@ -229,7 +229,14 @@ Status MvccStore::ValidateForSequencing(MvccTransaction* txn,
   const bool check_reads =
       txn->mode_ == IsolationMode::kSerializable &&
       (!txn->read_keys_.empty() || !txn->read_prefixes_.empty());
-  std::lock_guard<std::mutex> plk(commit_mu_);
+  // The pipeline lock guards the write-set/intent state this validation
+  // reads; acquiring it contends with barrier waiters and enqueuers.
+  std::unique_lock<std::mutex> plk(commit_mu_, std::defer_lock);
+  {
+    common::ScopedWait lock_wait(wait_stats_,
+                                 common::WaitClass::kLockIntent);
+    plk.lock();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     // First-committer-wins on the write set: if any written key has a
@@ -325,6 +332,7 @@ void MvccStore::FlushRoundLocked(std::unique_lock<std::mutex>& lk) {
       // budget: the leader flushes under a neutral deadline, and a
       // cancelled member detaches at the barrier instead of cancelling
       // the shared append.
+      common::ScopedWait io_wait(wait_stats_, common::WaitClass::kStoreIo);
       common::ScopedDeadline neutral{common::Deadline()};
       std::vector<CommitRecord> records;
       records.reserve(batch.size());
@@ -385,6 +393,8 @@ void MvccStore::FlushRoundLocked(std::unique_lock<std::mutex>& lk) {
 
   lk.lock();
   if (durable && !installed) pipeline_poisoned_ = true;
+  const int64_t done_at_us =
+      wait_stats_ != nullptr ? common::WaitStats::NowMicros() : 0;
   for (const auto& entry : batch) {
     pending_.erase(std::remove(pending_.begin(), pending_.end(), entry),
                    pending_.end());
@@ -398,6 +408,7 @@ void MvccStore::FlushRoundLocked(std::unique_lock<std::mutex>& lk) {
       recent_commits_.emplace_back(entry->seq, std::move(keys));
     }
     entry->status = st;
+    entry->done_at_us = done_at_us;
     entry->done = true;
   }
   while (recent_commits_.size() > kRecentCommitCap) {
@@ -442,6 +453,8 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
   // Benchmark baseline: one lock across the whole commit, IO included.
   std::unique_lock<std::mutex> serial_lk;
   if (serial_commit_.load(std::memory_order_relaxed)) {
+    common::ScopedWait gate_wait(wait_stats_,
+                                 common::WaitClass::kCommitGate);
     serial_lk = std::unique_lock<std::mutex>(serial_gate_);
   }
   const common::Deadline deadline = common::CurrentDeadline();
@@ -482,26 +495,31 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
   }
 
   // --- Sequencing gate: priority-ordered admission ------------------------
-  std::unique_lock<std::mutex> lk(commit_mu_);
-  const auto me = std::pair<int, uint64_t>(
-      -static_cast<int>(txn->priority_), ++gate_ticket_);
-  gate_waiters_.insert(me);
-  while (sequencing_ || *gate_waiters_.begin() != me) {
-    if (deadline.bounded()) {
-      gate_cv_.wait_for(lk, std::chrono::milliseconds(1));
-      if (!sequencing_ && *gate_waiters_.begin() == me) break;
-      Status st = deadline.Check("catalog.commit.sequence");
-      if (!st.ok()) {
-        gate_waiters_.erase(me);
-        gate_cv_.notify_all();
-        txn->finished_ = true;
-        return st;
+  std::unique_lock<std::mutex> lk(commit_mu_, std::defer_lock);
+  {
+    common::ScopedWait gate_wait(wait_stats_,
+                                 common::WaitClass::kCommitGate);
+    lk.lock();
+    const auto me = std::pair<int, uint64_t>(
+        -static_cast<int>(txn->priority_), ++gate_ticket_);
+    gate_waiters_.insert(me);
+    while (sequencing_ || *gate_waiters_.begin() != me) {
+      if (deadline.bounded()) {
+        gate_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        if (!sequencing_ && *gate_waiters_.begin() == me) break;
+        Status st = deadline.Check("catalog.commit.sequence");
+        if (!st.ok()) {
+          gate_waiters_.erase(me);
+          gate_cv_.notify_all();
+          txn->finished_ = true;
+          return st;
+        }
+      } else {
+        gate_cv_.wait(lk);
       }
-    } else {
-      gate_cv_.wait(lk);
     }
+    gate_waiters_.erase(me);
   }
-  gate_waiters_.erase(me);
   if (pipeline_poisoned_) {
     gate_cv_.notify_all();
     txn->finished_ = true;
@@ -549,28 +567,43 @@ Status MvccStore::Commit(MvccTransaction* txn, const CommitHook& hook) {
   gate_cv_.notify_all();
 
   // --- Group-commit barrier -----------------------------------------------
-  while (!entry->done) {
-    if (!flush_in_progress_) {
-      FlushRoundLocked(lk);  // leader: flush everything queued, us included
-      continue;
-    }
-    if (deadline.bounded()) {
-      flush_cv_.wait_for(lk, std::chrono::milliseconds(1));
-      if (entry->done) break;
-      Status dst = deadline.Check("catalog.commit.flush-wait");
-      if (!dst.ok()) {
-        // Detach without stalling the batch: the leader still resolves
-        // the entry, so the commit's outcome is in doubt (it may land).
-        entry->detached = true;
-        stat_waiters_detached_++;
-        if (metrics_ != nullptr) {
-          metrics_->Add("catalog.commit.waiters_detached");
-        }
-        txn->finished_ = true;
-        return dst;
+  {
+    // The whole barrier section is COMMIT_BARRIER time; the leader's
+    // journal append inside FlushRoundLocked is a nested STORE_IO wait,
+    // so barrier self-time excludes it (the classes partition).
+    common::ScopedWait barrier_wait(wait_stats_,
+                                    common::WaitClass::kCommitBarrier);
+    while (!entry->done) {
+      if (!flush_in_progress_) {
+        FlushRoundLocked(lk);  // leader: flush everything queued, us included
+        continue;
       }
-    } else {
-      flush_cv_.wait(lk);
+      if (deadline.bounded()) {
+        flush_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        if (entry->done) break;
+        Status dst = deadline.Check("catalog.commit.flush-wait");
+        if (!dst.ok()) {
+          // Detach without stalling the batch: the leader still resolves
+          // the entry, so the commit's outcome is in doubt (it may land).
+          entry->detached = true;
+          stat_waiters_detached_++;
+          if (metrics_ != nullptr) {
+            metrics_->Add("catalog.commit.waiters_detached");
+          }
+          txn->finished_ = true;
+          return dst;
+        }
+      } else {
+        flush_cv_.wait(lk);
+      }
+    }
+    // Signal-vs-resource split: the entry was resolved at done_at_us; any
+    // time past that is wake latency, not work the waiter was blocked on.
+    if (wait_stats_ != nullptr && wait_stats_->enabled() &&
+        entry->done_at_us != 0) {
+      wait_stats_->RecordSignal(
+          common::WaitClass::kCommitBarrier,
+          common::WaitStats::NowMicros() - entry->done_at_us);
     }
   }
   // If the queue holds only entries whose waiters detached, drain them

@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/wait_stats.h"
 #include "obs/metrics.h"
 
 namespace polaris::catalog {
@@ -205,6 +206,13 @@ class MvccStore {
   /// be null). Attach before serving transactions.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches the wait-event registry (may be null = waits unaccounted).
+  /// The pipeline then charges COMMIT_GATE (sequencing admission),
+  /// COMMIT_BARRIER (group-commit barrier, with a signal-latency split),
+  /// STORE_IO (the leader's journal append) and LOCK_INTENT (write-set
+  /// validation lock). Attach before serving transactions.
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
+
   /// Benchmark baseline: when true every commit holds one global lock
   /// across validation, the durability listener, and install — the
   /// pre-group-commit behavior micro_txn_contention compares against.
@@ -305,6 +313,10 @@ class MvccStore {
     bool done = false;      // status is final; the waiter may return
     bool detached = false;  // waiter gave up; the leader still resolves it
     common::Status status = common::Status::OK();
+    /// Steady-clock stamp of the moment the leader resolved this entry
+    /// (0 when waits are unaccounted). A barrier follower's wake latency
+    /// beyond this is COMMIT_BARRIER signal time.
+    int64_t done_at_us = 0;
   };
 
   /// Returns the visible value of `key` at snapshot `seq` (no txn overlay).
@@ -377,6 +389,7 @@ class MvccStore {
   std::atomic<bool> read_only_{false};
 
   obs::MetricsRegistry* metrics_ = nullptr;  // set before serving
+  common::WaitStats* wait_stats_ = nullptr;  // set before serving
 
   // Pipeline counters. All except stat_prevalidated_ are updated under
   // commit_mu_; pre-validation runs outside it, hence the atomic.

@@ -12,6 +12,40 @@
 
 namespace polaris::common {
 
+/// Fixed taxonomy of engine wait events (the dm_os_wait_stats analogue).
+/// Every blocking point in the engine charges exactly one class; the
+/// classes partition a statement's blocked time so their sum never
+/// exceeds wall time (nested waits subtract child time — see
+/// common/wait_stats.h).
+enum class WaitClass {
+  kCommitGate = 0,        ///< priority sequencing gate (catalog commit)
+  kCommitBarrier,         ///< group-commit barrier (follower wait)
+  kAdmissionQueue,        ///< admission-control queue
+  kStoreIo,               ///< object-store operation in flight
+  kRetryBackoff,          ///< backoff sleep between store retries
+  kCacheSingleflight,     ///< joined another thread's in-flight cache fetch
+  kDcpQueue,              ///< task queued for a DCP pool worker
+  kReplicaWaitForCommit,  ///< replica watermark wait (SET WAIT FOR COMMIT)
+  kLockIntent,            ///< catalog intent/write-set lock acquisition
+};
+
+inline constexpr int kWaitClassCount = 9;
+
+inline std::string_view WaitClassName(WaitClass cls) {
+  switch (cls) {
+    case WaitClass::kCommitGate: return "COMMIT_GATE";
+    case WaitClass::kCommitBarrier: return "COMMIT_BARRIER";
+    case WaitClass::kAdmissionQueue: return "ADMISSION_QUEUE";
+    case WaitClass::kStoreIo: return "STORE_IO";
+    case WaitClass::kRetryBackoff: return "RETRY_BACKOFF";
+    case WaitClass::kCacheSingleflight: return "CACHE_SINGLEFLIGHT";
+    case WaitClass::kDcpQueue: return "DCP_QUEUE";
+    case WaitClass::kReplicaWaitForCommit: return "REPLICA_WAIT_FOR_COMMIT";
+    case WaitClass::kLockIntent: return "LOCK_INTENT";
+  }
+  return "?";
+}
+
 /// How a statement ended, for resource accounting and the Query Store.
 /// `kShed` covers capacity rejections (admission shed, circuit breaker
 /// open); `kKilled` is cooperative cancellation (KILL); `kExpired` is a
@@ -69,6 +103,26 @@ struct ResourceUsageSnapshot {
   uint64_t statement_retries = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_returned = 0;
+  /// Blocked time by wait class (common::WaitClass order). Self-time only:
+  /// nested waits are subtracted by the charging side, so the classes
+  /// partition blocked time and their sum never exceeds wall_us.
+  int64_t wait_us[kWaitClassCount] = {};
+  uint64_t wait_count[kWaitClassCount] = {};
+
+  int64_t total_wait_us() const {
+    int64_t total = 0;
+    for (int64_t us : wait_us) total += us;
+    return total;
+  }
+
+  /// Index of the heaviest wait class; -1 when nothing waited.
+  int top_wait_class() const {
+    int top = -1;
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      if (wait_us[i] > 0 && (top < 0 || wait_us[i] > wait_us[top])) top = i;
+    }
+    return top;
+  }
 
   void Add(const ResourceUsageSnapshot& other) {
     wall_us += other.wall_us;
@@ -84,6 +138,10 @@ struct ResourceUsageSnapshot {
     statement_retries += other.statement_retries;
     rows_scanned += other.rows_scanned;
     rows_returned += other.rows_returned;
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      wait_us[i] += other.wait_us[i];
+      wait_count[i] += other.wait_count[i];
+    }
   }
 
   /// The EXPLAIN ANALYZE resource-vector block (multi-line, no trailing
@@ -108,7 +166,20 @@ struct ResourceUsageSnapshot {
         static_cast<unsigned long long>(cache_misses),
         static_cast<unsigned long long>(rows_scanned),
         static_cast<unsigned long long>(rows_returned));
-    return buf;
+    std::string out = buf;
+    out += "\n  waits: total=";
+    out += std::to_string(total_wait_us());
+    out += "us";
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      if (wait_count[i] == 0 && wait_us[i] == 0) continue;
+      out += " ";
+      out += WaitClassName(static_cast<WaitClass>(i));
+      out += "=";
+      out += std::to_string(wait_us[i]);
+      out += "us/";
+      out += std::to_string(wait_count[i]);
+    }
+    return out;
   }
 };
 
@@ -154,6 +225,11 @@ class ResourceUsage {
   void ChargeRowsReturned(uint64_t n) {
     if (n != 0) rows_returned_.fetch_add(n, kRelaxed);
   }
+  void ChargeWait(WaitClass cls, int64_t us) {
+    const int i = static_cast<int>(cls);
+    wait_us_[i].fetch_add(us, kRelaxed);
+    wait_count_[i].fetch_add(1, kRelaxed);
+  }
 
   ResourceUsageSnapshot Snapshot() const {
     ResourceUsageSnapshot s;
@@ -169,6 +245,10 @@ class ResourceUsage {
     s.statement_retries = statement_retries_.load(kRelaxed);
     s.rows_scanned = rows_scanned_.load(kRelaxed);
     s.rows_returned = rows_returned_.load(kRelaxed);
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      s.wait_us[i] = wait_us_[i].load(kRelaxed);
+      s.wait_count[i] = wait_count_[i].load(kRelaxed);
+    }
     return s;
   }
 
@@ -186,6 +266,8 @@ class ResourceUsage {
   std::atomic<uint64_t> statement_retries_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> rows_returned_{0};
+  std::atomic<int64_t> wait_us_[kWaitClassCount] = {};
+  std::atomic<uint64_t> wait_count_[kWaitClassCount] = {};
 };
 
 /// The statement accumulator of the calling thread's ambient context;

@@ -1,0 +1,271 @@
+#ifndef POLARIS_COMMON_WAIT_STATS_H_
+#define POLARIS_COMMON_WAIT_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/resource_usage.h"
+#include "common/trace_context.h"
+
+namespace polaris::common {
+
+/// Engine-wide wait-event accounting (the dm_os_wait_stats analogue).
+/// Every blocking point wraps its wait in a ScopedWait (or charges a known
+/// duration via WaitStats::Charge); totals land in lock-free per-class
+/// atomics here AND in the ambient statement's ResourceUsage, so the same
+/// wait is visible engine-wide (sys.dm_wait_stats, waits.* metrics) and
+/// per-statement (EXPLAIN ANALYZE, Query Store).
+///
+/// Attribution invariant: waits nest (a commit-barrier leader performs the
+/// journal-append STORE_IO inside its barrier section; a store op inside a
+/// retry loop), and each scope records only its SELF time — total minus
+/// time already charged by inner waits on the same thread — so the classes
+/// partition blocked time exactly and never double-count.
+///
+/// When `enabled()` is false (or the pointer handed to a ScopedWait is
+/// null) the primitive is inert: no clock reads, no atomics — the
+/// waits-off arm of the bench A/B overhead gate.
+class WaitStats {
+ public:
+  struct ClassTotals {
+    uint64_t count = 0;
+    int64_t total_us = 0;
+    int64_t max_us = 0;
+    /// Signal latency: time between the waited-for resource becoming
+    /// available and the waiter actually waking (the dm_os_wait_stats
+    /// signal_wait_time split). Only classes whose wake path can stamp a
+    /// ready-time report it (COMMIT_BARRIER); 0 elsewhere.
+    int64_t signal_us = 0;
+  };
+
+  struct Snapshot {
+    ClassTotals classes[kWaitClassCount];
+
+    int64_t total_us() const {
+      int64_t total = 0;
+      for (const ClassTotals& c : classes) total += c.total_us;
+      return total;
+    }
+
+    /// {"COMMIT_GATE":{"waits":N,"wait_us":N,"max_wait_us":N,
+    ///   "signal_us":N}, ...} — classes with zero waits are included so
+    /// consumers see the full taxonomy.
+    std::string ToJson() const {
+      std::string out = "{";
+      for (int i = 0; i < kWaitClassCount; ++i) {
+        if (i != 0) out += ",";
+        out += "\"";
+        out += WaitClassName(static_cast<WaitClass>(i));
+        out += "\":{\"waits\":";
+        out += std::to_string(classes[i].count);
+        out += ",\"wait_us\":";
+        out += std::to_string(classes[i].total_us);
+        out += ",\"max_wait_us\":";
+        out += std::to_string(classes[i].max_us);
+        out += ",\"signal_us\":";
+        out += std::to_string(classes[i].signal_us);
+        out += "}";
+      }
+      out += "}";
+      return out;
+    }
+  };
+
+  /// A wait in progress right now, joined into sys.dm_tran_active by
+  /// txn_id (best-effort: sampling a live slot races with its release).
+  struct CurrentWait {
+    uint64_t txn_id = 0;
+    WaitClass cls = WaitClass::kCommitGate;
+    int64_t start_us = 0;  // steady-clock micros (NowMicros basis)
+  };
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Steady-clock micros — the time basis of every recorded wait.
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void Record(WaitClass cls, int64_t us) {
+    if (us < 0) us = 0;
+    const int i = static_cast<int>(cls);
+    classes_[i].count.fetch_add(1, std::memory_order_relaxed);
+    classes_[i].total_us.fetch_add(us, std::memory_order_relaxed);
+    int64_t seen = classes_[i].max_us.load(std::memory_order_relaxed);
+    while (us > seen && !classes_[i].max_us.compare_exchange_weak(
+                            seen, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  void RecordSignal(WaitClass cls, int64_t us) {
+    if (us <= 0) return;
+    classes_[static_cast<int>(cls)].signal_us.fetch_add(
+        us, std::memory_order_relaxed);
+  }
+
+  Snapshot TakeSnapshot() const {
+    Snapshot s;
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      s.classes[i].count = classes_[i].count.load(std::memory_order_relaxed);
+      s.classes[i].total_us =
+          classes_[i].total_us.load(std::memory_order_relaxed);
+      s.classes[i].max_us =
+          classes_[i].max_us.load(std::memory_order_relaxed);
+      s.classes[i].signal_us =
+          classes_[i].signal_us.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void Reset() {
+    for (int i = 0; i < kWaitClassCount; ++i) {
+      classes_[i].count.store(0, std::memory_order_relaxed);
+      classes_[i].total_us.store(0, std::memory_order_relaxed);
+      classes_[i].max_us.store(0, std::memory_order_relaxed);
+      classes_[i].signal_us.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Explicit-duration charge for waits whose length is known rather than
+  /// measured in place (retry backoff advanced on a virtual clock, DCP
+  /// queue latency stamped at submit). Charges `stats` (when attached and
+  /// enabled) and the ambient ResourceUsage, and informs the innermost
+  /// in-progress ScopedWait on this thread so the enclosing class records
+  /// self-time only. Safe with `stats == nullptr`.
+  static void Charge(WaitStats* stats, WaitClass cls, int64_t us);
+
+  /// Waits in progress across all threads (for dm_tran_active's
+  /// wait_class/wait_us columns). Only waits running under a known txn_id
+  /// occupy a slot.
+  std::vector<CurrentWait> CurrentWaits() const {
+    std::vector<CurrentWait> out;
+    for (const Slot& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) != 1) continue;
+      CurrentWait w;
+      w.txn_id = slot.txn_id.load(std::memory_order_relaxed);
+      w.cls = static_cast<WaitClass>(
+          slot.cls.load(std::memory_order_relaxed));
+      w.start_us = slot.start_us.load(std::memory_order_relaxed);
+      if (w.txn_id != 0) out.push_back(w);
+    }
+    return out;
+  }
+
+ private:
+  friend class ScopedWait;
+
+  struct AtomicTotals {
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> total_us{0};
+    std::atomic<int64_t> max_us{0};
+    std::atomic<int64_t> signal_us{0};
+  };
+
+  static constexpr int kCurrentWaitSlots = 64;
+  struct Slot {
+    std::atomic<int> state{0};  // 0 free, 1 published
+    std::atomic<uint64_t> txn_id{0};
+    std::atomic<int> cls{0};
+    std::atomic<int64_t> start_us{0};
+  };
+
+  int ClaimSlot(uint64_t txn_id, WaitClass cls, int64_t start_us) {
+    for (int i = 0; i < kCurrentWaitSlots; ++i) {
+      int expected = 0;
+      if (slots_[i].state.compare_exchange_strong(
+              expected, 2, std::memory_order_acquire)) {
+        slots_[i].txn_id.store(txn_id, std::memory_order_relaxed);
+        slots_[i].cls.store(static_cast<int>(cls),
+                            std::memory_order_relaxed);
+        slots_[i].start_us.store(start_us, std::memory_order_relaxed);
+        slots_[i].state.store(1, std::memory_order_release);
+        return i;
+      }
+    }
+    return -1;  // table full: the wait still counts, it just isn't visible
+  }
+
+  void ReleaseSlot(int i) {
+    if (i < 0) return;
+    slots_[i].txn_id.store(0, std::memory_order_relaxed);
+    slots_[i].state.store(0, std::memory_order_release);
+  }
+
+  std::atomic<bool> enabled_{true};
+  AtomicTotals classes_[kWaitClassCount];
+  Slot slots_[kCurrentWaitSlots];
+};
+
+/// RAII measurement of one blocking region. Construct immediately before
+/// blocking, destroy right after waking; records steady-clock self-time
+/// (total minus nested waits) to the registry and the ambient statement.
+/// Inert when `stats` is null or disabled.
+class ScopedWait {
+ public:
+  ScopedWait(WaitStats* stats, WaitClass cls)
+      : stats_(stats != nullptr && stats->enabled() ? stats : nullptr),
+        cls_(cls) {
+    if (stats_ == nullptr) return;
+    start_us_ = WaitStats::NowMicros();
+    parent_ = tls_top();
+    tls_top() = this;
+    const uint64_t txn_id = MutableCurrentTraceContext().txn_id;
+    if (txn_id != 0) slot_ = stats_->ClaimSlot(txn_id, cls, start_us_);
+  }
+
+  ~ScopedWait() {
+    if (stats_ == nullptr) return;
+    stats_->ReleaseSlot(slot_);
+    tls_top() = parent_;
+    const int64_t total = WaitStats::NowMicros() - start_us_;
+    int64_t self = total - child_us_;
+    if (self < 0) self = 0;
+    stats_->Record(cls_, self);
+    if (parent_ != nullptr) parent_->child_us_ += total;
+    if (ResourceUsage* usage = CurrentResourceUsage()) {
+      usage->ChargeWait(cls_, self);
+    }
+  }
+
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+  /// Steady-clock micros at scope entry (for signal-latency splits).
+  int64_t start_us() const { return start_us_; }
+
+ private:
+  friend class WaitStats;
+
+  static ScopedWait*& tls_top() {
+    thread_local ScopedWait* top = nullptr;
+    return top;
+  }
+
+  WaitStats* stats_;
+  WaitClass cls_;
+  ScopedWait* parent_ = nullptr;
+  int64_t start_us_ = 0;
+  int64_t child_us_ = 0;
+  int slot_ = -1;
+};
+
+inline void WaitStats::Charge(WaitStats* stats, WaitClass cls, int64_t us) {
+  if (us <= 0) return;
+  if (stats != nullptr && stats->enabled()) stats->Record(cls, us);
+  if (ScopedWait* top = ScopedWait::tls_top()) top->child_us_ += us;
+  if (ResourceUsage* usage = CurrentResourceUsage()) {
+    usage->ChargeWait(cls, us);
+  }
+}
+
+}  // namespace polaris::common
+
+#endif  // POLARIS_COMMON_WAIT_STATS_H_

@@ -67,6 +67,12 @@ class Scheduler {
     metrics_ = metrics;
   }
 
+  /// Attaches the wait-event registry to the worker pool; task
+  /// submit-to-dequeue latency is then charged as DCP_QUEUE.
+  void set_wait_stats(common::WaitStats* waits) {
+    pool_.set_wait_stats(waits);
+  }
+
   /// Runs `dag` on `pool_name`. `max_parallelism` caps elastic allocation
   /// (0 = derive from the number of independent tasks). Returns metrics on
   /// success; the first non-retryable task error otherwise.

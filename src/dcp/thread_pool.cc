@@ -26,8 +26,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> work) {
   // Carry the submitter's trace context onto the worker thread.
   obs::TraceBinding binding;
-  auto traced = [binding, work = std::move(work)] {
+  common::WaitStats* waits = wait_stats_;
+  const int64_t submitted_at =
+      waits != nullptr && waits->enabled() ? common::WaitStats::NowMicros() : 0;
+  auto traced = [binding, waits, submitted_at, work = std::move(work)] {
     obs::TraceBinding::Scope scope(binding);
+    if (submitted_at != 0) {
+      // Charged after the scope restores the submitter's context, so the
+      // queueing delay lands on the owning statement's resource vector.
+      common::WaitStats::Charge(waits, common::WaitClass::kDcpQueue,
+                                common::WaitStats::NowMicros() - submitted_at);
+    }
     work();
   };
   {

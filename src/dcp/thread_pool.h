@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/wait_stats.h"
+
 namespace polaris::dcp {
 
 /// Minimal fixed-size thread pool. The DCP uses it to actually run task
@@ -27,6 +29,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Attaches the wait-event registry (may be null); each task's
+  /// submit-to-dequeue latency is then charged as DCP_QUEUE against the
+  /// submitting statement (the charge runs on the worker, under the
+  /// restored trace context).
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
+
   /// Enqueues `work`; runs on some pool thread under the submitting
   /// thread's trace context.
   void Submit(std::function<void()> work);
@@ -39,6 +47,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  common::WaitStats* wait_stats_ = nullptr;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

@@ -92,7 +92,10 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   }
   // Charged whether the statement was admitted, shed, or cancelled: the
   // queue time of a shed statement is exactly what its resource vector
-  // should show.
+  // should show. The same interval is the statement's ADMISSION_QUEUE
+  // wait, so queue_us and the wait class agree.
+  common::WaitStats::Charge(wait_stats_, common::WaitClass::kAdmissionQueue,
+                            static_cast<int64_t>(waited));
   if (auto* usage = common::CurrentResourceUsage()) {
     usage->ChargeQueue(static_cast<int64_t>(waited));
   }

@@ -10,6 +10,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/wait_stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 
@@ -91,6 +92,11 @@ class AdmissionController {
 
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   void set_event_log(obs::EventLog* events) { events_ = events; }
+  /// Attaches the wait-event registry (may be null); queue waits are then
+  /// recorded as ADMISSION_QUEUE. The charged interval is the same wall
+  /// measurement ChargeQueue sees, so queue_us and the ADMISSION_QUEUE
+  /// wait agree per statement.
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
 
   bool enabled() const { return options_.max_concurrent > 0; }
   const AdmissionOptions& options() const { return options_; }
@@ -118,6 +124,7 @@ class AdmissionController {
   AdmissionOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::EventLog* events_ = nullptr;
+  common::WaitStats* wait_stats_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;

@@ -73,6 +73,12 @@ PolarisEngine::PolarisEngine(EngineOptions options,
       recorder_(&metrics_, options_.metrics_history_capacity),
       watchdog_(&recorder_, &events_, &metrics_) {
   fault_store_->set_policy(options_.fault_policy);
+  wait_stats_.set_enabled(options_.wait_stats_enabled);
+  catalog_.store()->set_wait_stats(&wait_stats_);
+  admission_.set_wait_stats(&wait_stats_);
+  retry_store_->set_wait_stats(&wait_stats_);
+  cache_.set_wait_stats(&wait_stats_);
+  scheduler_.set_wait_stats(&wait_stats_);
   cache_.set_metrics(&metrics_);
   scheduler_.set_metrics(&metrics_);
   sto_.set_metrics(&metrics_);
@@ -147,6 +153,22 @@ void PolarisEngine::SampleObservabilityOnce() {
   gauges.emplace_back("cache.entries", static_cast<double>(cache_.size()));
   gauges.emplace_back("query_store.fingerprints",
                       static_cast<double>(query_store_.fingerprints()));
+  {
+    // Cumulative per-class wait totals as gauges: dm_metrics_history then
+    // holds the series, and window deltas read as wait rates.
+    common::WaitStats::Snapshot waits = wait_stats_.TakeSnapshot();
+    gauges.emplace_back("waits.total_us",
+                        static_cast<double>(waits.total_us()));
+    for (int i = 0; i < common::kWaitClassCount; ++i) {
+      if (waits.classes[i].count == 0) continue;
+      gauges.emplace_back(
+          "waits." +
+              std::string(common::WaitClassName(
+                  static_cast<common::WaitClass>(i))) +
+              ".us",
+          static_cast<double>(waits.classes[i].total_us));
+    }
+  }
   // Breaker state as a severity gauge: 0 closed, 1 half-open, 2 open —
   // ordered so above-is-bad SLO thresholds read naturally.
   double breaker_severity = 0.0;
@@ -277,6 +299,48 @@ void PolarisEngine::InstallDefaultSloRules() {
     rule.fail_threshold = 10.0;  // order-of-magnitude regression
     watchdog_.AddRule(rule);
   }
+  {
+    obs::SloRule rule;
+    rule.name = "wait-share";
+    rule.description =
+        "largest wait class's share of statement wall time over the window";
+    rule.kind = obs::SloRule::Kind::kProbe;
+    // Window deltas of cumulative totals, carried across evaluations. The
+    // denominator is recorded statement wall time, so the rule abstains
+    // when the query store is off or the window saw < 100ms of statements
+    // (a share over near-zero wall time is noise, not a diagnosis).
+    struct WaitShareState {
+      common::WaitStats::Snapshot prev_waits;
+      int64_t prev_wall_us = 0;
+      bool primed = false;
+    };
+    auto state = std::make_shared<WaitShareState>();
+    rule.probe = [this, state](bool* has_data) {
+      common::WaitStats::Snapshot now = wait_stats_.TakeSnapshot();
+      const int64_t wall_us = query_store_.total_wall_us();
+      const bool primed = state->primed;
+      int64_t worst_delta_us = 0;
+      for (int i = 0; i < common::kWaitClassCount; ++i) {
+        worst_delta_us = std::max(
+            worst_delta_us, now.classes[i].total_us -
+                                state->prev_waits.classes[i].total_us);
+      }
+      const int64_t wall_delta_us = wall_us - state->prev_wall_us;
+      state->prev_waits = now;
+      state->prev_wall_us = wall_us;
+      state->primed = true;
+      if (!primed || !wait_stats_.enabled() || !query_store_.enabled() ||
+          wall_delta_us < 100'000) {
+        *has_data = false;
+        return 0.0;
+      }
+      return static_cast<double>(worst_delta_us) /
+             static_cast<double>(wall_delta_us);
+    };
+    rule.warn_threshold = options_.wait_share_warn;
+    rule.fail_threshold = options_.wait_share_fail;
+    watchdog_.AddRule(rule);
+  }
   if (options_.replica) {
     {
       obs::SloRule rule;
@@ -361,6 +425,7 @@ Status PolarisEngine::AttachReplica() {
   replica_tailer_ = std::make_unique<replica::ReplicaTailer>(
       store_, options_.journal_options, catalog_.store(), clock_, &metrics_,
       &tracer_, &events_, options_.replica_options);
+  replica_tailer_->set_wait_stats(&wait_stats_);
   POLARIS_RETURN_IF_ERROR(replica_tailer_->BootstrapInitial());
   replica_tailer_->Start();
   replica::ReplicaStatus rs = replica_tailer_->GetStatus();
@@ -489,6 +554,25 @@ obs::MetricsSnapshot PolarisEngine::MetricsSnapshot() {
       query_store_.fingerprints();
   if (replica_tailer_ != nullptr) {
     snapshot.counters["replica.watermark"] = replica_tailer_->watermark();
+  }
+  // Wait-event totals live in their own lock-free registry; synthesizing
+  // them here (rather than double-writing the metrics registry on every
+  // wait) keeps the blocking paths at one atomic per class.
+  common::WaitStats::Snapshot waits = wait_stats_.TakeSnapshot();
+  for (int i = 0; i < common::kWaitClassCount; ++i) {
+    const auto& cls = waits.classes[i];
+    if (cls.count == 0) continue;
+    const std::string prefix =
+        "waits." + std::string(common::WaitClassName(
+                       static_cast<common::WaitClass>(i)));
+    snapshot.counters[prefix + ".count"] = cls.count;
+    snapshot.counters[prefix + ".us"] = static_cast<uint64_t>(cls.total_us);
+    snapshot.counters[prefix + ".max_us"] =
+        static_cast<uint64_t>(cls.max_us);
+    if (cls.signal_us > 0) {
+      snapshot.counters[prefix + ".signal_us"] =
+          static_cast<uint64_t>(cls.signal_us);
+    }
   }
   return snapshot;
 }

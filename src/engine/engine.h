@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/deadline.h"
 #include "common/result.h"
+#include "common/wait_stats.h"
 #include "dcp/scheduler.h"
 #include "engine/admission.h"
 #include "exec/aggregate.h"
@@ -92,6 +93,16 @@ struct EngineOptions {
   /// The per-fingerprint workload repository behind sys.query_store
   /// (enabled by default; see obs::QueryStoreOptions).
   obs::QueryStoreOptions query_store;
+  /// Wait-event accounting behind sys.dm_wait_stats and the per-statement
+  /// wait breakdown. Enabled by default; the < 5% overhead budget is
+  /// asserted by bench/micro_txn_contention's A/B gate.
+  bool wait_stats_enabled = true;
+  /// Watchdog thresholds for the wait-share rule: the largest single wait
+  /// class's share of statement wall time over the sample window. A share
+  /// past warn means statements mostly wait on one resource (the taxonomy
+  /// table in DESIGN.md maps each class to its relieving knob).
+  double wait_share_warn = 0.6;
+  double wait_share_fail = 0.95;
   /// Opens the database as a read-only replica: the same `data_dir` (or
   /// externally provided store, see PolarisEngine::OpenOn) is attached
   /// read-only, the catalog is bootstrapped from the latest checkpoint +
@@ -238,6 +249,9 @@ class PolarisEngine {
   /// The per-fingerprint workload repository (sys.query_store).
   obs::QueryStore* query_store() { return &query_store_; }
   const obs::QueryStore* query_store() const { return &query_store_; }
+  /// Engine-wide wait-event totals (sys.dm_wait_stats).
+  common::WaitStats* wait_stats() { return &wait_stats_; }
+  const common::WaitStats* wait_stats() const { return &wait_stats_; }
   /// The DMV provider behind `SELECT ... FROM sys.<view>`.
   const SystemViews* system_views() const { return views_.get(); }
 
@@ -373,6 +387,9 @@ class PolarisEngine {
 
   EngineOptions options_;
   obs::MetricsRegistry metrics_;
+  /// Declared before every subsystem that blocks (they hold a pointer to
+  /// it); self-contained, so construction order is otherwise free.
+  common::WaitStats wait_stats_;
   std::unique_ptr<common::SimClock> owned_clock_;
   common::Clock* clock_;
   /// Default-constructed (no clock): spans measure real wall time via

@@ -1,5 +1,7 @@
 #include "engine/system_views.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "engine/engine.h"
@@ -65,6 +67,7 @@ SystemViews::Catalog() {
       {"dm_health", "SLO watchdog verdicts"},
       {"dm_admission", "admission-control occupancy and shed counters"},
       {"dm_commit", "catalog group-commit pipeline counters"},
+      {"dm_wait_stats", "engine-wide wait-event totals per class"},
       {"dm_replica", "replica apply watermark, lag, and tailer counters"},
       {"dm_views", "this catalog"},
       {"query_store", "per-fingerprint workload repository (Query Store)"},
@@ -87,6 +90,7 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_health") return Health();
   if (table == "sys.dm_admission") return Admission();
   if (table == "sys.dm_commit") return Commit();
+  if (table == "sys.dm_wait_stats") return WaitStatsView();
   if (table == "sys.dm_replica") return Replica();
   if (table == "sys.dm_views") return Views();
   if (table == "sys.query_store") return QueryStoreView();
@@ -102,14 +106,32 @@ RecordBatch SystemViews::TranActive() const {
                                 {"begin_time_us", ColumnType::kInt64},
                                 {"begin_seq", ColumnType::kInt64},
                                 {"tables", ColumnType::kString},
-                                {"cancel_requested", ColumnType::kInt64}}));
+                                {"cancel_requested", ColumnType::kInt64},
+                                {"wait_class", ColumnType::kString},
+                                {"wait_us", ColumnType::kInt64}}));
+  // Best-effort join against the waits in progress right now: a blocked
+  // transaction shows what it is blocked on and for how long (the
+  // dm_exec_requests wait_type/wait_time columns).
+  std::map<uint64_t, common::WaitStats::CurrentWait> waiting;
+  for (const auto& w : engine_->wait_stats()->CurrentWaits()) {
+    waiting[w.txn_id] = w;
+  }
+  const int64_t now_us = common::WaitStats::NowMicros();
   for (const auto& info : engine_->txn_manager()->ActiveTransactionInfos()) {
+    std::string wait_class;
+    int64_t wait_us = 0;
+    auto it = waiting.find(info.txn_id);
+    if (it != waiting.end()) {
+      wait_class = std::string(common::WaitClassName(it->second.cls));
+      wait_us = std::max<int64_t>(0, now_us - it->second.start_us);
+    }
     (void)batch.AppendRow(Row{Str("txn-" + std::to_string(info.txn_id)),
                               I64u(info.txn_id), Str("active"),
                               Str(info.isolation), I64(info.begin_time),
                               I64u(info.begin_seq),
                               Str(JoinInt64(info.tables)),
-                              I64(info.cancel_requested ? 1 : 0)});
+                              I64(info.cancel_requested ? 1 : 0),
+                              Str(std::move(wait_class)), I64(wait_us)});
   }
   return batch;
 }
@@ -342,6 +364,26 @@ RecordBatch SystemViews::Commit() const {
   return batch;
 }
 
+RecordBatch SystemViews::WaitStatsView() const {
+  RecordBatch batch(MakeSchema({{"wait_class", ColumnType::kString},
+                                {"waits", ColumnType::kInt64},
+                                {"wait_us", ColumnType::kInt64},
+                                {"max_wait_us", ColumnType::kInt64},
+                                {"signal_us", ColumnType::kInt64}}));
+  common::WaitStats::Snapshot waits = engine_->wait_stats()->TakeSnapshot();
+  // Every class is emitted, zero or not, so consumers always see the full
+  // taxonomy (and a "has this class ever fired" query needs no outer join).
+  for (int i = 0; i < common::kWaitClassCount; ++i) {
+    const auto& cls = waits.classes[i];
+    (void)batch.AppendRow(
+        Row{Str(std::string(common::WaitClassName(
+                static_cast<common::WaitClass>(i)))),
+            I64u(cls.count), I64(cls.total_us), I64(cls.max_us),
+            I64(cls.signal_us)});
+  }
+  return batch;
+}
+
 RecordBatch SystemViews::Replica() const {
   RecordBatch batch(MakeSchema({{"state", ColumnType::kString},
                                 {"watermark", ColumnType::kInt64},
@@ -409,6 +451,9 @@ RecordBatch SystemViews::QueryStoreView() const {
                   {"statement_retries", ColumnType::kInt64},
                   {"rows_scanned", ColumnType::kInt64},
                   {"rows_returned", ColumnType::kInt64},
+                  {"total_wait_us", ColumnType::kInt64},
+                  {"top_wait_class", ColumnType::kString},
+                  {"top_wait_us", ColumnType::kInt64},
                   {"first_seen_us", ColumnType::kInt64},
                   {"last_seen_us", ColumnType::kInt64}}));
   for (const auto& row : engine_->query_store()->Snapshot()) {
@@ -423,8 +468,9 @@ RecordBatch SystemViews::QueryStoreView() const {
             I64u(row.store_write_bytes), I64u(row.store_retries),
             I64u(row.cache_hits), I64u(row.cache_misses),
             I64u(row.statement_retries), I64u(row.rows_scanned),
-            I64u(row.rows_returned), I64(row.first_seen_us),
-            I64(row.last_seen_us)});
+            I64u(row.rows_returned), I64(row.total_wait_us),
+            Str(row.top_wait_class), I64(row.top_wait_us),
+            I64(row.first_seen_us), I64(row.last_seen_us)});
   }
   return batch;
 }
@@ -441,14 +487,15 @@ RecordBatch SystemViews::QueryStoreIntervals() const {
                                 {"store_ops", ColumnType::kInt64},
                                 {"store_bytes", ColumnType::kInt64},
                                 {"rows_scanned", ColumnType::kInt64},
-                                {"rows_returned", ColumnType::kInt64}}));
+                                {"rows_returned", ColumnType::kInt64},
+                                {"wait_us", ColumnType::kInt64}}));
   for (const auto& row : engine_->query_store()->IntervalSnapshot()) {
     (void)batch.AppendRow(
         Row{I64u(row.fingerprint_id), Str(row.fingerprint),
             I64(row.interval_start_us), I64u(row.count), I64u(row.errors),
             I64(row.wall_p50_us), I64(row.wall_p99_us), I64(row.total_wall_us),
             I64u(row.store_ops), I64u(row.store_bytes), I64u(row.rows_scanned),
-            I64u(row.rows_returned)});
+            I64u(row.rows_returned), I64(row.wait_us)});
   }
   return batch;
 }

@@ -29,6 +29,7 @@ class PolarisEngine;
 ///   sys.dm_health          SLO watchdog verdicts
 ///   sys.dm_admission       admission-control occupancy and shed counters
 ///   sys.dm_commit          catalog group-commit pipeline counters
+///   sys.dm_wait_stats      engine-wide wait-event totals per class
 ///   sys.dm_replica         replica apply watermark, lag, tailer counters
 ///   sys.dm_views           this catalog
 ///   sys.query_store        per-fingerprint workload repository (Query Store)
@@ -63,6 +64,7 @@ class SystemViews {
   format::RecordBatch Health() const;
   format::RecordBatch Admission() const;
   format::RecordBatch Commit() const;
+  format::RecordBatch WaitStatsView() const;
   format::RecordBatch Replica() const;
   format::RecordBatch Views() const;
   format::RecordBatch QueryStoreView() const;

@@ -1,10 +1,30 @@
 #include "exec/data_cache.h"
 
+#include <chrono>
+
 #include "common/resource_usage.h"
+#include "common/trace_context.h"
 
 namespace polaris::exec {
 
 using common::Result;
+
+template <typename T>
+Result<std::shared_ptr<const T>> DataCache::AwaitFlight(
+    const std::shared_ptr<Flight<T>>& flight) {
+  common::ScopedWait wait(wait_stats_, common::WaitClass::kCacheSingleflight);
+  std::unique_lock<std::mutex> wait_lock(flight->mu);
+  // Sliced wait: the leader's fetch can outlive this statement's budget
+  // (or a KILL can land mid-wait), and nothing signals the cv for either,
+  // so a follower blocked on `done` alone would be uncancellable.
+  while (!flight->done) {
+    flight->cv.wait_for(wait_lock, std::chrono::milliseconds(1));
+    if (flight->done) break;
+    common::Status budget = common::CheckCurrentDeadline("cache.singleflight");
+    if (!budget.ok()) return budget;
+  }
+  return flight->result;
+}
 
 void DataCache::TouchLocked(const std::string& path, Entry& entry) {
   lru_.erase(entry.lru_it);
@@ -75,9 +95,7 @@ Result<std::shared_ptr<const format::FileReader>> DataCache::GetFile(
     }
   }
   if (!leader) {
-    std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&] { return flight->done; });
-    return flight->result;
+    return AwaitFlight(flight);
   }
 
   // Leader path: fetch and decode outside the cache lock.
@@ -140,9 +158,7 @@ Result<std::shared_ptr<const lst::DeletionVector>> DataCache::GetDeleteVector(
     }
   }
   if (!leader) {
-    std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&] { return flight->done; });
-    return flight->result;
+    return AwaitFlight(flight);
   }
 
   auto fetch = [&]() -> Result<std::shared_ptr<const lst::DeletionVector>> {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/wait_stats.h"
 #include "format/file_reader.h"
 #include "lst/deletion_vector.h"
 #include "obs/metrics.h"
@@ -35,6 +36,10 @@ class DataCache {
   /// Attaches a metrics registry (must outlive the cache); hits/misses/
   /// coalesced waits are then mirrored under "cache.*".
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Attaches the wait-event registry (may be null); time spent joined to
+  /// another thread's in-flight fetch is then CACHE_SINGLEFLIGHT.
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
 
   /// Opens (or returns the cached) reader for a data file blob.
   common::Result<std::shared_ptr<const format::FileReader>> GetFile(
@@ -80,6 +85,12 @@ class DataCache {
         common::Status::Internal("fetch in flight");
   };
 
+  /// Follower side of the single-flight: waits for the leader's result in
+  /// cancellable slices, honoring the ambient deadline/KILL token.
+  template <typename T>
+  common::Result<std::shared_ptr<const T>> AwaitFlight(
+      const std::shared_ptr<Flight<T>>& flight);
+
   void TouchLocked(const std::string& path, Entry& entry);
   void EvictIfNeededLocked();
   void InsertLocked(
@@ -90,6 +101,7 @@ class DataCache {
   storage::ObjectStore* store_;
   size_t capacity_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  common::WaitStats* wait_stats_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent

@@ -87,6 +87,7 @@ void QueryStore::Record(const std::string& fingerprint, std::string_view kind,
   bucket.store_bytes += usage.store_read_bytes + usage.store_write_bytes;
   bucket.rows_scanned += usage.rows_scanned;
   bucket.rows_returned += usage.rows_returned;
+  bucket.wait_us += usage.total_wait_us();
 }
 
 QueryStoreEntryRow QueryStore::EntryRow(const std::string& fingerprint,
@@ -122,6 +123,13 @@ QueryStoreEntryRow QueryStore::EntryRow(const std::string& fingerprint,
   row.statement_retries = entry.totals.statement_retries;
   row.rows_scanned = entry.totals.rows_scanned;
   row.rows_returned = entry.totals.rows_returned;
+  row.total_wait_us = entry.totals.total_wait_us();
+  const int top = entry.totals.top_wait_class();
+  if (top >= 0) {
+    row.top_wait_class = std::string(
+        common::WaitClassName(static_cast<common::WaitClass>(top)));
+    row.top_wait_us = entry.totals.wait_us[top];
+  }
   row.first_seen_us = entry.first_seen_us;
   row.last_seen_us = entry.last_seen_us;
   return row;
@@ -168,6 +176,7 @@ std::vector<QueryStoreIntervalRow> QueryStore::IntervalSnapshot() const {
       row.store_bytes = it->store_bytes;
       row.rows_scanned = it->rows_scanned;
       row.rows_returned = it->rows_returned;
+      row.wait_us = it->wait_us;
       rows.push_back(std::move(row));
     }
   }
@@ -204,6 +213,15 @@ bool QueryStore::WorstRegression(Regression* out) const {
     }
   }
   return found;
+}
+
+int64_t QueryStore::total_wall_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [fingerprint, entry] : entries_) {
+    total += entry.totals.wall_us;
+  }
+  return total;
 }
 
 uint64_t QueryStore::recorded_total() const {

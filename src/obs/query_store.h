@@ -47,6 +47,8 @@ struct QueryStoreIntervalRow {
   uint64_t store_bytes = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_returned = 0;
+  /// Blocked time (all wait classes summed) inside this interval.
+  int64_t wait_us = 0;
 };
 
 /// Cumulative per-fingerprint aggregate (sys.query_store).
@@ -76,6 +78,11 @@ struct QueryStoreEntryRow {
   uint64_t statement_retries = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_returned = 0;
+  /// Blocked time across all wait classes, and the class this fingerprint
+  /// spent the most time waiting on ("" when it never waited).
+  int64_t total_wait_us = 0;
+  std::string top_wait_class;
+  int64_t top_wait_us = 0;
   int64_t first_seen_us = 0;
   int64_t last_seen_us = 0;
 };
@@ -129,6 +136,10 @@ class QueryStore {
   /// fingerprint qualifies. This is the SLO watchdog's probe input.
   bool WorstRegression(Regression* out) const;
 
+  /// Sum of recorded statement wall time across all fingerprints — the
+  /// denominator of the watchdog's wait-share rule.
+  int64_t total_wall_us() const;
+
   /// Statements recorded since construction (including folded ones).
   uint64_t recorded_total() const;
   /// Statements folded into "(other)" because the fingerprint set was full.
@@ -148,6 +159,7 @@ class QueryStore {
     uint64_t store_bytes = 0;
     uint64_t rows_scanned = 0;
     uint64_t rows_returned = 0;
+    int64_t wait_us = 0;
   };
 
   struct Entry {

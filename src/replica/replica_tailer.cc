@@ -264,7 +264,11 @@ Status ReplicaTailer::RebootstrapLocked() {
 }
 
 Status ReplicaTailer::WaitForCommit(uint64_t seq) {
+  // Already caught up: don't record a zero-length wait event.
+  if (watermark_.load(std::memory_order_acquire) >= seq) return Status::OK();
   const common::Deadline deadline = common::CurrentDeadline();
+  common::ScopedWait wait(wait_stats_,
+                          common::WaitClass::kReplicaWaitForCommit);
   std::unique_lock<std::mutex> lk(wait_mu_);
   while (watermark_.load(std::memory_order_acquire) < seq) {
     if (stopped_.load(std::memory_order_acquire)) {

@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/wait_stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -113,6 +114,10 @@ class ReplicaTailer {
     return watermark_.load(std::memory_order_acquire);
   }
 
+  /// Attaches the wait-event registry (may be null); WaitForCommit park
+  /// time is then recorded as REPLICA_WAIT_FOR_COMMIT.
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
+
   /// Blocks until the watermark reaches `seq`, honoring the ambient
   /// deadline/cancellation (SET WAIT FOR COMMIT and MinReadWatermark).
   /// Unavailable if the tailer stops while waiting.
@@ -142,6 +147,7 @@ class ReplicaTailer {
   obs::Tracer* tracer_;
   obs::EventLog* events_;
   ReplicaOptions options_;
+  common::WaitStats* wait_stats_ = nullptr;
   catalog::JournalReplayer replayer_;
 
   /// Serializes polls (background thread vs explicit PollOnce).

@@ -80,12 +80,20 @@ Status RetryingObjectStore::Execute(
 
   uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
   uint32_t attempts = 0;
+  // Wait accounting is fully inert (no extra clock reads) when no
+  // registry is attached or it is disabled — the waits-off A/B arm.
+  const bool time_waits = wait_stats_ != nullptr && wait_stats_->enabled();
   // Expired-before-start: don't issue a request whose answer is unusable.
   Status st = deadline.bounded() ? deadline.Check(prefix) : Status::OK();
   if (st.ok()) {
     for (uint32_t i = 1; i <= max_attempts; ++i) {
       attempts = i;
+      const common::Micros attempt_start = time_waits ? clock->Now() : 0;
       st = attempt();
+      if (time_waits) {
+        common::WaitStats::Charge(wait_stats_, common::WaitClass::kStoreIo,
+                                  clock->Now() - attempt_start);
+      }
       if (st.ok() || !IsRetryable(st)) break;
       if (i == max_attempts) {
         exhausted_.fetch_add(1);
@@ -119,7 +127,16 @@ Status RetryingObjectStore::Execute(
           // the remaining budget and report DeadlineExceeded, so the
           // statement fails within deadline + one backoff quantum at
           // worst.
+          const common::Micros cap_start = time_waits ? clock->Now() : 0;
           clock->Advance(remaining);
+          if (time_waits) {
+            // Measured on the clock rather than assumed: the fallback
+            // wall clock's Advance is a no-op, and a charge for time
+            // that never passed would break the partition invariant.
+            common::WaitStats::Charge(wait_stats_,
+                                      common::WaitClass::kRetryBackoff,
+                                      clock->Now() - cap_start);
+          }
           if (metrics_ != nullptr) {
             metrics_->Add("store.backoff_micros.total",
                           static_cast<uint64_t>(remaining));
@@ -134,7 +151,13 @@ Status RetryingObjectStore::Execute(
         metrics_->Add(prefix + ".retries");
         metrics_->Add("store.retries.total");
       }
+      const common::Micros backoff_start = time_waits ? clock->Now() : 0;
       clock->Advance(backoff);
+      if (time_waits) {
+        common::WaitStats::Charge(wait_stats_,
+                                  common::WaitClass::kRetryBackoff,
+                                  clock->Now() - backoff_start);
+      }
       if (metrics_ != nullptr) {
         metrics_->Add("store.backoff_micros.total",
                       static_cast<uint64_t>(backoff));

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/wait_stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "storage/object_store.h"
@@ -78,6 +79,12 @@ class RetryingObjectStore : public ObjectStore {
   /// exhaustions are then emitted as `store.retry_exhausted` events.
   void set_event_log(obs::EventLog* events) { events_ = events; }
 
+  /// Attaches the wait-event registry (may be null). Each attempt's
+  /// in-flight time is then charged as STORE_IO and each backoff as
+  /// RETRY_BACKOFF, both measured on the operation clock so virtual-time
+  /// tests see injected latency deterministically.
+  void set_wait_stats(common::WaitStats* waits) { wait_stats_ = waits; }
+
   /// Total retries issued across all operations since construction.
   uint64_t total_retries() const { return total_retries_.load(); }
   /// Operations that failed even after exhausting the retry budget.
@@ -118,6 +125,7 @@ class RetryingObjectStore : public ObjectStore {
   RetryPolicy policy_;
   obs::MetricsRegistry* metrics_;
   obs::EventLog* events_ = nullptr;
+  common::WaitStats* wait_stats_ = nullptr;
   std::mutex rng_mu_;
   common::Random rng_;
   std::atomic<uint64_t> total_retries_{0};

@@ -1,0 +1,412 @@
+// Tests for the engine-wide wait-event accounting subsystem: the
+// ScopedWait/Charge primitives (self-time semantics, inertness when
+// disabled), cross-thread aggregation under concurrency (the TSan
+// target), agreement between the engine-wide registry and per-statement
+// ResourceUsage vectors, instrumented blocking points (admission queue,
+// commit pipeline, cache single-flight), the cancellation fix for
+// coalesced cache waiters, and the SQL surfaces (sys.dm_wait_stats,
+// EXPLAIN ANALYZE, sys.query_store).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/mvcc.h"
+#include "common/deadline.h"
+#include "common/resource_usage.h"
+#include "common/trace_context.h"
+#include "common/wait_stats.h"
+#include "engine/admission.h"
+#include "engine/engine.h"
+#include "exec/data_cache.h"
+#include "sql/session.h"
+#include "storage/memory_object_store.h"
+
+namespace polaris {
+namespace {
+
+using common::ResourceUsage;
+using common::ScopedResourceUsage;
+using common::ScopedWait;
+using common::Status;
+using common::WaitClass;
+using common::WaitStats;
+
+int64_t TotalFor(const WaitStats& stats, WaitClass cls) {
+  return stats.TakeSnapshot().classes[static_cast<int>(cls)].total_us;
+}
+
+uint64_t CountFor(const WaitStats& stats, WaitClass cls) {
+  return stats.TakeSnapshot().classes[static_cast<int>(cls)].count;
+}
+
+TEST(WaitStatsTest, ScopedWaitRecordsIntoRegistryAndAmbientUsage) {
+  WaitStats stats;
+  ResourceUsage usage;
+  ScopedResourceUsage usage_scope(&usage);
+  {
+    ScopedWait wait(&stats, WaitClass::kCommitGate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto snap = stats.TakeSnapshot();
+  const auto& gate = snap.classes[static_cast<int>(WaitClass::kCommitGate)];
+  EXPECT_EQ(gate.count, 1u);
+  EXPECT_GE(gate.total_us, 1'000);
+  EXPECT_EQ(gate.max_us, gate.total_us);
+  // The same wait landed on the ambient statement vector.
+  auto vec = usage.Snapshot();
+  EXPECT_EQ(vec.wait_us[static_cast<int>(WaitClass::kCommitGate)],
+            gate.total_us);
+  EXPECT_EQ(vec.wait_count[static_cast<int>(WaitClass::kCommitGate)], 1u);
+  EXPECT_EQ(vec.total_wait_us(), gate.total_us);
+  EXPECT_EQ(vec.top_wait_class(),
+            static_cast<int>(WaitClass::kCommitGate));
+}
+
+TEST(WaitStatsTest, DisabledRegistryRecordsNothing) {
+  WaitStats stats;
+  stats.set_enabled(false);
+  {
+    ScopedWait wait(&stats, WaitClass::kCommitGate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  { ScopedWait wait(nullptr, WaitClass::kCommitBarrier); }
+  EXPECT_EQ(stats.TakeSnapshot().total_us(), 0);
+  EXPECT_EQ(CountFor(stats, WaitClass::kCommitGate), 0u);
+}
+
+TEST(WaitStatsTest, NestedScopesRecordSelfTimeOnly) {
+  WaitStats stats;
+  int64_t outer_wall = 0;
+  {
+    const int64_t start = WaitStats::NowMicros();
+    ScopedWait outer(&stats, WaitClass::kCommitBarrier);
+    {
+      ScopedWait inner(&stats, WaitClass::kStoreIo);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    outer_wall = WaitStats::NowMicros() - start;
+  }
+  const int64_t barrier = TotalFor(stats, WaitClass::kCommitBarrier);
+  const int64_t io = TotalFor(stats, WaitClass::kStoreIo);
+  EXPECT_GE(io, 4'000);
+  // The outer scope recorded only the time NOT already charged to the
+  // inner scope; the classes partition the blocked interval.
+  EXPECT_LE(barrier + io, outer_wall + 1'000);
+  EXPECT_EQ(CountFor(stats, WaitClass::kCommitBarrier), 1u);
+  EXPECT_EQ(CountFor(stats, WaitClass::kStoreIo), 1u);
+}
+
+TEST(WaitStatsTest, ExplicitChargeSubtractsFromEnclosingScope) {
+  WaitStats stats;
+  {
+    ScopedWait outer(&stats, WaitClass::kCommitBarrier);
+    // A known-duration charge far larger than the scope's real elapsed
+    // time: the outer scope's self time must clamp at zero rather than
+    // double-count or go negative.
+    WaitStats::Charge(&stats, WaitClass::kRetryBackoff, 50'000);
+  }
+  EXPECT_EQ(TotalFor(stats, WaitClass::kRetryBackoff), 50'000);
+  EXPECT_EQ(TotalFor(stats, WaitClass::kCommitBarrier), 0);
+  EXPECT_EQ(CountFor(stats, WaitClass::kCommitBarrier), 1u);
+}
+
+TEST(WaitStatsTest, ChargeIgnoresNonPositiveDurations) {
+  WaitStats stats;
+  WaitStats::Charge(&stats, WaitClass::kStoreIo, 0);
+  WaitStats::Charge(&stats, WaitClass::kStoreIo, -5);
+  WaitStats::Charge(nullptr, WaitClass::kStoreIo, 10);
+  EXPECT_EQ(CountFor(stats, WaitClass::kStoreIo), 0u);
+}
+
+TEST(WaitStatsTest, CurrentWaitsPublishOnlyUnderATransaction) {
+  WaitStats stats;
+  {
+    // No ambient txn_id: the wait counts but claims no live slot.
+    ScopedWait anonymous(&stats, WaitClass::kCommitGate);
+    EXPECT_TRUE(stats.CurrentWaits().empty());
+  }
+  common::MutableCurrentTraceContext().txn_id = 42;
+  {
+    ScopedWait wait(&stats, WaitClass::kReplicaWaitForCommit);
+    auto live = stats.CurrentWaits();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].txn_id, 42u);
+    EXPECT_EQ(live[0].cls, WaitClass::kReplicaWaitForCommit);
+  }
+  common::MutableCurrentTraceContext().txn_id = 0;
+  EXPECT_TRUE(stats.CurrentWaits().empty());
+}
+
+// The TSan target: many threads, each under its own transaction id and
+// statement vector, hammer the registry through scopes and explicit
+// charges. Exact totals are asserted for the charge-based classes, and
+// every statement vector must agree with what its thread put in.
+TEST(WaitStatsTest, ConcurrentSessionsAggregateWithoutRaces) {
+  WaitStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  constexpr int64_t kChargeUs = 7;
+  std::vector<std::thread> threads;
+  std::vector<int64_t> per_thread_wait(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, &per_thread_wait, t] {
+      ResourceUsage usage;
+      ScopedResourceUsage usage_scope(&usage);
+      common::MutableCurrentTraceContext().txn_id =
+          static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        ScopedWait outer(&stats, WaitClass::kCommitGate);
+        WaitStats::Charge(&stats, WaitClass::kAdmissionQueue, kChargeUs);
+      }
+      common::MutableCurrentTraceContext().txn_id = 0;
+      per_thread_wait[t] = usage.Snapshot().total_wait_us();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto snap = stats.TakeSnapshot();
+  const auto& queue =
+      snap.classes[static_cast<int>(WaitClass::kAdmissionQueue)];
+  EXPECT_EQ(queue.count, static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_EQ(queue.total_us, kThreads * kIters * kChargeUs);
+  const auto& gate = snap.classes[static_cast<int>(WaitClass::kCommitGate)];
+  EXPECT_EQ(gate.count, static_cast<uint64_t>(kThreads * kIters));
+  // Registry total == sum of per-statement vectors: nothing was lost or
+  // double-counted across threads.
+  int64_t statement_sum = 0;
+  for (int64_t us : per_thread_wait) statement_sum += us;
+  EXPECT_EQ(snap.total_us(), statement_sum);
+  EXPECT_TRUE(stats.CurrentWaits().empty());
+}
+
+TEST(WaitStatsTest, AdmissionQueueWaitAgreesWithQueueCharge) {
+  engine::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 4;
+  options.queue_timeout_micros = 2'000'000;
+  engine::AdmissionController admission(options);
+  WaitStats stats;
+  admission.set_wait_stats(&stats);
+
+  auto first = admission.Admit(common::Deadline(), "holder");
+  ASSERT_TRUE(first.ok());
+  ResourceUsage usage;
+  std::thread waiter([&admission, &usage] {
+    ScopedResourceUsage usage_scope(&usage);
+    auto ticket = admission.Admit(common::Deadline(), "queued");
+    EXPECT_TRUE(ticket.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  first->Release();
+  waiter.join();
+
+  auto vec = usage.Snapshot();
+  const int64_t queue_wait =
+      vec.wait_us[static_cast<int>(WaitClass::kAdmissionQueue)];
+  // Identical measurement, two surfaces: the legacy queue_us charge and
+  // the ADMISSION_QUEUE wait class must agree exactly.
+  EXPECT_EQ(queue_wait, vec.queue_us);
+  EXPECT_GT(queue_wait, 0);
+  EXPECT_EQ(TotalFor(stats, WaitClass::kAdmissionQueue), queue_wait);
+}
+
+TEST(WaitStatsTest, CommitPipelineAttributesBlockedTime) {
+  catalog::MvccStore store;
+  WaitStats stats;
+  store.set_wait_stats(&stats);
+  store.SetCommitListener([](const std::vector<catalog::CommitRecord>&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::OK();
+  });
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<int64_t> wall_us(kThreads, 0);
+  std::vector<int64_t> charged_us(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &wall_us, &charged_us, t] {
+      ResourceUsage usage;
+      ScopedResourceUsage usage_scope(&usage);
+      auto txn = store.Begin();
+      ASSERT_TRUE(
+          store.Put(txn.get(), "k" + std::to_string(t), "v").ok());
+      const int64_t start = WaitStats::NowMicros();
+      ASSERT_TRUE(store.Commit(txn.get()).ok());
+      wall_us[t] = WaitStats::NowMicros() - start;
+      charged_us[t] = usage.Snapshot().total_wait_us();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto snap = stats.TakeSnapshot();
+  // Every commit passed the gate, the barrier, and the write-set lock.
+  EXPECT_EQ(
+      snap.classes[static_cast<int>(WaitClass::kCommitGate)].count,
+      static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(
+      snap.classes[static_cast<int>(WaitClass::kCommitBarrier)].count,
+      static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(
+      snap.classes[static_cast<int>(WaitClass::kLockIntent)].count,
+      static_cast<uint64_t>(kThreads));
+  // The sleeping listener is the leader's STORE_IO; at least one flush
+  // round ran, and its time was not also counted by the barrier class.
+  const auto& io = snap.classes[static_cast<int>(WaitClass::kStoreIo)];
+  EXPECT_GE(io.count, 1u);
+  EXPECT_GE(io.total_us, 1'000);
+  // Per-statement: charged waits never exceed the commit's wall time
+  // (self-time accounting — nested scopes don't double-count).
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_LE(charged_us[t], wall_us[t] + 1'000)
+        << "thread " << t << " overcharged";
+  }
+}
+
+/// MemoryObjectStore whose Get parks until released — puts a cache
+/// single-flight leader to sleep mid-fetch so follower behavior is
+/// observable.
+class BlockingStore : public storage::MemoryObjectStore {
+ public:
+  common::Result<std::string> Get(const std::string& path) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    return storage::MemoryObjectStore::Get(path);
+  }
+
+  void WaitUntilFetching() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return started_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool released() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return released_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool released_ = false;
+};
+
+// Regression: a coalesced cache waiter used to block uncancellably on the
+// leader's fetch. A KILL on the follower must release it promptly even
+// while the leader is still stuck in storage.
+TEST(WaitStatsTest, CacheFollowerLeavesOnCancellation) {
+  BlockingStore store;
+  exec::DataCache cache(&store);
+  WaitStats stats;
+  cache.set_wait_stats(&stats);
+
+  std::thread leader([&cache] {
+    // The blob does not exist; after release the leader surfaces the
+    // storage error. The follower must not wait for that outcome.
+    auto result = cache.GetFile("missing");
+    EXPECT_FALSE(result.ok());
+  });
+  store.WaitUntilFetching();
+
+  common::CancelSource kill;
+  kill.Cancel("killed by test");
+  Status follower_status = Status::OK();
+  {
+    common::ScopedDeadline deadline_scope(
+        common::Deadline::CancellableOnly(kill.token()));
+    auto follower = cache.GetFile("missing");
+    follower_status = follower.status();
+  }
+  EXPECT_TRUE(follower_status.IsCancelled()) << follower_status.ToString();
+  // The follower left while the leader was still blocked.
+  EXPECT_FALSE(store.released());
+  EXPECT_GE(CountFor(stats, WaitClass::kCacheSingleflight), 1u);
+
+  store.Release();
+  leader.join();
+}
+
+TEST(WaitStatsTest, DeleteVectorFollowerHonorsDeadline) {
+  BlockingStore store;
+  exec::DataCache cache(&store);
+
+  std::thread leader([&cache] {
+    auto result = cache.GetDeleteVector("dv/missing");
+    EXPECT_FALSE(result.ok());
+  });
+  store.WaitUntilFetching();
+
+  common::SystemClock wall;
+  Status follower_status = Status::OK();
+  {
+    common::ScopedDeadline deadline_scope(
+        common::Deadline::After(&wall, 5'000));
+    auto follower = cache.GetDeleteVector("dv/missing");
+    follower_status = follower.status();
+  }
+  EXPECT_TRUE(follower_status.IsDeadlineExceeded())
+      << follower_status.ToString();
+  EXPECT_FALSE(store.released());
+
+  store.Release();
+  leader.join();
+}
+
+TEST(WaitStatsTest, SqlSurfacesExposeWaitAccounting) {
+  engine::EngineOptions options;
+  options.sampler_period_micros = 0;
+  engine::PolarisEngine engine(options);
+  sql::SqlSession session(&engine);
+
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (x BIGINT);").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1);").ok());
+
+  // sys.dm_wait_stats always lists the full taxonomy.
+  auto dmv = session.Execute("SELECT * FROM sys.dm_wait_stats;");
+  ASSERT_TRUE(dmv.ok()) << dmv.status().ToString();
+  EXPECT_EQ(dmv->batch.num_rows(), 9u);
+  // The INSERT's auto-commit passed through the commit gate.
+  auto gate = session.Execute(
+      "SELECT waits FROM sys.dm_wait_stats WHERE wait_class = "
+      "'COMMIT_GATE';");
+  ASSERT_TRUE(gate.ok()) << gate.status().ToString();
+  ASSERT_EQ(gate->batch.num_rows(), 1u);
+
+  // EXPLAIN ANALYZE renders the per-statement wait breakdown.
+  auto explain = session.Execute("EXPLAIN ANALYZE SELECT * FROM t;");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->message.find("waits: total="), std::string::npos)
+      << explain->message;
+
+  // Query Store aggregates the wait columns per fingerprint.
+  auto qs = session.Execute(
+      "SELECT fingerprint, total_wait_us, top_wait_class FROM "
+      "sys.query_store;");
+  ASSERT_TRUE(qs.ok()) << qs.status().ToString();
+  EXPECT_GT(qs->batch.num_rows(), 0u);
+
+  // dm_tran_active carries the live wait columns (empty when idle).
+  auto active = session.Execute(
+      "SELECT wait_class, wait_us FROM sys.dm_tran_active;");
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+}
+
+}  // namespace
+}  // namespace polaris
