@@ -1,0 +1,171 @@
+// Failover handoff cost: promotion latency and the write-unavailability
+// window as a function of the journal tail the successor must drain. For
+// each tail length a primary and a replica share one MemoryObjectStore;
+// the replica's tailer is polled manually so the undrained tail at
+// PROMOTE time is exact. The unavailability window is measured the way a
+// client sees it: from the last write the old primary acked to the first
+// write the new primary acks — it covers lease claim, segment seal, tail
+// drain and journal re-priming. The old primary must observe its fencing
+// (FailedPrecondition on the next write) in every round; acked commits
+// must all be readable on the successor.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/clock.h"
+#include "engine/engine.h"
+#include "storage/memory_object_store.h"
+
+using polaris::engine::EngineOptions;
+using polaris::engine::PolarisEngine;
+
+namespace {
+
+polaris::format::Schema EventsSchema() {
+  using polaris::format::ColumnType;
+  return polaris::format::Schema(
+      {{"id", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+bool CommitOne(PolarisEngine* engine, int64_t id, bool quiet = false) {
+  polaris::format::RecordBatch batch{EventsSchema()};
+  (void)batch.AppendRow({polaris::format::Value::Int64(id),
+                         polaris::format::Value::Int64(id * 10)});
+  auto status = engine->RunInTransaction([&](polaris::txn::Transaction* txn) {
+    return engine->Insert(txn, "events", batch).status();
+  });
+  if (!status.ok() && !quiet) {
+    std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
+  }
+  return status.ok();
+}
+
+int64_t CountRows(PolarisEngine* engine) {
+  int64_t rows = -1;
+  auto status = engine->RunInTransaction([&](polaris::txn::Transaction* txn) {
+    auto scanned = engine->Query(txn, "events", {{"id"}, {}, {}, {}});
+    if (!scanned.ok()) return scanned.status();
+    rows = static_cast<int64_t>(scanned->num_rows());
+    return polaris::common::Status();
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "count failed: %s\n", status.ToString().c_str());
+    return -1;
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  polaris::bench::BenchReport report("micro_failover");
+  report.config()
+      .Add("warmup_rows", uint64_t{64})
+      .Add("records_per_segment", uint64_t{32})
+      .Add("rounds_per_tail", uint64_t{5});
+
+  std::printf("micro_failover: promotion cost vs undrained journal tail\n\n");
+  std::printf("%-12s %-14s %-16s %-16s %-14s\n", "tail_records",
+              "promote_ms", "unavail_ms_p50", "unavail_ms_max", "epoch");
+
+  constexpr int kWarmupRows = 64;
+  constexpr int kRounds = 5;
+  for (int tail : {0, 32, 128, 512}) {
+    std::vector<double> promote_ms, unavail_ms;
+    uint64_t epoch = 0, drained = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      polaris::common::SimClock clock(1'000'000);
+      polaris::storage::MemoryObjectStore store(&clock);
+
+      EngineOptions options;
+      options.num_cells = 2;
+      options.worker_threads = 2;
+      options.sampler_period_micros = 0;
+      options.journal_options.records_per_segment = 32;
+      options.journal_options.checkpoint_every_records = 1u << 30;
+
+      auto primary_opened = PolarisEngine::OpenOn(options, &store, &clock);
+      if (!primary_opened.ok()) {
+        std::fprintf(stderr, "primary open failed: %s\n",
+                     primary_opened.status().ToString().c_str());
+        return 1;
+      }
+      auto& primary = *primary_opened;
+      if (!primary->CreateTable("events", EventsSchema()).ok()) return 1;
+
+      EngineOptions replica_options = options;
+      replica_options.replica = true;
+      // Manual polling: the tail at promotion time is exactly `tail`.
+      replica_options.replica_options.poll_interval_micros = 0;
+      auto replica_opened =
+          PolarisEngine::OpenOn(replica_options, &store, &clock);
+      if (!replica_opened.ok()) {
+        std::fprintf(stderr, "replica open failed: %s\n",
+                     replica_opened.status().ToString().c_str());
+        return 1;
+      }
+      auto& replica = *replica_opened;
+
+      int64_t next_id = 0;
+      for (int i = 0; i < kWarmupRows; ++i) {
+        if (!CommitOne(primary.get(), next_id++)) return 1;
+      }
+      if (!replica->replica()->PollOnce().ok()) return 1;
+      for (int i = 0; i < tail; ++i) {
+        if (!CommitOne(primary.get(), next_id++)) return 1;
+      }
+
+      // t0 = last acked primary write; the window closes when the
+      // successor acks its first write.
+      auto t0 = std::chrono::steady_clock::now();
+      auto promoted = replica->Promote();
+      if (!promoted.ok()) {
+        std::fprintf(stderr, "promote failed: %s\n",
+                     promoted.status().ToString().c_str());
+        return 1;
+      }
+      if (!CommitOne(replica.get(), next_id++)) return 1;
+      unavail_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      promote_ms.push_back(promoted->promote_ms);
+      epoch = promoted->epoch;
+      drained = promoted->tail_records;
+
+      // Correctness gates: no acked commit lost, old primary fenced.
+      if (CountRows(replica.get()) != next_id) {
+        std::fprintf(stderr, "successor lost rows: %lld of %lld\n",
+                     static_cast<long long>(CountRows(replica.get())),
+                     static_cast<long long>(next_id));
+        return 1;
+      }
+      if (CommitOne(primary.get(), 1'000'000, /*quiet=*/true)) {
+        std::fprintf(stderr, "old primary accepted a write after fencing\n");
+        return 1;
+      }
+    }
+    std::sort(unavail_ms.begin(), unavail_ms.end());
+    double p50 = unavail_ms[unavail_ms.size() / 2];
+    double max = unavail_ms.back();
+    double promote_p50 = promote_ms[promote_ms.size() / 2];
+    std::printf("%-12d %-14.3f %-16.3f %-16.3f %-14llu\n", tail, promote_p50,
+                p50, max, static_cast<unsigned long long>(epoch));
+    report.AddRow()
+        .Add("tail_records", static_cast<uint64_t>(tail))
+        .Add("drained_records", drained)
+        .Add("promote_ms_p50", promote_p50)
+        .Add("unavail_ms_p50", p50)
+        .Add("unavail_ms_max", max);
+  }
+
+  std::printf(
+      "\nshape check: the window grows with the undrained tail (the drain is "
+      "the\nonly O(tail) step); at tail 0 it is the fixed cost of lease "
+      "claim + seal +\nre-prime. Every round asserts zero acked-commit loss "
+      "and that the fenced\nprimary rejects its next write.\n");
+  report.Write();
+  return 0;
+}

@@ -155,7 +155,9 @@ int main(int argc, char** argv) {
       std::printf(
           "read-only replica of %s (watermark %llu, bootstrap replayed "
           "%llu records)\nwrites are rejected; SET WAIT FOR COMMIT <seq>; "
-          "waits for a primary commit\n\n",
+          "waits for a primary commit;\nSET MAX_STALENESS <ms>; bounds read "
+          "staleness; PROMOTE; takes over as primary\n(fencing the old one "
+          "-- see sys.dm_failover)\n\n",
           options.data_dir.c_str(),
           static_cast<unsigned long long>(status.watermark),
           static_cast<unsigned long long>(status.bootstrap_records));

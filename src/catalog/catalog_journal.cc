@@ -101,17 +101,95 @@ Result<CatalogJournal::RecoveredState> CatalogJournal::Recover() {
   return state;
 }
 
+Status CatalogJournal::PrimeAfterPromotion(uint64_t commit_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  POLARIS_ASSIGN_OR_RETURN(auto checkpoints, store_->List(CheckpointPrefix()));
+  uint64_t latest_ckpt = 0;
+  for (const auto& info : checkpoints) {
+    auto seq = jf::SeqFromPath(info.path);
+    if (seq.has_value() && *seq <= commit_seq) {
+      latest_ckpt = std::max(latest_ckpt, *seq);
+    }
+  }
+
+  // Same invariant as Recover: a segment starting past the watermark can
+  // hold only torn garbage (any parseable record in it would have been
+  // applied by the promotion's tail drain), so delete it before the fresh
+  // appender can collide with its name.
+  POLARIS_ASSIGN_OR_RETURN(auto segments, store_->List(JournalPrefix()));
+  for (const auto& info : segments) {
+    auto first_seq = jf::SeqFromPath(info.path);
+    if (first_seq.has_value() && *first_seq > commit_seq) {
+      (void)store_->Delete(info.path);
+      POLARIS_LOG(kWarn, "journal")
+          << "deleted dead journal segment " << info.path;
+    }
+  }
+
+  active_segment_.clear();
+  active_ids_.clear();
+  active_generation_ = 0;
+  active_records_ = 0;
+  poisoned_ = false;
+  fenced_ = false;
+  last_appended_seq_ = commit_seq;
+  last_checkpoint_seq_ = latest_ckpt;
+  records_since_checkpoint_ = commit_seq - latest_ckpt;
+  return Status::OK();
+}
+
+void CatalogJournal::set_epoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+}
+
+uint64_t CatalogJournal::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void CatalogJournal::set_fence_guard(std::function<Status()> guard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fence_guard_ = std::move(guard);
+}
+
+void CatalogJournal::set_fence_listener(
+    std::function<void(const Status&)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fence_listener_ = std::move(listener);
+}
+
+void CatalogJournal::Fence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fenced_ = true;
+}
+
+bool CatalogJournal::fenced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_;
+}
+
 Status CatalogJournal::AppendBatch(const std::vector<CommitRecord>& records) {
   if (records.empty()) return Status::OK();
   // Wall latency of the durability point (staging + ETag commit), the SLO
   // the health watchdog tracks; timed on the real clock because the
   // engine's sim clock only advances on injected waits.
   const auto wall_start = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (fenced_) {
+    return Status::FailedPrecondition(
+        "fenced: a newer epoch owns the catalog journal; "
+        "this primary is read-only");
+  }
   if (poisoned_) {
     return Status::Internal(
         "catalog journal failed closed after an append error; "
         "reopen the database to recover");
+  }
+  if (fence_guard_ != nullptr) {
+    // Refused, not poisoned: nothing was staged, the journal is intact.
+    POLARIS_RETURN_IF_ERROR(fence_guard_());
   }
   POLARIS_CRASH_POINT(common::crash::kJournalAppendBefore);
   if (active_segment_.empty() ||
@@ -134,6 +212,17 @@ Status CatalogJournal::AppendBatch(const std::vector<CommitRecord>& records) {
   std::vector<std::string> ids = active_ids_;
   uint64_t batch_bytes = 0;
   Status st = Status::OK();
+  if (epoch_ != 0) {
+    // Epoch stamp opens the batch: a frame-level audit of the journal can
+    // attribute every record to the epoch that wrote it.
+    std::string marker = jf::EncodeEpochMarker(epoch_, /*seal=*/false);
+    std::string marker_id = "e" + jf::Pad20(records.front().commit_seq);
+    st = store_->StageBlock(active_segment_, marker_id, marker);
+    if (st.ok()) {
+      ids.push_back(marker_id);
+      batch_bytes += marker.size();
+    }
+  }
   for (size_t i = 0; i < records.size() && st.ok(); ++i) {
     std::string record =
         jf::EncodeRecord(records[i].commit_seq, *records[i].writes);
@@ -162,6 +251,21 @@ Status CatalogJournal::AppendBatch(const std::vector<CommitRecord>& records) {
     // further appends so the in-memory catalog can't silently run ahead
     // of the journal. Recovery re-derives the truth from the blobs.
     poisoned_ = true;
+    std::function<void(const common::Status&)> notify;
+    if (st.IsFailedPrecondition()) {
+      // A lost CAS means another writer sealed or recreated the active
+      // segment — a newer epoch took over. Self-fence: this is terminal,
+      // not a transient poison, and the waiters must see it as such.
+      fenced_ = true;
+      st = Status::FailedPrecondition(
+          "fenced: journal segment " + active_segment_ +
+          " was sealed or superseded by a newer epoch (" + st.message() + ")");
+      notify = fence_listener_;
+    }
+    lock.unlock();
+    // The listener runs without mu_ so it can safely call back into the
+    // engine (events, metrics, read-only flips) or this journal.
+    if (notify != nullptr) notify(st);
     return st;
   }
   last_appended_seq_ = records.back().commit_seq;

@@ -2,6 +2,7 @@
 #define POLARIS_CATALOG_CATALOG_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -104,6 +105,15 @@ class CatalogJournal {
   /// Calling Recover again yields an identical RecoveredState.
   common::Result<RecoveredState> Recover();
 
+  /// Primes the appender after a replica promotion: the caller's catalog
+  /// is already caught up through `commit_seq` (the promotion drained the
+  /// journal tail through its replayer), so nothing is replayed — dead
+  /// segments past the watermark are deleted and the next Append rolls a
+  /// fresh segment. Skipping the Bootstrap that Recover performs keeps
+  /// the promotion unavailability window proportional to the undrained
+  /// tail, not the whole catalog.
+  common::Status PrimeAfterPromotion(uint64_t commit_seq);
+
   /// Durably appends a batch of sequenced catalog commits (ascending
   /// commit_seq) as one object-store write: every record is staged, then
   /// a single ETag-guarded block-list commit is the durability point for
@@ -142,6 +152,36 @@ class CatalogJournal {
   common::Result<std::vector<JournalSegmentInfo>> ListSegmentsSince(
       uint64_t since_seq) const;
 
+  // --- Fencing (DESIGN.md §12) -------------------------------------------
+  // When an epoch is set (non-zero), every appended batch opens with a
+  // PLE1 epoch stamp frame, and an append whose ETag CAS is lost fences
+  // the journal instead of merely poisoning it: the loss is evidence that
+  // a newer epoch sealed or recreated the active segment, so this writer
+  // must never append again. Epoch 0 (the default) disables stamping, so
+  // directly constructed journals keep producing byte-identical segments.
+
+  /// Sets the epoch stamped on every subsequent batch.
+  void set_epoch(uint64_t epoch);
+  uint64_t epoch() const;
+
+  /// Installs a guard consulted at the top of every AppendBatch; a non-OK
+  /// return refuses the batch WITHOUT poisoning the journal (nothing was
+  /// staged). The engine uses this to reject appends deterministically
+  /// once its lease is lost or expired, closing the window where a
+  /// segment roll would otherwise race a concurrent promotion.
+  void set_fence_guard(std::function<common::Status()> guard);
+
+  /// Installs a listener invoked — without the journal lock held — when
+  /// an append self-fences on a lost CAS, so the engine can degrade to
+  /// read-only from the commit path itself.
+  void set_fence_listener(std::function<void(const common::Status&)> listener);
+
+  /// Marks the journal fenced (idempotent): all further appends fail with
+  /// FailedPrecondition. Does not invoke the fence listener — callers who
+  /// fence explicitly already know.
+  void Fence();
+  bool fenced() const;
+
   // Counters (bench/test bookkeeping).
   uint64_t records_appended() const;
   uint64_t bytes_appended() const;
@@ -167,6 +207,12 @@ class CatalogJournal {
   uint64_t active_generation_ = 0;
   uint64_t active_records_ = 0;
   bool poisoned_ = false;
+
+  // Fencing state.
+  uint64_t epoch_ = 0;
+  bool fenced_ = false;
+  std::function<common::Status()> fence_guard_;
+  std::function<void(const common::Status&)> fence_listener_;
 
   uint64_t last_appended_seq_ = 0;
   uint64_t last_checkpoint_seq_ = 0;

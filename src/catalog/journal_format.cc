@@ -46,37 +46,93 @@ std::optional<uint64_t> SeqFromPath(const std::string& path) {
   return value;
 }
 
-std::optional<ParsedRecord> ParseRecord(common::ByteReader* in) {
-  if (in->remaining() < kFrameHeaderSize) return std::nullopt;
-  uint32_t magic, crc, body_len;
-  if (!in->GetU32(&magic).ok() || magic != kRecordMagic) return std::nullopt;
-  if (!in->GetU32(&crc).ok()) return std::nullopt;
-  if (!in->GetU32(&body_len).ok()) return std::nullopt;
-  if (in->remaining() < body_len) return std::nullopt;
-  std::string body(body_len, '\0');
-  if (!in->GetRaw(body.data(), body_len).ok()) return std::nullopt;
-  if (Crc32(body) != crc) return std::nullopt;
+namespace {
+
+// Reads one frame header + crc-verified body at the cursor. Returns false
+// on any malformation (short, unknown magic, bad crc); the reader position
+// is then unspecified, matching the ParseRecord/ParseFrame contract.
+bool ReadVerifiedFrame(common::ByteReader* in, uint32_t* magic,
+                       std::string* body) {
+  if (in->remaining() < kFrameHeaderSize) return false;
+  uint32_t crc, body_len;
+  if (!in->GetU32(magic).ok()) return false;
+  if (*magic != kRecordMagic && *magic != kEpochMagic) return false;
+  if (!in->GetU32(&crc).ok()) return false;
+  if (!in->GetU32(&body_len).ok()) return false;
+  if (in->remaining() < body_len) return false;
+  body->assign(body_len, '\0');
+  if (!in->GetRaw(body->data(), body_len).ok()) return false;
+  return Crc32(*body) == crc;
+}
+
+bool DecodeRecordBody(std::string_view body, ParsedRecord* record) {
   common::ByteReader body_in(body);
-  ParsedRecord record;
   uint64_t count;
-  if (!body_in.GetU64(&record.commit_seq).ok()) return std::nullopt;
-  if (!body_in.GetVarint(&count).ok()) return std::nullopt;
-  record.writes.reserve(count);
+  if (!body_in.GetU64(&record->commit_seq).ok()) return false;
+  if (!body_in.GetVarint(&count).ok()) return false;
+  record->writes.clear();
+  record->writes.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     std::string key;
     uint8_t has_value;
-    if (!body_in.GetString(&key).ok()) return std::nullopt;
-    if (!body_in.GetU8(&has_value).ok()) return std::nullopt;
+    if (!body_in.GetString(&key).ok()) return false;
+    if (!body_in.GetU8(&has_value).ok()) return false;
     std::optional<std::string> value;
     if (has_value != 0) {
       std::string v;
-      if (!body_in.GetString(&v).ok()) return std::nullopt;
+      if (!body_in.GetString(&v).ok()) return false;
       value = std::move(v);
     }
-    record.writes.emplace_back(std::move(key), std::move(value));
+    record->writes.emplace_back(std::move(key), std::move(value));
   }
-  if (!body_in.AtEnd()) return std::nullopt;
+  return body_in.AtEnd();
+}
+
+bool DecodeEpochBody(std::string_view body, EpochMarker* marker) {
+  common::ByteReader body_in(body);
+  uint64_t epoch;
+  uint8_t kind;
+  if (!body_in.GetU64(&epoch).ok()) return false;
+  if (!body_in.GetU8(&kind).ok()) return false;
+  if (!body_in.AtEnd() || kind > 1) return false;
+  marker->epoch = epoch;
+  marker->seal = kind == 1;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ParsedRecord> ParseRecord(common::ByteReader* in) {
+  uint32_t magic;
+  std::string body;
+  if (!ReadVerifiedFrame(in, &magic, &body)) return std::nullopt;
+  if (magic != kRecordMagic) return std::nullopt;
+  ParsedRecord record;
+  if (!DecodeRecordBody(body, &record)) return std::nullopt;
   return record;
+}
+
+std::string EncodeEpochMarker(uint64_t epoch, bool seal) {
+  common::ByteWriter body;
+  body.PutU64(epoch);
+  body.PutU8(seal ? 1 : 0);
+  common::ByteWriter frame;
+  frame.PutU32(kEpochMagic);
+  frame.PutU32(Crc32(body.data()));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.data().data(), body.size());
+  return frame.Release();
+}
+
+FrameKind ParseFrame(common::ByteReader* in, ParsedRecord* record,
+                     EpochMarker* epoch) {
+  uint32_t magic;
+  std::string body;
+  if (!ReadVerifiedFrame(in, &magic, &body)) return FrameKind::kTorn;
+  if (magic == kEpochMagic) {
+    return DecodeEpochBody(body, epoch) ? FrameKind::kEpoch : FrameKind::kTorn;
+  }
+  return DecodeRecordBody(body, record) ? FrameKind::kRecord : FrameKind::kTorn;
 }
 
 std::string EncodeRecord(

@@ -21,6 +21,7 @@ namespace polaris::catalog::journal_format {
 
 constexpr uint32_t kRecordMagic = 0x314a4c50;      // "PLJ1"
 constexpr uint32_t kCheckpointMagic = 0x314b4350;  // "PCK1"
+constexpr uint32_t kEpochMagic = 0x31454c50;       // "PLE1"
 // magic + crc + body_len
 constexpr size_t kFrameHeaderSize = 12;
 
@@ -47,6 +48,33 @@ struct ParsedRecord {
 /// tail, a bad checksum, garbage. On nullopt the reader's position is
 /// unspecified; callers resume from the offset of the last good record.
 std::optional<ParsedRecord> ParseRecord(common::ByteReader* in);
+
+/// A PLE1 epoch marker frame. Stamp markers open every group-commit batch
+/// with the appending primary's epoch; a seal marker is appended by a
+/// promoting replica to the predecessor's open segment and carries the
+/// NEW epoch — any frame after a seal belongs to a fenced writer and is a
+/// protocol violation (checked by the chaos tests, never produced by a
+/// correct run because the seal CAS bumps the blob generation).
+struct EpochMarker {
+  uint64_t epoch = 0;
+  bool seal = false;
+};
+
+/// Frames one epoch marker: body = u64 epoch, u8 kind (0 stamp, 1 seal).
+std::string EncodeEpochMarker(uint64_t epoch, bool seal);
+
+/// What ParseFrame found at the cursor.
+enum class FrameKind {
+  kRecord,  // *record filled
+  kEpoch,   // *epoch filled
+  kTorn,    // malformed/truncated; reader position unspecified
+};
+
+/// Parses one frame of either kind at the reader's cursor. On kTorn the
+/// reader's position is unspecified; callers resume from the offset of
+/// the last good frame (same contract as ParseRecord).
+FrameKind ParseFrame(common::ByteReader* in, ParsedRecord* record,
+                     EpochMarker* epoch);
 
 /// Frames one record: u32 magic | u32 crc32(body) | u32 body_len | body,
 /// where body = u64 commit_seq, varint n, n x (key, has_value, [value]).

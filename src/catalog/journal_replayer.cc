@@ -37,13 +37,21 @@ void ScanSegment(storage::ObjectStore* store, const JournalSegmentInfo& seg,
   }
   common::ByteReader in(*blob);
   while (!in.AtEnd()) {
-    auto record = jf::ParseRecord(&in);
-    if (!record.has_value()) {
-      out->clean = false;
-      break;
+    jf::ParsedRecord record;
+    jf::EpochMarker marker;
+    switch (jf::ParseFrame(&in, &record, &marker)) {
+      case jf::FrameKind::kTorn:
+        out->clean = false;
+        return;
+      case jf::FrameKind::kEpoch:
+        // Epoch stamps/seals carry no catalog state; skip past them.
+        out->end_offset = in.position();
+        break;
+      case jf::FrameKind::kRecord:
+        out->end_offset = in.position();
+        out->records.push_back(std::move(record));
+        break;
     }
-    out->end_offset = in.position();
-    out->records.push_back(std::move(*record));
   }
 }
 
@@ -192,27 +200,38 @@ Result<JournalReplayer::TailResult> JournalReplayer::TailOnce(
     cursor->byte_offset = offset;
     result.segments_visited++;
     common::ByteReader in(std::string_view(data).substr(offset));
-    while (!in.AtEnd()) {
-      auto record = jf::ParseRecord(&in);
-      if (!record.has_value()) {
-        if (i + 1 < segments.size()) {
-          // A later segment exists, so the primary gave up on this one
-          // (torn append -> poison -> fresh segment on reopen). The
-          // unparsable remainder is dead garbage; move past it.
+    bool segment_done = false;
+    while (!in.AtEnd() && !segment_done) {
+      jf::ParsedRecord record;
+      jf::EpochMarker marker;
+      switch (jf::ParseFrame(&in, &record, &marker)) {
+        case jf::FrameKind::kTorn:
+          if (i + 1 < segments.size()) {
+            // A later segment exists, so the primary gave up on this one
+            // (torn append -> poison -> fresh segment on reopen, or a
+            // sealed-over torn tail). The unparsable remainder is dead
+            // garbage; move past it.
+            segment_done = true;
+            break;
+          }
+          // Newest segment: this is (or may be) a mid-append torn tail.
+          // Hold the cursor before the bad frame; once the primary's next
+          // commit lands the re-read from here parses cleanly.
+          result.torn_tail = true;
+          return result;
+        case jf::FrameKind::kEpoch:
+          // Epoch stamps/seals carry no catalog state; skip past them.
+          cursor->byte_offset = offset + in.position();
           break;
-        }
-        // Newest segment: this is (or may be) a mid-append torn tail.
-        // Hold the cursor before the bad frame; once the primary's next
-        // commit lands the re-read from here parses cleanly.
-        result.torn_tail = true;
-        return result;
+        case jf::FrameKind::kRecord:
+          if (record.commit_seq > cursor->applied_seq) {
+            POLARIS_RETURN_IF_ERROR(apply(record.commit_seq, record.writes));
+            cursor->applied_seq = record.commit_seq;
+            result.records_applied++;
+          }
+          cursor->byte_offset = offset + in.position();
+          break;
       }
-      if (record->commit_seq > cursor->applied_seq) {
-        POLARIS_RETURN_IF_ERROR(apply(record->commit_seq, record->writes));
-        cursor->applied_seq = record->commit_seq;
-        result.records_applied++;
-      }
-      cursor->byte_offset = offset + in.position();
     }
   }
   return result;

@@ -83,6 +83,18 @@ inline constexpr char kJournalAppendTorn[] = "journal.append.torn";
 /// error (the classic "commit ack lost" outcome).
 inline constexpr char kJournalAppendAfterCommit[] =
     "journal.append.after_commit";
+/// promotion: epoch lease CAS-claimed; tailer still running, predecessor
+/// segment not yet sealed. A retry must claim a fresh (higher) epoch.
+inline constexpr char kPromoteClaimed[] = "promote.claimed";
+/// promotion: predecessor's open segment sealed under the new epoch; the
+/// old primary's next append must lose its CAS and self-fence.
+inline constexpr char kPromoteSealed[] = "promote.sealed";
+/// promotion: remaining journal tail replayed into the local catalog,
+/// stores still read-only — dying here loses no acked commit.
+inline constexpr char kPromoteReplayed[] = "promote.replayed";
+/// promotion: appender primed and stores writable, but the role flip and
+/// the operator acknowledgement are lost.
+inline constexpr char kPromoteWritable[] = "promote.writable";
 /// local store: Put wrote + fsynced the temp file, rename not done.
 inline constexpr char kStorePutBeforeRename[] = "store.put.before_rename";
 /// local store: CommitBlockList wrote + fsynced the temp file, rename

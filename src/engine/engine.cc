@@ -99,6 +99,8 @@ PolarisEngine::PolarisEngine(EngineOptions options,
     events_.Emit(obs::EventLevel::kWarn, "crash", "crashpoint.fired",
                  {{"point", std::string(point)}});
   });
+  role_.store(options_.replica ? EngineRole::kReplica : EngineRole::kPrimary,
+              std::memory_order_release);
   InstallDefaultSloRules();
   StartSampler();
   if (owned_local_store_ != nullptr) {
@@ -113,8 +115,17 @@ PolarisEngine::PolarisEngine(EngineOptions options,
 }
 
 PolarisEngine::~PolarisEngine() {
-  // The tailer reads through the storage decorators and writes into the
-  // catalog, so it must stop before any of those members tear down.
+  // Deterministic teardown ordering (DESIGN.md §12): refuse any new
+  // promotion, wait out an in-flight one, then stop the background
+  // threads youngest-dependency-first — heartbeat (may call Promote or
+  // Fence), tailer (reads the decorators, writes the catalog), sampler.
+  shutting_down_.store(true, std::memory_order_release);
+  {
+    // Barrier: an in-flight Promote finishes here; later ones see
+    // shutting_down_ and refuse before touching any member.
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  }
+  StopFailoverThread();
   if (replica_tailer_ != nullptr) replica_tailer_->Stop();
   common::CrashPoints::SetFireObserver({});
   {
@@ -123,6 +134,38 @@ PolarisEngine::~PolarisEngine() {
   }
   sampler_cv_.notify_all();
   if (sampler_thread_.joinable()) sampler_thread_.join();
+}
+
+void PolarisEngine::StartFailoverThread() {
+  if (options_.failover.heartbeat_period_micros <= 0) return;
+  if (lease_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  if (hb_thread_.joinable() || hb_stop_ ||
+      shutting_down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  hb_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(hb_mu_);
+    while (!hb_stop_) {
+      hb_cv_.wait_for(lock, std::chrono::microseconds(
+                                options_.failover.heartbeat_period_micros));
+      if (hb_stop_) break;
+      lock.unlock();
+      (void)HeartbeatOnce();
+      lock.lock();
+    }
+  });
+}
+
+void PolarisEngine::StopFailoverThread() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+    to_join = std::move(hb_thread_);
+  }
+  hb_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
 }
 
 void PolarisEngine::StartSampler() {
@@ -375,6 +418,32 @@ void PolarisEngine::InstallDefaultSloRules() {
   }
   {
     obs::SloRule rule;
+    rule.name = "lease-expiry";
+    rule.description =
+        "micros of validity left on the primary's epoch lease (goes "
+        "negative once expired; a third of the duration left warns)";
+    rule.kind = obs::SloRule::Kind::kProbe;
+    // Abstains unless this node holds the lease AND a heartbeat is
+    // renewing it — without a heartbeat, expiry is expected (tests that
+    // advance the virtual clock freely) and not a health signal.
+    rule.probe = [this](bool* has_data) {
+      if (lease_ == nullptr || !lease_->held() ||
+          role() != EngineRole::kPrimary ||
+          options_.failover.heartbeat_period_micros <= 0) {
+        *has_data = false;
+        return 0.0;
+      }
+      return static_cast<double>(lease_->expires_at()) -
+             static_cast<double>(clock_->Now());
+    };
+    rule.above_is_bad = false;
+    rule.warn_threshold =
+        static_cast<double>(options_.failover.lease_duration_micros) / 3.0;
+    rule.fail_threshold = 0.0;
+    watchdog_.AddRule(rule);
+  }
+  {
+    obs::SloRule rule;
     rule.name = "tracer-drops";
     rule.description = "spans evicted from the tracer ring (truncated traces)";
     rule.kind = obs::SloRule::Kind::kDelta;
@@ -428,6 +497,25 @@ Status PolarisEngine::AttachReplica() {
   replica_tailer_->set_wait_stats(&wait_stats_);
   POLARIS_RETURN_IF_ERROR(replica_tailer_->BootstrapInitial());
   replica_tailer_->Start();
+  // The replica watches (but does not claim) the primary's epoch lease:
+  // the heartbeat observes expiry for supervised auto-promotion, and
+  // Promote() claims the next epoch through this same object. A durable
+  // replica's own store is read-only, so lease and seal writes go through
+  // a writable side channel on the same directory (opened read-only to
+  // skip the staged-block sweep, then flipped — ExitReadOnly never
+  // sweeps, so the primary's in-flight staged blocks survive).
+  if (owned_local_store_ != nullptr) {
+    failover_store_ = std::make_unique<storage::LocalFileObjectStore>(
+        options_.data_dir, clock_, /*read_only=*/true);
+    POLARIS_RETURN_IF_ERROR(failover_store_->init_status());
+    POLARIS_RETURN_IF_ERROR(failover_store_->ExitReadOnly());
+  }
+  lease_ = std::make_unique<replica::EpochLease>(
+      failover_store_ != nullptr
+          ? static_cast<storage::ObjectStore*>(failover_store_.get())
+          : store_,
+      options_.journal_options.prefix + "lease", clock_, options_.failover);
+  StartFailoverThread();
   replica::ReplicaStatus rs = replica_tailer_->GetStatus();
   events_.Emit(obs::EventLevel::kInfo, "engine", "engine.replica_attached",
                {{"data_dir", options_.data_dir},
@@ -444,11 +532,19 @@ Status PolarisEngine::AttachReplica() {
 }
 
 Status PolarisEngine::CheckWritable(const char* op) const {
-  if (options_.replica) {
-    return Status::FailedPrecondition(std::string("read-only replica: ") +
-                                      op + " is not allowed");
+  switch (role()) {
+    case EngineRole::kPrimary:
+      return Status::OK();
+    case EngineRole::kReplica:
+      return Status::FailedPrecondition(std::string("read-only replica: ") +
+                                        op + " is not allowed");
+    case EngineRole::kFenced:
+      return Status::FailedPrecondition(
+          std::string("fenced: ") + op +
+          " rejected because a newer epoch owns this database; this "
+          "ex-primary serves reads only");
   }
-  return Status::OK();
+  return Status::OK();  // unreachable
 }
 
 Status PolarisEngine::MinReadWatermark(uint64_t seq) {
@@ -471,6 +567,18 @@ Status PolarisEngine::RecoverCatalog() {
         return journal_->AppendBatch(records);
       });
   sto_.set_catalog_journal(journal_.get());
+  // Claim the epoch lease before serving writes: if another node already
+  // holds a newer epoch we must not come up as a second writer. The claim
+  // is administrative (CAS to epoch+1, no expiry wait) — a crashed
+  // primary's stale lease never blocks its own restart.
+  lease_ = std::make_unique<replica::EpochLease>(
+      store_, options_.journal_options.prefix + "lease", clock_,
+      options_.failover);
+  POLARIS_RETURN_IF_ERROR(lease_->Claim());
+  metrics_.Add("failover.lease_claims");
+  journal_->set_epoch(lease_->epoch());
+  WireFencing();
+  StartFailoverThread();
   const uint64_t swept = owned_local_store_ != nullptr
                              ? owned_local_store_->swept_staged_blocks()
                              : 0;
@@ -491,6 +599,270 @@ Status PolarisEngine::RecoverCatalog() {
       << (recovery_.torn_tail ? " (dropped torn tail record)" : "")
       << ", swept " << swept << " orphaned staged blocks";
   return Status::OK();
+}
+
+void PolarisEngine::WireFencing() {
+  // The guard runs at the top of every journal append, under the
+  // journal's own mutex: a primary that already knows it lost the lease
+  // (or let it expire unrenewed while a heartbeat was supposed to renew
+  // it) refuses the batch before wasting a CAS round-trip. Expiry is only
+  // enforced when a heartbeat is actually running — without one, clock
+  // advances past the lease duration are routine (virtual-clock tests),
+  // not evidence of a second writer.
+  journal_->set_fence_guard([this]() -> Status {
+    if (role() == EngineRole::kFenced) {
+      return Status::FailedPrecondition(
+          "fenced: this primary lost the epoch lease");
+    }
+    if (lease_ != nullptr && lease_->held() &&
+        options_.failover.heartbeat_period_micros > 0 &&
+        clock_->Now() > lease_->expires_at()) {
+      return Status::FailedPrecondition(
+          "fenced: epoch lease " + std::to_string(lease_->epoch()) +
+          " expired unrenewed; refusing to append as a possibly "
+          "superseded writer");
+    }
+    return Status::OK();
+  });
+  // The listener fires when an append loses the storage CAS — the
+  // authoritative fencing signal (a promoted successor sealed our
+  // segment). Called outside the journal mutex, so Fence can take the
+  // engine's own locks freely.
+  journal_->set_fence_listener(
+      [this](const Status& why) { Fence(why.message()); });
+}
+
+void PolarisEngine::Fence(const std::string& reason) {
+  // Only a primary can be fenced; replicas are already read-only and a
+  // second Fence is a no-op (first reason wins).
+  EngineRole expected = EngineRole::kPrimary;
+  if (!role_.compare_exchange_strong(expected, EngineRole::kFenced,
+                                     std::memory_order_acq_rel)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    fence_reason_ = reason;
+  }
+  if (lease_ != nullptr) lease_->Release();
+  if (journal_ != nullptr) journal_->Fence();
+  // Root-level write rejection: in-flight commits that already passed
+  // CheckWritable die at the commit listener; new ones die here.
+  catalog_.store()->set_read_only(true);
+  metrics_.Add("failover.fences");
+  events_.Emit(obs::EventLevel::kError, "failover", "failover.fenced",
+               {{"reason", reason}});
+  POLARIS_LOG(kError, "failover")
+      << "fenced: " << reason << "; degrading to read-only";
+}
+
+Status PolarisEngine::HeartbeatOnce() {
+  switch (role()) {
+    case EngineRole::kFenced:
+      return Status::FailedPrecondition("fenced: heartbeat has no lease");
+    case EngineRole::kPrimary: {
+      if (lease_ == nullptr) return Status::OK();  // in-memory engine
+      Status st = lease_->Renew();
+      if (st.ok()) {
+        std::lock_guard<std::mutex> lock(failover_mu_);
+        ++heartbeats_;
+        metrics_.Add("failover.lease_renewals");
+        return st;
+      }
+      if (st.IsFailedPrecondition()) {
+        // Another node claimed a newer epoch out from under us. Fence
+        // now rather than waiting to lose the journal CAS.
+        {
+          std::lock_guard<std::mutex> lock(failover_mu_);
+          ++lease_losses_;
+        }
+        metrics_.Add("failover.lease_losses");
+        Fence("lease lost: " + st.message());
+        return st;
+      }
+      // Transient storage error. Survivable while the lease is still
+      // valid, but once the clock passes expiry a successor may already
+      // be writing — self-fence rather than risk a dual write.
+      if (clock_->Now() > lease_->expires_at()) {
+        Fence("lease expired unrenewed: " + st.message());
+      }
+      return st;
+    }
+    case EngineRole::kReplica: {
+      if (lease_ == nullptr) return Status::OK();
+      common::Result<replica::LeaseInfo> info = lease_->Read();
+      if (!info.ok()) return info.status();
+      bool expired = false;
+      {
+        std::lock_guard<std::mutex> lock(failover_mu_);
+        ++heartbeats_;
+        observed_lease_ = *info;
+        expired = observed_lease_.epoch > 0 &&
+                  clock_->Now() > observed_lease_.expires_at;
+      }
+      if (expired && options_.failover.auto_promote) {
+        common::Result<PromoteResult> promoted = Promote();
+        if (!promoted.ok()) return promoted.status();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();  // unreachable
+}
+
+common::Result<PromoteResult> PolarisEngine::Promote() {
+  // lifecycle_mu_ serializes promotion against itself (heartbeat
+  // auto-promote racing an explicit PROMOTE) and against the destructor.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("PROMOTE: engine is shutting down");
+  }
+  if (role() != EngineRole::kReplica) {
+    return Status::FailedPrecondition(
+        "PROMOTE: only a replica can be promoted (role is " +
+        std::string(role() == EngineRole::kPrimary ? "primary" : "fenced") +
+        ")");
+  }
+  if (replica_tailer_ == nullptr || lease_ == nullptr) {
+    return Status::FailedPrecondition(
+        "PROMOTE: this replica has no tailer or lease to promote through");
+  }
+  obs::Span span(&tracer_, "failover.promote");
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t before_applied = replica_tailer_->GetStatus().records_applied;
+
+  // 1. Claim epoch+1. From here on the old primary's heartbeat renewals
+  //    lose their CAS and it self-fences on the next beat.
+  POLARIS_RETURN_IF_ERROR(lease_->Claim());
+  const uint64_t epoch = lease_->epoch();
+  POLARIS_CRASH_POINT(common::crash::kPromoteClaimed);
+
+  // 2. Stop tailing and seal the incumbent's open journal segment: its
+  //    next group-commit append loses the storage CAS and it fences even
+  //    if its heartbeat is wedged. The fence is in the data path, not
+  //    just the control path.
+  replica_tailer_->Stop();
+  POLARIS_ASSIGN_OR_RETURN(
+      std::string sealed,
+      replica::SealNewestSegment(
+          failover_store_ != nullptr
+              ? static_cast<storage::ObjectStore*>(failover_store_.get())
+              : store_,
+          options_.journal_options, epoch));
+  POLARIS_CRASH_POINT(common::crash::kPromoteSealed);
+
+  // 3. Drain the remaining journal tail. PollOnce still works after
+  //    Stop — it only needs the poll mutex — and a successful pass means
+  //    every acked commit up to the seal is applied locally.
+  POLARIS_RETURN_IF_ERROR(replica_tailer_->PollOnce());
+  const uint64_t watermark = replica_tailer_->watermark();
+  const uint64_t tail_records =
+      replica_tailer_->GetStatus().records_applied - before_applied;
+  POLARIS_CRASH_POINT(common::crash::kPromoteReplayed);
+
+  // 4. Become the writer: a fresh journal primed at the watermark (no
+  //    replay — the tailer already applied everything), stamped with the
+  //    new epoch, wired for fencing, and the catalog flipped writable.
+  journal_ = std::make_unique<catalog::CatalogJournal>(
+      store_, options_.journal_options, &metrics_);
+  POLARIS_RETURN_IF_ERROR(journal_->PrimeAfterPromotion(watermark));
+  journal_->set_epoch(epoch);
+  WireFencing();
+  catalog_.store()->SetCommitListener(
+      [this](const std::vector<catalog::CommitRecord>& records) {
+        return journal_->AppendBatch(records);
+      });
+  sto_.set_catalog_journal(journal_.get());
+  if (owned_local_store_ != nullptr) {
+    POLARIS_RETURN_IF_ERROR(owned_local_store_->ExitReadOnly());
+  }
+  catalog_.store()->set_read_only(false);
+  POLARIS_CRASH_POINT(common::crash::kPromoteWritable);
+  role_.store(EngineRole::kPrimary, std::memory_order_release);
+  StartFailoverThread();
+
+  const double promote_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    ++promotions_;
+    last_promote_ms_ = promote_ms;
+    last_promote_tail_records_ = tail_records;
+  }
+  metrics_.Add("failover.promotions");
+  metrics_.Observe("failover.promote_us",
+                   static_cast<common::Micros>(promote_ms * 1000.0));
+  events_.Emit(obs::EventLevel::kInfo, "failover", "failover.promoted",
+               {{"epoch", std::to_string(epoch)},
+                {"watermark", std::to_string(watermark)},
+                {"tail_records", std::to_string(tail_records)},
+                {"sealed_segment", sealed}});
+  POLARIS_LOG(kInfo, "failover")
+      << "promoted to primary at epoch " << epoch << ": watermark "
+      << watermark << ", drained " << tail_records << " tail records in "
+      << promote_ms << " ms"
+      << (sealed.empty() ? " (no segment to seal)" : ", sealed " + sealed);
+  PromoteResult result;
+  result.epoch = epoch;
+  result.watermark = watermark;
+  result.tail_records = tail_records;
+  result.promote_ms = promote_ms;
+  result.sealed_segment = sealed;
+  return result;
+}
+
+Status PolarisEngine::EnsureReplicaFresh(common::Micros bound_us) {
+  if (bound_us <= 0) return Status::OK();
+  if (role() != EngineRole::kReplica) return Status::OK();
+  if (replica_tailer_ == nullptr) return Status::OK();
+  return replica_tailer_->EnsureFresh(bound_us);
+}
+
+FailoverStatus PolarisEngine::GetFailoverStatus() const {
+  FailoverStatus fs;
+  const EngineRole r = role();
+  fs.role = r == EngineRole::kPrimary
+                ? "primary"
+                : (r == EngineRole::kReplica ? "replica" : "fenced");
+  if (lease_ != nullptr) {
+    if (r == EngineRole::kReplica) {
+      // Report the lease as last observed by the heartbeat (or a live
+      // read when no heartbeat runs) — the replica never holds it.
+      replica::LeaseInfo info;
+      {
+        std::lock_guard<std::mutex> lock(failover_mu_);
+        info = observed_lease_;
+      }
+      if (info.epoch == 0) {
+        common::Result<replica::LeaseInfo> live = lease_->Read();
+        if (live.ok()) info = *live;
+      }
+      fs.epoch = info.epoch;
+      fs.lease_held = false;
+      fs.lease_expires_at = info.expires_at;
+      fs.lease_owner = info.owner;
+    } else {
+      fs.epoch = lease_->epoch();
+      fs.lease_held = lease_->held();
+      fs.lease_expires_at = lease_->expires_at();
+      fs.lease_owner = options_.failover.node_name;
+      fs.lease_renewals = lease_->renewals();
+    }
+    fs.lease_remaining_us =
+        static_cast<int64_t>(fs.lease_expires_at) -
+        static_cast<int64_t>(clock_->Now());
+  }
+  std::lock_guard<std::mutex> lock(failover_mu_);
+  fs.heartbeats = heartbeats_;
+  fs.lease_losses = lease_losses_;
+  fs.promotions = promotions_;
+  fs.last_promote_tail_records = last_promote_tail_records_;
+  fs.last_promote_ms = last_promote_ms_;
+  fs.fenced = r == EngineRole::kFenced;
+  fs.fence_reason = fence_reason_;
+  return fs;
 }
 
 Status PolarisEngine::CheckpointCatalog() {

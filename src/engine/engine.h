@@ -29,6 +29,7 @@
 #include "obs/query_store.h"
 #include "obs/time_series.h"
 #include "obs/tracer.h"
+#include "replica/failover.h"
 #include "replica/replica_tailer.h"
 #include "sto/sto.h"
 #include "storage/circuit_breaker_store.h"
@@ -112,6 +113,44 @@ struct EngineOptions {
   bool replica = false;
   /// Tailer knobs (poll cadence, catch-up parallelism); replica mode only.
   replica::ReplicaOptions replica_options;
+  /// Epoch-lease fencing and promotion knobs (DESIGN.md §12). A durable
+  /// primary always claims the lease at open; the background heartbeat
+  /// (and with it self-fencing on mere expiry) is off unless
+  /// failover.heartbeat_period_micros is set.
+  replica::FailoverOptions failover;
+};
+
+/// The engine's failover role. A primary that loses its epoch lease (or
+/// whose journal append loses its CAS) degrades to kFenced: it keeps
+/// serving reads but rejects every write with FailedPrecondition. A
+/// replica becomes kPrimary via Promote().
+enum class EngineRole { kPrimary, kReplica, kFenced };
+
+/// What a successful Promote() did (sys.dm_failover keeps the last one).
+struct PromoteResult {
+  uint64_t epoch = 0;      ///< the claimed epoch now stamped on appends
+  uint64_t watermark = 0;  ///< commit sequence the new primary starts from
+  uint64_t tail_records = 0;  ///< journal records drained during promotion
+  double promote_ms = 0;      ///< wall time of the whole promotion
+  std::string sealed_segment;  ///< predecessor segment sealed ("" if none)
+};
+
+/// Point-in-time failover/lease state, surfaced by sys.dm_failover.
+struct FailoverStatus {
+  std::string role;  ///< "primary" | "replica" | "fenced"
+  uint64_t epoch = 0;
+  bool lease_held = false;
+  common::Micros lease_expires_at = 0;
+  int64_t lease_remaining_us = 0;  ///< negative once expired
+  std::string lease_owner;         ///< observed holder (replicas)
+  uint64_t lease_renewals = 0;
+  uint64_t heartbeats = 0;
+  uint64_t lease_losses = 0;
+  uint64_t promotions = 0;
+  uint64_t last_promote_tail_records = 0;
+  double last_promote_ms = 0;
+  bool fenced = false;
+  std::string fence_reason;
 };
 
 /// A query: projection + filter, optionally grouped aggregation. This is
@@ -225,8 +264,14 @@ class PolarisEngine {
   const catalog::CatalogJournal::RecoveredState& recovery_info() const {
     return recovery_;
   }
-  /// True when this engine was opened as a read-only replica.
-  bool is_replica() const { return options_.replica; }
+  /// Current failover role; starts as kReplica/kPrimary per the options
+  /// and changes at runtime (Promote, self-fencing).
+  EngineRole role() const { return role_.load(std::memory_order_acquire); }
+  /// True while this engine serves as a read-only tailing replica.
+  bool is_replica() const { return role() == EngineRole::kReplica; }
+  /// The epoch lease (null for in-memory engines, which have no journal
+  /// and therefore nothing to fence).
+  replica::EpochLease* lease() { return lease_.get(); }
   /// The continuous-apply tailer (null on primaries).
   replica::ReplicaTailer* replica() { return replica_tailer_.get(); }
   const replica::ReplicaTailer* replica() const {
@@ -358,6 +403,42 @@ class PolarisEngine {
   /// immediately.
   common::Status MinReadWatermark(uint64_t seq);
 
+  // --- Failover (DESIGN.md §12) --------------------------------------------
+  /// Promotes this replica to primary: CAS-claims epoch+1, stops the
+  /// tailer, seals the incumbent's open journal segment (its next append
+  /// then loses CAS and self-fences), drains the remaining tail through
+  /// the replayer, primes a fresh journal appender at the watermark, and
+  /// flips the catalog and local store writable. Serialized against
+  /// engine teardown; FailedPrecondition unless currently a replica. A
+  /// failure mid-promotion leaves the engine in the crash-point contract
+  /// state: discard it and promote a freshly attached replica (which
+  /// claims the next epoch).
+  common::Result<PromoteResult> Promote();
+
+  /// Degrades a primary to read-only (idempotent; no-op for replicas):
+  /// the journal refuses appends, in-flight commit waiters surface
+  /// FailedPrecondition("fenced..."), reads keep working. Invoked
+  /// automatically when a heartbeat loses the lease CAS or a journal
+  /// append is superseded; public so chaos tests and operators can fence
+  /// deterministically.
+  void Fence(const std::string& reason);
+
+  /// One heartbeat tick (the background thread calls this every
+  /// failover.heartbeat_period_micros; tests drive it directly). As
+  /// primary: renew the lease, fencing on CAS loss — or, after transient
+  /// store errors, once the lease has expired on the engine clock. As
+  /// replica: observe the incumbent's lease and, with auto_promote set,
+  /// promote once it is observed expired.
+  common::Status HeartbeatOnce();
+
+  /// Staleness-bounded reads (SET MAX_STALENESS): OK on primaries; on a
+  /// replica, ensures the apply watermark is within `bound_us` of the
+  /// journal tip, driving a catch-up poll when it is not. bound_us <= 0
+  /// means unbounded.
+  common::Status EnsureReplicaFresh(common::Micros bound_us);
+
+  FailoverStatus GetFailoverStatus() const;
+
  private:
   /// Durable-mode Open half: recover journal state into the catalog and
   /// install the commit listener.
@@ -370,6 +451,14 @@ class PolarisEngine {
   /// FailedPrecondition on replicas; OK on primaries. Every write entry
   /// point checks this before touching storage.
   common::Status CheckWritable(const char* op) const;
+
+  /// Installs the journal's fence guard + listener for the current
+  /// journal_ (RecoverCatalog and Promote both call it).
+  void WireFencing();
+  /// Starts/stops the background heartbeat thread (no-op when the period
+  /// is 0 or there is no lease).
+  void StartFailoverThread();
+  void StopFailoverThread();
 
   /// Registers the built-in SLO rules on the watchdog (retry rate, retry
   /// exhaustion, journal append p99, STO checkpoint backlog, cache
@@ -423,9 +512,42 @@ class PolarisEngine {
   /// Replica mode only; declared after catalog_/store decorators (it
   /// reads through both) and stopped first in the destructor.
   std::unique_ptr<replica::ReplicaTailer> replica_tailer_;
+  /// Durable-replica side channel for failover writes: the replica's main
+  /// store is read-only (so no code path can mutate shared state), but a
+  /// lease claim and a segment seal are exactly the two writes promotion
+  /// must land *while still a replica*. This second handle on the same
+  /// data_dir is made writable without the crash-recovery sweep, so the
+  /// live primary's in-flight staged blocks are untouched; generations
+  /// live in the blob headers on disk, so its CAS sees — and is seen by —
+  /// every other process on the directory.
+  std::unique_ptr<storage::LocalFileObjectStore> failover_store_;
   obs::TimeSeriesRecorder recorder_;
   obs::HealthWatchdog watchdog_;
   std::unique_ptr<SystemViews> views_;
+
+  // --- Failover state ------------------------------------------------------
+  std::unique_ptr<replica::EpochLease> lease_;
+  std::atomic<EngineRole> role_{EngineRole::kPrimary};
+  /// Serializes Promote against engine teardown: the destructor sets
+  /// shutting_down_ then passes through lifecycle_mu_, so an in-flight
+  /// promotion always completes before members tear down and no new one
+  /// can start.
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> shutting_down_{false};
+  mutable std::mutex failover_mu_;  // guards the bookkeeping below
+  std::string fence_reason_;
+  uint64_t heartbeats_ = 0;
+  uint64_t lease_losses_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t last_promote_tail_records_ = 0;
+  double last_promote_ms_ = 0;
+  // Last lease observed by a replica heartbeat (dm_failover surface).
+  replica::LeaseInfo observed_lease_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;  // guarded by hb_mu_
+  std::thread hb_thread_;
+
   std::mutex sampler_mu_;
   std::condition_variable sampler_cv_;
   bool sampler_stop_ = false;  // guarded by sampler_mu_

@@ -69,6 +69,7 @@ SystemViews::Catalog() {
       {"dm_commit", "catalog group-commit pipeline counters"},
       {"dm_wait_stats", "engine-wide wait-event totals per class"},
       {"dm_replica", "replica apply watermark, lag, and tailer counters"},
+      {"dm_failover", "role, epoch lease, fencing and promotion state"},
       {"dm_views", "this catalog"},
       {"query_store", "per-fingerprint workload repository (Query Store)"},
       {"query_store_intervals",
@@ -92,6 +93,7 @@ common::Result<RecordBatch> SystemViews::Query(
   if (table == "sys.dm_commit") return Commit();
   if (table == "sys.dm_wait_stats") return WaitStatsView();
   if (table == "sys.dm_replica") return Replica();
+  if (table == "sys.dm_failover") return Failover();
   if (table == "sys.dm_views") return Views();
   if (table == "sys.query_store") return QueryStoreView();
   if (table == "sys.query_store_intervals") return QueryStoreIntervals();
@@ -410,6 +412,33 @@ RecordBatch SystemViews::Replica() const {
           I64u(rs.rebootstraps), I64u(rs.bootstrap_records),
           F64(rs.bootstrap_ms), I64(rs.torn_tail_pending ? 1 : 0),
           Str(rs.last_error)});
+  return batch;
+}
+
+RecordBatch SystemViews::Failover() const {
+  RecordBatch batch(MakeSchema({{"role", ColumnType::kString},
+                                {"epoch", ColumnType::kInt64},
+                                {"lease_held", ColumnType::kInt64},
+                                {"lease_owner", ColumnType::kString},
+                                {"lease_expires_at_us", ColumnType::kInt64},
+                                {"lease_remaining_us", ColumnType::kInt64},
+                                {"lease_renewals", ColumnType::kInt64},
+                                {"heartbeats", ColumnType::kInt64},
+                                {"lease_losses", ColumnType::kInt64},
+                                {"promotions", ColumnType::kInt64},
+                                {"last_promote_tail_records",
+                                 ColumnType::kInt64},
+                                {"last_promote_ms", ColumnType::kDouble},
+                                {"fenced", ColumnType::kInt64},
+                                {"fence_reason", ColumnType::kString}}));
+  FailoverStatus fs = engine_->GetFailoverStatus();
+  (void)batch.AppendRow(
+      Row{Str(fs.role), I64u(fs.epoch), I64(fs.lease_held ? 1 : 0),
+          Str(fs.lease_owner), I64(fs.lease_expires_at),
+          I64(fs.lease_remaining_us), I64u(fs.lease_renewals),
+          I64u(fs.heartbeats), I64u(fs.lease_losses), I64u(fs.promotions),
+          I64u(fs.last_promote_tail_records), F64(fs.last_promote_ms),
+          I64(fs.fenced ? 1 : 0), Str(fs.fence_reason)});
   return batch;
 }
 

@@ -31,6 +31,7 @@ class PolarisEngine;
 ///   sys.dm_commit          catalog group-commit pipeline counters
 ///   sys.dm_wait_stats      engine-wide wait-event totals per class
 ///   sys.dm_replica         replica apply watermark, lag, tailer counters
+///   sys.dm_failover        role, epoch lease, fencing and promotion state
 ///   sys.dm_views           this catalog
 ///   sys.query_store        per-fingerprint workload repository (Query Store)
 ///   sys.query_store_intervals
@@ -66,6 +67,7 @@ class SystemViews {
   format::RecordBatch Commit() const;
   format::RecordBatch WaitStatsView() const;
   format::RecordBatch Replica() const;
+  format::RecordBatch Failover() const;
   format::RecordBatch Views() const;
   format::RecordBatch QueryStoreView() const;
   format::RecordBatch QueryStoreIntervals() const;

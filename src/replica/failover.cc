@@ -1,0 +1,195 @@
+#include "replica/failover.h"
+
+#include <limits>
+#include <utility>
+
+#include "catalog/journal_format.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace polaris::replica {
+
+using common::Result;
+using common::Status;
+
+namespace jf = catalog::journal_format;
+
+namespace {
+
+constexpr uint32_t kLeaseMagic = 0x31534c50;  // "PLS1"
+// The single block id the lease blob is committed from each write.
+constexpr char kLeaseBlockId[] = "l";
+// Bounded CAS retries for claim races / seal vs in-flight appends.
+constexpr int kMaxCasAttempts = 16;
+
+std::string EncodeLease(uint64_t epoch, common::Micros expires_at,
+                        const std::string& owner) {
+  common::ByteWriter out;
+  out.PutU32(kLeaseMagic);
+  out.PutU64(epoch);
+  out.PutU64(static_cast<uint64_t>(expires_at));
+  out.PutString(owner);
+  return out.Release();
+}
+
+Status DecodeLease(std::string_view blob, LeaseInfo* info) {
+  common::ByteReader in(blob);
+  uint32_t magic;
+  uint64_t epoch, expires;
+  std::string owner;
+  if (!in.GetU32(&magic).ok() || magic != kLeaseMagic ||
+      !in.GetU64(&epoch).ok() || !in.GetU64(&expires).ok() ||
+      !in.GetString(&owner).ok() || !in.AtEnd()) {
+    return Status::Corruption("malformed epoch lease blob");
+  }
+  info->epoch = epoch;
+  info->expires_at = static_cast<common::Micros>(expires);
+  info->owner = std::move(owner);
+  return Status::OK();
+}
+
+}  // namespace
+
+EpochLease::EpochLease(storage::ObjectStore* store, std::string path,
+                       common::Clock* clock, FailoverOptions options)
+    : store_(store),
+      path_(std::move(path)),
+      clock_(clock),
+      options_(std::move(options)) {}
+
+Result<LeaseInfo> EpochLease::Read() const {
+  auto blob = store_->Get(path_);
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return LeaseInfo{};  // virgin store
+    return blob.status();
+  }
+  LeaseInfo info;
+  POLARIS_RETURN_IF_ERROR(DecodeLease(*blob, &info));
+  auto stat = store_->Stat(path_);
+  if (!stat.ok()) return stat.status();
+  info.generation = stat->generation;
+  return info;
+}
+
+Status EpochLease::WriteAtLocked(uint64_t expected_generation,
+                                 uint64_t epoch) {
+  common::Micros expires = clock_->Now() + options_.lease_duration_micros;
+  POLARIS_RETURN_IF_ERROR(store_->StageBlock(
+      path_, kLeaseBlockId, EncodeLease(epoch, expires, options_.node_name)));
+  POLARIS_RETURN_IF_ERROR(
+      store_->CommitBlockListIf(path_, {kLeaseBlockId}, expected_generation));
+  held_ = true;
+  epoch_ = epoch;
+  generation_ = expected_generation + 1;
+  expires_at_ = expires;
+  return Status::OK();
+}
+
+Status EpochLease::Claim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxCasAttempts; ++attempt) {
+    auto current = Read();
+    if (!current.ok()) return current.status();
+    last = WriteAtLocked(current->generation, current->epoch + 1);
+    if (last.ok()) {
+      POLARIS_LOG(kInfo, "failover")
+          << options_.node_name << " claimed epoch " << epoch_ << " (lease "
+          << path_ << ")";
+      return Status::OK();
+    }
+    // A racing claimant bumped the generation between our read and our
+    // CAS; re-read and target the next epoch. Any other error is final.
+    if (!last.IsFailedPrecondition()) return last;
+  }
+  return Status::Unavailable("epoch lease claim lost " +
+                             std::to_string(kMaxCasAttempts) +
+                             " consecutive CAS races: " + last.message());
+}
+
+Status EpochLease::Renew() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!held_) {
+    return Status::FailedPrecondition("cannot renew: lease not held");
+  }
+  Status st = WriteAtLocked(generation_, epoch_);
+  if (st.ok()) {
+    renewals_++;
+    return st;
+  }
+  if (st.IsFailedPrecondition()) {
+    held_ = false;
+    std::string detail;
+    auto now_holding = Read();
+    if (now_holding.ok()) {
+      detail = "; epoch " + std::to_string(now_holding->epoch) + " held by " +
+               now_holding->owner;
+    }
+    return Status::FailedPrecondition(
+        "lease lost: epoch " + std::to_string(epoch_) +
+        " was superseded" + detail);
+  }
+  return st;
+}
+
+void EpochLease::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_ = false;
+}
+
+bool EpochLease::held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return held_;
+}
+
+uint64_t EpochLease::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+common::Micros EpochLease::expires_at() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expires_at_;
+}
+
+uint64_t EpochLease::renewals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return renewals_;
+}
+
+Result<std::string> SealNewestSegment(
+    storage::ObjectStore* store,
+    const catalog::CatalogJournalOptions& journal_options,
+    uint64_t new_epoch) {
+  POLARIS_ASSIGN_OR_RETURN(
+      auto segments,
+      catalog::ListJournalSegmentsSince(
+          store, journal_options, std::numeric_limits<uint64_t>::max()));
+  if (segments.empty()) return std::string();  // virgin journal
+  const std::string path = segments.back().path;
+  const std::string seal_id = "seal" + jf::Pad20(new_epoch);
+  std::string marker = jf::EncodeEpochMarker(new_epoch, /*seal=*/true);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxCasAttempts; ++attempt) {
+    POLARIS_ASSIGN_OR_RETURN(auto info, store->Stat(path));
+    POLARIS_ASSIGN_OR_RETURN(auto ids, store->GetCommittedBlockList(path));
+    POLARIS_RETURN_IF_ERROR(store->StageBlock(path, seal_id, marker));
+    ids.push_back(seal_id);
+    last = store->CommitBlockListIf(path, ids, info.generation);
+    if (last.ok()) {
+      POLARIS_LOG(kInfo, "failover")
+          << "sealed journal segment " << path << " under epoch "
+          << new_epoch;
+      return path;
+    }
+    // The incumbent squeezed an append in between our read and our seal;
+    // its records are durable and will be drained, so re-read and retry.
+    if (!last.IsFailedPrecondition()) return last;
+  }
+  return Status::Unavailable(
+      "could not seal journal segment " + path + " after " +
+      std::to_string(kMaxCasAttempts) +
+      " CAS races (incumbent still appending?): " + last.message());
+}
+
+}  // namespace polaris::replica

@@ -1,0 +1,112 @@
+#ifndef POLARIS_REPLICA_FAILOVER_H_
+#define POLARIS_REPLICA_FAILOVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "catalog/catalog_journal.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/object_store.h"
+
+namespace polaris::replica {
+
+/// Failover knobs (engine-level; see DESIGN.md §12).
+struct FailoverOptions {
+  /// How long a claimed/renewed lease is valid. A primary that cannot
+  /// renew within this window self-fences on its own clock.
+  int64_t lease_duration_micros = 10'000'000;
+  /// Background heartbeat cadence. 0 (the default) starts no thread —
+  /// tests and benches drive HeartbeatOnce explicitly for determinism.
+  int64_t heartbeat_period_micros = 0;
+  /// Replica only: promote automatically when a heartbeat observes the
+  /// primary's lease expired (supervised auto-failover). Off by default.
+  bool auto_promote = false;
+  /// Stamped into the lease blob as the holder identity (diagnostics).
+  std::string node_name = "node";
+};
+
+/// A point-in-time read of the lease blob. epoch 0 / generation 0 means
+/// no lease blob exists yet (virgin store).
+struct LeaseInfo {
+  uint64_t epoch = 0;
+  common::Micros expires_at = 0;
+  std::string owner;
+  uint64_t generation = 0;
+};
+
+/// The epoch lease: a single blob in the shared store, advanced only via
+/// ETag-guarded CommitBlockListIf, so at most one writer can ever hold a
+/// given epoch. Claiming is an administrative takeover (it does NOT wait
+/// for the incumbent's expiry — PROMOTE and primary open are operator
+/// decisions; supervised auto-promote checks observed expiry before
+/// claiming). The lease alone is advisory liveness; the hard split-brain
+/// guarantee comes from sealing the journal segment, which invalidates
+/// the incumbent's append CAS (DESIGN.md §12).
+///
+/// Thread-safe.
+class EpochLease {
+ public:
+  /// `store` and `clock` must outlive the lease. `path` is the lease
+  /// blob's full object path (conventionally "<journal prefix>lease",
+  /// which journal/checkpoint listings ignore: no ".<ext>" suffix).
+  EpochLease(storage::ObjectStore* store, std::string path,
+             common::Clock* clock, FailoverOptions options);
+
+  /// Reads the current lease blob (held by anyone). NotFound is mapped to
+  /// a default LeaseInfo — a virgin store is claimable at generation 0.
+  common::Result<LeaseInfo> Read() const;
+
+  /// CAS-claims epoch observed+1. Retries a bounded number of times when
+  /// racing another claimant (each retry re-reads and targets a higher
+  /// epoch); exactly one racer wins any individual epoch.
+  common::Status Claim();
+
+  /// CAS-renews the held lease (same epoch, fresh expiry) at the
+  /// generation our last write produced. FailedPrecondition means a newer
+  /// epoch took the lease: the caller must fence.
+  common::Status Renew();
+
+  /// Drops held state without touching the blob (fencing bookkeeping).
+  void Release();
+
+  bool held() const;
+  uint64_t epoch() const;
+  common::Micros expires_at() const;
+  uint64_t renewals() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  // CAS-writes {epoch, now+duration, node_name} at `expected_generation`
+  // and on success records the new held state. Caller holds mu_.
+  common::Status WriteAtLocked(uint64_t expected_generation, uint64_t epoch);
+
+  storage::ObjectStore* store_;
+  const std::string path_;
+  common::Clock* clock_;
+  const FailoverOptions options_;
+
+  mutable std::mutex mu_;
+  bool held_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t generation_ = 0;  // blob generation after our last write
+  common::Micros expires_at_ = 0;
+  uint64_t renewals_ = 0;
+};
+
+/// Seals the newest journal segment under `new_epoch`: CAS-appends a PLE1
+/// seal marker at the segment's observed generation, bumping it so the
+/// incumbent primary's next append (which targets its cached generation)
+/// must lose and self-fence. Retries while racing in-flight appends.
+/// Returns the sealed segment path, or "" when the journal is empty
+/// (nothing to seal — there is no incumbent appender state to invalidate).
+common::Result<std::string> SealNewestSegment(
+    storage::ObjectStore* store,
+    const catalog::CatalogJournalOptions& journal_options,
+    uint64_t new_epoch);
+
+}  // namespace polaris::replica
+
+#endif  // POLARIS_REPLICA_FAILOVER_H_

@@ -288,6 +288,32 @@ Status ReplicaTailer::WaitForCommit(uint64_t seq) {
   return Status::OK();
 }
 
+Status ReplicaTailer::EnsureFresh(common::Micros bound_us) {
+  auto staleness = [this]() -> common::Micros {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return caught_up_at_us_ > 0 ? clock_->Now() - caught_up_at_us_ : 0;
+  };
+  common::Micros observed = staleness();
+  if (observed <= bound_us) return Status::OK();
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "replica staleness " + std::to_string(observed) +
+        "us exceeds MAX_STALENESS " + std::to_string(bound_us) +
+        "us and the tailer is stopped; the bound can never be met");
+  }
+  // Catch up actively instead of parking: a successful poll reaches the
+  // journal tip, which by definition satisfies any bound.
+  Status st = PollOnce();
+  if (metrics_ != nullptr) metrics_->Add("replica.staleness_catchups");
+  if (!st.ok()) {
+    return Status::Unavailable(
+        "replica staleness " + std::to_string(observed) +
+        "us exceeds MAX_STALENESS " + std::to_string(bound_us) +
+        "us and catch-up failed: " + st.message());
+  }
+  return Status::OK();
+}
+
 uint64_t ReplicaTailer::LagLowerBound() const {
   const uint64_t watermark = watermark_.load(std::memory_order_acquire);
   auto segments = catalog::ListJournalSegmentsSince(store_, journal_options_,

@@ -123,6 +123,14 @@ class ReplicaTailer {
   /// Unavailable if the tailer stops while waiting.
   common::Status WaitForCommit(uint64_t seq);
 
+  /// Staleness-bounded read gate (SET MAX_STALENESS): returns OK when the
+  /// engine-clock staleness is within `bound_us`; otherwise drives one
+  /// explicit PollOnce to catch up (a successful poll reaches the journal
+  /// tip, resetting staleness to 0) and propagates its failure with
+  /// context. Unavailable once the tailer is stopped — a stopped replica
+  /// can never again bound its staleness.
+  common::Status EnsureFresh(common::Micros bound_us);
+
   ReplicaStatus GetStatus() const;
 
   /// Lower bound on the record lag behind the journal: commits known to

@@ -12,7 +12,7 @@ using common::Status;
 
 namespace {
 
-constexpr std::array<std::string_view, 43> kKeywords = {
+constexpr std::array<std::string_view, 45> kKeywords = {
     "AS",     "ASC",    "AVG",      "BEGIN",  "BY",     "CLONE",
     "COMMIT", "COUNT",  "CREATE",   "DELETE", "DESC",   "DOUBLE",
     "DROP",   "FROM",   "GROUP",    "INSERT", "INT",    "INTO",
@@ -20,7 +20,7 @@ constexpr std::array<std::string_view, 43> kKeywords = {
     "SELECT", "SET",    "SUM",      "TABLE",  "TEXT",   "TO",
     "AND",    "BIGINT", "TRANSACTION", "UPDATE", "VALUES", "WHERE",
     "LIMIT",  "EXPLAIN", "ANALYZE", "KILL",   "DEADLINE",
-    "WAIT",   "FOR"};
+    "WAIT",   "FOR",    "MAX_STALENESS", "PROMOTE"};
 
 bool IsKeywordWord(const std::string& upper) {
   return std::find(kKeywords.begin(), kKeywords.end(), upper) !=

@@ -420,10 +420,30 @@ Result<ParsedStatement> Parser::ParseStatement() {
     POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
     return stmt;
   }
+  if (AcceptKeyword("PROMOTE")) {
+    // PROMOTE: claim the next epoch and take over as primary (replica
+    // sessions only; the engine rejects it elsewhere).
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kPromote;
+    POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
   if (AcceptKeyword("SET")) {
     // Statement-leading SET is a session option; UPDATE ... SET is handled
     // inside ParseUpdate and never reaches here.
     ParsedStatement stmt;
+    if (AcceptKeyword("MAX_STALENESS")) {
+      // SET MAX_STALENESS <ms>: staleness-bounded replica reads; 0 turns
+      // the bound off (plain watermark reads).
+      stmt.kind = ParsedStatement::Kind::kSetMaxStaleness;
+      if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+        return Error("expected a non-negative millisecond bound after "
+                     "SET MAX_STALENESS");
+      }
+      stmt.max_staleness_millis = Advance().int_value;
+      POLARIS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return stmt;
+    }
     if (AcceptKeyword("WAIT")) {
       // SET WAIT FOR COMMIT <seq>: block until this session's engine has
       // applied commit sequence <seq> (read-your-writes on a replica).

@@ -42,6 +42,8 @@ struct ParsedStatement {
     kKill,         // KILL <txn_id>: request cooperative cancellation
     kSetDeadline,  // SET DEADLINE <ms>: per-session statement budget
     kWaitForCommit,  // SET WAIT FOR COMMIT <seq>: replica read-your-writes
+    kSetMaxStaleness,  // SET MAX_STALENESS <ms>: staleness-bounded reads
+    kPromote,          // PROMOTE: replica takes over as primary
   };
   Kind kind = Kind::kSelect;
 
@@ -69,6 +71,7 @@ struct ParsedStatement {
   uint64_t kill_txn_id = 0;                 // KILL <txn_id>
   int64_t deadline_millis = 0;              // SET DEADLINE <ms>; 0 disables
   uint64_t wait_commit_seq = 0;             // SET WAIT FOR COMMIT <seq>
+  int64_t max_staleness_millis = 0;         // SET MAX_STALENESS <ms>
 };
 
 /// Parses exactly one statement (a trailing ';' is allowed). The
@@ -91,6 +94,12 @@ struct ParsedStatement {
 ///   SET DEADLINE <ms>            -- 0 turns the session deadline off
 ///   SET WAIT FOR COMMIT <seq>    -- block until <seq> is visible (replica
 ///                                   read-your-writes; deadline-bounded)
+///   SET MAX_STALENESS <ms>       -- bound replica read staleness; reads
+///                                   force a catch-up poll when behind
+///                                   (0 turns the bound off)
+///   PROMOTE                      -- replica claims the next epoch and
+///                                   takes over as primary (fences the
+///                                   old one)
 ///   EXPLAIN ANALYZE <statement>
 ///
 /// Table names in DML/SELECT may be schema-qualified (`sys.dm_health`);

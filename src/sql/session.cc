@@ -190,6 +190,8 @@ const char* StatementKindName(ParsedStatement::Kind kind) {
     case ParsedStatement::Kind::kKill: return "KILL";
     case ParsedStatement::Kind::kSetDeadline: return "SET DEADLINE";
     case ParsedStatement::Kind::kWaitForCommit: return "SET WAIT FOR COMMIT";
+    case ParsedStatement::Kind::kSetMaxStaleness: return "SET MAX_STALENESS";
+    case ParsedStatement::Kind::kPromote: return "PROMOTE";
   }
   return "?";
 }
@@ -266,7 +268,12 @@ Result<SqlResult> SqlSession::Execute(const std::string& statement) {
   // an operator can always KILL a runaway transaction from a saturated
   // engine.
   if (stmt.kind == ParsedStatement::Kind::kKill ||
-      stmt.kind == ParsedStatement::Kind::kSetDeadline) {
+      stmt.kind == ParsedStatement::Kind::kSetDeadline ||
+      stmt.kind == ParsedStatement::Kind::kSetMaxStaleness ||
+      stmt.kind == ParsedStatement::Kind::kPromote) {
+    // PROMOTE joins this list deliberately: failover is exactly the moment
+    // the engine may be saturated or wedged, so the takeover statement must
+    // not queue behind the workload it is rescuing.
     return ExecuteParsed(stmt);
   }
 
@@ -592,6 +599,11 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
       if (engine::SystemViews::IsSystemTable(stmt.table)) {
         return ExecuteSystemViewSelect(stmt);
       }
+      // Staleness-bounded replica reads: before the snapshot opens, make
+      // sure the apply watermark is no staler than the session bound
+      // (forcing a catch-up poll when it is). No-op on primaries.
+      POLARIS_RETURN_IF_ERROR(
+          engine_->EnsureReplicaFresh(max_staleness_micros_));
       return RunStatement([&](txn::Transaction* txn) {
         return ExecuteSelect(stmt, txn);
       });
@@ -635,6 +647,33 @@ Result<SqlResult> SqlSession::ExecuteParsed(const ParsedStatement& stmt) {
               ? "SET DEADLINE off"
               : "SET DEADLINE " + std::to_string(stmt.deadline_millis) +
                     " ms";
+      return result;
+    }
+    case ParsedStatement::Kind::kSetMaxStaleness: {
+      max_staleness_micros_ = stmt.max_staleness_millis * 1000;
+      SqlResult result;
+      result.message =
+          stmt.max_staleness_millis == 0
+              ? "SET MAX_STALENESS off"
+              : "SET MAX_STALENESS " +
+                    std::to_string(stmt.max_staleness_millis) + " ms";
+      return result;
+    }
+    case ParsedStatement::Kind::kPromote: {
+      if (txn_ != nullptr) {
+        return Status::NotSupported(
+            "PROMOTE inside an explicit transaction is not supported");
+      }
+      POLARIS_ASSIGN_OR_RETURN(engine::PromoteResult promoted,
+                               engine_->Promote());
+      SqlResult result;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", promoted.promote_ms);
+      result.message = "PROMOTE (epoch " + std::to_string(promoted.epoch) +
+                       ", watermark " + std::to_string(promoted.watermark) +
+                       ", drained " +
+                       std::to_string(promoted.tail_records) +
+                       " tail records in " + buf + " ms)";
       return result;
     }
   }

@@ -61,6 +61,10 @@ class SqlSession {
     return statement_deadline_micros_;
   }
 
+  /// Replica read-staleness bound installed by `SET MAX_STALENESS <ms>`;
+  /// 0 = off (reads serve whatever the apply watermark has).
+  int64_t max_staleness_micros() const { return max_staleness_micros_; }
+
  private:
   common::Result<SqlResult> ExecuteParsed(const ParsedStatement& stmt);
   /// EXPLAIN ANALYZE: runs `stmt` under a forced-on trace and renders the
@@ -101,6 +105,9 @@ class SqlSession {
   /// SET DEADLINE <ms> budget applied to every subsequent statement
   /// (microseconds on the engine clock); 0 disables the deadline.
   int64_t statement_deadline_micros_ = 0;
+  /// SET MAX_STALENESS <ms> bound enforced before every table SELECT on a
+  /// replica (microseconds on the engine clock); 0 disables the bound.
+  int64_t max_staleness_micros_ = 0;
 };
 
 /// Coerces a parsed literal to `want` (integer literals widen to DOUBLE;

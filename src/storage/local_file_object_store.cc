@@ -178,6 +178,23 @@ LocalFileObjectStore::LocalFileObjectStore(std::string root,
   init_status_ = SweepAndScan();
 }
 
+Status LocalFileObjectStore::ExitReadOnly() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!read_only_.load(std::memory_order_acquire)) return Status::OK();
+  std::error_code ec;
+  for (const char* sub : {"objects", "staged", "tmp"}) {
+    fs::create_directories(fs::path(root_) / sub, ec);
+    if (ec) {
+      return Status::IOError("cannot create " + root_ + "/" + sub + ": " +
+                             ec.message());
+    }
+  }
+  // No sweep: the fenced ex-primary's staged blocks are invisible dead
+  // state; the next full reopen discards them.
+  read_only_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
 Status LocalFileObjectStore::SweepAndScan() {
   std::error_code ec;
   if (read_only_) {

@@ -57,7 +57,15 @@ class LocalFileObjectStore : public ObjectStore {
 
   const std::string& root() const { return root_; }
 
-  bool read_only() const { return read_only_; }
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+  /// Makes a read-only store writable — the storage half of replica
+  /// promotion. Creates the staged/ and tmp/ working directories (a
+  /// read-only open never made them) but deliberately does NOT sweep:
+  /// the fenced ex-primary's staged blocks are dead-but-harmless state
+  /// (uncommitted blocks are invisible by contract) and are swept by the
+  /// next full reopen. Idempotent; no-op when already writable.
+  common::Status ExitReadOnly();
 
   /// Largest created_at stamp across blobs found at open time (0 when
   /// empty). A reopening engine advances its virtual clock past this so
@@ -124,7 +132,9 @@ class LocalFileObjectStore : public ObjectStore {
 
   mutable std::mutex mu_;
   std::string root_;
-  bool read_only_ = false;
+  // Atomic because promotion flips it while reader/writer threads check
+  // it outside mu_.
+  std::atomic<bool> read_only_{false};
   std::unique_ptr<common::SimClock> owned_clock_;
   common::Clock* clock_;
   common::Status init_status_;

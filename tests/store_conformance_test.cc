@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "storage/local_file_object_store.h"
 #include "storage/memory_object_store.h"
+#include "storage/retrying_object_store.h"
 
 namespace polaris::storage {
 namespace {
@@ -249,6 +250,52 @@ TEST_P(StoreConformanceTest, ConditionalCommitRejectionLeavesStagedBlocks) {
   EXPECT_TRUE(store().CommitBlockListIf("m", {"b2"}, 5).IsFailedPrecondition());
   ASSERT_TRUE(store().CommitBlockListIf("m", {"b1", "b2"}, 1).ok());
   EXPECT_EQ(*store().Get("m"), "AB");
+}
+
+TEST_P(StoreConformanceTest, RacingConditionalCommitsHaveExactlyOneWinner) {
+  // Two writers race CommitBlockListIf on the same blob at the same
+  // expected generation — the fencing primitive the epoch lease and the
+  // journal seal are built on. Exactly one CAS wins; the loser sees
+  // FailedPrecondition. Each writer goes through its own retry decorator
+  // to prove the loss is terminal: FailedPrecondition is a logical
+  // outcome, not a transient fault, so it must never be retried (a retry
+  // would hand a fenced writer a second shot at the blob).
+  for (int round = 0; round < 20; ++round) {
+    const std::string path = "race" + std::to_string(round);
+    RetryingObjectStore w1(&store(), clock_.get());
+    RetryingObjectStore w2(&store(), clock_.get());
+    ASSERT_TRUE(w1.StageBlock(path, "a", "ONE").ok());
+    ASSERT_TRUE(w2.StageBlock(path, "b", "TWO").ok());
+    common::Status s1, s2;
+    std::thread t1([&] { s1 = w1.CommitBlockListIf(path, {"a"}, 0); });
+    std::thread t2([&] { s2 = w2.CommitBlockListIf(path, {"b"}, 0); });
+    t1.join();
+    t2.join();
+    ASSERT_NE(s1.ok(), s2.ok())
+        << "round " << round << ": " << s1.ToString() << " / "
+        << s2.ToString();
+    const common::Status& loser = s1.ok() ? s2 : s1;
+    EXPECT_TRUE(loser.IsFailedPrecondition()) << loser.ToString();
+    EXPECT_EQ(w1.total_retries(), 0u) << "CAS loss was retried";
+    EXPECT_EQ(w2.total_retries(), 0u) << "CAS loss was retried";
+    // The blob holds exactly the winner's content at generation 1.
+    EXPECT_EQ(*store().Get(path), s1.ok() ? "ONE" : "TWO");
+    auto stat = store().Stat(path);
+    ASSERT_TRUE(stat.ok());
+    EXPECT_EQ(stat->generation, 1u);
+    // The loser recovers by re-reading the new generation, re-staging
+    // (the winner's commit discarded every staged block) and committing
+    // behind the winner at the observed generation.
+    const std::string winner_id = s1.ok() ? "a" : "b";
+    const std::string loser_id = s1.ok() ? "b" : "a";
+    const std::string loser_payload = s1.ok() ? "TWO" : "ONE";
+    ASSERT_TRUE(store().StageBlock(path, loser_id, loser_payload).ok());
+    ASSERT_TRUE(
+        store().CommitBlockListIf(path, {winner_id, loser_id}, 1).ok());
+    EXPECT_EQ(*store().Get(path),
+              (s1.ok() ? std::string("ONE") : std::string("TWO")) +
+                  loser_payload);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStores, StoreConformanceTest,
